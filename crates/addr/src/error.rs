@@ -1,0 +1,71 @@
+//! Error types for address parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an [`Ip6`](crate::Ip6), [`Prefix`](crate::Prefix),
+/// [`ScanRange`](crate::ScanRange) or [`Mac`](crate::Mac) from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError {
+    kind: ErrorKind,
+    input: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ErrorKind {
+    /// The address portion is not a valid IPv6 address.
+    Address,
+    /// The prefix length is missing or not in `0..=128`.
+    PrefixLen,
+    /// The bit-range bounds are missing, reversed or out of `0..=128`.
+    BitRange,
+    /// The MAC address is not six `:`-separated hex octets.
+    Mac,
+    /// Host bits are set beyond the prefix length.
+    HostBits,
+}
+
+impl ParseAddrError {
+    pub(crate) fn new(kind: ErrorKind, input: &str) -> Self {
+        ParseAddrError { kind, input: input.to_owned() }
+    }
+
+    /// The original input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ErrorKind::Address => "invalid IPv6 address syntax",
+            ErrorKind::PrefixLen => "prefix length must be an integer in 0..=128",
+            ErrorKind::BitRange => "bit range must be `start-end` with 0 <= start < end <= 128",
+            ErrorKind::Mac => "MAC address must be six colon-separated hex octets",
+            ErrorKind::HostBits => "address has bits set beyond the prefix length",
+        };
+        write!(f, "{what}: {:?}", self.input)
+    }
+}
+
+impl Error for ParseAddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_input() {
+        let err = ParseAddrError::new(ErrorKind::Address, "zz::1");
+        let msg = err.to_string();
+        assert!(msg.contains("zz::1"), "{msg}");
+        assert!(msg.contains("invalid IPv6 address"), "{msg}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseAddrError>();
+    }
+}

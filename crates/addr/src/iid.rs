@@ -1,0 +1,345 @@
+//! Interface-identifier (IID) classification, following the `addr6` tool.
+//!
+//! The paper (Tables III, V and X) classifies each discovered 128-bit
+//! address by the structure of its low 64 bits:
+//!
+//! * **EUI-64** — carries the `ff:fe` marker, i.e. embeds a MAC address,
+//! * **Embed-IPv4** — embeds an IPv4 address (hex- or decimal-coded),
+//! * **Low-byte** — a run of zeroes followed only by a low number,
+//! * **Byte-pattern** — some other discernible repetition pattern,
+//! * **Randomized** — none of the above (SLAAC privacy / opaque addresses).
+//!
+//! Classification is ordered: the first matching class wins, in the order
+//! above, mirroring `addr6`'s precedence.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ip6::Ip6;
+use crate::mac::Mac;
+
+/// The structural class of an interface identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IidClass {
+    /// Modified EUI-64 with an embedded MAC address.
+    Eui64,
+    /// An embedded IPv4 address.
+    EmbedIpv4,
+    /// A run of zeroes followed only by a low number.
+    LowByte,
+    /// A discernible repetition pattern.
+    BytePattern,
+    /// No detectable structure.
+    Randomized,
+}
+
+impl IidClass {
+    /// All classes in classification (and reporting) order.
+    pub const ALL: [IidClass; 5] = [
+        IidClass::Eui64,
+        IidClass::EmbedIpv4,
+        IidClass::LowByte,
+        IidClass::BytePattern,
+        IidClass::Randomized,
+    ];
+}
+
+impl fmt::Display for IidClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IidClass::Eui64 => "EUI-64",
+            IidClass::EmbedIpv4 => "Embed-IPv4",
+            IidClass::LowByte => "Low-byte",
+            IidClass::BytePattern => "Byte-pattern",
+            IidClass::Randomized => "Randomized",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the interface identifier of `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::{classify_iid, Ip6, IidClass};
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let eui: Ip6 = "2001:db8::0221:2fff:fe34:5678".parse()?;
+/// assert_eq!(classify_iid(eui), IidClass::Eui64);
+/// let low: Ip6 = "2001:db8::1".parse()?;
+/// assert_eq!(classify_iid(low), IidClass::LowByte);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_iid(addr: Ip6) -> IidClass {
+    let iid = addr.iid();
+    if Mac::from_eui64(iid).is_some() {
+        return IidClass::Eui64;
+    }
+    if is_embed_ipv4(iid) {
+        return IidClass::EmbedIpv4;
+    }
+    if is_low_byte(iid) {
+        return IidClass::LowByte;
+    }
+    if is_byte_pattern(iid) {
+        return IidClass::BytePattern;
+    }
+    IidClass::Randomized
+}
+
+/// Low-byte: the IID is zero except for its lowest 16 bits, and nonzero
+/// (a zero IID is the subnet-router anycast address, treated as low-byte
+/// too since it appears in manual configurations).
+fn is_low_byte(iid: u64) -> bool {
+    iid <= 0xffff
+}
+
+/// Embed-IPv4: either the high 32 bits are zero and the low 32 bits read as
+/// a plausible dotted quad (hex-coded, e.g. `::c0a8:0101` = 192.168.1.1), or
+/// each 16-bit group is a decimal-coded octet (e.g. `:0192:0168:0001:0001`).
+fn is_embed_ipv4(iid: u64) -> bool {
+    if iid >> 32 == 0 && iid > 0xffff {
+        let octets = (iid as u32).to_be_bytes();
+        // Require a non-degenerate first octet so `::1:2` style low values
+        // don't all count; real embeddings start with a routable first octet.
+        if octets[0] != 0 {
+            return true;
+        }
+    }
+    // Decimal-coded quad: every group, read as hex digits, is a decimal
+    // number <= 255 (e.g. 0192:0168:0001:0001).
+    let groups = [(iid >> 48) as u16, (iid >> 32) as u16, (iid >> 16) as u16, iid as u16];
+    if groups.iter().all(|g| decimal_value(*g).is_some_and(|v| v <= 255))
+        && decimal_value(groups[0]).is_some_and(|v| v > 0)
+        && iid > 0xffff
+    {
+        return true;
+    }
+    false
+}
+
+/// Reads a 16-bit group's hex digits as a decimal number (so 0x0192 → 192),
+/// or `None` if any nibble is not a decimal digit.
+fn decimal_value(group: u16) -> Option<u16> {
+    let mut v: u16 = 0;
+    for shift in [12u16, 8, 4, 0] {
+        let nibble = (group >> shift) & 0xf;
+        if nibble > 9 {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(nibble)?;
+    }
+    Some(v)
+}
+
+/// Byte-pattern: at most two distinct byte values, identical 16-bit groups,
+/// or one nibble value covering at least 12 of the 16 nibbles.
+fn is_byte_pattern(iid: u64) -> bool {
+    let bytes = iid.to_be_bytes();
+    let mut distinct: Vec<u8> = Vec::with_capacity(8);
+    for b in bytes {
+        if !distinct.contains(&b) {
+            distinct.push(b);
+        }
+    }
+    if distinct.len() <= 2 {
+        return true;
+    }
+    let groups = [(iid >> 48) as u16, (iid >> 32) as u16, (iid >> 16) as u16, iid as u16];
+    if groups.iter().all(|g| *g == groups[0]) {
+        return true;
+    }
+    let mut nibble_counts = [0u8; 16];
+    let mut v = iid;
+    for _ in 0..16 {
+        nibble_counts[(v & 0xf) as usize] += 1;
+        v >>= 4;
+    }
+    nibble_counts.iter().any(|c| *c >= 12)
+}
+
+/// A histogram over [`IidClass`] used to render Tables III, V and X.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::{IidClass, IidHistogram};
+///
+/// let mut h = IidHistogram::new();
+/// h.add("2001:db8::1".parse()?);
+/// h.add("2001:db8::0221:2fff:fe34:5678".parse()?);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.count(IidClass::Eui64), 1);
+/// assert!((h.percent(IidClass::LowByte) - 50.0).abs() < 1e-9);
+/// # Ok::<(), xmap_addr::ParseAddrError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IidHistogram {
+    counts: [u64; 5],
+}
+
+impl IidHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies `addr` and records it.
+    pub fn add(&mut self, addr: Ip6) {
+        self.record(classify_iid(addr));
+    }
+
+    /// Records an already-classified IID.
+    pub fn record(&mut self, class: IidClass) {
+        self.counts[Self::slot(class)] += 1;
+    }
+
+    /// Count recorded for `class`.
+    pub fn count(&self, class: IidClass) -> u64 {
+        self.counts[Self::slot(class)]
+    }
+
+    /// Total addresses recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage of the total in `class` (0 when empty).
+    pub fn percent(&self, class: IidClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &IidHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    fn slot(class: IidClass) -> usize {
+        match class {
+            IidClass::Eui64 => 0,
+            IidClass::EmbedIpv4 => 1,
+            IidClass::LowByte => 2,
+            IidClass::BytePattern => 3,
+            IidClass::Randomized => 4,
+        }
+    }
+}
+
+impl Extend<Ip6> for IidHistogram {
+    fn extend<T: IntoIterator<Item = Ip6>>(&mut self, iter: T) {
+        for a in iter {
+            self.add(a);
+        }
+    }
+}
+
+impl FromIterator<Ip6> for IidHistogram {
+    fn from_iter<T: IntoIterator<Item = Ip6>>(iter: T) -> Self {
+        let mut h = IidHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(s: &str) -> IidClass {
+        classify_iid(s.parse().unwrap())
+    }
+
+    #[test]
+    fn eui64_detected() {
+        assert_eq!(class("2001:db8::3656:78ff:fe9a:bcde"), IidClass::Eui64);
+    }
+
+    #[test]
+    fn low_byte_detected() {
+        assert_eq!(class("2001:db8::1"), IidClass::LowByte);
+        assert_eq!(class("2001:db8::53"), IidClass::LowByte);
+        assert_eq!(class("2001:db8::ffff"), IidClass::LowByte);
+        assert_eq!(class("2001:db8::"), IidClass::LowByte);
+    }
+
+    #[test]
+    fn embed_ipv4_hex_coded() {
+        // 192.168.1.1 hex-coded in the low 32 bits.
+        assert_eq!(class("2001:db8::c0a8:0101"), IidClass::EmbedIpv4);
+        // 8.8.8.8
+        assert_eq!(class("2001:db8::808:808"), IidClass::EmbedIpv4);
+    }
+
+    #[test]
+    fn embed_ipv4_decimal_coded() {
+        assert_eq!(class("2001:db8::192:168:1:1"), IidClass::EmbedIpv4);
+        assert_eq!(class("2001:db8::10:0:0:138"), IidClass::EmbedIpv4);
+    }
+
+    #[test]
+    fn byte_pattern_detected() {
+        assert_eq!(class("2001:db8::dead:dead:dead:dead"), IidClass::BytePattern);
+        assert_eq!(class("2001:db8::abab:abab:abab:abab"), IidClass::BytePattern);
+        assert_eq!(class("2001:db8::1111:1111:1111:1234"), IidClass::BytePattern);
+    }
+
+    #[test]
+    fn randomized_fallback() {
+        assert_eq!(class("2001:db8::9c3a:71e2:b048:5d16"), IidClass::Randomized);
+        assert_eq!(class("2001:db8::4f21:8a6c:d93e:07b5"), IidClass::Randomized);
+    }
+
+    #[test]
+    fn eui64_wins_over_pattern() {
+        // ff:fe marker always classifies as EUI-64, even with patterned MAC.
+        assert_eq!(class("2001:db8::0200:00ff:fe00:0000"), IidClass::Eui64);
+    }
+
+    #[test]
+    fn decimal_value_parsing() {
+        assert_eq!(decimal_value(0x0192), Some(192));
+        assert_eq!(decimal_value(0x0255), Some(255));
+        assert_eq!(decimal_value(0x0a00), None);
+        assert_eq!(decimal_value(0x9999), Some(9999));
+    }
+
+    #[test]
+    fn histogram_counts_and_percentages() {
+        let addrs: Vec<Ip6> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            "2001:db8::3656:78ff:fe9a:bcde".parse().unwrap(),
+            "2001:db8::9c3a:71e2:b048:5d16".parse().unwrap(),
+        ];
+        let h: IidHistogram = addrs.into_iter().collect();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(IidClass::LowByte), 2);
+        assert_eq!(h.count(IidClass::Eui64), 1);
+        assert_eq!(h.count(IidClass::Randomized), 1);
+        assert!((h.percent(IidClass::LowByte) - 50.0).abs() < 1e-9);
+        let empty = IidHistogram::new();
+        assert_eq!(empty.percent(IidClass::Eui64), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = IidHistogram::new();
+        a.record(IidClass::Eui64);
+        let mut b = IidHistogram::new();
+        b.record(IidClass::Eui64);
+        b.record(IidClass::Randomized);
+        a.merge(&b);
+        assert_eq!(a.count(IidClass::Eui64), 2);
+        assert_eq!(a.total(), 3);
+    }
+}

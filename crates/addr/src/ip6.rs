@@ -1,0 +1,298 @@
+//! A `u128`-backed IPv6 address.
+
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ErrorKind, ParseAddrError};
+
+/// An IPv6 address stored as a big-endian `u128`.
+///
+/// Unlike [`std::net::Ipv6Addr`], `Ip6` exposes the raw integer so that
+/// prefix arithmetic, bit-range permutation and procedural generation are
+/// single integer operations. Conversions to and from the standard type are
+/// free.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::Ip6;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let a: Ip6 = "2001:db8::1".parse()?;
+/// assert_eq!(a.bits() >> 96, 0x2001_0db8);
+/// assert_eq!(a.to_string(), "2001:db8::1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ip6(u128);
+
+impl Ip6 {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Ip6 = Ip6(0);
+
+    /// Creates an address from its 128-bit big-endian integer value.
+    pub const fn new(bits: u128) -> Self {
+        Ip6(bits)
+    }
+
+    /// Creates an address from eight 16-bit segments, most significant first.
+    pub const fn from_segments(seg: [u16; 8]) -> Self {
+        let mut bits: u128 = 0;
+        let mut i = 0;
+        while i < 8 {
+            bits = (bits << 16) | seg[i] as u128;
+            i += 1;
+        }
+        Ip6(bits)
+    }
+
+    /// Returns the address as a 128-bit big-endian integer.
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Returns the eight 16-bit segments, most significant first.
+    pub const fn segments(self) -> [u16; 8] {
+        let b = self.0;
+        [
+            (b >> 112) as u16,
+            (b >> 96) as u16,
+            (b >> 80) as u16,
+            (b >> 64) as u16,
+            (b >> 48) as u16,
+            (b >> 32) as u16,
+            (b >> 16) as u16,
+            b as u16,
+        ]
+    }
+
+    /// Returns the 16 raw octets in network byte order.
+    pub const fn octets(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the low 64 bits — the interface identifier (IID) when the
+    /// address sits in a /64 subnet.
+    pub const fn iid(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Returns the high 64 bits — the /64 subnet prefix value.
+    pub const fn subnet64(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// Replaces the low 64 bits with `iid`.
+    #[must_use]
+    pub const fn with_iid(self, iid: u64) -> Self {
+        Ip6((self.0 & !(u64::MAX as u128)) | iid as u128)
+    }
+
+    /// Returns the address with everything below `prefix_len` bits zeroed.
+    ///
+    /// `network(0)` is `::`; `network(128)` is the address itself.
+    #[must_use]
+    pub const fn network(self, prefix_len: u8) -> Self {
+        Ip6(self.0 & mask(prefix_len))
+    }
+
+    /// Extracts the value of the bit slice `[start, end)` counted from the
+    /// most significant bit (bit 0), as used in scan-range notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`, `end > 128`, or the slice is wider than 64
+    /// bits.
+    pub fn bit_slice(self, start: u8, end: u8) -> u64 {
+        assert!(start < end && end <= 128, "invalid bit slice {start}-{end}");
+        let width = end - start;
+        assert!(width <= 64, "bit slice wider than 64 bits");
+        let shifted = self.0 >> (128 - end as u32);
+        (shifted as u64) & width_mask(width)
+    }
+
+    /// Returns the address with the bit slice `[start, end)` replaced by the
+    /// low `end - start` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Ip6::bit_slice`].
+    #[must_use]
+    pub fn with_bit_slice(self, start: u8, end: u8, value: u64) -> Self {
+        assert!(start < end && end <= 128, "invalid bit slice {start}-{end}");
+        let width = end - start;
+        assert!(width <= 64, "bit slice wider than 64 bits");
+        let value = (value & width_mask(width)) as u128;
+        let shift = 128 - end as u32;
+        let slice_mask = ((width_mask(width) as u128) << shift) as u128;
+        Ip6((self.0 & !slice_mask) | (value << shift))
+    }
+}
+
+/// Network mask with the top `prefix_len` bits set.
+pub(crate) const fn mask(prefix_len: u8) -> u128 {
+    if prefix_len == 0 {
+        0
+    } else if prefix_len >= 128 {
+        u128::MAX
+    } else {
+        !(u128::MAX >> prefix_len)
+    }
+}
+
+const fn width_mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl From<Ipv6Addr> for Ip6 {
+    fn from(a: Ipv6Addr) -> Self {
+        Ip6(u128::from_be_bytes(a.octets()))
+    }
+}
+
+impl From<Ip6> for Ipv6Addr {
+    fn from(a: Ip6) -> Self {
+        Ipv6Addr::from(a.0.to_be_bytes())
+    }
+}
+
+impl From<u128> for Ip6 {
+    fn from(bits: u128) -> Self {
+        Ip6(bits)
+    }
+}
+
+impl From<Ip6> for u128 {
+    fn from(a: Ip6) -> Self {
+        a.0
+    }
+}
+
+impl FromStr for Ip6 {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<Ipv6Addr>()
+            .map(Ip6::from)
+            .map_err(|_| ParseAddrError::new(ErrorKind::Address, s))
+    }
+}
+
+impl fmt::Display for Ip6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Ipv6Addr::from(*self).fmt(f)
+    }
+}
+
+impl fmt::LowerHex for Ip6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Ip6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Ip6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_std() {
+        let std_addr: Ipv6Addr = "2001:db8:1234:5678:9abc:def0:1111:2222".parse().unwrap();
+        let a = Ip6::from(std_addr);
+        assert_eq!(Ipv6Addr::from(a), std_addr);
+        assert_eq!(a.to_string(), std_addr.to_string());
+    }
+
+    #[test]
+    fn segments_roundtrip() {
+        let seg = [0x2001, 0x0db8, 0, 1, 2, 3, 4, 5];
+        let a = Ip6::from_segments(seg);
+        assert_eq!(a.segments(), seg);
+    }
+
+    #[test]
+    fn network_masks_low_bits() {
+        let a: Ip6 = "2001:db8:1234:5678::1".parse().unwrap();
+        assert_eq!(a.network(32).to_string(), "2001:db8::");
+        assert_eq!(a.network(64).to_string(), "2001:db8:1234:5678::");
+        assert_eq!(a.network(0), Ip6::UNSPECIFIED);
+        assert_eq!(a.network(128), a);
+    }
+
+    #[test]
+    fn iid_and_subnet() {
+        let a: Ip6 = "2001:db8:1234:5678:dead:beef:cafe:f00d".parse().unwrap();
+        assert_eq!(a.iid(), 0xdead_beef_cafe_f00d);
+        assert_eq!(a.subnet64(), 0x2001_0db8_1234_5678);
+        assert_eq!(a.with_iid(7).to_string(), "2001:db8:1234:5678::7");
+    }
+
+    #[test]
+    fn bit_slice_extracts_and_inserts() {
+        let a: Ip6 = "2001:db8:1234:5678::".parse().unwrap();
+        assert_eq!(a.bit_slice(32, 64), 0x1234_5678);
+        assert_eq!(a.bit_slice(0, 16), 0x2001);
+        let b = a.with_bit_slice(32, 64, 0xabcd_ef01);
+        assert_eq!(b.to_string(), "2001:db8:abcd:ef01::");
+        // Inserting back the original value is the identity.
+        assert_eq!(b.with_bit_slice(32, 64, 0x1234_5678), a);
+    }
+
+    #[test]
+    fn bit_slice_full_64() {
+        let a: Ip6 = "::ffff:ffff:ffff:ffff".parse().unwrap();
+        assert_eq!(a.bit_slice(64, 128), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit slice")]
+    fn bit_slice_rejects_reversed() {
+        Ip6::UNSPECIFIED.bit_slice(64, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 64")]
+    fn bit_slice_rejects_wide() {
+        Ip6::UNSPECIFIED.bit_slice(0, 128);
+    }
+
+    #[test]
+    fn parse_error_carries_input() {
+        let err = "not-an-address".parse::<Ip6>().unwrap_err();
+        assert_eq!(err.input(), "not-an-address");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        let a = Ip6::new(0x2001_0db8 << 96);
+        assert!(format!("{a:x}").starts_with("20010db8"));
+    }
+
+    #[test]
+    fn mask_boundaries() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(128), u128::MAX);
+        assert_eq!(mask(1), 1u128 << 127);
+        assert_eq!(mask(64), !(u64::MAX as u128));
+    }
+}

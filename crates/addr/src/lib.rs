@@ -1,0 +1,48 @@
+//! IPv6 address primitives for network-periphery measurement.
+//!
+//! This crate provides the address-layer foundation shared by the whole
+//! workspace:
+//!
+//! * [`Ip6`] — a `u128`-backed IPv6 address with cheap bit arithmetic,
+//! * [`Prefix`] — a CIDR prefix with containment and sub-prefix iteration,
+//! * [`ScanRange`] — an *arbitrary bit range* of the address space such as
+//!   `2001:db8::/32-64` (the 2³² sub-prefixes between bit 32 and bit 64),
+//!   which is the scanning unit of the XMap scanner,
+//! * [`Mac`] / EUI-64 conversion and a static OUI→vendor registry,
+//! * [`IidClass`] — interface-identifier classification following the
+//!   `addr6` tool used in the paper (EUI-64, embed-IPv4, low-byte,
+//!   byte-pattern, randomized).
+//!
+//! # Examples
+//!
+//! ```
+//! use xmap_addr::{Ip6, Prefix, ScanRange};
+//!
+//! # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+//! let block: Prefix = "2001:db8::/32".parse()?;
+//! let range: ScanRange = "2001:db8::/32-64".parse()?;
+//! assert_eq!(range.space_bits(), 32);
+//! assert!(block.contains(Ip6::from_segments([0x2001, 0xdb8, 1, 2, 3, 4, 5, 6])));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod iid;
+mod ip6;
+mod mac;
+pub mod oui;
+mod prefix;
+mod range;
+mod slaac;
+
+pub use error::ParseAddrError;
+pub use iid::{classify_iid, IidClass, IidHistogram};
+pub use ip6::Ip6;
+pub use mac::Mac;
+pub use prefix::Prefix;
+pub use range::ScanRange;
+pub use slaac::{eui64_address, random_iid_address, stable_opaque_iid};

@@ -1,0 +1,189 @@
+//! MAC addresses and modified EUI-64 interface identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ErrorKind, ParseAddrError};
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// Peripheries that autoconfigure with legacy SLAAC embed their MAC in the
+/// interface identifier using the *modified EUI-64* transform (RFC 4291
+/// App. A): the universal/local bit is flipped and `ff:fe` is inserted
+/// between the OUI and the NIC-specific half. [`Mac::to_eui64`] and
+/// [`Mac::from_eui64`] implement both directions; the latter is how the
+/// paper recovers device vendors from discovered addresses.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::Mac;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let mac: Mac = "00:1a:2b:3c:4d:5e".parse()?;
+/// let iid = mac.to_eui64();
+/// assert_eq!(Mac::from_eui64(iid), Some(mac));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Mac([u8; 6]);
+
+impl Mac {
+    /// Creates a MAC from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        Mac(octets)
+    }
+
+    /// Creates a MAC from a 24-bit OUI and a 24-bit NIC-specific value.
+    ///
+    /// Only the low 24 bits of each argument are used.
+    pub const fn from_oui_nic(oui: u32, nic: u32) -> Self {
+        Mac([
+            (oui >> 16) as u8,
+            (oui >> 8) as u8,
+            oui as u8,
+            (nic >> 16) as u8,
+            (nic >> 8) as u8,
+            nic as u8,
+        ])
+    }
+
+    /// The six octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// The 24-bit Organizationally Unique Identifier (vendor part).
+    pub const fn oui(&self) -> u32 {
+        ((self.0[0] as u32) << 16) | ((self.0[1] as u32) << 8) | self.0[2] as u32
+    }
+
+    /// The 24-bit NIC-specific part.
+    pub const fn nic(&self) -> u32 {
+        ((self.0[3] as u32) << 16) | ((self.0[4] as u32) << 8) | self.0[5] as u32
+    }
+
+    /// Whether the address is locally administered (U/L bit set).
+    pub const fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Whether the address is multicast (I/G bit set).
+    pub const fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Converts to a modified EUI-64 interface identifier (RFC 4291 App. A):
+    /// flips the universal/local bit and inserts `ff:fe` in the middle.
+    pub const fn to_eui64(self) -> u64 {
+        let o = self.0;
+        ((o[0] ^ 0x02) as u64) << 56
+            | (o[1] as u64) << 48
+            | (o[2] as u64) << 40
+            | 0xff << 32
+            | 0xfe << 24
+            | (o[3] as u64) << 16
+            | (o[4] as u64) << 8
+            | o[5] as u64
+    }
+
+    /// Recovers the MAC from a modified EUI-64 interface identifier, or
+    /// `None` when `iid` does not carry the `ff:fe` marker octets.
+    pub const fn from_eui64(iid: u64) -> Option<Mac> {
+        if (iid >> 24) & 0xffff != 0xfffe {
+            return None;
+        }
+        Some(Mac([
+            ((iid >> 56) as u8) ^ 0x02,
+            (iid >> 48) as u8,
+            (iid >> 40) as u8,
+            (iid >> 16) as u8,
+            (iid >> 8) as u8,
+            iid as u8,
+        ]))
+    }
+}
+
+impl FromStr for Mac {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| ParseAddrError::new(ErrorKind::Mac, s))?;
+            if part.len() != 2 {
+                return Err(ParseAddrError::new(ErrorKind::Mac, s));
+            }
+            *slot =
+                u8::from_str_radix(part, 16).map_err(|_| ParseAddrError::new(ErrorKind::Mac, s))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseAddrError::new(ErrorKind::Mac, s));
+        }
+        Ok(Mac(octets))
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", o[0], o[1], o[2], o[3], o[4], o[5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let mac: Mac = "00:1a:2b:3c:4d:5e".parse().unwrap();
+        assert_eq!(mac.to_string(), "00:1a:2b:3c:4d:5e");
+        assert_eq!(mac.octets(), [0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "00:1a:2b:3c:4d", "00:1a:2b:3c:4d:5e:6f", "0:1a:2b:3c:4d:5e", "zz:1a:2b:3c:4d:5e"]
+        {
+            assert!(bad.parse::<Mac>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn eui64_rfc4291_example() {
+        // RFC 4291 App A: MAC 34-56-78-9A-BC-DE -> IID 3656:78ff:fe9a:bcde.
+        let mac: Mac = "34:56:78:9a:bc:de".parse().unwrap();
+        assert_eq!(mac.to_eui64(), 0x3656_78ff_fe9a_bcde);
+    }
+
+    #[test]
+    fn eui64_roundtrip() {
+        let mac = Mac::from_oui_nic(0x001a2b, 0x3c4d5e);
+        assert_eq!(Mac::from_eui64(mac.to_eui64()), Some(mac));
+    }
+
+    #[test]
+    fn from_eui64_requires_fffe() {
+        assert_eq!(Mac::from_eui64(0x0212_3400_0056_789a), None);
+        assert!(Mac::from_eui64(0x0212_34ff_fe56_789a).is_some());
+    }
+
+    #[test]
+    fn oui_and_nic_split() {
+        let mac = Mac::from_oui_nic(0xaabbcc, 0x112233);
+        assert_eq!(mac.oui(), 0xaabbcc);
+        assert_eq!(mac.nic(), 0x112233);
+    }
+
+    #[test]
+    fn flag_bits() {
+        assert!(Mac::new([0x02, 0, 0, 0, 0, 0]).is_local());
+        assert!(!Mac::new([0x00, 0, 0, 0, 0, 0]).is_local());
+        assert!(Mac::new([0x01, 0, 0, 0, 0, 0]).is_multicast());
+    }
+}

@@ -1,0 +1,143 @@
+//! SLAAC-style address construction helpers.
+//!
+//! Peripheries form their 128-bit addresses by appending an interface
+//! identifier to an assigned /64 prefix (RFC 4862). Three generators are
+//! provided, matching the address populations the paper observes:
+//!
+//! * [`eui64_address`] — legacy SLAAC, MAC-derived (trackable; 7.6% of
+//!   discovered peripheries),
+//! * [`random_iid_address`] — fully random IIDs as produced by privacy
+//!   extensions (RFC 4941) and most CPE stacks (75.5%),
+//! * [`stable_opaque_iid`] — RFC 7217 semantically-opaque, *stable* IIDs:
+//!   deterministic per (secret, prefix, interface), which the simulator uses
+//!   so that repeated scans observe stable addresses.
+
+use crate::ip6::Ip6;
+use crate::mac::Mac;
+use crate::prefix::Prefix;
+
+/// Builds the SLAAC address `prefix64 + modified-EUI-64(mac)`.
+///
+/// # Panics
+///
+/// Panics if `prefix64` is longer than 64 bits (there would be no room for
+/// the interface identifier).
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::{eui64_address, Mac, Prefix};
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let p: Prefix = "2001:db8:1:2::/64".parse()?;
+/// let mac: Mac = "34:56:78:9a:bc:de".parse()?;
+/// assert_eq!(eui64_address(p, mac).to_string(), "2001:db8:1:2:3656:78ff:fe9a:bcde");
+/// # Ok(())
+/// # }
+/// ```
+pub fn eui64_address(prefix64: Prefix, mac: Mac) -> Ip6 {
+    assert!(prefix64.len() <= 64, "prefix /{} leaves no IID space", prefix64.len());
+    prefix64.addr().with_iid(mac.to_eui64())
+}
+
+/// Builds an address with the given 64-bit random IID under `prefix64`.
+///
+/// The caller supplies the randomness (typically from a seeded RNG) so that
+/// simulations stay deterministic.
+///
+/// # Panics
+///
+/// Panics if `prefix64` is longer than 64 bits.
+pub fn random_iid_address(prefix64: Prefix, iid: u64) -> Ip6 {
+    assert!(prefix64.len() <= 64, "prefix /{} leaves no IID space", prefix64.len());
+    prefix64.addr().with_iid(iid)
+}
+
+/// RFC 7217-style stable opaque IID: a keyed hash of (secret, prefix,
+/// interface index). Deterministic, stable across calls, and it never
+/// collides with the modified-EUI-64 encoding (the `ff:fe` marker bytes are
+/// remapped), so generated opaque addresses always classify as
+/// `Randomized`/`Byte-pattern`, never as `Eui64`.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_addr::{stable_opaque_iid, Prefix};
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let p: Prefix = "2001:db8:1:2::/64".parse()?;
+/// let a = stable_opaque_iid(0xdead_beef, p, 0);
+/// let b = stable_opaque_iid(0xdead_beef, p, 0);
+/// assert_eq!(a, b); // stable
+/// # Ok(())
+/// # }
+/// ```
+pub fn stable_opaque_iid(secret: u64, prefix64: Prefix, if_index: u32) -> u64 {
+    let mut h = secret ^ 0x9e37_79b9_7f4a_7c15;
+    h = mix(h ^ (prefix64.addr().bits() >> 64) as u64);
+    h = mix(h ^ prefix64.addr().bits() as u64);
+    h = mix(h ^ prefix64.len() as u64);
+    h = mix(h ^ if_index as u64);
+    // Avoid the modified-EUI-64 marker so opaque IIDs never parse as MACs.
+    if (h >> 24) & 0xffff == 0xfffe {
+        h ^= 1 << 24;
+    }
+    h
+}
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iid::{classify_iid, IidClass};
+
+    fn p64(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn eui64_address_matches_rfc_example() {
+        let a = eui64_address(p64("2001:db8::/64"), "34:56:78:9a:bc:de".parse().unwrap());
+        assert_eq!(a.to_string(), "2001:db8::3656:78ff:fe9a:bcde");
+        assert_eq!(classify_iid(a), IidClass::Eui64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no IID space")]
+    fn eui64_address_rejects_long_prefix() {
+        eui64_address(p64("2001:db8::/80"), Mac::default());
+    }
+
+    #[test]
+    fn random_iid_places_bits() {
+        let a = random_iid_address(p64("2001:db8:1:2::/64"), 0xdead_beef_0000_0001);
+        assert_eq!(a.to_string(), "2001:db8:1:2:dead:beef:0:1");
+    }
+
+    #[test]
+    fn opaque_iid_is_stable_and_prefix_sensitive() {
+        let p1 = p64("2001:db8:1:2::/64");
+        let p2 = p64("2001:db8:1:3::/64");
+        assert_eq!(stable_opaque_iid(42, p1, 0), stable_opaque_iid(42, p1, 0));
+        assert_ne!(stable_opaque_iid(42, p1, 0), stable_opaque_iid(42, p2, 0));
+        assert_ne!(stable_opaque_iid(42, p1, 0), stable_opaque_iid(42, p1, 1));
+        assert_ne!(stable_opaque_iid(42, p1, 0), stable_opaque_iid(43, p1, 0));
+    }
+
+    #[test]
+    fn opaque_iid_never_looks_like_eui64() {
+        for secret in 0..64u64 {
+            for idx in 0..16u32 {
+                let iid = stable_opaque_iid(secret, p64("2001:db8::/64"), idx);
+                assert_ne!((iid >> 24) & 0xffff, 0xfffe);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Embedded CVE snapshot (the offline stand-in for the MITRE database).
+//!
+//! Table VIII joins each observed software family to the number of CVEs
+//! that could be leveraged against devices running it: 16 for the dnsmasq
+//! family, 24 for the embedded HTTP servers, 10 for dropbear, 74 for
+//! openssh, 1 for the FreeBSD ftpd and 2 for vsftpd (GNU Inetutils and
+//! Fritz!Box show none). The MITRE database is not available offline, so
+//! this module carries a snapshot: the well-known identifiers are real;
+//! the remainder (dominated by openssh's long history) are synthetic
+//! fillers flagged as such, so counts — the only thing Table VIII uses —
+//! are exact.
+
+use xmap_netsim::services::SoftwareId;
+
+/// Impact classes the paper calls out (DoS, code execution, bypass...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Impact {
+    /// Denial of service.
+    Dos,
+    /// Memory corruption / buffer overflow.
+    Overflow,
+    /// Remote code execution.
+    CodeExecution,
+    /// Authentication / policy bypass.
+    Bypass,
+    /// Information disclosure.
+    Disclosure,
+}
+
+/// One CVE entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CveEntry {
+    /// CVE identifier.
+    pub id: &'static str,
+    /// Affected product (catalog software name).
+    pub product: &'static str,
+    /// Impact class.
+    pub impact: Impact,
+    /// Whether the identifier is a synthetic filler (count-preserving
+    /// stand-in for an entry of the real database).
+    pub synthetic: bool,
+}
+
+macro_rules! cve {
+    ($id:literal, $product:literal, $impact:ident) => {
+        CveEntry { id: $id, product: $product, impact: Impact::$impact, synthetic: false }
+    };
+    (syn $id:literal, $product:literal, $impact:ident) => {
+        CveEntry { id: $id, product: $product, impact: Impact::$impact, synthetic: true }
+    };
+}
+
+/// The snapshot. Counts per product family match Table VIII exactly.
+pub const CVE_TABLE: &[CveEntry] = &[
+    // -- dnsmasq: 16 (DoS and buffer-overflow bugs) --
+    cve!("CVE-2012-3411", "dnsmasq", Bypass),
+    cve!("CVE-2013-0198", "dnsmasq", Dos),
+    cve!("CVE-2015-3294", "dnsmasq", Disclosure),
+    cve!("CVE-2017-13704", "dnsmasq", Dos),
+    cve!("CVE-2017-14491", "dnsmasq", Overflow),
+    cve!("CVE-2017-14492", "dnsmasq", Overflow),
+    cve!("CVE-2017-14493", "dnsmasq", Overflow),
+    cve!("CVE-2017-14494", "dnsmasq", Disclosure),
+    cve!("CVE-2017-14495", "dnsmasq", Dos),
+    cve!("CVE-2017-14496", "dnsmasq", Dos),
+    cve!("CVE-2019-14834", "dnsmasq", Dos),
+    cve!("CVE-2020-25681", "dnsmasq", Overflow),
+    cve!("CVE-2020-25682", "dnsmasq", Overflow),
+    cve!("CVE-2020-25683", "dnsmasq", Overflow),
+    cve!("CVE-2020-25684", "dnsmasq", Bypass),
+    cve!("CVE-2020-25685", "dnsmasq", Bypass),
+    // -- embedded HTTP servers: 24 total --
+    cve!("CVE-2017-17562", "GoAhead Embedded", CodeExecution),
+    cve!("CVE-2019-5096", "GoAhead Embedded", CodeExecution),
+    cve!("CVE-2019-5097", "GoAhead Embedded", Dos),
+    cve!("CVE-2021-42342", "GoAhead Embedded", CodeExecution),
+    cve!("CVE-2014-9707", "GoAhead Embedded", Overflow),
+    cve!(syn "CVE-2016-10974", "GoAhead Embedded", Dos),
+    cve!("CVE-2017-7656", "Jetty", Bypass),
+    cve!("CVE-2017-7657", "Jetty", Overflow),
+    cve!("CVE-2017-7658", "Jetty", Bypass),
+    cve!("CVE-2017-9735", "Jetty", Disclosure),
+    cve!("CVE-2018-12545", "Jetty", Dos),
+    cve!("CVE-2019-10241", "Jetty", Disclosure),
+    cve!("CVE-2019-10247", "Jetty", Disclosure),
+    cve!("CVE-2020-27216", "Jetty", Bypass),
+    cve!(syn "CVE-2015-11001", "Jetty", Dos),
+    cve!(syn "CVE-2016-11002", "Jetty", Disclosure),
+    cve!("CVE-2014-4927", "MiniWeb HTTP Server", Overflow),
+    cve!(syn "CVE-2013-11003", "MiniWeb HTTP Server", Dos),
+    cve!(syn "CVE-2015-11004", "MiniWeb HTTP Server", Overflow),
+    cve!(syn "CVE-2018-11005", "MiniWeb HTTP Server", Disclosure),
+    cve!(syn "CVE-2014-11006", "micro_httpd", Dos),
+    cve!(syn "CVE-2015-11007", "micro_httpd", Overflow),
+    cve!(syn "CVE-2016-11008", "micro_httpd", Disclosure),
+    cve!(syn "CVE-2017-11009", "micro_httpd", Dos),
+    // -- dropbear: 10 --
+    cve!("CVE-2012-0920", "dropbear", CodeExecution),
+    cve!("CVE-2013-4421", "dropbear", Dos),
+    cve!("CVE-2013-4434", "dropbear", Disclosure),
+    cve!("CVE-2016-7405", "dropbear", CodeExecution),
+    cve!("CVE-2016-7406", "dropbear", CodeExecution),
+    cve!("CVE-2016-7407", "dropbear", CodeExecution),
+    cve!("CVE-2016-7408", "dropbear", CodeExecution),
+    cve!("CVE-2017-9078", "dropbear", CodeExecution),
+    cve!("CVE-2017-9079", "dropbear", Disclosure),
+    cve!("CVE-2018-15599", "dropbear", Disclosure),
+    // -- openssh: 74 (12 real + 62 count-preserving fillers) --
+    cve!("CVE-2002-0640", "openssh", Overflow),
+    cve!("CVE-2003-0693", "openssh", Overflow),
+    cve!("CVE-2006-5051", "openssh", CodeExecution),
+    cve!("CVE-2008-5161", "openssh", Disclosure),
+    cve!("CVE-2010-4478", "openssh", Bypass),
+    cve!("CVE-2015-5600", "openssh", Bypass),
+    cve!("CVE-2016-0777", "openssh", Disclosure),
+    cve!("CVE-2016-0778", "openssh", Overflow),
+    cve!("CVE-2016-10009", "openssh", CodeExecution),
+    cve!("CVE-2016-10012", "openssh", Bypass),
+    cve!("CVE-2018-15473", "openssh", Disclosure),
+    cve!("CVE-2019-6111", "openssh", CodeExecution),
+    cve!(syn "CVE-2003-12001", "openssh", Dos),
+    cve!(syn "CVE-2003-12002", "openssh", Bypass),
+    cve!(syn "CVE-2004-12003", "openssh", Dos),
+    cve!(syn "CVE-2004-12004", "openssh", Disclosure),
+    cve!(syn "CVE-2005-12005", "openssh", Dos),
+    cve!(syn "CVE-2005-12006", "openssh", Bypass),
+    cve!(syn "CVE-2006-12007", "openssh", Dos),
+    cve!(syn "CVE-2006-12008", "openssh", Disclosure),
+    cve!(syn "CVE-2007-12009", "openssh", Dos),
+    cve!(syn "CVE-2007-12010", "openssh", Bypass),
+    cve!(syn "CVE-2008-12011", "openssh", Dos),
+    cve!(syn "CVE-2008-12012", "openssh", Disclosure),
+    cve!(syn "CVE-2009-12013", "openssh", Dos),
+    cve!(syn "CVE-2009-12014", "openssh", Bypass),
+    cve!(syn "CVE-2010-12015", "openssh", Dos),
+    cve!(syn "CVE-2010-12016", "openssh", Disclosure),
+    cve!(syn "CVE-2011-12017", "openssh", Dos),
+    cve!(syn "CVE-2011-12018", "openssh", Bypass),
+    cve!(syn "CVE-2012-12019", "openssh", Dos),
+    cve!(syn "CVE-2012-12020", "openssh", Disclosure),
+    cve!(syn "CVE-2013-12021", "openssh", Dos),
+    cve!(syn "CVE-2013-12022", "openssh", Bypass),
+    cve!(syn "CVE-2014-12023", "openssh", Dos),
+    cve!(syn "CVE-2014-12024", "openssh", Disclosure),
+    cve!(syn "CVE-2015-12025", "openssh", Dos),
+    cve!(syn "CVE-2015-12026", "openssh", Bypass),
+    cve!(syn "CVE-2016-12027", "openssh", Dos),
+    cve!(syn "CVE-2016-12028", "openssh", Disclosure),
+    cve!(syn "CVE-2017-12029", "openssh", Dos),
+    cve!(syn "CVE-2017-12030", "openssh", Bypass),
+    cve!(syn "CVE-2018-12031", "openssh", Dos),
+    cve!(syn "CVE-2018-12032", "openssh", Disclosure),
+    cve!(syn "CVE-2019-12033", "openssh", Dos),
+    cve!(syn "CVE-2019-12034", "openssh", Bypass),
+    cve!(syn "CVE-2020-12035", "openssh", Dos),
+    cve!(syn "CVE-2020-12036", "openssh", Disclosure),
+    cve!(syn "CVE-2003-12037", "openssh", Overflow),
+    cve!(syn "CVE-2004-12038", "openssh", Overflow),
+    cve!(syn "CVE-2005-12039", "openssh", Overflow),
+    cve!(syn "CVE-2006-12040", "openssh", Overflow),
+    cve!(syn "CVE-2007-12041", "openssh", Overflow),
+    cve!(syn "CVE-2008-12042", "openssh", Overflow),
+    cve!(syn "CVE-2009-12043", "openssh", Overflow),
+    cve!(syn "CVE-2010-12044", "openssh", Overflow),
+    cve!(syn "CVE-2011-12045", "openssh", Overflow),
+    cve!(syn "CVE-2012-12046", "openssh", Overflow),
+    cve!(syn "CVE-2013-12047", "openssh", Overflow),
+    cve!(syn "CVE-2014-12048", "openssh", Overflow),
+    cve!(syn "CVE-2015-12049", "openssh", Overflow),
+    cve!(syn "CVE-2016-12050", "openssh", Overflow),
+    cve!(syn "CVE-2017-12051", "openssh", Overflow),
+    cve!(syn "CVE-2018-12052", "openssh", Overflow),
+    cve!(syn "CVE-2019-12053", "openssh", Overflow),
+    cve!(syn "CVE-2020-12054", "openssh", Overflow),
+    cve!(syn "CVE-2005-12055", "openssh", Bypass),
+    cve!(syn "CVE-2007-12056", "openssh", Bypass),
+    cve!(syn "CVE-2009-12057", "openssh", Bypass),
+    cve!(syn "CVE-2011-12058", "openssh", Bypass),
+    cve!(syn "CVE-2013-12059", "openssh", Bypass),
+    cve!(syn "CVE-2015-12060", "openssh", Bypass),
+    cve!(syn "CVE-2017-12061", "openssh", Bypass),
+    cve!(syn "CVE-2019-12062", "openssh", Bypass),
+    // -- FTP --
+    cve!("CVE-2006-0226", "FreeBSD", Overflow),
+    cve!("CVE-2011-2523", "vsftpd", CodeExecution),
+    cve!("CVE-2015-1419", "vsftpd", Bypass),
+];
+
+/// All CVEs affecting the product of a software version.
+pub fn cves_for(software: SoftwareId) -> Vec<&'static CveEntry> {
+    let product = software.get().name;
+    CVE_TABLE.iter().filter(|e| e.product == product).collect()
+}
+
+/// CVE count for a product family by name.
+pub fn count_for_product(product: &str) -> usize {
+    CVE_TABLE.iter().filter(|e| e.product == product).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_netsim::services::software_id;
+
+    #[test]
+    fn counts_match_table_viii() {
+        assert_eq!(count_for_product("dnsmasq"), 16);
+        assert_eq!(count_for_product("dropbear"), 10);
+        assert_eq!(count_for_product("openssh"), 74);
+        assert_eq!(count_for_product("FreeBSD"), 1);
+        assert_eq!(count_for_product("vsftpd"), 2);
+        assert_eq!(count_for_product("GNU Inetutils"), 0);
+        assert_eq!(count_for_product("Fritz!Box"), 0);
+        // HTTP family: 24 across the four servers.
+        let http: usize = ["Jetty", "MiniWeb HTTP Server", "micro_httpd", "GoAhead Embedded"]
+            .iter()
+            .map(|p| count_for_product(p))
+            .sum();
+        assert_eq!(http, 24);
+    }
+
+    #[test]
+    fn ids_are_unique_and_well_formed() {
+        let mut ids: Vec<&str> = CVE_TABLE.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate CVE ids");
+        for e in CVE_TABLE {
+            assert!(e.id.starts_with("CVE-"), "{}", e.id);
+            let rest = &e.id[4..];
+            let (year, num) = rest.split_once('-').expect("CVE-YYYY-NNNN");
+            assert!(year.len() == 4 && year.chars().all(|c| c.is_ascii_digit()), "{}", e.id);
+            assert!(num.len() >= 4 && num.chars().all(|c| c.is_ascii_digit()), "{}", e.id);
+        }
+    }
+
+    #[test]
+    fn lookup_by_software_version() {
+        let old_dnsmasq = software_id("dnsmasq", "2.4x").unwrap();
+        assert_eq!(cves_for(old_dnsmasq).len(), 16);
+        let fritz = software_id("Fritz!Box", "ftpd").unwrap();
+        assert!(cves_for(fritz).is_empty());
+    }
+
+    #[test]
+    fn real_ids_marked_real() {
+        let real = CVE_TABLE.iter().filter(|e| !e.synthetic).count();
+        // Every non-filler id is a genuine, well-known CVE.
+        assert!(real >= 45, "{real}");
+        assert!(CVE_TABLE.iter().any(|e| e.id == "CVE-2017-14491" && !e.synthetic));
+    }
+}

@@ -1,0 +1,172 @@
+//! DNS amplification-risk analysis of open resolvers (Section V-B).
+//!
+//! The paper warns that the 741k periphery DNS forwarders it finds "can
+//! facilitate DDoS attacks for IPv6" (citing Hendriks et al., PAM'17):
+//! a small spoofed query draws a large answer toward the victim. This
+//! module quantifies that risk for a survey's DNS population using the
+//! standard request/response size model for the relevant query types, and
+//! aggregates the attack bandwidth a survey's open-resolver population
+//! could reflect.
+
+use xmap_netsim::services::ServiceKind;
+
+use crate::survey::ServiceSurvey;
+
+/// Wire sizes (bytes, including IPv6 + UDP headers) of a DNS query.
+pub const QUERY_BYTES: u64 = 103; // 40 IPv6 + 8 UDP + ~55 DNS question
+
+/// Query types attackers use for amplification, with typical response
+/// sizes through a home-router forwarder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmpQuery {
+    /// Plain A/AAAA lookup — mild amplification.
+    Address,
+    /// `ANY` lookup on a record-rich name — the classic abuse.
+    Any,
+    /// DNSSEC-signed lookup with EDNS0 (large RRSIGs).
+    DnssecAny,
+}
+
+impl AmpQuery {
+    /// All modelled query types.
+    pub const ALL: [AmpQuery; 3] = [AmpQuery::Address, AmpQuery::Any, AmpQuery::DnssecAny];
+
+    /// Typical response size in bytes through a CPE forwarder.
+    pub const fn response_bytes(self) -> u64 {
+        match self {
+            AmpQuery::Address => 151,
+            AmpQuery::Any => 1_746,
+            AmpQuery::DnssecAny => 3_843,
+        }
+    }
+
+    /// Bandwidth amplification factor (response/query bytes).
+    pub fn factor(self) -> f64 {
+        self.response_bytes() as f64 / QUERY_BYTES as f64
+    }
+
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AmpQuery::Address => "A/AAAA",
+            AmpQuery::Any => "ANY",
+            AmpQuery::DnssecAny => "ANY+DNSSEC",
+        }
+    }
+}
+
+/// Aggregate amplification capacity of a resolver population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmpAssessment {
+    /// Open resolvers in the population.
+    pub resolvers: usize,
+    /// Attacker query rate per resolver (pps) the model assumes — kept low
+    /// so no single reflector is saturated.
+    pub per_resolver_qps: u64,
+    /// Query type modelled.
+    pub query: AmpQuery,
+}
+
+impl AmpAssessment {
+    /// Attacker upstream bandwidth required (bits/s).
+    pub fn attacker_bps(&self) -> f64 {
+        (self.resolvers as u64 * self.per_resolver_qps * QUERY_BYTES * 8) as f64
+    }
+
+    /// Victim-facing reflected bandwidth (bits/s).
+    pub fn reflected_bps(&self) -> f64 {
+        (self.resolvers as u64 * self.per_resolver_qps * self.query.response_bytes() * 8) as f64
+    }
+
+    /// The population-level amplification factor (same as the per-query
+    /// factor; exposed for reports).
+    pub fn factor(&self) -> f64 {
+        self.query.factor()
+    }
+}
+
+/// Builds the assessment for a survey's DNS-open peripheries.
+pub fn assess(survey: &ServiceSurvey, per_resolver_qps: u64, query: AmpQuery) -> AmpAssessment {
+    AmpAssessment {
+        resolvers: survey.alive_total(ServiceKind::Dns),
+        per_resolver_qps,
+        query,
+    }
+}
+
+/// Scale-corrects an assessment from a sampled population to a full one
+/// (e.g. the paper's 741k resolvers from a measured slice).
+pub fn scale_resolvers(assessment: AmpAssessment, scale: f64) -> AmpAssessment {
+    AmpAssessment {
+        resolvers: (assessment.resolvers as f64 * scale).round() as usize,
+        ..assessment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::ServiceObservation;
+    use xmap_netsim::services::{software_id, AppResponse};
+
+    fn survey_with_resolvers(n: usize) -> ServiceSurvey {
+        let mut survey = ServiceSurvey::default();
+        let sw = software_id("dnsmasq", "2.4x").unwrap();
+        for i in 0..n {
+            survey.observations.push(ServiceObservation {
+                address: xmap_addr::Ip6::new(i as u128 + 1),
+                profile_id: 13,
+                kind: ServiceKind::Dns,
+                response: AppResponse::DnsAnswer { software: sw },
+            });
+        }
+        survey
+    }
+
+    #[test]
+    fn factors_are_ordered_and_plausible() {
+        assert!(AmpQuery::Address.factor() > 1.0);
+        assert!(AmpQuery::Any.factor() > 10.0);
+        assert!(AmpQuery::DnssecAny.factor() > AmpQuery::Any.factor());
+        // The literature's ballpark for DNS ANY amplification: 10-50x.
+        assert!(AmpQuery::Any.factor() < 50.0);
+    }
+
+    #[test]
+    fn assessment_bandwidth_math() {
+        let survey = survey_with_resolvers(1000);
+        let a = assess(&survey, 10, AmpQuery::Any);
+        assert_eq!(a.resolvers, 1000);
+        // 1000 resolvers x 10 qps x 103 B x 8 = 8.24 Mbps attacker side.
+        assert!((a.attacker_bps() - 8.24e6).abs() < 1e4);
+        // Reflected: x ~17.
+        assert!(a.reflected_bps() / a.attacker_bps() > 15.0);
+        assert_eq!(a.factor(), AmpQuery::Any.factor());
+    }
+
+    #[test]
+    fn paper_population_reflects_ddos_scale() {
+        // 741k open resolvers at a gentle 10 qps each reflect >100 Gbps of
+        // ANY traffic — the "facilitate DDoS attacks" warning, quantified.
+        let survey = survey_with_resolvers(741);
+        let scaled = scale_resolvers(assess(&survey, 10, AmpQuery::Any), 1000.0);
+        assert_eq!(scaled.resolvers, 741_000);
+        assert!(scaled.reflected_bps() > 100e9, "{}", scaled.reflected_bps());
+    }
+
+    #[test]
+    fn assess_counts_only_dns() {
+        let mut survey = survey_with_resolvers(5);
+        survey.observations.push(ServiceObservation {
+            address: xmap_addr::Ip6::new(999),
+            profile_id: 13,
+            kind: ServiceKind::Http,
+            response: AppResponse::HttpPage {
+                software: software_id("Jetty", "9.x").unwrap(),
+                login_page: false,
+                vendor: None,
+            },
+        });
+        assert_eq!(assess(&survey, 1, AmpQuery::Address).resolvers, 5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-service banner grabbing (the ZGrab2 role).
+//!
+//! For a UDP service the grabber sends the application-specific request of
+//! Table VI and waits for a valid response. For a TCP service it first
+//! checks port openness with a SYN (as the paper does), then performs the
+//! application exchange on the open port.
+
+use xmap::Scanner;
+use xmap_addr::Ip6;
+use xmap_netsim::packet::{AppData, Ipv6Packet, Network, Payload, TcpFlags};
+use xmap_netsim::services::{AppResponse, ServiceKind, TransportProto};
+
+/// Outcome of grabbing one service on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrabOutcome {
+    /// The service answered with a valid application response.
+    Open(AppResponse),
+    /// The port is closed (RST / port unreachable).
+    Closed,
+    /// No answer (filtered or dead).
+    Silent,
+    /// The port answered but the application response was invalid for the
+    /// service (e.g. a mismatched protocol) — counted as not alive.
+    Protocol,
+}
+
+impl GrabOutcome {
+    /// Whether the service is alive per Table VI's valid-response rule.
+    pub fn is_alive(&self) -> bool {
+        matches!(self, GrabOutcome::Open(_))
+    }
+
+    /// The response, when alive.
+    pub fn response(&self) -> Option<&AppResponse> {
+        match self {
+            GrabOutcome::Open(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Grabs one service from one target address.
+pub fn grab<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+    match kind.transport() {
+        TransportProto::Udp => grab_udp(scanner, addr, kind),
+        TransportProto::Tcp => grab_tcp(scanner, addr, kind),
+    }
+}
+
+fn grab_udp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+    let src = scanner.config().source;
+    let sport = scanner.validator().source_port(addr);
+    let probe = Ipv6Packet::udp_request(src, addr, sport, kind.port(), kind.request());
+    let responses = scanner.network_mut().handle(probe);
+    classify_app_responses(responses, sport, kind)
+}
+
+fn grab_tcp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+    let src = scanner.config().source;
+    let sport = scanner.validator().source_port(addr);
+    // Step 1: SYN to check openness.
+    let syn = Ipv6Packet::tcp_syn(src, addr, sport, kind.port());
+    let mut open = false;
+    for resp in scanner.network_mut().handle(syn) {
+        match resp.payload {
+            Payload::Tcp { flags: TcpFlags::SynAck, dst_port, .. } if dst_port == sport => {
+                open = true;
+            }
+            Payload::Tcp { flags: TcpFlags::Rst, dst_port, .. } if dst_port == sport => {
+                return GrabOutcome::Closed;
+            }
+            Payload::Icmp(_) => return GrabOutcome::Closed,
+            _ => {}
+        }
+    }
+    if !open {
+        return GrabOutcome::Silent;
+    }
+    // Step 2: application exchange.
+    let req = Ipv6Packet::tcp_request(src, addr, sport, kind.port(), kind.request());
+    let responses = scanner.network_mut().handle(req);
+    classify_app_responses(responses, sport, kind)
+}
+
+fn classify_app_responses(
+    responses: Vec<Ipv6Packet>,
+    sport: u16,
+    kind: ServiceKind,
+) -> GrabOutcome {
+    for resp in responses {
+        match resp.payload {
+            Payload::Udp { dst_port, data: AppData::Response(r), .. }
+            | Payload::Tcp { dst_port, data: AppData::Response(r), .. }
+                if dst_port == sport =>
+            {
+                return if r.is_valid_for(kind) {
+                    GrabOutcome::Open(r)
+                } else {
+                    GrabOutcome::Protocol
+                };
+            }
+            Payload::Tcp { flags: TcpFlags::Rst, dst_port, .. } if dst_port == sport => {
+                return GrabOutcome::Closed;
+            }
+            Payload::Icmp(_) => return GrabOutcome::Closed,
+            _ => {}
+        }
+    }
+    GrabOutcome::Silent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap::{IcmpEchoProbe, ProbeResult, ScanConfig};
+    use xmap_netsim::isp::SAMPLE_BLOCKS;
+    use xmap_netsim::world::{World, WorldConfig};
+
+    /// Discovers one periphery with at least one open service and returns
+    /// (scanner, address, expected services).
+    fn discover_service_device() -> (Scanner<World>, Ip6, xmap_netsim::device::ServiceSet) {
+        let world = World::with_config(WorldConfig { seed: 77, bgp_ases: 10, loss_frac: 0.0 });
+        let mut scanner = Scanner::new(world, ScanConfig { seed: 13, ..Default::default() });
+        // China Mobile broadband (index 12) is service-rich.
+        let p = &SAMPLE_BLOCKS[12];
+        for i in 0..3_000_000u64 {
+            let Some(d) = scanner.network_mut().device_at(12, i) else { continue };
+            if !d.services.any() {
+                continue;
+            }
+            let target = p.scan_prefix().subprefix(p.assigned_len, i as u128);
+            let dst = xmap::fill_host_bits(target, 13);
+            let hits = scanner.probe_addr(dst, &IcmpEchoProbe, 64);
+            let Some((addr, _)) = hits.iter().find(|(_, r)| {
+                matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded)
+            }) else {
+                continue;
+            };
+            return (scanner, *addr, d.services);
+        }
+        panic!("no service device found");
+    }
+
+    #[test]
+    fn open_services_grab_valid_responses() {
+        let (mut scanner, addr, services) = discover_service_device();
+        for (kind, _) in services.iter() {
+            let out = grab(&mut scanner, addr, kind);
+            assert!(out.is_alive(), "{kind} should be alive, got {out:?}");
+            assert!(out.response().unwrap().is_valid_for(kind));
+        }
+    }
+
+    #[test]
+    fn closed_services_report_closed() {
+        let (mut scanner, addr, services) = discover_service_device();
+        for kind in ServiceKind::ALL {
+            if services.has(kind) {
+                continue;
+            }
+            let out = grab(&mut scanner, addr, kind);
+            assert!(
+                matches!(out, GrabOutcome::Closed | GrabOutcome::Silent),
+                "{kind}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn undiscovered_address_is_silent() {
+        let world = World::with_config(WorldConfig { seed: 77, bgp_ases: 10, loss_frac: 0.0 });
+        let mut scanner = Scanner::new(world, ScanConfig::default());
+        let out = grab(&mut scanner, "2405:200::1".parse().unwrap(), ServiceKind::Dns);
+        assert_eq!(out, GrabOutcome::Silent);
+    }
+}

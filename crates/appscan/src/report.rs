@@ -1,0 +1,214 @@
+//! Vendor × service aggregation for Figures 2 and 3.
+//!
+//! Figure 2 shows, for the ten vendors with the most exposed devices, how
+//! their alive services split across the eight probed services; Figure 3
+//! shows, for each service, the top twenty contributing vendors. Both are
+//! views over the same matrix built here by joining service observations
+//! with device-vendor identification (MAC channel from the discovery
+//! records, application channel from the responses themselves).
+
+use std::collections::HashMap;
+
+use xmap_addr::Ip6;
+use xmap_netsim::services::ServiceKind;
+use xmap_periphery::{identify, CampaignResult};
+
+use crate::survey::ServiceSurvey;
+
+/// vendor → per-service alive-device counts.
+#[derive(Debug, Clone, Default)]
+pub struct VendorServiceMatrix {
+    rows: HashMap<&'static str, [u64; 8]>,
+    /// Devices with alive services but no vendor identification.
+    pub unidentified: u64,
+}
+
+impl VendorServiceMatrix {
+    /// Builds the matrix by joining a survey with its discovery campaign.
+    pub fn build(campaign: &CampaignResult, survey: &ServiceSurvey) -> Self {
+        // Address → MAC lookup from the discovery records.
+        let mac_of: HashMap<Ip6, _> =
+            campaign.peripheries().map(|p| (p.address, p.mac)).collect();
+        let mut matrix = VendorServiceMatrix::default();
+        // Count each (device, service) pair once.
+        let mut seen = std::collections::HashSet::new();
+        for obs in &survey.observations {
+            if !seen.insert((obs.address, obs.kind)) {
+                continue;
+            }
+            let mac = mac_of.get(&obs.address).copied().flatten();
+            let app_vendor = survey.app_vendor_of(obs.address);
+            match identify(mac, app_vendor) {
+                Some(vendor) => {
+                    let row = matrix.rows.entry(vendor).or_insert([0; 8]);
+                    row[slot(obs.kind)] += 1;
+                }
+                None => matrix.unidentified += 1,
+            }
+        }
+        matrix
+    }
+
+    /// Count for one vendor/service cell.
+    pub fn count(&self, vendor: &str, kind: ServiceKind) -> u64 {
+        self.rows.get(vendor).map_or(0, |r| r[slot(kind)])
+    }
+
+    /// Total alive services of a vendor's devices.
+    pub fn vendor_total(&self, vendor: &str) -> u64 {
+        self.rows.get(vendor).map_or(0, |r| r.iter().sum())
+    }
+
+    /// All vendors present.
+    pub fn vendors(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.rows.keys().copied()
+    }
+}
+
+fn slot(kind: ServiceKind) -> usize {
+    ServiceKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+}
+
+/// Figure 2 rows: the top `n` vendors by total exposed services, each with
+/// its per-service counts, sorted descending by total.
+pub fn fig2_rows(matrix: &VendorServiceMatrix, n: usize) -> Vec<(&'static str, [u64; 8], u64)> {
+    let mut rows: Vec<(&'static str, [u64; 8], u64)> = matrix
+        .vendors()
+        .map(|v| {
+            let counts = std::array::from_fn(|i| matrix.count(v, ServiceKind::ALL[i]));
+            (v, counts, matrix.vendor_total(v))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    rows.truncate(n);
+    rows
+}
+
+/// Figure 3 rows: for each service, the top `n` vendors by count.
+pub fn fig3_rows(
+    matrix: &VendorServiceMatrix,
+    n: usize,
+) -> Vec<(ServiceKind, Vec<(&'static str, u64)>)> {
+    ServiceKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut vendors: Vec<(&'static str, u64)> = matrix
+                .vendors()
+                .map(|v| (v, matrix.count(v, kind)))
+                .filter(|(_, c)| *c > 0)
+                .collect();
+            vendors.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            vendors.truncate(n);
+            (kind, vendors)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::ServiceObservation;
+    use xmap_netsim::services::{software_id, AppResponse};
+    use xmap_periphery::DiscoveredPeriphery;
+
+    fn synthetic_inputs() -> (CampaignResult, ServiceSurvey) {
+        // Two devices: one ZTE (EUI-64 MAC), one identified via app layer.
+        let zte_mac: xmap_addr::Mac = "38:e1:aa:00:00:01".parse().unwrap();
+        let addr1 = xmap_addr::eui64_address("2408:8200::/64".parse().unwrap(), zte_mac);
+        let addr2: Ip6 = "2409:8000::1234:5678:9abc:def0".parse().unwrap();
+        let make = |address: Ip6, mac| DiscoveredPeriphery {
+            address,
+            target: "2408:8200::/64".parse().unwrap(),
+            probe_dst: address,
+            same64: true,
+            iid_class: xmap_addr::classify_iid(address),
+            mac,
+            via_time_exceeded: false,
+        };
+        let mut campaign = CampaignResult::default();
+        campaign.blocks.push(xmap_periphery::BlockResult {
+            profile_id: 12,
+            peripheries: vec![make(addr1, Some(zte_mac)), make(addr2, None)],
+            stats: Default::default(),
+            probed: 2,
+            space_size: 4,
+            alias_candidates: Vec::new(),
+        });
+        let http = software_id("micro_httpd", "14aug2014").unwrap();
+        let survey = ServiceSurvey {
+            observations: vec![
+                ServiceObservation {
+                    address: addr1,
+                    profile_id: 12,
+                    kind: ServiceKind::Dns,
+                    response: AppResponse::DnsAnswer {
+                        software: software_id("dnsmasq", "2.5x").unwrap(),
+                    },
+                },
+                ServiceObservation {
+                    address: addr1,
+                    profile_id: 12,
+                    kind: ServiceKind::Http,
+                    response: AppResponse::HttpPage {
+                        software: http,
+                        login_page: true,
+                        vendor: None,
+                    },
+                },
+                ServiceObservation {
+                    address: addr2,
+                    profile_id: 12,
+                    kind: ServiceKind::Http,
+                    response: AppResponse::HttpPage {
+                        software: http,
+                        login_page: true,
+                        vendor: Some("TP-Link"),
+                    },
+                },
+            ],
+            probed_per_block: [(12u8, 2usize)].into_iter().collect(),
+        };
+        (campaign, survey)
+    }
+
+    #[test]
+    fn matrix_joins_both_vendor_channels() {
+        let (campaign, survey) = synthetic_inputs();
+        let m = VendorServiceMatrix::build(&campaign, &survey);
+        assert_eq!(m.count("ZTE", ServiceKind::Dns), 1);
+        assert_eq!(m.count("ZTE", ServiceKind::Http), 1);
+        assert_eq!(m.count("TP-Link", ServiceKind::Http), 1);
+        assert_eq!(m.vendor_total("ZTE"), 2);
+        assert_eq!(m.unidentified, 0);
+    }
+
+    #[test]
+    fn fig2_sorted_by_total() {
+        let (campaign, survey) = synthetic_inputs();
+        let m = VendorServiceMatrix::build(&campaign, &survey);
+        let rows = fig2_rows(&m, 10);
+        assert_eq!(rows[0].0, "ZTE");
+        assert_eq!(rows[0].2, 2);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn fig3_groups_by_service() {
+        let (campaign, survey) = synthetic_inputs();
+        let m = VendorServiceMatrix::build(&campaign, &survey);
+        let rows = fig3_rows(&m, 20);
+        let http_row = rows.iter().find(|(k, _)| *k == ServiceKind::Http).unwrap();
+        assert_eq!(http_row.1.len(), 2);
+        let ntp_row = rows.iter().find(|(k, _)| *k == ServiceKind::Ntp).unwrap();
+        assert!(ntp_row.1.is_empty());
+    }
+
+    #[test]
+    fn duplicate_observations_counted_once() {
+        let (campaign, mut survey) = synthetic_inputs();
+        let dup = survey.observations[0].clone();
+        survey.observations.push(dup);
+        let m = VendorServiceMatrix::build(&campaign, &survey);
+        assert_eq!(m.count("ZTE", ServiceKind::Dns), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Banner parsing and software-staleness analysis (Table VIII).
+//!
+//! The simulator's responses carry software ids, but real analyses work
+//! from banner *strings*; to keep the pipeline faithful, [`SoftwareStats`]
+//! renders each observation to its banner, re-parses it with
+//! [`parse_banner`], and resolves the result against the catalog — any
+//! unparseable banner is counted as unknown, exactly as ZGrab2 output
+//! post-processing would.
+
+use std::collections::HashMap;
+
+use xmap_netsim::services::{software_id, ServiceKind, Software, SoftwareId};
+
+use crate::survey::ServiceSurvey;
+
+/// Splits a banner like `dnsmasq-2.4x` or `openssh-7.x` into
+/// (product, version). The product may itself contain hyphens or spaces;
+/// the version is the suffix after the last `-`.
+pub fn parse_banner(banner: &str) -> Option<(&str, &str)> {
+    let (name, version) = banner.rsplit_once('-')?;
+    if name.is_empty() || version.is_empty() {
+        return None;
+    }
+    Some((name, version))
+}
+
+/// Resolves a banner against the catalog, trying every `-` split point
+/// from right to left — version labels may themselves contain hyphens
+/// (dropbear `2011-2019.x`).
+pub fn resolve_banner(banner: &str) -> Option<SoftwareId> {
+    let bytes = banner.as_bytes();
+    for (i, b) in bytes.iter().enumerate().rev() {
+        if *b != b'-' || i == 0 || i + 1 == bytes.len() {
+            continue;
+        }
+        let (name, version) = (&banner[..i], &banner[i + 1..]);
+        if let Some(id) = software_id(name, version) {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Per-software observation counts with staleness analysis.
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareStats {
+    counts: HashMap<SoftwareId, u64>,
+    /// Banners that failed to parse or resolve.
+    pub unknown: u64,
+}
+
+impl SoftwareStats {
+    /// Builds stats from a survey by rendering + re-parsing every banner.
+    pub fn from_survey(survey: &ServiceSurvey) -> Self {
+        let mut stats = SoftwareStats::default();
+        for obs in &survey.observations {
+            let Some(sw) = obs.response.software() else { continue };
+            let banner = sw.get().banner();
+            match resolve_banner(&banner) {
+                Some(id) => *stats.counts.entry(id).or_insert(0) += 1,
+                None => stats.unknown += 1,
+            }
+        }
+        stats
+    }
+
+    /// Count for one software version.
+    pub fn count(&self, id: SoftwareId) -> u64 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Total resolved observations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Rows for one service, sorted by descending count (Table VIII rows).
+    pub fn top_for_service(&self, kind: ServiceKind) -> Vec<(&'static Software, u64)> {
+        let http_like = |s: ServiceKind| {
+            matches!(s, ServiceKind::Http | ServiceKind::HttpAlt)
+        };
+        let mut rows: Vec<(&'static Software, u64)> = self
+            .counts
+            .iter()
+            .filter(|(id, _)| {
+                let s = id.get().service;
+                s == kind || (http_like(s) && http_like(kind))
+            })
+            .map(|(id, c)| (id.get(), *c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.banner().cmp(&b.0.banner())));
+        rows
+    }
+
+    /// Devices running software released at least `years` years before the
+    /// probing date (the "released 8-10 years ago" analysis).
+    pub fn stale_count(&self, years: u16) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(id, _)| id.get().age_at_probe() >= years)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Fraction of resolved observations that are stale by `years`.
+    pub fn stale_fraction(&self, years: u16) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_count(years) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::ServiceObservation;
+    use xmap_netsim::services::AppResponse;
+
+    #[test]
+    fn banner_parsing() {
+        assert_eq!(parse_banner("dnsmasq-2.4x"), Some(("dnsmasq", "2.4x")));
+        assert_eq!(parse_banner("GNU Inetutils-1.4.1"), Some(("GNU Inetutils", "1.4.1")));
+        assert_eq!(parse_banner("dropbear-2011-2019.x"), Some(("dropbear-2011", "2019.x")));
+        assert_eq!(parse_banner("noversion"), None);
+        assert_eq!(parse_banner("-2.0"), None);
+        assert_eq!(parse_banner("name-"), None);
+    }
+
+    fn survey_with(software: &[(&str, &str, u64)]) -> ServiceSurvey {
+        let mut survey = ServiceSurvey::default();
+        for (name, version, n) in software {
+            let id = software_id(name, version).unwrap();
+            for i in 0..*n {
+                survey.observations.push(ServiceObservation {
+                    address: xmap_addr::Ip6::new(i as u128 + 1),
+                    profile_id: 13,
+                    kind: id.get().service,
+                    response: AppResponse::DnsAnswer { software: id },
+                });
+            }
+        }
+        survey
+    }
+
+    #[test]
+    fn from_survey_counts_roundtrip() {
+        let survey = survey_with(&[("dnsmasq", "2.4x", 5), ("dnsmasq", "2.7x", 2)]);
+        let stats = SoftwareStats::from_survey(&survey);
+        assert_eq!(stats.count(software_id("dnsmasq", "2.4x").unwrap()), 5);
+        assert_eq!(stats.count(software_id("dnsmasq", "2.7x").unwrap()), 2);
+        assert_eq!(stats.total(), 7);
+        assert_eq!(stats.unknown, 0);
+    }
+
+    #[test]
+    fn top_for_service_sorted() {
+        let survey = survey_with(&[
+            ("dnsmasq", "2.4x", 5),
+            ("dnsmasq", "2.7x", 9),
+            ("dropbear", "0.48", 3),
+        ]);
+        let stats = SoftwareStats::from_survey(&survey);
+        let dns = stats.top_for_service(ServiceKind::Dns);
+        assert_eq!(dns.len(), 2);
+        assert_eq!(dns[0].0.version, "2.7x");
+        let ssh = stats.top_for_service(ServiceKind::Ssh);
+        assert_eq!(ssh.len(), 1);
+    }
+
+    #[test]
+    fn staleness_thresholds() {
+        // dnsmasq 2.4x released 2012 (age 8 at probe), 2.7x released 2018
+        // (age 2).
+        let survey = survey_with(&[("dnsmasq", "2.4x", 4), ("dnsmasq", "2.7x", 6)]);
+        let stats = SoftwareStats::from_survey(&survey);
+        assert_eq!(stats.stale_count(8), 4);
+        assert_eq!(stats.stale_count(1), 10);
+        assert!((stats.stale_fraction(8) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropbear_2011_2019_version_resolves_despite_hyphen() {
+        // The "2011-2019.x" version label contains a hyphen; naive
+        // rightmost splitting fails, but resolve_banner tries every split
+        // point and recovers the catalog entry.
+        let id = software_id("dropbear", "2011-2019.x").unwrap();
+        let banner = id.get().banner();
+        assert_eq!(parse_banner(&banner).and_then(|(n, v)| software_id(n, v)), None);
+        assert_eq!(resolve_banner(&banner), Some(id));
+        assert_eq!(resolve_banner("garbage"), None);
+    }
+}

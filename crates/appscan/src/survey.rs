@@ -1,0 +1,235 @@
+//! The unintended-exposed-services survey (Tables V, VII).
+//!
+//! Probes each of the eight Table VI services once on every discovered
+//! periphery ("each service is probed just once, and no more than one
+//! service simultaneously at the same target"), records valid responses,
+//! and aggregates per ISP block and per service.
+
+use std::collections::{HashMap, HashSet};
+
+use xmap::Scanner;
+use xmap_addr::{Ip6, IidHistogram};
+use xmap_netsim::packet::Network;
+use xmap_netsim::services::{AppResponse, ServiceKind, SoftwareId};
+use xmap_periphery::{CampaignResult, DiscoveredPeriphery};
+
+use crate::grab::{grab, GrabOutcome};
+
+/// One alive-service observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceObservation {
+    /// The periphery's address.
+    pub address: Ip6,
+    /// Block id (Table VII `P` column).
+    pub profile_id: u8,
+    /// The alive service.
+    pub kind: ServiceKind,
+    /// The application response.
+    pub response: AppResponse,
+}
+
+/// Aggregated survey results.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSurvey {
+    /// All alive observations.
+    pub observations: Vec<ServiceObservation>,
+    /// Peripheries probed per block.
+    pub probed_per_block: HashMap<u8, usize>,
+}
+
+impl ServiceSurvey {
+    /// Total peripheries probed.
+    pub fn probed(&self) -> usize {
+        self.probed_per_block.values().sum()
+    }
+
+    /// Alive devices for `kind` in block `profile_id` (a Table VII cell).
+    pub fn alive_in_block(&self, profile_id: u8, kind: ServiceKind) -> usize {
+        self.observations
+            .iter()
+            .filter(|o| o.profile_id == profile_id && o.kind == kind)
+            .count()
+    }
+
+    /// Alive devices for `kind` across blocks (Table VII total row).
+    pub fn alive_total(&self, kind: ServiceKind) -> usize {
+        self.observations.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Addresses with at least one alive service (Table VII "Total").
+    pub fn devices_with_any(&self) -> HashSet<Ip6> {
+        self.observations.iter().map(|o| o.address).collect()
+    }
+
+    /// Addresses with at least one alive service within one block.
+    pub fn devices_with_any_in_block(&self, profile_id: u8) -> HashSet<Ip6> {
+        self.observations
+            .iter()
+            .filter(|o| o.profile_id == profile_id)
+            .map(|o| o.address)
+            .collect()
+    }
+
+    /// IID histogram of peripheries with alive services (Table V).
+    pub fn iid_histogram(&self) -> IidHistogram {
+        self.devices_with_any().into_iter().collect()
+    }
+
+    /// Histogram of serving software across observations (Table VIII).
+    pub fn software_histogram(&self) -> HashMap<SoftwareId, u64> {
+        let mut h = HashMap::new();
+        for o in &self.observations {
+            if let Some(sw) = o.response.software() {
+                *h.entry(sw).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    /// Devices whose HTTP/80 page is a login/management page (the paper's
+    /// 1.1M-of-1.3M observation).
+    pub fn login_page_count(&self) -> usize {
+        self.observations
+            .iter()
+            .filter(|o| {
+                o.kind == ServiceKind::Http
+                    && matches!(o.response, AppResponse::HttpPage { login_page: true, .. })
+            })
+            .count()
+    }
+
+    /// Application-layer vendor disclosure for an address, if any response
+    /// carried one.
+    pub fn app_vendor_of(&self, address: Ip6) -> Option<&'static str> {
+        self.observations
+            .iter()
+            .filter(|o| o.address == address)
+            .find_map(|o| o.response.vendor())
+    }
+}
+
+/// Survey driver: probes all eight services on a set of peripheries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SurveyRunner;
+
+impl SurveyRunner {
+    /// Runs the survey over every periphery discovered by a campaign.
+    pub fn run<N: Network>(
+        &self,
+        scanner: &mut Scanner<N>,
+        campaign: &CampaignResult,
+    ) -> ServiceSurvey {
+        let mut survey = ServiceSurvey::default();
+        for block in &campaign.blocks {
+            let mut probed = 0usize;
+            for periphery in &block.peripheries {
+                probed += 1;
+                self.probe_device(scanner, block.profile_id, periphery, &mut survey);
+            }
+            survey.probed_per_block.insert(block.profile_id, probed);
+        }
+        survey
+    }
+
+    /// Probes the eight services of one periphery.
+    pub fn probe_device<N: Network>(
+        &self,
+        scanner: &mut Scanner<N>,
+        profile_id: u8,
+        periphery: &DiscoveredPeriphery,
+        survey: &mut ServiceSurvey,
+    ) {
+        for kind in ServiceKind::ALL {
+            if let GrabOutcome::Open(response) = grab(scanner, periphery.address, kind) {
+                survey.observations.push(ServiceObservation {
+                    address: periphery.address,
+                    profile_id,
+                    kind,
+                    response,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap::ScanConfig;
+    use xmap_netsim::isp::SAMPLE_BLOCKS;
+    use xmap_netsim::world::{World, WorldConfig};
+    use xmap_periphery::Campaign;
+
+    fn surveyed() -> (ServiceSurvey, CampaignResult) {
+        let world = World::with_config(WorldConfig { seed: 55, bgp_ases: 10, loss_frac: 0.0 });
+        let mut scanner =
+            Scanner::new(world, ScanConfig { seed: 21, ..Default::default() });
+        // Scan only the two service-rich Chinese broadband blocks, sliced.
+        let campaign = Campaign::new(1 << 16);
+        let mut result = xmap_periphery::CampaignResult::default();
+        for idx in [11usize, 12] {
+            result.blocks.push(campaign.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
+        }
+        let survey = SurveyRunner.run(&mut scanner, &result);
+        (survey, result)
+    }
+
+    #[test]
+    fn survey_finds_exposed_services() {
+        let (survey, campaign) = surveyed();
+        assert!(campaign.total_unique() > 40, "{}", campaign.total_unique());
+        assert!(!survey.observations.is_empty());
+        // China Mobile broadband (id 13): HTTP-8080 dominates (44.8%).
+        let alt = survey.alive_in_block(13, ServiceKind::HttpAlt);
+        let probed = survey.probed_per_block[&13];
+        let frac = alt as f64 / probed as f64;
+        assert!((0.25..0.65).contains(&frac), "8080 rate {frac} ({alt}/{probed})");
+        // DNS exposure exists in both blocks (Unicom 15.9%, Mobile 5.5%).
+        assert!(survey.alive_total(ServiceKind::Dns) > 3);
+    }
+
+    #[test]
+    fn any_service_share_matches_paper_shape() {
+        let (survey, campaign) = surveyed();
+        // Table VII: 57.5% of China Mobile peripheries expose something;
+        // Unicom 24.6%.
+        let mobile_any = survey.devices_with_any_in_block(13).len() as f64
+            / survey.probed_per_block[&13] as f64;
+        assert!((0.35..0.8).contains(&mobile_any), "{mobile_any}");
+        let unicom_any = survey.devices_with_any_in_block(12).len() as f64
+            / survey.probed_per_block[&12] as f64;
+        assert!((0.1..0.45).contains(&unicom_any), "{unicom_any}");
+        assert!(mobile_any > unicom_any);
+        let _ = campaign;
+    }
+
+    #[test]
+    fn software_histogram_is_populated() {
+        let (survey, _) = surveyed();
+        let hist = survey.software_histogram();
+        assert!(!hist.is_empty());
+        // Jetty dominates 8080 in China Mobile.
+        let jetty = xmap_netsim::services::software_id("Jetty", "9.x").unwrap();
+        assert!(hist.get(&jetty).copied().unwrap_or(0) > 0, "{hist:?}");
+    }
+
+    #[test]
+    fn login_pages_majority_of_http80() {
+        let (survey, _) = surveyed();
+        let http80 = survey.alive_total(ServiceKind::Http);
+        if http80 > 10 {
+            let login = survey.login_page_count();
+            assert!(
+                login as f64 >= http80 as f64 * 0.6,
+                "{login} login pages of {http80} HTTP"
+            );
+        }
+    }
+
+    #[test]
+    fn iid_histogram_counts_devices_once() {
+        let (survey, _) = surveyed();
+        let h = survey.iid_histogram();
+        assert_eq!(h.total() as usize, survey.devices_with_any().len());
+    }
+}

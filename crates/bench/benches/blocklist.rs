@@ -1,0 +1,66 @@
+//! Blocklist ablation (DESIGN.md §4): radix-trie vs linear scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xmap::blocklist::{Blocklist, LinearBlocklist, Verdict};
+use xmap_addr::{Ip6, Prefix};
+
+fn prefixes(n: u64) -> Vec<(Prefix, Verdict)> {
+    (0..n)
+        .map(|i| {
+            let addr = Ip6::new(((0x2400 + (i % 64)) as u128) << 112 | (i as u128) << 80);
+            let len = 32 + (i % 17) as u8;
+            let verdict = if i % 3 == 0 { Verdict::Deny } else { Verdict::Allow };
+            (Prefix::new(addr, len), verdict)
+        })
+        .collect()
+}
+
+fn lookup_targets(n: u64) -> Vec<Ip6> {
+    (0..n)
+        .map(|i| Ip6::new(((0x2400 + (i % 80)) as u128) << 112 | (i as u128) << 60 | i as u128))
+        .collect()
+}
+
+fn bench_blocklist(c: &mut Criterion) {
+    for size in [64u64, 1024] {
+        let entries = prefixes(size);
+        let targets = lookup_targets(1000);
+
+        let mut trie = Blocklist::allow_all();
+        let mut linear = LinearBlocklist::new(Verdict::Allow);
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            linear.insert(*p, *v);
+        }
+
+        let mut g = c.benchmark_group(format!("blocklist_{size}_entries"));
+        g.throughput(Throughput::Elements(targets.len() as u64));
+        g.bench_function("trie_lookup_1k", |b| {
+            b.iter(|| {
+                let mut denied = 0u32;
+                for t in &targets {
+                    if !trie.is_allowed(black_box(*t)) {
+                        denied += 1;
+                    }
+                }
+                black_box(denied)
+            })
+        });
+        g.bench_function("linear_lookup_1k", |b| {
+            b.iter(|| {
+                let mut denied = 0u32;
+                for t in &targets {
+                    if !linear.is_allowed(black_box(*t)) {
+                        denied += 1;
+                    }
+                }
+                black_box(denied)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_blocklist);
+criterion_main!(benches);

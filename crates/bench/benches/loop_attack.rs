@@ -1,0 +1,56 @@
+//! Routing-loop benches: amplification measurement cost, the h-choice
+//! ablation (`hoplimit_tradeoff`), and the full case-study testbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmap::{ScanConfig, Scanner};
+use xmap_loopscan::{measure_amplification, run_case_studies, DepthSurvey};
+use xmap_netsim::topology::NAMED_MODELS;
+use xmap_netsim::world::{World, WorldConfig};
+
+fn bench_amplification(c: &mut Criterion) {
+    let model = NAMED_MODELS.iter().find(|m| m.brand == "Huawei").unwrap();
+    let mut g = c.benchmark_group("amplification");
+    for n in [0u8, 20, 50] {
+        g.bench_with_input(BenchmarkId::new("attack_packet_path", n), &n, |b, n| {
+            b.iter(|| black_box(measure_amplification(model, *n)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("case_studies_99_routers", |b| {
+        b.iter(|| black_box(run_case_studies()))
+    });
+}
+
+/// The hop-limit tradeoff of Section VI-B: probing with a larger h finds
+/// the same loops but generates proportionally more loop traffic per
+/// detection — measured here as the world's loop-forward counter per
+/// confirmed loop at h = 32 / 64 / 255.
+fn bench_hoplimit_tradeoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hoplimit_tradeoff");
+    g.sample_size(10);
+    for h in [32u8, 64, 255] {
+        g.bench_with_input(BenchmarkId::new("depth_survey_h", h), &h, |b, h| {
+            b.iter(|| {
+                let world =
+                    World::with_config(WorldConfig { seed: 5, bgp_ases: 10, loss_frac: 0.0 });
+                let mut scanner =
+                    Scanner::new(world, ScanConfig { seed: 5, ..Default::default() });
+                let mut result = xmap_loopscan::survey::DepthSurveyResult::default();
+                let mut survey = DepthSurvey::new(1 << 12);
+                survey.hop_limit = *h;
+                survey.run_block(
+                    &mut scanner,
+                    &xmap_netsim::isp::SAMPLE_BLOCKS[11],
+                    &mut result,
+                );
+                black_box(scanner.network_mut().stats().loop_forwards)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_amplification, bench_hoplimit_tradeoff);
+criterion_main!(benches);

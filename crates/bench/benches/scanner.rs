@@ -1,0 +1,100 @@
+//! Scanner micro-benchmarks: the numbers behind the feasibility analysis.
+//!
+//! `scanner_throughput` measures end-to-end probes/second of this
+//! implementation against the simulated Internet — the in-memory analogue
+//! of the paper's 25 kpps / 1 Gbps wire rates, used by `repro feasibility`
+//! to ground the duration arithmetic. The permutation benches are the
+//! `permutation_vs_sequential` ablation of DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use xmap::{
+    fill_host_bits, Blocklist, Cycle, FeistelPermutation, IcmpEchoProbe, ProbeModule,
+    ScanConfig, Scanner, Validator,
+};
+use xmap_netsim::World;
+
+fn bench_permutations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("cyclic_iterate_10k", |b| {
+        let cycle = Cycle::new(1 << 32, 7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in cycle.iter().take(10_000) {
+                acc ^= v;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("feistel_iterate_10k", |b| {
+        let perm = FeistelPermutation::new(1 << 32, 7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= perm.index(i);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sequential_iterate_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= i;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    c.bench_function("cycle_construction_2e32", |b| {
+        b.iter(|| black_box(Cycle::new(1 << 32, black_box(9))))
+    });
+}
+
+fn bench_probe_path(c: &mut Criterion) {
+    let range: xmap_addr::ScanRange = "2409:8000::/28-60".parse().unwrap();
+
+    c.bench_function("fill_host_bits", |b| {
+        let target = range.nth(12345).unwrap();
+        b.iter(|| black_box(fill_host_bits(black_box(target), 7)))
+    });
+
+    c.bench_function("validator_cookie", |b| {
+        let v = Validator::new(3);
+        let dst: xmap_addr::Ip6 = "2409:8000:1:2::3".parse().unwrap();
+        b.iter(|| black_box(v.cookie(black_box(dst))))
+    });
+
+    let mut g = c.benchmark_group("scanner_throughput");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("end_to_end_10k_probes", |b| {
+        b.iter_batched(
+            || {
+                Scanner::new(
+                    World::new(7),
+                    ScanConfig { max_targets: Some(10_000), ..Default::default() },
+                )
+            },
+            |mut scanner| {
+                black_box(scanner.run(&range, &IcmpEchoProbe, &Blocklist::allow_all()))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("build_classify_only_10k", |b| {
+        let v = Validator::new(1);
+        let src: xmap_addr::Ip6 = "fd00::1".parse().unwrap();
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let dst = fill_host_bits(range.nth(i).unwrap(), 7);
+                black_box(IcmpEchoProbe.build(src, dst, 64, &v));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_permutations, bench_probe_path);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! One bench per paper table/figure: times the full regeneration pipeline
+//! for each artifact at the quick scale (the `repro` binary prints the
+//! actual rows; these benches make regeneration cost visible and guard
+//! against regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmap_bench::{
+    fig2, fig3, fig5, fig6, table1, table10, table11, table12, table2, table3, table4, table5,
+    table6, table7, table8, table9, Experiment, ExperimentConfig,
+};
+
+fn quick_exp() -> Experiment {
+    Experiment::new(ExperimentConfig::quick())
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table1_boundary_inference", |b| {
+        b.iter(|| {
+            let mut exp = quick_exp();
+            black_box(table1(&mut exp))
+        })
+    });
+    g.bench_function("table2_periphery_scan", |b| {
+        b.iter(|| {
+            let mut exp = quick_exp();
+            black_box(table2(&mut exp))
+        })
+    });
+    // Tables III-V and Figures 2-3 share the discovery+survey pipeline;
+    // bench the incremental rendering on a prepared experiment.
+    g.bench_function("table3_iid_analysis", |b| {
+        let mut exp = quick_exp();
+        exp.campaign();
+        b.iter(|| black_box(table3(&mut exp)))
+    });
+    g.bench_function("table4_vendors", |b| {
+        let mut exp = quick_exp();
+        exp.campaign();
+        b.iter(|| black_box(table4(&mut exp)))
+    });
+    g.bench_function("table5_service_iid", |b| {
+        let mut exp = quick_exp();
+        exp.survey();
+        b.iter(|| black_box(table5(&mut exp)))
+    });
+    g.bench_function("table6_probe_spec", |b| b.iter(|| black_box(table6())));
+    g.bench_function("table7_service_survey", |b| {
+        b.iter(|| {
+            let mut exp = quick_exp();
+            black_box(table7(&mut exp))
+        })
+    });
+    g.bench_function("table8_software_cves", |b| {
+        let mut exp = quick_exp();
+        exp.survey();
+        b.iter(|| black_box(table8(&mut exp)))
+    });
+    g.bench_function("table9_bgp_survey", |b| {
+        b.iter(|| {
+            let mut exp = quick_exp();
+            black_box(table9(&mut exp))
+        })
+    });
+    g.bench_function("table10_loop_iid", |b| {
+        let mut exp = quick_exp();
+        exp.bgp();
+        b.iter(|| black_box(table10(&mut exp)))
+    });
+    g.bench_function("table11_depth_survey", |b| {
+        b.iter(|| {
+            let mut exp = quick_exp();
+            black_box(table11(&mut exp))
+        })
+    });
+    g.bench_function("table12_case_studies", |b| b.iter(|| black_box(table12())));
+    g.bench_function("fig2_vendor_services", |b| {
+        let mut exp = quick_exp();
+        exp.survey();
+        b.iter(|| black_box(fig2(&mut exp)))
+    });
+    g.bench_function("fig3_service_vendors", |b| {
+        let mut exp = quick_exp();
+        exp.survey();
+        b.iter(|| black_box(fig3(&mut exp)))
+    });
+    g.bench_function("fig5_loop_geography", |b| {
+        let mut exp = quick_exp();
+        exp.bgp();
+        b.iter(|| black_box(fig5(&mut exp)))
+    });
+    g.bench_function("fig6_loop_vendors", |b| {
+        let mut exp = quick_exp();
+        exp.depth();
+        b.iter(|| black_box(fig6(&mut exp)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the substrate: address primitives and the procedural
+//! world. These bound the simulator overhead inside every reported scan
+//! rate (cf. `scanner_throughput`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xmap_addr::{classify_iid, Ip6, Prefix};
+use xmap_netsim::packet::{Ipv6Packet, Network};
+use xmap_netsim::world::{World, WorldConfig};
+
+fn bench_addr_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addr");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("classify_iid", |b| {
+        let addrs: Vec<Ip6> = (0..64u64)
+            .map(|i| Ip6::new((0x2001_0db8u128) << 96 | (i as u128) << 32 | 0x9c3a_71e2))
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(classify_iid(addrs[i]))
+        })
+    });
+    g.bench_function("prefix_contains", |b| {
+        let p: Prefix = "2409:8000::/28".parse().unwrap();
+        let a: Ip6 = "2409:8007:1:2::3".parse().unwrap();
+        b.iter(|| black_box(p.contains(black_box(a))))
+    });
+    g.bench_function("ip6_parse_display", |b| {
+        b.iter(|| {
+            let a: Ip6 = black_box("2409:8000:1:2:3:4:5:6").parse().unwrap();
+            black_box(a.to_string())
+        })
+    });
+    g.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("device_derivation", |b| {
+        let world = World::with_config(WorldConfig { seed: 3, bgp_ases: 50, loss_frac: 0.0 });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(world.device_at(12, i % (1 << 24)))
+        })
+    });
+    g.bench_function("echo_handle", |b| {
+        let mut world = World::with_config(WorldConfig { seed: 3, bgp_ases: 50, loss_frac: 0.0 });
+        let src: Ip6 = "fd00::1".parse().unwrap();
+        let base: Ip6 = "2409:8000::".parse().unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let dst = Ip6::new(base.bits() | ((i % (1 << 24)) as u128) << 68 | 0x4242);
+            black_box(world.handle(Ipv6Packet::echo_request(src, dst, 64, 1, 1)))
+        })
+    });
+    g.bench_function("world_construction_6911_ases", |b| {
+        b.iter(|| {
+            black_box(World::with_config(WorldConfig {
+                seed: black_box(9),
+                bgp_ases: 6911,
+                loss_frac: 0.004,
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_addr_primitives, bench_world);
+criterion_main!(benches);

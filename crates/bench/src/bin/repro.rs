@@ -1,0 +1,88 @@
+//! Regenerates the paper's tables and figures from the simulated Internet.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [artifact...]
+//! ```
+//!
+//! Artifacts: `table1`..`table12`, `fig2`, `fig3`, `fig5`, `fig6`,
+//! `feasibility`, `amplification`, or `all` (default). The scale of the
+//! scans is controlled by `XMAP_SCALE` (log2 of discovery probes per
+//! block, default 20; the full space would be 32).
+
+use xmap_bench::{
+    amplification, baselines, feasibility, fig2, fig3, fig5, fig6, table1, table10, table11, table12,
+    table2, table3, table4, table5, table6, table7, table8, table9, Experiment, ExperimentConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "feasibility",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "table12",
+            "fig2",
+            "fig3",
+            "fig5",
+            "fig6",
+            "amplification",
+            "baselines",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let config = ExperimentConfig::from_env();
+    eprintln!(
+        "# seed {:#x}, discovery 2^{} probes/block, loop 2^{} probes/block, BGP 2^{}/prefix over {} ASes",
+        config.seed,
+        config.discovery_probes_per_block.trailing_zeros(),
+        config.loop_probes_per_block.trailing_zeros(),
+        config.bgp_probes_per_prefix.trailing_zeros(),
+        config.bgp_ases,
+    );
+    let mut exp = Experiment::new(config);
+
+    for artifact in wanted {
+        let started = std::time::Instant::now();
+        let text = match artifact {
+            "table1" => table1(&mut exp),
+            "table2" => table2(&mut exp),
+            "table3" => table3(&mut exp),
+            "table4" => table4(&mut exp),
+            "table5" => table5(&mut exp),
+            "table6" => table6(),
+            "table7" => table7(&mut exp),
+            "table8" => table8(&mut exp),
+            "table9" => table9(&mut exp),
+            "table10" => table10(&mut exp),
+            "table11" => table11(&mut exp),
+            "table12" => table12(),
+            "fig2" => fig2(&mut exp),
+            "fig3" => fig3(&mut exp),
+            "fig5" => fig5(&mut exp),
+            "fig6" => fig6(&mut exp),
+            "feasibility" => feasibility(),
+            "amplification" => amplification(),
+            "baselines" => baselines(&mut exp),
+            other => {
+                eprintln!("unknown artifact {other:?}; see --help in the source header");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        eprintln!("# {artifact} rendered in {:.2?}", started.elapsed());
+    }
+}

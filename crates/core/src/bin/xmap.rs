@@ -1,0 +1,418 @@
+//! `xmap` — command-line front end for the scanner, mirroring the real
+//! tool's interface against the simulated Internet.
+//!
+//! ```text
+//! xmap [options] <target>...
+//!
+//!   targets                scan ranges, e.g. 2405:200::/32-64 (plain
+//!                          prefixes default to /64 sub-prefix probing)
+//!   -M, --probe-module M   icmp6_echoscan | udp6_scan | tcp6_synscan
+//!   -p, --target-port P    destination port for UDP/TCP modules
+//!   -x, --max-targets N    probe at most N targets per range
+//!   -R, --rate PPS         packets-per-second budget (accounted)
+//!   -s, --seed N           scan seed (permutation, cookies, IID fill)
+//!       --world-seed N     seed of the simulated Internet
+//!       --shard I          this shard (0-based)
+//!       --shards N         total cooperating shards
+//!       --permutation P    cyclic | feistel | sequential
+//!   -b, --block PREFIX     add a blocklist prefix (repeatable)
+//!   -o, --output FILE     write results as CSV (default: stdout)
+//!   -q, --quiet            suppress the summary on stderr
+//!
+//! Modes (first positional argument):
+//!
+//!   scan (default)         permuted scan over the target ranges
+//!   trace ADDR             hop-limit walk toward one address
+//!   alias PREFIX           de-aliasing check on one prefix
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use xmap::{
+    Blocklist, IcmpEchoProbe, Permutation, ProbeModule, ScanConfig, Scanner, TargetSpec,
+    TcpSynProbe, UdpProbe, Verdict,
+};
+use xmap_netsim::services::{AppRequest, ServiceKind};
+use xmap_netsim::World;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct CliConfig {
+    targets: TargetSpec,
+    module: ModuleChoice,
+    port: Option<u16>,
+    max_targets: Option<u64>,
+    rate_pps: Option<u64>,
+    seed: u64,
+    world_seed: u64,
+    shard: u64,
+    shards: u64,
+    permutation: Permutation,
+    blocked: Vec<String>,
+    output: Option<String>,
+    quiet: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModuleChoice {
+    Icmp,
+    Udp,
+    Tcp,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            targets: TargetSpec::new(),
+            module: ModuleChoice::Icmp,
+            port: None,
+            max_targets: None,
+            rate_pps: None,
+            seed: 1,
+            world_seed: 0xDA7A_5EED,
+            shard: 0,
+            shards: 1,
+            permutation: Permutation::Cyclic,
+            blocked: Vec::new(),
+            output: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig::default();
+    let mut iter = args.iter().peekable();
+    let value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        iter.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-M" | "--probe-module" => {
+                cfg.module = match value(&mut iter, arg)?.as_str() {
+                    "icmp6_echoscan" => ModuleChoice::Icmp,
+                    "udp6_scan" => ModuleChoice::Udp,
+                    "tcp6_synscan" => ModuleChoice::Tcp,
+                    other => return Err(format!("unknown probe module {other:?}")),
+                };
+            }
+            "-p" | "--target-port" => {
+                cfg.port = Some(
+                    value(&mut iter, arg)?
+                        .parse()
+                        .map_err(|_| "port must be 0..=65535".to_owned())?,
+                );
+            }
+            "-x" | "--max-targets" => {
+                cfg.max_targets = Some(
+                    value(&mut iter, arg)?
+                        .parse()
+                        .map_err(|_| "max-targets must be an integer".to_owned())?,
+                );
+            }
+            "-R" | "--rate" => {
+                cfg.rate_pps = Some(
+                    value(&mut iter, arg)?
+                        .parse()
+                        .map_err(|_| "rate must be an integer".to_owned())?,
+                );
+            }
+            "-s" | "--seed" => {
+                cfg.seed = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_owned())?;
+            }
+            "--world-seed" => {
+                cfg.world_seed = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "world-seed must be an integer".to_owned())?;
+            }
+            "--shard" => {
+                cfg.shard = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "shard must be an integer".to_owned())?;
+            }
+            "--shards" => {
+                cfg.shards = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "shards must be an integer".to_owned())?;
+            }
+            "--permutation" => {
+                cfg.permutation = match value(&mut iter, arg)?.as_str() {
+                    "cyclic" => Permutation::Cyclic,
+                    "feistel" => Permutation::Feistel,
+                    "sequential" => Permutation::Sequential,
+                    other => return Err(format!("unknown permutation {other:?}")),
+                };
+            }
+            "-b" | "--block" => cfg.blocked.push(value(&mut iter, arg)?),
+            "-o" | "--output" => cfg.output = Some(value(&mut iter, arg)?),
+            "-q" | "--quiet" => cfg.quiet = true,
+            "-h" | "--help" => return Err("help".to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            target => {
+                let range = target
+                    .parse()
+                    .map_err(|e| format!("bad target {target:?}: {e}"))?;
+                cfg.targets.push(range);
+            }
+        }
+    }
+    if cfg.targets.ranges().is_empty() {
+        return Err("at least one target range is required".to_owned());
+    }
+    if cfg.shards == 0 || cfg.shard >= cfg.shards {
+        return Err("shard must be < shards and shards > 0".to_owned());
+    }
+    if matches!(cfg.module, ModuleChoice::Udp | ModuleChoice::Tcp) && cfg.port.is_none() {
+        return Err("UDP/TCP modules require --target-port".to_owned());
+    }
+    Ok(cfg)
+}
+
+fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule> {
+    match cfg.module {
+        ModuleChoice::Icmp => Box::new(IcmpEchoProbe),
+        ModuleChoice::Tcp => Box::new(TcpSynProbe { port: cfg.port.expect("validated") }),
+        ModuleChoice::Udp => {
+            let port = cfg.port.expect("validated");
+            let request = ServiceKind::from_port(port)
+                .map(|k| k.request())
+                .unwrap_or(AppRequest::DnsQuery);
+            Box::new(UdpProbe { port, request })
+        }
+    }
+}
+
+fn run(cfg: CliConfig) -> Result<(), String> {
+    let mut blocklist = Blocklist::with_standard_reserved();
+    for p in &cfg.blocked {
+        blocklist.insert(p.parse().map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?, Verdict::Deny);
+    }
+    let scan_config = ScanConfig {
+        seed: cfg.seed,
+        shard: cfg.shard,
+        shards: cfg.shards,
+        permutation: cfg.permutation,
+        max_targets: cfg.max_targets,
+        rate_pps: cfg.rate_pps,
+        ..Default::default()
+    };
+    let mut scanner = Scanner::new(World::new(cfg.world_seed), scan_config);
+    let module = module_for(&cfg);
+    let started = std::time::Instant::now();
+    let results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
+
+    let csv = xmap::output::to_csv(&results.records);
+    match &cfg.output {
+        Some(path) => std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?,
+        None => print!("{csv}"),
+    }
+    if !cfg.quiet {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "# {}: sent {} | received {} | valid {} | blocked {} | hit rate {:.4}% | {:.2?}{}",
+            module.name(),
+            results.stats.sent,
+            results.stats.received,
+            results.stats.valid,
+            results.stats.blocked,
+            results.stats.hit_rate() * 100.0,
+            started.elapsed(),
+            if results.stats.paced_secs > 0.0 {
+                format!(" | would take {:.1}s at the configured rate", results.stats.paced_secs)
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Hop-limit walk toward an address, printing each responding hop.
+fn run_trace(addr: &str, world_seed: u64) -> Result<(), String> {
+    let dst: xmap_addr::Ip6 = addr.parse().map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let mut scanner = Scanner::new(World::new(world_seed), ScanConfig::default());
+    let mut silent = 0;
+    for ttl in 1u8..=64 {
+        let responses = scanner.probe_addr(dst, &IcmpEchoProbe, ttl);
+        match responses.first() {
+            Some((src, result)) => {
+                silent = 0;
+                println!("{ttl:>3}  {src}  {result:?}");
+                if !matches!(result, xmap::ProbeResult::TimeExceeded) {
+                    return Ok(());
+                }
+            }
+            None => {
+                println!("{ttl:>3}  *");
+                silent += 1;
+                if silent >= 2 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// De-aliasing check: probe several random IIDs under the prefix; aliased
+/// prefixes answer every probe from the probed address itself.
+fn run_alias_check(prefix: &str, world_seed: u64) -> Result<(), String> {
+    let p: xmap_addr::Prefix =
+        prefix.parse().map_err(|e| format!("bad prefix {prefix:?}: {e}"))?;
+    let mut scanner = Scanner::new(World::new(world_seed), ScanConfig::default());
+    let mut self_replies = 0;
+    const K: u64 = 4;
+    for attempt in 0..K {
+        let dst = xmap::fill_host_bits(p, 0xa11a5 + attempt);
+        let alive = scanner
+            .probe_addr(dst, &IcmpEchoProbe, 64)
+            .iter()
+            .any(|(src, r)| matches!(r, xmap::ProbeResult::Alive) && *src == dst);
+        println!("probe {dst}: {}", if alive { "echo reply (self)" } else { "no self-reply" });
+        if alive {
+            self_replies += 1;
+        } else {
+            break;
+        }
+    }
+    println!("{p}: {}", if self_replies == K { "ALIASED" } else { "not aliased" });
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Mode dispatch: `xmap trace <addr>` / `xmap alias <prefix>`.
+    if args.first().map(String::as_str) == Some("trace") {
+        let Some(addr) = args.get(1) else {
+            eprintln!("xmap: trace requires an address");
+            return ExitCode::from(2);
+        };
+        return match run_trace(addr, 0xDA7A_5EED) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xmap: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("alias") {
+        let Some(prefix) = args.get(1) else {
+            eprintln!("xmap: alias requires a prefix");
+            return ExitCode::from(2);
+        };
+        return match run_alias_check(prefix, 0xDA7A_5EED) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xmap: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("scan") {
+        args.remove(0);
+    }
+    match parse_args(&args) {
+        Ok(cfg) => match run(cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("xmap: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) if e == "help" => {
+            eprintln!("usage: xmap [options] <target>... (see the module docs)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xmap: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_minimal_invocation() {
+        let cfg = parse_args(&args("2405:200::/32-64")).unwrap();
+        assert_eq!(cfg.targets.ranges().len(), 1);
+        assert_eq!(cfg.module, ModuleChoice::Icmp);
+        assert_eq!(cfg.shards, 1);
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let cfg = parse_args(&args(
+            "-M tcp6_synscan -p 80 -x 1000 -R 25000 -s 7 --world-seed 9 \
+             --shard 1 --shards 4 --permutation feistel -b 2405:200:dead::/48 \
+             -o /tmp/out.csv -q 2405:200::/32-64 2601::/24-56",
+        ))
+        .unwrap();
+        assert_eq!(cfg.module, ModuleChoice::Tcp);
+        assert_eq!(cfg.port, Some(80));
+        assert_eq!(cfg.max_targets, Some(1000));
+        assert_eq!(cfg.rate_pps, Some(25000));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.world_seed, 9);
+        assert_eq!((cfg.shard, cfg.shards), (1, 4));
+        assert_eq!(cfg.permutation, Permutation::Feistel);
+        assert_eq!(cfg.blocked, vec!["2405:200:dead::/48".to_owned()]);
+        assert_eq!(cfg.output.as_deref(), Some("/tmp/out.csv"));
+        assert!(cfg.quiet);
+        assert_eq!(cfg.targets.ranges().len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("")).is_err());
+        assert!(parse_args(&args("not-a-range")).is_err());
+        assert!(parse_args(&args("-M nope 2405:200::/32")).is_err());
+        assert!(parse_args(&args("-M udp6_scan 2405:200::/32")).is_err(), "udp needs port");
+        assert!(parse_args(&args("--shard 4 --shards 4 2405:200::/32")).is_err());
+        assert!(parse_args(&args("-x 2405:200::/32")).is_err(), "missing value");
+        assert!(parse_args(&args("-p 99999 2405:200::/32")).is_err(), "port overflow");
+    }
+
+    #[test]
+    fn udp_module_picks_service_request() {
+        let cfg = parse_args(&args("-M udp6_scan -p 53 2405:200::/32")).unwrap();
+        let module = module_for(&cfg);
+        assert_eq!(module.name(), "udp6_scan");
+    }
+
+    #[test]
+    fn end_to_end_scan_produces_csv() {
+        let cfg = parse_args(&args("-x 4096 -q 2402:3a80::/32-64")).unwrap();
+        // Run against a tiny slice; validate via the library directly.
+        let mut scanner = Scanner::new(
+            World::new(cfg.world_seed),
+            ScanConfig { seed: cfg.seed, max_targets: cfg.max_targets, ..Default::default() },
+        );
+        let results = scanner.run_all(
+            cfg.targets.ranges(),
+            &IcmpEchoProbe,
+            &Blocklist::with_standard_reserved(),
+        );
+        assert!(results.stats.sent > 0);
+        let csv = xmap::output::to_csv(&results.records);
+        assert!(csv.starts_with(xmap::output::CSV_HEADER));
+        assert_eq!(
+            xmap::output::from_csv(&csv).unwrap().len(),
+            results.records.len()
+        );
+    }
+}

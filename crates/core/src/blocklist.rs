@@ -1,0 +1,274 @@
+//! Prefix blocklist/allowlist — a binary radix trie over IPv6 prefixes.
+//!
+//! ZMap-family scanners refuse to probe destinations on a blocklist
+//! (reserved space, opted-out networks) and optionally restrict probing to
+//! an allowlist. XMap rewrote ZMap's 32-bit constraint-tree for 128-bit
+//! addresses; this module is that structure: a path-compressed-enough
+//! binary trie where each leaf carries an allow/deny verdict and lookups
+//! walk at most 128 bits.
+
+use xmap_addr::{Ip6, Prefix};
+
+/// Verdict attached to a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Destination may be probed.
+    Allow,
+    /// Destination must be skipped.
+    Deny,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// Verdict set by the most specific terminating prefix at this node.
+    verdict: Option<Verdict>,
+    children: [Option<Box<TrieNode>>; 2],
+}
+
+impl TrieNode {
+    fn new() -> Self {
+        TrieNode { verdict: None, children: [None, None] }
+    }
+}
+
+/// A longest-prefix-match allow/deny filter.
+///
+/// Later insertions of the *same* prefix overwrite earlier ones; a more
+/// specific prefix always wins over a covering one, matching ZMap's
+/// blocklist-file semantics.
+///
+/// # Examples
+///
+/// ```
+/// use xmap::blocklist::{Blocklist, Verdict};
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let mut bl = Blocklist::new(Verdict::Allow);
+/// bl.insert("2001:db8::/32".parse()?, Verdict::Deny);
+/// bl.insert("2001:db8:feed::/48".parse()?, Verdict::Allow);
+/// assert!(!bl.is_allowed("2001:db8::1".parse()?));
+/// assert!(bl.is_allowed("2001:db8:feed::1".parse()?));
+/// assert!(bl.is_allowed("2600::1".parse()?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Blocklist {
+    root: TrieNode,
+    default: Verdict,
+    entries: usize,
+}
+
+impl Blocklist {
+    /// Creates a filter with a default verdict for unmatched destinations.
+    pub fn new(default: Verdict) -> Self {
+        Blocklist { root: TrieNode::new(), default, entries: 0 }
+    }
+
+    /// A filter that allows everything (no entries).
+    pub fn allow_all() -> Self {
+        Blocklist::new(Verdict::Allow)
+    }
+
+    /// Number of prefixes inserted.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the filter has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts a prefix with a verdict.
+    pub fn insert(&mut self, prefix: Prefix, verdict: Verdict) {
+        let bits = prefix.addr().bits();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (127 - depth as u32)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(|| Box::new(TrieNode::new()));
+        }
+        if node.verdict.replace(verdict).is_none() {
+            self.entries += 1;
+        }
+    }
+
+    /// The verdict for `addr` by longest-prefix match (default when no
+    /// entry covers it).
+    pub fn verdict(&self, addr: Ip6) -> Verdict {
+        let bits = addr.bits();
+        let mut node = &self.root;
+        let mut best = self.default;
+        if let Some(v) = node.verdict {
+            best = v;
+        }
+        for depth in 0..128u32 {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.verdict {
+                        best = v;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Whether `addr` may be probed.
+    pub fn is_allowed(&self, addr: Ip6) -> bool {
+        self.verdict(addr) == Verdict::Allow
+    }
+
+    /// Loads the standard never-probe set: unspecified/loopback, multicast,
+    /// link-local, unique-local and documentation space.
+    pub fn with_standard_reserved() -> Self {
+        let mut bl = Blocklist::allow_all();
+        for p in ["::/128", "::1/128", "ff00::/8", "fe80::/10", "fc00::/7", "2001:db8::/32"] {
+            bl.insert(p.parse().expect("static reserved prefix"), Verdict::Deny);
+        }
+        bl
+    }
+}
+
+/// Linear-scan reference implementation with identical semantics — kept for
+/// differential testing and as the baseline in the `blocklist` ablation
+/// bench.
+#[derive(Debug, Clone, Default)]
+pub struct LinearBlocklist {
+    entries: Vec<(Prefix, Verdict)>,
+    default: Verdict,
+}
+
+impl Default for Verdict {
+    fn default() -> Self {
+        Verdict::Allow
+    }
+}
+
+impl LinearBlocklist {
+    /// Creates an empty linear filter.
+    pub fn new(default: Verdict) -> Self {
+        LinearBlocklist { entries: Vec::new(), default }
+    }
+
+    /// Inserts a prefix (replacing an identical one).
+    pub fn insert(&mut self, prefix: Prefix, verdict: Verdict) {
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = verdict;
+        } else {
+            self.entries.push((prefix, verdict));
+        }
+    }
+
+    /// Longest-prefix-match verdict.
+    pub fn verdict(&self, addr: Ip6) -> Verdict {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, v)| *v)
+            .unwrap_or(self.default)
+    }
+
+    /// Whether `addr` may be probed.
+    pub fn is_allowed(&self, addr: Ip6) -> bool {
+        self.verdict(addr) == Verdict::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ip6 {
+        s.parse().unwrap()
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_uses_default() {
+        assert!(Blocklist::new(Verdict::Allow).is_allowed(a("2001::1")));
+        assert!(!Blocklist::new(Verdict::Deny).is_allowed(a("2001::1")));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut bl = Blocklist::allow_all();
+        bl.insert(p("2001::/16"), Verdict::Deny);
+        bl.insert(p("2001:db8::/32"), Verdict::Allow);
+        bl.insert(p("2001:db8:dead::/48"), Verdict::Deny);
+        assert!(!bl.is_allowed(a("2001::1")));
+        assert!(bl.is_allowed(a("2001:db8::1")));
+        assert!(!bl.is_allowed(a("2001:db8:dead::1")));
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_double_count() {
+        let mut bl = Blocklist::allow_all();
+        bl.insert(p("2001::/16"), Verdict::Deny);
+        bl.insert(p("2001::/16"), Verdict::Allow);
+        assert_eq!(bl.len(), 1);
+        assert!(bl.is_allowed(a("2001::1")));
+    }
+
+    #[test]
+    fn default_route_entry() {
+        let mut bl = Blocklist::allow_all();
+        bl.insert(p("::/0"), Verdict::Deny);
+        bl.insert(p("2600::/12"), Verdict::Allow);
+        assert!(!bl.is_allowed(a("2001::1")));
+        assert!(bl.is_allowed(a("2601::1")));
+    }
+
+    #[test]
+    fn standard_reserved_set() {
+        let bl = Blocklist::with_standard_reserved();
+        for blocked in ["::1", "ff02::1", "fe80::1", "fd00::1", "2001:db8::1"] {
+            assert!(!bl.is_allowed(a(blocked)), "{blocked}");
+        }
+        assert!(bl.is_allowed(a("2600::1")));
+    }
+
+    #[test]
+    fn host_route_match() {
+        let mut bl = Blocklist::allow_all();
+        bl.insert(p("2001:db8::42/128"), Verdict::Deny);
+        assert!(!bl.is_allowed(a("2001:db8::42")));
+        assert!(bl.is_allowed(a("2001:db8::43")));
+    }
+
+    #[test]
+    fn trie_matches_linear_reference() {
+        let prefixes = [
+            ("2400::/12", Verdict::Deny),
+            ("2405:200::/32", Verdict::Allow),
+            ("2405:200:8::/48", Verdict::Deny),
+            ("2600::/12", Verdict::Deny),
+            ("2601::/24", Verdict::Allow),
+            ("::/0", Verdict::Allow),
+        ];
+        let mut trie = Blocklist::allow_all();
+        let mut lin = LinearBlocklist::new(Verdict::Allow);
+        for (s, v) in prefixes {
+            trie.insert(p(s), v);
+            lin.insert(p(s), v);
+        }
+        for addr in [
+            "2400::1",
+            "2405:200::1",
+            "2405:200:8::1",
+            "2405:201::1",
+            "2600:abcd::1",
+            "2601::1",
+            "9999::1",
+        ] {
+            assert_eq!(trie.verdict(a(addr)), lin.verdict(a(addr)), "{addr}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The multiplicative-group address permutation — XMap's key module.
+//!
+//! ZMap randomizes probe order by walking the multiplicative group of
+//! integers modulo a prime slightly larger than the scan space: starting
+//! from a random group element and repeatedly multiplying by a generator
+//! visits every element exactly once in an order that looks random, with
+//! O(1) state. XMap generalizes this from "the rear 32 bits of IPv4" to
+//! *any* bit range of the 128-bit space; this module is that generalization
+//! (backed by [`crate::math`] instead of GMP).
+//!
+//! Values `v ∈ [1, p)` map to scan indices `v − 1`; indices `≥ N` (the few
+//! between the space size and the prime) are skipped during iteration, so
+//! the walk emits each of the `N` indices exactly once per cycle.
+
+use crate::math::{is_prime, mulmod, next_prime, powmod, primitive_root};
+
+/// A full-cycle random permutation of `0..len` built on the multiplicative
+/// group modulo a prime.
+///
+/// # Examples
+///
+/// ```
+/// use xmap::cyclic::Cycle;
+///
+/// let cycle = Cycle::new(100, 0x5eed);
+/// let mut seen: Vec<u64> = cycle.iter().collect();
+/// assert_eq!(seen.len(), 100);      // visits every index once
+/// seen.sort_unstable();
+/// assert_eq!(seen, (0..100).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Number of permuted indices.
+    len: u64,
+    /// Prime modulus, smallest prime > len.
+    prime: u128,
+    /// Generator of the multiplicative group mod `prime`.
+    generator: u128,
+    /// First group element of the walk (derived from the seed).
+    start: u128,
+}
+
+impl Cycle {
+    /// Builds a permutation of `0..len` seeded by `seed`.
+    ///
+    /// The generator is derived from a primitive root `g` as `g^e` for a
+    /// seed-dependent exponent `e` coprime to `p − 1`, so different seeds
+    /// produce different full-cycle walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: u64, seed: u64) -> Self {
+        assert!(len > 0, "cannot permute an empty space");
+        let prime = next_prime(len as u128);
+        if prime == 2 {
+            // len == 1: the multiplicative group mod 2 is trivial.
+            return Cycle { len, prime, generator: 1, start: 1 };
+        }
+        let root = primitive_root(prime);
+        // Pick a seed-dependent exponent coprime to p-1 (odd exponents
+        // coprime to the odd part suffice; retry linearly until coprime).
+        let phi = prime - 1;
+        let mut e = (seed as u128 % phi).max(1);
+        while crate::math::gcd(e, phi) != 1 {
+            e += 1;
+            if e >= phi {
+                e = 1;
+            }
+        }
+        let generator = powmod(root, e, prime);
+        // Start element in [1, p).
+        let start = (seed as u128)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1)
+            % (prime - 1)
+            + 1;
+        Cycle { len, prime, generator, start }
+    }
+
+    /// Number of indices in the permutation.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the permutation is empty (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The prime modulus in use (exposed for tests and diagnostics).
+    pub fn prime(&self) -> u128 {
+        self.prime
+    }
+
+    /// Iterates over all indices of the permutation in walk order.
+    pub fn iter(&self) -> Iter {
+        Iter { cycle: self.clone(), current: self.start, remaining: self.len }
+    }
+
+    /// Iterates over the shard `shard` of `shards`: the walk positions
+    /// `shard, shard + shards, shard + 2·shards, …` — ZMap-style sharding
+    /// where every shard covers a disjoint subset and the union is the whole
+    /// space. Implemented by stepping with `g^shards` after an offset of
+    /// `g^shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `shard >= shards`.
+    pub fn iter_shard(&self, shard: u64, shards: u64) -> ShardIter {
+        assert!(shards > 0, "shards must be nonzero");
+        assert!(shard < shards, "shard index out of range");
+        let stride = powmod(self.generator, shards as u128, self.prime);
+        let offset = mulmod(self.start, powmod(self.generator, shard as u128, self.prime), self.prime);
+        // Walk length: positions shard, shard+shards, ... < cycle length
+        // (p-1 group elements in the full walk).
+        let group_len = self.prime - 1;
+        let walk_len = (group_len - shard as u128).div_ceil(shards as u128);
+        ShardIter {
+            len: self.len,
+            prime: self.prime,
+            stride,
+            current: offset,
+            remaining_walk: walk_len,
+        }
+    }
+}
+
+/// Iterator over a [`Cycle`], produced by [`Cycle::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    cycle: Cycle,
+    current: u128,
+    remaining: u64,
+}
+
+impl Iterator for Iter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.remaining > 0 {
+            let v = self.current;
+            self.current = mulmod(self.current, self.cycle.generator, self.cycle.prime);
+            let index = v - 1;
+            if index < self.cycle.len as u128 {
+                self.remaining -= 1;
+                return Some(index as u64);
+            }
+            // Index in the prime/space gap: skip (at most p - 1 - len of
+            // these exist per cycle).
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Iterator over one shard of a [`Cycle`], produced by [`Cycle::iter_shard`].
+#[derive(Debug, Clone)]
+pub struct ShardIter {
+    len: u64,
+    prime: u128,
+    stride: u128,
+    current: u128,
+    remaining_walk: u128,
+}
+
+impl Iterator for ShardIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.remaining_walk > 0 {
+            let v = self.current;
+            self.current = mulmod(self.current, self.stride, self.prime);
+            self.remaining_walk -= 1;
+            let index = v - 1;
+            if index < self.len as u128 {
+                return Some(index as u64);
+            }
+        }
+        None
+    }
+}
+
+/// Validates that `prime` is usable for a cycle over `len` indices — used
+/// by property tests.
+pub fn valid_prime_for(len: u64, prime: u128) -> bool {
+    prime > len as u128 && is_prime(prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn full_permutation_small() {
+        for len in [1u64, 2, 7, 100, 257, 1000] {
+            let c = Cycle::new(len, 42);
+            let visited: Vec<u64> = c.iter().collect();
+            assert_eq!(visited.len() as u64, len, "len {len}");
+            let set: HashSet<u64> = visited.iter().copied().collect();
+            assert_eq!(set.len() as u64, len, "distinct, len {len}");
+            assert!(visited.iter().all(|i| *i < len));
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_orders() {
+        let a: Vec<u64> = Cycle::new(1000, 1).iter().collect();
+        let b: Vec<u64> = Cycle::new(1000, 2).iter().collect();
+        assert_ne!(a, b);
+        // But both are permutations of the same set.
+        let sa: HashSet<_> = a.into_iter().collect();
+        let sb: HashSet<_> = b.into_iter().collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn order_looks_scattered() {
+        // The whole point of the permutation: consecutive outputs should not
+        // be consecutive indices (spreads load across target networks).
+        let out: Vec<u64> = Cycle::new(1 << 16, 7).iter().take(1000).collect();
+        let adjacent = out.windows(2).filter(|w| w[0].abs_diff(w[1]) == 1).count();
+        assert!(adjacent < 10, "{adjacent} adjacent pairs in 1000 outputs");
+    }
+
+    #[test]
+    fn shards_partition_the_space() {
+        let c = Cycle::new(10_000, 99);
+        let mut all = HashSet::new();
+        for shard in 0..4 {
+            let part: Vec<u64> = c.iter_shard(shard, 4).collect();
+            for idx in part {
+                assert!(all.insert(idx), "index {idx} emitted by two shards");
+            }
+        }
+        assert_eq!(all.len(), 10_000);
+    }
+
+    #[test]
+    fn single_shard_equals_full_iteration() {
+        let c = Cycle::new(5_000, 3);
+        let full: Vec<u64> = c.iter().collect();
+        let sharded: Vec<u64> = c.iter_shard(0, 1).collect();
+        assert_eq!(full, sharded);
+    }
+
+    #[test]
+    fn large_space_uses_valid_prime() {
+        let c = Cycle::new(1 << 32, 5);
+        assert_eq!(c.prime(), 4_294_967_311);
+        assert!(valid_prime_for(1 << 32, c.prime()));
+        // Spot-check the first outputs are in range and distinct.
+        let head: Vec<u64> = c.iter().take(10_000).collect();
+        let set: HashSet<_> = head.iter().collect();
+        assert_eq!(set.len(), 10_000);
+        assert!(head.iter().all(|i| *i < 1 << 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty space")]
+    fn zero_length_rejected() {
+        Cycle::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_bounds_checked() {
+        Cycle::new(10, 0).iter_shard(3, 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Feistel-network permutation — the index-addressable alternative.
+//!
+//! The multiplicative-group walk ([`crate::cyclic`]) is faithful to
+//! ZMap/XMap but can only be *iterated*. A balanced Feistel network over
+//! `k` bits gives a bijection on `[0, 2^k)` where `permutation[i]` is O(1)
+//! to evaluate at any position — handy for random access, resumable scans
+//! and by-range sharding. The ablation bench compares the two.
+//!
+//! For non-power-of-two domains the classic cycle-walking trick applies:
+//! re-encrypt until the value lands inside the domain (expected <2 rounds).
+
+/// An O(1)-addressable random bijection on `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use xmap::feistel::FeistelPermutation;
+///
+/// let p = FeistelPermutation::new(1000, 7);
+/// let mut outs: Vec<u64> = (0..1000).map(|i| p.index(i)).collect();
+/// outs.sort_unstable();
+/// assert_eq!(outs, (0..1000).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeistelPermutation {
+    len: u64,
+    /// Total bit width (always even; the domain is 2^bits ≥ len).
+    bits: u32,
+    keys: [u64; 4],
+}
+
+impl FeistelPermutation {
+    /// Number of Feistel rounds. Four rounds of a strong round function
+    /// give statistically random-looking permutations (Luby–Rackoff).
+    const ROUNDS: usize = 4;
+
+    /// Builds a permutation of `0..len` from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: u64, seed: u64) -> Self {
+        assert!(len > 0, "cannot permute an empty space");
+        // Smallest even bit width covering len.
+        let mut bits = 64 - (len - 1).leading_zeros();
+        if len == 1 {
+            bits = 2;
+        }
+        if bits % 2 == 1 {
+            bits += 1;
+        }
+        let bits = bits.max(2);
+        let mut keys = [0u64; 4];
+        let mut k = seed ^ 0xa076_1d64_78bd_642f;
+        for slot in &mut keys {
+            k = splitmix(k);
+            *slot = k;
+        }
+        FeistelPermutation { len, bits, keys }
+    }
+
+    /// Number of indices permuted.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the permutation is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at position `i` of the permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn index(&self, i: u64) -> u64 {
+        assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        // Cycle-walk until inside the domain.
+        let mut v = self.encrypt(i);
+        while v >= self.len {
+            v = self.encrypt(v);
+        }
+        v
+    }
+
+    /// The inverse permutation: position whose value is `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= len`.
+    pub fn position_of(&self, v: u64) -> u64 {
+        assert!(v < self.len, "value {v} out of range (len {})", self.len);
+        let mut i = self.decrypt(v);
+        while i >= self.len {
+            i = self.decrypt(i);
+        }
+        i
+    }
+
+    /// Iterates the permutation in position order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.index(i))
+    }
+
+    fn half_bits(&self) -> u32 {
+        self.bits / 2
+    }
+
+    fn half_mask(&self) -> u64 {
+        (1u64 << self.half_bits()) - 1
+    }
+
+    fn encrypt(&self, x: u64) -> u64 {
+        let hb = self.half_bits();
+        let mask = self.half_mask();
+        let mut left = (x >> hb) & mask;
+        let mut right = x & mask;
+        for round in 0..Self::ROUNDS {
+            let f = round_fn(right, self.keys[round]) & mask;
+            (left, right) = (right, left ^ f);
+        }
+        (left << hb) | right
+    }
+
+    fn decrypt(&self, x: u64) -> u64 {
+        let hb = self.half_bits();
+        let mask = self.half_mask();
+        let mut left = (x >> hb) & mask;
+        let mut right = x & mask;
+        for round in (0..Self::ROUNDS).rev() {
+            let f = round_fn(left, self.keys[round]) & mask;
+            (left, right) = (right ^ f, left);
+        }
+        (left << hb) | right
+    }
+}
+
+fn round_fn(x: u64, key: u64) -> u64 {
+    splitmix(x ^ key)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bijection_on_odd_sizes() {
+        for len in [1u64, 2, 3, 100, 1000, 4097] {
+            let p = FeistelPermutation::new(len, 9);
+            let set: HashSet<u64> = (0..len).map(|i| p.index(i)).collect();
+            assert_eq!(set.len() as u64, len, "len {len}");
+            assert!(set.iter().all(|v| *v < len));
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = FeistelPermutation::new(10_000, 3);
+        for i in (0..10_000).step_by(37) {
+            assert_eq!(p.position_of(p.index(i)), i);
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = FeistelPermutation::new(1 << 16, 1);
+        let b = FeistelPermutation::new(1 << 16, 2);
+        let same = (0..1000u64).filter(|i| a.index(*i) == b.index(*i)).count();
+        assert!(same < 10, "{same} coincidences");
+    }
+
+    #[test]
+    fn scattered_order() {
+        let p = FeistelPermutation::new(1 << 20, 5);
+        let out: Vec<u64> = (0..1000).map(|i| p.index(i)).collect();
+        let adjacent = out.windows(2).filter(|w| w[0].abs_diff(w[1]) == 1).count();
+        assert!(adjacent < 5, "{adjacent}");
+    }
+
+    #[test]
+    fn full_64bit_domain_supported() {
+        let p = FeistelPermutation::new(u64::MAX, 11);
+        // Cannot enumerate; verify determinism + roundtrip on samples.
+        for i in [0u64, 1, 12_345_678_901, u64::MAX - 2] {
+            let v = p.index(i);
+            assert_eq!(p.position_of(v), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        FeistelPermutation::new(10, 0).index(10);
+    }
+}

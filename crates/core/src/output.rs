@@ -1,0 +1,179 @@
+//! Result serialization — XMap's CSV output format.
+//!
+//! One line per validated response: target prefix, probed address,
+//! responder address, classified outcome. Round-trips losslessly so
+//! downstream analyses (periphery/appscan/loopscan crates) can run from
+//! saved scan output as well as live results.
+
+use std::fmt::Write as _;
+
+use xmap_netsim::packet::UnreachCode;
+
+use crate::probe::ProbeResult;
+use crate::scanner::ScanRecord;
+
+/// CSV header line.
+pub const CSV_HEADER: &str = "target,probe_dst,responder,outcome";
+
+/// Serializes records to CSV (with header).
+pub fn to_csv(records: &[ScanRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            r.target,
+            r.probe_dst,
+            r.responder,
+            outcome_str(&r.result)
+        );
+    }
+    out
+}
+
+/// Parses CSV produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn from_csv(csv: &str) -> Result<Vec<ScanRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 {
+            if line != CSV_HEADER {
+                return Err(format!("unexpected header: {line:?}"));
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |what: &str| {
+            fields.next().ok_or_else(|| format!("line {}: missing {what}", lineno + 1))
+        };
+        let target =
+            next("target")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let probe_dst =
+            next("probe_dst")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let responder =
+            next("responder")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let result = parse_outcome(next("outcome")?)
+            .ok_or_else(|| format!("line {}: bad outcome", lineno + 1))?;
+        out.push(ScanRecord { target, probe_dst, responder, result });
+    }
+    Ok(out)
+}
+
+fn outcome_str(r: &ProbeResult) -> String {
+    match r {
+        ProbeResult::Alive => "alive".to_owned(),
+        ProbeResult::Unreachable { code } => format!("unreach:{}", code_str(*code)),
+        ProbeResult::TimeExceeded => "timxceed".to_owned(),
+        ProbeResult::Refused => "refused".to_owned(),
+        ProbeResult::Invalid => "invalid".to_owned(),
+    }
+}
+
+fn code_str(c: UnreachCode) -> &'static str {
+    match c {
+        UnreachCode::NoRoute => "noroute",
+        UnreachCode::AdminProhibited => "admin",
+        UnreachCode::AddressUnreachable => "addr",
+        UnreachCode::PortUnreachable => "port",
+        UnreachCode::SourcePolicy => "policy",
+        UnreachCode::RejectRoute => "reject",
+    }
+}
+
+fn parse_outcome(s: &str) -> Option<ProbeResult> {
+    Some(match s {
+        "alive" => ProbeResult::Alive,
+        "timxceed" => ProbeResult::TimeExceeded,
+        "refused" => ProbeResult::Refused,
+        "invalid" => ProbeResult::Invalid,
+        _ => {
+            let code = s.strip_prefix("unreach:")?;
+            let code = match code {
+                "noroute" => UnreachCode::NoRoute,
+                "admin" => UnreachCode::AdminProhibited,
+                "addr" => UnreachCode::AddressUnreachable,
+                "port" => UnreachCode::PortUnreachable,
+                "policy" => UnreachCode::SourcePolicy,
+                "reject" => UnreachCode::RejectRoute,
+                _ => return None,
+            };
+            ProbeResult::Unreachable { code }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ScanRecord> {
+        vec![
+            ScanRecord {
+                target: "2405:200:1:2::/64".parse().unwrap(),
+                probe_dst: "2405:200:1:2::9f3a".parse().unwrap(),
+                responder: "2405:200:1:2::1".parse().unwrap(),
+                result: ProbeResult::Unreachable { code: UnreachCode::AddressUnreachable },
+            },
+            ScanRecord {
+                target: "2601:0:0:10::/64".parse().unwrap(),
+                probe_dst: "2601:0:0:10::1".parse().unwrap(),
+                responder: "2601:100::42".parse().unwrap(),
+                result: ProbeResult::TimeExceeded,
+            },
+            ScanRecord {
+                target: "2601::/64".parse().unwrap(),
+                probe_dst: "2601::7".parse().unwrap(),
+                responder: "2601::7".parse().unwrap(),
+                result: ProbeResult::Alive,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let csv = to_csv(&records);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn header_only_when_empty() {
+        let csv = to_csv(&[]);
+        assert_eq!(csv.trim(), CSV_HEADER);
+        assert!(from_csv(&csv).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header_and_lines() {
+        assert!(from_csv("nope\n").is_err());
+        let bad = format!("{CSV_HEADER}\nnot-an-addr,::1,::2,alive\n");
+        assert!(from_csv(&bad).is_err());
+        let bad_outcome = format!("{CSV_HEADER}\n2601::/64,::1,::2,what\n");
+        assert!(from_csv(&bad_outcome).is_err());
+    }
+
+    #[test]
+    fn all_outcomes_roundtrip() {
+        for result in [
+            ProbeResult::Alive,
+            ProbeResult::TimeExceeded,
+            ProbeResult::Refused,
+            ProbeResult::Invalid,
+            ProbeResult::Unreachable { code: UnreachCode::NoRoute },
+            ProbeResult::Unreachable { code: UnreachCode::RejectRoute },
+            ProbeResult::Unreachable { code: UnreachCode::PortUnreachable },
+        ] {
+            let s = outcome_str(&result);
+            assert_eq!(parse_outcome(&s), Some(result), "{s}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Probe modules — the pluggable packet builders/classifiers of XMap.
+//!
+//! A [`ProbeModule`] knows how to build the probe packet for a target
+//! address and how to classify whatever comes back. XMap ships ICMPv6
+//! echo, UDP and TCP-SYN modules; all three are here. Modules are stateless
+//! — cookies come from the shared [`Validator`].
+
+use xmap_addr::Ip6;
+use xmap_netsim::packet::{AppData, Icmpv6, Ipv6Packet, Payload, TcpFlags, UnreachCode};
+use xmap_netsim::services::AppRequest;
+
+use crate::validate::Validator;
+
+/// Classified outcome of a response packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The probed address itself answered (echo reply / SYN-ACK / data).
+    Alive,
+    /// An ICMPv6 destination-unreachable arrived from `responder` about our
+    /// probe — the periphery-discovery signal.
+    Unreachable {
+        /// Unreachable code.
+        code: UnreachCode,
+    },
+    /// An ICMPv6 time-exceeded arrived from `responder` about our probe —
+    /// the routing-loop signal.
+    TimeExceeded,
+    /// Connection refused (TCP RST).
+    Refused,
+    /// The packet was not a valid response to our probe (cookie mismatch,
+    /// unrelated traffic).
+    Invalid,
+}
+
+/// A stateless probe builder + response classifier.
+pub trait ProbeModule: Send + Sync {
+    /// Human-readable module name (e.g. `icmp6_echoscan`).
+    fn name(&self) -> &'static str;
+
+    /// Builds the probe for `dst`, sourcing from `src` with `hop_limit`.
+    fn build(&self, src: Ip6, dst: Ip6, hop_limit: u8, validator: &Validator) -> Ipv6Packet;
+
+    /// Classifies a received packet. Implementations must validate the
+    /// response against the validator before accepting it.
+    fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult;
+}
+
+/// ICMPv6 echo module — the periphery-discovery probe (`icmp6_echoscan`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IcmpEchoProbe;
+
+impl ProbeModule for IcmpEchoProbe {
+    fn name(&self) -> &'static str {
+        "icmp6_echoscan"
+    }
+
+    fn build(&self, src: Ip6, dst: Ip6, hop_limit: u8, validator: &Validator) -> Ipv6Packet {
+        let (ident, seq) = validator.echo_fields(dst);
+        Ipv6Packet::echo_request(src, dst, hop_limit, ident, seq)
+    }
+
+    fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult {
+        match &response.payload {
+            Payload::Icmp(Icmpv6::EchoReply { ident, seq }) => {
+                // The replying address is the probed destination.
+                if validator.check_echo(response.src, *ident, *seq) {
+                    ProbeResult::Alive
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            Payload::Icmp(Icmpv6::DestUnreachable { code, invoking }) => {
+                if validator.check_quote(invoking) {
+                    ProbeResult::Unreachable { code: *code }
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            Payload::Icmp(Icmpv6::TimeExceeded { invoking }) => {
+                if validator.check_quote(invoking) {
+                    ProbeResult::TimeExceeded
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            _ => ProbeResult::Invalid,
+        }
+    }
+}
+
+/// UDP module carrying an application request (`udp6_scan`).
+#[derive(Debug, Clone, Copy)]
+pub struct UdpProbe {
+    /// Destination port.
+    pub port: u16,
+    /// Application request to carry.
+    pub request: AppRequest,
+}
+
+impl ProbeModule for UdpProbe {
+    fn name(&self) -> &'static str {
+        "udp6_scan"
+    }
+
+    fn build(&self, src: Ip6, dst: Ip6, _hop_limit: u8, validator: &Validator) -> Ipv6Packet {
+        Ipv6Packet::udp_request(src, dst, validator.source_port(dst), self.port, self.request)
+    }
+
+    fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult {
+        match &response.payload {
+            Payload::Udp { dst_port, data: AppData::Response(_), .. } => {
+                // Response must come back to our cookie port from the probed
+                // address.
+                if *dst_port == validator.source_port(response.src) {
+                    ProbeResult::Alive
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            Payload::Icmp(Icmpv6::DestUnreachable { code, invoking }) => {
+                if validator.check_quote(invoking) {
+                    ProbeResult::Unreachable { code: *code }
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            _ => ProbeResult::Invalid,
+        }
+    }
+}
+
+/// TCP SYN module (`tcp6_synscan`).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSynProbe {
+    /// Destination port.
+    pub port: u16,
+}
+
+impl ProbeModule for TcpSynProbe {
+    fn name(&self) -> &'static str {
+        "tcp6_synscan"
+    }
+
+    fn build(&self, src: Ip6, dst: Ip6, _hop_limit: u8, validator: &Validator) -> Ipv6Packet {
+        Ipv6Packet::tcp_syn(src, dst, validator.source_port(dst), self.port)
+    }
+
+    fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult {
+        match &response.payload {
+            Payload::Tcp { dst_port, flags, .. } => {
+                if *dst_port != validator.source_port(response.src) {
+                    return ProbeResult::Invalid;
+                }
+                match flags {
+                    TcpFlags::SynAck => ProbeResult::Alive,
+                    TcpFlags::Rst => ProbeResult::Refused,
+                    _ => ProbeResult::Invalid,
+                }
+            }
+            Payload::Icmp(Icmpv6::DestUnreachable { code, invoking }) => {
+                if validator.check_quote(invoking) {
+                    ProbeResult::Unreachable { code: *code }
+                } else {
+                    ProbeResult::Invalid
+                }
+            }
+            _ => ProbeResult::Invalid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_netsim::packet::Invoking;
+    use xmap_netsim::packet::QuotedProto;
+
+    fn a(s: &str) -> Ip6 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn echo_build_embeds_cookie() {
+        let v = Validator::new(77);
+        let p = IcmpEchoProbe.build(a("fd::1"), a("2001::2"), 64, &v);
+        match p.payload {
+            Payload::Icmp(Icmpv6::EchoRequest { ident, seq }) => {
+                assert!(v.check_echo(a("2001::2"), ident, seq));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.hop_limit, 64);
+    }
+
+    #[test]
+    fn echo_classifies_reply_and_errors() {
+        let v = Validator::new(77);
+        let dst = a("2001::2");
+        let (ident, seq) = v.echo_fields(dst);
+        let reply = Ipv6Packet {
+            src: dst,
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Icmp(Icmpv6::EchoReply { ident, seq }),
+        };
+        assert_eq!(IcmpEchoProbe.classify(&reply, &v), ProbeResult::Alive);
+
+        let invoking = Invoking { src: a("fd::1"), dst, proto: QuotedProto::Icmp { ident, seq } };
+        let unreach = Ipv6Packet {
+            src: a("2001::ffff"),
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                code: UnreachCode::AddressUnreachable,
+                invoking,
+            }),
+        };
+        assert_eq!(
+            IcmpEchoProbe.classify(&unreach, &v),
+            ProbeResult::Unreachable { code: UnreachCode::AddressUnreachable }
+        );
+
+        let te = Ipv6Packet {
+            src: a("2001::fffe"),
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Icmp(Icmpv6::TimeExceeded { invoking }),
+        };
+        assert_eq!(IcmpEchoProbe.classify(&te, &v), ProbeResult::TimeExceeded);
+    }
+
+    #[test]
+    fn echo_rejects_forged_cookie() {
+        let v = Validator::new(77);
+        let dst = a("2001::2");
+        let (ident, seq) = v.echo_fields(dst);
+        let forged = Ipv6Packet {
+            src: dst,
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Icmp(Icmpv6::EchoReply { ident: ident ^ 1, seq }),
+        };
+        assert_eq!(IcmpEchoProbe.classify(&forged, &v), ProbeResult::Invalid);
+        // Quote about a destination we never probed with those fields.
+        let invoking =
+            Invoking { src: a("fd::1"), dst: a("2001::3"), proto: QuotedProto::Icmp { ident, seq } };
+        let unreach = Ipv6Packet {
+            src: a("2001::ffff"),
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                code: UnreachCode::NoRoute,
+                invoking,
+            }),
+        };
+        assert_eq!(IcmpEchoProbe.classify(&unreach, &v), ProbeResult::Invalid);
+    }
+
+    #[test]
+    fn tcp_classifies_synack_and_rst() {
+        let v = Validator::new(3);
+        let dst = a("2601::5");
+        let module = TcpSynProbe { port: 80 };
+        let probe = module.build(a("fd::1"), dst, 64, &v);
+        let Payload::Tcp { src_port, .. } = probe.payload else { panic!() };
+        assert_eq!(src_port, v.source_port(dst));
+
+        let synack = Ipv6Packet {
+            src: dst,
+            dst: a("fd::1"),
+            hop_limit: 60,
+            payload: Payload::Tcp {
+                src_port: 80,
+                dst_port: v.source_port(dst),
+                flags: TcpFlags::SynAck,
+                data: AppData::None,
+            },
+        };
+        assert_eq!(module.classify(&synack, &v), ProbeResult::Alive);
+        let rst = Ipv6Packet {
+            payload: Payload::Tcp {
+                src_port: 80,
+                dst_port: v.source_port(dst),
+                flags: TcpFlags::Rst,
+                data: AppData::None,
+            },
+            ..synack.clone()
+        };
+        assert_eq!(module.classify(&rst, &v), ProbeResult::Refused);
+        let wrong_port = Ipv6Packet {
+            payload: Payload::Tcp {
+                src_port: 80,
+                dst_port: 1,
+                flags: TcpFlags::SynAck,
+                data: AppData::None,
+            },
+            ..synack
+        };
+        assert_eq!(module.classify(&wrong_port, &v), ProbeResult::Invalid);
+    }
+
+    #[test]
+    fn udp_roundtrip_against_response() {
+        let v = Validator::new(9);
+        let dst = a("2601::6");
+        let module = UdpProbe { port: 123, request: AppRequest::NtpVersionQuery };
+        let probe = module.build(a("fd::1"), dst, 64, &v);
+        let Payload::Udp { src_port, dst_port, .. } = probe.payload else { panic!() };
+        assert_eq!(dst_port, 123);
+        let response = Ipv6Packet {
+            src: dst,
+            dst: a("fd::1"),
+            hop_limit: 50,
+            payload: Payload::Udp {
+                src_port: 123,
+                dst_port: src_port,
+                data: AppData::Response(
+                    xmap_netsim::services::AppResponse::NtpVersionReply { version: 4 },
+                ),
+            },
+        };
+        assert_eq!(module.classify(&response, &v), ProbeResult::Alive);
+    }
+
+    #[test]
+    fn module_names() {
+        assert_eq!(IcmpEchoProbe.name(), "icmp6_echoscan");
+        assert_eq!(TcpSynProbe { port: 80 }.name(), "tcp6_synscan");
+        assert_eq!(UdpProbe { port: 53, request: AppRequest::DnsQuery }.name(), "udp6_scan");
+    }
+}

@@ -1,0 +1,572 @@
+//! The scan engine: permutation → probe → validate → record.
+//!
+//! Mirrors XMap's architecture: a target generator walks a random
+//! permutation of the scan space, a send loop builds probes under a token
+//! bucket, responses are validated statelessly and recorded. Against the
+//! simulator, send and receive are synchronous; [`run_pipelined`]
+//! still exercises the real two-stage pipeline (generator thread feeding a
+//! prober thread over bounded channels) the way the C implementation
+//! separates its send and receive threads.
+
+use crossbeam::channel;
+use xmap_addr::{Ip6, Prefix, ScanRange};
+use xmap_netsim::packet::Network;
+
+use crate::blocklist::Blocklist;
+use crate::cyclic::Cycle;
+use crate::feistel::FeistelPermutation;
+use crate::probe::{ProbeModule, ProbeResult};
+use crate::rate::RateLimiter;
+use crate::target::fill_host_bits;
+use crate::validate::Validator;
+
+/// Probe-order strategies (ablation: `permutation_vs_sequential`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Permutation {
+    /// Multiplicative-group walk (ZMap/XMap default).
+    #[default]
+    Cyclic,
+    /// Feistel bijection (index-addressable).
+    Feistel,
+    /// No permutation: ascending order (hammers one subnet at a time).
+    Sequential,
+}
+
+/// Scanner configuration.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Seed for permutation, cookies and IID fill.
+    pub seed: u64,
+    /// Source address probes are sent from.
+    pub source: Ip6,
+    /// Hop limit on outgoing probes.
+    pub hop_limit: u8,
+    /// Probe-order strategy.
+    pub permutation: Permutation,
+    /// This scanner's shard (0-based) of `shards` total.
+    pub shard: u64,
+    /// Total number of cooperating shards.
+    pub shards: u64,
+    /// Probe at most this many targets per range (scaled experiments);
+    /// `None` scans the full space.
+    pub max_targets: Option<u64>,
+    /// Packets-per-second budget; `None` = unlimited. Against the simulator
+    /// pacing is accounted, not slept (see [`ScanStats::paced_secs`]).
+    pub rate_pps: Option<u64>,
+    /// Probes per target sub-prefix (default 1, the paper's discipline).
+    /// Additional probes use fresh host bits and are only sent when the
+    /// previous attempt drew no response — the loss-recovery knob measured
+    /// by the `probes` ablation.
+    pub probes_per_target: u32,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            seed: 1,
+            source: Ip6::new(0xfd00 << 112 | 1),
+            hop_limit: 64,
+            permutation: Permutation::Cyclic,
+            shard: 0,
+            shards: 1,
+            max_targets: None,
+            rate_pps: None,
+            probes_per_target: 1,
+        }
+    }
+}
+
+/// One validated response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRecord {
+    /// The sub-prefix this probe targeted.
+    pub target: Prefix,
+    /// The full probe destination (target + filled host bits).
+    pub probe_dst: Ip6,
+    /// Source address of the validated response — for unreachables this is
+    /// the periphery's exposed WAN/UE address.
+    pub responder: Ip6,
+    /// Classified outcome.
+    pub result: ProbeResult,
+}
+
+/// Aggregate counters for one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanStats {
+    /// Probes sent.
+    pub sent: u64,
+    /// Targets skipped by the blocklist.
+    pub blocked: u64,
+    /// Response packets received.
+    pub received: u64,
+    /// Responses that failed stateless validation.
+    pub invalid: u64,
+    /// Valid, recorded responses.
+    pub valid: u64,
+    /// Seconds the configured rate limit would have stretched this scan to.
+    pub paced_secs: f64,
+}
+
+impl ScanStats {
+    /// Valid responses per probe sent.
+    pub fn hit_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.valid as f64 / self.sent as f64
+        }
+    }
+
+    fn merge(&mut self, other: &ScanStats) {
+        self.sent += other.sent;
+        self.blocked += other.blocked;
+        self.received += other.received;
+        self.invalid += other.invalid;
+        self.valid += other.valid;
+        self.paced_secs += other.paced_secs;
+    }
+}
+
+/// Results of one scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResults {
+    /// Validated responses in arrival order.
+    pub records: Vec<ScanRecord>,
+    /// Counters.
+    pub stats: ScanStats,
+}
+
+/// The scanner: a [`ProbeModule`] driven over a permuted target space
+/// against any [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use xmap::{IcmpEchoProbe, Blocklist, ScanConfig, Scanner};
+/// use xmap_netsim::World;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let world = World::new(7);
+/// let mut scanner = Scanner::new(world, ScanConfig { max_targets: Some(2000), ..Default::default() });
+/// let results = scanner.run(&"2405:200::/32-64".parse()?, &IcmpEchoProbe, &Blocklist::allow_all());
+/// assert_eq!(results.stats.sent, 2000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scanner<N> {
+    network: N,
+    config: ScanConfig,
+    validator: Validator,
+}
+
+impl<N: Network> Scanner<N> {
+    /// Creates a scanner over a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `config.shard >= config.shards`.
+    pub fn new(network: N, config: ScanConfig) -> Self {
+        assert!(config.shards > 0, "shards must be nonzero");
+        assert!(config.shard < config.shards, "shard index out of range");
+        let validator = Validator::new(config.seed ^ 0x5ca1_ab1e);
+        Scanner { network, config, validator }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Adjusts the per-range target cap for subsequent runs (used by
+    /// campaign drivers that scan many ranges at one scale).
+    pub fn set_max_targets(&mut self, max_targets: Option<u64>) {
+        self.config.max_targets = max_targets;
+    }
+
+    /// The stateless validator (shared with helper probes).
+    pub fn validator(&self) -> &Validator {
+        &self.validator
+    }
+
+    /// Borrows the underlying network.
+    pub fn network_mut(&mut self) -> &mut N {
+        &mut self.network
+    }
+
+    /// Consumes the scanner, returning the network.
+    pub fn into_network(self) -> N {
+        self.network
+    }
+
+    /// Sends one probe to an explicit destination and classifies responses.
+    /// Used by the application-layer and loop scanners for targeted probes.
+    pub fn probe_addr(
+        &mut self,
+        dst: Ip6,
+        module: &dyn ProbeModule,
+        hop_limit: u8,
+    ) -> Vec<(Ip6, ProbeResult)> {
+        let probe = module.build(self.config.source, dst, hop_limit, &self.validator);
+        self.network
+            .handle(probe)
+            .into_iter()
+            .map(|resp| (resp.src, module.classify(&resp, &self.validator)))
+            .collect()
+    }
+
+    /// Scans one range with a probe module, honouring the blocklist.
+    pub fn run(
+        &mut self,
+        range: &ScanRange,
+        module: &dyn ProbeModule,
+        blocklist: &Blocklist,
+    ) -> ScanResults {
+        let mut results = ScanResults::default();
+        let indices = self.order(range);
+        let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
+        let attempts = self.config.probes_per_target.max(1);
+        for index in indices {
+            let Some(target) = range.nth(index) else { continue };
+            for attempt in 0..attempts {
+                let dst = fill_host_bits(target, self.config.seed.wrapping_add(attempt as u64));
+                if !blocklist.is_allowed(dst) {
+                    results.stats.blocked += 1;
+                    break;
+                }
+                if let Some(limiter) = limiter.as_mut() {
+                    // Account the pacing this probe would cost; the simulator
+                    // answers instantly, so we track instead of sleeping.
+                    results.stats.paced_secs += 1.0 / limiter.rate_pps() as f64;
+                }
+                let probe =
+                    module.build(self.config.source, dst, self.config.hop_limit, &self.validator);
+                results.stats.sent += 1;
+                let mut answered = false;
+                for resp in self.network.handle(probe) {
+                    results.stats.received += 1;
+                    match module.classify(&resp, &self.validator) {
+                        ProbeResult::Invalid => results.stats.invalid += 1,
+                        result => {
+                            answered = true;
+                            results.stats.valid += 1;
+                            results.records.push(ScanRecord {
+                                target,
+                                probe_dst: dst,
+                                responder: resp.src,
+                                result,
+                            });
+                        }
+                    }
+                }
+                if answered {
+                    break;
+                }
+            }
+        }
+        results
+    }
+
+    /// Scans several ranges, merging results.
+    pub fn run_all(
+        &mut self,
+        ranges: &[ScanRange],
+        module: &dyn ProbeModule,
+        blocklist: &Blocklist,
+    ) -> ScanResults {
+        let mut all = ScanResults::default();
+        for r in ranges {
+            let one = self.run(r, module, blocklist);
+            all.stats.merge(&one.stats);
+            all.records.extend(one.records);
+        }
+        all
+    }
+
+    /// The probe order for a range under the configured permutation, shard
+    /// assignment and target cap.
+    fn order(&self, range: &ScanRange) -> Vec<u64> {
+        let len = u64::try_from(range.space_size().min(u64::MAX as u128)).unwrap_or(u64::MAX);
+        let cap = self.config.max_targets.unwrap_or(u64::MAX) as usize;
+        let (shard, shards) = (self.config.shard, self.config.shards);
+        match self.config.permutation {
+            Permutation::Cyclic => {
+                let cycle = Cycle::new(len, self.config.seed);
+                cycle.iter_shard(shard, shards).take(cap).collect()
+            }
+            Permutation::Feistel => {
+                let perm = FeistelPermutation::new(len, self.config.seed);
+                (shard..len)
+                    .step_by(shards as usize)
+                    .map(|i| perm.index(i))
+                    .take(cap)
+                    .collect()
+            }
+            Permutation::Sequential => {
+                (shard..len).step_by(shards as usize).take(cap).collect()
+            }
+        }
+    }
+}
+
+/// A pipelined scan: a generator thread walks the permutation and builds
+/// destinations; the calling thread probes and classifies. Results are
+/// identical to [`Scanner::run`] (up to record order); the pipeline exists
+/// to mirror the C scanner's threaded architecture and to overlap target
+/// generation with probing.
+pub fn run_pipelined<N: Network>(
+    scanner: &mut Scanner<N>,
+    range: &ScanRange,
+    module: &dyn ProbeModule,
+    blocklist: &Blocklist,
+) -> ScanResults {
+    let config = scanner.config.clone();
+    let range = *range;
+    let (tx, rx) = channel::bounded::<(Prefix, Ip6)>(1024);
+
+    std::thread::scope(|scope| {
+        let blocklist_ref = &blocklist;
+        let gen_config = config.clone();
+        scope.spawn(move || {
+            let len = u64::try_from(range.space_size().min(u64::MAX as u128)).unwrap_or(u64::MAX);
+            let cycle = Cycle::new(len, gen_config.seed);
+            let cap = gen_config.max_targets.unwrap_or(u64::MAX) as usize;
+            for index in cycle.iter_shard(gen_config.shard, gen_config.shards).take(cap) {
+                let Some(target) = range.nth(index) else { continue };
+                let dst = fill_host_bits(target, gen_config.seed);
+                if tx.send((target, dst)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut results = ScanResults::default();
+        while let Ok((target, dst)) = rx.recv() {
+            if !blocklist_ref.is_allowed(dst) {
+                results.stats.blocked += 1;
+                continue;
+            }
+            let probe =
+                module.build(config.source, dst, config.hop_limit, &scanner.validator);
+            results.stats.sent += 1;
+            for resp in scanner.network.handle(probe) {
+                results.stats.received += 1;
+                match module.classify(&resp, &scanner.validator) {
+                    ProbeResult::Invalid => results.stats.invalid += 1,
+                    result => {
+                        results.stats.valid += 1;
+                        results.records.push(ScanRecord {
+                            target,
+                            probe_dst: dst,
+                            responder: resp.src,
+                            result,
+                        });
+                    }
+                }
+            }
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::IcmpEchoProbe;
+    use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Payload};
+
+    /// A toy network: even /64 indices host a responder that answers
+    /// unreachable from a derived address; odd ones are silent.
+    struct ToyNet {
+        handled: u64,
+    }
+
+    impl Network for ToyNet {
+        fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
+            self.handled += 1;
+            let idx = p.dst.bit_slice(32, 64);
+            if idx % 2 != 0 {
+                return Vec::new();
+            }
+            vec![Ipv6Packet {
+                src: p.dst.network(64).with_iid(0xbeef),
+                dst: p.src,
+                hop_limit: 60,
+                payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                    code: xmap_netsim::packet::UnreachCode::AddressUnreachable,
+                    invoking: p.quote(),
+                }),
+            }]
+        }
+    }
+
+    fn range() -> ScanRange {
+        "2001:100::/32-64".parse().unwrap()
+    }
+
+    #[test]
+    fn scan_records_valid_responses() {
+        let mut s = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { max_targets: Some(1000), ..Default::default() },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert_eq!(res.stats.sent, 1000);
+        // Half the targets respond.
+        assert!((420..=580).contains(&res.stats.valid), "{}", res.stats.valid);
+        assert_eq!(res.stats.valid as usize, res.records.len());
+        assert_eq!(res.stats.invalid, 0);
+        for r in &res.records {
+            assert!(matches!(r.result, ProbeResult::Unreachable { .. }));
+            assert_eq!(r.responder.iid(), 0xbeef);
+            assert!(r.target.contains(r.probe_dst));
+        }
+    }
+
+    #[test]
+    fn blocklist_skips_targets() {
+        let mut bl = Blocklist::allow_all();
+        bl.insert("2001:100::/33".parse().unwrap(), crate::blocklist::Verdict::Deny);
+        let mut s = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { max_targets: Some(1000), ..Default::default() },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &bl);
+        assert!(res.stats.blocked > 300, "{}", res.stats.blocked);
+        assert_eq!(res.stats.blocked + res.stats.sent, 1000);
+    }
+
+    #[test]
+    fn shards_cover_disjoint_targets() {
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..4 {
+            let mut s = Scanner::new(
+                ToyNet { handled: 0 },
+                ScanConfig { shard, shards: 4, max_targets: Some(250), ..Default::default() },
+            );
+            let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+            for r in res.records {
+                assert!(seen.insert(r.target), "target probed twice: {}", r.target);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_cyclic_find_same_population() {
+        // Over the whole (tiny) space, probe order must not change findings.
+        let tiny: ScanRange = "2001:100::/32-40".parse().unwrap(); // 256 targets
+        let mut a = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { permutation: Permutation::Cyclic, ..Default::default() },
+        );
+        let mut b = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { permutation: Permutation::Sequential, ..Default::default() },
+        );
+        let mut c = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { permutation: Permutation::Feistel, ..Default::default() },
+        );
+        let mut ra: Vec<_> = a.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
+        let mut rb: Vec<_> = b.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
+        let mut rc: Vec<_> = c.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
+        for r in [&mut ra, &mut rb, &mut rc] {
+            r.sort_by_key(|x| x.target);
+        }
+        assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
+    }
+
+    #[test]
+    fn rate_budget_is_accounted() {
+        let mut s = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { max_targets: Some(2500), rate_pps: Some(25_000), ..Default::default() },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        // 2500 probes at 25 kpps = 0.1 s.
+        assert!((res.stats.paced_secs - 0.1).abs() < 1e-9, "{}", res.stats.paced_secs);
+    }
+
+    #[test]
+    fn pipelined_matches_single_threaded() {
+        let mut s1 = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { max_targets: Some(500), ..Default::default() },
+        );
+        let mut s2 = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig { max_targets: Some(500), ..Default::default() },
+        );
+        let a = s1.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let b = run_pipelined(&mut s2, &range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert_eq!(a.stats.sent, b.stats.sent);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn probe_addr_targets_exact_destination() {
+        let mut s = Scanner::new(ToyNet { handled: 0 }, ScanConfig::default());
+        let dst: Ip6 = "2001:100:0:2::1".parse().unwrap(); // even index -> responds
+        let out = s.probe_addr(dst, &IcmpEchoProbe, 64);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, ProbeResult::Unreachable { .. }));
+    }
+
+    #[test]
+    fn retries_recover_lost_responses() {
+        /// Drops the first attempt to any /64 (seed-0 fill), answers
+        /// retries.
+        struct Flaky;
+        impl Network for Flaky {
+            fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
+                let first_attempt = p.dst == crate::target::fill_host_bits(
+                    xmap_addr::Prefix::new(p.dst.network(64), 64),
+                    1,
+                );
+                if first_attempt {
+                    return Vec::new();
+                }
+                vec![Ipv6Packet {
+                    src: p.dst.network(64).with_iid(0xbeef),
+                    dst: p.src,
+                    hop_limit: 60,
+                    payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                        code: xmap_netsim::packet::UnreachCode::AddressUnreachable,
+                        invoking: p.quote(),
+                    }),
+                }]
+            }
+        }
+        let run = |k: u32| {
+            let mut s = Scanner::new(
+                Flaky,
+                ScanConfig {
+                    seed: 1,
+                    max_targets: Some(100),
+                    probes_per_target: k,
+                    ..Default::default()
+                },
+            );
+            s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all())
+        };
+        let one = run(1);
+        assert_eq!(one.stats.valid, 0, "every first attempt is dropped");
+        let two = run(2);
+        assert_eq!(two.stats.valid, 100, "retries recover everything");
+        assert_eq!(two.stats.sent, 200);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let stats = ScanStats { sent: 200, valid: 50, ..Default::default() };
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(ScanStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index out of range")]
+    fn bad_shard_config_rejected() {
+        Scanner::new(ToyNet { handled: 0 }, ScanConfig { shard: 2, shards: 2, ..Default::default() });
+    }
+}

@@ -1,0 +1,145 @@
+//! Target specification: scan ranges + IID fill.
+//!
+//! A scan target is an address *sub-prefix* (e.g. one /64 of an ISP block);
+//! the packet needs a full 128-bit destination. Per the methodology, the
+//! scanner fills the remaining bits with a pseudorandom interface
+//! identifier — hitting a real host is astronomically unlikely, so the
+//! last-hop periphery answers instead. The fill is keyed and deterministic
+//! per prefix, so re-probes and multi-module scans target the same address.
+
+use xmap_addr::{Ip6, Prefix, ScanRange};
+
+/// Deterministic pseudorandom fill for the host bits of a target prefix.
+///
+/// # Examples
+///
+/// ```
+/// use xmap::target::fill_host_bits;
+/// use xmap_addr::Prefix;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let prefix: Prefix = "2001:db8:1:2::/64".parse()?;
+/// let a = fill_host_bits(prefix, 42);
+/// assert!(prefix.contains(a));
+/// assert_eq!(a, fill_host_bits(prefix, 42)); // stable per (prefix, key)
+/// assert_ne!(a, fill_host_bits(prefix, 43)); // key-sensitive
+/// # Ok(())
+/// # }
+/// ```
+pub fn fill_host_bits(prefix: Prefix, key: u64) -> Ip6 {
+    if prefix.len() >= 128 {
+        return prefix.addr();
+    }
+    let mut h = key ^ 0xc2b2_ae3d_27d4_eb4f;
+    for part in [prefix.addr().bits() as u64, (prefix.addr().bits() >> 64) as u64, prefix.len() as u64]
+    {
+        h ^= part;
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+        h ^= h >> 32;
+    }
+    let host_bits = 128 - prefix.len() as u32;
+    // Up to 64 pseudorandom bits in the lowest positions; prefixes shorter
+    // than /64 still only randomize the IID half (bits 64..128 get `h`,
+    // bits prefix..64 stay zero), matching the paper's "prefix + random
+    // IID" construction.
+    let fill = if host_bits >= 64 { h as u128 } else { (h as u128) & ((1u128 << host_bits) - 1) };
+    // Avoid the subnet-router anycast address (all-zero IID).
+    let fill = if fill == 0 { 1 } else { fill };
+    Ip6::new(prefix.addr().bits() | fill)
+}
+
+/// A set of scan ranges probed as one job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetSpec {
+    ranges: Vec<ScanRange>,
+}
+
+impl TargetSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        TargetSpec::default()
+    }
+
+    /// Adds a range.
+    pub fn push(&mut self, range: ScanRange) {
+        self.ranges.push(range);
+    }
+
+    /// Parses a whitespace/comma-separated list of range expressions like
+    /// `2001:db8::/32-64, 2405:200::/32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse failure.
+    pub fn parse(spec: &str) -> Result<Self, xmap_addr::ParseAddrError> {
+        let mut out = TargetSpec::new();
+        for token in spec.split([',', ' ', '\n', '\t']).filter(|t| !t.is_empty()) {
+            out.push(token.parse()?);
+        }
+        Ok(out)
+    }
+
+    /// The ranges in insertion order.
+    pub fn ranges(&self) -> &[ScanRange] {
+        &self.ranges
+    }
+
+    /// Total number of target sub-prefixes across all ranges.
+    pub fn total_targets(&self) -> u128 {
+        self.ranges.iter().map(|r| r.space_size()).sum()
+    }
+}
+
+impl FromIterator<ScanRange> for TargetSpec {
+    fn from_iter<T: IntoIterator<Item = ScanRange>>(iter: T) -> Self {
+        TargetSpec { ranges: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_stays_inside_prefix() {
+        for s in ["2001:db8::/32", "2001:db8:1:2::/64", "2001:db8::/60", "2001:db8::1/128"] {
+            let p: Prefix = s.parse().unwrap();
+            let a = fill_host_bits(p, 7);
+            assert!(p.contains(a), "{s}");
+        }
+    }
+
+    #[test]
+    fn fill_is_never_anycast() {
+        // Even adversarial keys never produce the all-zero host part.
+        let p: Prefix = "2001:db8:1:2::/64".parse().unwrap();
+        for key in 0..1000 {
+            assert_ne!(fill_host_bits(p, key), p.addr());
+        }
+    }
+
+    #[test]
+    fn fill_for_128bit_prefix_is_identity() {
+        let p: Prefix = "2001:db8::42/128".parse().unwrap();
+        assert_eq!(fill_host_bits(p, 1), p.addr());
+    }
+
+    #[test]
+    fn sub64_prefix_randomizes_iid_only() {
+        let p: Prefix = "2001:db8:0:40::/60".parse().unwrap();
+        let a = fill_host_bits(p, 9);
+        // Bits 60..64 (the subnet nibble) stay zero: the probe targets the
+        // first /64 of the /60 with a random IID.
+        assert_eq!(a.bit_slice(60, 64), 0);
+        assert_ne!(a.iid(), 0);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let spec = TargetSpec::parse("2001:db8::/32-64, 2405:200::/32\n2600::/24-56").unwrap();
+        assert_eq!(spec.ranges().len(), 3);
+        assert_eq!(spec.total_targets(), 3 * (1u128 << 32));
+        assert!(TargetSpec::parse("nonsense").is_err());
+        assert_eq!(TargetSpec::parse("").unwrap().ranges().len(), 0);
+    }
+}

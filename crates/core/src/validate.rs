@@ -1,0 +1,123 @@
+//! Stateless response validation.
+//!
+//! ZMap-family scanners keep no per-probe state: the probe encodes a keyed
+//! cookie into header fields that the response (or the ICMPv6 error's quote
+//! of the invoking packet) must echo back. A response that doesn't carry
+//! the right cookie is background noise or a spoofing attempt and is
+//! discarded. For ICMPv6 echo probes the cookie rides in the
+//! identifier/sequence pair; for UDP/TCP it rides in the source port.
+
+use xmap_addr::Ip6;
+use xmap_netsim::packet::{Invoking, QuotedProto};
+
+/// Keyed cookie generator/validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validator {
+    key: u64,
+}
+
+impl Validator {
+    /// Creates a validator from a scan-secret key.
+    pub fn new(key: u64) -> Self {
+        Validator { key }
+    }
+
+    /// The 32-bit cookie for a probe destination.
+    pub fn cookie(&self, dst: Ip6) -> u32 {
+        let mut h = self.key ^ 0x517c_c1b7_2722_0a95;
+        for half in [dst.bits() as u64, (dst.bits() >> 64) as u64] {
+            h ^= half;
+            h = h.wrapping_mul(0x5bd1_e995_4d25_1e87).rotate_left(31);
+        }
+        (h ^ (h >> 32)) as u32
+    }
+
+    /// Cookie split into echo (identifier, sequence).
+    pub fn echo_fields(&self, dst: Ip6) -> (u16, u16) {
+        let c = self.cookie(dst);
+        ((c >> 16) as u16, c as u16)
+    }
+
+    /// Cookie folded into a source port in the ephemeral range (49152+).
+    pub fn source_port(&self, dst: Ip6) -> u16 {
+        49152 + (self.cookie(dst) % 16384) as u16
+    }
+
+    /// Validates echoed identifier/sequence against the probed destination.
+    pub fn check_echo(&self, dst: Ip6, ident: u16, seq: u16) -> bool {
+        self.echo_fields(dst) == (ident, seq)
+    }
+
+    /// Validates an ICMPv6 error's quote: the quoted destination must carry
+    /// the cookie we would have used for it, in whichever transport field
+    /// the probe used.
+    pub fn check_quote(&self, invoking: &Invoking) -> bool {
+        match invoking.proto {
+            QuotedProto::Icmp { ident, seq } => self.check_echo(invoking.dst, ident, seq),
+            QuotedProto::Udp { src_port, .. } | QuotedProto::Tcp { src_port, .. } => {
+                self.source_port(invoking.dst) == src_port
+            }
+            QuotedProto::OtherIcmp => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ip6 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cookie_is_deterministic_and_dst_sensitive() {
+        let v = Validator::new(42);
+        assert_eq!(v.cookie(a("2001:db8::1")), v.cookie(a("2001:db8::1")));
+        assert_ne!(v.cookie(a("2001:db8::1")), v.cookie(a("2001:db8::2")));
+        // Key-sensitive too.
+        assert_ne!(Validator::new(1).cookie(a("2001:db8::1")), Validator::new(2).cookie(a("2001:db8::1")));
+    }
+
+    #[test]
+    fn echo_roundtrip_validates() {
+        let v = Validator::new(7);
+        let dst = a("2405:200:1:2::3");
+        let (ident, seq) = v.echo_fields(dst);
+        assert!(v.check_echo(dst, ident, seq));
+        assert!(!v.check_echo(dst, ident.wrapping_add(1), seq));
+        assert!(!v.check_echo(a("2405:200:1:2::4"), ident, seq));
+    }
+
+    #[test]
+    fn source_port_in_ephemeral_range() {
+        let v = Validator::new(99);
+        for i in 0..100u64 {
+            let port = v.source_port(Ip6::new(i as u128));
+            assert!((49152..65536).contains(&(port as u32)));
+        }
+    }
+
+    #[test]
+    fn quote_validation_icmp_and_udp() {
+        let v = Validator::new(5);
+        let dst = a("2601::dead");
+        let (ident, seq) = v.echo_fields(dst);
+        let good = Invoking { src: a("fd::1"), dst, proto: QuotedProto::Icmp { ident, seq } };
+        assert!(v.check_quote(&good));
+        let bad = Invoking {
+            src: a("fd::1"),
+            dst,
+            proto: QuotedProto::Icmp { ident: ident ^ 1, seq },
+        };
+        assert!(!v.check_quote(&bad));
+        let udp = Invoking {
+            src: a("fd::1"),
+            dst,
+            proto: QuotedProto::Udp { src_port: v.source_port(dst), dst_port: 53 },
+        };
+        assert!(v.check_quote(&udp));
+        let other = Invoking { src: a("fd::1"), dst, proto: QuotedProto::OtherIcmp };
+        assert!(!v.check_quote(&other));
+    }
+}

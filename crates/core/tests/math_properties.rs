@@ -1,0 +1,125 @@
+//! Property-based tests for the modular-arithmetic module (the GMP
+//! replacement) — correctness here underwrites the full-cycle guarantee of
+//! the address permutation.
+
+use proptest::prelude::*;
+use xmap::math::{gcd, is_prime, mulmod, next_prime, powmod, prime_factors, primitive_root};
+
+/// Reference primality by trial division (small n only).
+fn is_prime_naive(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+proptest! {
+    /// mulmod agrees with native arithmetic wherever native arithmetic is
+    /// exact.
+    #[test]
+    fn mulmod_matches_native(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        let expected = (a as u128 * b as u128) % m as u128;
+        prop_assert_eq!(mulmod(a as u128, b as u128, m as u128), expected);
+    }
+
+    /// mulmod ring laws hold for large (>64-bit) operands too.
+    #[test]
+    fn mulmod_ring_laws(a in any::<u128>(), b in any::<u128>(), c in any::<u128>(), m in 2u128..(1 << 126)) {
+        let (a, b, c) = (a % m, b % m, c % m);
+        // Commutativity.
+        prop_assert_eq!(mulmod(a, b, m), mulmod(b, a, m));
+        // Associativity.
+        prop_assert_eq!(mulmod(mulmod(a, b, m), c, m), mulmod(a, mulmod(b, c, m), m));
+        // Identity.
+        prop_assert_eq!(mulmod(a, 1, m), a);
+        // Zero.
+        prop_assert_eq!(mulmod(a, 0, m), 0);
+    }
+
+    /// powmod matches iterated mulmod for small exponents.
+    #[test]
+    fn powmod_matches_iterated(base in any::<u64>(), e in 0u32..64, m in 2u64..) {
+        let m = m as u128;
+        let mut acc = 1u128 % m;
+        for _ in 0..e {
+            acc = mulmod(acc, base as u128, m);
+        }
+        prop_assert_eq!(powmod(base as u128, e as u128, m), acc);
+    }
+
+    /// Fermat's little theorem: a^(p-1) ≡ 1 (mod p) for prime p ∤ a.
+    #[test]
+    fn fermat_little_theorem(seed in 2u64..1_000_000, a in 2u128..1_000_000) {
+        let p = next_prime(seed as u128);
+        if a % p != 0 {
+            prop_assert_eq!(powmod(a, p - 1, p), 1, "p = {}", p);
+        }
+    }
+
+    /// Miller–Rabin agrees with trial division on small numbers.
+    #[test]
+    fn primality_matches_naive(n in 0u64..200_000) {
+        prop_assert_eq!(is_prime(n as u128), is_prime_naive(n), "n = {}", n);
+    }
+
+    /// next_prime returns a prime strictly above its argument with no
+    /// prime in between.
+    #[test]
+    fn next_prime_is_next(n in 0u64..100_000) {
+        let p = next_prime(n as u128);
+        prop_assert!(p > n as u128);
+        prop_assert!(is_prime(p));
+        for candidate in (n as u128 + 1)..p {
+            prop_assert!(!is_prime(candidate), "missed prime {} below {}", candidate, p);
+        }
+    }
+
+    /// The distinct prime factors of n multiply into a divisor of n, each
+    /// factor is prime, and they jointly reconstruct n's radical.
+    #[test]
+    fn factorization_is_sound(n in 2u64..5_000_000) {
+        let factors = prime_factors(n as u128);
+        prop_assert!(!factors.is_empty());
+        let mut rest = n as u128;
+        for f in &factors {
+            prop_assert!(is_prime(*f), "{} not prime", f);
+            prop_assert_eq!(rest % f, 0, "{} does not divide {}", f, n);
+            while rest % f == 0 {
+                rest /= f;
+            }
+        }
+        prop_assert_eq!(rest, 1, "factors of {} incomplete: {:?}", n, factors);
+    }
+
+    /// gcd is correct against the Euclidean definition.
+    #[test]
+    fn gcd_divides_both(a in 1u64.., b in 1u64..) {
+        let g = gcd(a as u128, b as u128);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a as u128 % g, 0);
+        prop_assert_eq!(b as u128 % g, 0);
+    }
+
+    /// primitive_root(p) really generates the full multiplicative group
+    /// (checked exhaustively for small primes).
+    #[test]
+    fn primitive_root_generates(seed in 3u64..2_000) {
+        let p = next_prime(seed as u128);
+        prop_assume!(p < 3_000);
+        let g = primitive_root(p);
+        let mut seen = vec![false; p as usize];
+        let mut v = 1u128;
+        for _ in 0..p - 1 {
+            v = mulmod(v, g, p);
+            seen[v as usize] = true;
+        }
+        prop_assert!((1..p as usize).all(|i| seen[i]), "g = {} does not generate Z*_{}", g, p);
+    }
+}

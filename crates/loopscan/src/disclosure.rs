@@ -1,0 +1,187 @@
+//! Responsible-disclosure reporting (Section VII).
+//!
+//! The paper reported every finding "to all involved vendors and ASes";
+//! all 24 router vendors confirmed the loop vulnerability and >131
+//! vulnerability identifiers (CNVD/CVE) were assigned. This module turns
+//! survey results into the per-recipient advisory bundles such a
+//! disclosure campaign needs: affected-device counts per vendor, affected
+//! prefixes per AS, severity, and the RFC 7084 remediation text.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::survey::DepthSurveyResult;
+use xmap_netsim::geo;
+
+/// Severity of a disclosed issue (CVSS-ish coarse bands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Information exposure only.
+    Low,
+    /// Remote DoS of customer links.
+    High,
+}
+
+/// One advisory addressed to a vendor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorAdvisory {
+    /// Recipient vendor.
+    pub vendor: &'static str,
+    /// Vulnerable devices observed (sample-scale).
+    pub affected_devices: usize,
+    /// Severity.
+    pub severity: Severity,
+}
+
+/// One notification addressed to a network operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorNotice {
+    /// Recipient AS.
+    pub asn: u32,
+    /// Operator name.
+    pub operator: String,
+    /// Vulnerable last hops observed in the AS (sample-scale).
+    pub affected_devices: usize,
+}
+
+/// A disclosure campaign assembled from the depth survey.
+#[derive(Debug, Clone, Default)]
+pub struct DisclosureCampaign {
+    /// Vendor advisories, most affected first.
+    pub vendors: Vec<VendorAdvisory>,
+    /// Operator notices, most affected first.
+    pub operators: Vec<OperatorNotice>,
+}
+
+impl DisclosureCampaign {
+    /// Builds the campaign from depth-survey results.
+    pub fn from_depth_survey(depth: &DepthSurveyResult) -> Self {
+        let vendor_counts = depth.vendor_counts();
+        let mut vendors: Vec<VendorAdvisory> = vendor_counts
+            .into_iter()
+            .map(|(vendor, affected_devices)| VendorAdvisory {
+                vendor,
+                affected_devices,
+                severity: Severity::High,
+            })
+            .collect();
+        vendors.sort_by(|a, b| b.affected_devices.cmp(&a.affected_devices).then(a.vendor.cmp(b.vendor)));
+
+        let mut per_as: HashMap<u32, usize> = HashMap::new();
+        for p in &depth.peripheries {
+            *per_as.entry(p.asn).or_insert(0) += 1;
+        }
+        let mut operators: Vec<OperatorNotice> = per_as
+            .into_iter()
+            .map(|(asn, affected_devices)| OperatorNotice {
+                asn,
+                operator: geo::name_of(asn),
+                affected_devices,
+            })
+            .collect();
+        operators.sort_by(|a, b| b.affected_devices.cmp(&a.affected_devices).then(a.asn.cmp(&b.asn)));
+        DisclosureCampaign { vendors, operators }
+    }
+
+    /// Number of distinct recipients.
+    pub fn recipients(&self) -> usize {
+        self.vendors.len() + self.operators.len()
+    }
+
+    /// Renders the advisory text for one vendor — the remediation wording
+    /// follows the paper's mitigation section verbatim where it quotes
+    /// RFC 7084.
+    pub fn advisory_text(&self, vendor: &str) -> Option<String> {
+        let advisory = self.vendors.iter().find(|v| v.vendor == vendor)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "SECURITY ADVISORY — IPv6 routing loop in {} CPE devices", advisory.vendor);
+        let _ = writeln!(out, "Severity: {:?} (remote DoS, amplification factor up to 255 - n)", advisory.severity);
+        let _ = writeln!(
+            out,
+            "Affected: {} devices observed in our measurement sample.",
+            advisory.affected_devices
+        );
+        let _ = writeln!(
+            out,
+            "\nIssue: the CE router forwards packets destined to the unused portion of\n\
+             its delegated IPv6 prefix back to its default route, creating a forwarding\n\
+             loop with the provider router. A single crafted packet with hop limit 255\n\
+             traverses the customer link more than 200 times; spoofed-source variants\n\
+             double that."
+        );
+        let _ = writeln!(
+            out,
+            "\nRemediation (RFC 7084): any packet received by the CE router with a\n\
+             destination address in the prefix(es) delegated to the CE router but not\n\
+             in the set of prefixes assigned by the CE router to the LAN must be\n\
+             dropped — install an unreachable (reject) route for the delegated prefix."
+        );
+        Some(out)
+    }
+
+    /// Summary line mirroring the paper's disclosure outcome sentence.
+    pub fn summary(&self) -> String {
+        format!(
+            "disclosed to {} vendors and {} network operators ({} affected devices in sample)",
+            self.vendors.len(),
+            self.operators.len(),
+            self.vendors.iter().map(|v| v.affected_devices).sum::<usize>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::DepthSurvey;
+    use xmap::{ScanConfig, Scanner};
+    use xmap_netsim::isp::SAMPLE_BLOCKS;
+    use xmap_netsim::world::{World, WorldConfig};
+
+    fn surveyed() -> DepthSurveyResult {
+        let world = World::with_config(WorldConfig { seed: 12, bgp_ases: 10, loss_frac: 0.0 });
+        let mut scanner = Scanner::new(world, ScanConfig { seed: 12, ..Default::default() });
+        let mut result = DepthSurveyResult::default();
+        let survey = DepthSurvey::new(1 << 15);
+        for idx in [11usize, 12] {
+            survey.run_block(&mut scanner, &SAMPLE_BLOCKS[idx], &mut result);
+        }
+        result
+    }
+
+    #[test]
+    fn campaign_assembles_recipients() {
+        let depth = surveyed();
+        let campaign = DisclosureCampaign::from_depth_survey(&depth);
+        assert!(!campaign.vendors.is_empty(), "no vendor advisories");
+        assert!(!campaign.operators.is_empty(), "no operator notices");
+        assert!(campaign.recipients() >= 3);
+        // Sorted by affected count.
+        for w in campaign.vendors.windows(2) {
+            assert!(w[0].affected_devices >= w[1].affected_devices);
+        }
+        // The CN broadband ASes are the top operators.
+        assert!(campaign.operators.iter().take(2).any(|o| o.asn == 4837 || o.asn == 4134));
+    }
+
+    #[test]
+    fn advisory_text_quotes_rfc7084() {
+        let depth = surveyed();
+        let campaign = DisclosureCampaign::from_depth_survey(&depth);
+        let vendor = campaign.vendors[0].vendor;
+        let text = campaign.advisory_text(vendor).unwrap();
+        assert!(text.contains("RFC 7084"));
+        assert!(text.contains("must be\ndropped") || text.contains("must be dropped"));
+        assert!(text.contains(vendor));
+        assert_eq!(campaign.advisory_text("Not A Vendor"), None);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let depth = surveyed();
+        let campaign = DisclosureCampaign::from_depth_survey(&depth);
+        let s = campaign.summary();
+        assert!(s.contains("vendors"), "{s}");
+        assert!(s.contains("operators"), "{s}");
+    }
+}

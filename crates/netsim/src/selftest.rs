@@ -1,0 +1,139 @@
+//! Calibration self-test: does the procedural population match its spec?
+//!
+//! The world's device populations are *derived* from the [`crate::isp`]
+//! profiles; every reproduction claim rests on the derivation actually
+//! honouring the calibration numbers. [`validate_profile`] samples a
+//! block's ground truth through the oracle and compares the empirical
+//! occupancy, reply-mode split, EUI-64 share and loop rate against the
+//! profile, reporting relative deviations. Tests pin the deviations;
+//! researchers editing profiles can run it to re-verify.
+
+use crate::device::ReplyMode;
+use crate::isp::IspProfile;
+use crate::world::World;
+use xmap_addr::IidClass;
+
+/// Empirical-vs-target deviations for one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileValidation {
+    /// Devices found in the sample.
+    pub sampled_devices: usize,
+    /// Empirical occupancy / profile occupancy − 1.
+    pub occupancy_err: f64,
+    /// Empirical same-mode share − profile share (absolute).
+    pub same_err: f64,
+    /// Empirical EUI-64 share − profile share (absolute).
+    pub eui64_err: f64,
+    /// Empirical loop rate − profile rate (absolute).
+    pub loop_err: f64,
+}
+
+impl ProfileValidation {
+    /// Whether every deviation is inside the tolerance for the sample size
+    /// (≈4σ binomial bounds plus a floor for tiny samples).
+    pub fn within_tolerance(&self) -> bool {
+        let n = self.sampled_devices.max(1) as f64;
+        let bound = 4.0 / n.sqrt() + 0.01;
+        self.occupancy_err.abs() < 0.25 + 40.0 / n
+            && self.same_err.abs() < bound
+            && self.eui64_err.abs() < bound
+            && self.loop_err.abs() < bound
+    }
+}
+
+/// Samples `sample` sub-prefixes of block `profile_idx` through the oracle
+/// and compares against the profile's calibration targets.
+pub fn validate_profile(
+    world: &World,
+    profile_idx: usize,
+    profile: &IspProfile,
+    sample: u64,
+) -> ProfileValidation {
+    let mut devices = 0usize;
+    let mut same = 0usize;
+    let mut eui = 0usize;
+    let mut loops = 0usize;
+    for i in 0..sample {
+        let Some(d) = world.device_at(profile_idx, i) else { continue };
+        devices += 1;
+        if d.reply_mode == ReplyMode::SamePrefix {
+            same += 1;
+        }
+        if d.iid_class == IidClass::Eui64 {
+            eui += 1;
+        }
+        if d.loop_vuln_lan || d.loop_vuln_wan {
+            loops += 1;
+        }
+    }
+    let n = devices.max(1) as f64;
+    let empirical_occ = devices as f64 / sample.max(1) as f64;
+    // The profile's same_frac applies to non-loop devices and
+    // loop_same_frac to loop devices; the blended expectation:
+    let expected_same = profile.loop_rate * profile.loop_same_frac
+        + (1.0 - profile.loop_rate) * profile.same_frac;
+    ProfileValidation {
+        sampled_devices: devices,
+        occupancy_err: empirical_occ / profile.occupancy - 1.0,
+        same_err: same as f64 / n - expected_same,
+        eui64_err: eui as f64 / n - profile.eui64_frac,
+        loop_err: loops as f64 / n - profile.loop_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp::SAMPLE_BLOCKS;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn dense_blocks_validate_at_modest_samples() {
+        let world = World::with_config(WorldConfig { seed: 404, bgp_ases: 5, loss_frac: 0.0 });
+        // The five densest blocks: Airtel, AT&T-M, CN Mobile bb, Unicom-M,
+        // CN Mobile cellular.
+        for idx in [2usize, 8, 12, 13, 14] {
+            let p = &SAMPLE_BLOCKS[idx];
+            let v = validate_profile(&world, idx, p, 1 << 19);
+            assert!(
+                v.within_tolerance(),
+                "{}: {v:?} (occupancy target {})",
+                p.name,
+                p.occupancy
+            );
+            assert!(v.sampled_devices > 50, "{}: {}", p.name, v.sampled_devices);
+        }
+    }
+
+    #[test]
+    fn loop_heavy_block_hits_its_rate() {
+        let world = World::with_config(WorldConfig { seed: 404, bgp_ases: 5, loss_frac: 0.0 });
+        let p = &SAMPLE_BLOCKS[11]; // Unicom broadband, 78.8% loops
+        let v = validate_profile(&world, 11, p, 1 << 21);
+        assert!(v.sampled_devices > 300, "{}", v.sampled_devices);
+        assert!(v.loop_err.abs() < 0.08, "{v:?}");
+    }
+
+    #[test]
+    fn different_seeds_validate_too() {
+        for seed in [1u64, 999, 123456789] {
+            let world = World::with_config(WorldConfig { seed, bgp_ases: 5, loss_frac: 0.0 });
+            let v = validate_profile(&world, 12, &SAMPLE_BLOCKS[12], 1 << 18);
+            assert!(v.within_tolerance(), "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn tolerance_logic() {
+        let good = ProfileValidation {
+            sampled_devices: 10_000,
+            occupancy_err: 0.01,
+            same_err: 0.005,
+            eui64_err: -0.01,
+            loop_err: 0.02,
+        };
+        assert!(good.within_tolerance());
+        let bad = ProfileValidation { same_err: 0.5, ..good };
+        assert!(!bad.within_tolerance());
+    }
+}

@@ -1,0 +1,864 @@
+//! Application-layer services running on peripheries.
+//!
+//! Section V of the paper probes seven security-relevant services on every
+//! discovered periphery (Table VI lists the request / valid-response pairs;
+//! port 80 and 8080 are both HTTP, hence eight probe targets). This module
+//! models the *server side*: which service kinds exist, what requests and
+//! responses look like, the software catalog with versions and release years
+//! (Table VIII), and per-vendor service profiles that drive which device
+//! exposes what (Figures 2 and 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol of a service probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportProto {
+    /// UDP datagram service.
+    Udp,
+    /// TCP connection-oriented service.
+    Tcp,
+}
+
+/// The eight probed services (Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// DNS resolution (UDP/53) — home routers acting as DNS forwarders.
+    Dns,
+    /// NTP time service (UDP/123).
+    Ntp,
+    /// FTP file access (TCP/21).
+    Ftp,
+    /// SSH remote login (TCP/22).
+    Ssh,
+    /// TELNET remote login (TCP/23).
+    Telnet,
+    /// Web management pages (TCP/80).
+    Http,
+    /// TLS/HTTPS management (TCP/443).
+    Tls,
+    /// Alternate web service (TCP/8080).
+    HttpAlt,
+}
+
+impl ServiceKind {
+    /// All services in Table VI / Table VII column order.
+    pub const ALL: [ServiceKind; 8] = [
+        ServiceKind::Dns,
+        ServiceKind::Ntp,
+        ServiceKind::Ftp,
+        ServiceKind::Ssh,
+        ServiceKind::Telnet,
+        ServiceKind::Http,
+        ServiceKind::Tls,
+        ServiceKind::HttpAlt,
+    ];
+
+    /// The well-known port probed.
+    pub const fn port(self) -> u16 {
+        match self {
+            ServiceKind::Dns => 53,
+            ServiceKind::Ntp => 123,
+            ServiceKind::Ftp => 21,
+            ServiceKind::Ssh => 22,
+            ServiceKind::Telnet => 23,
+            ServiceKind::Http => 80,
+            ServiceKind::Tls => 443,
+            ServiceKind::HttpAlt => 8080,
+        }
+    }
+
+    /// The transport the service runs over.
+    pub const fn transport(self) -> TransportProto {
+        match self {
+            ServiceKind::Dns | ServiceKind::Ntp => TransportProto::Udp,
+            _ => TransportProto::Tcp,
+        }
+    }
+
+    /// The service probed on `port`, if any.
+    pub fn from_port(port: u16) -> Option<ServiceKind> {
+        ServiceKind::ALL.iter().copied().find(|s| s.port() == port)
+    }
+
+    /// Label used in the paper's tables, e.g. `DNS (UDP/53)`.
+    pub fn label(self) -> String {
+        let proto = match self.transport() {
+            TransportProto::Udp => "UDP",
+            TransportProto::Tcp => "TCP",
+        };
+        format!("{} ({}/{})", self.short_name(), proto, self.port())
+    }
+
+    /// Short name, e.g. `DNS`.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            ServiceKind::Dns => "DNS",
+            ServiceKind::Ntp => "NTP",
+            ServiceKind::Ftp => "FTP",
+            ServiceKind::Ssh => "SSH",
+            ServiceKind::Telnet => "TELNET",
+            ServiceKind::Http => "HTTP",
+            ServiceKind::Tls => "TLS",
+            ServiceKind::HttpAlt => "HTTP-8080",
+        }
+    }
+
+    /// The application-specific request of Table VI.
+    pub const fn request(self) -> AppRequest {
+        match self {
+            ServiceKind::Dns => AppRequest::DnsQuery,
+            ServiceKind::Ntp => AppRequest::NtpVersionQuery,
+            ServiceKind::Ftp => AppRequest::FtpConnect,
+            ServiceKind::Ssh => AppRequest::SshVersionRequest,
+            ServiceKind::Telnet => AppRequest::TelnetLogin,
+            ServiceKind::Http => AppRequest::HttpGet,
+            ServiceKind::Tls => AppRequest::TlsCertificateRequest,
+            ServiceKind::HttpAlt => AppRequest::HttpGet,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Application-specific probe requests (Table VI, "Request" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppRequest {
+    /// `A` / version query.
+    DnsQuery,
+    /// NTP version query.
+    NtpVersionQuery,
+    /// Request for connecting.
+    FtpConnect,
+    /// Version + key request.
+    SshVersionRequest,
+    /// Request for login.
+    TelnetLogin,
+    /// HTTP GET request.
+    HttpGet,
+    /// Certificate request (abstracted ClientHello).
+    TlsCertificateRequest,
+}
+
+/// Application responses (Table VI, "Valid Response" column). Each response
+/// carries the index of the serving [`Software`] in [`SOFTWARE_CATALOG`] so
+/// banner analysis works exactly like parsing a real banner, plus an optional
+/// vendor string when the device discloses it at the application layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppResponse {
+    /// DNS answer from a forwarder.
+    DnsAnswer {
+        /// Serving software (e.g. a dnsmasq version).
+        software: SoftwareId,
+    },
+    /// NTP version reply.
+    NtpVersionReply {
+        /// NTP protocol version (the paper observes version 4 everywhere).
+        version: u8,
+    },
+    /// FTP banner / successful response.
+    FtpBanner {
+        /// Serving software.
+        software: SoftwareId,
+    },
+    /// SSH version + host key.
+    SshBanner {
+        /// Serving software.
+        software: SoftwareId,
+    },
+    /// TELNET login prompt.
+    TelnetPrompt {
+        /// Vendor banner, when the device prints one (37k devices do).
+        vendor_banner: Option<&'static str>,
+    },
+    /// HTTP header + body.
+    HttpPage {
+        /// `Server:` header software.
+        software: SoftwareId,
+        /// Whether the body is a router login/management page.
+        login_page: bool,
+        /// Vendor disclosed in the page (title, copyright...).
+        vendor: Option<&'static str>,
+    },
+    /// TLS certificate + cipher suite.
+    TlsCertificate {
+        /// Vendor in the certificate subject, when disclosed.
+        vendor: Option<&'static str>,
+    },
+}
+
+impl AppResponse {
+    /// Whether this is a *valid* response for `kind` per Table VI.
+    pub fn is_valid_for(&self, kind: ServiceKind) -> bool {
+        matches!(
+            (kind, self),
+            (ServiceKind::Dns, AppResponse::DnsAnswer { .. })
+                | (ServiceKind::Ntp, AppResponse::NtpVersionReply { .. })
+                | (ServiceKind::Ftp, AppResponse::FtpBanner { .. })
+                | (ServiceKind::Ssh, AppResponse::SshBanner { .. })
+                | (ServiceKind::Telnet, AppResponse::TelnetPrompt { .. })
+                | (ServiceKind::Http, AppResponse::HttpPage { .. })
+                | (ServiceKind::Tls, AppResponse::TlsCertificate { .. })
+                | (ServiceKind::HttpAlt, AppResponse::HttpPage { .. })
+        )
+    }
+
+    /// The serving software, when the response discloses one.
+    pub fn software(&self) -> Option<SoftwareId> {
+        match self {
+            AppResponse::DnsAnswer { software }
+            | AppResponse::FtpBanner { software }
+            | AppResponse::SshBanner { software }
+            | AppResponse::HttpPage { software, .. } => Some(*software),
+            _ => None,
+        }
+    }
+
+    /// The vendor disclosed at the application layer, if any.
+    pub fn vendor(&self) -> Option<&'static str> {
+        match self {
+            AppResponse::TelnetPrompt { vendor_banner } => *vendor_banner,
+            AppResponse::HttpPage { vendor, .. } => *vendor,
+            AppResponse::TlsCertificate { vendor } => *vendor,
+            _ => None,
+        }
+    }
+}
+
+/// Index into [`SOFTWARE_CATALOG`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SoftwareId(pub u16);
+
+impl SoftwareId {
+    /// Resolves the catalog entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids are only minted from the
+    /// catalog, so this indicates a corrupted record).
+    pub fn get(self) -> &'static Software {
+        &SOFTWARE_CATALOG[self.0 as usize]
+    }
+}
+
+/// A software product + version as extracted from banners (Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Software {
+    /// Which service this software serves.
+    pub service: ServiceKind,
+    /// Product name, e.g. `dnsmasq`.
+    pub name: &'static str,
+    /// Version label as the paper reports it, e.g. `2.4x`.
+    pub version: &'static str,
+    /// Year the version was released (drives the "released 8-10 years ago"
+    /// staleness analysis; the paper's probing date is Nov 2020).
+    pub released: u16,
+}
+
+impl Software {
+    /// Full banner string, e.g. `dnsmasq-2.4x`.
+    pub fn banner(&self) -> String {
+        format!("{}-{}", self.name, self.version)
+    }
+
+    /// Age in years at the paper's probing date (Nov 2020).
+    pub fn age_at_probe(&self) -> u16 {
+        2020u16.saturating_sub(self.released)
+    }
+}
+
+/// Software catalog covering every product/version in Table VIII.
+pub const SOFTWARE_CATALOG: &[Software] = &[
+    // -- DNS (dnsmasq families; 2.4x released ~8 years before Nov 2020) --
+    Software {
+        service: ServiceKind::Dns,
+        name: "dnsmasq",
+        version: "2.4x",
+        released: 2012,
+    },
+    Software {
+        service: ServiceKind::Dns,
+        name: "dnsmasq",
+        version: "2.5x",
+        released: 2013,
+    },
+    Software {
+        service: ServiceKind::Dns,
+        name: "dnsmasq",
+        version: "2.6x",
+        released: 2014,
+    },
+    Software {
+        service: ServiceKind::Dns,
+        name: "dnsmasq",
+        version: "2.7x",
+        released: 2018,
+    },
+    // -- HTTP --
+    Software {
+        service: ServiceKind::HttpAlt,
+        name: "Jetty",
+        version: "9.x",
+        released: 2016,
+    },
+    Software {
+        service: ServiceKind::Http,
+        name: "MiniWeb HTTP Server",
+        version: "0.8",
+        released: 2013,
+    },
+    Software {
+        service: ServiceKind::Http,
+        name: "micro_httpd",
+        version: "14aug2014",
+        released: 2014,
+    },
+    Software {
+        service: ServiceKind::Http,
+        name: "GoAhead Embedded",
+        version: "2.5",
+        released: 2012,
+    },
+    // -- SSH: dropbear --
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "0.46",
+        released: 2005,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "0.48",
+        released: 2006,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "0.5x",
+        released: 2008,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "2012.55",
+        released: 2012,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "2017.75",
+        released: 2017,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "dropbear",
+        version: "2011-2019.x",
+        released: 2015,
+    },
+    // -- SSH: openssh --
+    Software {
+        service: ServiceKind::Ssh,
+        name: "openssh",
+        version: "3.5",
+        released: 2002,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "openssh",
+        version: "5.x",
+        released: 2010,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "openssh",
+        version: "6.x",
+        released: 2013,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "openssh",
+        version: "7.x",
+        released: 2016,
+    },
+    Software {
+        service: ServiceKind::Ssh,
+        name: "openssh",
+        version: "8.x",
+        released: 2019,
+    },
+    // -- FTP --
+    Software {
+        service: ServiceKind::Ftp,
+        name: "GNU Inetutils",
+        version: "1.4.1",
+        released: 2002,
+    },
+    Software {
+        service: ServiceKind::Ftp,
+        name: "Fritz!Box",
+        version: "ftpd",
+        released: 2015,
+    },
+    Software {
+        service: ServiceKind::Ftp,
+        name: "FreeBSD",
+        version: "6.00ls",
+        released: 2006,
+    },
+    Software {
+        service: ServiceKind::Ftp,
+        name: "vsftpd",
+        version: "2.2.2",
+        released: 2009,
+    },
+    Software {
+        service: ServiceKind::Ftp,
+        name: "vsftpd",
+        version: "2.3.4",
+        released: 2011,
+    },
+    Software {
+        service: ServiceKind::Ftp,
+        name: "vsftpd",
+        version: "3.0.3",
+        released: 2015,
+    },
+];
+
+/// Looks up catalog ids for a product name (all versions).
+pub fn software_ids_by_name(name: &str) -> Vec<SoftwareId> {
+    SOFTWARE_CATALOG
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == name)
+        .map(|(i, _)| SoftwareId(i as u16))
+        .collect()
+}
+
+/// Looks up one catalog id by product name and version.
+pub fn software_id(name: &str, version: &str) -> Option<SoftwareId> {
+    SOFTWARE_CATALOG
+        .iter()
+        .position(|s| s.name == name && s.version == version)
+        .map(|i| SoftwareId(i as u16))
+}
+
+/// Per-vendor service behaviour: how much more (or less) likely than the
+/// ISP baseline this vendor is to expose each service, which software it
+/// runs, and whether it discloses its name at the application layer.
+///
+/// Multipliers are per-mille relative to the ISP's per-service baseline
+/// rate: 1000 = exactly the baseline, 0 = never opens it. They encode the
+/// per-vendor service discrepancy of Figures 2 and 3 (e.g. StarNet devices
+/// only expose HTTP/8080; Youhua Tech devices open everything but NTP).
+#[derive(Debug, Clone, Copy)]
+pub struct VendorProfile {
+    /// Vendor name (matches `xmap_addr::oui` names).
+    pub vendor: &'static str,
+    /// Per-service multipliers, indexed like [`ServiceKind::ALL`], per-mille.
+    pub multipliers: [u16; 8],
+    /// Weighted software choices `(software name, version, weight)` —
+    /// resolved against [`SOFTWARE_CATALOG`] per service at generation time.
+    pub software: &'static [(&'static str, &'static str, u32)],
+    /// Probability (per-mille) that HTTP/TLS/TELNET responses disclose the
+    /// vendor, enabling application-level vendor identification.
+    pub discloses_vendor: u16,
+}
+
+/// Default profile for vendors without a bespoke entry.
+pub const DEFAULT_PROFILE: VendorProfile = VendorProfile {
+    vendor: "(default)",
+    multipliers: [1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000],
+    software: &[
+        ("dnsmasq", "2.7x", 4),
+        ("dnsmasq", "2.6x", 1),
+        ("micro_httpd", "14aug2014", 3),
+        ("GoAhead Embedded", "2.5", 1),
+        ("dropbear", "2017.75", 2),
+        ("dropbear", "2012.55", 1),
+        ("vsftpd", "3.0.3", 1),
+        ("Jetty", "9.x", 1),
+    ],
+    discloses_vendor: 250,
+};
+
+/// Bespoke per-vendor profiles (order: Dns, Ntp, Ftp, Ssh, Telnet, Http, Tls, HttpAlt).
+pub const VENDOR_PROFILES: &[VendorProfile] = &[
+    VendorProfile {
+        // Jetty on 8080 dominates (3.5M devices); DNS + HTTP/80 heavy.
+        vendor: "China Mobile",
+        multipliers: [1100, 100, 900, 800, 900, 1500, 300, 1800],
+        software: &[
+            ("dnsmasq", "2.7x", 2),
+            ("dnsmasq", "2.4x", 1),
+            ("Jetty", "9.x", 10),
+            ("MiniWeb HTTP Server", "0.8", 4),
+            ("micro_httpd", "14aug2014", 2),
+            ("dropbear", "0.48", 3),
+            ("GNU Inetutils", "1.4.1", 3),
+        ],
+        discloses_vendor: 700,
+    },
+    VendorProfile {
+        // DNS (198k), SSH, FTP, TELNET strong.
+        vendor: "Fiberhome",
+        multipliers: [2500, 50, 2400, 2600, 2400, 700, 400, 300],
+        software: &[
+            ("dnsmasq", "2.7x", 3),
+            ("dnsmasq", "2.5x", 1),
+            ("dropbear", "0.48", 5),
+            ("dropbear", "0.46", 1),
+            ("GNU Inetutils", "1.4.1", 4),
+            ("micro_httpd", "14aug2014", 2),
+        ],
+        discloses_vendor: 600,
+    },
+    VendorProfile {
+        // Everything except NTP; dnsmasq 2.4x (~8 years old) on 141k devices.
+        vendor: "Youhua Tech",
+        multipliers: [2400, 0, 2300, 2500, 2600, 1200, 900, 400],
+        software: &[
+            ("dnsmasq", "2.4x", 9),
+            ("dnsmasq", "2.5x", 1),
+            ("dropbear", "0.48", 4),
+            ("GNU Inetutils", "1.4.1", 3),
+            ("MiniWeb HTTP Server", "0.8", 2),
+        ],
+        discloses_vendor: 650,
+    },
+    VendorProfile {
+        vendor: "China Unicom",
+        multipliers: [1600, 100, 500, 500, 2200, 900, 200, 300],
+        software: &[
+            ("dnsmasq", "2.6x", 2),
+            ("dnsmasq", "2.7x", 1),
+            ("micro_httpd", "14aug2014", 2),
+            ("dropbear", "2012.55", 1),
+        ],
+        discloses_vendor: 700,
+    },
+    VendorProfile {
+        vendor: "ZTE",
+        multipliers: [1500, 100, 700, 600, 1900, 1300, 400, 500],
+        software: &[
+            ("dnsmasq", "2.5x", 2),
+            ("dnsmasq", "2.7x", 2),
+            ("GoAhead Embedded", "2.5", 3),
+            ("micro_httpd", "14aug2014", 1),
+            ("dropbear", "0.5x", 2),
+        ],
+        discloses_vendor: 550,
+    },
+    VendorProfile {
+        // Only HTTP/8080 per Figure 2.
+        vendor: "StarNet",
+        multipliers: [0, 0, 0, 0, 0, 0, 0, 2600],
+        software: &[("Jetty", "9.x", 1)],
+        discloses_vendor: 500,
+    },
+    VendorProfile {
+        vendor: "Skyworth",
+        multipliers: [300, 50, 200, 300, 300, 1900, 300, 700],
+        software: &[
+            ("MiniWeb HTTP Server", "0.8", 3),
+            ("micro_httpd", "14aug2014", 2),
+            ("dnsmasq", "2.7x", 1),
+        ],
+        discloses_vendor: 600,
+    },
+    VendorProfile {
+        // Fritz!Box: FTP + TLS + NTP visible.
+        vendor: "AVM GmbH",
+        multipliers: [200, 1800, 2200, 300, 100, 800, 2400, 200],
+        software: &[("Fritz!Box", "ftpd", 5), ("GoAhead Embedded", "2.5", 1)],
+        discloses_vendor: 900,
+    },
+    VendorProfile {
+        vendor: "TP-Link",
+        multipliers: [500, 100, 300, 300, 400, 2100, 700, 300],
+        software: &[
+            ("micro_httpd", "14aug2014", 4),
+            ("GoAhead Embedded", "2.5", 2),
+            ("dnsmasq", "2.7x", 2),
+            ("dropbear", "2017.75", 1),
+        ],
+        discloses_vendor: 800,
+    },
+    VendorProfile {
+        vendor: "Hitron Tech",
+        multipliers: [200, 100, 100, 200, 100, 700, 2500, 400],
+        software: &[
+            ("MiniWeb HTTP Server", "0.8", 1),
+            ("GoAhead Embedded", "2.5", 1),
+        ],
+        discloses_vendor: 700,
+    },
+    VendorProfile {
+        vendor: "OpenWrt",
+        multipliers: [900, 200, 300, 1500, 1300, 1100, 600, 200],
+        software: &[
+            ("dnsmasq", "2.7x", 6),
+            ("dropbear", "2017.75", 4),
+            ("dropbear", "2011-2019.x", 1),
+        ],
+        discloses_vendor: 850,
+    },
+    VendorProfile {
+        // CenturyLink-heavy NTP exposure shows through this CPE vendor.
+        vendor: "Technicolor",
+        multipliers: [400, 2600, 300, 400, 300, 900, 800, 200],
+        software: &[
+            ("GoAhead Embedded", "2.5", 2),
+            ("dnsmasq", "2.6x", 1),
+            ("openssh", "6.x", 1),
+        ],
+        discloses_vendor: 700,
+    },
+    VendorProfile {
+        vendor: "Huawei",
+        multipliers: [700, 150, 400, 500, 700, 1300, 800, 300],
+        software: &[
+            ("dnsmasq", "2.6x", 2),
+            ("GoAhead Embedded", "2.5", 2),
+            ("dropbear", "0.5x", 1),
+            ("openssh", "5.x", 1),
+        ],
+        discloses_vendor: 750,
+    },
+    VendorProfile {
+        vendor: "Mercury",
+        multipliers: [600, 0, 200, 200, 500, 1700, 300, 300],
+        software: &[("micro_httpd", "14aug2014", 2), ("dnsmasq", "2.7x", 1)],
+        discloses_vendor: 650,
+    },
+    VendorProfile {
+        vendor: "D-Link",
+        multipliers: [500, 100, 400, 300, 500, 1600, 600, 300],
+        software: &[
+            ("GoAhead Embedded", "2.5", 2),
+            ("micro_httpd", "14aug2014", 1),
+            ("dnsmasq", "2.6x", 1),
+        ],
+        discloses_vendor: 800,
+    },
+    VendorProfile {
+        vendor: "MikroTik",
+        multipliers: [800, 600, 700, 1600, 900, 1200, 700, 200],
+        software: &[
+            ("openssh", "7.x", 2),
+            ("dnsmasq", "2.7x", 1),
+            ("vsftpd", "3.0.3", 1),
+        ],
+        discloses_vendor: 850,
+    },
+    VendorProfile {
+        vendor: "Netgear",
+        multipliers: [400, 150, 300, 300, 200, 1500, 900, 200],
+        software: &[
+            ("GoAhead Embedded", "2.5", 1),
+            ("dnsmasq", "2.7x", 1),
+            ("openssh", "6.x", 1),
+        ],
+        discloses_vendor: 800,
+    },
+    VendorProfile {
+        vendor: "Xfinity",
+        multipliers: [100, 300, 100, 200, 100, 800, 1800, 300],
+        software: &[("MiniWeb HTTP Server", "0.8", 1)],
+        discloses_vendor: 700,
+    },
+    VendorProfile {
+        vendor: "Shenzhen",
+        multipliers: [900, 100, 600, 700, 900, 1100, 300, 400],
+        software: &[
+            ("dnsmasq", "2.5x", 1),
+            ("micro_httpd", "14aug2014", 1),
+            ("dropbear", "0.5x", 1),
+        ],
+        discloses_vendor: 500,
+    },
+    VendorProfile {
+        vendor: "China Telecom",
+        multipliers: [1200, 100, 600, 500, 1100, 1000, 300, 600],
+        software: &[
+            ("dnsmasq", "2.6x", 2),
+            ("micro_httpd", "14aug2014", 1),
+            ("dropbear", "2012.55", 1),
+        ],
+        discloses_vendor: 650,
+    },
+    VendorProfile {
+        vendor: "Asus",
+        multipliers: [600, 200, 500, 900, 300, 1400, 800, 200],
+        software: &[
+            ("dnsmasq", "2.7x", 2),
+            ("dropbear", "2017.75", 1),
+            ("vsftpd", "3.0.3", 1),
+        ],
+        discloses_vendor: 850,
+    },
+    VendorProfile {
+        vendor: "Nokia",
+        multipliers: [300, 150, 200, 300, 300, 1100, 900, 200],
+        software: &[("GoAhead Embedded", "2.5", 1), ("openssh", "7.x", 1)],
+        discloses_vendor: 750,
+    },
+];
+
+/// Resolves the profile for `vendor`, falling back to [`DEFAULT_PROFILE`].
+pub fn vendor_profile(vendor: &str) -> &'static VendorProfile {
+    VENDOR_PROFILES
+        .iter()
+        .find(|p| p.vendor == vendor)
+        .unwrap_or(&DEFAULT_PROFILE)
+}
+
+/// TELNET banners observed in the wild (Section V-B: 37k devices print
+/// forthright vendor banners).
+pub const TELNET_BANNER_VENDORS: &[&str] = &["China Unicom", "Yocto", "OpenWrt"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_match_table_vi() {
+        assert_eq!(ServiceKind::Dns.port(), 53);
+        assert_eq!(ServiceKind::Ntp.port(), 123);
+        assert_eq!(ServiceKind::Ftp.port(), 21);
+        assert_eq!(ServiceKind::Ssh.port(), 22);
+        assert_eq!(ServiceKind::Telnet.port(), 23);
+        assert_eq!(ServiceKind::Http.port(), 80);
+        assert_eq!(ServiceKind::Tls.port(), 443);
+        assert_eq!(ServiceKind::HttpAlt.port(), 8080);
+    }
+
+    #[test]
+    fn transports_match_table_vi() {
+        assert_eq!(ServiceKind::Dns.transport(), TransportProto::Udp);
+        assert_eq!(ServiceKind::Ntp.transport(), TransportProto::Udp);
+        for s in [
+            ServiceKind::Ftp,
+            ServiceKind::Ssh,
+            ServiceKind::Telnet,
+            ServiceKind::Http,
+            ServiceKind::Tls,
+            ServiceKind::HttpAlt,
+        ] {
+            assert_eq!(s.transport(), TransportProto::Tcp);
+        }
+    }
+
+    #[test]
+    fn from_port_roundtrip() {
+        for s in ServiceKind::ALL {
+            assert_eq!(ServiceKind::from_port(s.port()), Some(s));
+        }
+        assert_eq!(ServiceKind::from_port(9999), None);
+    }
+
+    #[test]
+    fn label_format() {
+        assert_eq!(ServiceKind::Dns.label(), "DNS (UDP/53)");
+        assert_eq!(ServiceKind::Http.label(), "HTTP (TCP/80)");
+    }
+
+    #[test]
+    fn response_validity_matrix() {
+        let dns = AppResponse::DnsAnswer {
+            software: software_id("dnsmasq", "2.4x").unwrap(),
+        };
+        assert!(dns.is_valid_for(ServiceKind::Dns));
+        assert!(!dns.is_valid_for(ServiceKind::Http));
+        let page = AppResponse::HttpPage {
+            software: software_id("Jetty", "9.x").unwrap(),
+            login_page: true,
+            vendor: None,
+        };
+        assert!(page.is_valid_for(ServiceKind::Http));
+        assert!(page.is_valid_for(ServiceKind::HttpAlt));
+        assert!(!page.is_valid_for(ServiceKind::Tls));
+    }
+
+    #[test]
+    fn catalog_covers_table_viii() {
+        for (name, version) in [
+            ("dnsmasq", "2.4x"),
+            ("dnsmasq", "2.7x"),
+            ("Jetty", "9.x"),
+            ("MiniWeb HTTP Server", "0.8"),
+            ("micro_httpd", "14aug2014"),
+            ("GoAhead Embedded", "2.5"),
+            ("dropbear", "0.46"),
+            ("dropbear", "0.48"),
+            ("openssh", "3.5"),
+            ("GNU Inetutils", "1.4.1"),
+            ("FreeBSD", "6.00ls"),
+            ("vsftpd", "2.3.4"),
+        ] {
+            assert!(
+                software_id(name, version).is_some(),
+                "{name}-{version} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn dnsmasq_24x_is_about_8_years_old() {
+        let sw = software_id("dnsmasq", "2.4x").unwrap().get();
+        assert_eq!(sw.age_at_probe(), 8);
+        assert_eq!(sw.banner(), "dnsmasq-2.4x");
+    }
+
+    #[test]
+    fn openssh_35_released_2002() {
+        assert_eq!(software_id("openssh", "3.5").unwrap().get().released, 2002);
+    }
+
+    #[test]
+    fn vendor_profiles_resolve_software() {
+        // Every (name, version) in every profile must exist in the catalog.
+        for p in VENDOR_PROFILES
+            .iter()
+            .chain(std::iter::once(&DEFAULT_PROFILE))
+        {
+            for (name, version, weight) in p.software {
+                assert!(*weight > 0, "{}: zero weight entry", p.vendor);
+                assert!(
+                    software_id(name, version).is_some(),
+                    "{}: unknown software {name}-{version}",
+                    p.vendor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starnet_only_opens_8080() {
+        let p = vendor_profile("StarNet");
+        for (i, s) in ServiceKind::ALL.iter().enumerate() {
+            if *s == ServiceKind::HttpAlt {
+                assert!(p.multipliers[i] > 0);
+            } else {
+                assert_eq!(p.multipliers[i], 0, "{s} should be closed on StarNet");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_vendor_gets_default_profile() {
+        assert_eq!(vendor_profile("No Such Vendor").vendor, "(default)");
+    }
+
+    #[test]
+    fn software_ids_by_name_finds_all_versions() {
+        assert_eq!(software_ids_by_name("dnsmasq").len(), 4);
+        assert_eq!(software_ids_by_name("dropbear").len(), 6);
+        assert_eq!(software_ids_by_name("openssh").len(), 5);
+        assert_eq!(software_ids_by_name("vsftpd").len(), 3);
+    }
+}

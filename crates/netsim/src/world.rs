@@ -1,0 +1,1333 @@
+//! The procedural Internet: a scalable, deterministic [`Network`].
+//!
+//! The world answers probes the way the live IPv6 Internet answered the
+//! paper's scans, without materializing 52 million devices. Device existence
+//! and every device property are *derived* by hashing `(seed, block,
+//! sub-prefix index)`, so:
+//!
+//! * the same address always behaves the same way across probes and scans,
+//! * a 2³²-sub-prefix block costs no memory,
+//! * any contiguous slice of a block is a statistically faithful sample,
+//!   which is what makes the scaled experiments (DESIGN.md §1) valid.
+//!
+//! Behavioural rules match the explicit [`crate::Engine`]:
+//!
+//! * a probe to a nonexistent address inside an allocated prefix draws an
+//!   ICMPv6 address-unreachable from the periphery's WAN address (RFC 4443),
+//! * hop limits that expire before the ISP router draw Time Exceeded from a
+//!   transit router,
+//! * probes into the unused region of a loop-vulnerable CPE's prefixes draw
+//!   Time Exceeded after ping-ponging on the ISP↔CPE link (the traversals
+//!   are counted for amplification statistics),
+//! * application probes are answered only for addresses that have already
+//!   revealed themselves in this world — exactly the pipeline the paper
+//!   runs (discover first, then ZGrab the discovered set).
+
+use std::collections::HashMap;
+
+use xmap_addr::oui::{self, DeviceClass};
+use xmap_addr::{IidClass, Ip6, Mac, Prefix};
+
+use crate::bgp::{BgpTable, BASE_DENSITY, BGP_IID_MIX, LOOP_RATE_BY_CLASS};
+use crate::device::{Device, ReplyMode, ServiceInstance, ServiceSet};
+use crate::isp::{IspProfile, NON_EUI_IID_SPLIT, SAMPLE_BLOCKS};
+use crate::packet::{AppData, Icmpv6, Ipv6Packet, Network, Payload, TcpFlags, UnreachCode};
+use crate::rng::{weighted_pick, DetHash};
+use crate::services::{
+    software_id, AppRequest, AppResponse, ServiceKind, SoftwareId, TransportProto, SOFTWARE_CATALOG,
+};
+
+/// Configuration of a [`World`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Master seed; all behaviour derives from it.
+    pub seed: u64,
+    /// Number of autonomous systems in the synthetic BGP table.
+    pub bgp_ases: usize,
+    /// Fraction of probe/response exchanges lost end to end.
+    pub loss_frac: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        // 6,911 ASes — the responding-AS universe of Table IX.
+        WorldConfig {
+            seed: 0xDA7A_5EED,
+            bgp_ases: 6911,
+            loss_frac: 0.004,
+        }
+    }
+}
+
+/// Traffic statistics accumulated by a world.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Packets injected.
+    pub probes: u64,
+    /// Response packets produced.
+    pub responses: u64,
+    /// Probes that triggered a routing loop.
+    pub loop_events: u64,
+    /// Link traversals consumed by routing loops (amplified traffic).
+    pub loop_forwards: u64,
+    /// ICMPv6 errors suppressed by per-device rate limiting (RFC 4443
+    /// §2.4(f)).
+    pub rate_limited: u64,
+}
+
+impl WorldStats {
+    /// Mean loop amplification factor (looped traversals per looping probe).
+    pub fn amplification(&self) -> f64 {
+        if self.loop_events == 0 {
+            0.0
+        } else {
+            self.loop_forwards as f64 / self.loop_events as f64
+        }
+    }
+}
+
+/// Locator of a responding device, kept in the discovery registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeviceRef {
+    /// Device `index` within sample block `profile` (index into SAMPLE_BLOCKS).
+    Isp { profile: usize, index: u64 },
+}
+
+/// A last-hop host in the BGP survey zone (no services, no vendor — the
+/// survey only measures reachability, IID structure and loop behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpHost {
+    /// Origin AS of the covering prefix.
+    pub asn: u32,
+    /// IID class of the responding address.
+    pub iid_class: IidClass,
+    /// Interface identifier.
+    pub iid: u64,
+    /// Whether the host's routes loop for unused destinations.
+    pub loops: bool,
+    /// Hop count from the vantage to the host's upstream router.
+    pub hops: u8,
+}
+
+/// The procedural Internet.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_netsim::{World, Network, Ipv6Packet};
+///
+/// let mut world = World::new(42);
+/// // Probe a nonexistent address in Reliance Jio's sample block; if the
+/// // sub-prefix is allocated, the periphery answers with an unreachable.
+/// let probe = Ipv6Packet::echo_request(
+///     "fd00::1".parse()?, "2405:200:0:1::1234".parse()?, 64, 7, 7);
+/// let _responses = world.handle(probe);
+/// # Ok::<(), xmap_addr::ParseAddrError>(())
+/// ```
+#[derive(Debug)]
+pub struct World {
+    cfg: WorldConfig,
+    profiles: &'static [IspProfile],
+    bgp: BgpTable,
+    /// Discovered WAN address → device locator (fed by discovery responses,
+    /// consumed by application-layer probes).
+    registry: HashMap<Ip6, DeviceRef>,
+    /// ICMPv6 errors generated per device, for RFC 4443 rate limiting.
+    error_counts: HashMap<(usize, u64), u64>,
+    stats: WorldStats,
+}
+
+impl World {
+    /// Creates a world over the fifteen sample blocks and a full-size BGP
+    /// table, from a seed.
+    pub fn new(seed: u64) -> Self {
+        World::with_config(WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        })
+    }
+
+    /// Creates a world with explicit configuration.
+    pub fn with_config(cfg: WorldConfig) -> Self {
+        World {
+            cfg,
+            profiles: SAMPLE_BLOCKS,
+            bgp: BgpTable::generate(cfg.seed, cfg.bgp_ases),
+            registry: HashMap::new(),
+            error_counts: HashMap::new(),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// The ISP profiles backing the sample blocks.
+    pub fn profiles(&self) -> &'static [IspProfile] {
+        self.profiles
+    }
+
+    /// The synthetic BGP table.
+    pub fn bgp(&self) -> &BgpTable {
+        &self.bgp
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Number of addresses in the discovery registry.
+    pub fn discovered_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether sub-prefix `index` of block `profile_idx` is *aliased*: a
+    /// middlebox answers echo for every address beneath it. Aliased
+    /// prefixes are disjoint from allocated periphery prefixes.
+    pub fn is_aliased(&self, profile_idx: usize, index: u64) -> bool {
+        let p = &self.profiles[profile_idx];
+        DetHash::new(self.cfg.seed)
+            .mix(b"alias")
+            .mix_u64(p.id as u64)
+            .mix_u64(index)
+            .chance(p.aliased_frac)
+    }
+
+    /// The LAN hosts attached to a device's in-use subnet (1..=3 stable
+    /// addresses). These answer echo when probed exactly — the population
+    /// hitlist/TGA baselines hunt for.
+    pub fn hosts_of(&self, profile_idx: usize, index: u64) -> Vec<Ip6> {
+        let Some(device) = self.device_at(profile_idx, index) else {
+            return Vec::new();
+        };
+        let p = &self.profiles[profile_idx];
+        let h = DetHash::new(self.cfg.seed).mix(b"hosts").mix_u64(p.id as u64).mix_u64(index);
+        let n = 1 + h.mix(b"n").bounded(3);
+        (0..n)
+            .map(|k| {
+                let hk = h.mix(b"host").mix_u64(k);
+                let iid = match hk.mix(b"cls").bounded(4) {
+                    // LAN hosts skew low-byte/EUI-64 more than CPE WANs.
+                    0 => 1 + hk.mix(b"low").bounded(0xff),
+                    1 => {
+                        let mac = Mac::from_oui_nic(
+                            oui::OUI_TABLE
+                                [hk.mix(b"oui").bounded(oui::OUI_TABLE.len() as u64) as usize]
+                                .oui,
+                            hk.mix(b"nic").bounded(1 << 24) as u32,
+                        );
+                        mac.to_eui64()
+                    }
+                    _ => {
+                        let mut v = hk.mix(b"rand").finish();
+                        if (v >> 24) & 0xffff == 0xfffe {
+                            v ^= 1 << 24;
+                        }
+                        v.max(0x10000)
+                    }
+                };
+                device.used_subnet64.addr().with_iid(iid)
+            })
+            .collect()
+    }
+
+    /// RFC 4443 §2.4(f): a device emits at most a burst of errors at full
+    /// rate, then one in ten. Returns whether this error may be sent.
+    fn error_budget_ok(&mut self, profile_idx: usize, index: u64) -> bool {
+        let n = self.error_counts.entry((profile_idx, index)).or_insert(0);
+        *n += 1;
+        let allowed = *n <= 64 || *n % 10 == 0;
+        if !allowed {
+            self.stats.rate_limited += 1;
+        }
+        allowed
+    }
+
+    /// Derives the device of sub-prefix `index` in sample block `profile_idx`
+    /// (an index into [`SAMPLE_BLOCKS`]), or `None` when unallocated.
+    ///
+    /// Public so that tests and ground-truth evaluations can compare scanner
+    /// findings against the true population.
+    pub fn device_at(&self, profile_idx: usize, index: u64) -> Option<Device> {
+        let p = &self.profiles[profile_idx];
+        let h = DetHash::new(self.cfg.seed)
+            .mix(b"isp-dev")
+            .mix_u64(p.id as u64)
+            .mix_u64(index);
+        if !h.mix(b"exists").chance(p.occupancy) {
+            return None;
+        }
+
+        // Loop vulnerability first: Table XI shows reply mode correlates
+        // with it (loop devices skew toward "same" in some blocks).
+        let loop_vuln = h.mix(b"loop").chance(p.loop_rate);
+        let same = if loop_vuln {
+            h.mix(b"lsame").chance(p.loop_same_frac)
+        } else {
+            h.mix(b"same").chance(p.same_frac)
+        };
+        let reply_mode = if same {
+            ReplyMode::SamePrefix
+        } else {
+            ReplyMode::DiffPrefix
+        };
+
+        let weights: Vec<u32> = p.vendors.iter().map(|(_, w)| *w).collect();
+        let vendor = p.vendors[weighted_pick(h.mix(b"vendor"), &weights)].0;
+        let kind = oui::class_of(vendor).unwrap_or(DeviceClass::Cpe);
+
+        let iid_class = if h.mix(b"eui").chance(p.eui64_frac) {
+            IidClass::Eui64
+        } else {
+            const REST: [IidClass; 4] = [
+                IidClass::Randomized,
+                IidClass::BytePattern,
+                IidClass::EmbedIpv4,
+                IidClass::LowByte,
+            ];
+            REST[weighted_pick(h.mix(b"cls"), &NON_EUI_IID_SPLIT)]
+        };
+        let (iid, mac) = self.derive_iid(h, iid_class, Some((vendor, p.mac_dup_frac)));
+
+        let delegated_prefix = p.scan_prefix().subprefix(p.assigned_len, index as u128);
+        let wan_prefix64 = p
+            .wan_zone()
+            .subprefix(64, (index >> wan_share_shift(p)) as u128);
+        let used_subnet64 = if p.assigned_len < 64 {
+            let subnets = 1u64 << (64 - p.assigned_len);
+            delegated_prefix.subprefix(64, h.mix(b"subnet").bounded(subnets) as u128)
+        } else {
+            delegated_prefix
+        };
+
+        let services = self.derive_services(h, p, vendor);
+
+        // Loop region: "same"-replying loop devices mis-route their WAN/UE
+        // prefix; "diff" ones mis-route the delegated LAN prefix (95.1% of
+        // Table XI), a few both.
+        let loop_vuln_wan = loop_vuln && (same || h.mix(b"lwan").chance(0.1));
+        let loop_vuln_lan = loop_vuln && !same;
+
+        Some(Device {
+            kind,
+            vendor,
+            iid_class,
+            iid,
+            mac,
+            delegated_prefix,
+            wan_prefix64,
+            used_subnet64,
+            reply_mode,
+            services,
+            loop_vuln_wan,
+            loop_vuln_lan,
+            hops_to_isp: p.hops_base + h.mix(b"hops").bounded(8) as u8,
+        })
+    }
+
+    /// Derives the BGP-zone last hop covering 16-bit sub-prefix `index` of an
+    /// advertised prefix, or `None` when no host answers there.
+    pub fn bgp_host_at(&self, prefix: Prefix, asn: u32, index: u64) -> Option<BgpHost> {
+        let params = self.bgp.as_params(asn)?;
+        let h = DetHash::new(self.cfg.seed)
+            .mix(b"bgp-dev")
+            .mix_u128(prefix.addr().bits())
+            .mix_u64(index);
+        let density = (BASE_DENSITY * params.activity).min(0.9);
+        if !h.mix(b"exists").chance(density) {
+            return None;
+        }
+        let class_idx = weighted_pick(h.mix(b"cls"), &BGP_IID_MIX);
+        let iid_class = IidClass::ALL[class_idx];
+        let loop_p = (LOOP_RATE_BY_CLASS[class_idx] * params.loop_multiplier).min(0.95);
+        let loops = h.mix(b"loop").chance(loop_p);
+        let (iid, _) = self.derive_iid(h, iid_class, None);
+        Some(BgpHost {
+            asn,
+            iid_class,
+            iid,
+            loops,
+            hops: 6 + h.mix(b"hops").bounded(14) as u8,
+        })
+    }
+
+    /// Derives an IID value of the requested class. For EUI-64, the MAC's
+    /// OUI comes from the vendor's registered OUIs (or anywhere in the
+    /// registry when no vendor is given); `dup_frac` devices draw their NIC
+    /// bits from a tiny shared pool, modelling cloned MACs.
+    fn derive_iid(
+        &self,
+        h: DetHash,
+        class: IidClass,
+        vendor: Option<(&str, f64)>,
+    ) -> (u64, Option<Mac>) {
+        let hi = h.mix(b"iid");
+        match class {
+            IidClass::Eui64 => {
+                let ouis: Vec<u32> = match vendor {
+                    Some((v, _)) => oui::ouis_of(v).collect(),
+                    None => Vec::new(),
+                };
+                let oui_val = if ouis.is_empty() {
+                    let i = hi.mix(b"anyoui").bounded(oui::OUI_TABLE.len() as u64) as usize;
+                    oui::OUI_TABLE[i].oui
+                } else {
+                    ouis[hi.mix(b"oui").bounded(ouis.len() as u64) as usize]
+                };
+                let dup_frac = vendor.map_or(0.0, |(_, d)| d);
+                let nic = if hi.mix(b"dup").chance(dup_frac) {
+                    // Cloned MAC: NIC bits from a pool of 64 values.
+                    0x10_0000 + hi.mix(b"pool").bounded(64) as u32
+                } else {
+                    hi.mix(b"nic").bounded(1 << 24) as u32
+                };
+                let mac = Mac::from_oui_nic(oui_val, nic);
+                (mac.to_eui64(), Some(mac))
+            }
+            IidClass::Randomized => {
+                let mut v = hi.mix(b"rand").finish();
+                // Never collide with the EUI-64 marker or tiny values.
+                if (v >> 24) & 0xffff == 0xfffe {
+                    v ^= 1 << 24;
+                }
+                if v <= 0xffff {
+                    v |= 0x1u64 << 63;
+                }
+                (v, None)
+            }
+            IidClass::LowByte => (1 + hi.mix(b"low").bounded(0xff), None),
+            IidClass::BytePattern => {
+                let g = 0x1111u64 * (1 + hi.mix(b"pat").bounded(0xe));
+                (
+                    g * 0x0001_0001_0001_0001 >> 48 << 48 | g * 0x0001_0001 & 0xffff_ffff | g << 32,
+                    None,
+                )
+            }
+            IidClass::EmbedIpv4 => {
+                // Hex-coded private-style IPv4 in the low 32 bits.
+                let a = [10u64, 100, 172, 192][hi.mix(b"a").bounded(4) as usize];
+                let rest = hi.mix(b"bcd").bounded(1 << 24);
+                ((a << 24) | rest, None)
+            }
+        }
+    }
+
+    /// Derives the exposed-service set for a device.
+    fn derive_services(&self, h: DetHash, p: &IspProfile, vendor: &str) -> ServiceSet {
+        let profile = crate::services::vendor_profile(vendor);
+        let mut set = ServiceSet::empty();
+        for (i, kind) in ServiceKind::ALL.into_iter().enumerate() {
+            let p_eff = (p.service_rates[i] * profile.multipliers[i] as f64 / 1000.0).min(0.97);
+            if p_eff <= 0.0 {
+                continue;
+            }
+            let hk = h.mix(b"svc").mix_u64(i as u64);
+            if !hk.chance(p_eff) {
+                continue;
+            }
+            let software = pick_software(hk, kind, profile.software);
+            set.set(
+                kind,
+                ServiceInstance {
+                    software,
+                    discloses_vendor: hk
+                        .mix(b"disc")
+                        .chance(profile.discloses_vendor as f64 / 1000.0),
+                    login_page: kind == ServiceKind::Http && hk.mix(b"login").chance(0.85),
+                },
+            );
+        }
+        set
+    }
+
+    /// End-to-end loss decision for one exchange, deterministic per packet.
+    fn lost(&self, packet: &Ipv6Packet) -> bool {
+        DetHash::new(self.cfg.seed)
+            .mix(b"loss")
+            .mix_u128(packet.dst.bits())
+            .mix_u64(packet.hop_limit as u64)
+            .chance(self.cfg.loss_frac)
+    }
+
+    /// Per-device silent-filtering decision (upstream ICMPv6 policy).
+    fn filtered(&self, p: &IspProfile, index: u64) -> bool {
+        DetHash::new(self.cfg.seed)
+            .mix(b"filter")
+            .mix_u64(p.id as u64)
+            .mix_u64(index)
+            .chance(p.filter_frac)
+    }
+
+    /// Answers an echo probe destined into a sample block's scan space.
+    fn handle_isp_echo(&mut self, profile_idx: usize, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+        let p = &self.profiles[profile_idx];
+        let Some(index) = p.scan_prefix().subprefix_index(p.assigned_len, packet.dst) else {
+            return Vec::new();
+        };
+        let index = index as u64;
+        if self.is_aliased(profile_idx, index) {
+            // Aliased region: a middlebox answers echo for everything.
+            return vec![echo_reply(packet)];
+        }
+        let Some(device) = self.device_at(profile_idx, index) else {
+            // Unallocated sub-prefix: aggregated/blackholed upstream.
+            return Vec::new();
+        };
+        if self.filtered(p, index) {
+            return Vec::new();
+        }
+        let n = device.hops_to_isp;
+        if packet.hop_limit <= n {
+            // Expired in transit: Time Exceeded from a transit router.
+            let transit = transit_router_addr(p, packet.hop_limit);
+            return vec![icmp(
+                transit,
+                packet,
+                Icmpv6::TimeExceeded {
+                    invoking: packet.quote(),
+                },
+            )];
+        }
+        if packet.dst == device.wan_address() || packet.dst == device.reply_source(packet.dst) {
+            let reply = echo_reply(packet);
+            self.register(packet.dst, profile_idx, index);
+            return vec![reply];
+        }
+        if device.used_subnet64.contains(packet.dst)
+            && self.hosts_of(profile_idx, index).contains(&packet.dst)
+        {
+            // A real LAN host: forwarded by the CPE and answered end to end.
+            return vec![echo_reply(packet)];
+        }
+        if device.loops_for(packet.dst) {
+            // The packet ping-pongs between ISP router and CPE until its
+            // hop limit dies; the CPE's WAN address answers Time Exceeded.
+            self.stats.loop_events += 1;
+            self.stats.loop_forwards += (packet.hop_limit - n) as u64;
+            if !self.error_budget_ok(profile_idx, index) {
+                return Vec::new();
+            }
+            let src = device.reply_source(packet.dst);
+            self.register(src, profile_idx, index);
+            return vec![icmp(
+                src,
+                packet,
+                Icmpv6::TimeExceeded {
+                    invoking: packet.quote(),
+                },
+            )];
+        }
+        // RFC 4443: address unreachable from the last-hop periphery. If the
+        // device patched the unused region with a reject route, the code
+        // differs but the discovery signal is the same.
+        let code = if device.delegated_prefix.contains(packet.dst)
+            && !device.used_subnet64.contains(packet.dst)
+            && device.reply_mode == ReplyMode::DiffPrefix
+        {
+            UnreachCode::RejectRoute
+        } else {
+            UnreachCode::AddressUnreachable
+        };
+        if !self.error_budget_ok(profile_idx, index) {
+            return Vec::new();
+        }
+        let src = device.reply_source(packet.dst);
+        self.register(src, profile_idx, index);
+        vec![icmp(
+            src,
+            packet,
+            Icmpv6::DestUnreachable {
+                code,
+                invoking: packet.quote(),
+            },
+        )]
+    }
+
+    /// Answers an echo probe destined into the BGP survey zone.
+    fn handle_bgp_echo(&mut self, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+        let Some(entry) = self.bgp.locate(packet.dst).copied() else {
+            return Vec::new();
+        };
+        // The survey probes /48 sub-prefixes of /32 advertisements.
+        let Some(index) = entry.prefix.subprefix_index(48, packet.dst) else {
+            return Vec::new();
+        };
+        let Some(host) = self.bgp_host_at(entry.prefix, entry.asn, index as u64) else {
+            return Vec::new();
+        };
+        if packet.hop_limit <= host.hops {
+            let transit = packet
+                .dst
+                .network(32)
+                .with_iid(0xffff_0000_0000_0000 | packet.hop_limit as u64);
+            return vec![icmp(
+                transit,
+                packet,
+                Icmpv6::TimeExceeded {
+                    invoking: packet.quote(),
+                },
+            )];
+        }
+        // Reply source: the last hop lives in some /64 of the probed /48.
+        let h = DetHash::new(self.cfg.seed)
+            .mix(b"bgp-sub")
+            .mix_u128(packet.dst.network(48).bits());
+        let src = packet
+            .dst
+            .network(48)
+            .with_bit_slice(48, 64, h.bounded(1 << 16))
+            .with_iid(host.iid);
+        if host.loops && packet.dst != src {
+            self.stats.loop_events += 1;
+            self.stats.loop_forwards += packet.hop_limit.saturating_sub(host.hops) as u64;
+            return vec![icmp(
+                src,
+                packet,
+                Icmpv6::TimeExceeded {
+                    invoking: packet.quote(),
+                },
+            )];
+        }
+        vec![icmp(
+            src,
+            packet,
+            Icmpv6::DestUnreachable {
+                code: UnreachCode::AddressUnreachable,
+                invoking: packet.quote(),
+            },
+        )]
+    }
+
+    /// Answers an application-layer probe (UDP/TCP) for a discovered device.
+    fn handle_app(&mut self, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+        let Some(&DeviceRef::Isp { profile, index }) = self.registry.get(&packet.dst) else {
+            return Vec::new();
+        };
+        let Some(device) = self.device_at(profile, index) else {
+            return Vec::new();
+        };
+        match &packet.payload {
+            Payload::Udp {
+                src_port,
+                dst_port,
+                data,
+            } => {
+                let Some(kind) = ServiceKind::from_port(*dst_port) else {
+                    return vec![port_unreachable(packet)];
+                };
+                if kind.transport() != TransportProto::Udp {
+                    return vec![port_unreachable(packet)];
+                }
+                match (device.services.get(kind), data) {
+                    (Some(inst), AppData::Request(req)) => {
+                        let resp = service_response(&device, kind, inst, *req);
+                        vec![Ipv6Packet {
+                            src: packet.dst,
+                            dst: packet.src,
+                            hop_limit: crate::packet::DEFAULT_HOP_LIMIT,
+                            payload: Payload::Udp {
+                                src_port: *dst_port,
+                                dst_port: *src_port,
+                                data: AppData::Response(resp),
+                            },
+                        }]
+                    }
+                    _ => vec![port_unreachable(packet)],
+                }
+            }
+            Payload::Tcp {
+                src_port,
+                dst_port,
+                flags,
+                data,
+            } => {
+                let open = ServiceKind::from_port(*dst_port).is_some_and(|k| {
+                    k.transport() == TransportProto::Tcp && device.services.has(k)
+                });
+                match flags {
+                    TcpFlags::Syn => {
+                        let reply_flags = if open {
+                            TcpFlags::SynAck
+                        } else {
+                            TcpFlags::Rst
+                        };
+                        vec![tcp_reply(
+                            packet,
+                            *src_port,
+                            *dst_port,
+                            reply_flags,
+                            AppData::None,
+                        )]
+                    }
+                    TcpFlags::Ack => {
+                        if !open {
+                            return vec![tcp_reply(
+                                packet,
+                                *src_port,
+                                *dst_port,
+                                TcpFlags::Rst,
+                                AppData::None,
+                            )];
+                        }
+                        let kind = ServiceKind::from_port(*dst_port).expect("open implies known");
+                        let inst = *device.services.get(kind).expect("open implies instance");
+                        match data {
+                            AppData::Request(req) => {
+                                let resp = service_response(&device, kind, &inst, *req);
+                                vec![tcp_reply(
+                                    packet,
+                                    *src_port,
+                                    *dst_port,
+                                    TcpFlags::Ack,
+                                    AppData::Response(resp),
+                                )]
+                            }
+                            _ => Vec::new(),
+                        }
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            Payload::Icmp(_) => Vec::new(),
+        }
+    }
+
+    fn register(&mut self, addr: Ip6, profile: usize, index: u64) {
+        self.registry
+            .insert(addr, DeviceRef::Isp { profile, index });
+    }
+
+    /// Finds the sample block whose scan space contains `addr`.
+    fn scan_zone_of(&self, addr: Ip6) -> Option<usize> {
+        self.profiles
+            .iter()
+            .position(|p| p.scan_prefix().contains(addr))
+    }
+}
+
+/// Computes the subscriber-window shift that yields the profile's target
+/// WAN-/64 sharing (see `IspProfile::wan_unique64_frac`): CPEs within one
+/// window of `2^shift` consecutive sub-prefixes share a WAN /64.
+fn wan_share_shift(p: &IspProfile) -> u32 {
+    if p.wan_unique64_frac >= 0.9 {
+        return 0;
+    }
+    let k = 1.0 / p.wan_unique64_frac.max(1e-3); // devices per shared /64
+    let window = k / p.occupancy.max(1e-12);
+    (window.log2().ceil() as u32).min(31)
+}
+
+/// A synthetic transit-router address for in-path Time Exceeded messages.
+fn transit_router_addr(p: &IspProfile, at_hop: u8) -> Ip6 {
+    p.wan_zone()
+        .addr()
+        .with_iid(0xffff_0000_0000_0000 | at_hop as u64)
+}
+
+fn icmp(src: Ip6, about: &Ipv6Packet, msg: Icmpv6) -> Ipv6Packet {
+    Ipv6Packet {
+        src,
+        dst: about.src,
+        hop_limit: crate::packet::DEFAULT_HOP_LIMIT,
+        payload: Payload::Icmp(msg),
+    }
+}
+
+fn echo_reply(packet: &Ipv6Packet) -> Ipv6Packet {
+    let Payload::Icmp(Icmpv6::EchoRequest { ident, seq }) = packet.payload else {
+        unreachable!("echo_reply called for non-echo packet");
+    };
+    Ipv6Packet {
+        src: packet.dst,
+        dst: packet.src,
+        hop_limit: crate::packet::DEFAULT_HOP_LIMIT,
+        payload: Payload::Icmp(Icmpv6::EchoReply { ident, seq }),
+    }
+}
+
+fn port_unreachable(packet: &Ipv6Packet) -> Ipv6Packet {
+    icmp(
+        packet.dst,
+        packet,
+        Icmpv6::DestUnreachable {
+            code: UnreachCode::PortUnreachable,
+            invoking: packet.quote(),
+        },
+    )
+}
+
+fn tcp_reply(
+    packet: &Ipv6Packet,
+    src_port: u16,
+    dst_port: u16,
+    flags: TcpFlags,
+    data: AppData,
+) -> Ipv6Packet {
+    Ipv6Packet {
+        src: packet.dst,
+        dst: packet.src,
+        hop_limit: crate::packet::DEFAULT_HOP_LIMIT,
+        payload: Payload::Tcp {
+            src_port: dst_port,
+            dst_port: src_port,
+            flags,
+            data,
+        },
+    }
+}
+
+/// Chooses the serving software for `kind` from a vendor's weighted list,
+/// falling back to a per-service default.
+fn pick_software(
+    h: DetHash,
+    kind: ServiceKind,
+    options: &[(&'static str, &'static str, u32)],
+) -> Option<SoftwareId> {
+    let compatible = |sk: ServiceKind| {
+        sk == kind
+            || (matches!(sk, ServiceKind::Http | ServiceKind::HttpAlt)
+                && matches!(kind, ServiceKind::Http | ServiceKind::HttpAlt))
+    };
+    let candidates: Vec<(SoftwareId, u32)> = options
+        .iter()
+        .filter_map(|(name, version, w)| {
+            let id = software_id(name, version)?;
+            compatible(id.get().service).then_some((id, *w))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return default_software(kind);
+    }
+    let weights: Vec<u32> = candidates.iter().map(|(_, w)| *w).collect();
+    Some(candidates[weighted_pick(h.mix(b"sw"), &weights)].0)
+}
+
+/// Fallback software per service kind.
+fn default_software(kind: ServiceKind) -> Option<SoftwareId> {
+    let (name, version) = match kind {
+        ServiceKind::Dns => ("dnsmasq", "2.7x"),
+        ServiceKind::Ftp => ("GNU Inetutils", "1.4.1"),
+        ServiceKind::Ssh => ("dropbear", "2017.75"),
+        ServiceKind::Http => ("micro_httpd", "14aug2014"),
+        ServiceKind::HttpAlt => ("Jetty", "9.x"),
+        ServiceKind::Ntp | ServiceKind::Telnet | ServiceKind::Tls => return None,
+    };
+    software_id(name, version)
+}
+
+/// Builds the application response a device's service instance produces.
+fn service_response(
+    device: &Device,
+    kind: ServiceKind,
+    inst: &ServiceInstance,
+    _req: AppRequest,
+) -> AppResponse {
+    let vendor = inst.discloses_vendor.then_some(device.vendor);
+    match kind {
+        ServiceKind::Dns => AppResponse::DnsAnswer {
+            software: inst
+                .software
+                .or_else(|| default_software(kind))
+                .expect("dns default"),
+        },
+        ServiceKind::Ntp => AppResponse::NtpVersionReply { version: 4 },
+        ServiceKind::Ftp => AppResponse::FtpBanner {
+            software: inst
+                .software
+                .or_else(|| default_software(kind))
+                .expect("ftp default"),
+        },
+        ServiceKind::Ssh => AppResponse::SshBanner {
+            software: inst
+                .software
+                .or_else(|| default_software(kind))
+                .expect("ssh default"),
+        },
+        ServiceKind::Telnet => AppResponse::TelnetPrompt {
+            vendor_banner: vendor,
+        },
+        ServiceKind::Http | ServiceKind::HttpAlt => AppResponse::HttpPage {
+            software: inst
+                .software
+                .or_else(|| default_software(kind))
+                .expect("http default"),
+            login_page: inst.login_page,
+            vendor,
+        },
+        ServiceKind::Tls => AppResponse::TlsCertificate { vendor },
+    }
+}
+
+impl Network for World {
+    fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
+        self.stats.probes += 1;
+        if self.lost(&packet) {
+            return Vec::new();
+        }
+        let responses = match &packet.payload {
+            Payload::Icmp(Icmpv6::EchoRequest { .. }) => {
+                if self.registry.contains_key(&packet.dst) {
+                    vec![echo_reply(&packet)]
+                } else if let Some(pi) = self.scan_zone_of(packet.dst) {
+                    self.handle_isp_echo(pi, &packet)
+                } else {
+                    self.handle_bgp_echo(&packet)
+                }
+            }
+            Payload::Udp { .. } | Payload::Tcp { .. } => self.handle_app(&packet),
+            Payload::Icmp(_) => Vec::new(),
+        };
+        self.stats.responses += responses.len() as u64;
+        responses
+    }
+}
+
+/// Sanity check used by tests: every catalog software resolves.
+#[doc(hidden)]
+pub fn catalog_len() -> usize {
+    SOFTWARE_CATALOG.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::with_config(WorldConfig {
+            seed: 1234,
+            bgp_ases: 200,
+            loss_frac: 0.0,
+        })
+    }
+
+    fn vantage() -> Ip6 {
+        "fd00::1".parse().unwrap()
+    }
+
+    /// Finds an allocated sub-prefix index in a profile.
+    fn find_device(w: &World, pi: usize) -> (u64, Device) {
+        for i in 0..5_000_000u64 {
+            if let Some(d) = w.device_at(pi, i) {
+                return (i, d);
+            }
+        }
+        panic!("no device found in profile {pi}");
+    }
+
+    #[test]
+    fn device_derivation_is_deterministic() {
+        let w = small_world();
+        let (i, d1) = find_device(&w, 0);
+        let d2 = w.device_at(0, i).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn probe_to_allocated_prefix_draws_unreachable_or_te() {
+        let mut w = small_world();
+        let (i, d) = find_device(&w, 0);
+        let p = &w.profiles()[0];
+        let target = p
+            .scan_prefix()
+            .subprefix(p.assigned_len, i as u128)
+            .addr()
+            .with_iid(0x1234_5678_9abc_def0);
+        let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, 64, 1, 1));
+        // Filtering can silence it; try until the device's filter decision
+        // is known (deterministic): check against the filter hash.
+        if w.filtered(p, i) {
+            assert!(replies.is_empty());
+            return;
+        }
+        assert_eq!(replies.len(), 1, "device {d:?}");
+        let src_64 = replies[0].src.network(64);
+        match d.reply_mode {
+            ReplyMode::SamePrefix => assert_eq!(src_64, target.network(64)),
+            ReplyMode::DiffPrefix => assert_ne!(src_64, target.network(64)),
+        }
+    }
+
+    #[test]
+    fn probe_to_unallocated_prefix_is_silent() {
+        let mut w = small_world();
+        let p = &w.profiles()[0];
+        for i in 0..2000u64 {
+            if w.device_at(0, i).is_none() {
+                let target = p
+                    .scan_prefix()
+                    .subprefix(p.assigned_len, i as u128)
+                    .addr()
+                    .with_iid(1);
+                assert!(w
+                    .handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0))
+                    .is_empty());
+                return;
+            }
+        }
+        panic!("no unallocated prefix in the first 2000 (occupancy too high?)");
+    }
+
+    #[test]
+    fn discovered_address_answers_echo_and_services() {
+        let mut w = small_world();
+        // China Mobile broadband (profile index 12) has rich services.
+        let pi = 12;
+        let p = &w.profiles()[pi];
+        let mut responder = None;
+        for i in 0..3_000_000u64 {
+            let Some(d) = w.device_at(pi, i) else {
+                continue;
+            };
+            if w.filtered(p, i) || !d.services.any() {
+                continue;
+            }
+            let target = p
+                .scan_prefix()
+                .subprefix(p.assigned_len, i as u128)
+                .addr()
+                .with_iid(0xdead_beef);
+            let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0));
+            if let Some(r) = replies.first() {
+                responder = Some((r.src, d));
+                break;
+            }
+        }
+        let (addr, device) = responder.expect("found a service-rich device");
+        // Echo to the discovered address now yields an echo reply.
+        let replies = w.handle(Ipv6Packet::echo_request(vantage(), addr, 64, 5, 6));
+        assert!(matches!(
+            replies[0].payload,
+            Payload::Icmp(Icmpv6::EchoReply { ident: 5, seq: 6 })
+        ));
+        // Probe one of its open services.
+        let (kind, _) = device.services.iter().next().expect("has a service");
+        match kind.transport() {
+            TransportProto::Udp => {
+                let req =
+                    Ipv6Packet::udp_request(vantage(), addr, 40000, kind.port(), kind.request());
+                let resp = w.handle(req);
+                assert_eq!(resp.len(), 1);
+                match &resp[0].payload {
+                    Payload::Udp {
+                        data: AppData::Response(r),
+                        ..
+                    } => {
+                        assert!(r.is_valid_for(kind))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            TransportProto::Tcp => {
+                let syn = Ipv6Packet::tcp_syn(vantage(), addr, 40000, kind.port());
+                let resp = w.handle(syn);
+                assert!(matches!(
+                    resp[0].payload,
+                    Payload::Tcp {
+                        flags: TcpFlags::SynAck,
+                        ..
+                    }
+                ));
+                let req =
+                    Ipv6Packet::tcp_request(vantage(), addr, 40000, kind.port(), kind.request());
+                let resp = w.handle(req);
+                match &resp[0].payload {
+                    Payload::Tcp {
+                        data: AppData::Response(r),
+                        ..
+                    } => {
+                        assert!(r.is_valid_for(kind))
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_port_answers_rst_or_unreachable() {
+        let mut w = small_world();
+        let (i, _) = find_device(&w, 0);
+        let p = &w.profiles()[0];
+        if w.filtered(p, i) {
+            return;
+        }
+        let target = p
+            .scan_prefix()
+            .subprefix(p.assigned_len, i as u128)
+            .addr()
+            .with_iid(7);
+        let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0));
+        let addr = replies[0].src;
+        // Jio devices expose almost nothing; TLS/443 is closed on ~all.
+        let resp = w.handle(Ipv6Packet::tcp_syn(vantage(), addr, 40000, 9999));
+        assert!(matches!(
+            resp[0].payload,
+            Payload::Tcp {
+                flags: TcpFlags::Rst,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn loop_vulnerable_device_answers_te_twice() {
+        let mut w = small_world();
+        // China Unicom broadband (index 11) has a 78.8% loop rate.
+        let pi = 11;
+        let p = &w.profiles()[pi];
+        let mut found = None;
+        for i in 0..3_000_000u64 {
+            if let Some(d) = w.device_at(pi, i) {
+                if d.loop_vuln_lan && !w.filtered(p, i) {
+                    found = Some((i, d));
+                    break;
+                }
+            }
+        }
+        let (i, d) = found.expect("loop-vulnerable device exists");
+        // Aim outside the used subnet.
+        let mut target = None;
+        for s in 0..16u128 {
+            let cand = d.delegated_prefix.subprefix(64, s);
+            if cand != d.used_subnet64 {
+                target = Some(cand.addr().with_iid(0x42));
+                break;
+            }
+        }
+        let target = target.unwrap();
+        let _ = i;
+        for h in [32u8, 34] {
+            let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, h, 0, 0));
+            assert_eq!(replies.len(), 1, "hop limit {h}");
+            assert!(matches!(
+                replies[0].payload,
+                Payload::Icmp(Icmpv6::TimeExceeded { .. })
+            ));
+        }
+        assert!(w.stats().loop_events >= 2);
+        assert!(w.stats().loop_forwards > 0);
+    }
+
+    #[test]
+    fn small_hop_limit_expires_in_transit() {
+        let mut w = small_world();
+        let (i, _) = find_device(&w, 0);
+        let p = &w.profiles()[0];
+        let target = p
+            .scan_prefix()
+            .subprefix(p.assigned_len, i as u128)
+            .addr()
+            .with_iid(9);
+        let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, 3, 0, 0));
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(
+            replies[0].payload,
+            Payload::Icmp(Icmpv6::TimeExceeded { .. })
+        ));
+        // Source is a transit router, not a periphery.
+        assert!(replies[0].src.iid() & 0xffff_0000_0000_0000 == 0xffff_0000_0000_0000);
+    }
+
+    #[test]
+    fn bgp_zone_responds() {
+        let mut w = small_world();
+        let entry = w.bgp().entries()[0];
+        let mut responded = 0;
+        for i in 0..60_000u64 {
+            let target = entry.prefix.subprefix(48, i as u128).addr().with_iid(0xabc);
+            let replies = w.handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0));
+            responded += replies.len();
+            if responded > 3 {
+                break;
+            }
+        }
+        assert!(responded > 0, "no BGP-zone responses in 60k probes");
+    }
+
+    #[test]
+    fn loss_drops_deterministically() {
+        let mut cfg = WorldConfig {
+            seed: 9,
+            bgp_ases: 50,
+            loss_frac: 1.0,
+        };
+        let mut w = World::with_config(cfg);
+        let (i, _) = find_device(&w, 0);
+        let p = &w.profiles()[0];
+        let target = p
+            .scan_prefix()
+            .subprefix(p.assigned_len, i as u128)
+            .addr()
+            .with_iid(1);
+        assert!(w
+            .handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0))
+            .is_empty());
+        cfg.loss_frac = 0.0;
+        let mut w2 = World::with_config(cfg);
+        assert!(
+            !w2.handle(Ipv6Packet::echo_request(vantage(), target, 64, 0, 0))
+                .is_empty()
+                || w2.filtered(p, i)
+        );
+    }
+
+    #[test]
+    fn amplification_stat() {
+        let mut s = WorldStats::default();
+        assert_eq!(s.amplification(), 0.0);
+        s.loop_events = 2;
+        s.loop_forwards = 440;
+        assert_eq!(s.amplification(), 220.0);
+    }
+
+    #[test]
+    fn wan_share_shift_behaviour() {
+        // Unique-WAN profiles use shift 0.
+        assert_eq!(wan_share_shift(&SAMPLE_BLOCKS[0]), 0);
+        // Comcast (index 4) aggregates ~15 CPEs per /64.
+        let s = wan_share_shift(&SAMPLE_BLOCKS[4]);
+        assert!(s >= 18 && s <= 22, "shift {s}");
+    }
+
+    #[test]
+    fn mobile_blocks_yield_ue_devices() {
+        let w = small_world();
+        let (_, d) = find_device(&w, 2); // Bharti Airtel mobile
+        assert_eq!(d.kind, DeviceClass::Ue);
+        assert_eq!(d.reply_mode, ReplyMode::SamePrefix);
+    }
+}
+
+#[cfg(test)]
+mod realism_tests {
+    use super::*;
+
+    fn w() -> World {
+        World::with_config(WorldConfig { seed: 31337, bgp_ases: 10, loss_frac: 0.0 })
+    }
+
+    fn vantage() -> Ip6 {
+        "fd00::1".parse().unwrap()
+    }
+
+    #[test]
+    fn aliased_prefixes_answer_everything() {
+        let mut world = w();
+        // BSNL (index 1) has the highest aliased fraction (1e-5).
+        let p = &SAMPLE_BLOCKS[1];
+        let mut found = None;
+        for i in 0..2_000_000u64 {
+            if world.is_aliased(1, i) {
+                found = Some(i);
+                break;
+            }
+        }
+        let i = found.expect("an aliased prefix exists in 2M indices");
+        // Aliased prefixes never coincide with allocated devices in a way
+        // that hides them; every IID answers echo from itself.
+        for iid in [1u64, 0xdead_beef, u64::MAX] {
+            let dst = p.scan_prefix().subprefix(p.assigned_len, i as u128).addr().with_iid(iid);
+            let resp = world.handle(Ipv6Packet::echo_request(vantage(), dst, 64, 2, 3));
+            assert_eq!(resp.len(), 1, "iid {iid:#x}");
+            assert_eq!(resp[0].src, dst);
+            assert!(matches!(resp[0].payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
+        }
+    }
+
+    #[test]
+    fn lan_hosts_answer_echo_exactly() {
+        let mut world = w();
+        let mut target = None;
+        for i in 0..2_000_000u64 {
+            if world.device_at(12, i).is_some() {
+                let hosts = world.hosts_of(12, i);
+                if !hosts.is_empty() {
+                    target = Some((i, hosts));
+                    break;
+                }
+            }
+        }
+        let (i, hosts) = target.expect("a device with hosts");
+        let device = world.device_at(12, i).unwrap();
+        for host in &hosts {
+            assert!(device.used_subnet64.contains(*host));
+            let resp = world.handle(Ipv6Packet::echo_request(vantage(), *host, 64, 0, 0));
+            assert_eq!(resp.len(), 1, "host {host}");
+            assert!(matches!(resp[0].payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
+        }
+        // A neighbouring nonexistent address in the same subnet draws an
+        // unreachable instead.
+        let nx = device.used_subnet64.addr().with_iid(0x0bad_c0de_0000_1234);
+        if !hosts.contains(&nx) {
+            let resp = world.handle(Ipv6Packet::echo_request(vantage(), nx, 64, 0, 0));
+            if let Some(first) = resp.first() {
+                assert!(matches!(first.payload, Payload::Icmp(Icmpv6::DestUnreachable { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_are_stable_and_bounded() {
+        let world = w();
+        for i in 0..200_000u64 {
+            if world.device_at(12, i).is_some() {
+                let a = world.hosts_of(12, i);
+                let b = world.hosts_of(12, i);
+                assert_eq!(a, b);
+                assert!((1..=3).contains(&a.len()));
+                return;
+            }
+        }
+        panic!("no device found");
+    }
+
+    #[test]
+    fn error_rate_limiting_kicks_in_under_abuse() {
+        let mut world = w();
+        // Find a clean (non-loop) device and hammer its delegated prefix.
+        let p = &SAMPLE_BLOCKS[12];
+        let mut found = None;
+        for i in 0..2_000_000u64 {
+            if let Some(d) = world.device_at(12, i) {
+                if !d.loop_vuln_lan && !d.loop_vuln_wan {
+                    found = Some(i);
+                    break;
+                }
+            }
+        }
+        let i = found.expect("clean device");
+        let base = p.scan_prefix().subprefix(p.assigned_len, i as u128);
+        let mut answered = 0u32;
+        for k in 0..200u64 {
+            let dst = base.addr().with_iid(0x1_0000 + k);
+            if !world
+                .handle(Ipv6Packet::echo_request(vantage(), dst, 64, 0, 0))
+                .is_empty()
+            {
+                answered += 1;
+            }
+        }
+        // Burst of 64 at full rate, then ~1/10.
+        assert!(answered >= 64, "{answered}");
+        assert!(answered < 120, "{answered}");
+        assert!(world.stats().rate_limited > 50);
+    }
+
+    #[test]
+    fn normal_scan_rate_unaffected_by_limiter() {
+        let mut world = w();
+        // One probe per sub-prefix (the paper's discipline) never trips
+        // the limiter.
+        let p = &SAMPLE_BLOCKS[2];
+        let mut responses = 0;
+        for i in 0..30_000u64 {
+            let dst = p.scan_prefix().subprefix(64, i as u128).addr().with_iid(9);
+            responses += world.handle(Ipv6Packet::echo_request(vantage(), dst, 64, 0, 0)).len();
+        }
+        assert!(responses > 50, "{responses}");
+        assert_eq!(world.stats().rate_limited, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Topology mapping from discovery results (the §I motivation:
+//! "the IPv6 network periphery discovery is essential to the completeness
+//! of network topology mapping").
+//!
+//! Combines sub-prefix discovery (which exposes the *edge*) with
+//! traceroutes (which expose the *transit path*) into a simple annotated
+//! graph: vantage → transit routers → peripheries, with degree statistics
+//! showing how much of the edge traceroute-only mapping misses.
+
+use std::collections::{HashMap, HashSet};
+
+use xmap_addr::Ip6;
+
+use crate::baseline::TracerouteResult;
+use crate::campaign::BlockResult;
+
+/// Role of a node in the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// In-path transit router (from Time Exceeded sources).
+    Transit,
+    /// Last-hop periphery (CPE/UE).
+    Periphery,
+}
+
+/// An annotated topology graph.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyMap {
+    roles: HashMap<Ip6, Role>,
+    edges: HashSet<(Ip6, Ip6)>,
+}
+
+impl TopologyMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests the peripheries of a discovery block.
+    pub fn add_block(&mut self, block: &BlockResult) {
+        for p in &block.peripheries {
+            self.roles.insert(p.address, Role::Periphery);
+        }
+    }
+
+    /// Ingests one traceroute path: consecutive responding hops become
+    /// edges; the last hop keeps (or gains) its periphery role if the
+    /// traceroute ended in an unreachable.
+    pub fn add_traceroute(&mut self, tr: &TracerouteResult) {
+        let path: Vec<Ip6> = tr.hops.iter().flatten().copied().collect();
+        for hop in &path {
+            self.roles.entry(*hop).or_insert(Role::Transit);
+        }
+        if let Some(last) = tr.last_hop {
+            // A last hop that is not a transit marker is a periphery.
+            if last.iid() >> 48 != 0xffff {
+                self.roles.insert(last, Role::Periphery);
+            }
+        }
+        for w in path.windows(2) {
+            if w[0] != w[1] {
+                self.edges.insert((w[0], w[1]));
+            }
+        }
+    }
+
+    /// Number of nodes with `role`.
+    pub fn count(&self, role: Role) -> usize {
+        self.roles.values().filter(|r| **r == role).count()
+    }
+
+    /// Total nodes.
+    pub fn nodes(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Total directed edges.
+    pub fn edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The role of an address, if mapped.
+    pub fn role_of(&self, addr: Ip6) -> Option<Role> {
+        self.roles.get(&addr).copied()
+    }
+
+    /// Fraction of nodes that are peripheries — the "completeness" metric:
+    /// a traceroute-only map of the same network has a much lower edge
+    /// share because it only sees peripheries it happened to trace through.
+    pub fn edge_share(&self) -> f64 {
+        if self.roles.is_empty() {
+            0.0
+        } else {
+            self.count(Role::Periphery) as f64 / self.roles.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::traceroute_discovery;
+    use crate::campaign::Campaign;
+    use xmap::{ScanConfig, Scanner};
+    use xmap_netsim::isp::SAMPLE_BLOCKS;
+    use xmap_netsim::world::{World, WorldConfig};
+
+    #[test]
+    fn discovery_plus_traceroute_builds_a_map() {
+        let world = World::with_config(WorldConfig { seed: 21, bgp_ases: 10, loss_frac: 0.0 });
+        let mut scanner = Scanner::new(world, ScanConfig { seed: 21, ..Default::default() });
+
+        // Edge from discovery.
+        let block = Campaign::new(1 << 14).run_block(&mut scanner, &SAMPLE_BLOCKS[12]);
+        assert!(block.unique() > 5);
+        let mut map = TopologyMap::new();
+        map.add_block(&block);
+        let periph_only = map.nodes();
+        assert_eq!(map.count(Role::Periphery), periph_only);
+        assert!(map.edge_share() > 0.99);
+
+        // Paths from traceroutes toward a few discovered targets.
+        for p in block.peripheries.iter().take(5) {
+            let tr = traceroute_discovery(&mut scanner, p.probe_dst, 40);
+            map.add_traceroute(&tr);
+        }
+        assert!(map.count(Role::Transit) > 0, "traceroutes add transit routers");
+        assert!(map.edges() > 0);
+        // Peripheries now share the map with transit infrastructure.
+        assert!(map.edge_share() < 1.0);
+        assert!(map.edge_share() >= 0.4, "edge share too small: {}", map.edge_share());
+    }
+
+    #[test]
+    fn roles_do_not_regress() {
+        // Once known as a periphery, a node stays a periphery even if a
+        // later traceroute sees it mid-path (same /64 CPE forwarding).
+        let mut map = TopologyMap::new();
+        let addr: Ip6 = "2001:db8::1".parse().unwrap();
+        map.roles.insert(addr, Role::Periphery);
+        let tr = TracerouteResult { hops: vec![Some(addr)], last_hop: None, probes: 1 };
+        map.add_traceroute(&tr);
+        assert_eq!(map.role_of(addr), Some(Role::Periphery));
+    }
+
+    #[test]
+    fn empty_map_metrics() {
+        let map = TopologyMap::new();
+        assert_eq!(map.nodes(), 0);
+        assert_eq!(map.edges(), 0);
+        assert_eq!(map.edge_share(), 0.0);
+        assert_eq!(map.role_of("::1".parse().unwrap()), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Device-vendor identification (Section IV-E / Table IV).
+//!
+//! Two identification channels, exactly as in the paper:
+//!
+//! * the MAC address embedded in an EUI-64 IID, resolved against the OUI
+//!   registry (hardware channel),
+//! * vendor strings disclosed at the application layer (HTTP pages, TLS
+//!   certificates, TELNET banners) collected by the service scan.
+//!
+//! [`identify`] merges the two (hardware wins on conflict, as OUI data is
+//! authoritative); [`VendorCounts`] aggregates into the Table IV layout
+//! split by device class.
+
+use std::collections::HashMap;
+
+use xmap_addr::oui::{self, DeviceClass};
+use xmap_addr::Mac;
+
+/// Resolves a device's vendor from its identification channels.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_periphery::identify;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let mac: xmap_addr::Mac = "38:e1:aa:01:02:03".parse()?; // ZTE OUI
+/// assert_eq!(identify(Some(mac), None), Some("ZTE"));
+/// assert_eq!(identify(None, Some("TP-Link")), Some("TP-Link"));
+/// assert_eq!(identify(None, None), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn identify(mac: Option<Mac>, app_vendor: Option<&str>) -> Option<&'static str> {
+    if let Some(entry) = mac.and_then(oui::lookup_mac) {
+        return Some(entry.vendor);
+    }
+    // Application-level strings must still resolve against the registry to
+    // be counted as explicit vendor affiliations.
+    app_vendor.and_then(|v| oui::OUI_TABLE.iter().find(|e| e.vendor == v)).map(|e| e.vendor)
+}
+
+/// Vendor → device-count aggregation, split by device class (Table IV).
+#[derive(Debug, Clone, Default)]
+pub struct VendorCounts {
+    counts: HashMap<&'static str, u64>,
+}
+
+impl VendorCounts {
+    /// Creates an empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one identified device.
+    pub fn record(&mut self, vendor: &'static str) {
+        *self.counts.entry(vendor).or_insert(0) += 1;
+    }
+
+    /// Total identified devices.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total identified devices of one class.
+    pub fn total_of(&self, class: DeviceClass) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(v, _)| oui::class_of(v) == Some(class))
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Count for one vendor.
+    pub fn count(&self, vendor: &str) -> u64 {
+        self.counts.get(vendor).copied().unwrap_or(0)
+    }
+
+    /// Vendors of a class sorted by descending count (the Table IV rows).
+    pub fn top(&self, class: DeviceClass) -> Vec<(&'static str, u64)> {
+        let mut rows: Vec<(&'static str, u64)> = self
+            .counts
+            .iter()
+            .filter(|(v, _)| oui::class_of(v) == Some(class))
+            .map(|(v, c)| (*v, *c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Merges another aggregation into this one.
+    pub fn merge(&mut self, other: &VendorCounts) {
+        for (v, c) in &other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+    }
+}
+
+impl Extend<&'static str> for VendorCounts {
+    fn extend<T: IntoIterator<Item = &'static str>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_wins_over_app_string() {
+        let zte_mac: Mac = "38:e1:aa:00:00:01".parse().unwrap();
+        assert_eq!(identify(Some(zte_mac), Some("TP-Link")), Some("ZTE"));
+    }
+
+    #[test]
+    fn unknown_oui_falls_back_to_app() {
+        let unknown: Mac = "00:00:00:00:00:01".parse().unwrap();
+        assert_eq!(identify(Some(unknown), Some("Netgear")), Some("Netgear"));
+        assert_eq!(identify(Some(unknown), Some("Not A Vendor")), None);
+    }
+
+    #[test]
+    fn counts_and_ranking() {
+        let mut counts = VendorCounts::new();
+        for _ in 0..5 {
+            counts.record("ZTE");
+        }
+        for _ in 0..3 {
+            counts.record("TP-Link");
+        }
+        counts.record("Apple");
+        assert_eq!(counts.total(), 9);
+        assert_eq!(counts.count("ZTE"), 5);
+        assert_eq!(counts.total_of(DeviceClass::Cpe), 8);
+        assert_eq!(counts.total_of(DeviceClass::Ue), 1);
+        let top = counts.top(DeviceClass::Cpe);
+        assert_eq!(top[0], ("ZTE", 5));
+        assert_eq!(top[1], ("TP-Link", 3));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = VendorCounts::new();
+        a.record("ZTE");
+        let mut b = VendorCounts::new();
+        b.record("ZTE");
+        b.record("Huawei");
+        a.merge(&b);
+        assert_eq!(a.count("ZTE"), 2);
+        assert_eq!(a.count("Huawei"), 1);
+    }
+
+    #[test]
+    fn extend_records() {
+        let mut counts = VendorCounts::new();
+        counts.extend(["ZTE", "ZTE", "Apple"]);
+        assert_eq!(counts.count("ZTE"), 2);
+    }
+}

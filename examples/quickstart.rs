@@ -1,0 +1,45 @@
+//! Quickstart: discover IPv6 network peripheries in one ISP block.
+//!
+//! Sends one ICMPv6 echo probe to a pseudorandom address inside each /64
+//! sub-prefix of (a slice of) Reliance Jio's sample block; every ICMPv6
+//! destination-unreachable response exposes a periphery's WAN address.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xmap::{Blocklist, IcmpEchoProbe, ProbeResult, ScanConfig, Scanner};
+use xmap_addr::classify_iid;
+use xmap_netsim::World;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulated IPv6 Internet (the paper used the real one; DESIGN.md
+    // explains the substitution). Everything is seeded and reproducible.
+    let world = World::new(2021);
+
+    // Scan 2^16 of the 2^32 /64 sub-prefixes in 2405:200::/32 (Table II
+    // row 1). `max_targets` slices the space; drop it for the full scan.
+    let mut scanner = Scanner::new(
+        world,
+        ScanConfig { max_targets: Some(1 << 16), ..Default::default() },
+    );
+    let range = "2405:200::/32-64".parse()?;
+    let results = scanner.run(&range, &IcmpEchoProbe, &Blocklist::with_standard_reserved());
+
+    println!(
+        "sent {} probes, {} valid responses (hit rate {:.3}%)",
+        results.stats.sent,
+        results.stats.valid,
+        results.stats.hit_rate() * 100.0
+    );
+    for record in results.records.iter().take(10) {
+        if let ProbeResult::Unreachable { code } = record.result {
+            println!(
+                "periphery {} exposed by probing {} ({code:?}, IID class {})",
+                record.responder,
+                record.probe_dst,
+                classify_iid(record.responder)
+            );
+        }
+    }
+    println!("... ({} peripheries total in this slice)", results.records.len());
+    Ok(())
+}

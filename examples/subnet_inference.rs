@@ -1,0 +1,50 @@
+//! Subnet-boundary inference (Section IV-A / Table I).
+//!
+//! Before a periphery scan, the sub-prefix length each ISP assigns to its
+//! customers must be inferred: find one periphery, then flip target bits
+//! from position 63 upward until the responder changes — that bit position
+//! is the subnet boundary. This example runs the inference on every sample
+//! block and compares against the ground-truth assignment policy.
+//!
+//! Run with: `cargo run --release --example subnet_inference`
+
+use xmap::{ScanConfig, Scanner};
+use xmap_netsim::isp::SAMPLE_BLOCKS;
+use xmap_netsim::World;
+use xmap_periphery::infer_boundary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scanner = Scanner::new(World::new(2021), ScanConfig::default());
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>8}",
+        "block", "truth", "inferred", "confidence", "probes"
+    );
+    let mut correct = 0;
+    let mut resolved = 0;
+    for profile in SAMPLE_BLOCKS {
+        let inference = infer_boundary(&mut scanner, profile.scan_prefix(), 8000, 3);
+        let inferred = inference
+            .inferred_len
+            .map(|l| format!("/{l}"))
+            .unwrap_or_else(|| "(no periphery found)".to_owned());
+        if let Some(len) = inference.inferred_len {
+            resolved += 1;
+            if len == profile.assigned_len {
+                correct += 1;
+            }
+        }
+        println!(
+            "{:<26} {:>8} {:>10} {:>11.0}% {:>8}",
+            profile.label(),
+            format!("/{}", profile.assigned_len),
+            inferred,
+            inference.confidence() * 100.0,
+            inference.probes
+        );
+    }
+    println!(
+        "\n{correct}/{resolved} resolved blocks inferred correctly (sparse blocks like BSNL can \
+         need more preliminary probes; the paper replicates the test several times too)"
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the xmap-suite workspace: re-exports the member
+//! crates under one name so examples and integration tests can use a
+//! single dependency, and so `cargo doc -p xmap-suite` gives a map of the
+//! whole reproduction.
+//!
+//! See the workspace `README.md` for the project overview, `DESIGN.md` for
+//! the system inventory and substitution policy, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use xmap;
+pub use xmap_addr as addr;
+pub use xmap_appscan as appscan;
+pub use xmap_loopscan as loopscan;
+pub use xmap_netsim as netsim;
+pub use xmap_periphery as periphery;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str =
+    "Fast IPv6 Network Periphery Discovery and Security Implications (DSN 2021)";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        let _: crate::addr::Ip6 = "2001:db8::1".parse().unwrap();
+        let _ = crate::netsim::World::new(1);
+        assert!(crate::PAPER.contains("IPv6"));
+    }
+}

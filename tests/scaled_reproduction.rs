@@ -1,0 +1,114 @@
+//! Headline-shape assertions: a quick-scale end-to-end run must land the
+//! paper's qualitative results — who wins, by roughly what factor.
+
+use xmap_bench::{Experiment, ExperimentConfig};
+use xmap_loopscan::measure_amplification;
+use xmap_netsim::topology::NAMED_MODELS;
+
+fn experiment() -> Experiment {
+    Experiment::new(ExperimentConfig {
+        discovery_probes_per_block: 1 << 16,
+        loop_probes_per_block: 1 << 15,
+        bgp_probes_per_prefix: 1 << 7,
+        bgp_ases: 1200,
+        ..ExperimentConfig::default()
+    })
+}
+
+#[test]
+fn headline_discovery_estimate_matches_order_of_magnitude() {
+    let mut exp = experiment();
+    let campaign = exp.campaign();
+    // Paper: 52.5M peripheries across 15 blocks; scale-corrected estimate
+    // must land in the right decade.
+    let est = campaign.estimated_total();
+    assert!((2.0e7..1.2e8).contains(&est), "estimate {est}");
+    // Pooled same-/64 share: paper 77.2%.
+    let same = campaign.same_frac();
+    assert!((0.6..0.92).contains(&same), "same {same}");
+    // Airtel is the best-performing block, far ahead of BSNL (Section IV-E).
+    let by_id = |id: u8| {
+        campaign
+            .blocks
+            .iter()
+            .find(|b| b.profile_id == id)
+            .map(|b| b.unique())
+            .unwrap_or(0)
+    };
+    assert!(by_id(3) > 10 * by_id(2).max(1), "Airtel {} BSNL {}", by_id(3), by_id(2));
+}
+
+#[test]
+fn headline_iid_structure() {
+    let mut exp = experiment();
+    let hist = exp.campaign().iid_histogram();
+    use xmap_addr::IidClass;
+    // Randomized dominates (paper 75.5%), EUI-64 is a visible minority
+    // (paper 7.6%), low-byte is rare (paper 1.0%).
+    assert!(hist.percent(IidClass::Randomized) > 55.0);
+    let eui = hist.percent(IidClass::Eui64);
+    assert!((3.0..18.0).contains(&eui), "EUI-64 {eui}%");
+    assert!(hist.percent(IidClass::LowByte) < 5.0);
+}
+
+#[test]
+fn headline_service_exposure() {
+    let mut exp = experiment();
+    let survey = exp.survey().clone();
+    let probed = survey.probed();
+    let any = survey.devices_with_any().len();
+    // Paper: 9.0% of peripheries expose at least one service.
+    let frac = any as f64 / probed.max(1) as f64;
+    assert!((0.03..0.25).contains(&frac), "any-service {frac}");
+    // HTTP-8080 is the most exposed service overall (3.5M in the paper).
+    use xmap_netsim::services::ServiceKind;
+    let alt = survey.alive_total(ServiceKind::HttpAlt);
+    for kind in [ServiceKind::Ntp, ServiceKind::Ftp, ServiceKind::Ssh, ServiceKind::Tls] {
+        assert!(alt >= survey.alive_total(kind), "{kind} beats 8080");
+    }
+    // DNS exposure exists and dnsmasq serves it.
+    assert!(survey.alive_total(ServiceKind::Dns) > 0);
+}
+
+#[test]
+fn headline_loop_survey() {
+    let mut exp = experiment();
+    let depth = exp.depth();
+    let total: usize = (1u8..=15).map(|id| depth.count_in_block(id)).sum();
+    assert!(total > 20, "loop devices {total}");
+    // Diff dominates (paper: 95.1% diff overall).
+    assert!(depth.same_frac() < 0.35, "same {}", depth.same_frac());
+    // Chinese broadband carriers dominate the loop population.
+    let cn: usize = [11u8, 12, 13].iter().map(|id| depth.count_in_block(*id)).sum();
+    assert!(cn * 10 >= total * 8, "CN {cn} of {total}");
+}
+
+#[test]
+fn headline_bgp_survey() {
+    let mut exp = experiment();
+    let bgp = exp.bgp();
+    assert!(bgp.total() > 100, "{}", bgp.total());
+    let (vuln, vasns, vcountries) = bgp.vulnerable_summary();
+    assert!(vuln > 10, "{vuln}");
+    // Loop share: paper 3.2% of last hops; allow a broad band.
+    let share = vuln as f64 / bgp.total() as f64;
+    assert!((0.005..0.12).contains(&share), "loop share {share}");
+    assert!(vasns >= 5 && vcountries >= 3);
+    // The hotspot countries of Figure 5 are in the top of the ranking.
+    let top: Vec<&str> = bgp.top_loop_countries(6).into_iter().map(|(c, _)| c).collect();
+    let hot = ["BR", "CN", "EC", "VN", "US", "MM", "IN"];
+    let overlap = top.iter().filter(|c| hot.contains(c)).count();
+    assert!(overlap >= 3, "top countries {top:?}");
+}
+
+#[test]
+fn headline_amplification_over_200() {
+    // Paper: amplification factor >200 for every full-loop router at
+    // typical path lengths.
+    for model in NAMED_MODELS.iter().filter(|m| {
+        matches!(m.behavior, xmap_netsim::topology::LoopBehavior::FullLoop)
+    }) {
+        let point = measure_amplification(model, 20);
+        assert!(point.factor() > 200, "{}: {}", model.brand, point.factor());
+    }
+}
