@@ -27,7 +27,10 @@ pub(crate) enum ErrorKind {
 
 impl ParseAddrError {
     pub(crate) fn new(kind: ErrorKind, input: &str) -> Self {
-        ParseAddrError { kind, input: input.to_owned() }
+        ParseAddrError {
+            kind,
+            input: input.to_owned(),
+        }
     }
 
     /// The original input that failed to parse.

@@ -14,13 +14,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ip6::Ip6;
 use crate::mac::Mac;
 
 /// The structural class of an interface identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IidClass {
     /// Modified EUI-64 with an embedded MAC address.
     Eui64,
@@ -111,8 +109,15 @@ fn is_embed_ipv4(iid: u64) -> bool {
     }
     // Decimal-coded quad: every group, read as hex digits, is a decimal
     // number <= 255 (e.g. 0192:0168:0001:0001).
-    let groups = [(iid >> 48) as u16, (iid >> 32) as u16, (iid >> 16) as u16, iid as u16];
-    if groups.iter().all(|g| decimal_value(*g).is_some_and(|v| v <= 255))
+    let groups = [
+        (iid >> 48) as u16,
+        (iid >> 32) as u16,
+        (iid >> 16) as u16,
+        iid as u16,
+    ];
+    if groups
+        .iter()
+        .all(|g| decimal_value(*g).is_some_and(|v| v <= 255))
         && decimal_value(groups[0]).is_some_and(|v| v > 0)
         && iid > 0xffff
     {
@@ -148,7 +153,12 @@ fn is_byte_pattern(iid: u64) -> bool {
     if distinct.len() <= 2 {
         return true;
     }
-    let groups = [(iid >> 48) as u16, (iid >> 32) as u16, (iid >> 16) as u16, iid as u16];
+    let groups = [
+        (iid >> 48) as u16,
+        (iid >> 32) as u16,
+        (iid >> 16) as u16,
+        iid as u16,
+    ];
     if groups.iter().all(|g| *g == groups[0]) {
         return true;
     }
@@ -176,7 +186,7 @@ fn is_byte_pattern(iid: u64) -> bool {
 /// assert!((h.percent(IidClass::LowByte) - 50.0).abs() < 1e-9);
 /// # Ok::<(), xmap_addr::ParseAddrError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IidHistogram {
     counts: [u64; 5],
 }
@@ -288,9 +298,18 @@ mod tests {
 
     #[test]
     fn byte_pattern_detected() {
-        assert_eq!(class("2001:db8::dead:dead:dead:dead"), IidClass::BytePattern);
-        assert_eq!(class("2001:db8::abab:abab:abab:abab"), IidClass::BytePattern);
-        assert_eq!(class("2001:db8::1111:1111:1111:1234"), IidClass::BytePattern);
+        assert_eq!(
+            class("2001:db8::dead:dead:dead:dead"),
+            IidClass::BytePattern
+        );
+        assert_eq!(
+            class("2001:db8::abab:abab:abab:abab"),
+            IidClass::BytePattern
+        );
+        assert_eq!(
+            class("2001:db8::1111:1111:1111:1234"),
+            IidClass::BytePattern
+        );
     }
 
     #[test]

@@ -4,8 +4,6 @@ use std::fmt;
 use std::net::Ipv6Addr;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ErrorKind, ParseAddrError};
 
 /// An IPv6 address stored as a big-endian `u128`.
@@ -27,8 +25,7 @@ use crate::error::{ErrorKind, ParseAddrError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ip6(u128);
 
 impl Ip6 {
@@ -129,7 +126,7 @@ impl Ip6 {
         assert!(width <= 64, "bit slice wider than 64 bits");
         let value = (value & width_mask(width)) as u128;
         let shift = 128 - end as u32;
-        let slice_mask = ((width_mask(width) as u128) << shift) as u128;
+        let slice_mask = (width_mask(width) as u128) << shift;
         Ip6((self.0 & !slice_mask) | (value << shift))
     }
 }

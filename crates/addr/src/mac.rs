@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ErrorKind, ParseAddrError};
 
 /// A 48-bit IEEE 802 MAC address.
@@ -28,7 +26,7 @@ use crate::error::{ErrorKind, ParseAddrError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Mac([u8; 6]);
 
 impl Mac {
@@ -114,7 +112,9 @@ impl FromStr for Mac {
         let mut octets = [0u8; 6];
         let mut parts = s.split(':');
         for slot in &mut octets {
-            let part = parts.next().ok_or_else(|| ParseAddrError::new(ErrorKind::Mac, s))?;
+            let part = parts
+                .next()
+                .ok_or_else(|| ParseAddrError::new(ErrorKind::Mac, s))?;
             if part.len() != 2 {
                 return Err(ParseAddrError::new(ErrorKind::Mac, s));
             }
@@ -131,7 +131,11 @@ impl FromStr for Mac {
 impl fmt::Display for Mac {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let o = self.0;
-        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", o[0], o[1], o[2], o[3], o[4], o[5])
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
     }
 }
 
@@ -148,8 +152,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "00:1a:2b:3c:4d", "00:1a:2b:3c:4d:5e:6f", "0:1a:2b:3c:4d:5e", "zz:1a:2b:3c:4d:5e"]
-        {
+        for bad in [
+            "",
+            "00:1a:2b:3c:4d",
+            "00:1a:2b:3c:4d:5e:6f",
+            "0:1a:2b:3c:4d:5e",
+            "zz:1a:2b:3c:4d:5e",
+        ] {
             assert!(bad.parse::<Mac>().is_err(), "{bad}");
         }
     }

@@ -10,12 +10,10 @@
 //! The simulator assigns MACs out of the same table, so lookups on simulated
 //! scans behave exactly like IEEE lookups on real scans.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mac::Mac;
 
 /// The device class a vendor predominantly ships at the IPv6 periphery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// Customer-premises edge — home routers and gateways.
     Cpe,
@@ -33,7 +31,7 @@ impl std::fmt::Display for DeviceClass {
 }
 
 /// One registry entry: a 24-bit OUI, the organization name and device class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OuiEntry {
     /// 24-bit organizationally unique identifier.
     pub oui: u32,
@@ -48,78 +46,366 @@ pub struct OuiEntry {
 /// registry); the table keeps one per vendor plus extras for the largest.
 pub const OUI_TABLE: &[OuiEntry] = &[
     // Keep sorted by `oui`.
-    OuiEntry { oui: 0x00037F, vendor: "Technicolor", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x000C43, vendor: "MikroTik", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x000FE2, vendor: "H3C", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x001018, vendor: "Hitron Tech", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x0014BF, vendor: "Linksys", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x001882, vendor: "Huawei", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x001D0F, vendor: "TP-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x002275, vendor: "Belkin", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x00248C, vendor: "Asus", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x0024D2, vendor: "StarNet", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x0025F1, vendor: "ARRIS", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x04BD70, vendor: "China Mobile", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x081077, vendor: "Fiberhome", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x0C8063, vendor: "Tenda", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x105F06, vendor: "Skyworth", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x14CC20, vendor: "TP-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x1C1D67, vendor: "Huawei", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x203DB2, vendor: "Mercury", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x20E52A, vendor: "Netgear", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x2C9D1E, vendor: "China Unicom", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x30B5C2, vendor: "TP-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x3460F9, vendor: "Fiberhome", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x38E1AA, vendor: "ZTE", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x3C9872, vendor: "Youhua Tech", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x40A5EF, vendor: "Shenzhen", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x446EE5, vendor: "HMD Global", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x48BF74, vendor: "NTMore", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x4C6E6E, vendor: "Optilink", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x506255, vendor: "D-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x546CEB, vendor: "Vivo", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x58C876, vendor: "China Telecom", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x5C63BF, vendor: "TP-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x60427F, vendor: "Skyworth", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x640980, vendor: "Xiaomi", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x68DBF5, vendor: "AVM GmbH", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x6C5AB5, vendor: "ZTE", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x70F96D, vendor: "China Mobile", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x744D28, vendor: "MikroTik", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x78DD12, vendor: "Oppo", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x7C2664, vendor: "Samsung", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x80E650, vendor: "Apple", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x847060, vendor: "Nokia", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x88E9FE, vendor: "Totolink", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x8C53C3, vendor: "LG", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x903CB3, vendor: "FAST", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x94D9B3, vendor: "Hisense", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0x98DAC4, vendor: "Motorola", class: DeviceClass::Ue },
-    OuiEntry { oui: 0x9C216A, vendor: "iKuai", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xA0AB1B, vendor: "Lenovo", class: DeviceClass::Ue },
-    OuiEntry { oui: 0xA47733, vendor: "OpenWrt", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xA85E45, vendor: "Nubia", class: DeviceClass::Ue },
-    OuiEntry { oui: 0xAC8467, vendor: "Xfinity", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xB07FB9, vendor: "OnePlus", class: DeviceClass::Ue },
-    OuiEntry { oui: 0xB4B024, vendor: "ZTE", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xB8F883, vendor: "China Mobile", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xBC4699, vendor: "Youhua Tech", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xC09F05, vendor: "Skyworth", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xC4E90A, vendor: "D-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xC83A35, vendor: "Tenda", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xCC2D83, vendor: "China Unicom", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xD0608C, vendor: "Fiberhome", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xD4EE07, vendor: "StarNet", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xD8C771, vendor: "Huawei", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xDC028E, vendor: "ZTE", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xE01954, vendor: "China Mobile", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xE4BD4B, vendor: "ZTE", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xE8CC18, vendor: "D-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xECF00E, vendor: "Netgear", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xF0B429, vendor: "Xiaomi", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xF42981, vendor: "AVM GmbH", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xF8D111, vendor: "TP-Link", class: DeviceClass::Cpe },
-    OuiEntry { oui: 0xFC3719, vendor: "Samsung", class: DeviceClass::Ue },
+    OuiEntry {
+        oui: 0x00037F,
+        vendor: "Technicolor",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x000C43,
+        vendor: "MikroTik",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x000FE2,
+        vendor: "H3C",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x001018,
+        vendor: "Hitron Tech",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x0014BF,
+        vendor: "Linksys",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x001882,
+        vendor: "Huawei",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x001D0F,
+        vendor: "TP-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x002275,
+        vendor: "Belkin",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x00248C,
+        vendor: "Asus",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x0024D2,
+        vendor: "StarNet",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x0025F1,
+        vendor: "ARRIS",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x04BD70,
+        vendor: "China Mobile",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x081077,
+        vendor: "Fiberhome",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x0C8063,
+        vendor: "Tenda",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x105F06,
+        vendor: "Skyworth",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x14CC20,
+        vendor: "TP-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x1C1D67,
+        vendor: "Huawei",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x203DB2,
+        vendor: "Mercury",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x20E52A,
+        vendor: "Netgear",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x2C9D1E,
+        vendor: "China Unicom",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x30B5C2,
+        vendor: "TP-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x3460F9,
+        vendor: "Fiberhome",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x38E1AA,
+        vendor: "ZTE",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x3C9872,
+        vendor: "Youhua Tech",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x40A5EF,
+        vendor: "Shenzhen",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x446EE5,
+        vendor: "HMD Global",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x48BF74,
+        vendor: "NTMore",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x4C6E6E,
+        vendor: "Optilink",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x506255,
+        vendor: "D-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x546CEB,
+        vendor: "Vivo",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x58C876,
+        vendor: "China Telecom",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x5C63BF,
+        vendor: "TP-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x60427F,
+        vendor: "Skyworth",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x640980,
+        vendor: "Xiaomi",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x68DBF5,
+        vendor: "AVM GmbH",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x6C5AB5,
+        vendor: "ZTE",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x70F96D,
+        vendor: "China Mobile",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x744D28,
+        vendor: "MikroTik",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x78DD12,
+        vendor: "Oppo",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x7C2664,
+        vendor: "Samsung",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x80E650,
+        vendor: "Apple",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x847060,
+        vendor: "Nokia",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x88E9FE,
+        vendor: "Totolink",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x8C53C3,
+        vendor: "LG",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x903CB3,
+        vendor: "FAST",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x94D9B3,
+        vendor: "Hisense",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0x98DAC4,
+        vendor: "Motorola",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0x9C216A,
+        vendor: "iKuai",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xA0AB1B,
+        vendor: "Lenovo",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0xA47733,
+        vendor: "OpenWrt",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xA85E45,
+        vendor: "Nubia",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0xAC8467,
+        vendor: "Xfinity",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xB07FB9,
+        vendor: "OnePlus",
+        class: DeviceClass::Ue,
+    },
+    OuiEntry {
+        oui: 0xB4B024,
+        vendor: "ZTE",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xB8F883,
+        vendor: "China Mobile",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xBC4699,
+        vendor: "Youhua Tech",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xC09F05,
+        vendor: "Skyworth",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xC4E90A,
+        vendor: "D-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xC83A35,
+        vendor: "Tenda",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xCC2D83,
+        vendor: "China Unicom",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xD0608C,
+        vendor: "Fiberhome",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xD4EE07,
+        vendor: "StarNet",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xD8C771,
+        vendor: "Huawei",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xDC028E,
+        vendor: "ZTE",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xE01954,
+        vendor: "China Mobile",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xE4BD4B,
+        vendor: "ZTE",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xE8CC18,
+        vendor: "D-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xECF00E,
+        vendor: "Netgear",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xF0B429,
+        vendor: "Xiaomi",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xF42981,
+        vendor: "AVM GmbH",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xF8D111,
+        vendor: "TP-Link",
+        class: DeviceClass::Cpe,
+    },
+    OuiEntry {
+        oui: 0xFC3719,
+        vendor: "Samsung",
+        class: DeviceClass::Ue,
+    },
 ];
 
 /// Looks up a registry entry by 24-bit OUI.
@@ -133,7 +419,10 @@ pub const OUI_TABLE: &[OuiEntry] = &[
 /// assert_eq!(entry.vendor, "ZTE");
 /// ```
 pub fn lookup_oui(oui: u32) -> Option<&'static OuiEntry> {
-    OUI_TABLE.binary_search_by_key(&oui, |e| e.oui).ok().map(|i| &OUI_TABLE[i])
+    OUI_TABLE
+        .binary_search_by_key(&oui, |e| e.oui)
+        .ok()
+        .map(|i| &OUI_TABLE[i])
 }
 
 /// Looks up the vendor entry for a MAC address.
@@ -143,12 +432,18 @@ pub fn lookup_mac(mac: Mac) -> Option<&'static OuiEntry> {
 
 /// All OUIs registered to `vendor` (case-sensitive exact match).
 pub fn ouis_of(vendor: &str) -> impl Iterator<Item = u32> + '_ {
-    OUI_TABLE.iter().filter(move |e| e.vendor == vendor).map(|e| e.oui)
+    OUI_TABLE
+        .iter()
+        .filter(move |e| e.vendor == vendor)
+        .map(|e| e.oui)
 }
 
 /// The device class a vendor ships, or `None` for unknown vendors.
 pub fn class_of(vendor: &str) -> Option<DeviceClass> {
-    OUI_TABLE.iter().find(|e| e.vendor == vendor).map(|e| e.class)
+    OUI_TABLE
+        .iter()
+        .find(|e| e.vendor == vendor)
+        .map(|e| e.class)
 }
 
 /// Distinct vendor names of a device class, in table order.
@@ -169,7 +464,11 @@ mod tests {
     #[test]
     fn table_is_sorted_and_unique() {
         for w in OUI_TABLE.windows(2) {
-            assert!(w[0].oui < w[1].oui, "table not strictly sorted at {:06x}", w[1].oui);
+            assert!(
+                w[0].oui < w[1].oui,
+                "table not strictly sorted at {:06x}",
+                w[1].oui
+            );
         }
     }
 
@@ -190,14 +489,50 @@ mod tests {
     fn paper_vendors_present() {
         // Every vendor named in Table IV and Table XII must resolve.
         for v in [
-            "China Mobile", "ZTE", "Skyworth", "Fiberhome", "Youhua Tech", "China Unicom",
-            "AVM GmbH", "Technicolor", "Huawei", "StarNet", "TP-Link", "D-Link", "Xiaomi",
-            "Hitron Tech", "Netgear", "Linksys", "Asus", "Optilink", "Tenda", "MikroTik",
-            "NTMore", "HMD Global", "Vivo", "Oppo", "Apple", "Samsung", "Nokia", "LG",
-            "Motorola", "Lenovo", "Nubia", "OnePlus", "Totolink", "FAST", "H3C", "Hisense",
-            "iKuai", "Mercury", "OpenWrt",
+            "China Mobile",
+            "ZTE",
+            "Skyworth",
+            "Fiberhome",
+            "Youhua Tech",
+            "China Unicom",
+            "AVM GmbH",
+            "Technicolor",
+            "Huawei",
+            "StarNet",
+            "TP-Link",
+            "D-Link",
+            "Xiaomi",
+            "Hitron Tech",
+            "Netgear",
+            "Linksys",
+            "Asus",
+            "Optilink",
+            "Tenda",
+            "MikroTik",
+            "NTMore",
+            "HMD Global",
+            "Vivo",
+            "Oppo",
+            "Apple",
+            "Samsung",
+            "Nokia",
+            "LG",
+            "Motorola",
+            "Lenovo",
+            "Nubia",
+            "OnePlus",
+            "Totolink",
+            "FAST",
+            "H3C",
+            "Hisense",
+            "iKuai",
+            "Mercury",
+            "OpenWrt",
         ] {
-            assert!(ouis_of(v).next().is_some(), "vendor {v} missing from OUI table");
+            assert!(
+                ouis_of(v).next().is_some(),
+                "vendor {v} missing from OUI table"
+            );
         }
     }
 

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ErrorKind, ParseAddrError};
 use crate::ip6::{mask, Ip6};
 
@@ -25,7 +23,7 @@ use crate::ip6::{mask, Ip6};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
     addr: Ip6,
     len: u8,
@@ -33,7 +31,10 @@ pub struct Prefix {
 
 impl Prefix {
     /// The whole address space, `::/0`.
-    pub const ALL: Prefix = Prefix { addr: Ip6::UNSPECIFIED, len: 0 };
+    pub const ALL: Prefix = Prefix {
+        addr: Ip6::UNSPECIFIED,
+        len: 0,
+    };
 
     /// Creates a prefix, canonicalizing the address by zeroing host bits.
     ///
@@ -42,7 +43,10 @@ impl Prefix {
     /// Panics if `len > 128`.
     pub fn new(addr: Ip6, len: u8) -> Self {
         assert!(len <= 128, "prefix length {len} out of range");
-        Prefix { addr: addr.network(len), len }
+        Prefix {
+            addr: addr.network(len),
+            len,
+        }
     }
 
     /// Creates a prefix only if `addr` already has all host bits zero.
@@ -116,9 +120,15 @@ impl Prefix {
         let count = self
             .subprefix_count(sub_len)
             .unwrap_or_else(|| panic!("invalid sub-prefix length {sub_len} for /{}", self.len));
-        assert!(index < count, "sub-prefix index {index} out of range (count {count})");
+        assert!(
+            index < count,
+            "sub-prefix index {index} out of range (count {count})"
+        );
         let shift = 128 - sub_len as u32;
-        Prefix { addr: Ip6::new(self.addr.bits() | (index << shift)), len: sub_len }
+        Prefix {
+            addr: Ip6::new(self.addr.bits() | (index << shift)),
+            len: sub_len,
+        }
     }
 
     /// The index of `addr`'s enclosing `sub_len` sub-prefix within this prefix,
@@ -140,7 +150,12 @@ impl Prefix {
         let count = self
             .subprefix_count(sub_len)
             .unwrap_or_else(|| panic!("invalid sub-prefix length {sub_len} for /{}", self.len));
-        Subprefixes { base: *self, sub_len, next: 0, count }
+        Subprefixes {
+            base: *self,
+            sub_len,
+            next: 0,
+            count,
+        }
     }
 }
 
@@ -180,11 +195,13 @@ impl FromStr for Prefix {
     type Err = ParseAddrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr_part, len_part) =
-            s.split_once('/').ok_or_else(|| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
+        let (addr_part, len_part) = s
+            .split_once('/')
+            .ok_or_else(|| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
         let addr: Ip6 = addr_part.parse()?;
-        let len: u8 =
-            len_part.parse().map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
+        let len: u8 = len_part
+            .parse()
+            .map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
         if len > 128 {
             return Err(ParseAddrError::new(ErrorKind::PrefixLen, s));
         }
@@ -212,7 +229,12 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["2001:db8::/32", "::/0", "2001:db8:1234:5678::/64", "ff00::/8"] {
+        for s in [
+            "2001:db8::/32",
+            "::/0",
+            "2001:db8:1234:5678::/64",
+            "ff00::/8",
+        ] {
             assert_eq!(p(s).to_string(), s);
         }
     }

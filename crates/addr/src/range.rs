@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ErrorKind, ParseAddrError};
 use crate::ip6::Ip6;
 use crate::prefix::Prefix;
@@ -39,7 +37,7 @@ use crate::prefix::Prefix;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanRange {
     base: Prefix,
     end_bit: u8,
@@ -101,7 +99,9 @@ impl ScanRange {
     /// The index of the target sub-prefix containing `addr`, or `None` when
     /// `addr` lies outside the base prefix.
     pub fn index_of(&self, addr: Ip6) -> Option<u64> {
-        self.base.subprefix_index(self.end_bit, addr).map(|i| i as u64)
+        self.base
+            .subprefix_index(self.end_bit, addr)
+            .map(|i| i as u64)
     }
 
     /// Restricts this range to a narrower sub-space: the `index`-th of
@@ -113,13 +113,22 @@ impl ScanRange {
     /// Panics if `count` is zero, not a power of two, larger than the space,
     /// or `index >= count`.
     pub fn slice(&self, index: u64, count: u64) -> ScanRange {
-        assert!(count.is_power_of_two(), "slice count must be a power of two");
+        assert!(
+            count.is_power_of_two(),
+            "slice count must be a power of two"
+        );
         assert!(index < count, "slice index out of range");
         let slice_bits = count.trailing_zeros() as u8;
-        assert!(slice_bits <= self.space_bits(), "slice count larger than space");
+        assert!(
+            slice_bits <= self.space_bits(),
+            "slice count larger than space"
+        );
         let new_base_len = self.base.len() + slice_bits;
         let base = self.base.subprefix(new_base_len, index as u128);
-        ScanRange { base, end_bit: self.end_bit }
+        ScanRange {
+            base,
+            end_bit: self.end_bit,
+        }
     }
 }
 
@@ -127,8 +136,9 @@ impl FromStr for ScanRange {
     type Err = ParseAddrError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr_part, rest) =
-            s.split_once('/').ok_or_else(|| ParseAddrError::new(ErrorKind::BitRange, s))?;
+        let (addr_part, rest) = s
+            .split_once('/')
+            .ok_or_else(|| ParseAddrError::new(ErrorKind::BitRange, s))?;
         // Dual-stack, like the real XMap: an IPv4 expression such as
         // `192.168.0.0/20-25` scans the corresponding bit range of the
         // v4-mapped space `::ffff:192.168.0.0/116-121`.
@@ -141,15 +151,17 @@ impl FromStr for ScanRange {
                 Some((l, e)) => (l, Some(e)),
                 None => (rest, None),
             };
-            let len: u8 =
-                len_str.parse().map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
+            let len: u8 = len_str
+                .parse()
+                .map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
             if len > 32 {
                 return Err(ParseAddrError::new(ErrorKind::PrefixLen, s));
             }
             let end: u8 = match end_str {
                 Some(e) => {
-                    let e: u8 =
-                        e.parse().map_err(|_| ParseAddrError::new(ErrorKind::BitRange, s))?;
+                    let e: u8 = e
+                        .parse()
+                        .map_err(|_| ParseAddrError::new(ErrorKind::BitRange, s))?;
                     if e > 32 {
                         return Err(ParseAddrError::new(ErrorKind::BitRange, s));
                     }
@@ -166,13 +178,17 @@ impl FromStr for ScanRange {
             Some((l, e)) => (l, Some(e)),
             None => (rest, None),
         };
-        let len: u8 = len_str.parse().map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
+        let len: u8 = len_str
+            .parse()
+            .map_err(|_| ParseAddrError::new(ErrorKind::PrefixLen, s))?;
         if len > 128 {
             return Err(ParseAddrError::new(ErrorKind::PrefixLen, s));
         }
         let base = Prefix::new(addr, len);
         let end_bit: u8 = match end_str {
-            Some(e) => e.parse().map_err(|_| ParseAddrError::new(ErrorKind::BitRange, s))?,
+            Some(e) => e
+                .parse()
+                .map_err(|_| ParseAddrError::new(ErrorKind::BitRange, s))?,
             // Default: probe /64 subnets, or single addresses for long bases.
             None => {
                 if len < 64 {

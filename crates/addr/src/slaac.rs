@@ -36,7 +36,11 @@ use crate::prefix::Prefix;
 /// # }
 /// ```
 pub fn eui64_address(prefix64: Prefix, mac: Mac) -> Ip6 {
-    assert!(prefix64.len() <= 64, "prefix /{} leaves no IID space", prefix64.len());
+    assert!(
+        prefix64.len() <= 64,
+        "prefix /{} leaves no IID space",
+        prefix64.len()
+    );
     prefix64.addr().with_iid(mac.to_eui64())
 }
 
@@ -49,7 +53,11 @@ pub fn eui64_address(prefix64: Prefix, mac: Mac) -> Ip6 {
 ///
 /// Panics if `prefix64` is longer than 64 bits.
 pub fn random_iid_address(prefix64: Prefix, iid: u64) -> Ip6 {
-    assert!(prefix64.len() <= 64, "prefix /{} leaves no IID space", prefix64.len());
+    assert!(
+        prefix64.len() <= 64,
+        "prefix /{} leaves no IID space",
+        prefix64.len()
+    );
     prefix64.addr().with_iid(iid)
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for xmap-addr invariants.
 
 use proptest::prelude::*;
-use xmap_addr::{classify_iid, eui64_address, Ip6, IidClass, Mac, Prefix, ScanRange};
+use xmap_addr::{classify_iid, eui64_address, IidClass, Ip6, Mac, Prefix, ScanRange};
 
 proptest! {
     /// Display → parse is the identity for addresses.

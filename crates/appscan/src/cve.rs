@@ -43,10 +43,20 @@ pub struct CveEntry {
 
 macro_rules! cve {
     ($id:literal, $product:literal, $impact:ident) => {
-        CveEntry { id: $id, product: $product, impact: Impact::$impact, synthetic: false }
+        CveEntry {
+            id: $id,
+            product: $product,
+            impact: Impact::$impact,
+            synthetic: false,
+        }
     };
     (syn $id:literal, $product:literal, $impact:ident) => {
-        CveEntry { id: $id, product: $product, impact: Impact::$impact, synthetic: true }
+        CveEntry {
+            id: $id,
+            product: $product,
+            impact: Impact::$impact,
+            synthetic: true,
+        }
     };
 }
 
@@ -212,10 +222,15 @@ mod tests {
         assert_eq!(count_for_product("GNU Inetutils"), 0);
         assert_eq!(count_for_product("Fritz!Box"), 0);
         // HTTP family: 24 across the four servers.
-        let http: usize = ["Jetty", "MiniWeb HTTP Server", "micro_httpd", "GoAhead Embedded"]
-            .iter()
-            .map(|p| count_for_product(p))
-            .sum();
+        let http: usize = [
+            "Jetty",
+            "MiniWeb HTTP Server",
+            "micro_httpd",
+            "GoAhead Embedded",
+        ]
+        .iter()
+        .map(|p| count_for_product(p))
+        .sum();
         assert_eq!(http, 24);
     }
 
@@ -230,8 +245,16 @@ mod tests {
             assert!(e.id.starts_with("CVE-"), "{}", e.id);
             let rest = &e.id[4..];
             let (year, num) = rest.split_once('-').expect("CVE-YYYY-NNNN");
-            assert!(year.len() == 4 && year.chars().all(|c| c.is_ascii_digit()), "{}", e.id);
-            assert!(num.len() >= 4 && num.chars().all(|c| c.is_ascii_digit()), "{}", e.id);
+            assert!(
+                year.len() == 4 && year.chars().all(|c| c.is_ascii_digit()),
+                "{}",
+                e.id
+            );
+            assert!(
+                num.len() >= 4 && num.chars().all(|c| c.is_ascii_digit()),
+                "{}",
+                e.id
+            );
         }
     }
 
@@ -248,6 +271,8 @@ mod tests {
         let real = CVE_TABLE.iter().filter(|e| !e.synthetic).count();
         // Every non-filler id is a genuine, well-known CVE.
         assert!(real >= 45, "{real}");
-        assert!(CVE_TABLE.iter().any(|e| e.id == "CVE-2017-14491" && !e.synthetic));
+        assert!(CVE_TABLE
+            .iter()
+            .any(|e| e.id == "CVE-2017-14491" && !e.synthetic));
     }
 }

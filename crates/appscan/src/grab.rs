@@ -63,10 +63,18 @@ fn grab_tcp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) 
     let mut open = false;
     for resp in scanner.network_mut().handle(syn) {
         match resp.payload {
-            Payload::Tcp { flags: TcpFlags::SynAck, dst_port, .. } if dst_port == sport => {
+            Payload::Tcp {
+                flags: TcpFlags::SynAck,
+                dst_port,
+                ..
+            } if dst_port == sport => {
                 open = true;
             }
-            Payload::Tcp { flags: TcpFlags::Rst, dst_port, .. } if dst_port == sport => {
+            Payload::Tcp {
+                flags: TcpFlags::Rst,
+                dst_port,
+                ..
+            } if dst_port == sport => {
                 return GrabOutcome::Closed;
             }
             Payload::Icmp(_) => return GrabOutcome::Closed,
@@ -89,17 +97,27 @@ fn classify_app_responses(
 ) -> GrabOutcome {
     for resp in responses {
         match resp.payload {
-            Payload::Udp { dst_port, data: AppData::Response(r), .. }
-            | Payload::Tcp { dst_port, data: AppData::Response(r), .. }
-                if dst_port == sport =>
-            {
+            Payload::Udp {
+                dst_port,
+                data: AppData::Response(r),
+                ..
+            }
+            | Payload::Tcp {
+                dst_port,
+                data: AppData::Response(r),
+                ..
+            } if dst_port == sport => {
                 return if r.is_valid_for(kind) {
                     GrabOutcome::Open(r)
                 } else {
                     GrabOutcome::Protocol
                 };
             }
-            Payload::Tcp { flags: TcpFlags::Rst, dst_port, .. } if dst_port == sport => {
+            Payload::Tcp {
+                flags: TcpFlags::Rst,
+                dst_port,
+                ..
+            } if dst_port == sport => {
                 return GrabOutcome::Closed;
             }
             Payload::Icmp(_) => return GrabOutcome::Closed,
@@ -119,12 +137,20 @@ mod tests {
     /// Discovers one periphery with at least one open service and returns
     /// (scanner, address, expected services).
     fn discover_service_device() -> (Scanner<World>, Ip6, xmap_netsim::device::ServiceSet) {
-        let world = World::with_config(WorldConfig { seed: 77, bgp_ases: 10, loss_frac: 0.0 });
-        let mut scanner = Scanner::new(world, ScanConfig { seed: 13, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(77, 10));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 13,
+                ..Default::default()
+            },
+        );
         // China Mobile broadband (index 12) is service-rich.
         let p = &SAMPLE_BLOCKS[12];
         for i in 0..3_000_000u64 {
-            let Some(d) = scanner.network_mut().device_at(12, i) else { continue };
+            let Some(d) = scanner.network_mut().device_at(12, i) else {
+                continue;
+            };
             if !d.services.any() {
                 continue;
             }
@@ -132,7 +158,10 @@ mod tests {
             let dst = xmap::fill_host_bits(target, 13);
             let hits = scanner.probe_addr(dst, &IcmpEchoProbe, 64);
             let Some((addr, _)) = hits.iter().find(|(_, r)| {
-                matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded)
+                matches!(
+                    r,
+                    ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                )
             }) else {
                 continue;
             };
@@ -168,9 +197,13 @@ mod tests {
 
     #[test]
     fn undiscovered_address_is_silent() {
-        let world = World::with_config(WorldConfig { seed: 77, bgp_ases: 10, loss_frac: 0.0 });
+        let world = World::with_config(WorldConfig::lossless(77, 10));
         let mut scanner = Scanner::new(world, ScanConfig::default());
-        let out = grab(&mut scanner, "2405:200::1".parse().unwrap(), ServiceKind::Dns);
+        let out = grab(
+            &mut scanner,
+            "2405:200::1".parse().unwrap(),
+            ServiceKind::Dns,
+        );
         assert_eq!(out, GrabOutcome::Silent);
     }
 }

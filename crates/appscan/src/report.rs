@@ -27,8 +27,7 @@ impl VendorServiceMatrix {
     /// Builds the matrix by joining a survey with its discovery campaign.
     pub fn build(campaign: &CampaignResult, survey: &ServiceSurvey) -> Self {
         // Address → MAC lookup from the discovery records.
-        let mac_of: HashMap<Ip6, _> =
-            campaign.peripheries().map(|p| (p.address, p.mac)).collect();
+        let mac_of: HashMap<Ip6, _> = campaign.peripheries().map(|p| (p.address, p.mac)).collect();
         let mut matrix = VendorServiceMatrix::default();
         // Count each (device, service) pair once.
         let mut seen = std::collections::HashSet::new();
@@ -66,7 +65,10 @@ impl VendorServiceMatrix {
 }
 
 fn slot(kind: ServiceKind) -> usize {
-    ServiceKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+    ServiceKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind in ALL")
 }
 
 /// Figure 2 rows: the top `n` vendors by total exposed services, each with
@@ -133,6 +135,7 @@ mod tests {
             probed: 2,
             space_size: 4,
             alias_candidates: Vec::new(),
+            mop_up_recovered: 0,
         });
         let http = software_id("micro_httpd", "14aug2014").unwrap();
         let survey = ServiceSurvey {

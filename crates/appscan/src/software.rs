@@ -54,7 +54,9 @@ impl SoftwareStats {
     pub fn from_survey(survey: &ServiceSurvey) -> Self {
         let mut stats = SoftwareStats::default();
         for obs in &survey.observations {
-            let Some(sw) = obs.response.software() else { continue };
+            let Some(sw) = obs.response.software() else {
+                continue;
+            };
             let banner = sw.get().banner();
             match resolve_banner(&banner) {
                 Some(id) => *stats.counts.entry(id).or_insert(0) += 1,
@@ -76,9 +78,7 @@ impl SoftwareStats {
 
     /// Rows for one service, sorted by descending count (Table VIII rows).
     pub fn top_for_service(&self, kind: ServiceKind) -> Vec<(&'static Software, u64)> {
-        let http_like = |s: ServiceKind| {
-            matches!(s, ServiceKind::Http | ServiceKind::HttpAlt)
-        };
+        let http_like = |s: ServiceKind| matches!(s, ServiceKind::Http | ServiceKind::HttpAlt);
         let mut rows: Vec<(&'static Software, u64)> = self
             .counts
             .iter()
@@ -122,8 +122,14 @@ mod tests {
     #[test]
     fn banner_parsing() {
         assert_eq!(parse_banner("dnsmasq-2.4x"), Some(("dnsmasq", "2.4x")));
-        assert_eq!(parse_banner("GNU Inetutils-1.4.1"), Some(("GNU Inetutils", "1.4.1")));
-        assert_eq!(parse_banner("dropbear-2011-2019.x"), Some(("dropbear-2011", "2019.x")));
+        assert_eq!(
+            parse_banner("GNU Inetutils-1.4.1"),
+            Some(("GNU Inetutils", "1.4.1"))
+        );
+        assert_eq!(
+            parse_banner("dropbear-2011-2019.x"),
+            Some(("dropbear-2011", "2019.x"))
+        );
         assert_eq!(parse_banner("noversion"), None);
         assert_eq!(parse_banner("-2.0"), None);
         assert_eq!(parse_banner("name-"), None);
@@ -188,7 +194,10 @@ mod tests {
         // point and recovers the catalog entry.
         let id = software_id("dropbear", "2011-2019.x").unwrap();
         let banner = id.get().banner();
-        assert_eq!(parse_banner(&banner).and_then(|(n, v)| software_id(n, v)), None);
+        assert_eq!(
+            parse_banner(&banner).and_then(|(n, v)| software_id(n, v)),
+            None
+        );
         assert_eq!(resolve_banner(&banner), Some(id));
         assert_eq!(resolve_banner("garbage"), None);
     }

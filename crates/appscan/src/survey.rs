@@ -8,7 +8,7 @@
 use std::collections::{HashMap, HashSet};
 
 use xmap::Scanner;
-use xmap_addr::{Ip6, IidHistogram};
+use xmap_addr::{IidHistogram, Ip6};
 use xmap_netsim::packet::Network;
 use xmap_netsim::services::{AppResponse, ServiceKind, SoftwareId};
 use xmap_periphery::{CampaignResult, DiscoveredPeriphery};
@@ -93,7 +93,13 @@ impl ServiceSurvey {
             .iter()
             .filter(|o| {
                 o.kind == ServiceKind::Http
-                    && matches!(o.response, AppResponse::HttpPage { login_page: true, .. })
+                    && matches!(
+                        o.response,
+                        AppResponse::HttpPage {
+                            login_page: true,
+                            ..
+                        }
+                    )
             })
             .count()
     }
@@ -161,14 +167,21 @@ mod tests {
     use xmap_periphery::Campaign;
 
     fn surveyed() -> (ServiceSurvey, CampaignResult) {
-        let world = World::with_config(WorldConfig { seed: 55, bgp_ases: 10, loss_frac: 0.0 });
-        let mut scanner =
-            Scanner::new(world, ScanConfig { seed: 21, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(55, 10));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 21,
+                ..Default::default()
+            },
+        );
         // Scan only the two service-rich Chinese broadband blocks, sliced.
         let campaign = Campaign::new(1 << 16);
         let mut result = xmap_periphery::CampaignResult::default();
         for idx in [11usize, 12] {
-            result.blocks.push(campaign.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
+            result
+                .blocks
+                .push(campaign.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
         }
         let survey = SurveyRunner.run(&mut scanner, &result);
         (survey, result)
@@ -183,7 +196,10 @@ mod tests {
         let alt = survey.alive_in_block(13, ServiceKind::HttpAlt);
         let probed = survey.probed_per_block[&13];
         let frac = alt as f64 / probed as f64;
-        assert!((0.25..0.65).contains(&frac), "8080 rate {frac} ({alt}/{probed})");
+        assert!(
+            (0.25..0.65).contains(&frac),
+            "8080 rate {frac} ({alt}/{probed})"
+        );
         // DNS exposure exists in both blocks (Unicom 15.9%, Mobile 5.5%).
         assert!(survey.alive_total(ServiceKind::Dns) > 3);
     }
@@ -193,11 +209,11 @@ mod tests {
         let (survey, campaign) = surveyed();
         // Table VII: 57.5% of China Mobile peripheries expose something;
         // Unicom 24.6%.
-        let mobile_any = survey.devices_with_any_in_block(13).len() as f64
-            / survey.probed_per_block[&13] as f64;
+        let mobile_any =
+            survey.devices_with_any_in_block(13).len() as f64 / survey.probed_per_block[&13] as f64;
         assert!((0.35..0.8).contains(&mobile_any), "{mobile_any}");
-        let unicom_any = survey.devices_with_any_in_block(12).len() as f64
-            / survey.probed_per_block[&12] as f64;
+        let unicom_any =
+            survey.devices_with_any_in_block(12).len() as f64 / survey.probed_per_block[&12] as f64;
         assert!((0.1..0.45).contains(&unicom_any), "{unicom_any}");
         assert!(mobile_any > unicom_any);
         let _ = campaign;

@@ -10,7 +10,11 @@ fn prefixes(n: u64) -> Vec<(Prefix, Verdict)> {
         .map(|i| {
             let addr = Ip6::new(((0x2400 + (i % 64)) as u128) << 112 | (i as u128) << 80);
             let len = 32 + (i % 17) as u8;
-            let verdict = if i % 3 == 0 { Verdict::Deny } else { Verdict::Allow };
+            let verdict = if i % 3 == 0 {
+                Verdict::Deny
+            } else {
+                Verdict::Allow
+            };
             (Prefix::new(addr, len), verdict)
         })
         .collect()

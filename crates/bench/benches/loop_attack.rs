@@ -33,10 +33,14 @@ fn bench_hoplimit_tradeoff(c: &mut Criterion) {
     for h in [32u8, 64, 255] {
         g.bench_with_input(BenchmarkId::new("depth_survey_h", h), &h, |b, h| {
             b.iter(|| {
-                let world =
-                    World::with_config(WorldConfig { seed: 5, bgp_ases: 10, loss_frac: 0.0 });
-                let mut scanner =
-                    Scanner::new(world, ScanConfig { seed: 5, ..Default::default() });
+                let world = World::with_config(WorldConfig::lossless(5, 10));
+                let mut scanner = Scanner::new(
+                    world,
+                    ScanConfig {
+                        seed: 5,
+                        ..Default::default()
+                    },
+                );
                 let mut result = xmap_loopscan::survey::DepthSurveyResult::default();
                 let mut survey = DepthSurvey::new(1 << 12);
                 survey.hop_limit = *h;

@@ -9,10 +9,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 use xmap::{
-    fill_host_bits, Blocklist, Cycle, FeistelPermutation, IcmpEchoProbe, ProbeModule,
-    ScanConfig, Scanner, Validator,
+    fill_host_bits, Blocklist, Cycle, FeistelPermutation, IcmpEchoProbe, ProbeModule, ScanConfig,
+    Scanner, Validator,
 };
-use xmap_netsim::World;
+use xmap_netsim::world::WorldConfig;
+use xmap_netsim::{FaultPlan, World};
 
 fn bench_permutations(c: &mut Criterion) {
     let mut g = c.benchmark_group("permutation");
@@ -74,12 +75,13 @@ fn bench_probe_path(c: &mut Criterion) {
             || {
                 Scanner::new(
                     World::new(7),
-                    ScanConfig { max_targets: Some(10_000), ..Default::default() },
+                    ScanConfig {
+                        max_targets: Some(10_000),
+                        ..Default::default()
+                    },
                 )
             },
-            |mut scanner| {
-                black_box(scanner.run(&range, &IcmpEchoProbe, &Blocklist::allow_all()))
-            },
+            |mut scanner| black_box(scanner.run(&range, &IcmpEchoProbe, &Blocklist::allow_all())),
             BatchSize::LargeInput,
         )
     });
@@ -96,5 +98,59 @@ fn bench_probe_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_permutations, bench_probe_path);
+/// The fault layer must be free when no faults are configured:
+/// `FaultPlan::none()` short-circuits every per-response draw via
+/// `any_faults()`, so a scan over a faultless world should cost the same
+/// with the fault plumbing threaded through as without.
+fn bench_fault_overhead(c: &mut Criterion) {
+    let range: xmap_addr::ScanRange = "2409:8000::/28-60".parse().unwrap();
+    let mut g = c.benchmark_group("fault_overhead");
+    g.throughput(Throughput::Elements(10_000));
+    let scan_with = |config: WorldConfig| {
+        move |b: &mut criterion::Bencher| {
+            b.iter_batched(
+                || {
+                    Scanner::new(
+                        World::with_config(config),
+                        ScanConfig {
+                            max_targets: Some(10_000),
+                            ..Default::default()
+                        },
+                    )
+                },
+                |mut scanner| {
+                    black_box(scanner.run(&range, &IcmpEchoProbe, &Blocklist::allow_all()))
+                },
+                BatchSize::LargeInput,
+            )
+        }
+    };
+    // Identity plan: the `any_faults()` fast path. Expect parity with
+    // `scanner_throughput/end_to_end_10k_probes`.
+    g.bench_function(
+        "none_plan_10k_probes",
+        scan_with(WorldConfig::lossless(7, 200).with_fault(FaultPlan::none())),
+    );
+    // Active plan, for contrast: every response pays loss/dup/jitter draws.
+    g.bench_function(
+        "active_plan_10k_probes",
+        scan_with(
+            WorldConfig::lossless(7, 200).with_fault(
+                FaultPlan::none()
+                    .seeded(3)
+                    .with_forward_loss(0.05)
+                    .with_duplication(0.02)
+                    .with_jitter(4),
+            ),
+        ),
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_permutations,
+    bench_probe_path,
+    bench_fault_overhead
+);
 criterion_main!(benches);

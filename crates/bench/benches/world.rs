@@ -39,7 +39,7 @@ fn bench_world(c: &mut Criterion) {
     let mut g = c.benchmark_group("world");
     g.throughput(Throughput::Elements(1));
     g.bench_function("device_derivation", |b| {
-        let world = World::with_config(WorldConfig { seed: 3, bgp_ases: 50, loss_frac: 0.0 });
+        let world = World::with_config(WorldConfig::lossless(3, 50));
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
@@ -47,7 +47,7 @@ fn bench_world(c: &mut Criterion) {
         })
     });
     g.bench_function("echo_handle", |b| {
-        let mut world = World::with_config(WorldConfig { seed: 3, bgp_ases: 50, loss_frac: 0.0 });
+        let mut world = World::with_config(WorldConfig::lossless(3, 50));
         let src: Ip6 = "fd00::1".parse().unwrap();
         let base: Ip6 = "2409:8000::".parse().unwrap();
         let mut i = 0u64;

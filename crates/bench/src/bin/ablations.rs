@@ -14,8 +14,11 @@ use std::collections::HashMap;
 
 use xmap::{Blocklist, Cycle, IcmpEchoProbe, Permutation, ProbeResult, ScanConfig, Scanner};
 use xmap_loopscan::DepthSurvey;
+use xmap_netsim::fault::IcmpRateLimit;
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::world::{World, WorldConfig};
+use xmap_netsim::FaultPlan;
+use xmap_periphery::Campaign;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +32,9 @@ fn main() {
     if all || args.iter().any(|a| a == "hoplimit") {
         hoplimit_tradeoff();
     }
+    if all || args.iter().any(|a| a == "faults") {
+        fault_recovery_matrix();
+    }
 }
 
 /// Measures how many probes land in the same /40 network within any
@@ -39,7 +45,13 @@ fn permutation_load_spread() {
     println!("(max probes hitting one /40 network within any 1000-probe window)");
     let range: xmap_addr::ScanRange = "2409:8000::/28-60".parse().expect("static");
     for (label, indices) in [
-        ("cyclic", Cycle::new(1 << 32, 7).iter().take(20_000).collect::<Vec<_>>()),
+        (
+            "cyclic",
+            Cycle::new(1 << 32, 7)
+                .iter()
+                .take(20_000)
+                .collect::<Vec<_>>(),
+        ),
         ("sequential", (0..20_000u64).collect::<Vec<_>>()),
     ] {
         let mut worst = 0usize;
@@ -47,7 +59,10 @@ fn permutation_load_spread() {
             let mut per_net: HashMap<u64, usize> = HashMap::new();
             for i in window {
                 // /40 network = top 12 bits of the 32-bit sub-prefix index.
-                let net = range.nth(*i).map(|p| p.addr().bit_slice(28, 40)).unwrap_or(0);
+                let net = range
+                    .nth(*i)
+                    .map(|p| p.addr().bit_slice(28, 40))
+                    .unwrap_or(0);
                 *per_net.entry(net).or_insert(0) += 1;
             }
             worst = worst.max(per_net.values().copied().max().unwrap_or(0));
@@ -66,7 +81,10 @@ fn probes_per_prefix_completeness() {
     let profile = &SAMPLE_BLOCKS[profile_idx];
     for loss in [0.0, 0.02, 0.10] {
         // Ground truth: allocated, unfiltered sub-prefixes in the slice.
-        let oracle = World::with_config(WorldConfig { seed: 9, bgp_ases: 10, loss_frac: loss });
+        let oracle = World::with_config(WorldConfig {
+            loss_frac: loss,
+            ..WorldConfig::lossless(9, 10)
+        });
         let mut truth = 0usize;
         for i in 0..slice {
             if oracle.device_at(profile_idx, i).is_some() {
@@ -75,7 +93,10 @@ fn probes_per_prefix_completeness() {
         }
         print!("  loss {:>4.0}% | truth {truth:>4} |", loss * 100.0);
         for k in [1u32, 2, 3] {
-            let world = World::with_config(WorldConfig { seed: 9, bgp_ases: 10, loss_frac: loss });
+            let world = World::with_config(WorldConfig {
+                loss_frac: loss,
+                ..WorldConfig::lossless(9, 10)
+            });
             let mut scanner = Scanner::new(
                 world,
                 ScanConfig {
@@ -94,7 +115,10 @@ fn probes_per_prefix_completeness() {
                     let dst = xmap::fill_host_bits(target, 9 + attempt as u64);
                     let hits = scanner.probe_addr(dst, &IcmpEchoProbe, 64);
                     if hits.iter().any(|(_, r)| {
-                        matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded)
+                        matches!(
+                            r,
+                            ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                        )
                     }) {
                         found.insert(i);
                         break;
@@ -114,8 +138,14 @@ fn probes_per_prefix_completeness() {
 fn hoplimit_tradeoff() {
     println!("ABLATION: loop probing hop limit h — yield vs generated loop traffic");
     for h in [32u8, 64, 128, 255] {
-        let world = World::with_config(WorldConfig { seed: 5, bgp_ases: 10, loss_frac: 0.0 });
-        let mut scanner = Scanner::new(world, ScanConfig { seed: 5, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(5, 10));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let mut result = xmap_loopscan::survey::DepthSurveyResult::default();
         let mut survey = DepthSurvey::new(1 << 14);
         survey.hop_limit = h;
@@ -130,4 +160,86 @@ fn hoplimit_tradeoff() {
     }
     println!("(same yield at every h; traffic grows with h — hence the paper's h = 32)");
     let _ = Blocklist::allow_all();
+}
+
+/// Discovery completeness under the fault matrix (loss × ICMPv6 rate
+/// limiting × flaky devices), for a single-probe scan vs the full
+/// loss-recovery pipeline (3 probes/target + mop-up). Completeness is
+/// measured against the lossless single-probe baseline of the same world
+/// seed, so 100% means full recovery.
+fn fault_recovery_matrix() {
+    println!("ABLATION: fault matrix — single probe vs retransmission + mop-up");
+    let profile = &SAMPLE_BLOCKS[2];
+    let slice = 1u64 << 13;
+    let seed = 9001;
+
+    let baseline = {
+        let mut s = Scanner::new(
+            World::with_config(WorldConfig::lossless(seed, 30)),
+            ScanConfig {
+                seed: 5,
+                max_targets: Some(slice),
+                ..Default::default()
+            },
+        );
+        Campaign::new(slice).run_block(&mut s, profile).unique()
+    };
+    println!("  lossless baseline: {baseline} peripheries");
+    println!("  loss | limiter | flaky || single | recovered");
+
+    for loss in [0.0, 0.05] {
+        for depleted in [0.0, 0.5] {
+            for flaky in [0.0, 0.1] {
+                let mut plan = FaultPlan::none().seeded(0xAB1E).with_forward_loss(loss);
+                if depleted > 0.0 {
+                    plan = plan.with_icmp_limit(IcmpRateLimit::TokenBucket {
+                        capacity: 8,
+                        refill_interval: 512,
+                        start_depleted_frac: depleted,
+                    });
+                }
+                if flaky > 0.0 {
+                    plan = plan.with_flaky(flaky, 1024, 256);
+                }
+                let config = WorldConfig::lossless(seed, 30).with_fault(plan);
+                let single = {
+                    let mut s = Scanner::new(
+                        World::with_config(config),
+                        ScanConfig {
+                            seed: 5,
+                            max_targets: Some(slice),
+                            ..Default::default()
+                        },
+                    );
+                    Campaign::new(slice).run_block(&mut s, profile).unique()
+                };
+                let recovered = {
+                    let mut s = Scanner::new(
+                        World::with_config(config),
+                        ScanConfig {
+                            seed: 5,
+                            max_targets: Some(slice),
+                            probes_per_target: 3,
+                            ..Default::default()
+                        },
+                    );
+                    Campaign::new(slice)
+                        .with_mop_up(2048)
+                        .run_block(&mut s, profile)
+                        .unique()
+                };
+                let pct = |n: usize| n as f64 * 100.0 / baseline.max(1) as f64;
+                println!(
+                    "  {:>4.0}% | {:>6.0}% | {:>4.0}% || {:>5.1}% | {:>8.1}%",
+                    loss * 100.0,
+                    depleted * 100.0,
+                    flaky * 100.0,
+                    pct(single),
+                    pct(recovered),
+                );
+            }
+        }
+    }
+    println!("(recovered tracks the baseline; single-probe degrades with every fault axis)");
+    println!();
 }

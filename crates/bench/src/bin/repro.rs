@@ -12,8 +12,9 @@
 //! block, default 20; the full space would be 32).
 
 use xmap_bench::{
-    amplification, baselines, feasibility, fig2, fig3, fig5, fig6, table1, table10, table11, table12,
-    table2, table3, table4, table5, table6, table7, table8, table9, Experiment, ExperimentConfig,
+    amplification, baselines, feasibility, fig2, fig3, fig5, fig6, table1, table10, table11,
+    table12, table2, table3, table4, table5, table6, table7, table8, table9, Experiment,
+    ExperimentConfig,
 };
 
 fn main() {

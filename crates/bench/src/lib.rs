@@ -103,8 +103,21 @@ impl Experiment {
             bgp_ases: config.bgp_ases,
             ..WorldConfig::default()
         });
-        let scanner = Scanner::new(world, ScanConfig { seed: config.seed, ..Default::default() });
-        Experiment { config, scanner, campaign: None, survey: None, depth: None, bgp: None }
+        let scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+        Experiment {
+            config,
+            scanner,
+            campaign: None,
+            survey: None,
+            depth: None,
+            bgp: None,
+        }
     }
 
     /// The discovery-campaign results (computed on first use).
@@ -172,7 +185,10 @@ pub fn human(v: f64) -> String {
 /// Table I — inferred sub-prefix lengths, via live boundary inference.
 pub fn table1(exp: &mut Experiment) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I: INFERRED IPV6 SUB-PREFIX LENGTH FOR END-USERS OF TARGET ISPS");
+    let _ = writeln!(
+        out,
+        "TABLE I: INFERRED IPV6 SUB-PREFIX LENGTH FOR END-USERS OF TARGET ISPS"
+    );
     let _ = writeln!(
         out,
         "{:<3} {:<22} {:<10} {:>6} {:>6} {:>9} {:>9} {:>6}",
@@ -180,8 +196,10 @@ pub fn table1(exp: &mut Experiment) -> String {
     );
     for p in SAMPLE_BLOCKS {
         let inf = infer_boundary(&mut exp.scanner, p.scan_prefix(), 6000, 3);
-        let inferred =
-            inf.inferred_len.map(|l| l.to_string()).unwrap_or_else(|| "-".to_owned());
+        let inferred = inf
+            .inferred_len
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".to_owned());
         let _ = writeln!(
             out,
             "{:<3} {:<22} {:<10} {:>6} {:>6} {:>9} {:>9} {:>5.0}%",
@@ -209,13 +227,25 @@ pub fn table2(exp: &mut Experiment) -> String {
     let _ = writeln!(
         out,
         "{:<3} {:<22} {:>9} {:>11} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
-        "P", "ISP", "found", "est.total", "same%", "diff%", "/64uniq%", "EUI64%", "MACuniq%", "paper"
+        "P",
+        "ISP",
+        "found",
+        "est.total",
+        "same%",
+        "diff%",
+        "/64uniq%",
+        "EUI64%",
+        "MACuniq%",
+        "paper"
     );
     for b in &campaign.blocks {
         let p = b.profile();
         let uniq = b.unique();
-        let mac_uniq_pct =
-            if b.eui64_count() == 0 { 100.0 } else { pct(b.unique_mac(), b.eui64_count()) };
+        let mac_uniq_pct = if b.eui64_count() == 0 {
+            100.0
+        } else {
+            pct(b.unique_mac(), b.eui64_count())
+        };
         let _ = writeln!(
             out,
             "{:<3} {:<22} {:>9} {:>11} {:>6.1}% {:>6.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>8}",
@@ -244,7 +274,11 @@ pub fn table2(exp: &mut Experiment) -> String {
 fn render_iid_table(title: &str, h: &IidHistogram, paper: &[(IidClass, f64)]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "{:<14} {:>9} {:>9} {:>9}", "class", "count", "measured", "paper");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>9}",
+        "class", "count", "measured", "paper"
+    );
     let paper_map: HashMap<_, _> = paper.iter().copied().collect();
     for class in IidClass::ALL {
         let _ = writeln!(
@@ -286,7 +320,10 @@ pub fn table4(exp: &mut Experiment) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE IV: TOP APPEARED PERIPHERY VENDORS AND DEVICE NUMBER");
+    let _ = writeln!(
+        out,
+        "TABLE IV: TOP APPEARED PERIPHERY VENDORS AND DEVICE NUMBER"
+    );
     for class in [DeviceClass::Cpe, DeviceClass::Ue] {
         let _ = writeln!(out, "{class}: total {}", counts.total_of(class));
         for (vendor, count) in counts.top(class).into_iter().take(12) {
@@ -315,9 +352,15 @@ pub fn table5(exp: &mut Experiment) -> String {
 /// Table VI — probing requests and valid responses of the 8 services.
 pub fn table6() -> String {
     let mut out = String::new();
-    let _ =
-        writeln!(out, "TABLE VI: PROBING REQUESTS AND VALID RESPONSES OF 8 SELECTED SERVICES");
-    let _ = writeln!(out, "{:<18} {:<28} {}", "Service/Port", "Request", "Valid Response");
+    let _ = writeln!(
+        out,
+        "TABLE VI: PROBING REQUESTS AND VALID RESPONSES OF 8 SELECTED SERVICES"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<28} Valid Response",
+        "Service/Port", "Request"
+    );
     for kind in ServiceKind::ALL {
         let (req, resp) = match kind {
             ServiceKind::Dns => ("\"A\" or version query", "answers"),
@@ -338,7 +381,10 @@ pub fn table6() -> String {
 pub fn table7(exp: &mut Experiment) -> String {
     let survey = exp.survey().clone();
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE VII: RESULTS OF ALIVE SERVICES ON PERIPHERIES WITHIN EACH ISP");
+    let _ = writeln!(
+        out,
+        "TABLE VII: RESULTS OF ALIVE SERVICES ON PERIPHERIES WITHIN EACH ISP"
+    );
     let _ = write!(out, "{:<3} {:>7}", "P", "probed");
     for kind in ServiceKind::ALL {
         let _ = write!(out, " {:>13}", kind.short_name());
@@ -374,14 +420,21 @@ pub fn table8(exp: &mut Experiment) -> String {
     let survey = exp.survey().clone();
     let stats = SoftwareStats::from_survey(&survey);
     let mut out = String::new();
-    let _ =
-        writeln!(out, "TABLE VIII: TOP SOFTWARE VERSION AND DEVICE NUMBER OF CRUCIAL SERVICES");
+    let _ = writeln!(
+        out,
+        "TABLE VIII: TOP SOFTWARE VERSION AND DEVICE NUMBER OF CRUCIAL SERVICES"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:<34} {:>8} {:>6}",
         "Service", "Software & Version", "devices", "#CVE"
     );
-    for kind in [ServiceKind::Dns, ServiceKind::Http, ServiceKind::Ssh, ServiceKind::Ftp] {
+    for kind in [
+        ServiceKind::Dns,
+        ServiceKind::Http,
+        ServiceKind::Ssh,
+        ServiceKind::Ftp,
+    ] {
         let rows = stats.top_for_service(kind);
         for (sw, count) in rows.iter().take(6) {
             let cves = xmap_appscan::cve::count_for_product(sw.name);
@@ -408,9 +461,15 @@ pub fn table9(exp: &mut Experiment) -> String {
     let result = exp.bgp();
     let (vuln, vasn, vcty) = result.vulnerable_summary();
     let mut out = String::new();
-    let _ =
-        writeln!(out, "TABLE IX: PERIPHERIES DISCOVERED FROM BGP ADVERTISED PREFIXES SCANNING");
-    let _ = writeln!(out, "{:<22} {:>10} {:>8} {:>9}", "Last Hops", "# unique", "# ASN", "# Country");
+    let _ = writeln!(
+        out,
+        "TABLE IX: PERIPHERIES DISCOVERED FROM BGP ADVERTISED PREFIXES SCANNING"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>8} {:>9}",
+        "Last Hops", "# unique", "# ASN", "# Country"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>10} {:>8} {:>9}",
@@ -419,7 +478,11 @@ pub fn table9(exp: &mut Experiment) -> String {
         result.asns(),
         result.countries()
     );
-    let _ = writeln!(out, "{:<22} {:>10} {:>8} {:>9}", "with Routing Loop", vuln, vasn, vcty);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>8} {:>9}",
+        "with Routing Loop", vuln, vasn, vcty
+    );
     let _ = writeln!(
         out,
         "(paper: total 4.0M / 6,911 / 170; loop 128k / 3,877 / 132; loop share measured {:.1}% vs paper 3.2%)",
@@ -448,7 +511,10 @@ pub fn table10(exp: &mut Experiment) -> String {
 pub fn table11(exp: &mut Experiment) -> String {
     let depth = exp.depth();
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE XI: RESULTS OF PERIPHERY WITH ROUTING LOOP WITHIN EACH ISP");
+    let _ = writeln!(
+        out,
+        "TABLE XI: RESULTS OF PERIPHERY WITH ROUTING LOOP WITHIN EACH ISP"
+    );
     let _ = writeln!(
         out,
         "{:<3} {:<22} {:>8} {:>11} {:>7} {:>7} {:>10}",
@@ -459,7 +525,11 @@ pub fn table11(exp: &mut Experiment) -> String {
     for p in SAMPLE_BLOCKS {
         let found = depth.count_in_block(p.id);
         let probed = depth.probed_per_block.get(&p.id).copied().unwrap_or(0);
-        let scale = if probed == 0 { 0.0 } else { p.space_size() as f64 / probed as f64 };
+        let scale = if probed == 0 {
+            0.0
+        } else {
+            p.space_size() as f64 / probed as f64
+        };
         let est = found as f64 * scale;
         total_found += found;
         total_est += est;
@@ -522,8 +592,10 @@ pub fn table12() -> String {
         );
     }
     let vulnerable = rows.iter().filter(|r| r.is_vulnerable()).count();
-    let limited =
-        rows.iter().filter(|r| matches!(r.model.behavior, LoopBehavior::Limited { .. })).count();
+    let limited = rows
+        .iter()
+        .filter(|r| matches!(r.model.behavior, LoopBehavior::Limited { .. }))
+        .count();
     let _ = writeln!(
         out,
         "All {} of {} tested units vulnerable (paper: all 99); {} limited-loop units forward >10 times",
@@ -540,7 +612,10 @@ pub fn fig2(exp: &mut Experiment) -> String {
     let survey = exp.survey().clone();
     let matrix = VendorServiceMatrix::build(&campaign, &survey);
     let mut out = String::new();
-    let _ = writeln!(out, "FIGURE 2: TOP 10 PERIPHERY DEVICE VENDORS WITH EXPOSED SERVICES");
+    let _ = writeln!(
+        out,
+        "FIGURE 2: TOP 10 PERIPHERY DEVICE VENDORS WITH EXPOSED SERVICES"
+    );
     let _ = write!(out, "{:<16} {:>7}", "Vendor", "total");
     for kind in ServiceKind::ALL {
         let _ = write!(out, " {:>9}", kind.short_name());
@@ -553,7 +628,11 @@ pub fn fig2(exp: &mut Experiment) -> String {
         }
         let _ = writeln!(out);
     }
-    let _ = writeln!(out, "(unidentified devices with services: {})", matrix.unidentified);
+    let _ = writeln!(
+        out,
+        "(unidentified devices with services: {})",
+        matrix.unidentified
+    );
     out
 }
 
@@ -563,7 +642,10 @@ pub fn fig3(exp: &mut Experiment) -> String {
     let survey = exp.survey().clone();
     let matrix = VendorServiceMatrix::build(&campaign, &survey);
     let mut out = String::new();
-    let _ = writeln!(out, "FIGURE 3: TOP 20 PERIPHERY DEVICE VENDORS WITHIN EACH SERVICE");
+    let _ = writeln!(
+        out,
+        "FIGURE 3: TOP 20 PERIPHERY DEVICE VENDORS WITHIN EACH SERVICE"
+    );
     for (kind, vendors) in fig3_rows(&matrix, 20) {
         let _ = write!(out, "{:<10}:", kind.short_name());
         for (v, c) in vendors.iter().take(8) {
@@ -583,7 +665,10 @@ pub fn fig5(exp: &mut Experiment) -> String {
     for (asn, count) in result.top_loop_asns(10) {
         let _ = writeln!(out, "  AS{asn:<8} {:<24} {count}", geo::name_of(asn));
     }
-    let _ = writeln!(out, "Countries (paper order: BR CN EC VN US MM IN GB DE CH CZ):");
+    let _ = writeln!(
+        out,
+        "Countries (paper order: BR CN EC VN US MM IN GB DE CH CZ):"
+    );
     for (cc, count) in result.top_loop_countries(11) {
         let _ = writeln!(out, "  {cc:<4} {count}");
     }
@@ -601,7 +686,7 @@ pub fn fig6(exp: &mut Experiment) -> String {
     );
     for (vendor, per_as, total) in rows {
         let mut ases: Vec<(u32, usize)> = per_as.into_iter().collect();
-        ases.sort_by(|a, b| b.1.cmp(&a.1));
+        ases.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         let _ = write!(out, "{vendor:<16} total {total:>6} |");
         for (asn, c) in ases.into_iter().take(5) {
             let _ = write!(out, " AS{asn}:{c}");
@@ -643,13 +728,7 @@ pub fn baselines(exp: &mut Experiment) -> String {
         out,
         "BASELINES: peripheries discovered per 1000 probes (equal budget, China Mobile block)"
     );
-    let cmp = BaselineComparison::run(
-        &mut exp.scanner,
-        12,
-        &SAMPLE_BLOCKS[12],
-        1 << 14,
-        32,
-    );
+    let cmp = BaselineComparison::run(&mut exp.scanner, 12, &SAMPLE_BLOCKS[12], 1 << 14, 32);
     let (x, t, g) = cmp.efficiency();
     let _ = writeln!(
         out,
@@ -675,16 +754,29 @@ pub fn baselines(exp: &mut Experiment) -> String {
 
 /// The amplification analysis of Section VI-A.
 pub fn amplification() -> String {
-    let model = NAMED_MODELS.iter().find(|m| m.brand == "Huawei").expect("full-loop model");
+    let model = NAMED_MODELS
+        .iter()
+        .find(|m| m.brand == "Huawei")
+        .expect("full-loop model");
     let mut out = String::new();
-    let _ = writeln!(out, "AMPLIFICATION (Section VI-A): one 255-hop-limit packet, path length n");
-    let _ = writeln!(out, "{:>4} {:>12} {:>18}", "n", "loop fwds", "spoofed (2x trick)");
+    let _ = writeln!(
+        out,
+        "AMPLIFICATION (Section VI-A): one 255-hop-limit packet, path length n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>12} {:>18}",
+        "n", "loop fwds", "spoofed (2x trick)"
+    );
     for n in [0u8, 10, 20, 30, 40, 50] {
         let point = measure_amplification(model, n);
         let (_, spoofed) = measure_spoofed_doubling(model, n);
         let _ = writeln!(out, "{:>4} {:>12} {:>18}", n, point.loop_forwards, spoofed);
     }
-    let _ = writeln!(out, "(paper: amplification factor 255-n, >200 for typical paths)");
+    let _ = writeln!(
+        out,
+        "(paper: amplification factor 255-n, >200 for typical paths)"
+    );
     out
 }
 

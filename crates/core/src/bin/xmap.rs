@@ -85,9 +85,11 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     let mut cfg = CliConfig::default();
     let mut iter = args.iter().peekable();
     let value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, String> {
-        iter.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
     };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -178,7 +180,9 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
 fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule> {
     match cfg.module {
         ModuleChoice::Icmp => Box::new(IcmpEchoProbe),
-        ModuleChoice::Tcp => Box::new(TcpSynProbe { port: cfg.port.expect("validated") }),
+        ModuleChoice::Tcp => Box::new(TcpSynProbe {
+            port: cfg.port.expect("validated"),
+        }),
         ModuleChoice::Udp => {
             let port = cfg.port.expect("validated");
             let request = ServiceKind::from_port(port)
@@ -192,7 +196,11 @@ fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule> {
 fn run(cfg: CliConfig) -> Result<(), String> {
     let mut blocklist = Blocklist::with_standard_reserved();
     for p in &cfg.blocked {
-        blocklist.insert(p.parse().map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?, Verdict::Deny);
+        blocklist.insert(
+            p.parse()
+                .map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?,
+            Verdict::Deny,
+        );
     }
     let scan_config = ScanConfig {
         seed: cfg.seed,
@@ -226,7 +234,10 @@ fn run(cfg: CliConfig) -> Result<(), String> {
             results.stats.hit_rate() * 100.0,
             started.elapsed(),
             if results.stats.paced_secs > 0.0 {
-                format!(" | would take {:.1}s at the configured rate", results.stats.paced_secs)
+                format!(
+                    " | would take {:.1}s at the configured rate",
+                    results.stats.paced_secs
+                )
             } else {
                 String::new()
             }
@@ -237,7 +248,9 @@ fn run(cfg: CliConfig) -> Result<(), String> {
 
 /// Hop-limit walk toward an address, printing each responding hop.
 fn run_trace(addr: &str, world_seed: u64) -> Result<(), String> {
-    let dst: xmap_addr::Ip6 = addr.parse().map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let dst: xmap_addr::Ip6 = addr
+        .parse()
+        .map_err(|e| format!("bad address {addr:?}: {e}"))?;
     let mut scanner = Scanner::new(World::new(world_seed), ScanConfig::default());
     let mut silent = 0;
     for ttl in 1u8..=64 {
@@ -265,8 +278,9 @@ fn run_trace(addr: &str, world_seed: u64) -> Result<(), String> {
 /// De-aliasing check: probe several random IIDs under the prefix; aliased
 /// prefixes answer every probe from the probed address itself.
 fn run_alias_check(prefix: &str, world_seed: u64) -> Result<(), String> {
-    let p: xmap_addr::Prefix =
-        prefix.parse().map_err(|e| format!("bad prefix {prefix:?}: {e}"))?;
+    let p: xmap_addr::Prefix = prefix
+        .parse()
+        .map_err(|e| format!("bad prefix {prefix:?}: {e}"))?;
     let mut scanner = Scanner::new(World::new(world_seed), ScanConfig::default());
     let mut self_replies = 0;
     const K: u64 = 4;
@@ -276,14 +290,28 @@ fn run_alias_check(prefix: &str, world_seed: u64) -> Result<(), String> {
             .probe_addr(dst, &IcmpEchoProbe, 64)
             .iter()
             .any(|(src, r)| matches!(r, xmap::ProbeResult::Alive) && *src == dst);
-        println!("probe {dst}: {}", if alive { "echo reply (self)" } else { "no self-reply" });
+        println!(
+            "probe {dst}: {}",
+            if alive {
+                "echo reply (self)"
+            } else {
+                "no self-reply"
+            }
+        );
         if alive {
             self_replies += 1;
         } else {
             break;
         }
     }
-    println!("{p}: {}", if self_replies == K { "ALIASED" } else { "not aliased" });
+    println!(
+        "{p}: {}",
+        if self_replies == K {
+            "ALIASED"
+        } else {
+            "not aliased"
+        }
+    );
     Ok(())
 }
 
@@ -381,10 +409,19 @@ mod tests {
         assert!(parse_args(&args("")).is_err());
         assert!(parse_args(&args("not-a-range")).is_err());
         assert!(parse_args(&args("-M nope 2405:200::/32")).is_err());
-        assert!(parse_args(&args("-M udp6_scan 2405:200::/32")).is_err(), "udp needs port");
+        assert!(
+            parse_args(&args("-M udp6_scan 2405:200::/32")).is_err(),
+            "udp needs port"
+        );
         assert!(parse_args(&args("--shard 4 --shards 4 2405:200::/32")).is_err());
-        assert!(parse_args(&args("-x 2405:200::/32")).is_err(), "missing value");
-        assert!(parse_args(&args("-p 99999 2405:200::/32")).is_err(), "port overflow");
+        assert!(
+            parse_args(&args("-x 2405:200::/32")).is_err(),
+            "missing value"
+        );
+        assert!(
+            parse_args(&args("-p 99999 2405:200::/32")).is_err(),
+            "port overflow"
+        );
     }
 
     #[test]
@@ -400,7 +437,11 @@ mod tests {
         // Run against a tiny slice; validate via the library directly.
         let mut scanner = Scanner::new(
             World::new(cfg.world_seed),
-            ScanConfig { seed: cfg.seed, max_targets: cfg.max_targets, ..Default::default() },
+            ScanConfig {
+                seed: cfg.seed,
+                max_targets: cfg.max_targets,
+                ..Default::default()
+            },
         );
         let results = scanner.run_all(
             cfg.targets.ranges(),

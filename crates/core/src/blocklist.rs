@@ -10,9 +10,10 @@
 use xmap_addr::{Ip6, Prefix};
 
 /// Verdict attached to a prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Verdict {
     /// Destination may be probed.
+    #[default]
     Allow,
     /// Destination must be skipped.
     Deny,
@@ -27,7 +28,10 @@ struct TrieNode {
 
 impl TrieNode {
     fn new() -> Self {
-        TrieNode { verdict: None, children: [None, None] }
+        TrieNode {
+            verdict: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -62,7 +66,11 @@ pub struct Blocklist {
 impl Blocklist {
     /// Creates a filter with a default verdict for unmatched destinations.
     pub fn new(default: Verdict) -> Self {
-        Blocklist { root: TrieNode::new(), default, entries: 0 }
+        Blocklist {
+            root: TrieNode::new(),
+            default,
+            entries: 0,
+        }
     }
 
     /// A filter that allows everything (no entries).
@@ -126,7 +134,14 @@ impl Blocklist {
     /// link-local, unique-local and documentation space.
     pub fn with_standard_reserved() -> Self {
         let mut bl = Blocklist::allow_all();
-        for p in ["::/128", "::1/128", "ff00::/8", "fe80::/10", "fc00::/7", "2001:db8::/32"] {
+        for p in [
+            "::/128",
+            "::1/128",
+            "ff00::/8",
+            "fe80::/10",
+            "fc00::/7",
+            "2001:db8::/32",
+        ] {
             bl.insert(p.parse().expect("static reserved prefix"), Verdict::Deny);
         }
         bl
@@ -142,16 +157,13 @@ pub struct LinearBlocklist {
     default: Verdict,
 }
 
-impl Default for Verdict {
-    fn default() -> Self {
-        Verdict::Allow
-    }
-}
-
 impl LinearBlocklist {
     /// Creates an empty linear filter.
     pub fn new(default: Verdict) -> Self {
-        LinearBlocklist { entries: Vec::new(), default }
+        LinearBlocklist {
+            entries: Vec::new(),
+            default,
+        }
     }
 
     /// Inserts a prefix (replacing an identical one).

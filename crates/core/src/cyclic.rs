@@ -55,7 +55,12 @@ impl Cycle {
         let prime = next_prime(len as u128);
         if prime == 2 {
             // len == 1: the multiplicative group mod 2 is trivial.
-            return Cycle { len, prime, generator: 1, start: 1 };
+            return Cycle {
+                len,
+                prime,
+                generator: 1,
+                start: 1,
+            };
         }
         let root = primitive_root(prime);
         // Pick a seed-dependent exponent coprime to p-1 (odd exponents
@@ -75,7 +80,12 @@ impl Cycle {
             .wrapping_add(1)
             % (prime - 1)
             + 1;
-        Cycle { len, prime, generator, start }
+        Cycle {
+            len,
+            prime,
+            generator,
+            start,
+        }
     }
 
     /// Number of indices in the permutation.
@@ -95,7 +105,11 @@ impl Cycle {
 
     /// Iterates over all indices of the permutation in walk order.
     pub fn iter(&self) -> Iter {
-        Iter { cycle: self.clone(), current: self.start, remaining: self.len }
+        Iter {
+            cycle: self.clone(),
+            current: self.start,
+            remaining: self.len,
+        }
     }
 
     /// Iterates over the shard `shard` of `shards`: the walk positions
@@ -111,7 +125,11 @@ impl Cycle {
         assert!(shards > 0, "shards must be nonzero");
         assert!(shard < shards, "shard index out of range");
         let stride = powmod(self.generator, shards as u128, self.prime);
-        let offset = mulmod(self.start, powmod(self.generator, shard as u128, self.prime), self.prime);
+        let offset = mulmod(
+            self.start,
+            powmod(self.generator, shard as u128, self.prime),
+            self.prime,
+        );
         // Walk length: positions shard, shard+shards, ... < cycle length
         // (p-1 group elements in the full walk).
         let group_len = self.prime - 1;

@@ -45,12 +45,20 @@ impl Feasibility {
     /// Builds the row for a space at a bandwidth.
     pub fn at_bandwidth(space_bits: u8, bandwidth_bps: u64) -> Self {
         let pps = pps_at_bandwidth(bandwidth_bps, PROBE_WIRE_BYTES);
-        Feasibility { space_bits, pps, duration: scan_duration(space_bits, pps) }
+        Feasibility {
+            space_bits,
+            pps,
+            duration: scan_duration(space_bits, pps),
+        }
     }
 
     /// Builds the row for a space at an explicit packet rate.
     pub fn at_pps(space_bits: u8, pps: f64) -> Self {
-        Feasibility { space_bits, pps, duration: scan_duration(space_bits, pps) }
+        Feasibility {
+            space_bits,
+            pps,
+            duration: scan_duration(space_bits, pps),
+        }
     }
 
     /// Duration in days.

@@ -56,8 +56,9 @@ pub use blocklist::{Blocklist, Verdict};
 pub use cyclic::Cycle;
 pub use feistel::FeistelPermutation;
 pub use probe::{IcmpEchoProbe, ProbeModule, ProbeResult, TcpSynProbe, UdpProbe};
+pub use rate::AdaptiveRateController;
 pub use scanner::{
-    run_pipelined, Permutation, ScanConfig, ScanRecord, ScanResults, ScanStats, Scanner,
+    run_pipelined, Confidence, Permutation, ScanConfig, ScanRecord, ScanResults, ScanStats, Scanner,
 };
 pub use target::{fill_host_bits, TargetSpec};
 pub use validate::Validator;

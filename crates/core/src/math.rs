@@ -81,7 +81,7 @@ pub fn is_prime(n: u128) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -120,7 +120,7 @@ pub fn next_prime(n: u128) -> u128 {
     if candidate <= n {
         candidate = n + 1;
     }
-    if candidate % 2 == 0 {
+    if candidate.is_multiple_of(2) {
         candidate += 1;
     }
     loop {
@@ -135,7 +135,7 @@ pub fn next_prime(n: u128) -> u128 {
 /// Pollard's rho: one nontrivial factor of a composite `n` (n > 3, odd or
 /// even handled). Deterministic given the built-in parameter schedule.
 fn pollard_rho(n: u128) -> u128 {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let mut c: u128 = 1;
@@ -169,9 +169,9 @@ pub fn prime_factors(mut n: u128) -> Vec<u128> {
     let mut out = Vec::new();
     // Strip small primes by trial division first.
     for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             out.push(p);
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
             }
         }
@@ -201,7 +201,10 @@ pub fn prime_factors(mut n: u128) -> Vec<u128> {
 ///
 /// Panics if `p` is not prime or `p < 3`.
 pub fn primitive_root(p: u128) -> u128 {
-    assert!(p >= 3 && is_prime(p), "primitive_root requires an odd prime");
+    assert!(
+        p >= 3 && is_prime(p),
+        "primitive_root requires an odd prime"
+    );
     let phi = p - 1;
     let factors = prime_factors(phi);
     'candidate: for g in 2..p {

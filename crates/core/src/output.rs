@@ -10,10 +10,10 @@ use std::fmt::Write as _;
 use xmap_netsim::packet::UnreachCode;
 
 use crate::probe::ProbeResult;
-use crate::scanner::ScanRecord;
+use crate::scanner::{Confidence, ScanRecord};
 
 /// CSV header line.
-pub const CSV_HEADER: &str = "target,probe_dst,responder,outcome";
+pub const CSV_HEADER: &str = "target,probe_dst,responder,outcome,confidence";
 
 /// Serializes records to CSV (with header).
 pub fn to_csv(records: &[ScanRecord]) -> String {
@@ -23,11 +23,12 @@ pub fn to_csv(records: &[ScanRecord]) -> String {
     for r in records {
         let _ = writeln!(
             out,
-            "{},{},{},{}",
+            "{},{},{},{},{}",
             r.target,
             r.probe_dst,
             r.responder,
-            outcome_str(&r.result)
+            outcome_str(&r.result),
+            confidence_str(r.confidence),
         );
     }
     out
@@ -52,19 +53,46 @@ pub fn from_csv(csv: &str) -> Result<Vec<ScanRecord>, String> {
         }
         let mut fields = line.split(',');
         let mut next = |what: &str| {
-            fields.next().ok_or_else(|| format!("line {}: missing {what}", lineno + 1))
+            fields
+                .next()
+                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))
         };
-        let target =
-            next("target")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let probe_dst =
-            next("probe_dst")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let responder =
-            next("responder")?.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let target = next("target")?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let probe_dst = next("probe_dst")?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let responder = next("responder")?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let result = parse_outcome(next("outcome")?)
             .ok_or_else(|| format!("line {}: bad outcome", lineno + 1))?;
-        out.push(ScanRecord { target, probe_dst, responder, result });
+        let confidence = parse_confidence(next("confidence")?)
+            .ok_or_else(|| format!("line {}: bad confidence", lineno + 1))?;
+        out.push(ScanRecord {
+            target,
+            probe_dst,
+            responder,
+            result,
+            confidence,
+        });
     }
     Ok(out)
+}
+
+fn confidence_str(c: Confidence) -> String {
+    match c {
+        Confidence::FirstTry => "first".to_owned(),
+        Confidence::Retry(n) => format!("retry:{n}"),
+    }
+}
+
+fn parse_confidence(s: &str) -> Option<Confidence> {
+    Some(match s {
+        "first" => Confidence::FirstTry,
+        _ => Confidence::Retry(s.strip_prefix("retry:")?.parse().ok()?),
+    })
 }
 
 fn outcome_str(r: &ProbeResult) -> String {
@@ -114,25 +142,32 @@ fn parse_outcome(s: &str) -> Option<ProbeResult> {
 mod tests {
     use super::*;
 
+    use crate::scanner::Confidence;
+
     fn sample() -> Vec<ScanRecord> {
         vec![
             ScanRecord {
                 target: "2405:200:1:2::/64".parse().unwrap(),
                 probe_dst: "2405:200:1:2::9f3a".parse().unwrap(),
                 responder: "2405:200:1:2::1".parse().unwrap(),
-                result: ProbeResult::Unreachable { code: UnreachCode::AddressUnreachable },
+                result: ProbeResult::Unreachable {
+                    code: UnreachCode::AddressUnreachable,
+                },
+                confidence: Confidence::FirstTry,
             },
             ScanRecord {
                 target: "2601:0:0:10::/64".parse().unwrap(),
                 probe_dst: "2601:0:0:10::1".parse().unwrap(),
                 responder: "2601:100::42".parse().unwrap(),
                 result: ProbeResult::TimeExceeded,
+                confidence: Confidence::Retry(2),
             },
             ScanRecord {
                 target: "2601::/64".parse().unwrap(),
                 probe_dst: "2601::7".parse().unwrap(),
                 responder: "2601::7".parse().unwrap(),
                 result: ProbeResult::Alive,
+                confidence: Confidence::Retry(1),
             },
         ]
     }
@@ -168,9 +203,15 @@ mod tests {
             ProbeResult::TimeExceeded,
             ProbeResult::Refused,
             ProbeResult::Invalid,
-            ProbeResult::Unreachable { code: UnreachCode::NoRoute },
-            ProbeResult::Unreachable { code: UnreachCode::RejectRoute },
-            ProbeResult::Unreachable { code: UnreachCode::PortUnreachable },
+            ProbeResult::Unreachable {
+                code: UnreachCode::NoRoute,
+            },
+            ProbeResult::Unreachable {
+                code: UnreachCode::RejectRoute,
+            },
+            ProbeResult::Unreachable {
+                code: UnreachCode::PortUnreachable,
+            },
         ] {
             let s = outcome_str(&result);
             assert_eq!(parse_outcome(&s), Some(result), "{s}");

@@ -103,12 +103,22 @@ impl ProbeModule for UdpProbe {
     }
 
     fn build(&self, src: Ip6, dst: Ip6, _hop_limit: u8, validator: &Validator) -> Ipv6Packet {
-        Ipv6Packet::udp_request(src, dst, validator.source_port(dst), self.port, self.request)
+        Ipv6Packet::udp_request(
+            src,
+            dst,
+            validator.source_port(dst),
+            self.port,
+            self.request,
+        )
     }
 
     fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult {
         match &response.payload {
-            Payload::Udp { dst_port, data: AppData::Response(_), .. } => {
+            Payload::Udp {
+                dst_port,
+                data: AppData::Response(_),
+                ..
+            } => {
                 // Response must come back to our cookie port from the probed
                 // address.
                 if *dst_port == validator.source_port(response.src) {
@@ -147,7 +157,9 @@ impl ProbeModule for TcpSynProbe {
 
     fn classify(&self, response: &Ipv6Packet, validator: &Validator) -> ProbeResult {
         match &response.payload {
-            Payload::Tcp { dst_port, flags, .. } => {
+            Payload::Tcp {
+                dst_port, flags, ..
+            } => {
                 if *dst_port != validator.source_port(response.src) {
                     return ProbeResult::Invalid;
                 }
@@ -205,7 +217,11 @@ mod tests {
         };
         assert_eq!(IcmpEchoProbe.classify(&reply, &v), ProbeResult::Alive);
 
-        let invoking = Invoking { src: a("fd::1"), dst, proto: QuotedProto::Icmp { ident, seq } };
+        let invoking = Invoking {
+            src: a("fd::1"),
+            dst,
+            proto: QuotedProto::Icmp { ident, seq },
+        };
         let unreach = Ipv6Packet {
             src: a("2001::ffff"),
             dst: a("fd::1"),
@@ -217,7 +233,9 @@ mod tests {
         };
         assert_eq!(
             IcmpEchoProbe.classify(&unreach, &v),
-            ProbeResult::Unreachable { code: UnreachCode::AddressUnreachable }
+            ProbeResult::Unreachable {
+                code: UnreachCode::AddressUnreachable
+            }
         );
 
         let te = Ipv6Packet {
@@ -238,12 +256,18 @@ mod tests {
             src: dst,
             dst: a("fd::1"),
             hop_limit: 60,
-            payload: Payload::Icmp(Icmpv6::EchoReply { ident: ident ^ 1, seq }),
+            payload: Payload::Icmp(Icmpv6::EchoReply {
+                ident: ident ^ 1,
+                seq,
+            }),
         };
         assert_eq!(IcmpEchoProbe.classify(&forged, &v), ProbeResult::Invalid);
         // Quote about a destination we never probed with those fields.
-        let invoking =
-            Invoking { src: a("fd::1"), dst: a("2001::3"), proto: QuotedProto::Icmp { ident, seq } };
+        let invoking = Invoking {
+            src: a("fd::1"),
+            dst: a("2001::3"),
+            proto: QuotedProto::Icmp { ident, seq },
+        };
         let unreach = Ipv6Packet {
             src: a("2001::ffff"),
             dst: a("fd::1"),
@@ -262,7 +286,9 @@ mod tests {
         let dst = a("2601::5");
         let module = TcpSynProbe { port: 80 };
         let probe = module.build(a("fd::1"), dst, 64, &v);
-        let Payload::Tcp { src_port, .. } = probe.payload else { panic!() };
+        let Payload::Tcp { src_port, .. } = probe.payload else {
+            panic!()
+        };
         assert_eq!(src_port, v.source_port(dst));
 
         let synack = Ipv6Packet {
@@ -303,9 +329,17 @@ mod tests {
     fn udp_roundtrip_against_response() {
         let v = Validator::new(9);
         let dst = a("2601::6");
-        let module = UdpProbe { port: 123, request: AppRequest::NtpVersionQuery };
+        let module = UdpProbe {
+            port: 123,
+            request: AppRequest::NtpVersionQuery,
+        };
         let probe = module.build(a("fd::1"), dst, 64, &v);
-        let Payload::Udp { src_port, dst_port, .. } = probe.payload else { panic!() };
+        let Payload::Udp {
+            src_port, dst_port, ..
+        } = probe.payload
+        else {
+            panic!()
+        };
         assert_eq!(dst_port, 123);
         let response = Ipv6Packet {
             src: dst,
@@ -314,9 +348,9 @@ mod tests {
             payload: Payload::Udp {
                 src_port: 123,
                 dst_port: src_port,
-                data: AppData::Response(
-                    xmap_netsim::services::AppResponse::NtpVersionReply { version: 4 },
-                ),
+                data: AppData::Response(xmap_netsim::services::AppResponse::NtpVersionReply {
+                    version: 4,
+                }),
             },
         };
         assert_eq!(module.classify(&response, &v), ProbeResult::Alive);
@@ -326,6 +360,13 @@ mod tests {
     fn module_names() {
         assert_eq!(IcmpEchoProbe.name(), "icmp6_echoscan");
         assert_eq!(TcpSynProbe { port: 80 }.name(), "tcp6_synscan");
-        assert_eq!(UdpProbe { port: 53, request: AppRequest::DnsQuery }.name(), "udp6_scan");
+        assert_eq!(
+            UdpProbe {
+                port: 53,
+                request: AppRequest::DnsQuery
+            }
+            .name(),
+            "udp6_scan"
+        );
     }
 }

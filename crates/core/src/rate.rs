@@ -21,7 +21,9 @@ pub struct SystemClock {
 
 impl Default for SystemClock {
     fn default() -> Self {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -103,7 +105,12 @@ impl RateLimiter {
     pub fn new(rate_pps: u64, capacity: u64) -> Self {
         assert!(rate_pps > 0, "rate must be nonzero");
         assert!(capacity > 0, "capacity must be nonzero");
-        RateLimiter { rate_pps, capacity, tokens: capacity as f64, last_refill_ns: 0 }
+        RateLimiter {
+            rate_pps,
+            capacity,
+            tokens: capacity as f64,
+            last_refill_ns: 0,
+        }
     }
 
     /// The configured rate in packets per second.
@@ -136,8 +143,114 @@ impl RateLimiter {
     fn refill(&mut self, now_ns: u64) {
         let elapsed = now_ns.saturating_sub(self.last_refill_ns);
         self.last_refill_ns = now_ns;
-        self.tokens = (self.tokens + elapsed as f64 * self.rate_pps as f64 / 1e9)
-            .min(self.capacity as f64);
+        self.tokens =
+            (self.tokens + elapsed as f64 * self.rate_pps as f64 / 1e9).min(self.capacity as f64);
+    }
+}
+
+/// ZMap-style adaptive sender: additive-increase/multiplicative-decrease on
+/// the valid-per-sent ratio.
+///
+/// The controller watches fixed-size probe windows. The first completed
+/// window establishes a hit-rate baseline; afterwards, a window whose hit
+/// rate collapses below half the baseline halves the sending rate (the
+/// scan is outrunning some rate limiter or triggering loss), while a
+/// healthy window restores rate additively toward the configured maximum.
+/// Against the simulator rates are accounted rather than slept, exactly
+/// like [`RateLimiter`].
+///
+/// # Examples
+///
+/// ```
+/// use xmap::rate::AdaptiveRateController;
+///
+/// let mut c = AdaptiveRateController::new(25_000, 1_000, 25_000, 100);
+/// // First window: half the probes answer — that becomes the baseline.
+/// for _ in 0..100 { c.on_valid(); c.on_probe(); }
+/// assert_eq!(c.current_pps(), 25_000);
+/// // Second window: total collapse — rate halves.
+/// for _ in 0..100 { c.on_probe(); }
+/// assert_eq!(c.current_pps(), 12_500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveRateController {
+    current_pps: u64,
+    min_pps: u64,
+    max_pps: u64,
+    window: u64,
+    sent: u64,
+    valid: u64,
+    baseline: Option<f64>,
+}
+
+impl AdaptiveRateController {
+    /// Creates a controller starting (and capped) at `initial_pps`,
+    /// never backing off below `min_pps`, evaluating every `window` probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is zero, `min_pps > max_pps`, or `window == 0`.
+    pub fn new(initial_pps: u64, min_pps: u64, max_pps: u64, window: u64) -> Self {
+        assert!(
+            initial_pps > 0 && min_pps > 0 && max_pps > 0,
+            "rates must be nonzero"
+        );
+        assert!(min_pps <= max_pps, "min rate above max");
+        assert!(window > 0, "window must be nonzero");
+        AdaptiveRateController {
+            current_pps: initial_pps.clamp(min_pps, max_pps),
+            min_pps,
+            max_pps,
+            window,
+            sent: 0,
+            valid: 0,
+            baseline: None,
+        }
+    }
+
+    /// The standard configuration: start at `rate_pps`, floor at one
+    /// eighth of it, evaluate every 512 probes.
+    pub fn standard(rate_pps: u64) -> Self {
+        Self::new(rate_pps, (rate_pps / 8).max(1), rate_pps, 512)
+    }
+
+    /// The rate currently in effect, in packets per second.
+    pub fn current_pps(&self) -> u64 {
+        self.current_pps
+    }
+
+    /// Records one probe sent; evaluates the window when it fills.
+    pub fn on_probe(&mut self) {
+        self.sent += 1;
+        if self.sent >= self.window {
+            self.evaluate();
+        }
+    }
+
+    /// Records one validated response.
+    pub fn on_valid(&mut self) {
+        self.valid += 1;
+    }
+
+    fn evaluate(&mut self) {
+        let hit = self.valid as f64 / self.sent as f64;
+        match self.baseline {
+            None => self.baseline = Some(hit),
+            Some(base) => {
+                if base > 0.0 && hit < base * 0.5 {
+                    // Collapse: multiplicative decrease, baseline kept so
+                    // recovery is judged against the healthy reference.
+                    self.current_pps = (self.current_pps / 2).max(self.min_pps);
+                } else {
+                    // Healthy window: additive increase, slow baseline drift.
+                    let step = (self.max_pps / 16).max(1);
+                    self.current_pps = (self.current_pps + step).min(self.max_pps);
+                    self.baseline = Some(base * 0.9 + hit * 0.1);
+                }
+            }
+        }
+        self.sent = 0;
+        self.valid = 0;
     }
 }
 
@@ -214,5 +327,56 @@ mod tests {
     #[should_panic(expected = "rate must be nonzero")]
     fn zero_rate_rejected() {
         RateLimiter::new(0, 1);
+    }
+
+    fn feed_window(c: &mut AdaptiveRateController, window: u64, hits: u64) {
+        for i in 0..window {
+            if i < hits {
+                c.on_valid();
+            }
+            c.on_probe();
+        }
+    }
+
+    #[test]
+    fn adaptive_backs_off_on_collapse_and_recovers() {
+        let mut c = AdaptiveRateController::new(16_000, 1_000, 16_000, 100);
+        feed_window(&mut c, 100, 40); // baseline: 40% hit rate
+        assert_eq!(c.current_pps(), 16_000);
+        feed_window(&mut c, 100, 5); // collapse below half the baseline
+        assert_eq!(c.current_pps(), 8_000);
+        feed_window(&mut c, 100, 2); // still collapsed
+        assert_eq!(c.current_pps(), 4_000);
+        // Healthy windows climb back to the cap additively.
+        for _ in 0..20 {
+            feed_window(&mut c, 100, 40);
+        }
+        assert_eq!(c.current_pps(), 16_000);
+    }
+
+    #[test]
+    fn adaptive_respects_floor() {
+        let mut c = AdaptiveRateController::new(8_000, 3_000, 8_000, 10);
+        feed_window(&mut c, 10, 8); // baseline
+        for _ in 0..10 {
+            feed_window(&mut c, 10, 0);
+        }
+        assert_eq!(c.current_pps(), 3_000);
+    }
+
+    #[test]
+    fn adaptive_all_silent_baseline_never_decreases() {
+        // A zero baseline (fully silent space) must not trigger backoff.
+        let mut c = AdaptiveRateController::new(10_000, 1_000, 10_000, 10);
+        for _ in 0..5 {
+            feed_window(&mut c, 10, 0);
+        }
+        assert_eq!(c.current_pps(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "min rate above max")]
+    fn adaptive_bad_bounds_rejected() {
+        AdaptiveRateController::new(5, 10, 5, 1);
     }
 }

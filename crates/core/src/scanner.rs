@@ -8,15 +8,16 @@
 //! prober thread over bounded channels) the way the C implementation
 //! separates its send and receive threads.
 
-use crossbeam::channel;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::mpsc;
 use xmap_addr::{Ip6, Prefix, ScanRange};
-use xmap_netsim::packet::Network;
+use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload};
 
 use crate::blocklist::Blocklist;
 use crate::cyclic::Cycle;
 use crate::feistel::FeistelPermutation;
 use crate::probe::{ProbeModule, ProbeResult};
-use crate::rate::RateLimiter;
+use crate::rate::{AdaptiveRateController, RateLimiter};
 use crate::target::fill_host_bits;
 use crate::validate::Validator;
 
@@ -58,6 +59,22 @@ pub struct ScanConfig {
     /// previous attempt drew no response — the loss-recovery knob measured
     /// by the `probes` ablation.
     pub probes_per_target: u32,
+    /// Base retransmission timeout in virtual ticks (one tick = one send
+    /// slot). Attempt *n* is scheduled `rto_ticks << (n-1)` ticks after
+    /// attempt *n-1* went out — classic exponential backoff.
+    pub rto_ticks: u64,
+    /// Bound on the retransmission queue. When the backlog is full further
+    /// retries are abandoned; targets that consequently stay silent end up
+    /// in [`ScanStats::gave_up`].
+    pub max_retry_backlog: usize,
+    /// Enables the AIMD [`AdaptiveRateController`] seeded from `rate_pps`
+    /// (no effect when `rate_pps` is `None`): the accounted pacing then
+    /// follows the controller's current rate instead of the fixed budget.
+    pub adaptive_rate: bool,
+    /// Collect targets that never produced a valid response into
+    /// [`ScanResults::silent_targets`] (the mop-up pass input). Off by
+    /// default: the list is proportional to the probed slice.
+    pub record_silent: bool,
 }
 
 impl Default for ScanConfig {
@@ -72,8 +89,24 @@ impl Default for ScanConfig {
             max_targets: None,
             rate_pps: None,
             probes_per_target: 1,
+            rto_ticks: 8,
+            max_retry_backlog: 4096,
+            adaptive_rate: false,
+            record_silent: false,
         }
     }
+}
+
+/// How many attempts a recorded response took — the per-record confidence
+/// tag of the loss-recovery pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Confidence {
+    /// The first probe to the target was answered.
+    #[default]
+    FirstTry,
+    /// Answered only on the `n`-th retransmission (`n >= 1`); the target
+    /// sits behind a lossy or rate-limited path.
+    Retry(u32),
 }
 
 /// One validated response.
@@ -88,6 +121,8 @@ pub struct ScanRecord {
     pub responder: Ip6,
     /// Classified outcome.
     pub result: ProbeResult,
+    /// How many attempts this response took.
+    pub confidence: Confidence,
 }
 
 /// Aggregate counters for one scan.
@@ -103,6 +138,17 @@ pub struct ScanStats {
     pub invalid: u64,
     /// Valid, recorded responses.
     pub valid: u64,
+    /// Probes that were retransmissions (attempt >= 1); included in `sent`.
+    pub retransmits: u64,
+    /// Targets whose first probe went unanswered but whose retransmission
+    /// drew an ICMPv6 error — the signature of an RFC 4443 §2.4 rate
+    /// limiter refilling between attempts (echo replies are not typically
+    /// rate limited, so those do not count).
+    pub rate_limited_suspected: u64,
+    /// Targets abandoned with every configured attempt unanswered. Only
+    /// counted when recovery was in play (`probes_per_target > 1`); a
+    /// single-probe scan records silence, it does not "give up".
+    pub gave_up: u64,
     /// Seconds the configured rate limit would have stretched this scan to.
     pub paced_secs: f64,
 }
@@ -123,6 +169,9 @@ impl ScanStats {
         self.received += other.received;
         self.invalid += other.invalid;
         self.valid += other.valid;
+        self.retransmits += other.retransmits;
+        self.rate_limited_suspected += other.rate_limited_suspected;
+        self.gave_up += other.gave_up;
         self.paced_secs += other.paced_secs;
     }
 }
@@ -134,6 +183,10 @@ pub struct ScanResults {
     pub records: Vec<ScanRecord>,
     /// Counters.
     pub stats: ScanStats,
+    /// Targets that never produced a valid response, in probe order.
+    /// Populated only under [`ScanConfig::record_silent`]; the mop-up
+    /// pass re-probes these after ICMPv6 token buckets have refilled.
+    pub silent_targets: Vec<Prefix>,
 }
 
 /// The scanner: a [`ProbeModule`] driven over a permuted target space
@@ -170,7 +223,11 @@ impl<N: Network> Scanner<N> {
         assert!(config.shards > 0, "shards must be nonzero");
         assert!(config.shard < config.shards, "shard index out of range");
         let validator = Validator::new(config.seed ^ 0x5ca1_ab1e);
-        Scanner { network, config, validator }
+        Scanner {
+            network,
+            config,
+            validator,
+        }
     }
 
     /// The configuration in effect.
@@ -182,6 +239,12 @@ impl<N: Network> Scanner<N> {
     /// campaign drivers that scan many ranges at one scale).
     pub fn set_max_targets(&mut self, max_targets: Option<u64>) {
         self.config.max_targets = max_targets;
+    }
+
+    /// Toggles silent-target tracking for subsequent runs (used by the
+    /// campaign mop-up pass).
+    pub fn set_record_silent(&mut self, record_silent: bool) {
+        self.config.record_silent = record_silent;
     }
 
     /// The stateless validator (shared with helper probes).
@@ -216,6 +279,15 @@ impl<N: Network> Scanner<N> {
     }
 
     /// Scans one range with a probe module, honouring the blocklist.
+    ///
+    /// Runs the full loss-recovery pipeline on a virtual clock (one tick
+    /// per send slot, forwarded to the network via [`Network::tick`]):
+    /// unanswered probes are retransmitted with fresh host bits under
+    /// exponential backoff, a retransmission is suppressed when the answer
+    /// arrives (possibly delayed/jittered) before its timer fires, and the
+    /// scan drains in-flight responses before returning. With the default
+    /// `probes_per_target = 1` no retry state is kept and behaviour
+    /// matches the paper's single-probe discipline.
     pub fn run(
         &mut self,
         range: &ScanRange,
@@ -225,46 +297,155 @@ impl<N: Network> Scanner<N> {
         let mut results = ScanResults::default();
         let indices = self.order(range);
         let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
+        let mut adaptive = if self.config.adaptive_rate {
+            self.config.rate_pps.map(AdaptiveRateController::standard)
+        } else {
+            None
+        };
         let attempts = self.config.probes_per_target.max(1);
-        for index in indices {
-            let Some(target) = range.nth(index) else { continue };
-            for attempt in 0..attempts {
+        let mut state = RecoveryState::default();
+        let mut fresh = indices.into_iter();
+        let mut now: u64 = 0;
+
+        loop {
+            // One send slot: a due retransmission wins over a fresh target.
+            let job = if let Some(entry) = state.due_retry(now) {
+                Some((entry.target, entry.attempt))
+            } else if let Some(target) = fresh.by_ref().find_map(|i| range.nth(i)) {
+                state.probed.push(target);
+                Some((target, 0))
+            } else if !state.retries.is_empty() || self.network.in_flight() > 0 {
+                // Fresh walk done: drain timers and in-flight responses
+                // without sending.
+                None
+            } else {
+                break;
+            };
+
+            if let Some((target, attempt)) = job {
+                // Fresh host bits per attempt: a lost exchange is retried
+                // on a new (deterministically lossy) path.
                 let dst = fill_host_bits(target, self.config.seed.wrapping_add(attempt as u64));
                 if !blocklist.is_allowed(dst) {
                     results.stats.blocked += 1;
-                    break;
+                    continue;
                 }
-                if let Some(limiter) = limiter.as_mut() {
+                if let Some(ctrl) = adaptive.as_mut() {
+                    // Pace at the controller's current rate; accounted, not
+                    // slept, like the fixed budget below.
+                    results.stats.paced_secs += 1.0 / ctrl.current_pps() as f64;
+                    ctrl.on_probe();
+                } else if let Some(limiter) = limiter.as_mut() {
                     // Account the pacing this probe would cost; the simulator
                     // answers instantly, so we track instead of sleeping.
                     results.stats.paced_secs += 1.0 / limiter.rate_pps() as f64;
                 }
-                let probe =
-                    module.build(self.config.source, dst, self.config.hop_limit, &self.validator);
+                let probe = module.build(
+                    self.config.source,
+                    dst,
+                    self.config.hop_limit,
+                    &self.validator,
+                );
                 results.stats.sent += 1;
-                let mut answered = false;
-                for resp in self.network.handle(probe) {
-                    results.stats.received += 1;
-                    match module.classify(&resp, &self.validator) {
-                        ProbeResult::Invalid => results.stats.invalid += 1,
-                        result => {
-                            answered = true;
-                            results.stats.valid += 1;
-                            results.records.push(ScanRecord {
-                                target,
-                                probe_dst: dst,
-                                responder: resp.src,
-                                result,
-                            });
-                        }
-                    }
+                if attempt > 0 {
+                    results.stats.retransmits += 1;
                 }
-                if answered {
-                    break;
+                state.outstanding.insert(
+                    dst,
+                    Outstanding {
+                        target,
+                        attempt,
+                        answered: false,
+                    },
+                );
+                // Bounded queue: an overflowing retry is abandoned (the
+                // target is then counted in `gave_up` if it stays silent).
+                if attempt + 1 < attempts && state.retries.len() < self.config.max_retry_backlog {
+                    state.schedule(
+                        now + (self.config.rto_ticks << attempt),
+                        target,
+                        attempt + 1,
+                        dst,
+                    );
                 }
+                let immediate = self.network.handle(probe);
+                self.absorb(immediate, module, &mut state, &mut adaptive, &mut results);
+            }
+
+            let late = self.network.tick(1);
+            now += 1;
+            self.absorb(late, module, &mut state, &mut adaptive, &mut results);
+        }
+
+        // Per-target recovery accounting, in deterministic probe order.
+        for target in &state.probed {
+            if state.answered.contains(target) {
+                continue;
+            }
+            if attempts > 1 {
+                results.stats.gave_up += 1;
+            }
+            if self.config.record_silent {
+                results.silent_targets.push(*target);
             }
         }
         results
+    }
+
+    /// Classifies a batch of received packets, attributing each back to its
+    /// probe through the response itself (stateless, like the C scanner:
+    /// echo replies carry the probed address as their source, ICMPv6 errors
+    /// quote it in the invoking packet).
+    fn absorb(
+        &mut self,
+        batch: Vec<Ipv6Packet>,
+        module: &dyn ProbeModule,
+        state: &mut RecoveryState,
+        adaptive: &mut Option<AdaptiveRateController>,
+        results: &mut ScanResults,
+    ) {
+        for resp in batch {
+            results.stats.received += 1;
+            match module.classify(&resp, &self.validator) {
+                ProbeResult::Invalid => results.stats.invalid += 1,
+                result => {
+                    let probe_dst = probe_dst_of(&resp);
+                    let Some(out) = state.outstanding.get_mut(&probe_dst) else {
+                        // Validated but unattributable (a duplicate of a
+                        // probe sent outside this run); not ours to record.
+                        results.stats.invalid += 1;
+                        continue;
+                    };
+                    let confidence = match out.attempt {
+                        0 => Confidence::FirstTry,
+                        n => Confidence::Retry(n),
+                    };
+                    let first_answer = !out.answered;
+                    out.answered = true;
+                    if first_answer
+                        && out.attempt > 0
+                        && matches!(
+                            result,
+                            ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                        )
+                    {
+                        results.stats.rate_limited_suspected += 1;
+                    }
+                    results.stats.valid += 1;
+                    if let Some(ctrl) = adaptive.as_mut() {
+                        ctrl.on_valid();
+                    }
+                    state.answered.insert(out.target);
+                    results.records.push(ScanRecord {
+                        target: out.target,
+                        probe_dst,
+                        responder: resp.src,
+                        result,
+                        confidence,
+                    });
+                }
+            }
+        }
     }
 
     /// Scans several ranges, merging results.
@@ -302,10 +483,91 @@ impl<N: Network> Scanner<N> {
                     .take(cap)
                     .collect()
             }
-            Permutation::Sequential => {
-                (shard..len).step_by(shards as usize).take(cap).collect()
+            Permutation::Sequential => (shard..len).step_by(shards as usize).take(cap).collect(),
+        }
+    }
+}
+
+/// One sent probe awaiting (or having received) its answer.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    target: Prefix,
+    attempt: u32,
+    answered: bool,
+}
+
+/// A scheduled retransmission. Ordering is reversed so a `BinaryHeap`
+/// behaves as a min-heap on `(due_tick, seq)` — `seq` breaks ties
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RetryEntry {
+    due_tick: u64,
+    seq: u64,
+    target: Prefix,
+    attempt: u32,
+    prev_dst: Ip6,
+}
+
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due_tick, other.seq).cmp(&(self.due_tick, self.seq))
+    }
+}
+
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Book-keeping for one [`Scanner::run`]: outstanding probes, the bounded
+/// retransmission queue, and per-target recovery outcomes.
+#[derive(Debug, Default)]
+struct RecoveryState {
+    outstanding: HashMap<Ip6, Outstanding>,
+    retries: BinaryHeap<RetryEntry>,
+    retry_seq: u64,
+    answered: HashSet<Prefix>,
+    probed: Vec<Prefix>,
+}
+
+impl RecoveryState {
+    fn schedule(&mut self, due_tick: u64, target: Prefix, attempt: u32, prev_dst: Ip6) {
+        let seq = self.retry_seq;
+        self.retry_seq += 1;
+        self.retries.push(RetryEntry {
+            due_tick,
+            seq,
+            target,
+            attempt,
+            prev_dst,
+        });
+    }
+
+    /// Pops the next due retransmission whose previous attempt is still
+    /// unanswered (answered ones are suppressed silently).
+    fn due_retry(&mut self, now: u64) -> Option<RetryEntry> {
+        while self.retries.peek().is_some_and(|r| r.due_tick <= now) {
+            let entry = self.retries.pop().expect("peeked");
+            let unanswered = self
+                .outstanding
+                .get(&entry.prev_dst)
+                .is_some_and(|o| !o.answered);
+            if unanswered {
+                return Some(entry);
             }
         }
+        None
+    }
+}
+
+/// The probed destination a response packet speaks about.
+fn probe_dst_of(resp: &Ipv6Packet) -> Ip6 {
+    match &resp.payload {
+        Payload::Icmp(Icmpv6::DestUnreachable { invoking, .. })
+        | Payload::Icmp(Icmpv6::TimeExceeded { invoking }) => invoking.dst,
+        // Echo replies and transport answers come from the probed address.
+        _ => resp.src,
     }
 }
 
@@ -322,7 +584,7 @@ pub fn run_pipelined<N: Network>(
 ) -> ScanResults {
     let config = scanner.config.clone();
     let range = *range;
-    let (tx, rx) = channel::bounded::<(Prefix, Ip6)>(1024);
+    let (tx, rx) = mpsc::sync_channel::<(Prefix, Ip6)>(1024);
 
     std::thread::scope(|scope| {
         let blocklist_ref = &blocklist;
@@ -331,8 +593,13 @@ pub fn run_pipelined<N: Network>(
             let len = u64::try_from(range.space_size().min(u64::MAX as u128)).unwrap_or(u64::MAX);
             let cycle = Cycle::new(len, gen_config.seed);
             let cap = gen_config.max_targets.unwrap_or(u64::MAX) as usize;
-            for index in cycle.iter_shard(gen_config.shard, gen_config.shards).take(cap) {
-                let Some(target) = range.nth(index) else { continue };
+            for index in cycle
+                .iter_shard(gen_config.shard, gen_config.shards)
+                .take(cap)
+            {
+                let Some(target) = range.nth(index) else {
+                    continue;
+                };
                 let dst = fill_host_bits(target, gen_config.seed);
                 if tx.send((target, dst)).is_err() {
                     break;
@@ -346,8 +613,7 @@ pub fn run_pipelined<N: Network>(
                 results.stats.blocked += 1;
                 continue;
             }
-            let probe =
-                module.build(config.source, dst, config.hop_limit, &scanner.validator);
+            let probe = module.build(config.source, dst, config.hop_limit, &scanner.validator);
             results.stats.sent += 1;
             for resp in scanner.network.handle(probe) {
                 results.stats.received += 1;
@@ -360,6 +626,7 @@ pub fn run_pipelined<N: Network>(
                             probe_dst: dst,
                             responder: resp.src,
                             result,
+                            confidence: Confidence::FirstTry,
                         });
                     }
                 }
@@ -408,12 +675,19 @@ mod tests {
     fn scan_records_valid_responses() {
         let mut s = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { max_targets: Some(1000), ..Default::default() },
+            ScanConfig {
+                max_targets: Some(1000),
+                ..Default::default()
+            },
         );
         let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
         assert_eq!(res.stats.sent, 1000);
         // Half the targets respond.
-        assert!((420..=580).contains(&res.stats.valid), "{}", res.stats.valid);
+        assert!(
+            (420..=580).contains(&res.stats.valid),
+            "{}",
+            res.stats.valid
+        );
         assert_eq!(res.stats.valid as usize, res.records.len());
         assert_eq!(res.stats.invalid, 0);
         for r in &res.records {
@@ -426,10 +700,16 @@ mod tests {
     #[test]
     fn blocklist_skips_targets() {
         let mut bl = Blocklist::allow_all();
-        bl.insert("2001:100::/33".parse().unwrap(), crate::blocklist::Verdict::Deny);
+        bl.insert(
+            "2001:100::/33".parse().unwrap(),
+            crate::blocklist::Verdict::Deny,
+        );
         let mut s = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { max_targets: Some(1000), ..Default::default() },
+            ScanConfig {
+                max_targets: Some(1000),
+                ..Default::default()
+            },
         );
         let res = s.run(&range(), &IcmpEchoProbe, &bl);
         assert!(res.stats.blocked > 300, "{}", res.stats.blocked);
@@ -442,7 +722,12 @@ mod tests {
         for shard in 0..4 {
             let mut s = Scanner::new(
                 ToyNet { handled: 0 },
-                ScanConfig { shard, shards: 4, max_targets: Some(250), ..Default::default() },
+                ScanConfig {
+                    shard,
+                    shards: 4,
+                    max_targets: Some(250),
+                    ..Default::default()
+                },
             );
             let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
             for r in res.records {
@@ -457,19 +742,34 @@ mod tests {
         let tiny: ScanRange = "2001:100::/32-40".parse().unwrap(); // 256 targets
         let mut a = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { permutation: Permutation::Cyclic, ..Default::default() },
+            ScanConfig {
+                permutation: Permutation::Cyclic,
+                ..Default::default()
+            },
         );
         let mut b = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { permutation: Permutation::Sequential, ..Default::default() },
+            ScanConfig {
+                permutation: Permutation::Sequential,
+                ..Default::default()
+            },
         );
         let mut c = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { permutation: Permutation::Feistel, ..Default::default() },
+            ScanConfig {
+                permutation: Permutation::Feistel,
+                ..Default::default()
+            },
         );
-        let mut ra: Vec<_> = a.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
-        let mut rb: Vec<_> = b.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
-        let mut rc: Vec<_> = c.run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all()).records;
+        let mut ra: Vec<_> = a
+            .run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all())
+            .records;
+        let mut rb: Vec<_> = b
+            .run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all())
+            .records;
+        let mut rc: Vec<_> = c
+            .run(&tiny, &IcmpEchoProbe, &Blocklist::allow_all())
+            .records;
         for r in [&mut ra, &mut rb, &mut rc] {
             r.sort_by_key(|x| x.target);
         }
@@ -481,22 +781,36 @@ mod tests {
     fn rate_budget_is_accounted() {
         let mut s = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { max_targets: Some(2500), rate_pps: Some(25_000), ..Default::default() },
+            ScanConfig {
+                max_targets: Some(2500),
+                rate_pps: Some(25_000),
+                ..Default::default()
+            },
         );
         let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
         // 2500 probes at 25 kpps = 0.1 s.
-        assert!((res.stats.paced_secs - 0.1).abs() < 1e-9, "{}", res.stats.paced_secs);
+        assert!(
+            (res.stats.paced_secs - 0.1).abs() < 1e-9,
+            "{}",
+            res.stats.paced_secs
+        );
     }
 
     #[test]
     fn pipelined_matches_single_threaded() {
         let mut s1 = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { max_targets: Some(500), ..Default::default() },
+            ScanConfig {
+                max_targets: Some(500),
+                ..Default::default()
+            },
         );
         let mut s2 = Scanner::new(
             ToyNet { handled: 0 },
-            ScanConfig { max_targets: Some(500), ..Default::default() },
+            ScanConfig {
+                max_targets: Some(500),
+                ..Default::default()
+            },
         );
         let a = s1.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
         let b = run_pipelined(&mut s2, &range(), &IcmpEchoProbe, &Blocklist::allow_all());
@@ -520,10 +834,11 @@ mod tests {
         struct Flaky;
         impl Network for Flaky {
             fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
-                let first_attempt = p.dst == crate::target::fill_host_bits(
-                    xmap_addr::Prefix::new(p.dst.network(64), 64),
-                    1,
-                );
+                let first_attempt = p.dst
+                    == crate::target::fill_host_bits(
+                        xmap_addr::Prefix::new(p.dst.network(64), 64),
+                        1,
+                    );
                 if first_attempt {
                     return Vec::new();
                 }
@@ -558,8 +873,205 @@ mod tests {
     }
 
     #[test]
+    fn confidence_and_recovery_counters() {
+        /// Answers only retransmissions (seed-1, attempt >= 1 fills).
+        struct DropFirst;
+        impl Network for DropFirst {
+            fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
+                let first_attempt = p.dst
+                    == crate::target::fill_host_bits(
+                        xmap_addr::Prefix::new(p.dst.network(64), 64),
+                        1,
+                    );
+                if first_attempt {
+                    return Vec::new();
+                }
+                vec![Ipv6Packet {
+                    src: p.dst.network(64).with_iid(0xbeef),
+                    dst: p.src,
+                    hop_limit: 60,
+                    payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                        code: xmap_netsim::packet::UnreachCode::AddressUnreachable,
+                        invoking: p.quote(),
+                    }),
+                }]
+            }
+        }
+        let mut s = Scanner::new(
+            DropFirst,
+            ScanConfig {
+                seed: 1,
+                max_targets: Some(50),
+                probes_per_target: 3,
+                ..Default::default()
+            },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert_eq!(res.stats.valid, 50);
+        assert_eq!(res.stats.retransmits, 50, "one retry each, then answered");
+        assert_eq!(res.stats.gave_up, 0);
+        // Every answer came on the first retransmission and was an ICMPv6
+        // error — the rate-limited signature.
+        assert_eq!(res.stats.rate_limited_suspected, 50);
+        assert!(res
+            .records
+            .iter()
+            .all(|r| r.confidence == Confidence::Retry(1)));
+    }
+
+    #[test]
+    fn gave_up_and_silent_targets_tracked() {
+        // ToyNet: odd indices never answer.
+        let run = |k: u32, record_silent: bool| {
+            let mut s = Scanner::new(
+                ToyNet { handled: 0 },
+                ScanConfig {
+                    max_targets: Some(200),
+                    probes_per_target: k,
+                    record_silent,
+                    ..Default::default()
+                },
+            );
+            s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all())
+        };
+        let single = run(1, true);
+        assert_eq!(single.stats.gave_up, 0, "no retransmission attempted");
+        let silent = single.silent_targets.len() as u64;
+        assert_eq!(silent + single.stats.valid, 200);
+        assert!(silent > 0);
+
+        let retried = run(3, true);
+        assert_eq!(
+            retried.stats.gave_up, silent,
+            "every silent target exhausted retries"
+        );
+        assert_eq!(retried.silent_targets, single.silent_targets);
+        assert_eq!(retried.stats.retransmits, 2 * silent);
+
+        let untracked = run(1, false);
+        assert!(untracked.silent_targets.is_empty());
+    }
+
+    #[test]
+    fn delayed_response_suppresses_retransmission() {
+        /// Answers every probe, but 3 ticks late, through [`Network::tick`].
+        struct SlowNet {
+            clock: u64,
+            queue: Vec<(u64, Ipv6Packet)>,
+        }
+        impl Network for SlowNet {
+            fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
+                let resp = Ipv6Packet {
+                    src: p.dst.network(64).with_iid(0xbeef),
+                    dst: p.src,
+                    hop_limit: 60,
+                    payload: Payload::Icmp(Icmpv6::DestUnreachable {
+                        code: xmap_netsim::packet::UnreachCode::AddressUnreachable,
+                        invoking: p.quote(),
+                    }),
+                };
+                self.queue.push((self.clock + 3, resp));
+                Vec::new()
+            }
+            fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+                self.clock += ticks;
+                let clock = self.clock;
+                let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.queue)
+                    .into_iter()
+                    .partition(|(d, _)| *d <= clock);
+                self.queue = rest;
+                due.into_iter().map(|(_, p)| p).collect()
+            }
+            fn in_flight(&self) -> usize {
+                self.queue.len()
+            }
+        }
+        let mut s = Scanner::new(
+            SlowNet {
+                clock: 0,
+                queue: Vec::new(),
+            },
+            ScanConfig {
+                max_targets: Some(100),
+                probes_per_target: 3,
+                ..Default::default()
+            },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        // Every answer lands before the 8-tick RTO: no retransmissions.
+        assert_eq!(res.stats.sent, 100);
+        assert_eq!(res.stats.retransmits, 0);
+        assert_eq!(res.stats.valid, 100);
+        assert!(res
+            .records
+            .iter()
+            .all(|r| r.confidence == Confidence::FirstTry));
+        for r in &res.records {
+            assert!(
+                r.target.contains(r.probe_dst),
+                "late response attributed to its target"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_backlog_is_bounded() {
+        let mut s = Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig {
+                max_targets: Some(100),
+                probes_per_target: 2,
+                max_retry_backlog: 0,
+                ..Default::default()
+            },
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        // Backlog of zero: every would-be retry abandoned immediately, so
+        // the silent half of the space is given up without retransmission.
+        assert_eq!(res.stats.retransmits, 0);
+        assert_eq!(res.stats.sent, 100);
+        assert!(res.stats.gave_up > 30, "{}", res.stats.gave_up);
+        assert_eq!(res.stats.gave_up, 100 - res.stats.valid);
+    }
+
+    #[test]
+    fn adaptive_rate_paces_no_faster_than_fixed() {
+        let fixed = {
+            let mut s = Scanner::new(
+                ToyNet { handled: 0 },
+                ScanConfig {
+                    max_targets: Some(2500),
+                    rate_pps: Some(25_000),
+                    ..Default::default()
+                },
+            );
+            s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all())
+        };
+        let adaptive = {
+            let mut s = Scanner::new(
+                ToyNet { handled: 0 },
+                ScanConfig {
+                    max_targets: Some(2500),
+                    rate_pps: Some(25_000),
+                    adaptive_rate: true,
+                    ..Default::default()
+                },
+            );
+            s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all())
+        };
+        // The controller never exceeds the configured budget, so the
+        // accounted duration can only stretch.
+        assert!(adaptive.stats.paced_secs >= fixed.stats.paced_secs - 1e-9);
+        assert_eq!(adaptive.stats.valid, fixed.stats.valid);
+    }
+
+    #[test]
     fn hit_rate_math() {
-        let stats = ScanStats { sent: 200, valid: 50, ..Default::default() };
+        let stats = ScanStats {
+            sent: 200,
+            valid: 50,
+            ..Default::default()
+        };
         assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(ScanStats::default().hit_rate(), 0.0);
     }
@@ -567,6 +1079,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "shard index out of range")]
     fn bad_shard_config_rejected() {
-        Scanner::new(ToyNet { handled: 0 }, ScanConfig { shard: 2, shards: 2, ..Default::default() });
+        Scanner::new(
+            ToyNet { handled: 0 },
+            ScanConfig {
+                shard: 2,
+                shards: 2,
+                ..Default::default()
+            },
+        );
     }
 }

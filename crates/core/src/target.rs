@@ -31,8 +31,11 @@ pub fn fill_host_bits(prefix: Prefix, key: u64) -> Ip6 {
         return prefix.addr();
     }
     let mut h = key ^ 0xc2b2_ae3d_27d4_eb4f;
-    for part in [prefix.addr().bits() as u64, (prefix.addr().bits() >> 64) as u64, prefix.len() as u64]
-    {
+    for part in [
+        prefix.addr().bits() as u64,
+        (prefix.addr().bits() >> 64) as u64,
+        prefix.len() as u64,
+    ] {
         h ^= part;
         h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
         h ^= h >> 32;
@@ -42,7 +45,11 @@ pub fn fill_host_bits(prefix: Prefix, key: u64) -> Ip6 {
     // than /64 still only randomize the IID half (bits 64..128 get `h`,
     // bits prefix..64 stay zero), matching the paper's "prefix + random
     // IID" construction.
-    let fill = if host_bits >= 64 { h as u128 } else { (h as u128) & ((1u128 << host_bits) - 1) };
+    let fill = if host_bits >= 64 {
+        h as u128
+    } else {
+        (h as u128) & ((1u128 << host_bits) - 1)
+    };
     // Avoid the subnet-router anycast address (all-zero IID).
     let fill = if fill == 0 { 1 } else { fill };
     Ip6::new(prefix.addr().bits() | fill)
@@ -92,7 +99,9 @@ impl TargetSpec {
 
 impl FromIterator<ScanRange> for TargetSpec {
     fn from_iter<T: IntoIterator<Item = ScanRange>>(iter: T) -> Self {
-        TargetSpec { ranges: iter.into_iter().collect() }
+        TargetSpec {
+            ranges: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -102,7 +111,12 @@ mod tests {
 
     #[test]
     fn fill_stays_inside_prefix() {
-        for s in ["2001:db8::/32", "2001:db8:1:2::/64", "2001:db8::/60", "2001:db8::1/128"] {
+        for s in [
+            "2001:db8::/32",
+            "2001:db8:1:2::/64",
+            "2001:db8::/60",
+            "2001:db8::1/128",
+        ] {
             let p: Prefix = s.parse().unwrap();
             let a = fill_host_bits(p, 7);
             assert!(p.contains(a), "{s}");

@@ -76,7 +76,10 @@ mod tests {
         assert_eq!(v.cookie(a("2001:db8::1")), v.cookie(a("2001:db8::1")));
         assert_ne!(v.cookie(a("2001:db8::1")), v.cookie(a("2001:db8::2")));
         // Key-sensitive too.
-        assert_ne!(Validator::new(1).cookie(a("2001:db8::1")), Validator::new(2).cookie(a("2001:db8::1")));
+        assert_ne!(
+            Validator::new(1).cookie(a("2001:db8::1")),
+            Validator::new(2).cookie(a("2001:db8::1"))
+        );
     }
 
     #[test]
@@ -103,21 +106,35 @@ mod tests {
         let v = Validator::new(5);
         let dst = a("2601::dead");
         let (ident, seq) = v.echo_fields(dst);
-        let good = Invoking { src: a("fd::1"), dst, proto: QuotedProto::Icmp { ident, seq } };
+        let good = Invoking {
+            src: a("fd::1"),
+            dst,
+            proto: QuotedProto::Icmp { ident, seq },
+        };
         assert!(v.check_quote(&good));
         let bad = Invoking {
             src: a("fd::1"),
             dst,
-            proto: QuotedProto::Icmp { ident: ident ^ 1, seq },
+            proto: QuotedProto::Icmp {
+                ident: ident ^ 1,
+                seq,
+            },
         };
         assert!(!v.check_quote(&bad));
         let udp = Invoking {
             src: a("fd::1"),
             dst,
-            proto: QuotedProto::Udp { src_port: v.source_port(dst), dst_port: 53 },
+            proto: QuotedProto::Udp {
+                src_port: v.source_port(dst),
+                dst_port: 53,
+            },
         };
         assert!(v.check_quote(&udp));
-        let other = Invoking { src: a("fd::1"), dst, proto: QuotedProto::OtherIcmp };
+        let other = Invoking {
+            src: a("fd::1"),
+            dst,
+            proto: QuotedProto::OtherIcmp,
+        };
         assert!(!v.check_quote(&other));
     }
 }

@@ -31,8 +31,10 @@ impl AmplificationPoint {
 /// Measures loop traffic for one router model at a given path length by
 /// sending a single 255-hop-limit packet into a not-used LAN prefix.
 pub fn measure_amplification(model: &RouterModel, path_hops: u8) -> AmplificationPoint {
-    let mut plan = HomeNetworkPlan::default();
-    plan.transit_hops = path_hops;
+    let plan = HomeNetworkPlan {
+        transit_hops: path_hops,
+        ..HomeNetworkPlan::default()
+    };
     let (mut engine, net) = build_home_network(model, &plan);
     engine.reset_counters();
     let target = if model.lan_vulnerable {
@@ -40,10 +42,19 @@ pub fn measure_amplification(model: &RouterModel, path_hops: u8) -> Amplificatio
     } else {
         plan.nx_wan_address()
     };
-    engine.handle(Ipv6Packet::echo_request(plan.vantage_addr, target, MAX_HOP_LIMIT, 0, 0));
+    engine.handle(Ipv6Packet::echo_request(
+        plan.vantage_addr,
+        target,
+        MAX_HOP_LIMIT,
+        0,
+        0,
+    ));
     let loop_forwards =
         engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
-    AmplificationPoint { path_hops, loop_forwards }
+    AmplificationPoint {
+        path_hops,
+        loop_forwards,
+    }
 }
 
 /// Measures the spoofed-source doubling: the attack packet's source is
@@ -53,8 +64,10 @@ pub fn measure_amplification(model: &RouterModel, path_hops: u8) -> Amplificatio
 pub fn measure_spoofed_doubling(model: &RouterModel, path_hops: u8) -> (u64, u64) {
     let plain = measure_amplification(model, path_hops).loop_forwards;
 
-    let mut plan = HomeNetworkPlan::default();
-    plan.transit_hops = path_hops;
+    let plan = HomeNetworkPlan {
+        transit_hops: path_hops,
+        ..HomeNetworkPlan::default()
+    };
     let (mut engine, net) = build_home_network(model, &plan);
     engine.reset_counters();
     let target = if model.lan_vulnerable {
@@ -64,16 +77,23 @@ pub fn measure_spoofed_doubling(model: &RouterModel, path_hops: u8) -> (u64, u64
     };
     // Spoofed source: a *different* not-used address in the same region.
     let spoofed_src = Ip6::new(target.bits() ^ 0xff00);
-    engine.handle(Ipv6Packet::echo_request(spoofed_src, target, MAX_HOP_LIMIT, 0, 0));
-    let spoofed =
-        engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
+    engine.handle(Ipv6Packet::echo_request(
+        spoofed_src,
+        target,
+        MAX_HOP_LIMIT,
+        0,
+        0,
+    ));
+    let spoofed = engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
     (plain, spoofed)
 }
 
 /// Sweeps path lengths, producing the amplification series the paper's
 /// ">200 for n < 55" claim summarizes.
 pub fn amplification_sweep(model: &RouterModel, hops: &[u8]) -> Vec<AmplificationPoint> {
-    hops.iter().map(|n| measure_amplification(model, *n)).collect()
+    hops.iter()
+        .map(|n| measure_amplification(model, *n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -82,7 +102,10 @@ mod tests {
     use xmap_netsim::topology::NAMED_MODELS;
 
     fn full_loop_model() -> &'static RouterModel {
-        NAMED_MODELS.iter().find(|m| m.brand == "Huawei").expect("Huawei WS5100 present")
+        NAMED_MODELS
+            .iter()
+            .find(|m| m.brand == "Huawei")
+            .expect("Huawei WS5100 present")
     }
 
     #[test]
@@ -112,7 +135,10 @@ mod tests {
             spoofed as f64 >= plain as f64 * 1.8,
             "plain {plain}, spoofed {spoofed}"
         );
-        assert!(spoofed as f64 <= plain as f64 * 2.2, "plain {plain}, spoofed {spoofed}");
+        assert!(
+            spoofed as f64 <= plain as f64 * 2.2,
+            "plain {plain}, spoofed {spoofed}"
+        );
     }
 
     #[test]

@@ -53,11 +53,20 @@ impl CaseStudyRow {
 
 /// Tests one prefix of one model; `target` must be a not-used destination
 /// inside the prefix under test.
-fn test_prefix(model: &RouterModel, plan: &HomeNetworkPlan, target: xmap_addr::Ip6) -> PrefixVerdict {
+fn test_prefix(
+    model: &RouterModel,
+    plan: &HomeNetworkPlan,
+    target: xmap_addr::Ip6,
+) -> PrefixVerdict {
     let (mut engine, net) = build_home_network(model, plan);
     engine.reset_counters();
-    let replies =
-        engine.handle(Ipv6Packet::echo_request(plan.vantage_addr, target, MAX_HOP_LIMIT, 0, 0));
+    let replies = engine.handle(Ipv6Packet::echo_request(
+        plan.vantage_addr,
+        target,
+        MAX_HOP_LIMIT,
+        0,
+        0,
+    ));
     let loop_forwards =
         engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
     match replies.first().map(|r| &r.payload) {
@@ -75,7 +84,11 @@ pub fn run_case_study(model: &RouterModel) -> CaseStudyRow {
     let plan = HomeNetworkPlan::default();
     let wan = test_prefix(model, &plan, plan.nx_wan_address());
     let lan = test_prefix(model, &plan, plan.not_used_lan_prefix().addr().with_iid(1));
-    CaseStudyRow { model: *model, wan, lan }
+    CaseStudyRow {
+        model: *model,
+        wan,
+        lan,
+    }
 }
 
 /// Runs the full 99-entry testbed.
@@ -93,7 +106,12 @@ mod tests {
         let rows = run_case_studies();
         assert_eq!(rows.len(), 99);
         for row in &rows {
-            assert!(row.is_vulnerable(), "{} {} not vulnerable", row.model.brand, row.model.model);
+            assert!(
+                row.is_vulnerable(),
+                "{} {} not vulnerable",
+                row.model.brand,
+                row.model.model
+            );
         }
     }
 
@@ -101,8 +119,18 @@ mod tests {
     fn verdicts_match_table_xii_flags() {
         for model in NAMED_MODELS {
             let row = run_case_study(model);
-            assert_eq!(row.wan.is_vulnerable(), model.wan_vulnerable, "{} WAN", model.brand);
-            assert_eq!(row.lan.is_vulnerable(), model.lan_vulnerable, "{} LAN", model.brand);
+            assert_eq!(
+                row.wan.is_vulnerable(),
+                model.wan_vulnerable,
+                "{} WAN",
+                model.brand
+            );
+            assert_eq!(
+                row.lan.is_vulnerable(),
+                model.lan_vulnerable,
+                "{} LAN",
+                model.brand
+            );
         }
     }
 
@@ -144,7 +172,9 @@ mod tests {
     fn full_loop_models_forward_about_half_of_255_each_way() {
         let huawei = NAMED_MODELS.iter().find(|m| m.brand == "Huawei").unwrap();
         let row = run_case_study(huawei);
-        let PrefixVerdict::Vulnerable { loop_forwards } = row.lan else { panic!() };
+        let PrefixVerdict::Vulnerable { loop_forwards } = row.lan else {
+            panic!()
+        };
         // Each router sees the packet (255-n)/2 times; traversals ≈ 255-n.
         assert!((240..=255).contains(&loop_forwards), "{loop_forwards}");
     }

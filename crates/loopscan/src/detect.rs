@@ -48,16 +48,23 @@ pub fn detect_loop<N: Network>(scanner: &mut Scanner<N>, dst: Ip6) -> LoopVerdic
 pub fn detect_loop_with<N: Network>(scanner: &mut Scanner<N>, dst: Ip6, h: u8) -> LoopVerdict {
     let first = scanner.probe_addr(dst, &IcmpEchoProbe, h);
     let Some(responder) = te_source(&first) else {
-        return LoopVerdict { vulnerable: false, responder: None };
+        return LoopVerdict {
+            vulnerable: false,
+            responder: None,
+        };
     };
     // Confirmation probe with h+2: a loop still exceeds; a path that was
     // merely two hops short now completes.
     let second = scanner.probe_addr(dst, &IcmpEchoProbe, h.saturating_add(2));
     match te_source(&second) {
-        Some(r2) if r2 == responder => {
-            LoopVerdict { vulnerable: true, responder: Some(responder) }
-        }
-        _ => LoopVerdict { vulnerable: false, responder: Some(responder) },
+        Some(r2) if r2 == responder => LoopVerdict {
+            vulnerable: true,
+            responder: Some(responder),
+        },
+        _ => LoopVerdict {
+            vulnerable: false,
+            responder: Some(responder),
+        },
     }
 }
 
@@ -69,8 +76,14 @@ mod tests {
     use xmap_netsim::world::{World, WorldConfig};
 
     fn scanner() -> Scanner<World> {
-        let world = World::with_config(WorldConfig { seed: 44, bgp_ases: 20, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { seed: 17, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(44, 20));
+        Scanner::new(
+            world,
+            ScanConfig {
+                seed: 17,
+                ..Default::default()
+            },
+        )
     }
 
     /// Finds (target address, expected loop) pairs in China Unicom
@@ -80,7 +93,9 @@ mod tests {
         let mut looping = None;
         let mut clean = None;
         for i in 0..3_000_000u64 {
-            let Some(d) = s.network_mut().device_at(11, i) else { continue };
+            let Some(d) = s.network_mut().device_at(11, i) else {
+                continue;
+            };
             let target = p.scan_prefix().subprefix(p.assigned_len, i as u128);
             // Aim outside the used subnet so clean devices answer
             // unreachable and loopy ones loop.
@@ -119,7 +134,11 @@ mod tests {
         let p = &SAMPLE_BLOCKS[11];
         for i in 0..2000u64 {
             if s.network_mut().device_at(11, i).is_none() {
-                let dst = p.scan_prefix().subprefix(p.assigned_len, i as u128).addr().with_iid(1);
+                let dst = p
+                    .scan_prefix()
+                    .subprefix(p.assigned_len, i as u128)
+                    .addr()
+                    .with_iid(1);
                 let v = detect_loop(&mut s, dst);
                 assert!(!v.vulnerable);
                 assert_eq!(v.responder, None);

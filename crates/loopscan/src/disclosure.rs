@@ -65,7 +65,11 @@ impl DisclosureCampaign {
                 severity: Severity::High,
             })
             .collect();
-        vendors.sort_by(|a, b| b.affected_devices.cmp(&a.affected_devices).then(a.vendor.cmp(b.vendor)));
+        vendors.sort_by(|a, b| {
+            b.affected_devices
+                .cmp(&a.affected_devices)
+                .then(a.vendor.cmp(b.vendor))
+        });
 
         let mut per_as: HashMap<u32, usize> = HashMap::new();
         for p in &depth.peripheries {
@@ -79,7 +83,11 @@ impl DisclosureCampaign {
                 affected_devices,
             })
             .collect();
-        operators.sort_by(|a, b| b.affected_devices.cmp(&a.affected_devices).then(a.asn.cmp(&b.asn)));
+        operators.sort_by(|a, b| {
+            b.affected_devices
+                .cmp(&a.affected_devices)
+                .then(a.asn.cmp(&b.asn))
+        });
         DisclosureCampaign { vendors, operators }
     }
 
@@ -94,8 +102,16 @@ impl DisclosureCampaign {
     pub fn advisory_text(&self, vendor: &str) -> Option<String> {
         let advisory = self.vendors.iter().find(|v| v.vendor == vendor)?;
         let mut out = String::new();
-        let _ = writeln!(out, "SECURITY ADVISORY — IPv6 routing loop in {} CPE devices", advisory.vendor);
-        let _ = writeln!(out, "Severity: {:?} (remote DoS, amplification factor up to 255 - n)", advisory.severity);
+        let _ = writeln!(
+            out,
+            "SECURITY ADVISORY — IPv6 routing loop in {} CPE devices",
+            advisory.vendor
+        );
+        let _ = writeln!(
+            out,
+            "Severity: {:?} (remote DoS, amplification factor up to 255 - n)",
+            advisory.severity
+        );
         let _ = writeln!(
             out,
             "Affected: {} devices observed in our measurement sample.",
@@ -125,7 +141,10 @@ impl DisclosureCampaign {
             "disclosed to {} vendors and {} network operators ({} affected devices in sample)",
             self.vendors.len(),
             self.operators.len(),
-            self.vendors.iter().map(|v| v.affected_devices).sum::<usize>(),
+            self.vendors
+                .iter()
+                .map(|v| v.affected_devices)
+                .sum::<usize>(),
         )
     }
 }
@@ -139,8 +158,14 @@ mod tests {
     use xmap_netsim::world::{World, WorldConfig};
 
     fn surveyed() -> DepthSurveyResult {
-        let world = World::with_config(WorldConfig { seed: 12, bgp_ases: 10, loss_frac: 0.0 });
-        let mut scanner = Scanner::new(world, ScanConfig { seed: 12, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(12, 10));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 12,
+                ..Default::default()
+            },
+        );
         let mut result = DepthSurveyResult::default();
         let survey = DepthSurvey::new(1 << 15);
         for idx in [11usize, 12] {
@@ -161,7 +186,11 @@ mod tests {
             assert!(w[0].affected_devices >= w[1].affected_devices);
         }
         // The CN broadband ASes are the top operators.
-        assert!(campaign.operators.iter().take(2).any(|o| o.asn == 4837 || o.asn == 4134));
+        assert!(campaign
+            .operators
+            .iter()
+            .take(2)
+            .any(|o| o.asn == 4837 || o.asn == 4134));
     }
 
     #[test]

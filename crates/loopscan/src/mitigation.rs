@@ -22,7 +22,11 @@ use xmap_netsim::topology::{build_home_network, HomeNetworkPlan, RouterModel};
 /// Returns a copy of `model` with the RFC 7084 unreachable routes
 /// installed (both prefixes immune; forwarding behaviour unchanged).
 pub fn patch_model(model: &RouterModel) -> RouterModel {
-    RouterModel { wan_vulnerable: false, lan_vulnerable: false, ..*model }
+    RouterModel {
+        wan_vulnerable: false,
+        lan_vulnerable: false,
+        ..*model
+    }
 }
 
 /// Result of verifying one model's patch.
@@ -62,7 +66,13 @@ pub fn verify_mitigation(model: &RouterModel) -> MitigationReport {
     // Before.
     let (mut engine, net) = build_home_network(model, &plan);
     engine.reset_counters();
-    engine.handle(Ipv6Packet::echo_request(plan.vantage_addr, attack_target, MAX_HOP_LIMIT, 0, 0));
+    engine.handle(Ipv6Packet::echo_request(
+        plan.vantage_addr,
+        attack_target,
+        MAX_HOP_LIMIT,
+        0,
+        0,
+    ));
     let before = engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
 
     // After.
@@ -80,13 +90,22 @@ pub fn verify_mitigation(model: &RouterModel) -> MitigationReport {
     let answers_reject_route = replies.iter().any(|r| {
         matches!(
             r.payload,
-            Payload::Icmp(Icmpv6::DestUnreachable { code: UnreachCode::RejectRoute, .. })
+            Payload::Icmp(Icmpv6::DestUnreachable {
+                code: UnreachCode::RejectRoute,
+                ..
+            })
         )
     });
-    let lan_replies =
-        engine.handle(Ipv6Packet::echo_request(plan.vantage_addr, plan.lan_host, 64, 1, 1));
-    let lan_still_reachable =
-        lan_replies.iter().any(|r| matches!(r.payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
+    let lan_replies = engine.handle(Ipv6Packet::echo_request(
+        plan.vantage_addr,
+        plan.lan_host,
+        64,
+        1,
+        1,
+    ));
+    let lan_still_reachable = lan_replies
+        .iter()
+        .any(|r| matches!(r.payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
 
     MitigationReport {
         loop_forwards_before: before,
@@ -111,7 +130,11 @@ mod tests {
                 model.brand,
                 model.model
             );
-            assert!(report.loop_forwards_before > 10, "{}: {report:?}", model.brand);
+            assert!(
+                report.loop_forwards_before > 10,
+                "{}: {report:?}",
+                model.brand
+            );
         }
     }
 
@@ -119,7 +142,12 @@ mod tests {
     fn patch_kills_loops_across_full_catalog() {
         for model in full_catalog() {
             let report = verify_mitigation(&model);
-            assert!(report.effective(), "{} {}: {report:?}", model.brand, model.model);
+            assert!(
+                report.effective(),
+                "{} {}: {report:?}",
+                model.brand,
+                model.model
+            );
         }
     }
 
@@ -142,9 +170,15 @@ mod tests {
             lan_still_reachable: true,
         };
         assert!(good.effective());
-        let breaks_lan = MitigationReport { lan_still_reachable: false, ..good };
+        let breaks_lan = MitigationReport {
+            lan_still_reachable: false,
+            ..good
+        };
         assert!(!breaks_lan.effective());
-        let still_loops = MitigationReport { loop_forwards_after: 200, ..good };
+        let still_loops = MitigationReport {
+            loop_forwards_after: 200,
+            ..good
+        };
         assert!(!still_loops.effective());
     }
 }

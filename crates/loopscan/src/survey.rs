@@ -14,7 +14,7 @@ use std::collections::{HashMap, HashSet};
 
 use xmap::{IcmpEchoProbe, ProbeResult, Scanner};
 use xmap_addr::oui;
-use xmap_addr::{classify_iid, Ip6, IidClass, IidHistogram, Mac};
+use xmap_addr::{classify_iid, IidClass, IidHistogram, Ip6, Mac};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
 use xmap_netsim::packet::Network;
 use xmap_netsim::World;
@@ -51,12 +51,20 @@ impl BgpSurveyResult {
 
     /// Distinct ASNs observed.
     pub fn asns(&self) -> usize {
-        self.last_hops.iter().map(|h| h.asn).collect::<HashSet<_>>().len()
+        self.last_hops
+            .iter()
+            .map(|h| h.asn)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// Distinct countries observed.
     pub fn countries(&self) -> usize {
-        self.last_hops.iter().map(|h| h.country).collect::<HashSet<_>>().len()
+        self.last_hops
+            .iter()
+            .map(|h| h.country)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// The loop-vulnerable subset.
@@ -67,8 +75,16 @@ impl BgpSurveyResult {
     /// Vulnerable count / ASNs / countries (Table IX row 2).
     pub fn vulnerable_summary(&self) -> (usize, usize, usize) {
         let count = self.vulnerable().count();
-        let asns = self.vulnerable().map(|h| h.asn).collect::<HashSet<_>>().len();
-        let countries = self.vulnerable().map(|h| h.country).collect::<HashSet<_>>().len();
+        let asns = self
+            .vulnerable()
+            .map(|h| h.asn)
+            .collect::<HashSet<_>>()
+            .len();
+        let countries = self
+            .vulnerable()
+            .map(|h| h.country)
+            .collect::<HashSet<_>>()
+            .len();
         (count, asns, countries)
     }
 
@@ -113,7 +129,10 @@ pub struct BgpSurvey {
 
 impl Default for BgpSurvey {
     fn default() -> Self {
-        BgpSurvey { probes_per_prefix: 1 << 8, max_prefixes: None }
+        BgpSurvey {
+            probes_per_prefix: 1 << 8,
+            max_prefixes: None,
+        }
     }
 }
 
@@ -139,12 +158,12 @@ impl BgpSurvey {
                 let responses = scanner.probe_addr(dst, &IcmpEchoProbe, PROBE_HOP_LIMIT);
                 let responder = responses.iter().find_map(|(src, r)| match r {
                     ProbeResult::Unreachable { .. } => Some((*src, false)),
-                    ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => {
-                        Some((*src, true))
-                    }
+                    ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => Some((*src, true)),
                     _ => None,
                 });
-                let Some((address, te)) = responder else { continue };
+                let Some((address, te)) = responder else {
+                    continue;
+                };
                 if !seen.insert(address) {
                     continue;
                 }
@@ -153,7 +172,12 @@ impl BgpSurvey {
                 } else {
                     false
                 };
-                result.last_hops.push(BgpLastHop { address, asn: entry.asn, country, vulnerable });
+                result.last_hops.push(BgpLastHop {
+                    address,
+                    asn: entry.asn,
+                    country,
+                    vulnerable,
+                });
             }
         }
         result
@@ -190,13 +214,19 @@ pub struct DepthSurveyResult {
 impl DepthSurveyResult {
     /// Vulnerable devices in one block.
     pub fn count_in_block(&self, profile_id: u8) -> usize {
-        self.peripheries.iter().filter(|p| p.profile_id == profile_id).count()
+        self.peripheries
+            .iter()
+            .filter(|p| p.profile_id == profile_id)
+            .count()
     }
 
     /// Same-/64 fraction in one block (Table XI "same").
     pub fn same_frac_in_block(&self, profile_id: u8) -> f64 {
-        let all: Vec<_> =
-            self.peripheries.iter().filter(|p| p.profile_id == profile_id).collect();
+        let all: Vec<_> = self
+            .peripheries
+            .iter()
+            .filter(|p| p.profile_id == profile_id)
+            .collect();
         if all.is_empty() {
             return 0.0;
         }
@@ -208,8 +238,7 @@ impl DepthSurveyResult {
         if self.peripheries.is_empty() {
             return 0.0;
         }
-        self.peripheries.iter().filter(|p| p.same64).count() as f64
-            / self.peripheries.len() as f64
+        self.peripheries.iter().filter(|p| p.same64).count() as f64 / self.peripheries.len() as f64
     }
 
     /// Vendor → count among vulnerable devices with identifiable vendors
@@ -229,7 +258,11 @@ impl DepthSurveyResult {
         let mut per_vendor: HashMap<&'static str, HashMap<u32, usize>> = HashMap::new();
         for p in &self.peripheries {
             if let Some(entry) = p.mac.and_then(oui::lookup_mac) {
-                *per_vendor.entry(entry.vendor).or_default().entry(p.asn).or_insert(0) += 1;
+                *per_vendor
+                    .entry(entry.vendor)
+                    .or_default()
+                    .entry(p.asn)
+                    .or_insert(0) += 1;
             }
         }
         let mut rows: Vec<(&'static str, HashMap<u32, usize>, usize)> = per_vendor
@@ -257,7 +290,10 @@ pub struct DepthSurvey {
 impl DepthSurvey {
     /// Creates a survey at the given per-block probe budget.
     pub fn new(probes_per_block: u64) -> Self {
-        DepthSurvey { probes_per_block, hop_limit: PROBE_HOP_LIMIT }
+        DepthSurvey {
+            probes_per_block,
+            hop_limit: PROBE_HOP_LIMIT,
+        }
     }
 
     /// Runs the depth survey.
@@ -284,7 +320,9 @@ impl DepthSurvey {
         let mut probed = 0u64;
         for k in 0..budget {
             let index = (k * step) % (space as u64);
-            let Some(target) = range.nth(index) else { continue };
+            let Some(target) = range.nth(index) else {
+                continue;
+            };
             let dst = xmap::fill_host_bits(target, scanner.config().seed);
             probed += 1;
             let verdict = crate::detect::detect_loop_with(scanner, dst, self.hop_limit);
@@ -295,8 +333,8 @@ impl DepthSurvey {
             if !seen.insert(address) {
                 continue;
             }
-            let mac = Mac::from_eui64(address.iid())
-                .filter(|_| classify_iid(address) == IidClass::Eui64);
+            let mac =
+                Mac::from_eui64(address.iid()).filter(|_| classify_iid(address) == IidClass::Eui64);
             result.peripheries.push(LoopPeriphery {
                 address,
                 profile_id: profile.id,
@@ -317,14 +355,23 @@ mod tests {
     use xmap_netsim::world::WorldConfig;
 
     fn scanner(bgp_ases: usize) -> Scanner<World> {
-        let world = World::with_config(WorldConfig { seed: 66, bgp_ases, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { seed: 23, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(66, bgp_ases));
+        Scanner::new(
+            world,
+            ScanConfig {
+                seed: 23,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
     fn bgp_survey_finds_last_hops_and_loops() {
         let mut s = scanner(300);
-        let survey = BgpSurvey { probes_per_prefix: 1 << 9, max_prefixes: Some(400) };
+        let survey = BgpSurvey {
+            probes_per_prefix: 1 << 9,
+            max_prefixes: Some(400),
+        };
         let result = survey.run(&mut s);
         assert!(result.total() > 20, "{}", result.total());
         assert!(result.asns() > 5, "{}", result.asns());
@@ -337,7 +384,10 @@ mod tests {
     #[test]
     fn bgp_vulnerable_iid_mix_skews_lowbyte() {
         let mut s = scanner(400);
-        let survey = BgpSurvey { probes_per_prefix: 1 << 10, max_prefixes: Some(250) };
+        let survey = BgpSurvey {
+            probes_per_prefix: 1 << 10,
+            max_prefixes: Some(250),
+        };
         let result = survey.run(&mut s);
         let hist = result.vulnerable_iid_histogram();
         if hist.total() >= 30 {

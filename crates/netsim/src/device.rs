@@ -7,7 +7,6 @@
 //! *derived*, not stored: the world model materializes one on demand from a
 //! deterministic hash (see [`crate::world`]).
 
-use serde::{Deserialize, Serialize};
 use xmap_addr::oui::DeviceClass;
 use xmap_addr::{IidClass, Ip6, Mac, Prefix};
 
@@ -17,7 +16,7 @@ use crate::services::{ServiceKind, SoftwareId};
 pub type DeviceKind = DeviceClass;
 
 /// One exposed service instance on a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceInstance {
     /// The serving software, when the service has a banner.
     pub software: Option<SoftwareId>,
@@ -28,7 +27,7 @@ pub struct ServiceInstance {
 }
 
 /// The set of services a device exposes, indexed by [`ServiceKind::ALL`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceSet {
     slots: [Option<ServiceInstance>; 8],
 }
@@ -82,7 +81,7 @@ impl ServiceSet {
 
 /// How the periphery sources its unreachable replies relative to the probed
 /// prefix — the "same" / "diff" split of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplyMode {
     /// Reply source shares the probed /64 (UE model, or a CPE whose WAN
     /// prefix equals the probed prefix).
@@ -150,6 +149,16 @@ impl Device {
     /// Whether `addr` is one of the device's own interface addresses.
     pub fn owns_address(&self, addr: Ip6) -> bool {
         addr == self.wan_address()
+    }
+
+    /// Multiplier applied to the base ICMPv6 token-bucket capacity under
+    /// [`crate::fault::IcmpRateLimit::TokenBucket`]: line-powered CPEs
+    /// afford a larger error burst than battery-powered UEs.
+    pub fn icmp_burst_scale(&self) -> u32 {
+        match self.kind {
+            DeviceClass::Cpe => 2,
+            _ => 1,
+        }
     }
 
     /// Whether a packet to `addr` with remaining `hop_limit` (measured at

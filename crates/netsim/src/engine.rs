@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use xmap_addr::{Ip6, Prefix};
 
+use crate::fault::FaultPlan;
 use crate::packet::{Icmpv6, Ipv6Packet, Network, Payload, UnreachCode};
 
 /// Identifier of a node inside an [`Engine`].
@@ -116,6 +117,13 @@ pub struct Engine {
     link_forwards: HashMap<(NodeId, NodeId), u64>,
     /// Total number of link traversals since the last reset.
     total_forwards: u64,
+    /// Injected faults: per-link loss keyed on the fault seed and the
+    /// virtual clock. Identity plan by default.
+    fault: FaultPlan,
+    /// Virtual clock in ticks; advanced by [`Network::tick`].
+    clock: u64,
+    /// Packets dropped on links by the fault plan since the last reset.
+    link_drops: u64,
 }
 
 impl Engine {
@@ -165,6 +173,19 @@ impl Engine {
         self.vantage = Some(node);
     }
 
+    /// Installs a fault plan: every link traversal (in either direction)
+    /// then drops the packet with the plan's forward-loss probability,
+    /// redrawn per tick.
+    pub fn set_fault_plan(&mut self, fault: FaultPlan) {
+        self.fault = fault;
+    }
+
+    /// Packets dropped on links by the fault plan since the last
+    /// [`Engine::reset_counters`].
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
+    }
+
     /// The node's display name.
     pub fn node_name(&self, node: NodeId) -> &str {
         &self.nodes[node.0].name
@@ -186,6 +207,7 @@ impl Engine {
     pub fn reset_counters(&mut self) {
         self.link_forwards.clear();
         self.total_forwards = 0;
+        self.link_drops = 0;
     }
 
     /// Renders a node's routing table in `ip -6 route`-like text — the
@@ -196,7 +218,12 @@ impl Engine {
         let mut out = String::new();
         let _ = writeln!(out, "routing table of {} ({}):", n.name, n.primary_addr());
         let mut routes = n.routes.clone();
-        routes.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()).then(a.prefix.cmp(&b.prefix)));
+        routes.sort_by(|a, b| {
+            b.prefix
+                .len()
+                .cmp(&a.prefix.len())
+                .then(a.prefix.cmp(&b.prefix))
+        });
         for r in routes {
             let action = match r.action {
                 RouteAction::Forward(next) => {
@@ -298,6 +325,13 @@ impl Engine {
                         return;
                     }
                     packet.hop_limit -= 1;
+                    if self
+                        .fault
+                        .drop_link(at.0 as u64, next.0 as u64, packet.dst, self.clock)
+                    {
+                        self.link_drops += 1;
+                        return;
+                    }
                     *self.link_forwards.entry((at, next)).or_insert(0) += 1;
                     self.total_forwards += 1;
                     at = next;
@@ -408,6 +442,11 @@ impl Network for Engine {
         }
         delivered.reverse();
         delivered
+    }
+
+    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        self.clock += ticks;
+        Vec::new()
     }
 }
 

@@ -1,0 +1,523 @@
+//! Composable, deterministic fault injection for the simulated Internet.
+//!
+//! The live IPv6 Internet the paper scanned is a hostile channel: probes
+//! and responses are lost, CPEs rate-limit ICMPv6 error generation with
+//! token buckets (RFC 4443 §2.4), home routers reboot, and responses
+//! arrive duplicated, late, and out of order. A [`FaultPlan`] describes
+//! all of those behaviours as a pure function of `(plan seed, packet,
+//! virtual time)`, so any experiment under faults replays byte-for-byte:
+//! two worlds built from the same `WorldConfig` (including its plan) and
+//! probed with the same packet sequence produce identical responses,
+//! identical statistics, and identical retransmission behaviour in the
+//! scanner above.
+//!
+//! Virtual time is counted in *ticks*. The scanner advances the network
+//! one tick per probe it sends ([`crate::packet::Network::tick`]), so a
+//! tick is "one send slot" — the natural unit for token-bucket refill
+//! intervals, reboot windows, and response jitter.
+
+#![deny(missing_docs)]
+
+use xmap_addr::Ip6;
+
+use crate::rng::DetHash;
+
+/// How a device's ICMPv6 error generation is rate-limited (RFC 4443 §2.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IcmpRateLimit {
+    /// The historical model of this simulator: each device answers its
+    /// first 64 errors at full rate, then one in ten. Time-independent,
+    /// so a device that has been hammered never recovers.
+    Legacy,
+    /// A real token bucket refilled by virtual time: the bucket holds at
+    /// most `capacity` tokens and gains one every `refill_interval` ticks.
+    /// An error is sent only when a token is available. Devices chosen by
+    /// `start_depleted_frac` begin with an empty bucket — these are the
+    /// peripheries that appear *silent* to a single-probe scan but answer
+    /// a retry after the bucket refills.
+    TokenBucket {
+        /// Maximum burst of errors (tokens) a device can emit.
+        capacity: u32,
+        /// Ticks per regained token.
+        refill_interval: u64,
+        /// Fraction of devices whose bucket starts empty (recently
+        /// exhausted by background traffic).
+        start_depleted_frac: f64,
+    },
+    /// No limiting: every error the model produces is sent.
+    Unlimited,
+}
+
+/// A seeded, deterministic fault schedule for a simulated network.
+///
+/// All probabilities are per-event Bernoulli draws keyed on the plan seed,
+/// the packet addresses, and the current tick, so the same plan applied to
+/// the same traffic always faults the same packets.
+///
+/// # Examples
+///
+/// ```
+/// use xmap_netsim::fault::{FaultPlan, IcmpRateLimit};
+///
+/// let plan = FaultPlan::none()
+///     .with_forward_loss(0.05)
+///     .with_jitter(8)
+///     .with_icmp_limit(IcmpRateLimit::TokenBucket {
+///         capacity: 16,
+///         refill_interval: 32,
+///         start_depleted_frac: 0.3,
+///     });
+/// assert!(plan.any_faults());
+/// assert!(!FaultPlan::none().any_faults());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision (independent of the world seed so the
+    /// same topology can be replayed under different fault draws).
+    pub seed: u64,
+    /// Probability a probe is dropped on its way *to* the destination.
+    /// Redrawn per tick, so a retransmission of the same destination can
+    /// succeed where the original was lost.
+    pub forward_loss: f64,
+    /// Probability a response is dropped on its way *back*.
+    pub reverse_loss: f64,
+    /// Probability a response is duplicated in flight (the duplicate
+    /// arrives immediately after the original).
+    pub duplicate_frac: f64,
+    /// Maximum response delay in ticks. When nonzero, each response is
+    /// held for `0..=max_jitter_ticks` ticks and delivered by a later
+    /// [`crate::packet::Network::tick`], which also reorders responses.
+    pub max_jitter_ticks: u64,
+    /// Fraction of devices that are *flaky*: they reboot on a cycle and
+    /// drop all traffic while down.
+    pub flaky_frac: f64,
+    /// Reboot cycle length in ticks for flaky devices.
+    pub flaky_period: u64,
+    /// Ticks per cycle a flaky device spends down (dropping everything).
+    pub flaky_outage: u64,
+    /// ICMPv6 error rate-limiting model applied to periphery devices.
+    pub icmp_limit: IcmpRateLimit,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: no loss, no duplication, no jitter, no flaky
+    /// devices, and the simulator's legacy burst-then-1-in-10 error
+    /// limiter. Installing this plan leaves network behaviour exactly as
+    /// it was before the fault layer existed (and costs ~nothing: every
+    /// check short-circuits on a zero probability).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0xFA_17,
+            forward_loss: 0.0,
+            reverse_loss: 0.0,
+            duplicate_frac: 0.0,
+            max_jitter_ticks: 0,
+            flaky_frac: 0.0,
+            flaky_period: 1024,
+            flaky_outage: 128,
+            icmp_limit: IcmpRateLimit::Legacy,
+        }
+    }
+
+    /// Replaces the fault seed.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the forward (probe-direction) loss probability.
+    #[must_use]
+    pub fn with_forward_loss(mut self, p: f64) -> Self {
+        self.forward_loss = p;
+        self
+    }
+
+    /// Sets the reverse (response-direction) loss probability.
+    #[must_use]
+    pub fn with_reverse_loss(mut self, p: f64) -> Self {
+        self.reverse_loss = p;
+        self
+    }
+
+    /// Sets the response duplication probability.
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_frac = p;
+        self
+    }
+
+    /// Sets the maximum response delay (enables reordering when > 0).
+    #[must_use]
+    pub fn with_jitter(mut self, max_ticks: u64) -> Self {
+        self.max_jitter_ticks = max_ticks;
+        self
+    }
+
+    /// Makes a fraction of devices reboot cyclically: down for `outage`
+    /// ticks out of every `period`.
+    #[must_use]
+    pub fn with_flaky(mut self, frac: f64, period: u64, outage: u64) -> Self {
+        assert!(period > 0, "flaky period must be nonzero");
+        assert!(outage <= period, "outage cannot exceed the period");
+        self.flaky_frac = frac;
+        self.flaky_period = period;
+        self.flaky_outage = outage;
+        self
+    }
+
+    /// Sets the ICMPv6 error rate-limiting model.
+    #[must_use]
+    pub fn with_icmp_limit(mut self, limit: IcmpRateLimit) -> Self {
+        self.icmp_limit = limit;
+        self
+    }
+
+    /// Whether this plan injects any fault beyond the legacy baseline.
+    pub fn any_faults(&self) -> bool {
+        self.forward_loss > 0.0
+            || self.reverse_loss > 0.0
+            || self.duplicate_frac > 0.0
+            || self.max_jitter_ticks > 0
+            || self.flaky_frac > 0.0
+            || !matches!(self.icmp_limit, IcmpRateLimit::Legacy)
+    }
+
+    fn h(&self, label: &[u8]) -> DetHash {
+        DetHash::new(self.seed).mix(label)
+    }
+
+    /// Whether a probe to `dst` sent at `tick` is dropped en route.
+    /// Mixing the tick means a retry of the same destination redraws.
+    pub fn drop_forward(&self, dst: Ip6, tick: u64) -> bool {
+        self.forward_loss > 0.0
+            && self
+                .h(b"fwd")
+                .mix_u128(dst.bits())
+                .mix_u64(tick)
+                .chance(self.forward_loss)
+    }
+
+    /// Whether a packet to `dst` crossing the directed link `from → to`
+    /// at `tick` is dropped on that link (the [`crate::Engine`] applies
+    /// this per traversal; the procedural [`crate::World`] has no explicit
+    /// links and uses [`FaultPlan::drop_forward`] end to end instead).
+    pub fn drop_link(&self, from: u64, to: u64, dst: Ip6, tick: u64) -> bool {
+        self.forward_loss > 0.0
+            && self
+                .h(b"link")
+                .mix_u64(from)
+                .mix_u64(to)
+                .mix_u128(dst.bits())
+                .mix_u64(tick)
+                .chance(self.forward_loss)
+    }
+
+    /// Whether the `k`-th response from `src` at `tick` is dropped on the
+    /// return path.
+    pub fn drop_reverse(&self, src: Ip6, tick: u64, k: u64) -> bool {
+        self.reverse_loss > 0.0
+            && self
+                .h(b"rev")
+                .mix_u128(src.bits())
+                .mix_u64(tick)
+                .mix_u64(k)
+                .chance(self.reverse_loss)
+    }
+
+    /// Whether the `k`-th response from `src` at `tick` is duplicated.
+    pub fn duplicate(&self, src: Ip6, tick: u64, k: u64) -> bool {
+        self.duplicate_frac > 0.0
+            && self
+                .h(b"dup")
+                .mix_u128(src.bits())
+                .mix_u64(tick)
+                .mix_u64(k)
+                .chance(self.duplicate_frac)
+    }
+
+    /// Delay in ticks applied to the `k`-th response from `src` at `tick`
+    /// (0 = delivered immediately).
+    pub fn jitter_ticks(&self, src: Ip6, tick: u64, k: u64) -> u64 {
+        if self.max_jitter_ticks == 0 {
+            return 0;
+        }
+        self.h(b"jit")
+            .mix_u128(src.bits())
+            .mix_u64(tick)
+            .mix_u64(k)
+            .bounded(self.max_jitter_ticks + 1)
+    }
+
+    /// Whether the device identified by `(zone, index)` is flaky under
+    /// this plan.
+    pub fn device_flaky(&self, zone: u64, index: u64) -> bool {
+        self.flaky_frac > 0.0
+            && self
+                .h(b"flaky")
+                .mix_u64(zone)
+                .mix_u64(index)
+                .chance(self.flaky_frac)
+    }
+
+    /// Whether the device identified by `(zone, index)` is down (mid
+    /// reboot) at `tick`. Each flaky device gets its own phase so outages
+    /// are spread over the cycle.
+    pub fn device_down(&self, zone: u64, index: u64, tick: u64) -> bool {
+        if !self.device_flaky(zone, index) {
+            return false;
+        }
+        let phase = self
+            .h(b"phase")
+            .mix_u64(zone)
+            .mix_u64(index)
+            .bounded(self.flaky_period);
+        (tick + phase) % self.flaky_period < self.flaky_outage
+    }
+
+    /// Decides whether the device `(zone, index)` may emit one more ICMPv6
+    /// error at `tick`, updating its limiter `state`. `burst_scale` scales
+    /// the token-bucket capacity for the device class (routers afford a
+    /// larger burst than battery-powered UEs; see
+    /// [`crate::device::Device::icmp_burst_scale`]).
+    pub fn admit_error(
+        &self,
+        zone: u64,
+        index: u64,
+        state: &mut ErrorLimiterState,
+        tick: u64,
+        burst_scale: u32,
+    ) -> bool {
+        match self.icmp_limit {
+            IcmpRateLimit::Unlimited => true,
+            IcmpRateLimit::Legacy => {
+                state.emitted += 1;
+                state.emitted <= 64 || state.emitted.is_multiple_of(10)
+            }
+            IcmpRateLimit::TokenBucket {
+                capacity,
+                refill_interval,
+                start_depleted_frac,
+            } => {
+                let capacity = (capacity * burst_scale.max(1)).max(1);
+                if !state.initialized {
+                    state.initialized = true;
+                    state.last_refill_tick = tick;
+                    state.tokens = if self
+                        .h(b"depleted")
+                        .mix_u64(zone)
+                        .mix_u64(index)
+                        .chance(start_depleted_frac)
+                    {
+                        0
+                    } else {
+                        capacity
+                    };
+                }
+                let gained = (tick - state.last_refill_tick)
+                    .checked_div(refill_interval)
+                    .unwrap_or(0);
+                if gained > 0 {
+                    state.tokens = state
+                        .tokens
+                        .saturating_add(gained.min(u64::from(capacity)) as u32)
+                        .min(capacity);
+                    state.last_refill_tick += gained * refill_interval;
+                }
+                if state.tokens > 0 {
+                    state.tokens -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Per-device ICMPv6 error limiter state, owned by the network and updated
+/// through [`FaultPlan::admit_error`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorLimiterState {
+    /// Total errors the device has attempted to emit (legacy model).
+    pub emitted: u64,
+    /// Tokens currently in the bucket (token-bucket model).
+    pub tokens: u32,
+    /// Tick of the last bucket refill.
+    pub last_refill_tick: u64,
+    /// Whether the bucket has been seeded with its initial fill.
+    pub initialized: bool,
+}
+
+/// A response held back by jitter, ordered by delivery time.
+///
+/// The ordering key is `(due_tick, seq)` where `seq` is the insertion
+/// sequence number — ties break by arrival order, which keeps the delay
+/// queue fully deterministic.
+#[derive(Debug, Clone)]
+pub struct DelayedResponse {
+    /// Tick at which the response becomes deliverable.
+    pub due_tick: u64,
+    /// Insertion sequence number (tie-breaker).
+    pub seq: u64,
+    /// The response packet itself.
+    pub packet: crate::packet::Ipv6Packet,
+}
+
+impl PartialEq for DelayedResponse {
+    fn eq(&self, other: &Self) -> bool {
+        self.due_tick == other.due_tick && self.seq == other.seq
+    }
+}
+
+impl Eq for DelayedResponse {}
+
+impl PartialOrd for DelayedResponse {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DelayedResponse {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        (other.due_tick, other.seq).cmp(&(self.due_tick, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        let dst: Ip6 = "2001:db8::1".parse().unwrap();
+        for t in 0..1000 {
+            assert!(!plan.drop_forward(dst, t));
+            assert!(!plan.drop_reverse(dst, t, 0));
+            assert!(!plan.duplicate(dst, t, 0));
+            assert_eq!(plan.jitter_ticks(dst, t, 0), 0);
+            assert!(!plan.device_down(3, t, t));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::none().seeded(1).with_forward_loss(0.5);
+        let b = FaultPlan::none().seeded(1).with_forward_loss(0.5);
+        let c = FaultPlan::none().seeded(2).with_forward_loss(0.5);
+        let dst: Ip6 = "2001:db8::42".parse().unwrap();
+        let seq_a: Vec<bool> = (0..256).map(|t| a.drop_forward(dst, t)).collect();
+        let seq_b: Vec<bool> = (0..256).map(|t| b.drop_forward(dst, t)).collect();
+        let seq_c: Vec<bool> = (0..256).map(|t| c.drop_forward(dst, t)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+        // Loss rate is roughly the configured probability.
+        let hits = seq_a.iter().filter(|d| **d).count();
+        assert!((90..170).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn forward_loss_redraws_per_tick() {
+        // The same destination lost at one tick gets through at another —
+        // the property retransmission relies on.
+        let plan = FaultPlan::none().with_forward_loss(0.5);
+        let dst: Ip6 = "2001:db8::7".parse().unwrap();
+        let outcomes: std::collections::HashSet<bool> =
+            (0..64).map(|t| plan.drop_forward(dst, t)).collect();
+        assert_eq!(outcomes.len(), 2, "loss must vary with time");
+    }
+
+    #[test]
+    fn flaky_devices_cycle() {
+        let plan = FaultPlan::none().with_flaky(1.0, 100, 25);
+        assert!(plan.device_flaky(0, 1));
+        let down: Vec<bool> = (0..200).map(|t| plan.device_down(0, 1, t)).collect();
+        let down_count = down.iter().filter(|d| **d).count();
+        // Two cycles, a quarter down each.
+        assert_eq!(down_count, 50);
+        // And the outage is contiguous within a cycle (one flip per edge).
+        let flips = down.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(flips <= 5, "{flips}");
+    }
+
+    #[test]
+    fn token_bucket_depletes_and_refills() {
+        let plan = FaultPlan::none().with_icmp_limit(IcmpRateLimit::TokenBucket {
+            capacity: 4,
+            refill_interval: 10,
+            start_depleted_frac: 0.0,
+        });
+        let mut st = ErrorLimiterState::default();
+        // Burst of 4 admitted, fifth denied.
+        for _ in 0..4 {
+            assert!(plan.admit_error(0, 0, &mut st, 0, 1));
+        }
+        assert!(!plan.admit_error(0, 0, &mut st, 0, 1));
+        // After one refill interval, exactly one more token.
+        assert!(plan.admit_error(0, 0, &mut st, 10, 1));
+        assert!(!plan.admit_error(0, 0, &mut st, 10, 1));
+        // A long quiet period refills to capacity, not beyond.
+        for _ in 0..4 {
+            assert!(plan.admit_error(0, 0, &mut st, 1000, 1));
+        }
+        assert!(!plan.admit_error(0, 0, &mut st, 1000, 1));
+    }
+
+    #[test]
+    fn depleted_start_makes_device_silent_then_recovering() {
+        let plan = FaultPlan::none().with_icmp_limit(IcmpRateLimit::TokenBucket {
+            capacity: 8,
+            refill_interval: 16,
+            start_depleted_frac: 1.0,
+        });
+        let mut st = ErrorLimiterState::default();
+        // Silent at tick 0 (bucket empty) …
+        assert!(!plan.admit_error(7, 7, &mut st, 0, 1));
+        // … but the retry after a refill interval is admitted.
+        assert!(plan.admit_error(7, 7, &mut st, 16, 1));
+    }
+
+    #[test]
+    fn legacy_matches_historical_behaviour() {
+        let plan = FaultPlan::none();
+        let mut st = ErrorLimiterState::default();
+        let admitted = (0..200)
+            .filter(|_| plan.admit_error(0, 0, &mut st, 0, 1))
+            .count();
+        // 64 burst + every tenth of the remaining 136.
+        assert_eq!(admitted, 64 + (65..=200).filter(|n| n % 10 == 0).count());
+    }
+
+    #[test]
+    fn delayed_response_orders_by_due_then_seq() {
+        use crate::packet::Ipv6Packet;
+        let mk = |due, seq| DelayedResponse {
+            due_tick: due,
+            seq,
+            packet: Ipv6Packet::echo_request(
+                "fd00::1".parse().unwrap(),
+                "fd00::2".parse().unwrap(),
+                64,
+                0,
+                0,
+            ),
+        };
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(mk(5, 0));
+        heap.push(mk(3, 2));
+        heap.push(mk(3, 1));
+        heap.push(mk(9, 3));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|d| (d.due_tick, d.seq))
+            .collect();
+        assert_eq!(order, vec![(3, 1), (3, 2), (5, 0), (9, 3)]);
+    }
+}

@@ -148,7 +148,6 @@ const UE_VENDORS: &[(&str, u32)] = &[
     ("OnePlus", 2),
 ];
 
-
 /// The fifteen sample blocks of Table I / Table II, with calibration data
 /// transcribed from Tables II, VII and XI.
 ///

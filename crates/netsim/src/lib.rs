@@ -31,6 +31,7 @@
 pub mod bgp;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod geo;
 pub mod isp;
 pub mod packet;
@@ -43,5 +44,6 @@ pub mod world;
 
 pub use device::{Device, DeviceKind};
 pub use engine::{Engine, NodeId};
+pub use fault::{FaultPlan, IcmpRateLimit};
 pub use packet::{Icmpv6, Ipv6Packet, Network, Payload};
 pub use world::World;

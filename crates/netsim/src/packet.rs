@@ -271,11 +271,40 @@ pub trait Network {
     /// Injects `packet` and returns the response packets observed by the
     /// sender, in arrival order.
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet>;
+
+    /// Advances the network's virtual clock by `ticks` and returns any
+    /// responses that were in flight (delayed by jitter) and are now due,
+    /// in delivery order.
+    ///
+    /// The scanner advances the clock one tick per probe sent, making a
+    /// tick the simulator's send-slot time unit: ICMPv6 token buckets
+    /// refill, flaky devices reboot, and jittered responses surface on
+    /// this clock. Networks without time-dependent behaviour keep the
+    /// default no-op.
+    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        let _ = ticks;
+        Vec::new()
+    }
+
+    /// Number of responses currently held in flight (delayed by jitter
+    /// and not yet due). The scanner drains the network by ticking until
+    /// this reaches zero.
+    fn in_flight(&self) -> usize {
+        0
+    }
 }
 
 impl<N: Network + ?Sized> Network for &mut N {
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
         (**self).handle(packet)
+    }
+
+    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        (**self).tick(ticks)
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
     }
 }
 

@@ -54,7 +54,9 @@ pub fn validate_profile(
     let mut eui = 0usize;
     let mut loops = 0usize;
     for i in 0..sample {
-        let Some(d) = world.device_at(profile_idx, i) else { continue };
+        let Some(d) = world.device_at(profile_idx, i) else {
+            continue;
+        };
         devices += 1;
         if d.reply_mode == ReplyMode::SamePrefix {
             same += 1;
@@ -70,8 +72,8 @@ pub fn validate_profile(
     let empirical_occ = devices as f64 / sample.max(1) as f64;
     // The profile's same_frac applies to non-loop devices and
     // loop_same_frac to loop devices; the blended expectation:
-    let expected_same = profile.loop_rate * profile.loop_same_frac
-        + (1.0 - profile.loop_rate) * profile.same_frac;
+    let expected_same =
+        profile.loop_rate * profile.loop_same_frac + (1.0 - profile.loop_rate) * profile.same_frac;
     ProfileValidation {
         sampled_devices: devices,
         occupancy_err: empirical_occ / profile.occupancy - 1.0,
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn dense_blocks_validate_at_modest_samples() {
-        let world = World::with_config(WorldConfig { seed: 404, bgp_ases: 5, loss_frac: 0.0 });
+        let world = World::with_config(WorldConfig::lossless(404, 5));
         // The five densest blocks: Airtel, AT&T-M, CN Mobile bb, Unicom-M,
         // CN Mobile cellular.
         for idx in [2usize, 8, 12, 13, 14] {
@@ -107,7 +109,7 @@ mod tests {
 
     #[test]
     fn loop_heavy_block_hits_its_rate() {
-        let world = World::with_config(WorldConfig { seed: 404, bgp_ases: 5, loss_frac: 0.0 });
+        let world = World::with_config(WorldConfig::lossless(404, 5));
         let p = &SAMPLE_BLOCKS[11]; // Unicom broadband, 78.8% loops
         let v = validate_profile(&world, 11, p, 1 << 21);
         assert!(v.sampled_devices > 300, "{}", v.sampled_devices);
@@ -117,7 +119,7 @@ mod tests {
     #[test]
     fn different_seeds_validate_too() {
         for seed in [1u64, 999, 123456789] {
-            let world = World::with_config(WorldConfig { seed, bgp_ases: 5, loss_frac: 0.0 });
+            let world = World::with_config(WorldConfig::lossless(seed, 5));
             let v = validate_profile(&world, 12, &SAMPLE_BLOCKS[12], 1 << 18);
             assert!(v.within_tolerance(), "seed {seed}: {v:?}");
         }
@@ -133,7 +135,10 @@ mod tests {
             loop_err: 0.02,
         };
         assert!(good.within_tolerance());
-        let bad = ProfileValidation { same_err: 0.5, ..good };
+        let bad = ProfileValidation {
+            same_err: 0.5,
+            ..good
+        };
         assert!(!bad.within_tolerance());
     }
 }

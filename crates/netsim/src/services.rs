@@ -8,10 +8,8 @@
 //! (Table VIII), and per-vendor service profiles that drive which device
 //! exposes what (Figures 2 and 3).
 
-use serde::{Deserialize, Serialize};
-
 /// Transport protocol of a service probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransportProto {
     /// UDP datagram service.
     Udp,
@@ -20,7 +18,7 @@ pub enum TransportProto {
 }
 
 /// The eight probed services (Table VI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceKind {
     /// DNS resolution (UDP/53) — home routers acting as DNS forwarders.
     Dns,
@@ -229,7 +227,7 @@ impl AppResponse {
 }
 
 /// Index into [`SOFTWARE_CATALOG`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SoftwareId(pub u16);
 
 impl SoftwareId {

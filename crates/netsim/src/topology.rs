@@ -295,7 +295,7 @@ pub fn build_home_network(model: &RouterModel, plan: &HomeNetworkPlan) -> (Engin
     // Optional transit chain between vantage and ISP router.
     let mut prev = vantage;
     for i in 0..plan.transit_hops {
-        let addr = Ip6::new(plan.vantage_addr.bits() | 0x1_0000 + i as u128);
+        let addr = Ip6::new(plan.vantage_addr.bits() | (0x1_0000 + i as u128));
         let hop = e.add_node(&format!("transit{i}"), vec![addr]);
         e.add_route(
             prev,

@@ -68,7 +68,12 @@ impl<N: Network> TracingNetwork<N> {
     /// Panics if `capacity` is zero.
     pub fn new(inner: N, capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be nonzero");
-        TracingNetwork { inner, buffer: VecDeque::with_capacity(capacity), capacity, next_seq: 0 }
+        TracingNetwork {
+            inner,
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
     }
 
     /// The wrapped network.
@@ -164,7 +169,7 @@ mod tests {
     }
 
     fn traced() -> TracingNetwork<World> {
-        let world = World::with_config(WorldConfig { seed: 5, bgp_ases: 5, loss_frac: 0.0 });
+        let world = World::with_config(WorldConfig::lossless(5, 5));
         TracingNetwork::new(world, 4)
     }
 
@@ -216,7 +221,7 @@ mod tests {
     #[test]
     fn transparent_to_the_scanner() {
         // The wrapper must not change scan results.
-        let mk = || World::with_config(WorldConfig { seed: 5, bgp_ases: 5, loss_frac: 0.0 });
+        let mk = || World::with_config(WorldConfig::lossless(5, 5));
         let range: xmap_addr::ScanRange = "2409:8000::/28-60".parse().unwrap();
         let mut direct = mk();
         let mut wrapped = TracingNetwork::new(mk(), 16);

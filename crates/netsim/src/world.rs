@@ -23,13 +23,14 @@
 //!   revealed themselves in this world — exactly the pipeline the paper
 //!   runs (discover first, then ZGrab the discovered set).
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 
 use xmap_addr::oui::{self, DeviceClass};
 use xmap_addr::{IidClass, Ip6, Mac, Prefix};
 
 use crate::bgp::{BgpTable, BASE_DENSITY, BGP_IID_MIX, LOOP_RATE_BY_CLASS};
 use crate::device::{Device, ReplyMode, ServiceInstance, ServiceSet};
+use crate::fault::{DelayedResponse, ErrorLimiterState, FaultPlan};
 use crate::isp::{IspProfile, NON_EUI_IID_SPLIT, SAMPLE_BLOCKS};
 use crate::packet::{AppData, Icmpv6, Ipv6Packet, Network, Payload, TcpFlags, UnreachCode};
 use crate::rng::{weighted_pick, DetHash};
@@ -46,6 +47,9 @@ pub struct WorldConfig {
     pub bgp_ases: usize,
     /// Fraction of probe/response exchanges lost end to end.
     pub loss_frac: f64,
+    /// Injected faults beyond baseline behaviour (loss, token-bucket ICMP
+    /// limiting, jitter, flaky devices). [`FaultPlan::none`] by default.
+    pub fault: FaultPlan,
 }
 
 impl Default for WorldConfig {
@@ -55,7 +59,29 @@ impl Default for WorldConfig {
             seed: 0xDA7A_5EED,
             bgp_ases: 6911,
             loss_frac: 0.004,
+            fault: FaultPlan::none(),
         }
+    }
+}
+
+impl WorldConfig {
+    /// A fault-free configuration: zero loss and no injected faults.
+    /// The constructor every controlled experiment and test should use
+    /// unless it is explicitly studying faults.
+    pub fn lossless(seed: u64, bgp_ases: usize) -> Self {
+        WorldConfig {
+            seed,
+            bgp_ases,
+            loss_frac: 0.0,
+            fault: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the fault plan.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 }
 
@@ -73,6 +99,16 @@ pub struct WorldStats {
     /// ICMPv6 errors suppressed by per-device rate limiting (RFC 4443
     /// §2.4(f)).
     pub rate_limited: u64,
+    /// Probes dropped in the forward direction by the fault plan.
+    pub fwd_lost: u64,
+    /// Responses dropped on the return path by the fault plan.
+    pub rev_lost: u64,
+    /// Extra response copies produced by fault-plan duplication.
+    pub dup_responses: u64,
+    /// Responses held back by jitter (delivered by a later tick).
+    pub jittered: u64,
+    /// Probes swallowed because the target device was mid-reboot.
+    pub flaky_dropped: u64,
 }
 
 impl WorldStats {
@@ -132,8 +168,14 @@ pub struct World {
     /// Discovered WAN address → device locator (fed by discovery responses,
     /// consumed by application-layer probes).
     registry: HashMap<Ip6, DeviceRef>,
-    /// ICMPv6 errors generated per device, for RFC 4443 rate limiting.
-    error_counts: HashMap<(usize, u64), u64>,
+    /// Per-device ICMPv6 error limiter state (RFC 4443 rate limiting).
+    error_limiters: HashMap<(usize, u64), ErrorLimiterState>,
+    /// Virtual clock in ticks; advanced by [`Network::tick`].
+    clock: u64,
+    /// Responses delayed by fault-plan jitter, ordered by due tick.
+    delayed: BinaryHeap<DelayedResponse>,
+    /// Monotone insertion counter for deterministic delay-queue ordering.
+    delay_seq: u64,
     stats: WorldStats,
 }
 
@@ -154,7 +196,10 @@ impl World {
             profiles: SAMPLE_BLOCKS,
             bgp: BgpTable::generate(cfg.seed, cfg.bgp_ases),
             registry: HashMap::new(),
-            error_counts: HashMap::new(),
+            error_limiters: HashMap::new(),
+            clock: 0,
+            delayed: BinaryHeap::new(),
+            delay_seq: 0,
             stats: WorldStats::default(),
         }
     }
@@ -177,6 +222,11 @@ impl World {
     /// Traffic statistics so far.
     pub fn stats(&self) -> WorldStats {
         self.stats
+    }
+
+    /// The current virtual time in ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// Number of addresses in the discovery registry.
@@ -204,7 +254,10 @@ impl World {
             return Vec::new();
         };
         let p = &self.profiles[profile_idx];
-        let h = DetHash::new(self.cfg.seed).mix(b"hosts").mix_u64(p.id as u64).mix_u64(index);
+        let h = DetHash::new(self.cfg.seed)
+            .mix(b"hosts")
+            .mix_u64(p.id as u64)
+            .mix_u64(index);
         let n = 1 + h.mix(b"n").bounded(3);
         (0..n)
             .map(|k| {
@@ -234,12 +287,21 @@ impl World {
             .collect()
     }
 
-    /// RFC 4443 §2.4(f): a device emits at most a burst of errors at full
-    /// rate, then one in ten. Returns whether this error may be sent.
-    fn error_budget_ok(&mut self, profile_idx: usize, index: u64) -> bool {
-        let n = self.error_counts.entry((profile_idx, index)).or_insert(0);
-        *n += 1;
-        let allowed = *n <= 64 || *n % 10 == 0;
+    /// RFC 4443 §2.4(f): decides whether the device may emit one more
+    /// ICMPv6 error, under the fault plan's limiter model (legacy
+    /// burst-then-1-in-10 by default, a virtual-time token bucket when
+    /// configured). Returns whether this error may be sent.
+    fn error_budget_ok(&mut self, profile_idx: usize, index: u64, device: &Device) -> bool {
+        let plan = self.cfg.fault;
+        let tick = self.clock;
+        let state = self.error_limiters.entry((profile_idx, index)).or_default();
+        let allowed = plan.admit_error(
+            profile_idx as u64,
+            index,
+            state,
+            tick,
+            device.icmp_burst_scale(),
+        );
         if !allowed {
             self.stats.rate_limited += 1;
         }
@@ -402,7 +464,9 @@ impl World {
             IidClass::BytePattern => {
                 let g = 0x1111u64 * (1 + hi.mix(b"pat").bounded(0xe));
                 (
-                    g * 0x0001_0001_0001_0001 >> 48 << 48 | g * 0x0001_0001 & 0xffff_ffff | g << 32,
+                    (((g * 0x0001_0001_0001_0001) >> 48) << 48)
+                        | ((g * 0x0001_0001) & 0xffff_ffff)
+                        | (g << 32),
                     None,
                 )
             }
@@ -479,6 +543,15 @@ impl World {
         if self.filtered(p, index) {
             return Vec::new();
         }
+        if self
+            .cfg
+            .fault
+            .device_down(profile_idx as u64, index, self.clock)
+        {
+            // Mid-reboot: the device drops everything addressed through it.
+            self.stats.flaky_dropped += 1;
+            return Vec::new();
+        }
         let n = device.hops_to_isp;
         if packet.hop_limit <= n {
             // Expired in transit: Time Exceeded from a transit router.
@@ -507,7 +580,7 @@ impl World {
             // hop limit dies; the CPE's WAN address answers Time Exceeded.
             self.stats.loop_events += 1;
             self.stats.loop_forwards += (packet.hop_limit - n) as u64;
-            if !self.error_budget_ok(profile_idx, index) {
+            if !self.error_budget_ok(profile_idx, index, &device) {
                 return Vec::new();
             }
             let src = device.reply_source(packet.dst);
@@ -531,7 +604,7 @@ impl World {
         } else {
             UnreachCode::AddressUnreachable
         };
-        if !self.error_budget_ok(profile_idx, index) {
+        if !self.error_budget_ok(profile_idx, index, &device) {
             return Vec::new();
         }
         let src = device.reply_source(packet.dst);
@@ -609,6 +682,14 @@ impl World {
         let Some(device) = self.device_at(profile, index) else {
             return Vec::new();
         };
+        if self
+            .cfg
+            .fault
+            .device_down(profile as u64, index, self.clock)
+        {
+            self.stats.flaky_dropped += 1;
+            return Vec::new();
+        }
         match &packet.payload {
             Payload::Udp {
                 src_port,
@@ -864,13 +945,23 @@ fn service_response(
 impl Network for World {
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
         self.stats.probes += 1;
+        let plan = self.cfg.fault;
+        if plan.drop_forward(packet.dst, self.clock) {
+            self.stats.fwd_lost += 1;
+            return Vec::new();
+        }
         if self.lost(&packet) {
             return Vec::new();
         }
         let responses = match &packet.payload {
             Payload::Icmp(Icmpv6::EchoRequest { .. }) => {
-                if self.registry.contains_key(&packet.dst) {
-                    vec![echo_reply(&packet)]
+                if let Some(&DeviceRef::Isp { profile, index }) = self.registry.get(&packet.dst) {
+                    if plan.device_down(profile as u64, index, self.clock) {
+                        self.stats.flaky_dropped += 1;
+                        Vec::new()
+                    } else {
+                        vec![echo_reply(&packet)]
+                    }
                 } else if let Some(pi) = self.scan_zone_of(packet.dst) {
                     self.handle_isp_echo(pi, &packet)
                 } else {
@@ -880,8 +971,59 @@ impl Network for World {
             Payload::Udp { .. } | Payload::Tcp { .. } => self.handle_app(&packet),
             Payload::Icmp(_) => Vec::new(),
         };
-        self.stats.responses += responses.len() as u64;
-        responses
+        if !plan.any_faults() {
+            // Fast path: the identity plan skips per-response draws.
+            self.stats.responses += responses.len() as u64;
+            return responses;
+        }
+        let tick = self.clock;
+        let mut delivered = Vec::with_capacity(responses.len());
+        for (k, resp) in responses.into_iter().enumerate() {
+            let k = k as u64;
+            if plan.drop_reverse(resp.src, tick, k) {
+                self.stats.rev_lost += 1;
+                continue;
+            }
+            let copies = if plan.duplicate(resp.src, tick, k) {
+                self.stats.dup_responses += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let delay = plan.jitter_ticks(resp.src, tick, k);
+                if delay == 0 {
+                    delivered.push(resp.clone());
+                } else {
+                    self.stats.jittered += 1;
+                    self.delayed.push(DelayedResponse {
+                        due_tick: tick + delay,
+                        seq: self.delay_seq,
+                        packet: resp.clone(),
+                    });
+                    self.delay_seq += 1;
+                }
+            }
+        }
+        self.stats.responses += delivered.len() as u64;
+        delivered
+    }
+
+    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        self.clock += ticks;
+        let mut due = Vec::new();
+        while let Some(head) = self.delayed.peek() {
+            if head.due_tick > self.clock {
+                break;
+            }
+            due.push(self.delayed.pop().expect("peeked").packet);
+        }
+        self.stats.responses += due.len() as u64;
+        due
+    }
+
+    fn in_flight(&self) -> usize {
+        self.delayed.len()
     }
 }
 
@@ -896,11 +1038,7 @@ mod tests {
     use super::*;
 
     fn small_world() -> World {
-        World::with_config(WorldConfig {
-            seed: 1234,
-            bgp_ases: 200,
-            loss_frac: 0.0,
-        })
+        World::with_config(WorldConfig::lossless(1234, 200))
     }
 
     fn vantage() -> Ip6 {
@@ -1150,9 +1288,8 @@ mod tests {
     #[test]
     fn loss_drops_deterministically() {
         let mut cfg = WorldConfig {
-            seed: 9,
-            bgp_ases: 50,
             loss_frac: 1.0,
+            ..WorldConfig::lossless(9, 50)
         };
         let mut w = World::with_config(cfg);
         let (i, _) = find_device(&w, 0);
@@ -1206,7 +1343,7 @@ mod realism_tests {
     use super::*;
 
     fn w() -> World {
-        World::with_config(WorldConfig { seed: 31337, bgp_ases: 10, loss_frac: 0.0 })
+        World::with_config(WorldConfig::lossless(31337, 10))
     }
 
     fn vantage() -> Ip6 {
@@ -1229,11 +1366,18 @@ mod realism_tests {
         // Aliased prefixes never coincide with allocated devices in a way
         // that hides them; every IID answers echo from itself.
         for iid in [1u64, 0xdead_beef, u64::MAX] {
-            let dst = p.scan_prefix().subprefix(p.assigned_len, i as u128).addr().with_iid(iid);
+            let dst = p
+                .scan_prefix()
+                .subprefix(p.assigned_len, i as u128)
+                .addr()
+                .with_iid(iid);
             let resp = world.handle(Ipv6Packet::echo_request(vantage(), dst, 64, 2, 3));
             assert_eq!(resp.len(), 1, "iid {iid:#x}");
             assert_eq!(resp[0].src, dst);
-            assert!(matches!(resp[0].payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
+            assert!(matches!(
+                resp[0].payload,
+                Payload::Icmp(Icmpv6::EchoReply { .. })
+            ));
         }
     }
 
@@ -1256,7 +1400,10 @@ mod realism_tests {
             assert!(device.used_subnet64.contains(*host));
             let resp = world.handle(Ipv6Packet::echo_request(vantage(), *host, 64, 0, 0));
             assert_eq!(resp.len(), 1, "host {host}");
-            assert!(matches!(resp[0].payload, Payload::Icmp(Icmpv6::EchoReply { .. })));
+            assert!(matches!(
+                resp[0].payload,
+                Payload::Icmp(Icmpv6::EchoReply { .. })
+            ));
         }
         // A neighbouring nonexistent address in the same subnet draws an
         // unreachable instead.
@@ -1264,7 +1411,10 @@ mod realism_tests {
         if !hosts.contains(&nx) {
             let resp = world.handle(Ipv6Packet::echo_request(vantage(), nx, 64, 0, 0));
             if let Some(first) = resp.first() {
-                assert!(matches!(first.payload, Payload::Icmp(Icmpv6::DestUnreachable { .. })));
+                assert!(matches!(
+                    first.payload,
+                    Payload::Icmp(Icmpv6::DestUnreachable { .. })
+                ));
             }
         }
     }
@@ -1325,7 +1475,9 @@ mod realism_tests {
         let mut responses = 0;
         for i in 0..30_000u64 {
             let dst = p.scan_prefix().subprefix(64, i as u128).addr().with_iid(9);
-            responses += world.handle(Ipv6Packet::echo_request(vantage(), dst, 64, 0, 0)).len();
+            responses += world
+                .handle(Ipv6Packet::echo_request(vantage(), dst, 64, 0, 0))
+                .len();
         }
         assert!(responses > 50, "{responses}");
         assert_eq!(world.stats().rate_limited, 0);

@@ -23,7 +23,11 @@ fn random_topology(
     }
     // Forward chain.
     for w in 0..routers.len() - 1 {
-        e.add_route(routers[w], "::/0".parse().unwrap(), RouteAction::Forward(routers[w + 1]));
+        e.add_route(
+            routers[w],
+            "::/0".parse().unwrap(),
+            RouteAction::Forward(routers[w + 1]),
+        );
     }
     // Return routes toward the vantage.
     for w in (1..routers.len()).rev() {

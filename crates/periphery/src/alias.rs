@@ -30,11 +30,7 @@ pub struct AliasVerdict {
 
 /// Probes `k` pseudorandom addresses under `prefix`; the prefix is aliased
 /// iff every probe draws an echo reply from the probed address itself.
-pub fn check_aliased<N: Network>(
-    scanner: &mut Scanner<N>,
-    prefix: Prefix,
-    k: u32,
-) -> AliasVerdict {
+pub fn check_aliased<N: Network>(scanner: &mut Scanner<N>, prefix: Prefix, k: u32) -> AliasVerdict {
     assert!(k > 0, "at least one detection probe is required");
     let mut self_replies = 0;
     for attempt in 0..k {
@@ -47,10 +43,18 @@ pub fn check_aliased<N: Network>(
             self_replies += 1;
         } else {
             // One miss is enough to clear the prefix.
-            return AliasVerdict { aliased: false, probes: attempt + 1, self_replies };
+            return AliasVerdict {
+                aliased: false,
+                probes: attempt + 1,
+                self_replies,
+            };
         }
     }
-    AliasVerdict { aliased: true, probes: k, self_replies }
+    AliasVerdict {
+        aliased: true,
+        probes: k,
+        self_replies,
+    }
 }
 
 /// Convenience form with [`DEFAULT_PROBES`].
@@ -66,8 +70,14 @@ mod tests {
     use xmap_netsim::world::{World, WorldConfig};
 
     fn scanner() -> Scanner<World> {
-        let world = World::with_config(WorldConfig { seed: 31337, bgp_ases: 10, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { seed: 8, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(31337, 10));
+        Scanner::new(
+            world,
+            ScanConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

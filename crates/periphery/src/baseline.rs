@@ -62,9 +62,10 @@ pub fn traceroute_discovery<N: Network>(
                 last_hop = Some(src);
                 // An unreachable (or echo reply) means we have passed the
                 // last hop; stop.
-                if responses.iter().any(|(_, r)| {
-                    matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::Alive)
-                }) {
+                if responses
+                    .iter()
+                    .any(|(_, r)| matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::Alive))
+                {
                     break;
                 }
             }
@@ -76,7 +77,11 @@ pub fn traceroute_discovery<N: Network>(
             }
         }
     }
-    TracerouteResult { hops, last_hop, probes }
+    TracerouteResult {
+        hops,
+        last_hop,
+        probes,
+    }
 }
 
 /// Probes a hitlist of known 128-bit addresses directly; returns the alive
@@ -85,7 +90,10 @@ pub fn hitlist_scan<N: Network>(scanner: &mut Scanner<N>, hitlist: &[Ip6]) -> (V
     let mut alive = Vec::new();
     for addr in hitlist {
         let responses = scanner.probe_addr(*addr, &IcmpEchoProbe, 64);
-        if responses.iter().any(|(src, r)| matches!(r, ProbeResult::Alive) && src == addr) {
+        if responses
+            .iter()
+            .any(|(src, r)| matches!(r, ProbeResult::Alive) && src == addr)
+        {
             alive.push(*addr);
         }
     }
@@ -141,7 +149,11 @@ impl BaselineComparison {
                 found as f64 * 1000.0 / probes as f64
             }
         };
-        (per_k(self.xmap), per_k(self.traceroute), per_k(self.hitlist_tga))
+        (
+            per_k(self.xmap),
+            per_k(self.traceroute),
+            per_k(self.hitlist_tga),
+        )
     }
 
     /// Runs all three techniques against one block at an equal probe
@@ -166,8 +178,10 @@ impl BaselineComparison {
             let dst = xmap::fill_host_bits(target, scanner.config().seed);
             xmap_probes += 1;
             for (src, r) in scanner.probe_addr(dst, &IcmpEchoProbe, 64) {
-                if matches!(r, ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded)
-                    && src.iid() >> 48 != 0xffff
+                if matches!(
+                    r,
+                    ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                ) && src.iid() >> 48 != 0xffff
                 {
                     xmap_found.insert(src);
                 }
@@ -208,8 +222,7 @@ impl BaselineComparison {
         seeds.truncate(seed_count);
         let seed_set: HashSet<Ip6> = seeds.iter().copied().collect();
         let (_alive_seeds, seed_probes) = hitlist_scan(scanner, &seeds);
-        let candidates =
-            generate_targets(&seeds, 64, budget.saturating_sub(seed_probes) as usize);
+        let candidates = generate_targets(&seeds, 64, budget.saturating_sub(seed_probes) as usize);
         // Only *new* responsive addresses count as discoveries; the seeds
         // themselves were already known to whoever built the hitlist.
         let mut tga_found: HashSet<Ip6> = HashSet::new();
@@ -219,7 +232,9 @@ impl BaselineComparison {
             for (src, r) in scanner.probe_addr(cand, &IcmpEchoProbe, 64) {
                 if matches!(
                     r,
-                    ProbeResult::Alive | ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                    ProbeResult::Alive
+                        | ProbeResult::Unreachable { .. }
+                        | ProbeResult::TimeExceeded
                 ) && src.iid() >> 48 != 0xffff
                     && !seed_set.contains(&src)
                 {
@@ -244,8 +259,14 @@ mod tests {
     use xmap_netsim::world::WorldConfig;
 
     fn scanner() -> Scanner<World> {
-        let world = World::with_config(WorldConfig { seed: 999, bgp_ases: 10, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { seed: 999, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(999, 10));
+        Scanner::new(
+            world,
+            ScanConfig {
+                seed: 999,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -261,12 +282,19 @@ mod tests {
             }
         }
         let (i, device) = target.expect("device");
-        let dst = p.scan_prefix().subprefix(64, i as u128).addr().with_iid(0x5150);
+        let dst = p
+            .scan_prefix()
+            .subprefix(64, i as u128)
+            .addr()
+            .with_iid(0x5150);
         let result = traceroute_discovery(&mut s, dst, 40);
         let last = result.last_hop.expect("reached the periphery");
         assert_eq!(last.iid(), device.iid, "last hop is the periphery");
         // Cost scales with path length: at least hops_to_isp probes.
-        assert!(result.probes as u64 >= device.hops_to_isp as u64, "{result:?}");
+        assert!(
+            result.probes as u64 >= device.hops_to_isp as u64,
+            "{result:?}"
+        );
         // Early hops are transit routers.
         assert!(result
             .hops
@@ -301,8 +329,10 @@ mod tests {
 
     #[test]
     fn target_generation_expands_without_duplicates() {
-        let seeds: Vec<Ip6> =
-            vec!["2409:8000:0:10::1".parse().unwrap(), "2409:8000:0:20::2".parse().unwrap()];
+        let seeds: Vec<Ip6> = vec![
+            "2409:8000:0:10::1".parse().unwrap(),
+            "2409:8000:0:20::2".parse().unwrap(),
+        ];
         let targets = generate_targets(&seeds, 8, 100);
         assert!(!targets.is_empty());
         let set: HashSet<_> = targets.iter().collect();
@@ -321,7 +351,13 @@ mod tests {
         // The headline: sub-prefix probing discovers more peripheries per
         // probe than traceroute (path-length overhead) and than
         // hitlist+TGA (seed-locality blindness).
-        assert!(xmap_eff > tr_eff, "xmap {xmap_eff} vs traceroute {tr_eff} ({cmp:?})");
-        assert!(xmap_eff > tga_eff, "xmap {xmap_eff} vs tga {tga_eff} ({cmp:?})");
+        assert!(
+            xmap_eff > tr_eff,
+            "xmap {xmap_eff} vs traceroute {tr_eff} ({cmp:?})"
+        );
+        assert!(
+            xmap_eff > tga_eff,
+            "xmap {xmap_eff} vs tga {tga_eff} ({cmp:?})"
+        );
     }
 }

@@ -34,7 +34,9 @@ pub struct BoundaryInference {
 impl BoundaryInference {
     /// Agreement ratio of the majority answer among samples.
     pub fn confidence(&self) -> f64 {
-        let Some(len) = self.inferred_len else { return 0.0 };
+        let Some(len) = self.inferred_len else {
+            return 0.0;
+        };
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -68,7 +70,10 @@ pub fn infer_boundary<N: Network>(
     max_preliminary: u64,
     replications: usize,
 ) -> BoundaryInference {
-    assert!(block.len() <= 32, "boundary inference expects a block of /32 or shorter");
+    assert!(
+        block.len() <= 32,
+        "boundary inference expects a block of /32 or shorter"
+    );
     let mut probes = 0u64;
     let mut samples = Vec::new();
     let mut found = 0usize;
@@ -82,7 +87,9 @@ pub fn infer_boundary<N: Network>(
         let target64 = block.subprefix(64, index as u128);
         let dst = xmap::fill_host_bits(target64, scanner.config().seed);
         probes += 1;
-        let Some(responder) = probe_responder(scanner, dst) else { continue };
+        let Some(responder) = probe_responder(scanner, dst) else {
+            continue;
+        };
         found += 1;
 
         // Bit walk: flip bit positions from 63 down to 32. Bit position b
@@ -118,7 +125,12 @@ pub fn infer_boundary<N: Network>(
     }
 
     let inferred_len = majority(&samples);
-    BoundaryInference { block, inferred_len, samples, probes }
+    BoundaryInference {
+        block,
+        inferred_len,
+        samples,
+        probes,
+    }
 }
 
 /// Deterministic index spreading for the preliminary scan.
@@ -147,8 +159,14 @@ mod tests {
     use xmap_netsim::world::{World, WorldConfig};
 
     fn scanner() -> Scanner<World> {
-        let world = World::with_config(WorldConfig { seed: 31, bgp_ases: 10, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { seed: 3, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(31, 10));
+        Scanner::new(
+            world,
+            ScanConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

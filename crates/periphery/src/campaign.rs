@@ -10,8 +10,8 @@
 
 use std::collections::HashSet;
 
-use xmap::{Blocklist, IcmpEchoProbe, ProbeResult, ScanStats, Scanner};
-use xmap_addr::{classify_iid, Ip6, IidClass, IidHistogram, Mac, Prefix};
+use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanStats, Scanner};
+use xmap_addr::{classify_iid, IidClass, IidHistogram, Ip6, Mac, Prefix};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
 use xmap_netsim::packet::Network;
 
@@ -53,6 +53,9 @@ pub struct BlockResult {
     /// from the periphery population (Section IV-E reports non-aliased
     /// counts).
     pub alias_candidates: Vec<Prefix>,
+    /// Peripheries recovered only by the mop-up pass (0 when mop-up is
+    /// disabled); included in `peripheries`.
+    pub mop_up_recovered: usize,
 }
 
 impl BlockResult {
@@ -79,17 +82,28 @@ impl BlockResult {
 
     /// Unique /64 prefixes among responders (Table II "/64 prefix").
     pub fn unique_64(&self) -> usize {
-        self.peripheries.iter().map(|p| p.address.network(64)).collect::<HashSet<_>>().len()
+        self.peripheries
+            .iter()
+            .map(|p| p.address.network(64))
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// Peripheries with EUI-64 format addresses.
     pub fn eui64_count(&self) -> usize {
-        self.peripheries.iter().filter(|p| p.iid_class == IidClass::Eui64).count()
+        self.peripheries
+            .iter()
+            .filter(|p| p.iid_class == IidClass::Eui64)
+            .count()
     }
 
     /// Unique MAC addresses among EUI-64 responders (Table II "MAC addr").
     pub fn unique_mac(&self) -> usize {
-        self.peripheries.iter().filter_map(|p| p.mac).collect::<HashSet<_>>().len()
+        self.peripheries
+            .iter()
+            .filter_map(|p| p.mac)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// IID histogram of the block's peripheries (Table III per block).
@@ -179,18 +193,39 @@ pub struct Campaign {
     pub targets_per_block: u64,
     /// Blocklist applied to every probe.
     blocklist: Blocklist,
+    /// Second-chance pass over silent targets (off by default).
+    mop_up: bool,
+    /// Virtual ticks to wait before the mop-up pass so depleted ICMPv6
+    /// error token buckets (RFC 4443 §2.4) refill.
+    mop_up_delay_ticks: u64,
 }
 
 impl Campaign {
     /// A campaign probing `targets_per_block` sub-prefixes per block with
     /// the standard reserved-space blocklist.
     pub fn new(targets_per_block: u64) -> Self {
-        Campaign { targets_per_block, blocklist: Blocklist::with_standard_reserved() }
+        Campaign {
+            targets_per_block,
+            blocklist: Blocklist::with_standard_reserved(),
+            mop_up: false,
+            mop_up_delay_ticks: 2048,
+        }
     }
 
     /// Overrides the blocklist.
     pub fn with_blocklist(mut self, blocklist: Blocklist) -> Self {
         self.blocklist = blocklist;
+        self
+    }
+
+    /// Enables the mop-up pass: after the discovery scan of a block, wait
+    /// `delay_ticks` of virtual time (so ICMPv6 rate limiters refill) and
+    /// re-probe every silent sub-prefix once with fresh host bits. Devices
+    /// whose error budget was exhausted during the main pass — silent to a
+    /// single-probe scan — answer here.
+    pub fn with_mop_up(mut self, delay_ticks: u64) -> Self {
+        self.mop_up = true;
+        self.mop_up_delay_ticks = delay_ticks;
         self
     }
 
@@ -234,14 +269,43 @@ impl Campaign {
         let probed = (self.targets_per_block as u128).min(range.space_size()) as u64;
         // Cap targets for this block; the scanner walks its permutation.
         let saved_max = scanner.config().max_targets;
+        let saved_silent = scanner.config().record_silent;
         scanner.set_max_targets(Some(probed));
+        if self.mop_up {
+            scanner.set_record_silent(true);
+        }
         let results = scanner.run(&range, &IcmpEchoProbe, &self.blocklist);
         scanner.set_max_targets(saved_max);
+        scanner.set_record_silent(saved_silent);
 
         let mut seen = HashSet::new();
         let mut peripheries = Vec::new();
         let mut alias_candidates = Vec::new();
-        for record in results.records {
+        let mut push_periphery =
+            |responder: Ip6, target: Prefix, probe_dst: Ip6, via_te: bool| -> bool {
+                // Transit-router time-exceeded sources are not peripheries;
+                // they appear only for short hop limits, but filter
+                // defensively on the synthetic transit IID marker.
+                if via_te && responder.iid() >> 48 == 0xffff {
+                    return false;
+                }
+                if !seen.insert(responder) {
+                    return false;
+                }
+                let mac = Mac::from_eui64(responder.iid())
+                    .filter(|_| classify_iid(responder) == IidClass::Eui64);
+                peripheries.push(DiscoveredPeriphery {
+                    address: responder,
+                    target,
+                    probe_dst,
+                    same64: responder.network(64) == probe_dst.network(64),
+                    iid_class: classify_iid(responder),
+                    mac,
+                    via_time_exceeded: via_te,
+                });
+                true
+            };
+        for record in &results.records {
             let via_te = match record.result {
                 ProbeResult::Unreachable { .. } => false,
                 ProbeResult::TimeExceeded => true,
@@ -253,37 +317,67 @@ impl Campaign {
                 }
                 _ => continue,
             };
-            // Transit-router time-exceeded sources are not peripheries;
-            // they appear only for short hop limits, but filter defensively
-            // on the synthetic transit IID marker.
-            if via_te && record.responder.iid() >> 48 == 0xffff {
-                continue;
+            push_periphery(record.responder, record.target, record.probe_dst, via_te);
+        }
+
+        let mut stats = results.stats;
+        let mut mop_up_recovered = 0;
+        if self.mop_up && !results.silent_targets.is_empty() {
+            // Let rate-limited devices accrue error tokens before the
+            // second chance; discards any (stale) delayed deliveries.
+            let _ = scanner.network_mut().tick(self.mop_up_delay_ticks);
+            let seed = scanner.config().seed;
+            let hop_limit = scanner.config().hop_limit;
+            for target in &results.silent_targets {
+                // Fresh host bits: never re-probe the exact first address.
+                let dst = xmap::fill_host_bits(*target, seed ^ MOP_UP_SALT);
+                if !self.blocklist.is_allowed(dst) {
+                    continue;
+                }
+                stats.sent += 1;
+                stats.retransmits += 1;
+                let mut answers = scanner.probe_addr(dst, &IcmpEchoProbe, hop_limit);
+                let late = scanner.network_mut().tick(1);
+                answers.extend(
+                    late.iter()
+                        .map(|p| (p.src, IcmpEchoProbe.classify(p, scanner.validator()))),
+                );
+                for (responder, result) in answers {
+                    stats.received += 1;
+                    let via_te = match result {
+                        ProbeResult::Unreachable { .. } => false,
+                        ProbeResult::TimeExceeded => true,
+                        ProbeResult::Invalid => {
+                            stats.invalid += 1;
+                            continue;
+                        }
+                        _ => continue,
+                    };
+                    stats.valid += 1;
+                    // A silent-then-answering device was most likely
+                    // rate limited during the main pass.
+                    stats.rate_limited_suspected += 1;
+                    if push_periphery(responder, *target, dst, via_te) {
+                        mop_up_recovered += 1;
+                    }
+                }
             }
-            if !seen.insert(record.responder) {
-                continue;
-            }
-            let mac = Mac::from_eui64(record.responder.iid())
-                .filter(|_| classify_iid(record.responder) == IidClass::Eui64);
-            peripheries.push(DiscoveredPeriphery {
-                address: record.responder,
-                target: record.target,
-                probe_dst: record.probe_dst,
-                same64: record.responder.network(64) == record.probe_dst.network(64),
-                iid_class: classify_iid(record.responder),
-                mac,
-                via_time_exceeded: via_te,
-            });
         }
         BlockResult {
             profile_id: profile.id,
             peripheries,
-            stats: results.stats,
+            stats,
             probed,
             space_size: range.space_size(),
             alias_candidates,
+            mop_up_recovered,
         }
     }
 }
+
+/// Seed perturbation for mop-up host-bit fill (distinct from every
+/// `seed + attempt` fill of the main pass).
+const MOP_UP_SALT: u64 = 0x6d6f_7075;
 
 #[cfg(test)]
 mod tests {
@@ -292,9 +386,15 @@ mod tests {
     use xmap_netsim::world::{World, WorldConfig};
 
     fn scanner(max: u64) -> Scanner<World> {
-        let world =
-            World::with_config(WorldConfig { seed: 99, bgp_ases: 50, loss_frac: 0.0 });
-        Scanner::new(world, ScanConfig { max_targets: Some(max), seed: 5, ..Default::default() })
+        let world = World::with_config(WorldConfig::lossless(99, 50));
+        Scanner::new(
+            world,
+            ScanConfig {
+                max_targets: Some(max),
+                seed: 5,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -344,6 +444,7 @@ mod tests {
             probed: 1 << 20,
             space_size: 1 << 32,
             alias_candidates: Vec::new(),
+            mop_up_recovered: 0,
         };
         assert_eq!(block.scale_factor(), 4096.0);
         assert_eq!(block.estimated_total(), 0.0);

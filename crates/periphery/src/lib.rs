@@ -25,6 +25,6 @@ pub mod vendor;
 pub use alias::{check_aliased, is_aliased, AliasVerdict};
 pub use baseline::{hitlist_scan, traceroute_discovery, BaselineComparison};
 pub use boundary::{infer_boundary, BoundaryInference};
-pub use topomap::{Role, TopologyMap};
 pub use campaign::{BlockResult, Campaign, CampaignResult, DiscoveredPeriphery};
+pub use topomap::{Role, TopologyMap};
 pub use vendor::{identify, VendorCounts};

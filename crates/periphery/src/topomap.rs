@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn discovery_plus_traceroute_builds_a_map() {
-        let world = World::with_config(WorldConfig { seed: 21, bgp_ases: 10, loss_frac: 0.0 });
-        let mut scanner = Scanner::new(world, ScanConfig { seed: 21, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(21, 10));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 21,
+                ..Default::default()
+            },
+        );
 
         // Edge from discovery.
         let block = Campaign::new(1 << 14).run_block(&mut scanner, &SAMPLE_BLOCKS[12]);
@@ -124,11 +130,18 @@ mod tests {
             let tr = traceroute_discovery(&mut scanner, p.probe_dst, 40);
             map.add_traceroute(&tr);
         }
-        assert!(map.count(Role::Transit) > 0, "traceroutes add transit routers");
+        assert!(
+            map.count(Role::Transit) > 0,
+            "traceroutes add transit routers"
+        );
         assert!(map.edges() > 0);
         // Peripheries now share the map with transit infrastructure.
         assert!(map.edge_share() < 1.0);
-        assert!(map.edge_share() >= 0.4, "edge share too small: {}", map.edge_share());
+        assert!(
+            map.edge_share() >= 0.4,
+            "edge share too small: {}",
+            map.edge_share()
+        );
     }
 
     #[test]
@@ -138,7 +151,11 @@ mod tests {
         let mut map = TopologyMap::new();
         let addr: Ip6 = "2001:db8::1".parse().unwrap();
         map.roles.insert(addr, Role::Periphery);
-        let tr = TracerouteResult { hops: vec![Some(addr)], last_hop: None, probes: 1 };
+        let tr = TracerouteResult {
+            hops: vec![Some(addr)],
+            last_hop: None,
+            probes: 1,
+        };
         map.add_traceroute(&tr);
         assert_eq!(map.role_of(addr), Some(Role::Periphery));
     }

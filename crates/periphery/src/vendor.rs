@@ -37,7 +37,9 @@ pub fn identify(mac: Option<Mac>, app_vendor: Option<&str>) -> Option<&'static s
     }
     // Application-level strings must still resolve against the registry to
     // be counted as explicit vendor affiliations.
-    app_vendor.and_then(|v| oui::OUI_TABLE.iter().find(|e| e.vendor == v)).map(|e| e.vendor)
+    app_vendor
+        .and_then(|v| oui::OUI_TABLE.iter().find(|e| e.vendor == v))
+        .map(|e| e.vendor)
 }
 
 /// Vendor → device-count aggregation, split by device class (Table IV).

@@ -12,9 +12,7 @@
 //! Run with: `cargo run --release --example internet_survey`
 
 use xmap::{ScanConfig, Scanner};
-use xmap_loopscan::{
-    verify_mitigation, BgpSurvey, DepthSurvey, DisclosureCampaign,
-};
+use xmap_loopscan::{verify_mitigation, BgpSurvey, DepthSurvey, DisclosureCampaign};
 use xmap_netsim::geo;
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::topology::NAMED_MODELS;
@@ -26,10 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bgp_ases: 2500, // scaled slice of the 6,911-AS universe
         ..Default::default()
     });
-    let mut scanner = Scanner::new(world, ScanConfig { seed: 2021, ..Default::default() });
+    let mut scanner = Scanner::new(
+        world,
+        ScanConfig {
+            seed: 2021,
+            ..Default::default()
+        },
+    );
 
     // 1. BGP-wide survey.
-    let survey = BgpSurvey { probes_per_prefix: 1 << 7, max_prefixes: None };
+    let survey = BgpSurvey {
+        probes_per_prefix: 1 << 7,
+        max_prefixes: None,
+    };
     let result = survey.run(&mut scanner);
     let (vuln, vasn, vcty) = result.vulnerable_summary();
     println!(
@@ -59,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ndisclosure campaign: {}", campaign.summary());
     if let Some(top) = campaign.vendors.first() {
         println!("\n--- advisory preview ({}) ---", top.vendor);
-        print!("{}", campaign.advisory_text(top.vendor).expect("vendor present"));
+        print!(
+            "{}",
+            campaign.advisory_text(top.vendor).expect("vendor present")
+        );
     }
 
     // 3. Mitigation verification on the named router models.

@@ -14,7 +14,11 @@ use xmap_netsim::World;
 use xmap_periphery::{identify, Campaign, VendorCounts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bits: u32 = std::env::args().nth(1).map(|a| a.parse()).transpose()?.unwrap_or(17);
+    let bits: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(17);
     let probes_per_block = 1u64 << bits.clamp(8, 32);
 
     let mut scanner = Scanner::new(World::new(2021), ScanConfig::default());
@@ -42,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nIID structure of discovered peripheries (Table III shape):");
     let hist = campaign.iid_histogram();
     for class in IidClass::ALL {
-        println!("  {:<14} {:>6} ({:>5.1}%)", class.to_string(), hist.count(class), hist.percent(class));
+        println!(
+            "  {:<14} {:>6} ({:>5.1}%)",
+            class.to_string(),
+            hist.count(class),
+            hist.percent(class)
+        );
     }
 
     println!("\ntop vendors from EUI-64 MAC addresses (Table IV shape):");

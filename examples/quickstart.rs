@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // row 1). `max_targets` slices the space; drop it for the full scan.
     let mut scanner = Scanner::new(
         world,
-        ScanConfig { max_targets: Some(1 << 16), ..Default::default() },
+        ScanConfig {
+            max_targets: Some(1 << 16),
+            ..Default::default()
+        },
     );
     let range = "2405:200::/32-64".parse()?;
     let results = scanner.run(&range, &IcmpEchoProbe, &Blocklist::with_standard_reserved());
@@ -40,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("... ({} peripheries total in this slice)", results.records.len());
+    println!(
+        "... ({} peripheries total in this slice)",
+        results.records.len()
+    );
     Ok(())
 }

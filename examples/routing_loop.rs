@@ -40,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Controlled amplification measurement (Figure 4 topology).
-    let model = NAMED_MODELS.iter().find(|m| m.brand == "Huawei").expect("full-loop model");
-    println!("\namplification on {} {} (one 255-hop-limit attack packet):", model.brand, model.model);
+    let model = NAMED_MODELS
+        .iter()
+        .find(|m| m.brand == "Huawei")
+        .expect("full-loop model");
+    println!(
+        "\namplification on {} {} (one 255-hop-limit attack packet):",
+        model.brand, model.model
+    );
     for n in [5u8, 15, 30, 50] {
         let point = measure_amplification(model, n);
         let (_, spoofed) = measure_spoofed_doubling(model, n);
@@ -56,14 +62,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The 99-router testbed.
     let rows = run_case_studies();
     let vulnerable = rows.iter().filter(|r| r.is_vulnerable()).count();
-    println!("\ncase studies: {vulnerable}/{} routers vulnerable on at least one prefix", rows.len());
-    for row in rows.iter().filter(|r| NAMED_MODELS.iter().any(|m| m.model == r.model.model)).take(9) {
+    println!(
+        "\ncase studies: {vulnerable}/{} routers vulnerable on at least one prefix",
+        rows.len()
+    );
+    for row in rows
+        .iter()
+        .filter(|r| NAMED_MODELS.iter().any(|m| m.model == r.model.model))
+        .take(9)
+    {
         println!(
             "  {:<12} {:<16} WAN {} LAN {}",
             row.model.brand,
             row.model.model,
-            if row.wan.is_vulnerable() { "VULNERABLE" } else { "immune    " },
-            if row.lan.is_vulnerable() { "VULNERABLE" } else { "immune" },
+            if row.wan.is_vulnerable() {
+                "VULNERABLE"
+            } else {
+                "immune    "
+            },
+            if row.lan.is_vulnerable() {
+                "VULNERABLE"
+            } else {
+                "immune"
+            },
         );
     }
 

@@ -22,16 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let campaign_driver = Campaign::new(1 << 17);
     let mut campaign = CampaignResult::default();
     for idx in [11usize, 12] {
-        campaign.blocks.push(campaign_driver.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
+        campaign
+            .blocks
+            .push(campaign_driver.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
     }
-    println!("discovered {} peripheries; probing 8 services on each...", campaign.total_unique());
+    println!(
+        "discovered {} peripheries; probing 8 services on each...",
+        campaign.total_unique()
+    );
 
     let survey = SurveyRunner.run(&mut scanner, &campaign);
     let probed = survey.probed();
     println!("\nexposure by service (Table VII shape):");
     for kind in ServiceKind::ALL {
         let n = survey.alive_total(kind);
-        println!("  {:<18} {:>5} devices ({:>5.2}%)", kind.label(), n, n as f64 * 100.0 / probed.max(1) as f64);
+        println!(
+            "  {:<18} {:>5} devices ({:>5.2}%)",
+            kind.label(),
+            n,
+            n as f64 * 100.0 / probed.max(1) as f64
+        );
     }
     let any = survey.devices_with_any().len();
     println!(
@@ -46,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nserving software and staleness (Table VIII shape):");
     let stats = SoftwareStats::from_survey(&survey);
-    for kind in [ServiceKind::Dns, ServiceKind::Http, ServiceKind::Ssh, ServiceKind::Ftp] {
+    for kind in [
+        ServiceKind::Dns,
+        ServiceKind::Http,
+        ServiceKind::Ssh,
+        ServiceKind::Ftp,
+    ] {
         for (sw, count) in stats.top_for_service(kind).into_iter().take(3) {
             let cves = cve::count_for_product(sw.name);
             println!(

@@ -1,0 +1,361 @@
+//! Minimal, offline replacement for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! in-tree crate provides the subset of criterion's API the workspace's
+//! benches use. It is a wall-clock harness, not a statistics engine:
+//! each benchmark is warmed up once, timed over a fixed batch of
+//! iterations, and reported as mean time per iteration (plus derived
+//! throughput when declared).
+//!
+//! When invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) every benchmark body runs exactly
+//! once so the suite doubles as a smoke test.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// How batched iteration inputs are sized (API-compatible marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Construct one input per iteration.
+    PerIteration,
+    /// Inputs are cheap; batch small.
+    SmallInput,
+    /// Inputs are expensive to set up; batch large.
+    LargeInput,
+}
+
+/// Declared per-iteration work, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`group/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A new id combining a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A new id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing callback handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Measured mean nanoseconds per iteration, written back to the runner.
+    result_ns: &'a mut f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run once, don't time (under `cargo test`).
+    Test,
+    /// Time a short adaptive run.
+    Measure,
+}
+
+/// Target wall-clock spent measuring one benchmark (kept small: this is a
+/// smoke-level harness, not a statistics engine).
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure => {
+                // Warm-up + calibration: run until ~1ms or 16 iters.
+                let cal_start = Instant::now();
+                let mut cal_iters: u64 = 0;
+                while cal_start.elapsed() < Duration::from_millis(1) && cal_iters < 16 {
+                    std::hint::black_box(routine());
+                    cal_iters += 1;
+                }
+                let per_iter = cal_start.elapsed().as_secs_f64() / cal_iters.max(1) as f64;
+                let n = ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64)
+                    .clamp(1, 1_000_000);
+                let start = Instant::now();
+                for _ in 0..n {
+                    std::hint::black_box(routine());
+                }
+                *self.result_ns = start.elapsed().as_nanos() as f64 / n as f64;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            Mode::Measure => {
+                // Calibrate with one timed run.
+                let input = setup();
+                let cal = Instant::now();
+                std::hint::black_box(routine(input));
+                let per_iter = cal.elapsed().as_secs_f64();
+                let n =
+                    ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
+                let mut total = Duration::ZERO;
+                for _ in 0..n {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    total += start.elapsed();
+                }
+                *self.result_ns = total.as_nanos() as f64 / n as f64;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// The benchmark runner. Collects results and prints a flat report.
+pub struct Criterion {
+    mode: Mode,
+    report: String,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode { Mode::Test } else { Mode::Measure },
+            report: String::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Like criterion's configuration hook; sample size is ignored by this
+    /// harness (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            mode: self.mode,
+            result_ns: &mut ns,
+        };
+        f(&mut b);
+        if self.mode == Mode::Test {
+            let _ = writeln!(self.report, "{name}: ok (test mode)");
+            return;
+        }
+        let mut line = format!("{name}: {:.1} ns/iter", ns);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  ({:.3} Melem/s)", per_sec / 1e6);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (ns * 1e-9);
+                let _ = write!(line, "  ({:.3} MiB/s)", per_sec / (1024.0 * 1024.0));
+            }
+            None => {}
+        }
+        let _ = writeln!(self.report, "{line}");
+    }
+
+    /// Prints the accumulated report (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        print!("{}", self.report);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Declares the per-iteration work for subsequent benches in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample-size hint; ignored by this harness.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; ignored by this harness.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        c.bench_function("toy_add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3, 4],
+                |v| v.iter().sum::<u8>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_everything() {
+        // Measure mode smoke: everything executes and reports.
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            report: String::new(),
+        };
+        toy(&mut c);
+        assert!(c.report.contains("toy_add"));
+        assert!(c.report.contains("grp/batched"));
+        assert!(c.report.contains("grp/with_input/7"));
+        assert!(c.report.contains("Melem/s"));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            report: String::new(),
+        };
+        let mut count = 0u32;
+        {
+            let mut ns = f64::NAN;
+            let mut b = Bencher {
+                mode: c.mode,
+                result_ns: &mut ns,
+            };
+            b.iter(|| count += 1);
+        }
+        assert_eq!(count, 1);
+        c.bench_function("once", |b| b.iter(|| ()));
+        assert!(c.report.contains("once: ok"));
+    }
+}

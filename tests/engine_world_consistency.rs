@@ -25,7 +25,11 @@ fn engine_for_device(device: &xmap_netsim::Device) -> (Engine, Ip6) {
     let cpe = e.add_node("cpe", vec![wan_addr]);
     e.add_route(isp, device.delegated_prefix, RouteAction::Forward(cpe));
     e.add_route(isp, device.wan_prefix64, RouteAction::Forward(cpe));
-    e.add_route(isp, "fd00::/16".parse().unwrap(), RouteAction::Forward(vantage));
+    e.add_route(
+        isp,
+        "fd00::/16".parse().unwrap(),
+        RouteAction::Forward(vantage),
+    );
     e.add_route(isp, "::/0".parse().unwrap(), RouteAction::Blackhole);
 
     // CPE posture mirrors the device's vulnerability flags.
@@ -85,7 +89,7 @@ fn find_devices(
 }
 
 fn world() -> World {
-    World::with_config(WorldConfig { seed: 777, bgp_ases: 10, loss_frac: 0.0 })
+    World::with_config(WorldConfig::lossless(777, 10))
 }
 
 /// For diff-mode devices, probe classes must agree between world and a
@@ -127,10 +131,12 @@ fn diff_mode_outcomes_agree() {
         for (dst, label) in [
             (unused, "unused-lan"),
             (device.wan_address(), "wan-address"),
-            (device.used_subnet64.addr().with_iid(0xdead_beef_dead_beef), "used-subnet-nx"),
+            (
+                device.used_subnet64.addr().with_iid(0xdead_beef_dead_beef),
+                "used-subnet-nx",
+            ),
         ] {
-            let probe =
-                |hl| Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), dst, hl, 1, 1);
+            let probe = |hl| Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), dst, hl, 1, 1);
             let from_world = classify(&w.handle(probe(255)));
             let from_engine = classify(&engine.handle(probe(255)));
             assert_eq!(
@@ -159,7 +165,13 @@ fn loop_traffic_accounting_agrees() {
             .with_iid(0x42);
         // World accounting.
         let before = w.stats().loop_forwards;
-        let resp = w.handle(Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), unused, 255, 0, 0));
+        let resp = w.handle(Ipv6Packet::echo_request(
+            VANTAGE.parse().unwrap(),
+            unused,
+            255,
+            0,
+            0,
+        ));
         if resp.is_empty() {
             continue; // filtered
         }
@@ -170,7 +182,13 @@ fn loop_traffic_accounting_agrees() {
         // hl - n).
         let (mut engine, _) = engine_for_device(&device);
         engine.reset_counters();
-        engine.handle(Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), unused, 255, 0, 0));
+        engine.handle(Ipv6Packet::echo_request(
+            VANTAGE.parse().unwrap(),
+            unused,
+            255,
+            0,
+            0,
+        ));
         let engine_fwd = engine.total_forwards();
 
         // The engine path here is 1 hop (vantage->isp); the world models
@@ -195,7 +213,13 @@ fn same_mode_reply_source_in_probed_prefix() {
     assert!(picks.len() >= 2);
     for (_, device) in picks {
         let dst = device.delegated_prefix.addr().with_iid(0x1234_5678);
-        let resp = w.handle(Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), dst, 64, 0, 0));
+        let resp = w.handle(Ipv6Packet::echo_request(
+            VANTAGE.parse().unwrap(),
+            dst,
+            64,
+            0,
+            0,
+        ));
         if resp.is_empty() {
             continue;
         }
@@ -221,7 +245,13 @@ fn reject_route_code_for_patched_devices() {
             .unwrap()
             .addr()
             .with_iid(0x77);
-        let resp = w.handle(Ipv6Packet::echo_request(VANTAGE.parse().unwrap(), unused, 64, 0, 0));
+        let resp = w.handle(Ipv6Packet::echo_request(
+            VANTAGE.parse().unwrap(),
+            unused,
+            64,
+            0,
+            0,
+        ));
         if resp.is_empty() {
             continue;
         }

@@ -1,0 +1,199 @@
+//! End-to-end tests of the fault-injection layer and the scanner's
+//! loss-recovery pipeline: deterministic replay, mop-up of rate-limited
+//! peripheries, and the recovery acceptance bar (retransmission + mop-up
+//! restore >= 90% of the lossless baseline under injected faults).
+
+use xmap::{Blocklist, IcmpEchoProbe, ScanConfig, Scanner};
+use xmap_netsim::fault::IcmpRateLimit;
+use xmap_netsim::isp::SAMPLE_BLOCKS;
+use xmap_netsim::world::{World, WorldConfig};
+use xmap_netsim::FaultPlan;
+use xmap_periphery::Campaign;
+
+/// A fault plan exercising every knob at once.
+fn stress_plan() -> FaultPlan {
+    FaultPlan::none()
+        .seeded(0xBAD_CAFE)
+        .with_forward_loss(0.05)
+        .with_reverse_loss(0.02)
+        .with_duplication(0.02)
+        .with_jitter(5)
+        .with_flaky(0.05, 256, 32)
+        .with_icmp_limit(IcmpRateLimit::TokenBucket {
+            capacity: 8,
+            refill_interval: 512,
+            start_depleted_frac: 0.2,
+        })
+}
+
+/// Identical seeds in, byte-identical scan out — including every
+/// retransmission, duplicated response and jittered delivery.
+#[test]
+fn faulted_scan_replays_byte_identical() {
+    let run = || {
+        let world = World::with_config(WorldConfig::lossless(4242, 30).with_fault(stress_plan()));
+        let mut scanner = Scanner::new(
+            world,
+            ScanConfig {
+                seed: 17,
+                max_targets: Some(4096),
+                probes_per_target: 3,
+                record_silent: true,
+                ..Default::default()
+            },
+        );
+        scanner.run(
+            &SAMPLE_BLOCKS[2].scan_range(),
+            &IcmpEchoProbe,
+            &Blocklist::allow_all(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.silent_targets, b.silent_targets);
+    // The plan actually bites: faults left fingerprints in the counters.
+    assert!(a.stats.retransmits > 0, "{:?}", a.stats);
+    assert!(a.stats.gave_up > 0, "{:?}", a.stats);
+}
+
+/// A CPE whose ICMPv6 error bucket starts empty is invisible to a
+/// single-probe scan but answers the mop-up pass after its tokens refill
+/// — the recovery path the fault layer exists to exercise.
+#[test]
+fn mop_up_recovers_rate_limited_cpes_single_probe_misses() {
+    let depleted = WorldConfig::lossless(7100, 30).with_fault(
+        FaultPlan::none()
+            .seeded(0xD0_D0)
+            .with_icmp_limit(IcmpRateLimit::TokenBucket {
+                capacity: 4,
+                refill_interval: 1024,
+                start_depleted_frac: 1.0,
+            }),
+    );
+    let profile = &SAMPLE_BLOCKS[2];
+    let slice = 1u64 << 14;
+
+    let mut single = Scanner::new(
+        World::with_config(depleted),
+        ScanConfig {
+            seed: 5,
+            max_targets: Some(slice),
+            ..Default::default()
+        },
+    );
+    let single_block = Campaign::new(slice).run_block(&mut single, profile);
+
+    let mut mopped = Scanner::new(
+        World::with_config(depleted),
+        ScanConfig {
+            seed: 5,
+            max_targets: Some(slice),
+            ..Default::default()
+        },
+    );
+    let mopped_block = Campaign::new(slice)
+        .with_mop_up(2048)
+        .run_block(&mut mopped, profile);
+
+    assert!(
+        mopped_block.unique() > 20,
+        "mop-up recovered only {}",
+        mopped_block.unique()
+    );
+    assert_eq!(
+        mopped_block.mop_up_recovered,
+        mopped_block.unique() - single_block.unique()
+    );
+    assert!(
+        single_block.unique() <= mopped_block.unique() / 5,
+        "single-probe {} vs mop-up {}",
+        single_block.unique(),
+        mopped_block.unique()
+    );
+}
+
+/// The acceptance bar: under 5% forward loss plus a partially depleted
+/// ICMPv6 token bucket, retransmission + mop-up recover at least 90% of
+/// the lossless-baseline peripheries, while a single-probe scan of the
+/// same faulty world finds measurably fewer.
+#[test]
+fn recovery_restores_90_percent_of_lossless_baseline() {
+    let profile = &SAMPLE_BLOCKS[2];
+    let slice = 1u64 << 14;
+    let faulty = WorldConfig::lossless(9001, 30).with_fault(
+        FaultPlan::none()
+            .seeded(0x10_55)
+            .with_forward_loss(0.05)
+            .with_icmp_limit(IcmpRateLimit::TokenBucket {
+                capacity: 8,
+                refill_interval: 512,
+                start_depleted_frac: 0.3,
+            }),
+    );
+
+    let baseline = {
+        let mut s = Scanner::new(
+            World::with_config(WorldConfig::lossless(9001, 30)),
+            ScanConfig {
+                seed: 5,
+                max_targets: Some(slice),
+                ..Default::default()
+            },
+        );
+        Campaign::new(slice).run_block(&mut s, profile)
+    };
+    let single = {
+        let mut s = Scanner::new(
+            World::with_config(faulty),
+            ScanConfig {
+                seed: 5,
+                max_targets: Some(slice),
+                ..Default::default()
+            },
+        );
+        Campaign::new(slice).run_block(&mut s, profile)
+    };
+    let recovered = {
+        let mut s = Scanner::new(
+            World::with_config(faulty),
+            ScanConfig {
+                seed: 5,
+                max_targets: Some(slice),
+                probes_per_target: 3,
+                ..Default::default()
+            },
+        );
+        Campaign::new(slice)
+            .with_mop_up(2048)
+            .run_block(&mut s, profile)
+    };
+
+    assert!(
+        baseline.unique() > 20,
+        "baseline too sparse: {}",
+        baseline.unique()
+    );
+    let bar = (baseline.unique() as f64 * 0.9).ceil() as usize;
+    assert!(
+        recovered.unique() >= bar,
+        "recovered {} of {} (bar {bar})",
+        recovered.unique(),
+        baseline.unique()
+    );
+    assert!(
+        single.unique() < recovered.unique(),
+        "single-probe {} should trail recovered {}",
+        single.unique(),
+        recovered.unique()
+    );
+    assert!(
+        (single.unique() as f64) < baseline.unique() as f64 * 0.85,
+        "faults should measurably dent a single-probe scan: {} vs baseline {}",
+        single.unique(),
+        baseline.unique()
+    );
+    // The pipeline knew it was fighting a rate limiter.
+    assert!(recovered.stats.retransmits > 0);
+}

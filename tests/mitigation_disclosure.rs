@@ -1,9 +1,7 @@
 //! Integration: survey → disclosure → mitigation, end to end.
 
 use xmap::{ScanConfig, Scanner};
-use xmap_loopscan::{
-    patch_model, verify_mitigation, DepthSurvey, DisclosureCampaign, Severity,
-};
+use xmap_loopscan::{patch_model, verify_mitigation, DepthSurvey, DisclosureCampaign, Severity};
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload, MAX_HOP_LIMIT};
 use xmap_netsim::topology::{build_home_network, full_catalog, HomeNetworkPlan};
@@ -11,8 +9,14 @@ use xmap_netsim::world::{World, WorldConfig};
 
 #[test]
 fn survey_feeds_disclosure_which_names_real_vendors() {
-    let world = World::with_config(WorldConfig { seed: 777, bgp_ases: 10, loss_frac: 0.0 });
-    let mut scanner = Scanner::new(world, ScanConfig { seed: 777, ..Default::default() });
+    let world = World::with_config(WorldConfig::lossless(777, 10));
+    let mut scanner = Scanner::new(
+        world,
+        ScanConfig {
+            seed: 777,
+            ..Default::default()
+        },
+    );
     let mut depth = xmap_loopscan::survey::DepthSurveyResult::default();
     let driver = DepthSurvey::new(1 << 16);
     for idx in [11usize, 12, 13] {
@@ -31,7 +35,9 @@ fn survey_feeds_disclosure_which_names_real_vendors() {
         );
         assert_eq!(advisory.severity, Severity::High);
         assert!(advisory.affected_devices > 0);
-        let text = campaign.advisory_text(advisory.vendor).expect("advisory renders");
+        let text = campaign
+            .advisory_text(advisory.vendor)
+            .expect("advisory renders");
         assert!(text.contains("RFC 7084"));
     }
     // Operators are the measurement ASes.
@@ -80,7 +86,12 @@ fn mitigated_catalog_passes_the_loop_scan() {
         }
         let loop_fwd =
             engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
-        assert!(loop_fwd <= 4, "{} {}: residual loop {loop_fwd}", model.brand, model.model);
+        assert!(
+            loop_fwd <= 4,
+            "{} {}: residual loop {loop_fwd}",
+            model.brand,
+            model.model
+        );
     }
 }
 

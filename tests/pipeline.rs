@@ -9,8 +9,14 @@ use xmap_netsim::world::{World, WorldConfig};
 use xmap_periphery::{Campaign, CampaignResult};
 
 fn scanner() -> Scanner<World> {
-    let world = World::with_config(WorldConfig { seed: 3141, bgp_ases: 50, loss_frac: 0.0 });
-    Scanner::new(world, ScanConfig { seed: 3141, ..Default::default() })
+    let world = World::with_config(WorldConfig::lossless(3141, 50));
+    Scanner::new(
+        world,
+        ScanConfig {
+            seed: 3141,
+            ..Default::default()
+        },
+    )
 }
 
 #[test]
@@ -21,7 +27,9 @@ fn discovery_then_services_then_loops() {
     let driver = Campaign::new(1 << 16);
     let mut campaign = CampaignResult::default();
     for idx in [11usize, 12] {
-        campaign.blocks.push(driver.run_block(&mut s, &SAMPLE_BLOCKS[idx]));
+        campaign
+            .blocks
+            .push(driver.run_block(&mut s, &SAMPLE_BLOCKS[idx]));
     }
     let discovered = campaign.total_unique();
     assert!(discovered > 60, "only {discovered} discovered");
@@ -104,8 +112,14 @@ fn determinism_across_identical_runs() {
 #[test]
 fn different_seeds_find_different_populations() {
     let discover = |seed: u64| {
-        let world = World::with_config(WorldConfig { seed, bgp_ases: 10, loss_frac: 0.0 });
-        let mut s = Scanner::new(world, ScanConfig { seed, ..Default::default() });
+        let world = World::with_config(WorldConfig::lossless(seed, 10));
+        let mut s = Scanner::new(
+            world,
+            ScanConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         Campaign::new(1 << 14)
             .run_block(&mut s, &SAMPLE_BLOCKS[12])
             .peripheries

@@ -5,9 +5,10 @@ use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanConfig, Scann
 use xmap_addr::Ip6;
 use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload};
 use xmap_netsim::world::{World, WorldConfig};
+use xmap_netsim::FaultPlan;
 
 fn world(seed: u64) -> World {
-    World::with_config(WorldConfig { seed, bgp_ases: 20, loss_frac: 0.0 })
+    World::with_config(WorldConfig::lossless(seed, 20))
 }
 
 proptest! {
@@ -88,6 +89,51 @@ proptest! {
             "sharded union covered {covered} of {}", ref_targets.len());
     }
 
+    /// Injected loss can only remove findings: for any world seed and any
+    /// loss rate, the lossless scan's hit rate dominates the lossy one's.
+    #[test]
+    fn loss_only_removes_findings(seed in 0u64..50, loss_pct in 1u32..=40) {
+        let loss = loss_pct as f64 / 100.0;
+        let profile = &xmap_netsim::isp::SAMPLE_BLOCKS[2];
+        let scan = |w: World| {
+            let cfg = ScanConfig { seed: 3, max_targets: Some(512), ..Default::default() };
+            let mut s = Scanner::new(w, cfg);
+            s.run(&profile.scan_range(), &IcmpEchoProbe, &Blocklist::allow_all()).stats
+        };
+        let lossless = scan(World::with_config(WorldConfig::lossless(seed, 20)));
+        let lossy = scan(World::with_config(
+            WorldConfig::lossless(seed, 20)
+                .with_fault(FaultPlan::none().seeded(seed ^ 0xF00D).with_forward_loss(loss)),
+        ));
+        prop_assert_eq!(lossless.sent, lossy.sent);
+        prop_assert!(lossless.valid >= lossy.valid,
+            "loss {loss} created findings: {} < {}", lossless.valid, lossy.valid);
+        prop_assert!(lossless.hit_rate() >= lossy.hit_rate());
+    }
+
+    /// Under loss, retransmission never loses findings relative to a
+    /// single-probe scan of the same faulty world.
+    #[test]
+    fn retransmission_never_hurts_under_loss(seed in 0u64..30) {
+        let profile = &xmap_netsim::isp::SAMPLE_BLOCKS[2];
+        let config = WorldConfig::lossless(seed, 20)
+            .with_fault(FaultPlan::none().seeded(seed ^ 0xBEEF).with_forward_loss(0.15));
+        let scan = |k: u32| {
+            let cfg = ScanConfig {
+                seed: 3,
+                max_targets: Some(512),
+                probes_per_target: k,
+                ..Default::default()
+            };
+            let mut s = Scanner::new(World::with_config(config), cfg);
+            s.run(&profile.scan_range(), &IcmpEchoProbe, &Blocklist::allow_all()).stats
+        };
+        let single = scan(1);
+        let retried = scan(3);
+        prop_assert!(retried.valid >= single.valid,
+            "retransmission lost findings: {} < {}", retried.valid, single.valid);
+    }
+
     /// The world never replies from the unspecified address and never
     /// echoes the probe's destination as an error source for unallocated
     /// space.
@@ -104,4 +150,38 @@ proptest! {
             }
         }
     }
+}
+
+/// Pinned-seed companion to `retransmission_never_hurts_under_loss`: at a
+/// real loss rate, retransmission *strictly* improves the valid count.
+#[test]
+fn retransmission_strictly_improves_under_loss() {
+    let profile = &xmap_netsim::isp::SAMPLE_BLOCKS[2];
+    let config = WorldConfig::lossless(77, 20)
+        .with_fault(FaultPlan::none().seeded(0x5107).with_forward_loss(0.2));
+    let scan = |k: u32| {
+        let cfg = ScanConfig {
+            seed: 3,
+            max_targets: Some(2048),
+            probes_per_target: k,
+            ..Default::default()
+        };
+        let mut s = Scanner::new(World::with_config(config), cfg);
+        s.run(
+            &profile.scan_range(),
+            &IcmpEchoProbe,
+            &Blocklist::allow_all(),
+        )
+        .stats
+    };
+    let single = scan(1);
+    let retried = scan(3);
+    assert!(single.valid > 0, "loss=0.2 should leave survivors");
+    assert!(
+        retried.valid > single.valid,
+        "20% loss leaves recoverable gaps: {} vs {}",
+        retried.valid,
+        single.valid
+    );
+    assert!(retried.retransmits > 0);
 }

@@ -35,7 +35,12 @@ fn headline_discovery_estimate_matches_order_of_magnitude() {
             .map(|b| b.unique())
             .unwrap_or(0)
     };
-    assert!(by_id(3) > 10 * by_id(2).max(1), "Airtel {} BSNL {}", by_id(3), by_id(2));
+    assert!(
+        by_id(3) > 10 * by_id(2).max(1),
+        "Airtel {} BSNL {}",
+        by_id(3),
+        by_id(2)
+    );
 }
 
 #[test]
@@ -63,7 +68,12 @@ fn headline_service_exposure() {
     // HTTP-8080 is the most exposed service overall (3.5M in the paper).
     use xmap_netsim::services::ServiceKind;
     let alt = survey.alive_total(ServiceKind::HttpAlt);
-    for kind in [ServiceKind::Ntp, ServiceKind::Ftp, ServiceKind::Ssh, ServiceKind::Tls] {
+    for kind in [
+        ServiceKind::Ntp,
+        ServiceKind::Ftp,
+        ServiceKind::Ssh,
+        ServiceKind::Tls,
+    ] {
         assert!(alt >= survey.alive_total(kind), "{kind} beats 8080");
     }
     // DNS exposure exists and dnsmasq serves it.
@@ -79,7 +89,10 @@ fn headline_loop_survey() {
     // Diff dominates (paper: 95.1% diff overall).
     assert!(depth.same_frac() < 0.35, "same {}", depth.same_frac());
     // Chinese broadband carriers dominate the loop population.
-    let cn: usize = [11u8, 12, 13].iter().map(|id| depth.count_in_block(*id)).sum();
+    let cn: usize = [11u8, 12, 13]
+        .iter()
+        .map(|id| depth.count_in_block(*id))
+        .sum();
     assert!(cn * 10 >= total * 8, "CN {cn} of {total}");
 }
 
@@ -95,7 +108,11 @@ fn headline_bgp_survey() {
     assert!((0.005..0.12).contains(&share), "loop share {share}");
     assert!(vasns >= 5 && vcountries >= 3);
     // The hotspot countries of Figure 5 are in the top of the ranking.
-    let top: Vec<&str> = bgp.top_loop_countries(6).into_iter().map(|(c, _)| c).collect();
+    let top: Vec<&str> = bgp
+        .top_loop_countries(6)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
     let hot = ["BR", "CN", "EC", "VN", "US", "MM", "IN"];
     let overlap = top.iter().filter(|c| hot.contains(c)).count();
     assert!(overlap >= 3, "top countries {top:?}");
@@ -105,9 +122,10 @@ fn headline_bgp_survey() {
 fn headline_amplification_over_200() {
     // Paper: amplification factor >200 for every full-loop router at
     // typical path lengths.
-    for model in NAMED_MODELS.iter().filter(|m| {
-        matches!(m.behavior, xmap_netsim::topology::LoopBehavior::FullLoop)
-    }) {
+    for model in NAMED_MODELS
+        .iter()
+        .filter(|m| matches!(m.behavior, xmap_netsim::topology::LoopBehavior::FullLoop))
+    {
         let point = measure_amplification(model, 20);
         assert!(point.factor() > 200, "{}: {}", model.brand, point.factor());
     }
