@@ -39,12 +39,33 @@ impl GrabOutcome {
     }
 }
 
+/// Per-protocol metric name for one grab counter, e.g.
+/// `appscan.grabs.dns` or `appscan.open.http-8080`.
+pub fn metric_name(prefix: &str, kind: ServiceKind) -> String {
+    format!(
+        "appscan.{prefix}.{}",
+        kind.short_name().to_ascii_lowercase()
+    )
+}
+
 /// Grabs one service from one target address.
+///
+/// When the scanner carries a live telemetry bundle, every attempt bumps
+/// the per-protocol `appscan.grabs.<svc>` counter and every valid
+/// response bumps `appscan.open.<svc>`.
 pub fn grab<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
-    match kind.transport() {
+    let out = match kind.transport() {
         TransportProto::Udp => grab_udp(scanner, addr, kind),
         TransportProto::Tcp => grab_tcp(scanner, addr, kind),
+    };
+    let registry = &scanner.telemetry().registry;
+    if registry.is_enabled() {
+        registry.counter(&metric_name("grabs", kind)).inc();
+        if out.is_alive() {
+            registry.counter(&metric_name("open", kind)).inc();
+        }
     }
+    out
 }
 
 fn grab_udp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
@@ -177,6 +198,24 @@ mod tests {
             let out = grab(&mut scanner, addr, kind);
             assert!(out.is_alive(), "{kind} should be alive, got {out:?}");
             assert!(out.response().unwrap().is_valid_for(kind));
+        }
+    }
+
+    #[test]
+    fn grab_counters_track_each_protocol() {
+        let (mut scanner, addr, _) = discover_service_device();
+        let base = scanner.telemetry().registry.snapshot();
+        for kind in ServiceKind::ALL {
+            let out = grab(&mut scanner, addr, kind);
+            let snap = scanner.telemetry().registry.snapshot();
+            let grabs = metric_name("grabs", kind);
+            let open = metric_name("open", kind);
+            assert_eq!(snap.counter(&grabs) - base.counter(&grabs), 1, "{kind}");
+            assert_eq!(
+                snap.counter(&open) - base.counter(&open),
+                u64::from(out.is_alive()),
+                "{kind}"
+            );
         }
     }
 

@@ -125,6 +125,7 @@ impl SurveyRunner {
         scanner: &mut Scanner<N>,
         campaign: &CampaignResult,
     ) -> ServiceSurvey {
+        let start_tick = scanner.ticks();
         let mut survey = ServiceSurvey::default();
         for block in &campaign.blocks {
             let mut probed = 0usize;
@@ -133,6 +134,17 @@ impl SurveyRunner {
                 self.probe_device(scanner, block.profile_id, periphery, &mut survey);
             }
             survey.probed_per_block.insert(block.profile_id, probed);
+        }
+        if scanner.tracer().is_enabled() {
+            scanner.tracer().span_event(
+                start_tick,
+                scanner.ticks(),
+                "appscan.survey",
+                vec![
+                    ("devices", (survey.probed() as u64).into()),
+                    ("observations", (survey.observations.len() as u64).into()),
+                ],
+            );
         }
         survey
     }

@@ -38,7 +38,7 @@ fn bench_blocklist(c: &mut Criterion) {
             linear.insert(*p, *v);
         }
 
-        let mut g = c.benchmark_group(format!("blocklist_{size}_entries"));
+        let mut g = c.benchmark_group(&format!("blocklist_{size}_entries"));
         g.throughput(Throughput::Elements(targets.len() as u64));
         g.bench_function("trie_lookup_1k", |b| {
             b.iter(|| {

@@ -63,6 +63,7 @@ fn bench_world(c: &mut Criterion) {
                 seed: black_box(9),
                 bgp_ases: 6911,
                 loss_frac: 0.004,
+                ..WorldConfig::default()
             }))
         })
     });

@@ -19,22 +19,52 @@ use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::world::{World, WorldConfig};
 use xmap_netsim::FaultPlan;
 use xmap_periphery::Campaign;
+use xmap_telemetry::Telemetry;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("ablations: --metrics-out requires a value");
+                    std::process::exit(2);
+                }
+                metrics_out = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    let telemetry = Telemetry::new();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     if all || args.iter().any(|a| a == "permutation") {
         permutation_load_spread();
     }
     if all || args.iter().any(|a| a == "probes") {
-        probes_per_prefix_completeness();
+        probes_per_prefix_completeness(&telemetry);
     }
     if all || args.iter().any(|a| a == "hoplimit") {
-        hoplimit_tradeoff();
+        hoplimit_tradeoff(&telemetry);
     }
     if all || args.iter().any(|a| a == "faults") {
-        fault_recovery_matrix();
+        fault_recovery_matrix(&telemetry);
     }
+    if let Some(path) = metrics_out {
+        let json = telemetry.registry.snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("ablations: write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A scanner whose world and metric handles feed the shared bundle.
+fn scanner_with(mut world: World, config: ScanConfig, telemetry: &Telemetry) -> Scanner<World> {
+    world.set_telemetry(telemetry);
+    Scanner::with_telemetry(world, config, telemetry.clone())
 }
 
 /// Measures how many probes land in the same /40 network within any
@@ -74,7 +104,7 @@ fn permutation_load_spread() {
 
 /// Discovery completeness (found / ground truth) for k probes per prefix
 /// at several loss rates; ground truth from the world's device oracle.
-fn probes_per_prefix_completeness() {
+fn probes_per_prefix_completeness(telemetry: &Telemetry) {
     println!("ABLATION: probes per sub-prefix vs completeness under loss");
     let slice = 1u64 << 15;
     let profile_idx = 12; // China Mobile broadband, dense
@@ -97,7 +127,7 @@ fn probes_per_prefix_completeness() {
                 loss_frac: loss,
                 ..WorldConfig::lossless(9, 10)
             });
-            let mut scanner = Scanner::new(
+            let mut scanner = scanner_with(
                 world,
                 ScanConfig {
                     seed: 9,
@@ -105,6 +135,7 @@ fn probes_per_prefix_completeness() {
                     max_targets: Some(slice),
                     ..Default::default()
                 },
+                telemetry,
             );
             let mut found = std::collections::HashSet::new();
             for i in 0..slice {
@@ -135,16 +166,17 @@ fn probes_per_prefix_completeness() {
 
 /// Loop-survey yield and generated loop traffic at different probing hop
 /// limits — the accuracy/impact tradeoff of Section VI-B.
-fn hoplimit_tradeoff() {
+fn hoplimit_tradeoff(telemetry: &Telemetry) {
     println!("ABLATION: loop probing hop limit h — yield vs generated loop traffic");
     for h in [32u8, 64, 128, 255] {
         let world = World::with_config(WorldConfig::lossless(5, 10));
-        let mut scanner = Scanner::new(
+        let mut scanner = scanner_with(
             world,
             ScanConfig {
                 seed: 5,
                 ..Default::default()
             },
+            telemetry,
         );
         let mut result = xmap_loopscan::survey::DepthSurveyResult::default();
         let mut survey = DepthSurvey::new(1 << 14);
@@ -167,20 +199,21 @@ fn hoplimit_tradeoff() {
 /// loss-recovery pipeline (3 probes/target + mop-up). Completeness is
 /// measured against the lossless single-probe baseline of the same world
 /// seed, so 100% means full recovery.
-fn fault_recovery_matrix() {
+fn fault_recovery_matrix(telemetry: &Telemetry) {
     println!("ABLATION: fault matrix — single probe vs retransmission + mop-up");
     let profile = &SAMPLE_BLOCKS[2];
     let slice = 1u64 << 13;
     let seed = 9001;
 
     let baseline = {
-        let mut s = Scanner::new(
+        let mut s = scanner_with(
             World::with_config(WorldConfig::lossless(seed, 30)),
             ScanConfig {
                 seed: 5,
                 max_targets: Some(slice),
                 ..Default::default()
             },
+            telemetry,
         );
         Campaign::new(slice).run_block(&mut s, profile).unique()
     };
@@ -203,18 +236,19 @@ fn fault_recovery_matrix() {
                 }
                 let config = WorldConfig::lossless(seed, 30).with_fault(plan);
                 let single = {
-                    let mut s = Scanner::new(
+                    let mut s = scanner_with(
                         World::with_config(config),
                         ScanConfig {
                             seed: 5,
                             max_targets: Some(slice),
                             ..Default::default()
                         },
+                        telemetry,
                     );
                     Campaign::new(slice).run_block(&mut s, profile).unique()
                 };
                 let recovered = {
-                    let mut s = Scanner::new(
+                    let mut s = scanner_with(
                         World::with_config(config),
                         ScanConfig {
                             seed: 5,
@@ -222,6 +256,7 @@ fn fault_recovery_matrix() {
                             probes_per_target: 3,
                             ..Default::default()
                         },
+                        telemetry,
                     );
                     Campaign::new(slice)
                         .with_mop_up(2048)

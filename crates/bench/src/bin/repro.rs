@@ -3,13 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [artifact...]
+//! repro [--metrics-out FILE] [--quiet] [artifact...]
 //! ```
 //!
 //! Artifacts: `table1`..`table12`, `fig2`, `fig3`, `fig5`, `fig6`,
 //! `feasibility`, `amplification`, or `all` (default). The scale of the
 //! scans is controlled by `XMAP_SCALE` (log2 of discovery probes per
-//! block, default 20; the full space would be 32).
+//! block, default 20; the full space would be 32). `--metrics-out`
+//! writes the run's final telemetry snapshot as JSON; `--quiet`
+//! suppresses the progress lines on stderr.
 
 use xmap_bench::{
     amplification, baselines, feasibility, fig2, fig3, fig5, fig6, table1, table10, table11,
@@ -18,7 +20,27 @@ use xmap_bench::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                if i + 1 >= args.len() {
+                    eprintln!("repro: --metrics-out requires a value");
+                    std::process::exit(2);
+                }
+                metrics_out = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            "--quiet" | "-q" => {
+                quiet = true;
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "feasibility",
@@ -46,15 +68,18 @@ fn main() {
     };
 
     let config = ExperimentConfig::from_env();
-    eprintln!(
-        "# seed {:#x}, discovery 2^{} probes/block, loop 2^{} probes/block, BGP 2^{}/prefix over {} ASes",
-        config.seed,
-        config.discovery_probes_per_block.trailing_zeros(),
-        config.loop_probes_per_block.trailing_zeros(),
-        config.bgp_probes_per_prefix.trailing_zeros(),
-        config.bgp_ases,
-    );
-    let mut exp = Experiment::new(config);
+    if !quiet {
+        eprintln!(
+            "# seed {:#x}, discovery 2^{} probes/block, loop 2^{} probes/block, BGP 2^{}/prefix over {} ASes",
+            config.seed,
+            config.discovery_probes_per_block.trailing_zeros(),
+            config.loop_probes_per_block.trailing_zeros(),
+            config.bgp_probes_per_prefix.trailing_zeros(),
+            config.bgp_ases,
+        );
+    }
+    let telemetry = xmap_telemetry::Telemetry::new();
+    let mut exp = Experiment::with_telemetry(config, telemetry.clone());
 
     for artifact in wanted {
         let started = std::time::Instant::now();
@@ -84,6 +109,15 @@ fn main() {
             }
         };
         println!("{text}");
-        eprintln!("# {artifact} rendered in {:.2?}", started.elapsed());
+        if !quiet {
+            eprintln!("# {artifact} rendered in {:.2?}", started.elapsed());
+        }
+    }
+    if let Some(path) = metrics_out {
+        let json = telemetry.registry.snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("repro: write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -28,6 +28,7 @@ use xmap_netsim::services::ServiceKind;
 use xmap_netsim::topology::{LoopBehavior, NAMED_MODELS};
 use xmap_netsim::world::{World, WorldConfig};
 use xmap_periphery::{infer_boundary, Campaign, CampaignResult, VendorCounts};
+use xmap_telemetry::Telemetry;
 
 /// Scale and seed knobs for one full reproduction run.
 #[derive(Debug, Clone, Copy)]
@@ -98,17 +99,25 @@ pub struct Experiment {
 impl Experiment {
     /// Creates a fresh experiment.
     pub fn new(config: ExperimentConfig) -> Self {
-        let world = World::with_config(WorldConfig {
+        Experiment::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Creates an experiment whose world and scanner share `telemetry`,
+    /// so a run's counters can be exported after the artifacts render.
+    pub fn with_telemetry(config: ExperimentConfig, telemetry: Telemetry) -> Self {
+        let mut world = World::with_config(WorldConfig {
             seed: config.seed,
             bgp_ases: config.bgp_ases,
             ..WorldConfig::default()
         });
-        let scanner = Scanner::new(
+        world.set_telemetry(&telemetry);
+        let scanner = Scanner::with_telemetry(
             world,
             ScanConfig {
                 seed: config.seed,
                 ..Default::default()
             },
+            telemetry,
         );
         Experiment {
             config,

@@ -17,7 +17,11 @@
 //!       --permutation P    cyclic | feistel | sequential
 //!   -b, --block PREFIX     add a blocklist prefix (repeatable)
 //!   -o, --output FILE     write results as CSV (default: stdout)
-//!   -q, --quiet            suppress the summary on stderr
+//!       --metrics-out FILE write the final telemetry snapshot as JSON
+//!       --trace-out FILE   write the event trace as NDJSON
+//!       --status-interval S status-line period in simulated seconds
+//!                          (default 1.0; virtual clock, so deterministic)
+//!   -q, --quiet            suppress the summary and status lines on stderr
 //!
 //! Modes (first positional argument):
 //!
@@ -35,6 +39,7 @@ use xmap::{
 };
 use xmap_netsim::services::{AppRequest, ServiceKind};
 use xmap_netsim::World;
+use xmap_telemetry::{Monitor, Telemetry};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +56,9 @@ struct CliConfig {
     permutation: Permutation,
     blocked: Vec<String>,
     output: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    status_interval: f64,
     quiet: bool,
 }
 
@@ -76,6 +84,9 @@ impl Default for CliConfig {
             permutation: Permutation::Cyclic,
             blocked: Vec::new(),
             output: None,
+            metrics_out: None,
+            trace_out: None,
+            status_interval: 1.0,
             quiet: false,
         }
     }
@@ -152,6 +163,16 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             }
             "-b" | "--block" => cfg.blocked.push(value(&mut iter, arg)?),
             "-o" | "--output" => cfg.output = Some(value(&mut iter, arg)?),
+            "--metrics-out" => cfg.metrics_out = Some(value(&mut iter, arg)?),
+            "--trace-out" => cfg.trace_out = Some(value(&mut iter, arg)?),
+            "--status-interval" => {
+                cfg.status_interval = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "status-interval must be a number of seconds".to_owned())?;
+                if cfg.status_interval <= 0.0 || cfg.status_interval.is_nan() {
+                    return Err("status-interval must be positive".to_owned());
+                }
+            }
             "-q" | "--quiet" => cfg.quiet = true,
             "-h" | "--help" => return Err("help".to_owned()),
             other if other.starts_with('-') => {
@@ -211,10 +232,32 @@ fn run(cfg: CliConfig) -> Result<(), String> {
         rate_pps: cfg.rate_pps,
         ..Default::default()
     };
-    let mut scanner = Scanner::new(World::new(cfg.world_seed), scan_config);
+    let telemetry = if cfg.trace_out.is_some() {
+        Telemetry::with_tracing()
+    } else {
+        Telemetry::new()
+    };
+    let mut world = World::new(cfg.world_seed);
+    world.set_telemetry(&telemetry);
+    let mut scanner = Scanner::with_telemetry(world, scan_config, telemetry.clone());
+    if !cfg.quiet {
+        // One virtual tick per send slot, so the configured packet rate
+        // fixes the tick↔second conversion for the status lines.
+        let ticks_per_sec = cfg.rate_pps.unwrap_or(100_000).max(1);
+        let interval = ((cfg.status_interval * ticks_per_sec as f64) as u64).max(1);
+        scanner.set_monitor(Monitor::new(&telemetry.registry, interval, ticks_per_sec));
+    }
     let module = module_for(&cfg);
     let started = std::time::Instant::now();
     let results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
+    if let Some(path) = &cfg.metrics_out {
+        let json = telemetry.registry.snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &cfg.trace_out {
+        let ndjson = telemetry.tracer.to_ndjson();
+        std::fs::write(path, ndjson).map_err(|e| format!("write {path}: {e}"))?;
+    }
 
     let csv = xmap::output::to_csv(&results.records);
     match &cfg.output {
@@ -422,6 +465,20 @@ mod tests {
             parse_args(&args("-p 99999 2405:200::/32")).is_err(),
             "port overflow"
         );
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let cfg = parse_args(&args(
+            "--metrics-out /tmp/m.json --trace-out /tmp/t.ndjson \
+             --status-interval 0.5 2405:200::/32-64",
+        ))
+        .unwrap();
+        assert_eq!(cfg.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/t.ndjson"));
+        assert!((cfg.status_interval - 0.5).abs() < 1e-12);
+        assert!(parse_args(&args("--status-interval 0 2405:200::/32")).is_err());
+        assert!(parse_args(&args("--status-interval x 2405:200::/32")).is_err());
     }
 
     #[test]

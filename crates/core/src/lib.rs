@@ -50,6 +50,7 @@ pub mod probe;
 pub mod rate;
 pub mod scanner;
 pub mod target;
+pub mod telemetry;
 pub mod validate;
 
 pub use blocklist::{Blocklist, Verdict};
@@ -61,4 +62,5 @@ pub use scanner::{
     run_pipelined, Confidence, Permutation, ScanConfig, ScanRecord, ScanResults, ScanStats, Scanner,
 };
 pub use target::{fill_host_bits, TargetSpec};
+pub use telemetry::ScanMetrics;
 pub use validate::Validator;

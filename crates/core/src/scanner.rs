@@ -12,6 +12,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc;
 use xmap_addr::{Ip6, Prefix, ScanRange};
 use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload};
+use xmap_telemetry::{Monitor, Telemetry, Tracer};
 
 use crate::blocklist::Blocklist;
 use crate::cyclic::Cycle;
@@ -19,6 +20,7 @@ use crate::feistel::FeistelPermutation;
 use crate::probe::{ProbeModule, ProbeResult};
 use crate::rate::{AdaptiveRateController, RateLimiter};
 use crate::target::fill_host_bits;
+use crate::telemetry::{HotTally, ScanMetrics};
 use crate::validate::Validator;
 
 /// Probe-order strategies (ablation: `permutation_vs_sequential`).
@@ -126,6 +128,11 @@ pub struct ScanRecord {
 }
 
 /// Aggregate counters for one scan.
+///
+/// Since the telemetry migration this is a *view*: the scanner counts into
+/// its [`ScanMetrics`] registry handles and each run reports the delta, so
+/// the registry is the single source of truth (campaign mop-up passes and
+/// the pipelined runner count through the same handles).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ScanStats {
     /// Probes sent.
@@ -163,7 +170,8 @@ impl ScanStats {
         }
     }
 
-    fn merge(&mut self, other: &ScanStats) {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
         self.sent += other.sent;
         self.blocked += other.blocked;
         self.received += other.received;
@@ -211,23 +219,87 @@ pub struct Scanner<N> {
     network: N,
     config: ScanConfig,
     validator: Validator,
+    telemetry: Telemetry,
+    metrics: ScanMetrics,
+    monitor: Option<Monitor>,
+    /// Virtual ticks issued to the network across all runs — the monotone
+    /// clock the monitor and trace spans are stamped with.
+    total_ticks: u64,
 }
 
 impl<N: Network> Scanner<N> {
-    /// Creates a scanner over a network.
+    /// Creates a scanner over a network with private telemetry (live
+    /// counters, tracing off).
     ///
     /// # Panics
     ///
     /// Panics if `config.shards == 0` or `config.shard >= config.shards`.
     pub fn new(network: N, config: ScanConfig) -> Self {
+        Scanner::with_telemetry(network, config, Telemetry::new())
+    }
+
+    /// Creates a scanner counting into a shared [`Telemetry`] bundle, so
+    /// monitors, snapshot exports and other components observe this
+    /// scanner's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `config.shard >= config.shards`.
+    pub fn with_telemetry(network: N, config: ScanConfig, telemetry: Telemetry) -> Self {
         assert!(config.shards > 0, "shards must be nonzero");
         assert!(config.shard < config.shards, "shard index out of range");
         let validator = Validator::new(config.seed ^ 0x5ca1_ab1e);
+        let metrics = ScanMetrics::bind(&telemetry.registry);
         Scanner {
             network,
             config,
             validator,
+            telemetry,
+            metrics,
+            monitor: None,
+            total_ticks: 0,
         }
+    }
+
+    /// The telemetry bundle this scanner counts into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The pre-bound scan metric handles (shared cells with the registry).
+    pub fn metrics(&self) -> &ScanMetrics {
+        &self.metrics
+    }
+
+    /// The event tracer (disabled unless the telemetry bundle enables it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.telemetry.tracer
+    }
+
+    /// Attaches a live monitor, polled once per virtual tick during runs.
+    pub fn set_monitor(&mut self, monitor: Monitor) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Detaches the monitor, returning it.
+    pub fn take_monitor(&mut self) -> Option<Monitor> {
+        self.monitor.take()
+    }
+
+    /// Virtual ticks issued to the network so far (monotone across runs).
+    pub fn ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// Advances the network's virtual clock by `ticks`, returning any
+    /// delayed packets that came due. Keeps the scanner's monotone tick
+    /// count in sync — campaign drivers use this instead of ticking the
+    /// network directly.
+    pub fn advance(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        self.total_ticks += ticks;
+        let due = self.network.tick(ticks);
+        self.network.flush_telemetry();
+        due
     }
 
     /// The configuration in effect.
@@ -264,6 +336,8 @@ impl<N: Network> Scanner<N> {
 
     /// Sends one probe to an explicit destination and classifies responses.
     /// Used by the application-layer and loop scanners for targeted probes.
+    /// Counts into the same `scan.*` metrics as [`Scanner::run`], so
+    /// targeted passes (mop-up, loop detection) share the accounting.
     pub fn probe_addr(
         &mut self,
         dst: Ip6,
@@ -271,11 +345,23 @@ impl<N: Network> Scanner<N> {
         hop_limit: u8,
     ) -> Vec<(Ip6, ProbeResult)> {
         let probe = module.build(self.config.source, dst, hop_limit, &self.validator);
-        self.network
+        self.metrics.sent.inc();
+        let out: Vec<(Ip6, ProbeResult)> = self
+            .network
             .handle(probe)
             .into_iter()
             .map(|resp| (resp.src, module.classify(&resp, &self.validator)))
-            .collect()
+            .collect();
+        for (_, result) in &out {
+            self.metrics.received.inc();
+            if matches!(result, ProbeResult::Invalid) {
+                self.metrics.invalid.inc();
+            } else {
+                self.metrics.valid.inc();
+            }
+        }
+        self.network.flush_telemetry();
+        out
     }
 
     /// Scans one range with a probe module, honouring the blocklist.
@@ -295,6 +381,8 @@ impl<N: Network> Scanner<N> {
         blocklist: &Blocklist,
     ) -> ScanResults {
         let mut results = ScanResults::default();
+        let base = self.metrics.baseline();
+        let run_start_tick = self.total_ticks;
         let indices = self.order(range);
         let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
         let mut adaptive = if self.config.adaptive_rate {
@@ -306,6 +394,9 @@ impl<N: Network> Scanner<N> {
         let mut state = RecoveryState::default();
         let mut fresh = indices.into_iter();
         let mut now: u64 = 0;
+        // Per-slot metrics are tallied locally and flushed at observation
+        // boundaries (monitor lines, run end) — see [`HotTally`].
+        let mut tally = HotTally::default();
 
         loop {
             // One send slot: a due retransmission wins over a fresh target.
@@ -327,18 +418,18 @@ impl<N: Network> Scanner<N> {
                 // on a new (deterministically lossy) path.
                 let dst = fill_host_bits(target, self.config.seed.wrapping_add(attempt as u64));
                 if !blocklist.is_allowed(dst) {
-                    results.stats.blocked += 1;
+                    tally.blocked += 1;
                     continue;
                 }
                 if let Some(ctrl) = adaptive.as_mut() {
                     // Pace at the controller's current rate; accounted, not
                     // slept, like the fixed budget below.
-                    results.stats.paced_secs += 1.0 / ctrl.current_pps() as f64;
+                    tally.paced_nanos += 1_000_000_000 / ctrl.current_pps().max(1);
                     ctrl.on_probe();
                 } else if let Some(limiter) = limiter.as_mut() {
                     // Account the pacing this probe would cost; the simulator
                     // answers instantly, so we track instead of sleeping.
-                    results.stats.paced_secs += 1.0 / limiter.rate_pps() as f64;
+                    tally.paced_nanos += 1_000_000_000 / limiter.rate_pps().max(1);
                 }
                 let probe = module.build(
                     self.config.source,
@@ -346,9 +437,19 @@ impl<N: Network> Scanner<N> {
                     self.config.hop_limit,
                     &self.validator,
                 );
-                results.stats.sent += 1;
+                tally.sent += 1;
                 if attempt > 0 {
-                    results.stats.retransmits += 1;
+                    self.metrics.retransmits.inc();
+                }
+                if self.telemetry.tracer.is_enabled() {
+                    self.telemetry.tracer.event(
+                        self.total_ticks,
+                        "scan.send",
+                        vec![
+                            ("attempt", (attempt as u64).into()),
+                            ("dst", dst.to_string().into()),
+                        ],
+                    );
                 }
                 state.outstanding.insert(
                     dst,
@@ -356,26 +457,51 @@ impl<N: Network> Scanner<N> {
                         target,
                         attempt,
                         answered: false,
+                        sent_tick: now,
                     },
                 );
                 // Bounded queue: an overflowing retry is abandoned (the
                 // target is then counted in `gave_up` if it stays silent).
                 if attempt + 1 < attempts && state.retries.len() < self.config.max_retry_backlog {
-                    state.schedule(
-                        now + (self.config.rto_ticks << attempt),
-                        target,
-                        attempt + 1,
-                        dst,
-                    );
+                    let backoff = self.config.rto_ticks << attempt;
+                    self.metrics.backoff_ticks.record(backoff);
+                    state.schedule(now + backoff, target, attempt + 1, dst);
                 }
                 let immediate = self.network.handle(probe);
-                self.absorb(immediate, module, &mut state, &mut adaptive, &mut results);
+                self.absorb(
+                    immediate,
+                    module,
+                    &mut state,
+                    &mut adaptive,
+                    &mut results,
+                    &mut tally,
+                    now,
+                );
             }
 
             let late = self.network.tick(1);
             now += 1;
-            self.absorb(late, module, &mut state, &mut adaptive, &mut results);
+            self.total_ticks += 1;
+            if let Some(monitor) = self.monitor.as_mut() {
+                if monitor.is_due(self.total_ticks) {
+                    // Flush batched tallies so the status line is exact.
+                    tally.flush(&self.metrics);
+                    monitor.poll(self.total_ticks);
+                }
+            }
+            self.absorb(
+                late,
+                module,
+                &mut state,
+                &mut adaptive,
+                &mut results,
+                &mut tally,
+                now,
+            );
         }
+
+        tally.flush(&self.metrics);
+        self.network.flush_telemetry();
 
         // Per-target recovery accounting, in deterministic probe order.
         for target in &state.probed {
@@ -383,12 +509,23 @@ impl<N: Network> Scanner<N> {
                 continue;
             }
             if attempts > 1 {
-                results.stats.gave_up += 1;
+                self.metrics.gave_up.inc();
             }
             if self.config.record_silent {
                 results.silent_targets.push(*target);
             }
         }
+        results.stats = self.metrics.stats_since(&base);
+        self.metrics.update_hit_rate();
+        self.telemetry.tracer.span_event(
+            run_start_tick,
+            self.total_ticks,
+            "scan.run",
+            vec![
+                ("sent", results.stats.sent.into()),
+                ("valid", results.stats.valid.into()),
+            ],
+        );
         results
     }
 
@@ -396,6 +533,7 @@ impl<N: Network> Scanner<N> {
     /// probe through the response itself (stateless, like the C scanner:
     /// echo replies carry the probed address as their source, ICMPv6 errors
     /// quote it in the invoking packet).
+    #[allow(clippy::too_many_arguments)]
     fn absorb(
         &mut self,
         batch: Vec<Ipv6Packet>,
@@ -403,17 +541,19 @@ impl<N: Network> Scanner<N> {
         state: &mut RecoveryState,
         adaptive: &mut Option<AdaptiveRateController>,
         results: &mut ScanResults,
+        tally: &mut HotTally,
+        now: u64,
     ) {
         for resp in batch {
-            results.stats.received += 1;
+            tally.received += 1;
             match module.classify(&resp, &self.validator) {
-                ProbeResult::Invalid => results.stats.invalid += 1,
+                ProbeResult::Invalid => tally.invalid += 1,
                 result => {
                     let probe_dst = probe_dst_of(&resp);
                     let Some(out) = state.outstanding.get_mut(&probe_dst) else {
                         // Validated but unattributable (a duplicate of a
                         // probe sent outside this run); not ours to record.
-                        results.stats.invalid += 1;
+                        tally.invalid += 1;
                         continue;
                     };
                     let confidence = match out.attempt {
@@ -429,9 +569,27 @@ impl<N: Network> Scanner<N> {
                             ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
                         )
                     {
-                        results.stats.rate_limited_suspected += 1;
+                        self.metrics.rate_limited_suspected.inc();
                     }
-                    results.stats.valid += 1;
+                    tally.valid += 1;
+                    let rtt = now.saturating_sub(out.sent_tick);
+                    if rtt == 0 {
+                        // Same-slot answers dominate; batch them and flush
+                        // through `Histogram::record_n`.
+                        tally.rtt_zero += 1;
+                    } else {
+                        self.metrics.rtt_ticks.record(rtt);
+                    }
+                    if self.telemetry.tracer.is_enabled() {
+                        self.telemetry.tracer.event(
+                            self.total_ticks,
+                            "scan.recv",
+                            vec![
+                                ("rtt_ticks", rtt.into()),
+                                ("attempt", (out.attempt as u64).into()),
+                            ],
+                        );
+                    }
                     if let Some(ctrl) = adaptive.as_mut() {
                         ctrl.on_valid();
                     }
@@ -494,6 +652,8 @@ struct Outstanding {
     target: Prefix,
     attempt: u32,
     answered: bool,
+    /// Run-local virtual tick the probe went out at (RTT measurement).
+    sent_tick: u64,
 }
 
 /// A scheduled retransmission. Ordering is reversed so a `BinaryHeap`
@@ -607,20 +767,22 @@ pub fn run_pipelined<N: Network>(
             }
         });
 
+        let base = scanner.metrics.baseline();
         let mut results = ScanResults::default();
         while let Ok((target, dst)) = rx.recv() {
             if !blocklist_ref.is_allowed(dst) {
-                results.stats.blocked += 1;
+                scanner.metrics.blocked.inc();
                 continue;
             }
             let probe = module.build(config.source, dst, config.hop_limit, &scanner.validator);
-            results.stats.sent += 1;
+            scanner.metrics.sent.inc();
             for resp in scanner.network.handle(probe) {
-                results.stats.received += 1;
+                scanner.metrics.received.inc();
                 match module.classify(&resp, &scanner.validator) {
-                    ProbeResult::Invalid => results.stats.invalid += 1,
+                    ProbeResult::Invalid => scanner.metrics.invalid.inc(),
                     result => {
-                        results.stats.valid += 1;
+                        scanner.metrics.valid.inc();
+                        scanner.metrics.rtt_ticks.record(0);
                         results.records.push(ScanRecord {
                             target,
                             probe_dst: dst,
@@ -632,6 +794,8 @@ pub fn run_pipelined<N: Network>(
                 }
             }
         }
+        results.stats = scanner.metrics.stats_since(&base);
+        scanner.metrics.update_hit_rate();
         results
     })
 }
@@ -1074,6 +1238,65 @@ mod tests {
         };
         assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(ScanStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_registry_is_source_of_truth() {
+        let telemetry = Telemetry::with_tracing();
+        let mut s = Scanner::with_telemetry(
+            ToyNet { handled: 0 },
+            ScanConfig {
+                max_targets: Some(500),
+                probes_per_target: 2,
+                ..Default::default()
+            },
+            telemetry.clone(),
+        );
+        let res = s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let snap = telemetry.registry.snapshot();
+        // The stats view and the registry agree exactly.
+        assert_eq!(snap.counter("scan.sent"), res.stats.sent);
+        assert_eq!(snap.counter("scan.valid"), res.stats.valid);
+        assert_eq!(snap.counter("scan.retransmits"), res.stats.retransmits);
+        assert_eq!(snap.counter("scan.gave_up"), res.stats.gave_up);
+        assert_eq!(
+            snap.gauges["scan.hit_rate_ppm"],
+            res.stats.valid * 1_000_000 / res.stats.sent
+        );
+        // One RTT observation per valid response; backoffs recorded for
+        // every scheduled retry.
+        let rtt = &snap.histograms["scan.rtt_ticks"];
+        assert_eq!(rtt.count, res.stats.valid);
+        assert!(snap.histograms["scan.backoff_ticks"].count > 0);
+        // The trace ring saw sends, receives and the run span.
+        let spans: HashSet<&str> = telemetry.tracer.events().iter().map(|e| e.span).collect();
+        for span in ["scan.send", "scan.recv", "scan.run"] {
+            assert!(spans.contains(span), "missing {span}");
+        }
+    }
+
+    #[test]
+    fn monitor_emits_status_lines_on_virtual_clock() {
+        let telemetry = Telemetry::new();
+        let mut s = Scanner::with_telemetry(
+            ToyNet { handled: 0 },
+            ScanConfig {
+                max_targets: Some(1000),
+                ..Default::default()
+            },
+            telemetry.clone(),
+        );
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        s.set_monitor(
+            xmap_telemetry::Monitor::new(&telemetry.registry, 100, 100)
+                .with_sink(xmap_telemetry::MonitorSink::Buffer(buf.clone())),
+        );
+        s.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let lines = buf.lock().unwrap().clone();
+        // 1000 send slots at one tick each, one line per 100 ticks.
+        assert_eq!(lines.len(), 10, "{lines:?}");
+        assert!(lines[0].contains("send: 100 "), "{}", lines[0]);
+        assert!(lines[9].contains("send: 1000 "), "{}", lines[9]);
     }
 
     #[test]

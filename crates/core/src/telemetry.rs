@@ -1,0 +1,267 @@
+//! The scanner's metric surface.
+//!
+//! [`ScanMetrics`] binds every well-known `scan.*` metric against a shared
+//! [`Registry`] once, so the scan hot path pays exactly one relaxed atomic
+//! add per counted event. [`crate::ScanStats`] is now a *view* over these
+//! metrics: [`Scanner::run`](crate::Scanner::run) snapshots a
+//! [`MetricsBaseline`] on entry and reports the delta on exit, which makes
+//! the registry the single source of truth for scan accounting — the
+//! campaign mop-up pass and the pipelined runner count through the same
+//! handles.
+
+use xmap_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::scanner::ScanStats;
+
+/// Well-known metric names (the monitor and snapshot consumers key on
+/// these; keep them in sync with DESIGN.md §"Telemetry").
+pub mod names {
+    /// Probes sent (counter).
+    pub const SENT: &str = "scan.sent";
+    /// Targets skipped by the blocklist (counter).
+    pub const BLOCKED: &str = "scan.blocked";
+    /// Response packets received (counter).
+    pub const RECEIVED: &str = "scan.received";
+    /// Responses failing stateless validation (counter).
+    pub const INVALID: &str = "scan.invalid";
+    /// Valid, recorded responses (counter).
+    pub const VALID: &str = "scan.valid";
+    /// Retransmitted probes (counter).
+    pub const RETRANSMITS: &str = "scan.retransmits";
+    /// Suspected ICMPv6 rate-limited targets (counter).
+    pub const RATE_LIMITED: &str = "scan.rate_limited_suspected";
+    /// Targets abandoned with every attempt unanswered (counter).
+    pub const GAVE_UP: &str = "scan.gave_up";
+    /// Accounted pacing in nanoseconds of virtual send time (counter).
+    pub const PACED_NANOS: &str = "scan.paced_nanos";
+    /// Valid responses per million probes sent (gauge, updated per run).
+    pub const HIT_RATE_PPM: &str = "scan.hit_rate_ppm";
+    /// Probe→response round-trip time in virtual ticks (histogram).
+    pub const RTT_TICKS: &str = "scan.rtt_ticks";
+    /// Scheduled retransmission backoff in virtual ticks (histogram).
+    pub const BACKOFF_TICKS: &str = "scan.backoff_ticks";
+}
+
+/// RTT histogram bucket bounds (virtual ticks; one tick per send slot).
+pub const RTT_BOUNDS: [u64; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Backoff histogram bucket bounds (virtual ticks).
+pub const BACKOFF_BOUNDS: [u64; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+/// Pre-bound handles for every scanner metric.
+#[derive(Debug, Clone)]
+pub struct ScanMetrics {
+    /// Probes sent.
+    pub sent: Counter,
+    /// Blocklist skips.
+    pub blocked: Counter,
+    /// Responses received.
+    pub received: Counter,
+    /// Validation failures.
+    pub invalid: Counter,
+    /// Valid responses.
+    pub valid: Counter,
+    /// Retransmissions (included in `sent`).
+    pub retransmits: Counter,
+    /// Suspected rate-limited targets.
+    pub rate_limited_suspected: Counter,
+    /// Abandoned targets.
+    pub gave_up: Counter,
+    /// Accounted pacing, nanoseconds.
+    pub paced_nanos: Counter,
+    /// Valid-per-million-sent, refreshed after every run.
+    pub hit_rate_ppm: Gauge,
+    /// Round-trip times in ticks.
+    pub rtt_ticks: Histogram,
+    /// Retransmission backoffs in ticks.
+    pub backoff_ticks: Histogram,
+}
+
+impl ScanMetrics {
+    /// Binds all scan metrics in `registry`.
+    pub fn bind(registry: &Registry) -> Self {
+        ScanMetrics {
+            sent: registry.counter(names::SENT),
+            blocked: registry.counter(names::BLOCKED),
+            received: registry.counter(names::RECEIVED),
+            invalid: registry.counter(names::INVALID),
+            valid: registry.counter(names::VALID),
+            retransmits: registry.counter(names::RETRANSMITS),
+            rate_limited_suspected: registry.counter(names::RATE_LIMITED),
+            gave_up: registry.counter(names::GAVE_UP),
+            paced_nanos: registry.counter(names::PACED_NANOS),
+            hit_rate_ppm: registry.gauge(names::HIT_RATE_PPM),
+            rtt_ticks: registry.histogram(names::RTT_TICKS, &RTT_BOUNDS),
+            backoff_ticks: registry.histogram(names::BACKOFF_TICKS, &BACKOFF_BOUNDS),
+        }
+    }
+
+    /// The raw counter totals right now (the anchor for a per-run delta).
+    pub fn baseline(&self) -> MetricsBaseline {
+        MetricsBaseline {
+            sent: self.sent.get(),
+            blocked: self.blocked.get(),
+            received: self.received.get(),
+            invalid: self.invalid.get(),
+            valid: self.valid.get(),
+            retransmits: self.retransmits.get(),
+            rate_limited_suspected: self.rate_limited_suspected.get(),
+            gave_up: self.gave_up.get(),
+            paced_nanos: self.paced_nanos.get(),
+        }
+    }
+
+    /// The [`ScanStats`] accumulated since `base` was captured. Exact: the
+    /// subtraction happens on the raw integer counters (pacing included,
+    /// as nanoseconds) before any float conversion.
+    pub fn stats_since(&self, base: &MetricsBaseline) -> ScanStats {
+        ScanStats {
+            sent: self.sent.get() - base.sent,
+            blocked: self.blocked.get() - base.blocked,
+            received: self.received.get() - base.received,
+            invalid: self.invalid.get() - base.invalid,
+            valid: self.valid.get() - base.valid,
+            retransmits: self.retransmits.get() - base.retransmits,
+            rate_limited_suspected: self.rate_limited_suspected.get() - base.rate_limited_suspected,
+            gave_up: self.gave_up.get() - base.gave_up,
+            paced_secs: (self.paced_nanos.get() - base.paced_nanos) as f64 / 1e9,
+        }
+    }
+
+    /// Refreshes the hit-rate gauge from the lifetime totals.
+    pub fn update_hit_rate(&self) {
+        let ppm = self
+            .valid
+            .get()
+            .saturating_mul(1_000_000)
+            .checked_div(self.sent.get());
+        if let Some(ppm) = ppm {
+            self.hit_rate_ppm.set(ppm);
+        }
+    }
+}
+
+/// Plain-integer tallies for the scanner's per-slot loop.
+///
+/// The hot path bumps these local fields (one register add, no atomics)
+/// and [`flush`](HotTally::flush)es them through the shared [`ScanMetrics`]
+/// handles at observation boundaries: before the monitor renders a status
+/// line and when a run finishes. Everything the registry exports therefore
+/// stays exact where it is read, while the per-probe cost drops to nothing.
+///
+/// Only the always-moving metrics are batched; rare events (retransmits,
+/// suspected rate limiting, nonzero RTTs) keep their direct handles.
+#[derive(Debug, Default)]
+pub struct HotTally {
+    /// Probes sent.
+    pub sent: u64,
+    /// Blocklist skips.
+    pub blocked: u64,
+    /// Responses received.
+    pub received: u64,
+    /// Validation failures.
+    pub invalid: u64,
+    /// Valid responses.
+    pub valid: u64,
+    /// Accounted pacing, nanoseconds.
+    pub paced_nanos: u64,
+    /// Valid responses that arrived in the send slot (RTT of zero ticks,
+    /// the overwhelmingly common case) — flushed into the RTT histogram
+    /// with [`Histogram::record_n`](xmap_telemetry::Histogram::record_n).
+    pub rtt_zero: u64,
+}
+
+impl HotTally {
+    /// Adds every nonzero tally to the shared handles and resets to zero.
+    pub fn flush(&mut self, metrics: &ScanMetrics) {
+        fn bump(counter: &Counter, n: &mut u64) {
+            if *n > 0 {
+                counter.add(*n);
+                *n = 0;
+            }
+        }
+        bump(&metrics.sent, &mut self.sent);
+        bump(&metrics.blocked, &mut self.blocked);
+        bump(&metrics.received, &mut self.received);
+        bump(&metrics.invalid, &mut self.invalid);
+        bump(&metrics.valid, &mut self.valid);
+        bump(&metrics.paced_nanos, &mut self.paced_nanos);
+        if self.rtt_zero > 0 {
+            metrics.rtt_ticks.record_n(0, self.rtt_zero);
+            self.rtt_zero = 0;
+        }
+    }
+}
+
+/// A frozen copy of the raw scan counters, used to compute per-run deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsBaseline {
+    sent: u64,
+    blocked: u64,
+    received: u64,
+    invalid: u64,
+    valid: u64,
+    retransmits: u64,
+    rate_limited_suspected: u64,
+    gave_up: u64,
+    paced_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_delta_is_exact() {
+        let reg = Registry::new();
+        let m = ScanMetrics::bind(&reg);
+        m.sent.add(100);
+        m.paced_nanos.add(40_000 * 100);
+        let base = m.baseline();
+        m.sent.add(2500);
+        m.valid.add(50);
+        m.paced_nanos.add(40_000 * 2500);
+        let stats = m.stats_since(&base);
+        assert_eq!(stats.sent, 2500);
+        assert_eq!(stats.valid, 50);
+        assert!(
+            (stats.paced_secs - 0.1).abs() < 1e-12,
+            "{}",
+            stats.paced_secs
+        );
+    }
+
+    #[test]
+    fn hot_tally_flush_matches_direct_counting() {
+        let reg = Registry::new();
+        let m = ScanMetrics::bind(&reg);
+        let mut tally = HotTally {
+            sent: 10,
+            received: 7,
+            valid: 6,
+            invalid: 1,
+            paced_nanos: 40_000,
+            rtt_zero: 6,
+            ..HotTally::default()
+        };
+        tally.flush(&m);
+        assert_eq!(m.sent.get(), 10);
+        assert_eq!(m.received.get(), 7);
+        assert_eq!(m.rtt_ticks.count(), 6);
+        assert_eq!(m.rtt_ticks.sum(), 0);
+        // Flushing resets; a second flush adds nothing.
+        tally.flush(&m);
+        assert_eq!(m.sent.get(), 10);
+        assert_eq!(tally.sent, 0);
+    }
+
+    #[test]
+    fn hit_rate_gauge_tracks_totals() {
+        let reg = Registry::new();
+        let m = ScanMetrics::bind(&reg);
+        m.sent.add(1000);
+        m.valid.add(25);
+        m.update_hit_rate();
+        assert_eq!(m.hit_rate_ppm.get(), 25_000);
+    }
+}

@@ -31,11 +31,23 @@ impl AmplificationPoint {
 /// Measures loop traffic for one router model at a given path length by
 /// sending a single 255-hop-limit packet into a not-used LAN prefix.
 pub fn measure_amplification(model: &RouterModel, path_hops: u8) -> AmplificationPoint {
+    measure_amplification_with(model, path_hops, &xmap_telemetry::Telemetry::disabled())
+}
+
+/// [`measure_amplification`] with a telemetry bundle attached: the engine
+/// mirrors its traversal counters into the registry and the measured
+/// factor is recorded into the `loopscan.amplification_factor` histogram.
+pub fn measure_amplification_with(
+    model: &RouterModel,
+    path_hops: u8,
+    telemetry: &xmap_telemetry::Telemetry,
+) -> AmplificationPoint {
     let plan = HomeNetworkPlan {
         transit_hops: path_hops,
         ..HomeNetworkPlan::default()
     };
     let (mut engine, net) = build_home_network(model, &plan);
+    engine.set_telemetry(telemetry);
     engine.reset_counters();
     let target = if model.lan_vulnerable {
         plan.not_used_lan_prefix().addr().with_iid(1)
@@ -51,10 +63,26 @@ pub fn measure_amplification(model: &RouterModel, path_hops: u8) -> Amplificatio
     ));
     let loop_forwards =
         engine.link_forwards(net.isp, net.cpe) + engine.link_forwards(net.cpe, net.isp);
-    AmplificationPoint {
+    let point = AmplificationPoint {
         path_hops,
         loop_forwards,
+    };
+    if telemetry.registry.is_enabled() {
+        crate::telemetry::LoopscanTelemetry::bind(telemetry)
+            .amplification
+            .record(point.factor());
     }
+    if telemetry.tracer.is_enabled() {
+        telemetry.tracer.event(
+            0,
+            "loopscan.amplify",
+            vec![
+                ("path_hops", u64::from(path_hops).into()),
+                ("factor", point.factor().into()),
+            ],
+        );
+    }
+    point
 }
 
 /// Measures the spoofed-source doubling: the attack packet's source is
@@ -91,8 +119,18 @@ pub fn measure_spoofed_doubling(model: &RouterModel, path_hops: u8) -> (u64, u64
 /// Sweeps path lengths, producing the amplification series the paper's
 /// ">200 for n < 55" claim summarizes.
 pub fn amplification_sweep(model: &RouterModel, hops: &[u8]) -> Vec<AmplificationPoint> {
+    amplification_sweep_with(model, hops, &xmap_telemetry::Telemetry::disabled())
+}
+
+/// [`amplification_sweep`] recording every measured factor into the
+/// telemetry bundle's amplification histogram.
+pub fn amplification_sweep_with(
+    model: &RouterModel,
+    hops: &[u8],
+    telemetry: &xmap_telemetry::Telemetry,
+) -> Vec<AmplificationPoint> {
     hops.iter()
-        .map(|n| measure_amplification(model, *n))
+        .map(|n| measure_amplification_with(model, *n, telemetry))
         .collect()
 }
 

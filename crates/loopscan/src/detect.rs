@@ -12,6 +12,8 @@ use xmap::{IcmpEchoProbe, ProbeResult, Scanner};
 use xmap_addr::Ip6;
 use xmap_netsim::packet::Network;
 
+use crate::telemetry::LoopscanTelemetry;
+
 /// The probing hop limit h (Section VI-B).
 pub const PROBE_HOP_LIMIT: u8 = 32;
 
@@ -47,25 +49,45 @@ pub fn detect_loop<N: Network>(scanner: &mut Scanner<N>, dst: Ip6) -> LoopVerdic
 /// same loops but each probe's loop traffic grows with (h − n).
 pub fn detect_loop_with<N: Network>(scanner: &mut Scanner<N>, dst: Ip6, h: u8) -> LoopVerdict {
     let first = scanner.probe_addr(dst, &IcmpEchoProbe, h);
-    let Some(responder) = te_source(&first) else {
-        return LoopVerdict {
+    let verdict = match te_source(&first) {
+        None => LoopVerdict {
             vulnerable: false,
             responder: None,
-        };
+        },
+        Some(responder) => {
+            // Confirmation probe with h+2: a loop still exceeds; a path
+            // that was merely two hops short now completes.
+            let second = scanner.probe_addr(dst, &IcmpEchoProbe, h.saturating_add(2));
+            match te_source(&second) {
+                Some(r2) if r2 == responder => LoopVerdict {
+                    vulnerable: true,
+                    responder: Some(responder),
+                },
+                _ => LoopVerdict {
+                    vulnerable: false,
+                    responder: Some(responder),
+                },
+            }
+        }
     };
-    // Confirmation probe with h+2: a loop still exceeds; a path that was
-    // merely two hops short now completes.
-    let second = scanner.probe_addr(dst, &IcmpEchoProbe, h.saturating_add(2));
-    match te_source(&second) {
-        Some(r2) if r2 == responder => LoopVerdict {
-            vulnerable: true,
-            responder: Some(responder),
-        },
-        _ => LoopVerdict {
-            vulnerable: false,
-            responder: Some(responder),
-        },
+    if scanner.telemetry().registry.is_enabled() {
+        let lt = LoopscanTelemetry::bind(scanner.telemetry());
+        lt.detects.inc();
+        if verdict.vulnerable {
+            lt.vulnerable.inc();
+        }
     }
+    if scanner.tracer().is_enabled() {
+        scanner.tracer().event(
+            scanner.ticks(),
+            "loopscan.detect",
+            vec![
+                ("h", u64::from(h).into()),
+                ("vulnerable", u64::from(verdict.vulnerable).into()),
+            ],
+        );
+    }
+    verdict
 }
 
 #[cfg(test)]

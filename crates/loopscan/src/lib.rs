@@ -23,10 +23,15 @@ pub mod detect;
 pub mod disclosure;
 pub mod mitigation;
 pub mod survey;
+pub mod telemetry;
 
-pub use amplification::{measure_amplification, measure_spoofed_doubling, AmplificationPoint};
+pub use amplification::{
+    amplification_sweep_with, measure_amplification, measure_amplification_with,
+    measure_spoofed_doubling, AmplificationPoint,
+};
 pub use case_study::{run_case_studies, CaseStudyRow};
 pub use detect::{detect_loop, detect_loop_with, LoopVerdict, PROBE_HOP_LIMIT};
 pub use disclosure::{DisclosureCampaign, OperatorNotice, Severity, VendorAdvisory};
 pub use mitigation::{patch_model, verify_mitigation, MitigationReport};
 pub use survey::{BgpSurvey, BgpSurveyResult, DepthSurvey, DepthSurveyResult};
+pub use telemetry::LoopscanTelemetry;

@@ -124,6 +124,9 @@ pub struct Engine {
     clock: u64,
     /// Packets dropped on links by the fault plan since the last reset.
     link_drops: u64,
+    /// Registry handles for the `netsim.engine.*` metric surface (inert
+    /// unless [`Engine::set_telemetry`] attached a live bundle).
+    telemetry: crate::telemetry::NetsimTelemetry,
 }
 
 impl Engine {
@@ -171,6 +174,13 @@ impl Engine {
     /// any of its addresses are returned by [`Network::handle`].
     pub fn set_vantage(&mut self, node: NodeId) {
         self.vantage = Some(node);
+    }
+
+    /// Attaches a telemetry bundle: injections, deliveries, link
+    /// traversals and fault drops are mirrored into its registry as
+    /// `netsim.engine.*` counters, and ticks emit `netsim.tick` events.
+    pub fn set_telemetry(&mut self, telemetry: &xmap_telemetry::Telemetry) {
+        self.telemetry = crate::telemetry::NetsimTelemetry::bind(telemetry);
     }
 
     /// Installs a fault plan: every link traversal (in either direction)
@@ -409,6 +419,8 @@ impl Network for Engine {
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
         let vantage = self.vantage.expect("vantage node not set");
         let vantage_addrs: Vec<Ip6> = self.nodes[vantage.0].addrs.clone();
+        let forwards_before = self.total_forwards;
+        let drops_before = self.link_drops;
 
         let mut queue: Vec<(Ipv6Packet, NodeId)> = Vec::new();
         self.route_packet(packet, vantage, false, &mut queue);
@@ -441,11 +453,24 @@ impl Network for Engine {
             queue.extend(more);
         }
         delivered.reverse();
+        if self.telemetry.is_enabled() {
+            self.telemetry.engine_injected.inc();
+            self.telemetry.engine_delivered.add(delivered.len() as u64);
+            self.telemetry
+                .engine_forwards
+                .add(self.total_forwards - forwards_before);
+            self.telemetry
+                .engine_link_drops
+                .add(self.link_drops - drops_before);
+        }
         delivered
     }
 
     fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
         self.clock += ticks;
+        if self.telemetry.is_enabled() {
+            self.telemetry.record_tick(self.clock, ticks, 0);
+        }
         Vec::new()
     }
 }

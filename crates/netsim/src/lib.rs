@@ -38,6 +38,7 @@ pub mod packet;
 pub mod rng;
 pub mod selftest;
 pub mod services;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 pub mod world;
@@ -46,4 +47,5 @@ pub use device::{Device, DeviceKind};
 pub use engine::{Engine, NodeId};
 pub use fault::{FaultPlan, IcmpRateLimit};
 pub use packet::{Icmpv6, Ipv6Packet, Network, Payload};
+pub use telemetry::NetsimTelemetry;
 pub use world::World;

@@ -286,6 +286,13 @@ pub trait Network {
         Vec::new()
     }
 
+    /// Publishes any internally batched telemetry into the attached
+    /// registry. Networks that mirror their statistics into a telemetry
+    /// bundle may coalesce updates on the per-packet path; the scanner
+    /// calls this at observation boundaries (end of a run, targeted
+    /// probes) so exported snapshots are exact. No-op by default.
+    fn flush_telemetry(&mut self) {}
+
     /// Number of responses currently held in flight (delayed by jitter
     /// and not yet due). The scanner drains the network by ticking until
     /// this reaches zero.
@@ -301,6 +308,10 @@ impl<N: Network + ?Sized> Network for &mut N {
 
     fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
         (**self).tick(ticks)
+    }
+
+    fn flush_telemetry(&mut self) {
+        (**self).flush_telemetry()
     }
 
     fn in_flight(&self) -> usize {

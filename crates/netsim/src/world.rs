@@ -37,6 +37,7 @@ use crate::rng::{weighted_pick, DetHash};
 use crate::services::{
     software_id, AppRequest, AppResponse, ServiceKind, SoftwareId, TransportProto, SOFTWARE_CATALOG,
 };
+use crate::telemetry::NetsimTelemetry;
 
 /// Configuration of a [`World`].
 #[derive(Debug, Clone, Copy)]
@@ -177,7 +178,19 @@ pub struct World {
     /// Monotone insertion counter for deterministic delay-queue ordering.
     delay_seq: u64,
     stats: WorldStats,
+    /// Registry handles for the `netsim.*` metric surface (inert unless
+    /// [`World::set_telemetry`] attached a live bundle).
+    telemetry: NetsimTelemetry,
+    /// Stats as of the last registry publish (publishing is delta-based).
+    published: WorldStats,
+    /// Clock as of the last registry publish.
+    published_clock: u64,
 }
+
+/// Packets (or ticks) between registry publishes when event tracing is
+/// off. Metrics-only telemetry coalesces at this granularity on the
+/// per-packet path; [`Network::flush_telemetry`] makes boundaries exact.
+const TELEMETRY_BATCH: u64 = 64;
 
 impl World {
     /// Creates a world over the fifteen sample blocks and a full-size BGP
@@ -201,7 +214,44 @@ impl World {
             delayed: BinaryHeap::new(),
             delay_seq: 0,
             stats: WorldStats::default(),
+            telemetry: NetsimTelemetry::disabled(),
+            published: WorldStats::default(),
+            published_clock: 0,
         }
+    }
+
+    /// Attaches a telemetry bundle: from now on every [`Network::handle`] /
+    /// [`Network::tick`] publishes its [`WorldStats`] delta into the
+    /// bundle's registry as `netsim.*` counters and emits fault/tick trace
+    /// events into its tracer.
+    pub fn set_telemetry(&mut self, telemetry: &xmap_telemetry::Telemetry) {
+        self.telemetry = NetsimTelemetry::bind(telemetry);
+        self.published = self.stats;
+        self.published_clock = self.clock;
+    }
+
+    /// Publishes any stats movement since the last publish.
+    fn publish_telemetry(&mut self) {
+        if self.telemetry.is_enabled() {
+            let tick_delta = self.clock - self.published_clock;
+            if tick_delta > 0 {
+                self.telemetry.ticks.add(tick_delta);
+            }
+            self.telemetry
+                .publish_delta(&self.published, &self.stats, self.clock);
+            self.published = self.stats;
+            self.published_clock = self.clock;
+        }
+    }
+
+    /// Whether the per-packet path should publish now. With tracing on,
+    /// every call publishes (fault events stay per-exchange); metrics-only
+    /// bundles coalesce [`TELEMETRY_BATCH`] packets per publish.
+    fn telemetry_due(&self) -> bool {
+        self.telemetry.is_enabled()
+            && (self.telemetry.tracer().is_enabled()
+                || self.stats.probes - self.published.probes >= TELEMETRY_BATCH
+                || self.clock - self.published_clock >= TELEMETRY_BATCH)
     }
 
     /// The configuration in effect.
@@ -944,6 +994,47 @@ fn service_response(
 
 impl Network for World {
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
+        let out = self.handle_inner(packet);
+        if self.telemetry_due() {
+            self.publish_telemetry();
+        }
+        out
+    }
+
+    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+        self.clock += ticks;
+        let mut due = Vec::new();
+        while let Some(head) = self.delayed.peek() {
+            if head.due_tick > self.clock {
+                break;
+            }
+            due.push(self.delayed.pop().expect("peeked").packet);
+        }
+        self.stats.responses += due.len() as u64;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .tick_event(self.clock, ticks, due.len() as u64);
+            if self.telemetry_due() {
+                self.publish_telemetry();
+            }
+        }
+        due
+    }
+
+    fn flush_telemetry(&mut self) {
+        self.publish_telemetry();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.delayed.len()
+    }
+}
+
+impl World {
+    /// The per-packet exchange logic behind [`Network::handle`] (split out
+    /// so the telemetry publish happens at exactly one site despite the
+    /// early returns).
+    fn handle_inner(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
         self.stats.probes += 1;
         let plan = self.cfg.fault;
         if plan.drop_forward(packet.dst, self.clock) {
@@ -1007,23 +1098,6 @@ impl Network for World {
         }
         self.stats.responses += delivered.len() as u64;
         delivered
-    }
-
-    fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
-        self.clock += ticks;
-        let mut due = Vec::new();
-        while let Some(head) = self.delayed.peek() {
-            if head.due_tick > self.clock {
-                break;
-            }
-            due.push(self.delayed.pop().expect("peeked").packet);
-        }
-        self.stats.responses += due.len() as u64;
-        due
-    }
-
-    fn in_flight(&self) -> usize {
-        self.delayed.len()
     }
 }
 

@@ -74,6 +74,7 @@ pub fn infer_boundary<N: Network>(
         block.len() <= 32,
         "boundary inference expects a block of /32 or shorter"
     );
+    let start_tick = scanner.ticks();
     let mut probes = 0u64;
     let mut samples = Vec::new();
     let mut found = 0usize;
@@ -125,6 +126,18 @@ pub fn infer_boundary<N: Network>(
     }
 
     let inferred_len = majority(&samples);
+    if scanner.tracer().is_enabled() {
+        scanner.tracer().span_event(
+            start_tick,
+            scanner.ticks(),
+            "periphery.boundary",
+            vec![
+                ("probes", probes.into()),
+                ("samples", (samples.len() as u64).into()),
+                ("inferred_len", u64::from(inferred_len.unwrap_or(0)).into()),
+            ],
+        );
+    }
     BoundaryInference {
         block,
         inferred_len,

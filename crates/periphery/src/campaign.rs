@@ -266,6 +266,7 @@ impl Campaign {
         profile: &IspProfile,
     ) -> BlockResult {
         let range = profile.scan_range();
+        let block_start = scanner.ticks();
         let probed = (self.targets_per_block as u128).min(range.space_size()) as u64;
         // Cap targets for this block; the scanner walks its permutation.
         let saved_max = scanner.config().max_targets;
@@ -325,43 +326,75 @@ impl Campaign {
         if self.mop_up && !results.silent_targets.is_empty() {
             // Let rate-limited devices accrue error tokens before the
             // second chance; discards any (stale) delayed deliveries.
-            let _ = scanner.network_mut().tick(self.mop_up_delay_ticks);
+            let _ = scanner.advance(self.mop_up_delay_ticks);
             let seed = scanner.config().seed;
             let hop_limit = scanner.config().hop_limit;
+            let mop_up_start = scanner.ticks();
+            // The registry is the single source of truth for mop-up
+            // accounting: probe_addr counts sent/received/valid/invalid
+            // through the shared metric handles, the pass tops up the
+            // retransmit/rate-limit counters, and the block's stats absorb
+            // the exact registry delta at the end.
+            let base = scanner.metrics().baseline();
             for target in &results.silent_targets {
                 // Fresh host bits: never re-probe the exact first address.
                 let dst = xmap::fill_host_bits(*target, seed ^ MOP_UP_SALT);
                 if !self.blocklist.is_allowed(dst) {
                     continue;
                 }
-                stats.sent += 1;
-                stats.retransmits += 1;
+                scanner.metrics().retransmits.inc();
                 let mut answers = scanner.probe_addr(dst, &IcmpEchoProbe, hop_limit);
-                let late = scanner.network_mut().tick(1);
-                answers.extend(
-                    late.iter()
-                        .map(|p| (p.src, IcmpEchoProbe.classify(p, scanner.validator()))),
-                );
+                let late = scanner.advance(1);
+                for p in &late {
+                    // Late (jittered) deliveries bypass probe_addr, so they
+                    // are accounted here through the same handles.
+                    let result = IcmpEchoProbe.classify(p, scanner.validator());
+                    scanner.metrics().received.inc();
+                    if matches!(result, ProbeResult::Invalid) {
+                        scanner.metrics().invalid.inc();
+                    } else {
+                        scanner.metrics().valid.inc();
+                    }
+                    answers.push((p.src, result));
+                }
                 for (responder, result) in answers {
-                    stats.received += 1;
                     let via_te = match result {
                         ProbeResult::Unreachable { .. } => false,
                         ProbeResult::TimeExceeded => true,
-                        ProbeResult::Invalid => {
-                            stats.invalid += 1;
-                            continue;
-                        }
                         _ => continue,
                     };
-                    stats.valid += 1;
                     // A silent-then-answering device was most likely
                     // rate limited during the main pass.
-                    stats.rate_limited_suspected += 1;
+                    scanner.metrics().rate_limited_suspected.inc();
                     if push_periphery(responder, *target, dst, via_te) {
                         mop_up_recovered += 1;
                     }
                 }
             }
+            stats.merge(&scanner.metrics().stats_since(&base));
+            if scanner.tracer().is_enabled() {
+                scanner.tracer().span_event(
+                    mop_up_start,
+                    scanner.ticks(),
+                    "periphery.mopup",
+                    vec![
+                        ("silent", (results.silent_targets.len() as u64).into()),
+                        ("recovered", (mop_up_recovered as u64).into()),
+                    ],
+                );
+            }
+        }
+        if scanner.tracer().is_enabled() {
+            scanner.tracer().span_event(
+                block_start,
+                scanner.ticks(),
+                "periphery.block",
+                vec![
+                    ("profile", (profile.id as u64).into()),
+                    ("probed", probed.into()),
+                    ("peripheries", (peripheries.len() as u64).into()),
+                ],
+            );
         }
         BlockResult {
             profile_id: profile.id,

@@ -1,0 +1,254 @@
+//! The live scan monitor.
+//!
+//! ZMap prints a status line every wall-clock second from a dedicated
+//! monitor thread. Our scans run on a virtual clock (one tick per send
+//! slot), so the [`Monitor`] is polled with the current tick instead and
+//! emits a line whenever an interval boundary passes — which makes its
+//! output deterministic for a seeded scan, wall-clock speed be damned.
+//!
+//! The monitor reads the scanner's well-known `scan.*` counters from the
+//! shared registry; rates are computed over the virtual interval using the
+//! configured tick⇄second conversion.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::registry::{Counter, Registry};
+
+/// Well-known counter names the monitor renders (bound at construction;
+/// the scanner updates the same cells through its own handles).
+pub mod names {
+    /// Probes sent.
+    pub const SENT: &str = "scan.sent";
+    /// Response packets received.
+    pub const RECEIVED: &str = "scan.received";
+    /// Valid, recorded responses.
+    pub const VALID: &str = "scan.valid";
+    /// Retransmitted probes.
+    pub const RETRANSMITS: &str = "scan.retransmits";
+    /// Targets abandoned after exhausting every attempt.
+    pub const GAVE_UP: &str = "scan.gave_up";
+}
+
+/// Where status lines go.
+#[derive(Clone)]
+pub enum MonitorSink {
+    /// Write to the process's stderr.
+    Stderr,
+    /// Append lines to a shared buffer (used by tests and embedders).
+    Buffer(Arc<Mutex<Vec<String>>>),
+}
+
+impl std::fmt::Debug for MonitorSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorSink::Stderr => f.write_str("MonitorSink::Stderr"),
+            MonitorSink::Buffer(_) => f.write_str("MonitorSink::Buffer"),
+        }
+    }
+}
+
+/// Periodic status-line renderer driven by the virtual clock.
+#[derive(Debug)]
+pub struct Monitor {
+    interval_ticks: u64,
+    ticks_per_sec: u64,
+    next_due: u64,
+    last_tick: u64,
+    last_sent: u64,
+    last_received: u64,
+    sent: Counter,
+    received: Counter,
+    valid: Counter,
+    retransmits: Counter,
+    gave_up: Counter,
+    sink: MonitorSink,
+    lines_emitted: u64,
+}
+
+impl Monitor {
+    /// A monitor over `registry`, emitting every `interval_ticks` of
+    /// virtual time, converting ticks to seconds at `ticks_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ticks` or `ticks_per_sec` is zero.
+    pub fn new(registry: &Registry, interval_ticks: u64, ticks_per_sec: u64) -> Self {
+        assert!(interval_ticks > 0, "monitor interval must be nonzero");
+        assert!(ticks_per_sec > 0, "ticks_per_sec must be nonzero");
+        Monitor {
+            interval_ticks,
+            ticks_per_sec,
+            next_due: interval_ticks,
+            last_tick: 0,
+            last_sent: 0,
+            last_received: 0,
+            sent: registry.counter(names::SENT),
+            received: registry.counter(names::RECEIVED),
+            valid: registry.counter(names::VALID),
+            retransmits: registry.counter(names::RETRANSMITS),
+            gave_up: registry.counter(names::GAVE_UP),
+            sink: MonitorSink::Stderr,
+            lines_emitted: 0,
+        }
+    }
+
+    /// Redirects status lines (tests capture them in a buffer).
+    pub fn with_sink(mut self, sink: MonitorSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Status lines emitted so far.
+    pub fn lines_emitted(&self) -> u64 {
+        self.lines_emitted
+    }
+
+    /// Whether [`poll`](Self::poll) at tick `now` would emit a line. Hot
+    /// loops check this before flushing batched tallies into the registry
+    /// so the emitted line reads exact counts.
+    #[inline]
+    pub fn is_due(&self, now: u64) -> bool {
+        now >= self.next_due
+    }
+
+    /// Polls the monitor at virtual tick `now`, emitting one status line
+    /// per elapsed interval boundary (at most one line per poll: bursts of
+    /// virtual time collapse into a line covering the whole burst).
+    pub fn poll(&mut self, now: u64) {
+        if now < self.next_due {
+            return;
+        }
+        let line = self.render(now);
+        self.emit(&line);
+        self.last_tick = now;
+        self.last_sent = self.sent.get();
+        self.last_received = self.received.get();
+        // Skip boundaries the burst jumped over rather than replaying them.
+        let intervals = now / self.interval_ticks + 1;
+        self.next_due = intervals * self.interval_ticks;
+        self.lines_emitted += 1;
+    }
+
+    /// Renders the status line for tick `now` without emitting it.
+    pub fn render(&self, now: u64) -> String {
+        let sent = self.sent.get();
+        let received = self.received.get();
+        let valid = self.valid.get();
+        let dt_ticks = now.saturating_sub(self.last_tick).max(1);
+        let send_pps = rate_pps(sent - self.last_sent, dt_ticks, self.ticks_per_sec);
+        let recv_pps = rate_pps(received - self.last_received, dt_ticks, self.ticks_per_sec);
+        let hit_rate = if sent == 0 {
+            0.0
+        } else {
+            valid as f64 / sent as f64 * 100.0
+        };
+        format!(
+            "t={}; send: {} ({}); recv: {} ({}); hits: {:.2}%; retrans: {}; gave_up: {}",
+            fmt_virtual_secs(now, self.ticks_per_sec),
+            sent,
+            fmt_pps(send_pps),
+            received,
+            fmt_pps(recv_pps),
+            hit_rate,
+            self.retransmits.get(),
+            self.gave_up.get(),
+        )
+    }
+
+    fn emit(&self, line: &str) {
+        match &self.sink {
+            MonitorSink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            MonitorSink::Buffer(buf) => {
+                buf.lock()
+                    .expect("monitor sink poisoned")
+                    .push(line.to_owned());
+            }
+        }
+    }
+}
+
+fn rate_pps(delta: u64, dt_ticks: u64, ticks_per_sec: u64) -> f64 {
+    delta as f64 * ticks_per_sec as f64 / dt_ticks as f64
+}
+
+fn fmt_virtual_secs(ticks: u64, ticks_per_sec: u64) -> String {
+    format!("{:.1}s", ticks as f64 / ticks_per_sec as f64)
+}
+
+fn fmt_pps(pps: f64) -> String {
+    if pps >= 1_000_000.0 {
+        format!("{:.1} Mp/s", pps / 1_000_000.0)
+    } else if pps >= 1_000.0 {
+        format!("{:.1} Kp/s", pps / 1_000.0)
+    } else {
+        format!("{pps:.1} p/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer_monitor(
+        reg: &Registry,
+        interval: u64,
+        tps: u64,
+    ) -> (Monitor, Arc<Mutex<Vec<String>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mon = Monitor::new(reg, interval, tps).with_sink(MonitorSink::Buffer(buf.clone()));
+        (mon, buf)
+    }
+
+    #[test]
+    fn emits_once_per_interval() {
+        let reg = Registry::new();
+        let sent = reg.counter(names::SENT);
+        let (mut mon, buf) = buffer_monitor(&reg, 10, 10);
+        for now in 1..=35u64 {
+            sent.add(2);
+            mon.poll(now);
+        }
+        let lines = buf.lock().unwrap().clone();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(
+            lines[0].starts_with("t=1.0s; send: 20 (20.0 p/s)"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("t=2.0s; send: 40 (20.0 p/s)"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn burst_of_virtual_time_collapses_to_one_line() {
+        let reg = Registry::new();
+        let (mut mon, buf) = buffer_monitor(&reg, 10, 10);
+        mon.poll(95);
+        mon.poll(96);
+        assert_eq!(buf.lock().unwrap().len(), 1);
+        assert_eq!(mon.lines_emitted(), 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_shows_hit_rate() {
+        let reg = Registry::new();
+        reg.counter(names::SENT).add(1000);
+        reg.counter(names::RECEIVED).add(80);
+        reg.counter(names::VALID).add(40);
+        reg.counter(names::RETRANSMITS).add(7);
+        let mon = Monitor::new(&reg, 100, 1000);
+        let line = mon.render(100);
+        assert_eq!(
+            line,
+            "t=0.1s; send: 1000 (10.0 Kp/s); recv: 80 (800.0 p/s); hits: 4.00%; retrans: 7; gave_up: 0"
+        );
+        assert_eq!(line, mon.render(100));
+    }
+}

@@ -1,0 +1,521 @@
+//! The lock-free metrics registry.
+//!
+//! Hot paths hold pre-bound handles ([`Counter`], [`Gauge`], [`Histogram`])
+//! whose update cost is a single relaxed atomic operation; the registry's
+//! lock is taken only at bind time (get-or-create by name) and at snapshot
+//! time. A registry created with [`Registry::disabled`] hands out inert
+//! handles so instrumented code can keep its call sites unconditionally —
+//! the `telemetry_overhead` bench measures the difference.
+//!
+//! Snapshots are deterministic: metric names are ordered, values are plain
+//! integers, and nothing derives from wall-clock time, so a seeded scan
+//! produces a byte-identical [`Snapshot`] on every run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Schema identifier stamped into every snapshot export.
+pub const SNAPSHOT_SCHEMA: &str = "xmap-telemetry/v1";
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Counter {
+    /// Adds `n` (one relaxed atomic add on the hot path).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// One slot per bound plus a trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle (`value <= bound` selects the bucket;
+/// values above the last bound land in the overflow bucket).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+    enabled: bool,
+}
+
+impl Histogram {
+    /// Records one observation: two relaxed adds plus a bucket search.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self
+            .cell
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.cell.bounds.len());
+        self.cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records `n` identical observations with the same three relaxed adds
+    /// a single [`record`](Self::record) costs — for hot loops that tally a
+    /// repeated value locally and flush in one call.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        let idx = self
+            .cell
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.cell.bounds.len());
+        self.cell.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.cell.count.fetch_add(n, Ordering::Relaxed);
+        self.cell
+            .sum
+            .fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values (wrapping on u64 overflow).
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (finite buckets then the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The configured finite bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.cell.bounds
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramCell>>,
+}
+
+/// The metric store. Cheap to share via `Arc`; see the module docs for the
+/// locking discipline.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// A registry whose handles are no-ops (still registered, always zero).
+    /// Lets instrumented code keep unconditional call sites at effectively
+    /// zero cost.
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let cell = inner
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter {
+            cell,
+            enabled: self.enabled,
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let cell = inner
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Gauge {
+            cell,
+            enabled: self.enabled,
+        }
+    }
+
+    /// Gets or creates the histogram `name` with the given finite bucket
+    /// bounds (strictly increasing). Bounds passed on later lookups of an
+    /// existing histogram are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let cell = inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(HistogramCell {
+                    bounds: bounds.to_vec(),
+                    buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                })
+            })
+            .clone();
+        Histogram {
+            cell,
+            enabled: self.enabled,
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: v.bounds.clone(),
+                            counts: v
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: v.count.load(Ordering::Relaxed),
+                            sum: v.sum.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the trailing entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+/// A deterministic point-in-time export of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// One counter's value, defaulting to zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as pretty-printed JSON. Key order and number
+    /// formatting are fixed, so equal snapshots render byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SNAPSHOT_SCHEMA}\",\n"));
+        out.push_str("  \"counters\": {");
+        push_scalar_map(&mut out, &self.counters);
+        out.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"bounds\": {}, \"counts\": {}, \"count\": {}, \"sum\": {}}}",
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.counts),
+                h.count,
+                h.sum
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_scalar_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(&format!(": {v}"));
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(']');
+    s
+}
+
+/// Appends `s` as a JSON string literal, escaping the characters that can
+/// occur in metric names and trace fields.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot().counter("x"), 4);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x");
+        let h = reg.histogram("h", &[1, 2]);
+        let g = reg.gauge("g");
+        c.add(10);
+        h.record(1);
+        g.set(7);
+        assert!(!reg.is_enabled());
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing_edge_cases() {
+        let reg = Registry::new();
+        let h = reg.histogram("rtt", &[1, 4, 16]);
+        // Zero lands in the first bucket (le 1).
+        h.record(0);
+        // A value equal to a bound lands in that bound's bucket.
+        h.record(4);
+        // One past a bound moves to the next bucket.
+        h.record(5);
+        // The last bound is still finite...
+        h.record(16);
+        // ...and anything above it, including u64::MAX, overflows.
+        h.record(17);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(4 + 5 + 16 + 17).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let reg = Registry::new();
+        let a = reg.histogram("a", &[1, 4, 16]);
+        let b = reg.histogram("b", &[1, 4, 16]);
+        for _ in 0..5 {
+            a.record(4);
+        }
+        b.record_n(4, 5);
+        b.record_n(4, 0); // zero-count flush is a no-op
+        assert_eq!(a.bucket_counts(), b.bucket_counts());
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Registry::new().histogram("bad", &[4, 4]);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("threads");
+        let h = reg.histogram("obs", &[10, 100]);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record((t * 10_000 + i) % 150);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_ordered() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("b.second").add(2);
+            reg.counter("a.first").add(1);
+            reg.gauge("g").set(9);
+            reg.histogram("h", &[1, 2]).record(3);
+            reg.snapshot().to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        // Names are sorted.
+        assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
+        assert!(a.contains("\"schema\": \"xmap-telemetry/v1\""));
+        assert!(a.contains("\"counts\": [0, 0, 1]"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,274 @@
+//! Structured event tracing on the virtual clock.
+//!
+//! A [`Tracer`] is a bounded ring buffer of [`TraceEvent`]s. Every event
+//! carries the virtual-clock tick it happened at; span events additionally
+//! carry a duration in ticks, so "how long did the mop-up pass take" is
+//! answered in deterministic simulated time, never wall clock. When the
+//! ring is full the oldest events are dropped (and counted), keeping the
+//! cost of tracing bounded no matter how long a scan runs.
+//!
+//! The buffer dumps as NDJSON — one JSON object per line, in record order —
+//! which is what `xmap --trace-out` writes.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::registry::push_json_string;
+
+/// Default ring capacity (events kept before the oldest are dropped).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A field value attached to a trace event. Only integer and string
+/// payloads are allowed so NDJSON output stays deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A string field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (survives ring-buffer eviction, so gaps
+    /// reveal dropped events).
+    pub seq: u64,
+    /// Virtual-clock tick the event happened at (span start for spans).
+    pub tick: u64,
+    /// Span / event name, e.g. `scan.send` or `periphery.mopup`.
+    pub span: &'static str,
+    /// Span duration in ticks; `None` for instantaneous events.
+    pub dur_ticks: Option<u64>,
+    /// Free-form key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"seq\": {}, \"tick\": {}, \"span\": ",
+            self.seq, self.tick
+        ));
+        push_json_string(&mut out, self.span);
+        if let Some(d) = self.dur_ticks {
+            out.push_str(&format!(", \"dur_ticks\": {d}"));
+        }
+        for (k, v) in &self.fields {
+            out.push_str(", ");
+            push_json_string(&mut out, k);
+            out.push_str(": ");
+            match v {
+                FieldValue::U64(n) => out.push_str(&n.to_string()),
+                FieldValue::Str(s) => push_json_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded structured-event recorder. Shareable via `Arc`; recording takes
+/// a mutex, so keep per-packet hot paths on [`crate::Counter`]s and trace
+/// phase-level spans and exceptional events instead.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A live tracer keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// A tracer that records nothing (checks one bool per call).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an instantaneous event at `tick`.
+    #[inline]
+    pub fn event(&self, tick: u64, span: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        if self.enabled {
+            self.push(tick, span, None, fields);
+        }
+    }
+
+    /// Records a span that started at `start_tick` and ended at `end_tick`
+    /// on the same virtual clock.
+    #[inline]
+    pub fn span_event(
+        &self,
+        start_tick: u64,
+        end_tick: u64,
+        span: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if self.enabled {
+            self.push(
+                start_tick,
+                span,
+                Some(end_tick.saturating_sub(start_tick)),
+                fields,
+            );
+        }
+    }
+
+    fn push(
+        &self,
+        tick: u64,
+        span: &'static str,
+        dur_ticks: Option<u64>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        let mut ring = self.ring.lock().expect("tracer poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TraceEvent {
+            seq,
+            tick,
+            span,
+            dur_ticks,
+            fields,
+        });
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("tracer poisoned").dropped
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Dumps the buffer as NDJSON (one event per line, oldest first).
+    pub fn to_ndjson(&self) -> String {
+        let ring = self.ring.lock().expect("tracer poisoned");
+        let mut out = String::with_capacity(ring.events.len() * 96);
+        for ev in &ring.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_record_in_order_with_fields() {
+        let t = Tracer::new(16);
+        t.event(3, "scan.send", vec![("attempt", 0u64.into())]);
+        t.span_event(3, 11, "netsim.tick", vec![("delivered", 2u64.into())]);
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].span, "scan.send");
+        assert_eq!(evs[0].dur_ticks, None);
+        assert_eq!(evs[1].dur_ticks, Some(8));
+        let nd = t.to_ndjson();
+        assert_eq!(nd.lines().count(), 2);
+        assert!(nd.contains("{\"seq\": 0, \"tick\": 3, \"span\": \"scan.send\", \"attempt\": 0}"));
+        assert!(nd.contains("\"dur_ticks\": 8"));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::new(2);
+        for i in 0..5u64 {
+            t.event(i, "e", vec![]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let evs = t.events();
+        assert_eq!((evs[0].seq, evs[1].seq), (3, 4));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        t.event(0, "e", vec![]);
+        t.span_event(0, 5, "s", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_ndjson(), "");
+    }
+
+    #[test]
+    fn string_fields_are_escaped() {
+        let t = Tracer::new(4);
+        t.event(0, "e", vec![("msg", "a\"b".into())]);
+        assert!(t.to_ndjson().contains("\"msg\": \"a\\\"b\""));
+    }
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate an xmap-telemetry snapshot export against the v1 schema.
+
+Usage: check_metrics_schema.py SNAPSHOT.json [REQUIRED_COUNTER ...]
+
+Checks the structural contract `Snapshot::to_json` promises (see
+DESIGN.md §Telemetry): schema tag, integer-valued counter/gauge maps, and
+internally consistent histograms. Any REQUIRED_COUNTER names given after
+the path must be present in the counters section. Exits nonzero with a
+diagnostic on the first violation. Standard library only.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_scalar_map(doc, section):
+    entries = doc.get(section)
+    if not isinstance(entries, dict):
+        fail(f"'{section}' must be an object")
+    for name, value in entries.items():
+        if not isinstance(name, str) or not name:
+            fail(f"{section} key {name!r} must be a non-empty string")
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{section}[{name!r}] = {value!r} must be a non-negative integer")
+
+
+def check_histograms(doc):
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail("'histograms' must be an object")
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            fail(f"histogram {name!r} must be an object")
+        for key in ("bounds", "counts", "count", "sum"):
+            if key not in h:
+                fail(f"histogram {name!r} missing '{key}'")
+        bounds, counts = h["bounds"], h["counts"]
+        if not isinstance(bounds, list) or not all(
+            isinstance(b, int) and not isinstance(b, bool) for b in bounds
+        ):
+            fail(f"histogram {name!r} bounds must be a list of integers")
+        if any(b0 >= b1 for b0, b1 in zip(bounds, bounds[1:])):
+            fail(f"histogram {name!r} bounds must be strictly increasing")
+        if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+            fail(
+                f"histogram {name!r} needs len(bounds)+1 counts "
+                f"(got {len(counts)} for {len(bounds)} bounds)"
+            )
+        if any(not isinstance(c, int) or isinstance(c, bool) or c < 0 for c in counts):
+            fail(f"histogram {name!r} counts must be non-negative integers")
+        if sum(counts) != h["count"]:
+            fail(
+                f"histogram {name!r} count {h['count']} != bucket total {sum(counts)}"
+            )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path, required = argv[1], argv[2:]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("schema") != "xmap-telemetry/v1":
+        fail(f"unexpected schema tag {doc.get('schema')!r}")
+    unknown = set(doc) - {"schema", "counters", "gauges", "histograms"}
+    if unknown:
+        fail(f"unknown top-level keys {sorted(unknown)}")
+    check_scalar_map(doc, "counters")
+    check_scalar_map(doc, "gauges")
+    check_histograms(doc)
+    missing = [name for name in required if name not in doc["counters"]]
+    if missing:
+        fail(f"required counters missing: {missing}")
+    n = (
+        len(doc["counters"]),
+        len(doc["gauges"]),
+        len(doc["histograms"]),
+    )
+    print(f"{path}: ok ({n[0]} counters, {n[1]} gauges, {n[2]} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
