@@ -1,0 +1,60 @@
+//! Parallel shard executor scaling: `scanner_throughput`'s end-to-end
+//! workload at 1, 2 and 4 workers.
+//!
+//! Each config runs the same seeded scan (`SCAN_TARGETS` probes against
+//! the simulated Internet) through [`ParallelScanner`], so elapsed time
+//! directly compares against `scanner_throughput/end_to_end/10000` — the
+//! 1-worker config *is* that workload plus the executor's merge. Worlds
+//! are rebuilt in the untimed `iter_batched` setup (BGP-table generation
+//! dwarfs the scan itself and is paid once per worker either way).
+//!
+//! Scaling expectation: ≥2.5× Melem/s at 4 workers on a ≥4-core host.
+//! On fewer cores the workers serialize and the numbers converge on the
+//! 1-worker config — record the host's core count next to any figure
+//! (see EXPERIMENTS.md "Parallel executor scaling").
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmap::{Blocklist, IcmpEchoProbe, ParallelScanner, ScanConfig};
+use xmap_netsim::World;
+
+/// Probes per run — matches `scanner_throughput/end_to_end/10000`.
+const SCAN_TARGETS: u64 = 10_000;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let range: xmap_addr::ScanRange = "2409:8000::/28-60".parse().unwrap();
+    let mut g = c.benchmark_group("parallel_scaling");
+    for workers in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(SCAN_TARGETS));
+        g.bench_with_input(
+            BenchmarkId::new("end_to_end_10k", workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || {
+                        ParallelScanner::new(
+                            workers,
+                            ScanConfig {
+                                max_targets: Some(SCAN_TARGETS),
+                                ..Default::default()
+                            },
+                            |_, telemetry| {
+                                let mut world = World::new(7);
+                                world.set_telemetry(telemetry);
+                                world
+                            },
+                        )
+                    },
+                    |mut scanner| {
+                        black_box(scanner.run(&range, &IcmpEchoProbe, &Blocklist::allow_all()))
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! to ground the duration arithmetic. The permutation benches are the
 //! `permutation_vs_sequential` ablation of DESIGN.md §4.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use xmap::{
     fill_host_bits, Blocklist, Cycle, FeistelPermutation, IcmpEchoProbe, ProbeModule, ScanConfig,
@@ -68,15 +68,20 @@ fn bench_probe_path(c: &mut Criterion) {
         b.iter(|| black_box(v.cookie(black_box(dst))))
     });
 
+    // Per-config labels carry the element count, and the throughput
+    // declaration is pinned to each config right before its bench — a
+    // config with a different probe count cannot inherit a stale
+    // Melem/s denominator from the group.
+    const PROBES: u64 = 10_000;
     let mut g = c.benchmark_group("scanner_throughput");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("end_to_end_10k_probes", |b| {
+    g.throughput(Throughput::Elements(PROBES));
+    g.bench_with_input(BenchmarkId::new("end_to_end", PROBES), &PROBES, |b, &n| {
         b.iter_batched(
             || {
                 Scanner::new(
                     World::new(7),
                     ScanConfig {
-                        max_targets: Some(10_000),
+                        max_targets: Some(n),
                         ..Default::default()
                     },
                 )
@@ -85,16 +90,21 @@ fn bench_probe_path(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
-    g.bench_function("build_classify_only_10k", |b| {
-        let v = Validator::new(1);
-        let src: xmap_addr::Ip6 = "fd00::1".parse().unwrap();
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                let dst = fill_host_bits(range.nth(i).unwrap(), 7);
-                black_box(IcmpEchoProbe.build(src, dst, 64, &v));
-            }
-        })
-    });
+    g.throughput(Throughput::Elements(PROBES));
+    g.bench_with_input(
+        BenchmarkId::new("build_classify_only", PROBES),
+        &PROBES,
+        |b, &n| {
+            let v = Validator::new(1);
+            let src: xmap_addr::Ip6 = "fd00::1".parse().unwrap();
+            b.iter(|| {
+                for i in 0..n {
+                    let dst = fill_host_bits(range.nth(i).unwrap(), 7);
+                    black_box(IcmpEchoProbe.build(src, dst, 64, &v));
+                }
+            })
+        },
+    );
     g.finish();
 }
 

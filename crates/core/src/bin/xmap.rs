@@ -14,6 +14,9 @@
 //!       --world-seed N     seed of the simulated Internet
 //!       --shard I          this shard (0-based)
 //!       --shards N         total cooperating shards
+//!       --workers N        send threads; the shard is split N ways and
+//!                          merged deterministically (default 1). Status
+//!                          lines and --trace-out need a single worker.
 //!       --permutation P    cyclic | feistel | sequential
 //!   -b, --block PREFIX     add a blocklist prefix (repeatable)
 //!   -o, --output FILE     write results as CSV (default: stdout)
@@ -34,8 +37,8 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use xmap::{
-    Blocklist, IcmpEchoProbe, Permutation, ProbeModule, ScanConfig, Scanner, TargetSpec,
-    TcpSynProbe, UdpProbe, Verdict,
+    Blocklist, IcmpEchoProbe, ParallelScanner, Permutation, ProbeModule, ScanConfig, ScanResults,
+    Scanner, TargetSpec, TcpSynProbe, UdpProbe, Verdict,
 };
 use xmap_netsim::services::{AppRequest, ServiceKind};
 use xmap_netsim::World;
@@ -53,6 +56,7 @@ struct CliConfig {
     world_seed: u64,
     shard: u64,
     shards: u64,
+    workers: usize,
     permutation: Permutation,
     blocked: Vec<String>,
     output: Option<String>,
@@ -81,6 +85,7 @@ impl Default for CliConfig {
             world_seed: 0xDA7A_5EED,
             shard: 0,
             shards: 1,
+            workers: 1,
             permutation: Permutation::Cyclic,
             blocked: Vec::new(),
             output: None,
@@ -153,6 +158,11 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     .parse()
                     .map_err(|_| "shards must be an integer".to_owned())?;
             }
+            "--workers" => {
+                cfg.workers = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "workers must be an integer".to_owned())?;
+            }
             "--permutation" => {
                 cfg.permutation = match value(&mut iter, arg)?.as_str() {
                     "cyclic" => Permutation::Cyclic,
@@ -195,10 +205,16 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if matches!(cfg.module, ModuleChoice::Udp | ModuleChoice::Tcp) && cfg.port.is_none() {
         return Err("UDP/TCP modules require --target-port".to_owned());
     }
+    if cfg.workers == 0 {
+        return Err("workers must be at least 1".to_owned());
+    }
+    if cfg.workers > 1 && cfg.trace_out.is_some() {
+        return Err("--trace-out requires --workers 1 (one event ring per worker)".to_owned());
+    }
     Ok(cfg)
 }
 
-fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule> {
+fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule + Send + Sync> {
     match cfg.module {
         ModuleChoice::Icmp => Box::new(IcmpEchoProbe),
         ModuleChoice::Tcp => Box::new(TcpSynProbe {
@@ -232,31 +248,51 @@ fn run(cfg: CliConfig) -> Result<(), String> {
         rate_pps: cfg.rate_pps,
         ..Default::default()
     };
-    let telemetry = if cfg.trace_out.is_some() {
-        Telemetry::with_tracing()
-    } else {
-        Telemetry::new()
-    };
-    let mut world = World::new(cfg.world_seed);
-    world.set_telemetry(&telemetry);
-    let mut scanner = Scanner::with_telemetry(world, scan_config, telemetry.clone());
-    if !cfg.quiet {
-        // One virtual tick per send slot, so the configured packet rate
-        // fixes the tick↔second conversion for the status lines.
-        let ticks_per_sec = cfg.rate_pps.unwrap_or(100_000).max(1);
-        let interval = ((cfg.status_interval * ticks_per_sec as f64) as u64).max(1);
-        scanner.set_monitor(Monitor::new(&telemetry.registry, interval, ticks_per_sec));
-    }
     let module = module_for(&cfg);
     let started = std::time::Instant::now();
-    let results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
-    if let Some(path) = &cfg.metrics_out {
-        let json = telemetry.registry.snapshot().to_json();
-        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
-    }
-    if let Some(path) = &cfg.trace_out {
-        let ndjson = telemetry.tracer.to_ndjson();
-        std::fs::write(path, ndjson).map_err(|e| format!("write {path}: {e}"))?;
+    let results: ScanResults;
+    if cfg.workers > 1 {
+        // Parallel path: each worker owns a nested shard slot, a world
+        // replica and a telemetry registry; results and metrics merge
+        // deterministically, so the CSV and the snapshot are byte-identical
+        // to a single-worker run. The live monitor stays off — there is no
+        // single registry to render mid-run.
+        let world_seed = cfg.world_seed;
+        let mut scanner = ParallelScanner::new(cfg.workers, scan_config, |_, telemetry| {
+            let mut world = World::new(world_seed);
+            world.set_telemetry(telemetry);
+            world
+        });
+        results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
+        if let Some(path) = &cfg.metrics_out {
+            let json = scanner.snapshot().to_json();
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+    } else {
+        let telemetry = if cfg.trace_out.is_some() {
+            Telemetry::with_tracing()
+        } else {
+            Telemetry::new()
+        };
+        let mut world = World::new(cfg.world_seed);
+        world.set_telemetry(&telemetry);
+        let mut scanner = Scanner::with_telemetry(world, scan_config, telemetry.clone());
+        if !cfg.quiet {
+            // One virtual tick per send slot, so the configured packet rate
+            // fixes the tick↔second conversion for the status lines.
+            let ticks_per_sec = cfg.rate_pps.unwrap_or(100_000).max(1);
+            let interval = ((cfg.status_interval * ticks_per_sec as f64) as u64).max(1);
+            scanner.set_monitor(Monitor::new(&telemetry.registry, interval, ticks_per_sec));
+        }
+        results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
+        if let Some(path) = &cfg.metrics_out {
+            let json = telemetry.registry.snapshot().to_json();
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &cfg.trace_out {
+            let ndjson = telemetry.tracer.to_ndjson();
+            std::fs::write(path, ndjson).map_err(|e| format!("write {path}: {e}"))?;
+        }
     }
 
     let csv = xmap::output::to_csv(&results.records);
@@ -479,6 +515,48 @@ mod tests {
         assert!((cfg.status_interval - 0.5).abs() < 1e-12);
         assert!(parse_args(&args("--status-interval 0 2405:200::/32")).is_err());
         assert!(parse_args(&args("--status-interval x 2405:200::/32")).is_err());
+    }
+
+    #[test]
+    fn parses_workers_flag() {
+        let cfg = parse_args(&args("--workers 4 2405:200::/32-64")).unwrap();
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(parse_args(&args("2405:200::/32-64")).unwrap().workers, 1);
+        assert!(parse_args(&args("--workers 0 2405:200::/32")).is_err());
+        assert!(
+            parse_args(&args("--workers 2 --trace-out /tmp/t 2405:200::/32")).is_err(),
+            "tracing needs a single worker"
+        );
+    }
+
+    #[test]
+    fn parallel_workers_match_single_worker_output() {
+        let cfg = parse_args(&args("-x 1024 -q --workers 3 2402:3a80::/32-64")).unwrap();
+        let scan_config = ScanConfig {
+            seed: cfg.seed,
+            max_targets: cfg.max_targets,
+            ..Default::default()
+        };
+        let run_with = |workers: usize| {
+            let mut ps = ParallelScanner::new(workers, scan_config.clone(), |_, telemetry| {
+                let mut world = World::new(cfg.world_seed);
+                world.set_telemetry(telemetry);
+                world
+            });
+            let results = ps.run_all(
+                cfg.targets.ranges(),
+                &IcmpEchoProbe,
+                &Blocklist::allow_all(),
+            );
+            (
+                xmap::output::to_csv(&results.records),
+                ps.snapshot().to_json(),
+            )
+        };
+        let (csv1, json1) = run_with(1);
+        let (csv3, json3) = run_with(cfg.workers);
+        assert_eq!(csv1, csv3);
+        assert_eq!(json1, json3);
     }
 
     #[test]

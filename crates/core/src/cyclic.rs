@@ -185,20 +185,40 @@ pub struct ShardIter {
     remaining_walk: u128,
 }
 
-impl Iterator for ShardIter {
-    type Item = u64;
-
-    fn next(&mut self) -> Option<u64> {
-        while self.remaining_walk > 0 {
+impl ShardIter {
+    /// Fills `out` with the next indices of the walk, returning how many
+    /// were written (short only when the shard is exhausted).
+    ///
+    /// This is the batched form of `next()` for the scanner's chunked
+    /// target generator: one call amortizes the iterator dispatch over a
+    /// whole chunk and keeps the modular-multiply walk in registers,
+    /// without materializing the full shard up front.
+    pub fn fill(&mut self, out: &mut [u64]) -> usize {
+        let mut n = 0;
+        while n < out.len() && self.remaining_walk > 0 {
             let v = self.current;
             self.current = mulmod(self.current, self.stride, self.prime);
             self.remaining_walk -= 1;
             let index = v - 1;
             if index < self.len as u128 {
-                return Some(index as u64);
+                out[n] = index as u64;
+                n += 1;
             }
         }
-        None
+        n
+    }
+}
+
+impl Iterator for ShardIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mut one = [0u64; 1];
+        if self.fill(&mut one) == 1 {
+            Some(one[0])
+        } else {
+            None
+        }
     }
 }
 
@@ -276,6 +296,23 @@ mod tests {
         let set: HashSet<_> = head.iter().collect();
         assert_eq!(set.len(), 10_000);
         assert!(head.iter().all(|i| *i < 1 << 32));
+    }
+
+    #[test]
+    fn fill_matches_iteration_in_chunks() {
+        let c = Cycle::new(10_000, 99);
+        let expect: Vec<u64> = c.iter_shard(1, 3).collect();
+        let mut it = c.iter_shard(1, 3);
+        let mut got = Vec::new();
+        let mut chunk = [0u64; 64];
+        loop {
+            let n = it.fill(&mut chunk);
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -103,6 +103,30 @@ impl FeistelPermutation {
         (0..self.len).map(move |i| self.index(i))
     }
 
+    /// Evaluates the permutation at positions `first, first + stride, …`
+    /// (stopping at `len`), writing the values into `out` and returning
+    /// how many were written — the batched form of [`index`](Self::index)
+    /// used by the scanner's chunked target generator, which strides by
+    /// its shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn fill(&self, first: u64, stride: u64, out: &mut [u64]) -> usize {
+        assert!(stride > 0, "stride must be nonzero");
+        let mut n = 0;
+        let mut pos = first;
+        while n < out.len() && pos < self.len {
+            out[n] = self.index(pos);
+            n += 1;
+            pos = match pos.checked_add(stride) {
+                Some(p) => p,
+                None => break,
+            };
+        }
+        n
+    }
+
     fn half_bits(&self) -> u32 {
         self.bits / 2
     }
@@ -194,6 +218,24 @@ mod tests {
             let v = p.index(i);
             assert_eq!(p.position_of(v), i);
         }
+    }
+
+    #[test]
+    fn fill_matches_strided_index() {
+        let p = FeistelPermutation::new(10_000, 3);
+        let expect: Vec<u64> = (2..10_000).step_by(7).map(|i| p.index(i)).collect();
+        let mut got = Vec::new();
+        let mut chunk = [0u64; 64];
+        let mut pos = 2u64;
+        loop {
+            let n = p.fill(pos, 7, &mut chunk);
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&chunk[..n]);
+            pos += 7 * n as u64;
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]

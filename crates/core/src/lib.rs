@@ -46,6 +46,7 @@ pub mod feasibility;
 pub mod feistel;
 pub mod math;
 pub mod output;
+pub mod parallel;
 pub mod probe;
 pub mod rate;
 pub mod scanner;
@@ -56,6 +57,7 @@ pub mod validate;
 pub use blocklist::{Blocklist, Verdict};
 pub use cyclic::Cycle;
 pub use feistel::FeistelPermutation;
+pub use parallel::ParallelScanner;
 pub use probe::{IcmpEchoProbe, ProbeModule, ProbeResult, TcpSynProbe, UdpProbe};
 pub use rate::AdaptiveRateController;
 pub use scanner::{

@@ -1,0 +1,325 @@
+//! The parallel shard executor: XMap's multi-threaded send loop.
+//!
+//! The C scanner reaches wire rate by splitting the cyclic permutation
+//! into disjoint shards and driving one send thread per shard. This
+//! module is that executor for the reproduction: [`ParallelScanner`]
+//! nests `n` worker shards *inside* the scanner's configured `(shard,
+//! shards)` slot, runs one [`Scanner`] per worker under
+//! [`std::thread::scope`], and merges results and telemetry
+//! deterministically, so a seeded N-worker run is byte-identical to the
+//! 1-worker run.
+//!
+//! # Shard → worker mapping
+//!
+//! A scanner instance owns the walk positions `shard, shard + shards,
+//! shard + 2·shards, …` of the permutation. Worker `w` of `n` takes every
+//! `n`-th of those, which is itself a shard: `(shard + w·shards)` of
+//! `(shards·n)` total. The union over workers is exactly the instance's
+//! target set, each target owned by exactly one worker. A `max_targets`
+//! cap splits the same way — instance walk position `j` belongs to worker
+//! `j mod n`, so worker `w` gets `ceil((cap − w) / n)` of the first `cap`
+//! positions.
+//!
+//! # Why determinism survives
+//!
+//! * **Disjoint targets, pure responses** — each worker probes a disjoint
+//!   target set, and the netsim world derives every response from
+//!   `(probe, world seed)`, so per-worker world replicas answer exactly
+//!   as one shared world would.
+//! * **Per-worker everything** — each worker has its own retry queue,
+//!   validator (same seed ⇒ same cookies), AIMD controller slice, and
+//!   telemetry registry; nothing is shared, so scheduling cannot leak
+//!   between workers.
+//! * **Canonical merge order** — workers are joined in worker order;
+//!   records are then stably sorted by target, which equals permutation-
+//!   index order (`ScanRange::nth` is monotone), the same order
+//!   `run(1 worker)` produces after its own sort. Counters merge by
+//!   addition ([`ScanStats::merge`], [`Snapshot::merge`]); the one
+//!   derived gauge (`scan.hit_rate_ppm`) is recomputed from merged
+//!   totals.
+//!
+//! The byte-identity guarantee assumes clock-independent worlds (the
+//! default: [`FaultPlan::none`]'s limiter and loss draws key on addresses,
+//! not ticks). Time-keyed fault plans (jitter, flaky windows) and
+//! `netsim.ticks` under `probes_per_target > 1` can shift per-worker
+//! drain timing; `scan.*` results remain a set-equal merge even then.
+//!
+//! [`FaultPlan::none`]: xmap_netsim::FaultPlan::none
+
+use xmap_addr::ScanRange;
+use xmap_netsim::packet::Network;
+use xmap_telemetry::{Snapshot, Telemetry};
+
+use crate::blocklist::Blocklist;
+use crate::probe::ProbeModule;
+use crate::scanner::{ScanConfig, ScanResults, Scanner};
+use crate::telemetry::names;
+
+/// A sharded, multi-threaded scan executor over per-worker [`Scanner`]s.
+///
+/// # Examples
+///
+/// ```
+/// use xmap::{Blocklist, IcmpEchoProbe, ParallelScanner, ScanConfig};
+/// use xmap_netsim::World;
+///
+/// # fn main() -> Result<(), xmap_addr::ParseAddrError> {
+/// let config = ScanConfig { max_targets: Some(2000), ..Default::default() };
+/// let mut scanner = ParallelScanner::new(4, config, |_, telemetry| {
+///     let mut world = World::new(7);
+///     world.set_telemetry(telemetry);
+///     world
+/// });
+/// let results = scanner.run(&"2405:200::/32-64".parse()?, &IcmpEchoProbe, &Blocklist::allow_all());
+/// assert_eq!(results.stats.sent, 2000); // same totals as a 1-worker run
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParallelScanner<N> {
+    workers: Vec<Scanner<N>>,
+}
+
+impl<N: Network + Send> ParallelScanner<N> {
+    /// Builds an executor with `workers` worker scanners nested inside
+    /// `base`'s shard slot. `make_network(w, telemetry)` constructs worker
+    /// `w`'s network replica; implementations that mirror metrics (e.g.
+    /// [`World::set_telemetry`]) should bind the passed per-worker bundle
+    /// so [`snapshot`](Self::snapshot) sees their counters.
+    ///
+    /// Every worker must be built over the same world seed for the
+    /// determinism guarantee to hold (disjoint shards make the replicas
+    /// interchangeable with one shared world).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`, if `base`'s shard config is invalid, or
+    /// if `base.shards * workers` overflows.
+    ///
+    /// [`World::set_telemetry`]: xmap_netsim::World::set_telemetry
+    pub fn new(
+        workers: usize,
+        base: ScanConfig,
+        mut make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(base.shards > 0, "shards must be nonzero");
+        assert!(base.shard < base.shards, "shard index out of range");
+        let shards_total = base
+            .shards
+            .checked_mul(workers as u64)
+            .expect("shards * workers overflows");
+        let workers = (0..workers)
+            .map(|w| {
+                let telemetry = Telemetry::new();
+                let network = make_network(w, &telemetry);
+                let config = ScanConfig {
+                    shard: base.shard + w as u64 * base.shards,
+                    shards: shards_total,
+                    max_targets: base
+                        .max_targets
+                        .map(|cap| worker_cap(cap, w as u64, workers as u64)),
+                    ..base.clone()
+                };
+                Scanner::with_telemetry(network, config, telemetry)
+            })
+            .collect();
+        ParallelScanner { workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker `w`'s effective configuration (nested shard slot and cap).
+    pub fn worker_config(&self, w: usize) -> &ScanConfig {
+        self.workers[w].config()
+    }
+
+    /// Worker `w`'s telemetry bundle.
+    pub fn worker_telemetry(&self, w: usize) -> &Telemetry {
+        self.workers[w].telemetry()
+    }
+
+    /// Scans one range across all workers and merges deterministically:
+    /// records sorted by target (= permutation-index order), counters
+    /// summed. See the module docs for why the result is byte-identical
+    /// to a 1-worker run of the same seed.
+    pub fn run(
+        &mut self,
+        range: &ScanRange,
+        module: &(dyn ProbeModule + Sync),
+        blocklist: &Blocklist,
+    ) -> ScanResults {
+        let outs: Vec<ScanResults> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .map(|worker| scope.spawn(move || worker.run(range, module, blocklist)))
+                .collect();
+            // Joining in worker order keeps the fold deterministic.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let mut merged = ScanResults::default();
+        for one in outs {
+            merged.stats.merge(&one.stats);
+            merged.records.extend(one.records);
+            merged.silent_targets.extend(one.silent_targets);
+        }
+        // Stable sort: a target's own records (e.g. fault-plan duplicates)
+        // keep their single worker's arrival order.
+        merged.records.sort_by_key(|r| r.target);
+        merged.silent_targets.sort_unstable();
+        merged
+    }
+
+    /// Scans several ranges, merging results range by range (mirrors
+    /// [`Scanner::run_all`]: per-range canonical order, concatenated).
+    pub fn run_all(
+        &mut self,
+        ranges: &[ScanRange],
+        module: &(dyn ProbeModule + Sync),
+        blocklist: &Blocklist,
+    ) -> ScanResults {
+        let mut all = ScanResults::default();
+        for r in ranges {
+            let one = self.run(r, module, blocklist);
+            all.stats.merge(&one.stats);
+            all.records.extend(one.records);
+            all.silent_targets.extend(one.silent_targets);
+        }
+        all
+    }
+
+    /// The merged telemetry snapshot across all workers: counters and
+    /// histograms sum; the derived `scan.hit_rate_ppm` gauge is recomputed
+    /// from the merged totals (per-worker values are worker-local rates).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for worker in &self.workers {
+            merged.merge(&worker.telemetry().registry.snapshot());
+        }
+        let sent = merged.counter(names::SENT);
+        let valid = merged.counter(names::VALID);
+        if let Some(ppm) = valid.saturating_mul(1_000_000).checked_div(sent) {
+            merged.gauges.insert(names::HIT_RATE_PPM.to_owned(), ppm);
+        }
+        merged
+    }
+}
+
+/// How many of the first `cap` instance walk positions worker `w` of `n`
+/// owns (position `j` goes to worker `j mod n`).
+fn worker_cap(cap: u64, w: u64, n: u64) -> u64 {
+    if cap <= w {
+        0
+    } else {
+        (cap - w).div_ceil(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::IcmpEchoProbe;
+    use xmap_netsim::World;
+
+    fn range() -> ScanRange {
+        "2405:200::/32-64".parse().unwrap()
+    }
+
+    fn base_config(cap: u64) -> ScanConfig {
+        ScanConfig {
+            seed: 77,
+            max_targets: Some(cap),
+            ..Default::default()
+        }
+    }
+
+    fn parallel(workers: usize, cap: u64) -> ParallelScanner<World> {
+        ParallelScanner::new(workers, base_config(cap), |_, telemetry| {
+            let mut world = World::new(5);
+            world.set_telemetry(telemetry);
+            world
+        })
+    }
+
+    #[test]
+    fn worker_caps_partition_exactly() {
+        for cap in [0u64, 1, 5, 4096, 4097] {
+            for n in [1u64, 2, 3, 4, 7] {
+                let total: u64 = (0..n).map(|w| worker_cap(cap, w, n)).sum();
+                assert_eq!(total, cap, "cap {cap} workers {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_configs_nest_shards() {
+        let base = ScanConfig {
+            shard: 1,
+            shards: 3,
+            max_targets: Some(7),
+            ..Default::default()
+        };
+        let ps = ParallelScanner::new(2, base, |_, _| World::new(5));
+        assert_eq!(ps.workers(), 2);
+        let w0 = ps.worker_config(0);
+        let w1 = ps.worker_config(1);
+        assert_eq!((w0.shard, w0.shards, w0.max_targets), (1, 6, Some(4)));
+        assert_eq!((w1.shard, w1.shards, w1.max_targets), (4, 6, Some(3)));
+    }
+
+    #[test]
+    fn sharded_runs_match_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut ps = parallel(workers, 2048);
+            let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+            (results, ps.snapshot())
+        };
+        let (r1, s1) = run(1);
+        let (r2, s2) = run(2);
+        let (r4, s4) = run(4);
+        assert_eq!(r1.stats.sent, 2048);
+        assert!(!r1.records.is_empty());
+        assert_eq!(r1.records, r2.records);
+        assert_eq!(r1.records, r4.records);
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.stats, r4.stats);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn single_worker_matches_plain_scanner_totals() {
+        let mut ps = parallel(1, 512);
+        let merged = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let mut world = World::new(5);
+        let telemetry = Telemetry::new();
+        world.set_telemetry(&telemetry);
+        let mut plain = Scanner::with_telemetry(world, base_config(512), telemetry);
+        let serial = plain.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert_eq!(merged.stats, serial.stats);
+        let mut serial_sorted = serial.records;
+        serial_sorted.sort_by_key(|r| r.target);
+        assert_eq!(merged.records, serial_sorted);
+        assert_eq!(ps.snapshot(), plain.telemetry().registry.snapshot());
+    }
+
+    #[test]
+    fn more_workers_than_targets() {
+        let mut ps = parallel(4, 2);
+        let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert_eq!(results.stats.sent, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ParallelScanner::new(0, ScanConfig::default(), |_, _| World::new(5));
+    }
+}

@@ -170,16 +170,21 @@ impl ScanStats {
         }
     }
 
-    /// Accumulates another run's counters into this one.
+    /// Accumulates another run's counters into this one. Integer counters
+    /// saturate instead of wrapping, so a pathological merge (e.g. folding
+    /// many near-full campaign aggregates) degrades to a pinned maximum
+    /// rather than a nonsense small number.
     pub fn merge(&mut self, other: &ScanStats) {
-        self.sent += other.sent;
-        self.blocked += other.blocked;
-        self.received += other.received;
-        self.invalid += other.invalid;
-        self.valid += other.valid;
-        self.retransmits += other.retransmits;
-        self.rate_limited_suspected += other.rate_limited_suspected;
-        self.gave_up += other.gave_up;
+        self.sent = self.sent.saturating_add(other.sent);
+        self.blocked = self.blocked.saturating_add(other.blocked);
+        self.received = self.received.saturating_add(other.received);
+        self.invalid = self.invalid.saturating_add(other.invalid);
+        self.valid = self.valid.saturating_add(other.valid);
+        self.retransmits = self.retransmits.saturating_add(other.retransmits);
+        self.rate_limited_suspected = self
+            .rate_limited_suspected
+            .saturating_add(other.rate_limited_suspected);
+        self.gave_up = self.gave_up.saturating_add(other.gave_up);
         self.paced_secs += other.paced_secs;
     }
 }
@@ -291,15 +296,16 @@ impl<N: Network> Scanner<N> {
         self.total_ticks
     }
 
-    /// Advances the network's virtual clock by `ticks`, returning any
-    /// delayed packets that came due. Keeps the scanner's monotone tick
-    /// count in sync — campaign drivers use this instead of ticking the
-    /// network directly.
-    pub fn advance(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
+    /// Advances the network's virtual clock by `ticks`, appending any
+    /// delayed packets that came due to `out` (which callers clear and
+    /// reuse across invocations — the mop-up loop calls this once per
+    /// drain slot, and a returned `Vec` per call was a measurable
+    /// allocation tax). Keeps the scanner's monotone tick count in sync —
+    /// campaign drivers use this instead of ticking the network directly.
+    pub fn advance(&mut self, ticks: u64, out: &mut Vec<Ipv6Packet>) {
         self.total_ticks += ticks;
-        let due = self.network.tick(ticks);
+        self.network.tick_into(ticks, out);
         self.network.flush_telemetry();
-        due
     }
 
     /// The configuration in effect.
@@ -383,7 +389,7 @@ impl<N: Network> Scanner<N> {
         let mut results = ScanResults::default();
         let base = self.metrics.baseline();
         let run_start_tick = self.total_ticks;
-        let indices = self.order(range);
+        let mut gen = TargetGen::new(&self.config, range);
         let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
         let mut adaptive = if self.config.adaptive_rate {
             self.config.rate_pps.map(AdaptiveRateController::standard)
@@ -392,17 +398,18 @@ impl<N: Network> Scanner<N> {
         };
         let attempts = self.config.probes_per_target.max(1);
         let mut state = RecoveryState::default();
-        let mut fresh = indices.into_iter();
         let mut now: u64 = 0;
         // Per-slot metrics are tallied locally and flushed at observation
-        // boundaries (monitor lines, run end) — see [`HotTally`].
+        // boundaries (monitor lines, run end) — see [`HotTally`]. Received
+        // packets land in one scratch buffer reused across every slot.
         let mut tally = HotTally::default();
+        let mut recv_buf: Vec<Ipv6Packet> = Vec::new();
 
         loop {
             // One send slot: a due retransmission wins over a fresh target.
             let job = if let Some(entry) = state.due_retry(now) {
                 Some((entry.target, entry.attempt))
-            } else if let Some(target) = fresh.by_ref().find_map(|i| range.nth(i)) {
+            } else if let Some(target) = gen.next_target(range) {
                 state.probed.push(target);
                 Some((target, 0))
             } else if !state.retries.is_empty() || self.network.in_flight() > 0 {
@@ -439,7 +446,7 @@ impl<N: Network> Scanner<N> {
                 );
                 tally.sent += 1;
                 if attempt > 0 {
-                    self.metrics.retransmits.inc();
+                    tally.retransmits += 1;
                 }
                 if self.telemetry.tracer.is_enabled() {
                     self.telemetry.tracer.event(
@@ -467,9 +474,10 @@ impl<N: Network> Scanner<N> {
                     self.metrics.backoff_ticks.record(backoff);
                     state.schedule(now + backoff, target, attempt + 1, dst);
                 }
-                let immediate = self.network.handle(probe);
+                recv_buf.clear();
+                self.network.handle_into(probe, &mut recv_buf);
                 self.absorb(
-                    immediate,
+                    &recv_buf,
                     module,
                     &mut state,
                     &mut adaptive,
@@ -479,7 +487,8 @@ impl<N: Network> Scanner<N> {
                 );
             }
 
-            let late = self.network.tick(1);
+            recv_buf.clear();
+            self.network.tick_into(1, &mut recv_buf);
             now += 1;
             self.total_ticks += 1;
             if let Some(monitor) = self.monitor.as_mut() {
@@ -490,7 +499,7 @@ impl<N: Network> Scanner<N> {
                 }
             }
             self.absorb(
-                late,
+                &recv_buf,
                 module,
                 &mut state,
                 &mut adaptive,
@@ -504,16 +513,21 @@ impl<N: Network> Scanner<N> {
         self.network.flush_telemetry();
 
         // Per-target recovery accounting, in deterministic probe order.
+        // Abandonments are tallied locally and flushed in one counter add.
+        let mut gave_up = 0u64;
         for target in &state.probed {
             if state.answered.contains(target) {
                 continue;
             }
             if attempts > 1 {
-                self.metrics.gave_up.inc();
+                gave_up += 1;
             }
             if self.config.record_silent {
                 results.silent_targets.push(*target);
             }
+        }
+        if gave_up > 0 {
+            self.metrics.gave_up.add(gave_up);
         }
         results.stats = self.metrics.stats_since(&base);
         self.metrics.update_hit_rate();
@@ -536,7 +550,7 @@ impl<N: Network> Scanner<N> {
     #[allow(clippy::too_many_arguments)]
     fn absorb(
         &mut self,
-        batch: Vec<Ipv6Packet>,
+        batch: &[Ipv6Packet],
         module: &dyn ProbeModule,
         state: &mut RecoveryState,
         adaptive: &mut Option<AdaptiveRateController>,
@@ -546,10 +560,10 @@ impl<N: Network> Scanner<N> {
     ) {
         for resp in batch {
             tally.received += 1;
-            match module.classify(&resp, &self.validator) {
+            match module.classify(resp, &self.validator) {
                 ProbeResult::Invalid => tally.invalid += 1,
                 result => {
-                    let probe_dst = probe_dst_of(&resp);
+                    let probe_dst = probe_dst_of(resp);
                     let Some(out) = state.outstanding.get_mut(&probe_dst) else {
                         // Validated but unattributable (a duplicate of a
                         // probe sent outside this run); not ours to record.
@@ -621,28 +635,138 @@ impl<N: Network> Scanner<N> {
         }
         all
     }
+}
 
-    /// The probe order for a range under the configured permutation, shard
-    /// assignment and target cap.
-    fn order(&self, range: &ScanRange) -> Vec<u64> {
+/// Indices per refill of the streaming target generator. Large enough to
+/// amortize dispatch, small enough to stay in L1.
+const TARGET_CHUNK: usize = 256;
+
+/// Streaming probe-order generator: walks the configured permutation
+/// shard in fixed-size chunks instead of materializing the whole order up
+/// front (a 2³²-index shard used to cost a 32 GiB `Vec` in principle and a
+/// cap-sized allocation in practice; the generator is O(1) in space and
+/// emits exactly the order [`Scanner::run`] always used).
+#[derive(Debug)]
+struct TargetGen {
+    stream: IndexStream,
+    /// Remaining `max_targets` budget, counted in emitted indices.
+    remaining: u64,
+    buf: [u64; TARGET_CHUNK],
+    len: usize,
+    pos: usize,
+}
+
+/// The per-permutation walk state behind [`TargetGen`].
+#[derive(Debug)]
+enum IndexStream {
+    /// Multiplicative-group walk over this scanner's shard.
+    Cyclic(crate::cyclic::ShardIter),
+    /// Index-addressable bijection evaluated at strided positions.
+    Feistel {
+        perm: FeistelPermutation,
+        next_pos: u64,
+        stride: u64,
+    },
+    /// Ascending strided positions, no permutation.
+    Sequential {
+        next_pos: u64,
+        stride: u64,
+        len: u64,
+    },
+}
+
+impl TargetGen {
+    fn new(config: &ScanConfig, range: &ScanRange) -> Self {
         let len = u64::try_from(range.space_size().min(u64::MAX as u128)).unwrap_or(u64::MAX);
-        let cap = self.config.max_targets.unwrap_or(u64::MAX) as usize;
-        let (shard, shards) = (self.config.shard, self.config.shards);
-        match self.config.permutation {
+        let (shard, shards) = (config.shard, config.shards);
+        let stream = match config.permutation {
             Permutation::Cyclic => {
-                let cycle = Cycle::new(len, self.config.seed);
-                cycle.iter_shard(shard, shards).take(cap).collect()
+                IndexStream::Cyclic(Cycle::new(len, config.seed).iter_shard(shard, shards))
             }
-            Permutation::Feistel => {
-                let perm = FeistelPermutation::new(len, self.config.seed);
-                (shard..len)
-                    .step_by(shards as usize)
-                    .map(|i| perm.index(i))
-                    .take(cap)
-                    .collect()
-            }
-            Permutation::Sequential => (shard..len).step_by(shards as usize).take(cap).collect(),
+            Permutation::Feistel => IndexStream::Feistel {
+                perm: FeistelPermutation::new(len, config.seed),
+                next_pos: shard,
+                stride: shards,
+            },
+            Permutation::Sequential => IndexStream::Sequential {
+                next_pos: shard,
+                stride: shards,
+                len,
+            },
+        };
+        TargetGen {
+            stream,
+            remaining: config.max_targets.unwrap_or(u64::MAX),
+            buf: [0; TARGET_CHUNK],
+            len: 0,
+            pos: 0,
         }
+    }
+
+    /// The next fresh target, skipping indices the range cannot produce.
+    fn next_target(&mut self, range: &ScanRange) -> Option<Prefix> {
+        while let Some(i) = self.next_index() {
+            if let Some(target) = range.nth(i) {
+                return Some(target);
+            }
+        }
+        None
+    }
+
+    /// The next permuted index, or `None` once the shard walk or the
+    /// target cap is exhausted.
+    fn next_index(&mut self) -> Option<u64> {
+        if self.pos == self.len {
+            self.refill();
+            if self.pos == self.len {
+                return None;
+            }
+        }
+        let i = self.buf[self.pos];
+        self.pos += 1;
+        Some(i)
+    }
+
+    fn refill(&mut self) {
+        self.pos = 0;
+        self.len = 0;
+        let want = (TARGET_CHUNK as u64).min(self.remaining) as usize;
+        if want == 0 {
+            return;
+        }
+        let out = &mut self.buf[..want];
+        let n = match &mut self.stream {
+            IndexStream::Cyclic(walk) => walk.fill(out),
+            IndexStream::Feistel {
+                perm,
+                next_pos,
+                stride,
+            } => {
+                let n = perm.fill(*next_pos, *stride, out);
+                *next_pos = (n as u64)
+                    .checked_mul(*stride)
+                    .and_then(|step| next_pos.checked_add(step))
+                    .unwrap_or(u64::MAX);
+                n
+            }
+            IndexStream::Sequential {
+                next_pos,
+                stride,
+                len,
+            } => {
+                let mut n = 0;
+                while n < out.len() && *next_pos < *len {
+                    out[n] = *next_pos;
+                    n += 1;
+                    // On overflow the walk is past every valid position
+                    // (positions are < len <= u64::MAX), so MAX terminates.
+                    *next_pos = next_pos.checked_add(*stride).unwrap_or(u64::MAX);
+                }
+                n
+            }
+        };
+        self.len = n;
+        self.remaining -= n as u64;
     }
 }
 
@@ -805,6 +929,85 @@ mod tests {
     use super::*;
     use crate::probe::IcmpEchoProbe;
     use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Payload};
+
+    #[test]
+    fn stats_merge_sums_counters_and_recomputes_hit_rate() {
+        let mut a = ScanStats {
+            sent: 1000,
+            blocked: 3,
+            received: 120,
+            invalid: 20,
+            valid: 100,
+            retransmits: 50,
+            rate_limited_suspected: 4,
+            gave_up: 7,
+            paced_secs: 0.25,
+        };
+        let b = ScanStats {
+            sent: 3000,
+            blocked: 1,
+            received: 350,
+            invalid: 50,
+            valid: 300,
+            retransmits: 10,
+            rate_limited_suspected: 2,
+            gave_up: 1,
+            paced_secs: 0.75,
+        };
+        a.merge(&b);
+        assert_eq!(a.sent, 4000);
+        assert_eq!(a.blocked, 4);
+        assert_eq!(a.received, 470);
+        assert_eq!(a.invalid, 70);
+        assert_eq!(a.valid, 400);
+        assert_eq!(a.retransmits, 60);
+        assert_eq!(a.rate_limited_suspected, 6);
+        assert_eq!(a.gave_up, 8);
+        assert!((a.paced_secs - 1.0).abs() < 1e-12);
+        assert!((a.hit_rate() - 0.1).abs() < 1e-12);
+
+        // Skewed sides: merged hit rate is the ratio of merged totals
+        // (≈ 0.0909), not the mean of the per-side rates (0.3).
+        let mut skew = ScanStats {
+            sent: 100,
+            valid: 50,
+            ..ScanStats::default()
+        };
+        skew.merge(&ScanStats {
+            sent: 1000,
+            valid: 50,
+            ..ScanStats::default()
+        });
+        assert!((skew.hit_rate() - 100.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_saturates_instead_of_wrapping() {
+        let near_full = ScanStats {
+            sent: u64::MAX - 1,
+            blocked: u64::MAX,
+            received: u64::MAX - 5,
+            invalid: u64::MAX,
+            valid: u64::MAX - 2,
+            retransmits: u64::MAX,
+            rate_limited_suspected: u64::MAX,
+            gave_up: u64::MAX,
+            paced_secs: 1.0,
+        };
+        let mut merged = near_full.clone();
+        merged.merge(&near_full);
+        assert_eq!(merged.sent, u64::MAX);
+        assert_eq!(merged.blocked, u64::MAX);
+        assert_eq!(merged.received, u64::MAX);
+        assert_eq!(merged.invalid, u64::MAX);
+        assert_eq!(merged.valid, u64::MAX);
+        assert_eq!(merged.retransmits, u64::MAX);
+        assert_eq!(merged.rate_limited_suspected, u64::MAX);
+        assert_eq!(merged.gave_up, u64::MAX);
+        assert!((merged.paced_secs - 2.0).abs() < 1e-12);
+        // Saturated counters still yield a sane (≤ 1) hit rate.
+        assert!(merged.hit_rate() <= 1.0);
+    }
 
     /// A toy network: even /64 indices host a responder that answers
     /// unreachable from a derived address; odd ones are silent.

@@ -149,8 +149,9 @@ impl ScanMetrics {
 /// line and when a run finishes. Everything the registry exports therefore
 /// stays exact where it is read, while the per-probe cost drops to nothing.
 ///
-/// Only the always-moving metrics are batched; rare events (retransmits,
-/// suspected rate limiting, nonzero RTTs) keep their direct handles.
+/// Only metrics the send/recv loop can touch every slot are batched; rare
+/// events (suspected rate limiting, nonzero RTTs, backoff scheduling)
+/// keep their direct handles.
 #[derive(Debug, Default)]
 pub struct HotTally {
     /// Probes sent.
@@ -163,6 +164,8 @@ pub struct HotTally {
     pub invalid: u64,
     /// Valid responses.
     pub valid: u64,
+    /// Retransmitted probes (every slot is one under sustained loss).
+    pub retransmits: u64,
     /// Accounted pacing, nanoseconds.
     pub paced_nanos: u64,
     /// Valid responses that arrived in the send slot (RTT of zero ticks,
@@ -185,6 +188,7 @@ impl HotTally {
         bump(&metrics.received, &mut self.received);
         bump(&metrics.invalid, &mut self.invalid);
         bump(&metrics.valid, &mut self.valid);
+        bump(&metrics.retransmits, &mut self.retransmits);
         bump(&metrics.paced_nanos, &mut self.paced_nanos);
         if self.rtt_zero > 0 {
             metrics.rtt_ticks.record_n(0, self.rtt_zero);

@@ -32,7 +32,9 @@ use crate::bgp::{BgpTable, BASE_DENSITY, BGP_IID_MIX, LOOP_RATE_BY_CLASS};
 use crate::device::{Device, ReplyMode, ServiceInstance, ServiceSet};
 use crate::fault::{DelayedResponse, ErrorLimiterState, FaultPlan};
 use crate::isp::{IspProfile, NON_EUI_IID_SPLIT, SAMPLE_BLOCKS};
-use crate::packet::{AppData, Icmpv6, Ipv6Packet, Network, Payload, TcpFlags, UnreachCode};
+use crate::packet::{
+    AppData, Icmpv6, Ipv6Packet, Network, PacketArena, Payload, TcpFlags, UnreachCode,
+};
 use crate::rng::{weighted_pick, DetHash};
 use crate::services::{
     software_id, AppRequest, AppResponse, ServiceKind, SoftwareId, TransportProto, SOFTWARE_CATALOG,
@@ -185,6 +187,9 @@ pub struct World {
     published: WorldStats,
     /// Clock as of the last registry publish.
     published_clock: u64,
+    /// Freelist for per-exchange response staging buffers, so steady-state
+    /// probing allocates nothing.
+    arena: PacketArena,
 }
 
 /// Packets (or ticks) between registry publishes when event tracing is
@@ -217,6 +222,7 @@ impl World {
             telemetry: NetsimTelemetry::disabled(),
             published: WorldStats::default(),
             published_clock: 0,
+            arena: PacketArena::new(),
         }
     }
 
@@ -575,23 +581,30 @@ impl World {
             .chance(p.filter_frac)
     }
 
-    /// Answers an echo probe destined into a sample block's scan space.
-    fn handle_isp_echo(&mut self, profile_idx: usize, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+    /// Answers an echo probe destined into a sample block's scan space,
+    /// appending the responses (if any) to `out`.
+    fn handle_isp_echo(
+        &mut self,
+        profile_idx: usize,
+        packet: &Ipv6Packet,
+        out: &mut Vec<Ipv6Packet>,
+    ) {
         let p = &self.profiles[profile_idx];
         let Some(index) = p.scan_prefix().subprefix_index(p.assigned_len, packet.dst) else {
-            return Vec::new();
+            return;
         };
         let index = index as u64;
         if self.is_aliased(profile_idx, index) {
             // Aliased region: a middlebox answers echo for everything.
-            return vec![echo_reply(packet)];
+            out.push(echo_reply(packet));
+            return;
         }
         let Some(device) = self.device_at(profile_idx, index) else {
             // Unallocated sub-prefix: aggregated/blackholed upstream.
-            return Vec::new();
+            return;
         };
         if self.filtered(p, index) {
-            return Vec::new();
+            return;
         }
         if self
             .cfg
@@ -600,30 +613,32 @@ impl World {
         {
             // Mid-reboot: the device drops everything addressed through it.
             self.stats.flaky_dropped += 1;
-            return Vec::new();
+            return;
         }
         let n = device.hops_to_isp;
         if packet.hop_limit <= n {
             // Expired in transit: Time Exceeded from a transit router.
             let transit = transit_router_addr(p, packet.hop_limit);
-            return vec![icmp(
+            out.push(icmp(
                 transit,
                 packet,
                 Icmpv6::TimeExceeded {
                     invoking: packet.quote(),
                 },
-            )];
+            ));
+            return;
         }
         if packet.dst == device.wan_address() || packet.dst == device.reply_source(packet.dst) {
-            let reply = echo_reply(packet);
+            out.push(echo_reply(packet));
             self.register(packet.dst, profile_idx, index);
-            return vec![reply];
+            return;
         }
         if device.used_subnet64.contains(packet.dst)
             && self.hosts_of(profile_idx, index).contains(&packet.dst)
         {
             // A real LAN host: forwarded by the CPE and answered end to end.
-            return vec![echo_reply(packet)];
+            out.push(echo_reply(packet));
+            return;
         }
         if device.loops_for(packet.dst) {
             // The packet ping-pongs between ISP router and CPE until its
@@ -631,17 +646,18 @@ impl World {
             self.stats.loop_events += 1;
             self.stats.loop_forwards += (packet.hop_limit - n) as u64;
             if !self.error_budget_ok(profile_idx, index, &device) {
-                return Vec::new();
+                return;
             }
             let src = device.reply_source(packet.dst);
             self.register(src, profile_idx, index);
-            return vec![icmp(
+            out.push(icmp(
                 src,
                 packet,
                 Icmpv6::TimeExceeded {
                     invoking: packet.quote(),
                 },
-            )];
+            ));
+            return;
         }
         // RFC 4443: address unreachable from the last-hop periphery. If the
         // device patched the unused region with a reject route, the code
@@ -655,44 +671,46 @@ impl World {
             UnreachCode::AddressUnreachable
         };
         if !self.error_budget_ok(profile_idx, index, &device) {
-            return Vec::new();
+            return;
         }
         let src = device.reply_source(packet.dst);
         self.register(src, profile_idx, index);
-        vec![icmp(
+        out.push(icmp(
             src,
             packet,
             Icmpv6::DestUnreachable {
                 code,
                 invoking: packet.quote(),
             },
-        )]
+        ));
     }
 
-    /// Answers an echo probe destined into the BGP survey zone.
-    fn handle_bgp_echo(&mut self, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+    /// Answers an echo probe destined into the BGP survey zone, appending
+    /// the responses (if any) to `out`.
+    fn handle_bgp_echo(&mut self, packet: &Ipv6Packet, out: &mut Vec<Ipv6Packet>) {
         let Some(entry) = self.bgp.locate(packet.dst).copied() else {
-            return Vec::new();
+            return;
         };
         // The survey probes /48 sub-prefixes of /32 advertisements.
         let Some(index) = entry.prefix.subprefix_index(48, packet.dst) else {
-            return Vec::new();
+            return;
         };
         let Some(host) = self.bgp_host_at(entry.prefix, entry.asn, index as u64) else {
-            return Vec::new();
+            return;
         };
         if packet.hop_limit <= host.hops {
             let transit = packet
                 .dst
                 .network(32)
                 .with_iid(0xffff_0000_0000_0000 | packet.hop_limit as u64);
-            return vec![icmp(
+            out.push(icmp(
                 transit,
                 packet,
                 Icmpv6::TimeExceeded {
                     invoking: packet.quote(),
                 },
-            )];
+            ));
+            return;
         }
         // Reply source: the last hop lives in some /64 of the probed /48.
         let h = DetHash::new(self.cfg.seed)
@@ -706,31 +724,33 @@ impl World {
         if host.loops && packet.dst != src {
             self.stats.loop_events += 1;
             self.stats.loop_forwards += packet.hop_limit.saturating_sub(host.hops) as u64;
-            return vec![icmp(
+            out.push(icmp(
                 src,
                 packet,
                 Icmpv6::TimeExceeded {
                     invoking: packet.quote(),
                 },
-            )];
+            ));
+            return;
         }
-        vec![icmp(
+        out.push(icmp(
             src,
             packet,
             Icmpv6::DestUnreachable {
                 code: UnreachCode::AddressUnreachable,
                 invoking: packet.quote(),
             },
-        )]
+        ));
     }
 
-    /// Answers an application-layer probe (UDP/TCP) for a discovered device.
-    fn handle_app(&mut self, packet: &Ipv6Packet) -> Vec<Ipv6Packet> {
+    /// Answers an application-layer probe (UDP/TCP) for a discovered
+    /// device, appending the responses (if any) to `out`.
+    fn handle_app(&mut self, packet: &Ipv6Packet, out: &mut Vec<Ipv6Packet>) {
         let Some(&DeviceRef::Isp { profile, index }) = self.registry.get(&packet.dst) else {
-            return Vec::new();
+            return;
         };
         let Some(device) = self.device_at(profile, index) else {
-            return Vec::new();
+            return;
         };
         if self
             .cfg
@@ -738,7 +758,7 @@ impl World {
             .device_down(profile as u64, index, self.clock)
         {
             self.stats.flaky_dropped += 1;
-            return Vec::new();
+            return;
         }
         match &packet.payload {
             Payload::Udp {
@@ -747,15 +767,17 @@ impl World {
                 data,
             } => {
                 let Some(kind) = ServiceKind::from_port(*dst_port) else {
-                    return vec![port_unreachable(packet)];
+                    out.push(port_unreachable(packet));
+                    return;
                 };
                 if kind.transport() != TransportProto::Udp {
-                    return vec![port_unreachable(packet)];
+                    out.push(port_unreachable(packet));
+                    return;
                 }
                 match (device.services.get(kind), data) {
                     (Some(inst), AppData::Request(req)) => {
                         let resp = service_response(&device, kind, inst, *req);
-                        vec![Ipv6Packet {
+                        out.push(Ipv6Packet {
                             src: packet.dst,
                             dst: packet.src,
                             hop_limit: crate::packet::DEFAULT_HOP_LIMIT,
@@ -764,9 +786,9 @@ impl World {
                                 dst_port: *src_port,
                                 data: AppData::Response(resp),
                             },
-                        }]
+                        });
                     }
-                    _ => vec![port_unreachable(packet)],
+                    _ => out.push(port_unreachable(packet)),
                 }
             }
             Payload::Tcp {
@@ -785,44 +807,42 @@ impl World {
                         } else {
                             TcpFlags::Rst
                         };
-                        vec![tcp_reply(
+                        out.push(tcp_reply(
                             packet,
                             *src_port,
                             *dst_port,
                             reply_flags,
                             AppData::None,
-                        )]
+                        ));
                     }
                     TcpFlags::Ack => {
                         if !open {
-                            return vec![tcp_reply(
+                            out.push(tcp_reply(
                                 packet,
                                 *src_port,
                                 *dst_port,
                                 TcpFlags::Rst,
                                 AppData::None,
-                            )];
+                            ));
+                            return;
                         }
                         let kind = ServiceKind::from_port(*dst_port).expect("open implies known");
                         let inst = *device.services.get(kind).expect("open implies instance");
-                        match data {
-                            AppData::Request(req) => {
-                                let resp = service_response(&device, kind, &inst, *req);
-                                vec![tcp_reply(
-                                    packet,
-                                    *src_port,
-                                    *dst_port,
-                                    TcpFlags::Ack,
-                                    AppData::Response(resp),
-                                )]
-                            }
-                            _ => Vec::new(),
+                        if let AppData::Request(req) = data {
+                            let resp = service_response(&device, kind, &inst, *req);
+                            out.push(tcp_reply(
+                                packet,
+                                *src_port,
+                                *dst_port,
+                                TcpFlags::Ack,
+                                AppData::Response(resp),
+                            ));
                         }
                     }
-                    _ => Vec::new(),
+                    _ => {}
                 }
             }
-            Payload::Icmp(_) => Vec::new(),
+            Payload::Icmp(_) => {}
         }
     }
 
@@ -994,31 +1014,41 @@ fn service_response(
 
 impl Network for World {
     fn handle(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
-        let out = self.handle_inner(packet);
-        if self.telemetry_due() {
-            self.publish_telemetry();
-        }
+        let mut out = Vec::new();
+        self.handle_into(packet, &mut out);
         out
     }
 
+    fn handle_into(&mut self, packet: Ipv6Packet, out: &mut Vec<Ipv6Packet>) {
+        self.handle_inner(packet, out);
+        if self.telemetry_due() {
+            self.publish_telemetry();
+        }
+    }
+
     fn tick(&mut self, ticks: u64) -> Vec<Ipv6Packet> {
-        self.clock += ticks;
         let mut due = Vec::new();
+        self.tick_into(ticks, &mut due);
+        due
+    }
+
+    fn tick_into(&mut self, ticks: u64, out: &mut Vec<Ipv6Packet>) {
+        self.clock += ticks;
+        let before = out.len();
         while let Some(head) = self.delayed.peek() {
             if head.due_tick > self.clock {
                 break;
             }
-            due.push(self.delayed.pop().expect("peeked").packet);
+            out.push(self.delayed.pop().expect("peeked").packet);
         }
-        self.stats.responses += due.len() as u64;
+        let due = (out.len() - before) as u64;
+        self.stats.responses += due;
         if self.telemetry.is_enabled() {
-            self.telemetry
-                .tick_event(self.clock, ticks, due.len() as u64);
+            self.telemetry.tick_event(self.clock, ticks, due);
             if self.telemetry_due() {
                 self.publish_telemetry();
             }
         }
-        due
     }
 
     fn flush_telemetry(&mut self) {
@@ -1031,73 +1061,88 @@ impl Network for World {
 }
 
 impl World {
-    /// The per-packet exchange logic behind [`Network::handle`] (split out
-    /// so the telemetry publish happens at exactly one site despite the
-    /// early returns).
-    fn handle_inner(&mut self, packet: Ipv6Packet) -> Vec<Ipv6Packet> {
+    /// The per-packet exchange logic behind [`Network::handle_into`]
+    /// (split out so the telemetry publish happens at exactly one site
+    /// despite the early returns). Responses are staged in an arena buffer
+    /// before fault filtering, so the steady-state path never allocates.
+    fn handle_inner(&mut self, packet: Ipv6Packet, out: &mut Vec<Ipv6Packet>) {
         self.stats.probes += 1;
         let plan = self.cfg.fault;
         if plan.drop_forward(packet.dst, self.clock) {
             self.stats.fwd_lost += 1;
-            return Vec::new();
+            return;
         }
         if self.lost(&packet) {
-            return Vec::new();
+            return;
         }
-        let responses = match &packet.payload {
+        let mut staged = self.arena.get();
+        match &packet.payload {
             Payload::Icmp(Icmpv6::EchoRequest { .. }) => {
                 if let Some(&DeviceRef::Isp { profile, index }) = self.registry.get(&packet.dst) {
                     if plan.device_down(profile as u64, index, self.clock) {
                         self.stats.flaky_dropped += 1;
-                        Vec::new()
                     } else {
-                        vec![echo_reply(&packet)]
+                        staged.push(echo_reply(&packet));
                     }
                 } else if let Some(pi) = self.scan_zone_of(packet.dst) {
-                    self.handle_isp_echo(pi, &packet)
+                    self.handle_isp_echo(pi, &packet, &mut staged);
                 } else {
-                    self.handle_bgp_echo(&packet)
+                    self.handle_bgp_echo(&packet, &mut staged);
                 }
             }
-            Payload::Udp { .. } | Payload::Tcp { .. } => self.handle_app(&packet),
-            Payload::Icmp(_) => Vec::new(),
-        };
+            Payload::Udp { .. } | Payload::Tcp { .. } => self.handle_app(&packet, &mut staged),
+            Payload::Icmp(_) => {}
+        }
         if !plan.any_faults() {
             // Fast path: the identity plan skips per-response draws.
-            self.stats.responses += responses.len() as u64;
-            return responses;
+            self.stats.responses += staged.len() as u64;
+            out.append(&mut staged);
+            self.arena.put(staged);
+            return;
         }
         let tick = self.clock;
-        let mut delivered = Vec::with_capacity(responses.len());
-        for (k, resp) in responses.into_iter().enumerate() {
+        let mut delivered = 0u64;
+        for (k, resp) in staged.drain(..).enumerate() {
             let k = k as u64;
             if plan.drop_reverse(resp.src, tick, k) {
                 self.stats.rev_lost += 1;
                 continue;
             }
-            let copies = if plan.duplicate(resp.src, tick, k) {
+            // The per-copy draws are pure in (src, tick, k), so a duplicate
+            // shares its original's jitter.
+            let delay = plan.jitter_ticks(resp.src, tick, k);
+            if plan.duplicate(resp.src, tick, k) {
                 self.stats.dup_responses += 1;
-                2
-            } else {
-                1
-            };
-            for _ in 0..copies {
-                let delay = plan.jitter_ticks(resp.src, tick, k);
-                if delay == 0 {
-                    delivered.push(resp.clone());
-                } else {
-                    self.stats.jittered += 1;
-                    self.delayed.push(DelayedResponse {
-                        due_tick: tick + delay,
-                        seq: self.delay_seq,
-                        packet: resp.clone(),
-                    });
-                    self.delay_seq += 1;
-                }
+                self.deliver_one(resp.clone(), delay, tick, out, &mut delivered);
             }
+            self.deliver_one(resp, delay, tick, out, &mut delivered);
         }
-        self.stats.responses += delivered.len() as u64;
-        delivered
+        self.stats.responses += delivered;
+        self.arena.put(staged);
+    }
+
+    /// Delivers one fault-filtered response: immediately into `out`, or
+    /// onto the jitter heap when delayed.
+    fn deliver_one(
+        &mut self,
+        packet: Ipv6Packet,
+        delay: u64,
+        tick: u64,
+        out: &mut Vec<Ipv6Packet>,
+        delivered: &mut u64,
+    ) {
+        if delay == 0 {
+            out.push(packet);
+            *delivered += 1;
+        } else {
+            self.stats.jittered += 1;
+            self.delayed.push(DelayedResponse {
+                due_tick: tick + delay,
+                seq: self.delay_seq,
+                packet,
+            });
+            self.delay_seq += 1;
+        }
     }
 }
 

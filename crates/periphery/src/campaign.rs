@@ -326,7 +326,8 @@ impl Campaign {
         if self.mop_up && !results.silent_targets.is_empty() {
             // Let rate-limited devices accrue error tokens before the
             // second chance; discards any (stale) delayed deliveries.
-            let _ = scanner.advance(self.mop_up_delay_ticks);
+            let mut late = Vec::new();
+            scanner.advance(self.mop_up_delay_ticks, &mut late);
             let seed = scanner.config().seed;
             let hop_limit = scanner.config().hop_limit;
             let mop_up_start = scanner.ticks();
@@ -344,7 +345,8 @@ impl Campaign {
                 }
                 scanner.metrics().retransmits.inc();
                 let mut answers = scanner.probe_addr(dst, &IcmpEchoProbe, hop_limit);
-                let late = scanner.advance(1);
+                late.clear();
+                scanner.advance(1, &mut late);
                 for p in &late {
                     // Late (jittered) deliveries bypass probe_addr, so they
                     // are accounted here through the same handles.

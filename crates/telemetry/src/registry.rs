@@ -320,6 +320,50 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Folds `other` into `self`, the reduction step for combining the
+    /// per-worker registries of a sharded run into one export.
+    ///
+    /// Counters add (saturating), histogram buckets/counts add per slot
+    /// (saturating, with the `sum` field wrapping exactly as
+    /// [`Histogram::record`] does), and gauges take `other`'s value
+    /// (last-wins, matching [`Gauge::set`] semantics) — callers that can
+    /// recompute a gauge from merged counters should overwrite it after
+    /// merging. Metric names missing on either side are unioned in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same histogram name carries different bucket bounds
+    /// on the two sides: merging those would silently misbin, and every
+    /// worker of a sharded run binds identical metric surfaces.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    assert_eq!(
+                        mine.bounds, h.bounds,
+                        "histogram {name:?} merged with mismatched bounds"
+                    );
+                    for (slot, add) in mine.counts.iter_mut().zip(&h.counts) {
+                        *slot = slot.saturating_add(*add);
+                    }
+                    mine.count = mine.count.saturating_add(h.count);
+                    mine.sum = mine.sum.wrapping_add(h.sum);
+                }
+            }
+        }
+    }
+
     /// Renders the snapshot as pretty-printed JSON. Key order and number
     /// formatting are fixed, so equal snapshots render byte-identically.
     pub fn to_json(&self) -> String {
@@ -510,6 +554,54 @@ mod tests {
         assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
         assert!(a.contains("\"schema\": \"xmap-telemetry/v1\""));
         assert!(a.contains("\"counts\": [0, 0, 1]"));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_histograms() {
+        let mk = |sent: u64, rtt: u64| {
+            let reg = Registry::new();
+            reg.counter("scan.sent").add(sent);
+            reg.gauge("scan.hit_rate_ppm").set(sent / 2);
+            reg.histogram("rtt", &[1, 4]).record(rtt);
+            reg.snapshot()
+        };
+        let mut a = mk(10, 0);
+        let b = mk(32, 5);
+        a.merge(&b);
+        assert_eq!(a.counter("scan.sent"), 42);
+        // Gauges are last-wins: merged value is b's.
+        assert_eq!(a.gauges["scan.hit_rate_ppm"], 16);
+        let h = &a.histograms["rtt"];
+        assert_eq!(h.counts, vec![1, 0, 1]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 5);
+    }
+
+    #[test]
+    fn snapshot_merge_unions_names_and_saturates() {
+        let left = Registry::new();
+        left.counter("only.left").add(1);
+        left.counter("both").add(u64::MAX - 1);
+        let right = Registry::new();
+        right.counter("only.right").add(2);
+        right.counter("both").add(5);
+        right.histogram("h", &[1]).record(0);
+        let mut snap = left.snapshot();
+        snap.merge(&right.snapshot());
+        assert_eq!(snap.counter("only.left"), 1);
+        assert_eq!(snap.counter("only.right"), 2);
+        assert_eq!(snap.counter("both"), u64::MAX, "saturating, not wrapping");
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bounds")]
+    fn snapshot_merge_rejects_mismatched_histogram_bounds() {
+        let a = Registry::new();
+        a.histogram("h", &[1, 2]);
+        let b = Registry::new();
+        b.histogram("h", &[1, 3]);
+        a.snapshot().merge(&b.snapshot());
     }
 
     #[test]

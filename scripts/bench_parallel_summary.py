@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Summarize the parallel_scaling bench report as JSON.
+
+Usage: bench_parallel_summary.py BENCH_OUTPUT.txt [SUMMARY.json]
+
+Parses the harness's flat report lines, e.g.
+
+    parallel_scaling/end_to_end_10k/4: 10703096.8 ns/iter  (0.934 Melem/s)
+
+into a machine-readable summary keyed by worker count, with the speedup
+of each config relative to the 1-worker baseline. Writes to SUMMARY.json
+(default BENCH_parallel.json next to the input) and echoes the document
+to stdout so CI logs carry the numbers. Exits nonzero if no
+parallel_scaling lines are found or the 1-worker baseline is missing.
+Standard library only.
+"""
+
+import json
+import os
+import re
+import sys
+
+LINE = re.compile(
+    r"^parallel_scaling/(?P<bench>[\w-]+)/(?P<workers>\d+):\s+"
+    r"(?P<ns>[0-9.]+) ns/iter(?:\s+\((?P<melems>[0-9.]+) Melem/s\))?"
+)
+
+
+def fail(msg):
+    print(f"bench_parallel_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse(path):
+    configs = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            workers = int(m.group("workers"))
+            configs[workers] = {
+                "bench": m.group("bench"),
+                "workers": workers,
+                "ns_per_iter": float(m.group("ns")),
+                "melems_per_sec": float(m.group("melems")) if m.group("melems") else None,
+            }
+    return configs
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: bench_parallel_summary.py BENCH_OUTPUT.txt [SUMMARY.json]")
+    src = sys.argv[1]
+    out = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(src) or ".", "BENCH_parallel.json")
+    )
+    configs = parse(src)
+    if not configs:
+        fail(f"no parallel_scaling result lines in {src}")
+    if 1 not in configs:
+        fail("1-worker baseline missing; cannot compute speedups")
+    base_ns = configs[1]["ns_per_iter"]
+    for cfg in configs.values():
+        cfg["speedup_vs_1_worker"] = round(base_ns / cfg["ns_per_iter"], 3)
+    doc = {
+        "schema": "xmap-bench-parallel/v1",
+        "cpus": os.cpu_count(),
+        "configs": [configs[w] for w in sorted(configs)],
+    }
+    rendered = json.dumps(doc, indent=2) + "\n"
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(rendered)
+    print(rendered, end="")
+
+
+if __name__ == "__main__":
+    main()
