@@ -1,0 +1,80 @@
+//! Measures the checkpoint subsystem's cost on the scan hot path.
+//!
+//! The budget is <2% overhead with checkpointing disabled: a scanner with
+//! no sink attached must run at the same speed as before the subsystem
+//! existed (the hot path pays one `Option::is_some` per slot). The
+//! journalling and periodic-checkpoint configurations are measured
+//! against that baseline to price durability per cadence.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xmap::{build_manifest, Blocklist, IcmpEchoProbe, RangeMode, ScanConfig, ScanSession, Scanner};
+use xmap_netsim::world::WorldConfig;
+use xmap_netsim::World;
+
+const TARGETS: u64 = 4_096;
+
+fn config() -> ScanConfig {
+    ScanConfig {
+        seed: 7,
+        max_targets: Some(TARGETS),
+        ..Default::default()
+    }
+}
+
+fn range() -> xmap_addr::ScanRange {
+    "2409:8000::/28-60".parse().unwrap()
+}
+
+fn scan_plain() -> u64 {
+    let world = World::with_config(WorldConfig::lossless(7, 10));
+    let mut scanner = Scanner::new(world, config());
+    let results = scanner.run(
+        &range(),
+        &IcmpEchoProbe,
+        &Blocklist::with_standard_reserved(),
+    );
+    results.stats.sent
+}
+
+/// One full checkpointed scan into `dir` (recreated each call — session
+/// creation clears stale worker files, so the journal never accretes).
+fn scan_checkpointed(dir: &PathBuf, every: u64) -> u64 {
+    let blocklist = Blocklist::with_standard_reserved();
+    let cfg = config();
+    let ranges = [range()];
+    let manifest = build_manifest(1, &cfg, &IcmpEchoProbe, &ranges, &blocklist, 7, every);
+    let session = ScanSession::create(dir, manifest).expect("create session");
+    let wr = session.fresh_worker(0, 1).expect("fresh worker");
+    let world = World::with_config(WorldConfig::lossless(7, 10));
+    let mut scanner = Scanner::new(world, cfg);
+    scanner.set_sink(wr.sink);
+    let results =
+        scanner.run_checkpointed(0, &ranges[0], &IcmpEchoProbe, &blocklist, RangeMode::Fresh);
+    results.stats.sent
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("xmap-bench-ckpt-{}", std::process::id()));
+    let mut g = c.benchmark_group("checkpoint_overhead");
+    g.throughput(Throughput::Elements(TARGETS));
+    g.bench_function("scan_4k_no_checkpoint", |b| {
+        b.iter(|| black_box(scan_plain()))
+    });
+    g.bench_function("scan_4k_journal_only", |b| {
+        b.iter(|| black_box(scan_checkpointed(&dir, 0)))
+    });
+    g.bench_function("scan_4k_every_1024", |b| {
+        b.iter(|| black_box(scan_checkpointed(&dir, 1024)))
+    });
+    g.bench_function("scan_4k_every_64", |b| {
+        b.iter(|| black_box(scan_checkpointed(&dir, 64)))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

@@ -24,7 +24,21 @@
 //!       --trace-out FILE   write the event trace as NDJSON
 //!       --status-interval S status-line period in simulated seconds
 //!                          (default 1.0; virtual clock, so deterministic)
+//!       --checkpoint DIR   journal results and periodically checkpoint
+//!                          scan state into DIR (created if missing)
+//!       --checkpoint-every N checkpoint cadence in send slots
+//!                          (default 1024; 0 = range boundaries only)
+//!       --resume           continue the scan recorded in --checkpoint DIR;
+//!                          refuses to run if this invocation's
+//!                          configuration differs from the checkpointed one
+//!       --kill-after-probes N abort the scan after the simulated world
+//!                          handles N probes (exit code 3; for testing
+//!                          checkpoint/resume)
 //!   -q, --quiet            suppress the summary and status lines on stderr
+//!
+//! An interrupted checkpointed scan exits with code 3; rerunning the same
+//! command line with `--resume` continues it, and the final output is
+//! byte-identical to an uninterrupted run against the default simulator.
 //!
 //! Modes (first positional argument):
 //!
@@ -37,11 +51,12 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use xmap::{
-    Blocklist, IcmpEchoProbe, ParallelScanner, Permutation, ProbeModule, ScanConfig, ScanResults,
-    Scanner, TargetSpec, TcpSynProbe, UdpProbe, Verdict,
+    run_session, Blocklist, IcmpEchoProbe, ParallelScanner, Permutation, ProbeModule, ScanConfig,
+    ScanResults, Scanner, SessionSpec, TargetSpec, TcpSynProbe, UdpProbe, Verdict,
 };
 use xmap_netsim::services::{AppRequest, ServiceKind};
-use xmap_netsim::World;
+use xmap_netsim::{KillPoint, World};
+use xmap_state::{AbortSignal, StateError};
 use xmap_telemetry::{Monitor, Telemetry};
 
 /// Parsed command line.
@@ -64,6 +79,10 @@ struct CliConfig {
     trace_out: Option<String>,
     status_interval: f64,
     quiet: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    kill_after_probes: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +112,10 @@ impl Default for CliConfig {
             trace_out: None,
             status_interval: 1.0,
             quiet: false,
+            checkpoint: None,
+            checkpoint_every: 1024,
+            resume: false,
+            kill_after_probes: None,
         }
     }
 }
@@ -183,6 +206,20 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     return Err("status-interval must be positive".to_owned());
                 }
             }
+            "--checkpoint" => cfg.checkpoint = Some(value(&mut iter, arg)?),
+            "--checkpoint-every" => {
+                cfg.checkpoint_every = value(&mut iter, arg)?
+                    .parse()
+                    .map_err(|_| "checkpoint-every must be an integer".to_owned())?;
+            }
+            "--resume" => cfg.resume = true,
+            "--kill-after-probes" => {
+                cfg.kill_after_probes = Some(
+                    value(&mut iter, arg)?
+                        .parse()
+                        .map_err(|_| "kill-after-probes must be an integer".to_owned())?,
+                );
+            }
             "-q" | "--quiet" => cfg.quiet = true,
             "-h" | "--help" => return Err("help".to_owned()),
             other if other.starts_with('-') => {
@@ -211,7 +248,27 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if cfg.workers > 1 && cfg.trace_out.is_some() {
         return Err("--trace-out requires --workers 1 (one event ring per worker)".to_owned());
     }
+    if cfg.resume && cfg.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <dir>".to_owned());
+    }
+    if cfg.checkpoint.is_some() && cfg.trace_out.is_some() {
+        return Err("--trace-out is not supported with --checkpoint".to_owned());
+    }
     Ok(cfg)
+}
+
+/// Fails fast — before any scanning — if `path`'s parent directory does
+/// not exist, so a long scan can never end with an unwritable output.
+fn ensure_parent_dir(path: &str, flag: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!(
+                "{flag} {path}: parent directory {} does not exist",
+                parent.display()
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule + Send + Sync> {
@@ -230,7 +287,19 @@ fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule + Send + Sync> {
     }
 }
 
-fn run(cfg: CliConfig) -> Result<(), String> {
+/// Runs one scan invocation. `Ok(true)` means the scan was interrupted by
+/// an armed kill point with its state checkpointed (exit code 3).
+fn run(cfg: CliConfig) -> Result<bool, String> {
+    // Fail on unwritable outputs before spending any scan time on them.
+    for (path, flag) in [
+        (&cfg.output, "--output"),
+        (&cfg.metrics_out, "--metrics-out"),
+        (&cfg.trace_out, "--trace-out"),
+    ] {
+        if let Some(path) = path {
+            ensure_parent_dir(path, flag)?;
+        }
+    }
     let mut blocklist = Blocklist::with_standard_reserved();
     for p in &cfg.blocked {
         blocklist.insert(
@@ -251,7 +320,56 @@ fn run(cfg: CliConfig) -> Result<(), String> {
     let module = module_for(&cfg);
     let started = std::time::Instant::now();
     let results: ScanResults;
-    if cfg.workers > 1 {
+    let mut sink_error = None;
+    if let Some(dir) = &cfg.checkpoint {
+        // Checkpointed session: journal + periodic snapshots, resumable.
+        let world_seed = cfg.world_seed;
+        let kill = cfg.kill_after_probes;
+        let signal = AbortSignal::new();
+        let spec = SessionSpec {
+            workers: cfg.workers,
+            config: scan_config,
+            ranges: cfg.targets.ranges(),
+            dir: std::path::Path::new(dir),
+            every: cfg.checkpoint_every,
+            resume: cfg.resume,
+            world_seed,
+        };
+        let outcome = run_session(
+            &spec,
+            module.as_ref(),
+            &blocklist,
+            Some(&signal),
+            |_, telemetry| {
+                let mut world = World::new(world_seed);
+                world.set_telemetry(telemetry);
+                if let Some(n) = kill {
+                    world.arm_kill(
+                        KillPoint {
+                            after_probes: Some(n),
+                            ..Default::default()
+                        },
+                        signal.clone(),
+                    );
+                }
+                world
+            },
+        )
+        .map_err(|e| match e {
+            StateError::Mismatch(why) => format!(
+                "cannot resume: this invocation's configuration does not match \
+                 the checkpointed session; refusing to continue against the \
+                 wrong targets ({why})"
+            ),
+            other => format!("checkpoint: {other}"),
+        })?;
+        results = outcome.results;
+        sink_error = outcome.sink_error;
+        if let Some(path) = &cfg.metrics_out {
+            let json = outcome.snapshot.to_json();
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+    } else if cfg.workers > 1 {
         // Parallel path: each worker owns a nested shard slot, a world
         // replica and a telemetry registry; results and metrics merge
         // deterministically, so the CSV and the snapshot are byte-identical
@@ -321,8 +439,17 @@ fn run(cfg: CliConfig) -> Result<(), String> {
                 String::new()
             }
         );
+        if results.interrupted {
+            let _ = writeln!(
+                err,
+                "# scan interrupted; state checkpointed — rerun with --resume to continue"
+            );
+        }
     }
-    Ok(())
+    if let Some(e) = sink_error {
+        return Err(format!("checkpoint: {e}"));
+    }
+    Ok(results.interrupted)
 }
 
 /// Hop-limit walk toward an address, printing each responding hop.
@@ -428,7 +555,10 @@ fn main() -> ExitCode {
     }
     match parse_args(&args) {
         Ok(cfg) => match run(cfg) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::SUCCESS,
+            // Interrupted-but-checkpointed is its own exit code so scripts
+            // can distinguish "resume me" from hard failures.
+            Ok(true) => ExitCode::from(3),
             Err(e) => {
                 eprintln!("xmap: {e}");
                 ExitCode::FAILURE
@@ -557,6 +687,45 @@ mod tests {
         let (csv3, json3) = run_with(cfg.workers);
         assert_eq!(csv1, csv3);
         assert_eq!(json1, json3);
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let cfg = parse_args(&args(
+            "--checkpoint /tmp/ck --checkpoint-every 512 --resume \
+             --kill-after-probes 100 2405:200::/32-64",
+        ))
+        .unwrap();
+        assert_eq!(cfg.checkpoint.as_deref(), Some("/tmp/ck"));
+        assert_eq!(cfg.checkpoint_every, 512);
+        assert!(cfg.resume);
+        assert_eq!(cfg.kill_after_probes, Some(100));
+        assert_eq!(
+            parse_args(&args("--checkpoint /tmp/ck 2405:200::/32"))
+                .unwrap()
+                .checkpoint_every,
+            1024
+        );
+        assert!(
+            parse_args(&args("--resume 2405:200::/32")).is_err(),
+            "resume needs a checkpoint dir"
+        );
+        assert!(
+            parse_args(&args(
+                "--checkpoint /tmp/ck --trace-out /tmp/t 2405:200::/32"
+            ))
+            .is_err(),
+            "tracing is per-worker, not per-session"
+        );
+    }
+
+    #[test]
+    fn missing_parent_dir_is_a_clean_error() {
+        let err = ensure_parent_dir("/nonexistent-xmap-dir/out.csv", "--output").unwrap_err();
+        assert!(err.contains("--output"), "{err}");
+        assert!(err.contains("does not exist"), "{err}");
+        assert!(ensure_parent_dir("out.csv", "--output").is_ok());
+        assert!(ensure_parent_dir("/tmp/out.csv", "--output").is_ok());
     }
 
     #[test]

@@ -130,6 +130,41 @@ impl Blocklist {
         self.verdict(addr) == Verdict::Allow
     }
 
+    /// A deterministic fingerprint of the filter's complete semantics: the
+    /// default verdict, entry count, and every (depth, path, verdict)
+    /// triple reached by a depth-first walk of the trie. Two blocklists
+    /// that classify every address identically — built from the same
+    /// prefix/verdict set in any insertion order — fingerprint equal;
+    /// checkpoint resume compares this against the stored value to refuse
+    /// resuming under a different filter.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a 64, matching xmap-state's config fingerprinting.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        fn walk(node: &TrieNode, depth: u8, path: u128, h: &mut u64) {
+            if let Some(v) = node.verdict {
+                mix(h, &[depth, v as u8]);
+                mix(h, &path.to_be_bytes());
+            }
+            for (bit, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    walk(child, depth + 1, (path << 1) | bit as u128, h);
+                }
+            }
+        }
+        let mut h = OFFSET;
+        mix(&mut h, &[self.default as u8]);
+        mix(&mut h, &(self.entries as u64).to_be_bytes());
+        walk(&self.root, 0, 0, &mut h);
+        h
+    }
+
     /// Loads the standard never-probe set: unspecified/loopback, multicast,
     /// link-local, unique-local and documentation space.
     pub fn with_standard_reserved() -> Self {
@@ -253,6 +288,36 @@ mod tests {
         bl.insert(p("2001:db8::42/128"), Verdict::Deny);
         assert!(!bl.is_allowed(a("2001:db8::42")));
         assert!(bl.is_allowed(a("2001:db8::43")));
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantics_not_insertion_order() {
+        let entries = [
+            ("2400::/12", Verdict::Deny),
+            ("2405:200::/32", Verdict::Allow),
+            ("2600::/12", Verdict::Deny),
+        ];
+        let mut fwd = Blocklist::allow_all();
+        for (s, v) in entries {
+            fwd.insert(p(s), v);
+        }
+        let mut rev = Blocklist::allow_all();
+        for (s, v) in entries.iter().rev() {
+            rev.insert(p(*s), *v);
+        }
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+
+        // Any semantic change moves the fingerprint.
+        let mut extra = fwd.clone();
+        extra.insert(p("2601::/24"), Verdict::Allow);
+        assert_ne!(fwd.fingerprint(), extra.fingerprint());
+        let mut flipped = fwd.clone();
+        flipped.insert(p("2600::/12"), Verdict::Allow);
+        assert_ne!(fwd.fingerprint(), flipped.fingerprint());
+        assert_ne!(
+            Blocklist::new(Verdict::Allow).fingerprint(),
+            Blocklist::new(Verdict::Deny).fingerprint()
+        );
     }
 
     #[test]

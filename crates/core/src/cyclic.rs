@@ -209,6 +209,23 @@ impl ShardIter {
     }
 }
 
+impl ShardIter {
+    /// The walk position as `(current, remaining_walk)` — the complete
+    /// iteration state (the modulus and stride are derived from the
+    /// configuration). Captured into checkpoints so a resumed scan
+    /// continues the multiplicative walk exactly where it stopped.
+    pub fn position(&self) -> (u128, u128) {
+        (self.current, self.remaining_walk)
+    }
+
+    /// Restores a walk position captured by [`ShardIter::position`] on an
+    /// iterator freshly built from the same `Cycle` and shard arguments.
+    pub fn set_position(&mut self, current: u128, remaining_walk: u128) {
+        self.current = current;
+        self.remaining_walk = remaining_walk;
+    }
+}
+
 impl Iterator for ShardIter {
     type Item = u64;
 
@@ -313,6 +330,20 @@ mod tests {
             got.extend_from_slice(&chunk[..n]);
         }
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn position_roundtrip_resumes_walk() {
+        let c = Cycle::new(10_000, 7);
+        let mut it = c.iter_shard(1, 3);
+        let mut head = [0u64; 100];
+        assert_eq!(it.fill(&mut head), 100);
+        let (current, remaining) = it.position();
+        let tail_direct: Vec<u64> = it.collect();
+        let mut resumed = c.iter_shard(1, 3);
+        resumed.set_position(current, remaining);
+        let tail_resumed: Vec<u64> = resumed.collect();
+        assert_eq!(tail_resumed, tail_direct);
     }
 
     #[test]

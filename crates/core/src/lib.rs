@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod blocklist;
+pub mod checkpoint;
 pub mod cyclic;
 pub mod feasibility;
 pub mod feistel;
@@ -55,6 +56,10 @@ pub mod telemetry;
 pub mod validate;
 
 pub use blocklist::{Blocklist, Verdict};
+pub use checkpoint::{
+    build_manifest, run_session, RangeMode, RunResume, RunSink, ScanSession, SessionOutcome,
+    SessionSpec, WorkerResume,
+};
 pub use cyclic::Cycle;
 pub use feistel::FeistelPermutation;
 pub use parallel::ParallelScanner;

@@ -142,6 +142,12 @@ impl<N: Network + Send> ParallelScanner<N> {
         self.workers[w].telemetry()
     }
 
+    /// Mutable access to worker `w`'s scanner (used by the checkpoint
+    /// driver to attach sinks and restore per-worker state).
+    pub fn worker_mut(&mut self, w: usize) -> &mut Scanner<N> {
+        &mut self.workers[w]
+    }
+
     /// Scans one range across all workers and merges deterministically:
     /// records sorted by target (= permutation-index order), counters
     /// summed. See the module docs for why the result is byte-identical
@@ -193,6 +199,84 @@ impl<N: Network + Send> ParallelScanner<N> {
             all.silent_targets.extend(one.silent_targets);
         }
         all
+    }
+
+    /// Scans several ranges with an explicit per-worker [`RangeMode`] for
+    /// each range — the checkpoint/resume execution path. `modes[w][ri]`
+    /// tells worker `w` what to do with range `ri`: scan it fresh, resume
+    /// it mid-range, or contribute journal-replayed records without
+    /// sending. A worker that reports an interrupted range stops before
+    /// the following ranges (its checkpoint already covers everything it
+    /// did).
+    ///
+    /// Merging reproduces [`run_all`](Self::run_all)'s canonical order
+    /// exactly: per range, records across workers are sorted by target and
+    /// silent targets sorted; ranges are then concatenated in order. The
+    /// merged `interrupted` flag is the OR across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is not `workers × ranges.len()` in shape.
+    pub fn run_with_modes(
+        &mut self,
+        ranges: &[ScanRange],
+        module: &(dyn ProbeModule + Sync),
+        blocklist: &Blocklist,
+        modes: Vec<Vec<crate::checkpoint::RangeMode>>,
+    ) -> ScanResults {
+        assert_eq!(modes.len(), self.workers.len(), "one mode list per worker");
+        for m in &modes {
+            assert_eq!(m.len(), ranges.len(), "one mode per range");
+        }
+        // Each worker returns its per-range results (ending early if
+        // interrupted); merging happens range by range below.
+        let outs: Vec<Vec<ScanResults>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .zip(modes)
+                .map(|(worker, worker_modes)| {
+                    scope.spawn(move || {
+                        let mut per_range = Vec::with_capacity(worker_modes.len());
+                        for (ri, (range, mode)) in ranges.iter().zip(worker_modes).enumerate() {
+                            let one =
+                                worker.run_checkpointed(ri as u32, range, module, blocklist, mode);
+                            let interrupted = one.interrupted;
+                            per_range.push(one);
+                            if interrupted {
+                                break;
+                            }
+                        }
+                        per_range
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let mut merged = ScanResults::default();
+        for ri in 0..ranges.len() {
+            let mut bucket = ScanResults::default();
+            for worker_out in &outs {
+                if let Some(one) = worker_out.get(ri) {
+                    bucket.stats.merge(&one.stats);
+                    bucket.records.extend(one.records.iter().cloned());
+                    bucket
+                        .silent_targets
+                        .extend(one.silent_targets.iter().copied());
+                    bucket.interrupted |= one.interrupted;
+                }
+            }
+            bucket.records.sort_by_key(|r| r.target);
+            bucket.silent_targets.sort_unstable();
+            merged.stats.merge(&bucket.stats);
+            merged.records.extend(bucket.records);
+            merged.silent_targets.extend(bucket.silent_targets);
+            merged.interrupted |= bucket.interrupted;
+        }
+        merged
     }
 
     /// The merged telemetry snapshot across all workers: counters and

@@ -232,6 +232,29 @@ impl AdaptiveRateController {
         self.valid += 1;
     }
 
+    /// The mutable controller state as `(current_pps, sent, valid,
+    /// baseline)` — everything a checkpoint needs beyond the constructor
+    /// arguments (the baseline is exposed by value so its exact `f64` bit
+    /// pattern survives the round trip).
+    pub fn checkpoint_state(&self) -> (u64, u64, u64, Option<f64>) {
+        (self.current_pps, self.sent, self.valid, self.baseline)
+    }
+
+    /// Restores state captured by [`Self::checkpoint_state`] onto a
+    /// controller freshly built with the same constructor arguments.
+    pub fn restore_state(
+        &mut self,
+        current_pps: u64,
+        sent: u64,
+        valid: u64,
+        baseline: Option<f64>,
+    ) {
+        self.current_pps = current_pps.clamp(self.min_pps, self.max_pps);
+        self.sent = sent;
+        self.valid = valid;
+        self.baseline = baseline;
+    }
+
     fn evaluate(&mut self) {
         let hit = self.valid as f64 / self.sent as f64;
         match self.baseline {
@@ -378,5 +401,24 @@ mod tests {
     #[should_panic(expected = "min rate above max")]
     fn adaptive_bad_bounds_rejected() {
         AdaptiveRateController::new(5, 10, 5, 1);
+    }
+
+    #[test]
+    fn adaptive_checkpoint_roundtrip_preserves_behavior() {
+        let mut live = AdaptiveRateController::new(16_000, 1_000, 16_000, 100);
+        feed_window(&mut live, 100, 40);
+        feed_window(&mut live, 100, 5);
+        feed_window(&mut live, 37, 12); // stop mid-window
+        let (pps, sent, valid, baseline) = live.checkpoint_state();
+        let mut resumed = AdaptiveRateController::new(16_000, 1_000, 16_000, 100);
+        resumed.restore_state(pps, sent, valid, baseline);
+        assert_eq!(resumed.current_pps(), live.current_pps());
+        // Both controllers must evolve identically from here on.
+        for (w, h) in [(63, 20), (100, 2), (100, 40)] {
+            feed_window(&mut live, w, h);
+            feed_window(&mut resumed, w, h);
+            assert_eq!(resumed.current_pps(), live.current_pps());
+            assert_eq!(resumed.checkpoint_state(), live.checkpoint_state());
+        }
     }
 }

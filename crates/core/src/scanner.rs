@@ -12,15 +12,17 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc;
 use xmap_addr::{Ip6, Prefix, ScanRange};
 use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload};
-use xmap_telemetry::{Monitor, Telemetry, Tracer};
+use xmap_state::{AbortSignal, AdaptiveState, CursorState, RunState};
+use xmap_telemetry::{Monitor, Snapshot, Telemetry, Tracer};
 
 use crate::blocklist::Blocklist;
+use crate::checkpoint::{RangeMode, RunResume, RunSink};
 use crate::cyclic::Cycle;
 use crate::feistel::FeistelPermutation;
 use crate::probe::{ProbeModule, ProbeResult};
 use crate::rate::{AdaptiveRateController, RateLimiter};
 use crate::target::fill_host_bits;
-use crate::telemetry::{HotTally, ScanMetrics};
+use crate::telemetry::{HotTally, MetricsBaseline, ScanMetrics};
 use crate::validate::Validator;
 
 /// Probe-order strategies (ablation: `permutation_vs_sequential`).
@@ -200,6 +202,10 @@ pub struct ScanResults {
     /// Populated only under [`ScanConfig::record_silent`]; the mop-up
     /// pass re-probes these after ICMPv6 token buckets have refilled.
     pub silent_targets: Vec<Prefix>,
+    /// The run stopped early on an [`AbortSignal`]. Records and counters
+    /// are the partial progress; the last durable checkpoint (if a sink
+    /// was attached) is what a later `--resume` continues from.
+    pub interrupted: bool,
 }
 
 /// The scanner: a [`ProbeModule`] driven over a permuted target space
@@ -230,6 +236,11 @@ pub struct Scanner<N> {
     /// Virtual ticks issued to the network across all runs — the monotone
     /// clock the monitor and trace spans are stamped with.
     total_ticks: u64,
+    /// Checkpoint sink: when attached, records are journalled to its WAL
+    /// and worker checkpoints written at the configured cadence.
+    sink: Option<RunSink>,
+    /// Cooperative stop flag, checked once per send slot.
+    abort: Option<AbortSignal>,
 }
 
 impl<N: Network> Scanner<N> {
@@ -263,6 +274,8 @@ impl<N: Network> Scanner<N> {
             metrics,
             monitor: None,
             total_ticks: 0,
+            sink: None,
+            abort: None,
         }
     }
 
@@ -289,6 +302,46 @@ impl<N: Network> Scanner<N> {
     /// Detaches the monitor, returning it.
     pub fn take_monitor(&mut self) -> Option<Monitor> {
         self.monitor.take()
+    }
+
+    /// Arms a cooperative abort: the scanner checks the signal at each
+    /// slot boundary and stops early (results marked
+    /// [`interrupted`](ScanResults::interrupted)) once it fires.
+    pub fn set_abort(&mut self, abort: AbortSignal) {
+        self.abort = Some(abort);
+    }
+
+    /// Whether an armed abort signal has fired.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.as_ref().is_some_and(AbortSignal::is_set)
+    }
+
+    /// Attaches a checkpoint sink. Subsequent runs journal every record
+    /// to its WAL and write a worker checkpoint at the sink's cadence
+    /// (and once more when a range completes).
+    pub fn set_sink(&mut self, sink: RunSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the checkpoint sink, returning it (e.g. to inspect a
+    /// deferred I/O error at session end).
+    pub fn take_sink(&mut self) -> Option<RunSink> {
+        self.sink.take()
+    }
+
+    /// Restores the scanner's lifetime tick count and the network's
+    /// virtual clock from a checkpoint — the resume path's first step, to
+    /// be called before any run.
+    pub fn restore_clock(&mut self, tick: u64) {
+        self.total_ticks = tick;
+        self.network.restore_clock(tick);
+    }
+
+    /// Restores the telemetry registry from a checkpoint snapshot; the
+    /// scanner's (and a bound network's) existing metric handles observe
+    /// the restored values.
+    pub fn restore_metrics(&mut self, snap: &Snapshot) {
+        self.telemetry.registry.restore(snap);
     }
 
     /// Virtual ticks issued to the network so far (monotone across runs).
@@ -386,10 +439,51 @@ impl<N: Network> Scanner<N> {
         module: &dyn ProbeModule,
         blocklist: &Blocklist,
     ) -> ScanResults {
+        self.run_inner(range, module, blocklist, None)
+    }
+
+    /// Runs the `range_index`-th range of a checkpointed session under an
+    /// explicit [`RangeMode`]: replay the records of an already-completed
+    /// range, resume a mid-range checkpoint, or start fresh. Drivers
+    /// iterate their range list through this method so the attached
+    /// [`RunSink`] stamps every journalled record and checkpoint with the
+    /// right range index.
+    pub fn run_checkpointed(
+        &mut self,
+        range_index: u32,
+        range: &ScanRange,
+        module: &dyn ProbeModule,
+        blocklist: &Blocklist,
+        mode: RangeMode,
+    ) -> ScanResults {
+        match mode {
+            RangeMode::Skip(records) => ScanResults {
+                records,
+                ..ScanResults::default()
+            },
+            RangeMode::Fresh => {
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.begin_range(range_index, None);
+                }
+                self.run_inner(range, module, blocklist, None)
+            }
+            RangeMode::Resume(resume) => {
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.begin_range(range_index, Some(resume.state.run_wal_start));
+                }
+                self.run_inner(range, module, blocklist, Some(*resume))
+            }
+        }
+    }
+
+    fn run_inner(
+        &mut self,
+        range: &ScanRange,
+        module: &dyn ProbeModule,
+        blocklist: &Blocklist,
+        resume: Option<RunResume>,
+    ) -> ScanResults {
         let mut results = ScanResults::default();
-        let base = self.metrics.baseline();
-        let run_start_tick = self.total_ticks;
-        let mut gen = TargetGen::new(&self.config, range);
         let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
         let mut adaptive = if self.config.adaptive_rate {
             self.config.rate_pps.map(AdaptiveRateController::standard)
@@ -397,8 +491,42 @@ impl<N: Network> Scanner<N> {
             None
         };
         let attempts = self.config.probes_per_target.max(1);
-        let mut state = RecoveryState::default();
-        let mut now: u64 = 0;
+        let (base, run_start_tick, mut gen, mut state, mut now) = match resume {
+            None => (
+                self.metrics.baseline(),
+                self.total_ticks,
+                TargetGen::new(&self.config, range),
+                RecoveryState::default(),
+                0u64,
+            ),
+            Some(r) => {
+                // Mid-range resume: the journal replayed the records
+                // emitted before the checkpoint; every run local restarts
+                // from the captured state, so the loop below re-executes
+                // the tail of the range exactly as the killed run would
+                // have continued it.
+                results.records = r.records;
+                let rs = &r.state;
+                if let (Some(ctrl), Some(a)) = (adaptive.as_mut(), rs.adaptive.as_ref()) {
+                    ctrl.restore_state(
+                        a.current_pps,
+                        a.sent,
+                        a.valid,
+                        a.baseline_bits.map(f64::from_bits),
+                    );
+                }
+                (
+                    MetricsBaseline::from_raw(rs.baseline),
+                    rs.run_start_tick,
+                    TargetGen::restore(&self.config, range, rs),
+                    RecoveryState::restore(rs),
+                    rs.now,
+                )
+            }
+        };
+        // Records already durable in the journal; everything past this
+        // index still needs journalling.
+        let mut journaled = results.records.len();
         // Per-slot metrics are tallied locally and flushed at observation
         // boundaries (monitor lines, run end) — see [`HotTally`]. Received
         // packets land in one scratch buffer reused across every slot.
@@ -406,6 +534,33 @@ impl<N: Network> Scanner<N> {
         let mut recv_buf: Vec<Ipv6Packet> = Vec::new();
 
         loop {
+            if self.abort.as_ref().is_some_and(AbortSignal::is_set) {
+                // Best-effort final checkpoint at this slot boundary (a
+                // no-op without a sink or with responses still in
+                // flight), then stop.
+                self.checkpoint_now(
+                    &gen,
+                    &state,
+                    &adaptive,
+                    &base,
+                    now,
+                    run_start_tick,
+                    &mut tally,
+                );
+                results.interrupted = true;
+                break;
+            }
+            if self.sink.as_ref().is_some_and(|s| s.due()) {
+                self.checkpoint_now(
+                    &gen,
+                    &state,
+                    &adaptive,
+                    &base,
+                    now,
+                    run_start_tick,
+                    &mut tally,
+                );
+            }
             // One send slot: a due retransmission wins over a fresh target.
             let job = if let Some(entry) = state.due_retry(now) {
                 Some((entry.target, entry.attempt))
@@ -491,6 +646,9 @@ impl<N: Network> Scanner<N> {
             self.network.tick_into(1, &mut recv_buf);
             now += 1;
             self.total_ticks += 1;
+            if let Some(sink) = self.sink.as_mut() {
+                sink.tick();
+            }
             if let Some(monitor) = self.monitor.as_mut() {
                 if monitor.is_due(self.total_ticks) {
                     // Flush batched tallies so the status line is exact.
@@ -507,10 +665,27 @@ impl<N: Network> Scanner<N> {
                 &mut tally,
                 now,
             );
+            if let Some(sink) = self.sink.as_mut() {
+                // Journal this slot's records before the next checkpoint
+                // can reference their sequence numbers.
+                for r in &results.records[journaled..] {
+                    sink.journal(r);
+                }
+                journaled = results.records.len();
+            }
         }
 
         tally.flush(&self.metrics);
         self.network.flush_telemetry();
+
+        if results.interrupted {
+            // Partial run: report the delta so far and leave the last
+            // durable checkpoint as the resume point. Per-target
+            // give-up/silence accounting only makes sense for a range
+            // that actually finished.
+            results.stats = self.metrics.stats_since(&base);
+            return results;
+        }
 
         // Per-target recovery accounting, in deterministic probe order.
         // Abandonments are tallied locally and flushed in one counter add.
@@ -540,7 +715,67 @@ impl<N: Network> Scanner<N> {
                 ("valid", results.stats.valid.into()),
             ],
         );
+        if self.sink.is_some() {
+            // Durably mark the range complete (`run: None`): a resume
+            // replays its records from the journal and moves on.
+            let snap = self.telemetry.registry.snapshot();
+            if let Some(sink) = self.sink.as_mut() {
+                sink.write_checkpoint(self.total_ticks, snap, None);
+            }
+        }
         results
+    }
+
+    /// Captures and writes a mid-range checkpoint, provided a sink is
+    /// attached and the network has nothing in flight (a snapshot taken
+    /// with responses pending downstream could not be replayed
+    /// deterministically — the attempt is simply retried next slot).
+    #[allow(clippy::too_many_arguments)]
+    fn checkpoint_now(
+        &mut self,
+        gen: &TargetGen,
+        state: &RecoveryState,
+        adaptive: &Option<AdaptiveRateController>,
+        base: &MetricsBaseline,
+        now: u64,
+        run_start_tick: u64,
+        tally: &mut HotTally,
+    ) {
+        if self.sink.is_none() || self.network.in_flight() > 0 {
+            return;
+        }
+        // The snapshot must carry everything counted so far: flush the
+        // local tallies and any batched network-side telemetry first.
+        tally.flush(&self.metrics);
+        self.network.flush_telemetry();
+        let snap = self.telemetry.registry.snapshot();
+        let (cursor, remaining, pending_indices) = gen.capture();
+        let (outstanding, retries, answered) = state.capture();
+        let sink = self.sink.as_mut().expect("sink presence checked above");
+        let run = RunState {
+            now,
+            run_start_tick,
+            run_wal_start: sink.run_wal_start(),
+            cursor,
+            remaining,
+            pending_indices,
+            outstanding,
+            retries,
+            retry_seq: state.retry_seq,
+            answered,
+            probed: state.probed.clone(),
+            adaptive: adaptive.as_ref().map(|c| {
+                let (current_pps, sent, valid, baseline) = c.checkpoint_state();
+                AdaptiveState {
+                    current_pps,
+                    sent,
+                    valid,
+                    baseline_bits: baseline.map(f64::to_bits),
+                }
+            }),
+            baseline: base.to_raw(),
+        };
+        sink.write_checkpoint(self.total_ticks, snap, Some(run));
     }
 
     /// Classifies a batch of received packets, attributing each back to its
@@ -768,6 +1003,64 @@ impl TargetGen {
         self.len = n;
         self.remaining -= n as u64;
     }
+
+    /// The complete generator state for a checkpoint: permutation cursor,
+    /// remaining target budget, and the chunk-buffer run-ahead (indices
+    /// drawn from the stream but not yet consumed by the scan).
+    fn capture(&self) -> (CursorState, u64, Vec<u64>) {
+        let cursor = match &self.stream {
+            IndexStream::Cyclic(walk) => {
+                let (current, remaining_walk) = walk.position();
+                CursorState::Cyclic {
+                    current,
+                    remaining_walk,
+                }
+            }
+            IndexStream::Feistel { next_pos, .. } => CursorState::Feistel {
+                next_pos: *next_pos,
+            },
+            IndexStream::Sequential { next_pos, .. } => CursorState::Sequential {
+                next_pos: *next_pos,
+            },
+        };
+        (
+            cursor,
+            self.remaining,
+            self.buf[self.pos..self.len].to_vec(),
+        )
+    }
+
+    /// Rebuilds a generator from checkpointed state (the configuration
+    /// fingerprint guarantees `config`/`range` match what was captured).
+    fn restore(config: &ScanConfig, range: &ScanRange, rs: &RunState) -> TargetGen {
+        let mut gen = TargetGen::new(config, range);
+        match (&mut gen.stream, &rs.cursor) {
+            (
+                IndexStream::Cyclic(walk),
+                CursorState::Cyclic {
+                    current,
+                    remaining_walk,
+                },
+            ) => walk.set_position(*current, *remaining_walk),
+            (IndexStream::Feistel { next_pos, .. }, CursorState::Feistel { next_pos: p }) => {
+                *next_pos = *p;
+            }
+            (IndexStream::Sequential { next_pos, .. }, CursorState::Sequential { next_pos: p }) => {
+                *next_pos = *p;
+            }
+            _ => panic!("checkpoint cursor does not match the configured permutation"),
+        }
+        let n = rs.pending_indices.len();
+        assert!(
+            n <= TARGET_CHUNK,
+            "checkpoint carries {n} pending indices, generator chunk is {TARGET_CHUNK}"
+        );
+        gen.buf[..n].copy_from_slice(&rs.pending_indices);
+        gen.pos = 0;
+        gen.len = n;
+        gen.remaining = rs.remaining;
+        gen
+    }
 }
 
 /// One sent probe awaiting (or having received) its answer.
@@ -842,6 +1135,78 @@ impl RecoveryState {
             }
         }
         None
+    }
+
+    /// Recovery state in canonical (sorted) order for a checkpoint. The
+    /// hash map and heap have no stable iteration order of their own;
+    /// sorting by destination / `(due_tick, seq)` makes checkpoint bytes
+    /// deterministic, and on restore the heap rebuilds to an equivalent
+    /// pop order because `(due_tick, seq)` keys are unique.
+    fn capture(
+        &self,
+    ) -> (
+        Vec<xmap_state::OutstandingEntry>,
+        Vec<xmap_state::RetryEntryState>,
+        Vec<Prefix>,
+    ) {
+        let mut outstanding: Vec<xmap_state::OutstandingEntry> = self
+            .outstanding
+            .iter()
+            .map(|(dst, o)| xmap_state::OutstandingEntry {
+                dst: dst.bits(),
+                target: o.target,
+                attempt: o.attempt,
+                answered: o.answered,
+                sent_tick: o.sent_tick,
+            })
+            .collect();
+        outstanding.sort_by_key(|o| o.dst);
+        let mut retries: Vec<xmap_state::RetryEntryState> = self
+            .retries
+            .iter()
+            .map(|r| xmap_state::RetryEntryState {
+                due_tick: r.due_tick,
+                seq: r.seq,
+                target: r.target,
+                attempt: r.attempt,
+                prev_dst: r.prev_dst.bits(),
+            })
+            .collect();
+        retries.sort_by_key(|r| (r.due_tick, r.seq));
+        let mut answered: Vec<Prefix> = self.answered.iter().copied().collect();
+        answered.sort();
+        (outstanding, retries, answered)
+    }
+
+    /// Rebuilds recovery state captured by [`RecoveryState::capture`].
+    fn restore(rs: &RunState) -> RecoveryState {
+        let mut s = RecoveryState {
+            retry_seq: rs.retry_seq,
+            probed: rs.probed.clone(),
+            ..RecoveryState::default()
+        };
+        for o in &rs.outstanding {
+            s.outstanding.insert(
+                o.dst.into(),
+                Outstanding {
+                    target: o.target,
+                    attempt: o.attempt,
+                    answered: o.answered,
+                    sent_tick: o.sent_tick,
+                },
+            );
+        }
+        for r in &rs.retries {
+            s.retries.push(RetryEntry {
+                due_tick: r.due_tick,
+                seq: r.seq,
+                target: r.target,
+                attempt: r.attempt,
+                prev_dst: r.prev_dst.into(),
+            });
+        }
+        s.answered = rs.answered.iter().copied().collect();
+        s
     }
 }
 

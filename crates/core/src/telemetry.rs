@@ -211,6 +211,40 @@ pub struct MetricsBaseline {
     paced_nanos: u64,
 }
 
+impl MetricsBaseline {
+    /// The baseline as a fixed-order array, for checkpoint serialization.
+    /// Order: sent, blocked, received, invalid, valid, retransmits,
+    /// rate_limited_suspected, gave_up, paced_nanos.
+    pub fn to_raw(&self) -> [u64; 9] {
+        [
+            self.sent,
+            self.blocked,
+            self.received,
+            self.invalid,
+            self.valid,
+            self.retransmits,
+            self.rate_limited_suspected,
+            self.gave_up,
+            self.paced_nanos,
+        ]
+    }
+
+    /// Rebuilds a baseline from the array produced by [`Self::to_raw`].
+    pub fn from_raw(raw: [u64; 9]) -> Self {
+        MetricsBaseline {
+            sent: raw[0],
+            blocked: raw[1],
+            received: raw[2],
+            invalid: raw[3],
+            valid: raw[4],
+            retransmits: raw[5],
+            rate_limited_suspected: raw[6],
+            gave_up: raw[7],
+            paced_nanos: raw[8],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -316,6 +316,19 @@ pub trait Network {
     fn in_flight(&self) -> usize {
         0
     }
+
+    /// Sets the network's virtual clock to an absolute `tick` without
+    /// surfacing any in-flight responses or publishing tick telemetry.
+    ///
+    /// This is the checkpoint-resume path: time-keyed behaviour (loss
+    /// draws, token-bucket refills, flaky-device outages) must see the
+    /// same clock values a continued run would have seen, so a resumed
+    /// scanner realigns the network before replaying. Checkpoints are
+    /// only taken with nothing in flight, so there is never delayed state
+    /// to reconstruct. Clock-free networks keep the default no-op.
+    fn restore_clock(&mut self, tick: u64) {
+        let _ = tick;
+    }
 }
 
 impl<N: Network + ?Sized> Network for &mut N {
@@ -341,6 +354,10 @@ impl<N: Network + ?Sized> Network for &mut N {
 
     fn in_flight(&self) -> usize {
         (**self).in_flight()
+    }
+
+    fn restore_clock(&mut self, tick: u64) {
+        (**self).restore_clock(tick)
     }
 }
 

@@ -27,6 +27,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use xmap_addr::oui::{self, DeviceClass};
 use xmap_addr::{IidClass, Ip6, Mac, Prefix};
+use xmap_state::AbortSignal;
 
 use crate::bgp::{BgpTable, BASE_DENSITY, BGP_IID_MIX, LOOP_RATE_BY_CLASS};
 use crate::device::{Device, ReplyMode, ServiceInstance, ServiceSet};
@@ -190,6 +191,29 @@ pub struct World {
     /// Freelist for per-exchange response staging buffers, so steady-state
     /// probing allocates nothing.
     arena: PacketArena,
+    /// Armed kill-point for checkpoint/resume testing, if any.
+    kill: Option<ArmedKill>,
+}
+
+/// A deterministic abort trigger: fires an [`AbortSignal`] when the world
+/// reaches an exact probe count and/or clock tick.
+///
+/// Kill-points are the test harness for the checkpoint subsystem: under a
+/// fixed seed, "kill at probe *k*" reproduces the same interruption on
+/// every run, which lets integration tests prove that an interrupted and
+/// resumed scan is byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KillPoint {
+    /// Fire once the world has handled this many probes.
+    pub after_probes: Option<u64>,
+    /// Fire once the virtual clock reaches this tick.
+    pub at_tick: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct ArmedKill {
+    point: KillPoint,
+    signal: AbortSignal,
 }
 
 /// Packets (or ticks) between registry publishes when event tracing is
@@ -223,6 +247,27 @@ impl World {
             published: WorldStats::default(),
             published_clock: 0,
             arena: PacketArena::new(),
+            kill: None,
+        }
+    }
+
+    /// Arms a [`KillPoint`]: `signal` is set the moment the world crosses
+    /// any of the point's thresholds. The scanner polls the same signal
+    /// and stops cooperatively at the next slot boundary.
+    pub fn arm_kill(&mut self, point: KillPoint, signal: AbortSignal) {
+        self.kill = Some(ArmedKill { point, signal });
+    }
+
+    fn check_kill(&self) {
+        if let Some(armed) = &self.kill {
+            let probes_hit = armed
+                .point
+                .after_probes
+                .is_some_and(|n| self.stats.probes >= n);
+            let tick_hit = armed.point.at_tick.is_some_and(|t| self.clock >= t);
+            if probes_hit || tick_hit {
+                armed.signal.set();
+            }
         }
     }
 
@@ -1021,6 +1066,9 @@ impl Network for World {
 
     fn handle_into(&mut self, packet: Ipv6Packet, out: &mut Vec<Ipv6Packet>) {
         self.handle_inner(packet, out);
+        if self.kill.is_some() {
+            self.check_kill();
+        }
         if self.telemetry_due() {
             self.publish_telemetry();
         }
@@ -1034,6 +1082,9 @@ impl Network for World {
 
     fn tick_into(&mut self, ticks: u64, out: &mut Vec<Ipv6Packet>) {
         self.clock += ticks;
+        if self.kill.is_some() {
+            self.check_kill();
+        }
         let before = out.len();
         while let Some(head) = self.delayed.peek() {
             if head.due_tick > self.clock {
@@ -1057,6 +1108,15 @@ impl Network for World {
 
     fn in_flight(&self) -> usize {
         self.delayed.len()
+    }
+
+    fn restore_clock(&mut self, tick: u64) {
+        // Resume path: realign time-keyed behaviour (loss draws, token
+        // buckets, flaky outages) with the checkpointed run. The publish
+        // watermark moves too, so no phantom tick delta reaches the
+        // registry — the restored registry already accounts for it.
+        self.clock = tick;
+        self.published_clock = tick;
     }
 }
 

@@ -9,11 +9,18 @@
 //! Table II.
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanStats, Scanner};
 use xmap_addr::{classify_iid, IidClass, IidHistogram, Ip6, Mac, Prefix};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
 use xmap_netsim::packet::Network;
+use xmap_state::checkpoint::{
+    decode_snapshot, encode_snapshot, parse_fp, read_sectioned, write_sectioned,
+};
+use xmap_state::codec::{Decoder, Encoder};
+use xmap_state::{Fingerprint, StateError, CHECKPOINT_SCHEMA};
+use xmap_telemetry::Snapshot;
 
 /// One discovered periphery (deduplicated last hop).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +43,7 @@ pub struct DiscoveredPeriphery {
 }
 
 /// Per-block campaign outcome — one row of Table II.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockResult {
     /// Table VII row id of the block (1..=15).
     pub profile_id: u8,
@@ -127,7 +134,7 @@ impl BlockResult {
 }
 
 /// Whole-campaign outcome across all sample blocks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignResult {
     /// Per-block results in Table II order.
     pub blocks: Vec<BlockResult>,
@@ -259,6 +266,73 @@ impl Campaign {
         result
     }
 
+    /// Runs the campaign with block-granular checkpointing at `path`.
+    ///
+    /// After every completed block the campaign writes a single-file
+    /// checkpoint (kind `campaign`) holding the blocks so far, the
+    /// scanner's telemetry snapshot and virtual-clock tick. If the
+    /// scanner's armed [abort signal](Scanner::set_abort) fires — at any
+    /// point, including mid-mop-up — the partial block is discarded, the
+    /// previous checkpoint stands, and the call returns with the second
+    /// tuple element `true`. A later `resume: true` invocation restores
+    /// the registry and clock and re-runs from the interrupted block, so
+    /// the completed campaign is byte-identical to an uninterrupted one
+    /// (same determinism envelope as the scanner's own checkpoints).
+    ///
+    /// Resuming under a different campaign or scanner configuration is a
+    /// hard [`StateError::Mismatch`].
+    pub fn run_checkpointed<N: Network>(
+        &self,
+        scanner: &mut Scanner<N>,
+        path: &Path,
+        resume: bool,
+    ) -> Result<(CampaignResult, bool), StateError> {
+        let fp = self.fingerprint(scanner);
+        let mut result = CampaignResult::default();
+        let mut start = 0;
+        if resume {
+            if let Some(saved) = load_campaign_ckpt(path, fp)? {
+                scanner.restore_metrics(&saved.metrics);
+                scanner.restore_clock(saved.tick);
+                result.blocks = saved.blocks;
+                start = saved.next_block;
+            }
+            // A kill before the first checkpoint resumes as a fresh start.
+        }
+        for (idx, profile) in SAMPLE_BLOCKS.iter().enumerate().skip(start) {
+            if scanner.is_aborted() {
+                return Ok((result, true));
+            }
+            let block = self.run_block(scanner, profile);
+            if scanner.is_aborted() {
+                return Ok((result, true));
+            }
+            result.blocks.push(block);
+            // run/probe_addr/advance flush coalesced network counters, so
+            // the snapshot here is exact.
+            let snap = scanner.telemetry().registry.snapshot();
+            write_campaign_ckpt(path, fp, idx + 1, scanner.ticks(), &snap, &result.blocks)?;
+        }
+        Ok((result, false))
+    }
+
+    /// Identity of this campaign + scanner pairing; resume refuses a
+    /// checkpoint taken under any other.
+    fn fingerprint<N: Network>(&self, scanner: &Scanner<N>) -> u64 {
+        let cfg = scanner.config();
+        let mut fp = Fingerprint::new();
+        fp.push_str("campaign")
+            .push_u64(self.targets_per_block)
+            .push_u64(self.mop_up as u64)
+            .push_u64(self.mop_up_delay_ticks)
+            .push_u64(self.blocklist.fingerprint())
+            .push_u64(cfg.seed)
+            .push_u64(cfg.hop_limit as u64)
+            .push_u64(cfg.probes_per_target as u64)
+            .push_u64(cfg.rto_ticks);
+        fp.finish()
+    }
+
     /// Runs the discovery scan over one block.
     pub fn run_block<N: Network>(
         &self,
@@ -323,7 +397,9 @@ impl Campaign {
 
         let mut stats = results.stats;
         let mut mop_up_recovered = 0;
-        if self.mop_up && !results.silent_targets.is_empty() {
+        // An interrupted main pass skips mop-up: the whole block is
+        // discarded by the checkpoint driver and re-run on resume.
+        if self.mop_up && !results.interrupted && !results.silent_targets.is_empty() {
             // Let rate-limited devices accrue error tokens before the
             // second chance; discards any (stale) delayed deliveries.
             let mut late = Vec::new();
@@ -338,6 +414,9 @@ impl Campaign {
             // the exact registry delta at the end.
             let base = scanner.metrics().baseline();
             for target in &results.silent_targets {
+                if scanner.is_aborted() {
+                    break;
+                }
                 // Fresh host bits: never re-probe the exact first address.
                 let dst = xmap::fill_host_bits(*target, seed ^ MOP_UP_SALT);
                 if !self.blocklist.is_allowed(dst) {
@@ -413,6 +492,210 @@ impl Campaign {
 /// Seed perturbation for mop-up host-bit fill (distinct from every
 /// `seed + attempt` fill of the main pass).
 const MOP_UP_SALT: u64 = 0x6d6f_7075;
+
+/// A loaded campaign checkpoint.
+struct CampaignCkpt {
+    next_block: usize,
+    tick: u64,
+    metrics: Snapshot,
+    blocks: Vec<BlockResult>,
+}
+
+fn write_campaign_ckpt(
+    path: &Path,
+    fp: u64,
+    next_block: usize,
+    tick: u64,
+    metrics: &Snapshot,
+    blocks: &[BlockResult],
+) -> Result<(), StateError> {
+    let header = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign\",\
+         \"next_block\":{next_block},\"tick\":{tick},\
+         \"campaign_fp\":\"{fp:#018x}\",\"sections\":[\"metrics\",\"blocks\"]}}"
+    );
+    let mut e = Encoder::new();
+    e.seq(blocks.len());
+    for b in blocks {
+        encode_block(&mut e, b);
+    }
+    write_sectioned(
+        path,
+        &header,
+        &[
+            ("metrics", encode_snapshot(metrics)),
+            ("blocks", e.finish()),
+        ],
+    )
+}
+
+/// Loads and validates a campaign checkpoint; `Ok(None)` when no
+/// checkpoint exists yet (killed before the first block completed).
+fn load_campaign_ckpt(path: &Path, expected_fp: u64) -> Result<Option<CampaignCkpt>, StateError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let what = "campaign checkpoint";
+    let (header, mut sections) = read_sectioned(path, what)?;
+    let kind = header.req_str("kind", what)?;
+    if kind != "campaign" {
+        return Err(StateError::Corrupt(format!(
+            "{what}: expected kind `campaign`, found `{kind}`"
+        )));
+    }
+    let fp = parse_fp(&header.req_str("campaign_fp", what)?, what)?;
+    if fp != expected_fp {
+        return Err(StateError::Mismatch(format!(
+            "campaign checkpoint was taken under configuration {fp:#018x}, \
+             this campaign fingerprints as {expected_fp:#018x}"
+        )));
+    }
+    let metrics_raw = sections
+        .remove("metrics")
+        .ok_or_else(|| StateError::Corrupt(format!("{what}: missing `metrics` section")))?;
+    let blocks_raw = sections
+        .remove("blocks")
+        .ok_or_else(|| StateError::Corrupt(format!("{what}: missing `blocks` section")))?;
+    let mut d = Decoder::new(&blocks_raw, "campaign blocks");
+    let n = d.seq()?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(decode_block(&mut d)?);
+    }
+    d.expect_end()?;
+    Ok(Some(CampaignCkpt {
+        next_block: header.req_u64("next_block", what)? as usize,
+        tick: header.req_u64("tick", what)?,
+        metrics: decode_snapshot(&metrics_raw)?,
+        blocks,
+    }))
+}
+
+fn encode_prefix(e: &mut Encoder, p: &Prefix) {
+    e.u128(p.addr().bits());
+    e.u8(p.len());
+}
+
+fn decode_prefix(d: &mut Decoder) -> Result<Prefix, StateError> {
+    let addr = d.u128()?;
+    let len = d.u8()?;
+    if len > 128 {
+        return Err(StateError::Corrupt(format!(
+            "campaign blocks: invalid prefix length {len}"
+        )));
+    }
+    Ok(Prefix::new(addr.into(), len))
+}
+
+fn encode_block(e: &mut Encoder, b: &BlockResult) {
+    e.u8(b.profile_id);
+    e.seq(b.peripheries.len());
+    for p in &b.peripheries {
+        e.u128(p.address.bits());
+        encode_prefix(e, &p.target);
+        e.u128(p.probe_dst.bits());
+        e.bool(p.same64);
+        // IID class as its index in the canonical ALL ordering.
+        e.u8(IidClass::ALL
+            .iter()
+            .position(|c| *c == p.iid_class)
+            .expect("every class is in ALL") as u8);
+        match p.mac {
+            Some(mac) => {
+                e.bool(true);
+                e.bytes(&mac.octets());
+            }
+            None => e.bool(false),
+        }
+        e.bool(p.via_time_exceeded);
+    }
+    for v in [
+        b.stats.sent,
+        b.stats.blocked,
+        b.stats.received,
+        b.stats.invalid,
+        b.stats.valid,
+        b.stats.retransmits,
+        b.stats.rate_limited_suspected,
+        b.stats.gave_up,
+    ] {
+        e.u64(v);
+    }
+    e.f64_bits(b.stats.paced_secs);
+    e.u64(b.probed);
+    e.u128(b.space_size);
+    e.seq(b.alias_candidates.len());
+    for p in &b.alias_candidates {
+        encode_prefix(e, p);
+    }
+    e.u64(b.mop_up_recovered as u64);
+}
+
+fn decode_block(d: &mut Decoder) -> Result<BlockResult, StateError> {
+    let profile_id = d.u8()?;
+    let n = d.seq()?;
+    let mut peripheries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let address: Ip6 = d.u128()?.into();
+        let target = decode_prefix(d)?;
+        let probe_dst = d.u128()?.into();
+        let same64 = d.bool()?;
+        let class_idx = d.u8()? as usize;
+        let iid_class = *IidClass::ALL.get(class_idx).ok_or_else(|| {
+            StateError::Corrupt(format!("campaign blocks: unknown IID class {class_idx}"))
+        })?;
+        let mac = if d.bool()? {
+            let octets = d.bytes()?;
+            let octets: [u8; 6] = octets.as_slice().try_into().map_err(|_| {
+                StateError::Corrupt(format!(
+                    "campaign blocks: MAC must be 6 octets, found {}",
+                    octets.len()
+                ))
+            })?;
+            Some(Mac::new(octets))
+        } else {
+            None
+        };
+        let via_time_exceeded = d.bool()?;
+        peripheries.push(DiscoveredPeriphery {
+            address,
+            target,
+            probe_dst,
+            same64,
+            iid_class,
+            mac,
+            via_time_exceeded,
+        });
+    }
+    let stats = ScanStats {
+        sent: d.u64()?,
+        blocked: d.u64()?,
+        received: d.u64()?,
+        invalid: d.u64()?,
+        valid: d.u64()?,
+        retransmits: d.u64()?,
+        rate_limited_suspected: d.u64()?,
+        gave_up: d.u64()?,
+        paced_secs: d.f64_bits()?,
+    };
+    let probed = d.u64()?;
+    let space_size = d.u128()?;
+    let n_alias = d.seq()?;
+    let mut alias_candidates = Vec::with_capacity(n_alias);
+    for _ in 0..n_alias {
+        alias_candidates.push(decode_prefix(d)?);
+    }
+    let mop_up_recovered = d.u64()? as usize;
+    Ok(BlockResult {
+        profile_id,
+        peripheries,
+        stats,
+        probed,
+        space_size,
+        alias_candidates,
+        mop_up_recovered,
+    })
+}
 
 #[cfg(test)]
 mod tests {
@@ -521,6 +804,83 @@ mod tests {
                 "aliased {p} leaked into the periphery set"
             );
         }
+    }
+
+    #[test]
+    fn block_codec_roundtrips() {
+        let mut s = scanner(1 << 14);
+        let campaign = Campaign::new(1 << 14);
+        let block = campaign.run_block(&mut s, &SAMPLE_BLOCKS[2]);
+        assert!(block.unique() > 0, "need a nonempty block to exercise");
+        let mut e = Encoder::new();
+        encode_block(&mut e, &block);
+        let raw = e.finish();
+        let mut d = Decoder::new(&raw, "test");
+        let back = decode_block(&mut d).unwrap();
+        d.expect_end().unwrap();
+        assert_eq!(back, block);
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted() {
+        use xmap_netsim::KillPoint;
+        use xmap_state::AbortSignal;
+        let path = std::env::temp_dir().join(format!("xmap-campaign-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let campaign = Campaign::new(1 << 12);
+        let baseline = campaign.run(&mut scanner(1 << 12));
+
+        let signal = AbortSignal::new();
+        let mut world = World::with_config(WorldConfig::lossless(99, 50));
+        world.arm_kill(
+            KillPoint {
+                after_probes: Some(10_000),
+                ..Default::default()
+            },
+            signal.clone(),
+        );
+        let mut killed = Scanner::new(
+            world,
+            ScanConfig {
+                max_targets: Some(1 << 12),
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        killed.set_abort(signal);
+        let (partial, interrupted) = campaign
+            .run_checkpointed(&mut killed, &path, false)
+            .unwrap();
+        assert!(interrupted, "kill point must interrupt the campaign");
+        assert!(partial.blocks.len() < baseline.blocks.len());
+
+        let mut resumed = scanner(1 << 12);
+        let (full, interrupted) = campaign
+            .run_checkpointed(&mut resumed, &path, true)
+            .unwrap();
+        assert!(!interrupted);
+        assert_eq!(full, baseline, "resumed campaign must match uninterrupted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_different_campaign_is_refused() {
+        let path = std::env::temp_dir().join(format!(
+            "xmap-campaign-mismatch-{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let campaign = Campaign::new(1 << 10);
+        let mut s = scanner(1 << 10);
+        campaign.run_checkpointed(&mut s, &path, false).unwrap();
+        let other = Campaign::new(1 << 11);
+        let mut s2 = scanner(1 << 11);
+        let err = other.run_checkpointed(&mut s2, &path, true).unwrap_err();
+        assert!(
+            matches!(err, StateError::Mismatch(_)),
+            "expected Mismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

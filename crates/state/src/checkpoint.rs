@@ -1,0 +1,562 @@
+//! The `xmap-checkpoint/v1` worker checkpoint format.
+//!
+//! A checkpoint file is self-describing: a magic string, an ordered JSON
+//! header (human-inspectable with `head -2`), then CRC-protected binary
+//! sections. Layout:
+//!
+//! ```text
+//! b"XMCKPT1\n"
+//! [header_len: u32][header: ordered JSON, `header_len` bytes]\n
+//! per section: [name_len: u8][name][len: u64][payload][crc32: u32]
+//! ```
+//!
+//! The header carries identity and placement (`schema`, `kind`, `worker`,
+//! `range_index`, `tick`, `wal_seq`, `config_fp`) plus the section list;
+//! the sections carry bulk state (`metrics` — a full telemetry registry
+//! snapshot — and optionally `run`, the mid-range scanner state).
+//! Everything needed to *refuse* a wrong resume lives in the header, so
+//! mismatches are detected before any bulk decoding happens.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use xmap_addr::Prefix;
+use xmap_telemetry::{HistogramSnapshot, Snapshot};
+
+use crate::codec::{crc32, Decoder, Encoder};
+use crate::error::StateError;
+use crate::json::{self, Value};
+
+/// Schema identifier written into every header.
+pub const CHECKPOINT_SCHEMA: &str = "xmap-checkpoint/v1";
+
+const MAGIC: &[u8] = b"XMCKPT1\n";
+
+/// Target-stream cursor, one variant per permutation backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorState {
+    /// Multiplicative-group walk: the current group element and how many
+    /// walk positions remain (both mod a prime that can exceed `u64`).
+    Cyclic {
+        /// Current element of the multiplicative group.
+        current: u128,
+        /// Walk positions left to visit, including skipped out-of-range ones.
+        remaining_walk: u128,
+    },
+    /// Feistel permutation: the permutation is stateless, only the next
+    /// domain position matters.
+    Feistel {
+        /// Next position in the permuted domain.
+        next_pos: u64,
+    },
+    /// Sequential (identity) order.
+    Sequential {
+        /// Next position in the domain.
+        next_pos: u64,
+    },
+}
+
+/// One in-flight probe awaiting a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutstandingEntry {
+    /// Destination address the probe was sent to.
+    pub dst: u128,
+    /// The /64 target prefix being probed.
+    pub target: Prefix,
+    /// Zero-based transmission attempt.
+    pub attempt: u32,
+    /// Whether a response was already recorded for this probe.
+    pub answered: bool,
+    /// Virtual tick the probe was sent at.
+    pub sent_tick: u64,
+}
+
+/// One scheduled retransmission with its backoff deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryEntryState {
+    /// Run-local tick the retry becomes due.
+    pub due_tick: u64,
+    /// Tie-break sequence number (FIFO among same-tick retries).
+    pub seq: u64,
+    /// The /64 target prefix to re-probe.
+    pub target: Prefix,
+    /// Transmission attempt this retry will be.
+    pub attempt: u32,
+    /// Destination of the previous attempt (retired on retransmit).
+    pub prev_dst: u128,
+}
+
+/// AIMD rate-controller state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveState {
+    /// Current probes-per-second setpoint.
+    pub current_pps: u64,
+    /// Probes sent in the open measurement window.
+    pub sent: u64,
+    /// Valid responses in the open measurement window.
+    pub valid: u64,
+    /// Baseline hit rate (bit pattern preserved exactly), if established.
+    pub baseline_bits: Option<u64>,
+}
+
+/// Complete mid-range scanner state: everything `Scanner::run` holds in
+/// locals, captured at a slot boundary with nothing in flight downstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// Run-local tick (slots completed since the range started).
+    pub now: u64,
+    /// Scanner lifetime tick at which this range started.
+    pub run_start_tick: u64,
+    /// WAL sequence number at which this range's records start.
+    pub run_wal_start: u64,
+    /// Target-stream cursor.
+    pub cursor: CursorState,
+    /// Fresh targets still to be drawn from the stream.
+    pub remaining: u64,
+    /// Permutation indices already drawn into the generator's chunk
+    /// buffer but not yet consumed (the buffer runs ahead of the scan).
+    pub pending_indices: Vec<u64>,
+    /// In-flight probes, sorted by destination for determinism.
+    pub outstanding: Vec<OutstandingEntry>,
+    /// Scheduled retries, sorted by (due_tick, seq).
+    pub retries: Vec<RetryEntryState>,
+    /// Next retry tie-break sequence number.
+    pub retry_seq: u64,
+    /// Targets that have produced a valid response, sorted.
+    pub answered: Vec<Prefix>,
+    /// Every target probed this range, in probe order.
+    pub probed: Vec<Prefix>,
+    /// AIMD controller state, if adaptive rating is enabled.
+    pub adaptive: Option<AdaptiveState>,
+    /// Metrics baseline captured when the range started (raw counters).
+    pub baseline: [u64; 9],
+}
+
+/// A worker's durable checkpoint: placement header plus bulk state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerCheckpoint {
+    /// Worker index within the parallel executor.
+    pub worker: u32,
+    /// Range index this checkpoint refers to. With `run: Some(..)` the
+    /// range is in progress; with `run: None` it has completed and the
+    /// next range (if any) starts fresh.
+    pub range_index: u32,
+    /// Scanner lifetime tick (drives virtual-clock restoration).
+    pub tick: u64,
+    /// Number of WAL records durable at checkpoint time; resume truncates
+    /// the journal to exactly this count.
+    pub wal_seq: u64,
+    /// Fingerprint of the session manifest this checkpoint belongs to.
+    pub config_fp: u64,
+    /// Full telemetry registry snapshot for this worker.
+    pub metrics: Snapshot,
+    /// Mid-range state, absent when the range completed.
+    pub run: Option<RunState>,
+}
+
+impl WorkerCheckpoint {
+    /// Serialises and atomically writes the checkpoint to `path`
+    /// (tmp-file + rename, so a kill mid-write leaves the old file).
+    pub fn write_to(&self, path: &Path) -> Result<(), StateError> {
+        let mut header = String::new();
+        header.push('{');
+        header.push_str("\"schema\":");
+        json::push_json_string(&mut header, CHECKPOINT_SCHEMA);
+        header.push_str(",\"kind\":\"worker\"");
+        header.push_str(&format!(",\"worker\":{}", self.worker));
+        header.push_str(&format!(",\"range_index\":{}", self.range_index));
+        header.push_str(&format!(",\"tick\":{}", self.tick));
+        header.push_str(&format!(",\"wal_seq\":{}", self.wal_seq));
+        header.push_str(&format!(",\"config_fp\":\"{:#018x}\"", self.config_fp));
+        header.push_str(",\"sections\":[\"metrics\"");
+        if self.run.is_some() {
+            header.push_str(",\"run\"");
+        }
+        header.push_str("]}");
+
+        let mut sections: Vec<(&str, Vec<u8>)> = vec![("metrics", encode_snapshot(&self.metrics))];
+        if let Some(run) = &self.run {
+            sections.push(("run", encode_run_state(run)));
+        }
+        write_sectioned(path, &header, &sections)
+    }
+
+    /// Reads and fully validates a checkpoint from `path`.
+    pub fn read_from(path: &Path) -> Result<WorkerCheckpoint, StateError> {
+        let what = "worker checkpoint";
+        let (header, mut sections) = read_sectioned(path, what)?;
+        let kind = header.req_str("kind", what)?;
+        if kind != "worker" {
+            return Err(StateError::Corrupt(format!(
+                "{what}: expected kind `worker`, found `{kind}`"
+            )));
+        }
+        let config_fp = parse_fp(&header.req_str("config_fp", what)?, what)?;
+        let metrics_raw = sections
+            .remove("metrics")
+            .ok_or_else(|| StateError::Corrupt(format!("{what}: missing `metrics` section")))?;
+        let run = match sections.remove("run") {
+            Some(raw) => Some(decode_run_state(&raw)?),
+            None => None,
+        };
+        Ok(WorkerCheckpoint {
+            worker: header.req_u64("worker", what)? as u32,
+            range_index: header.req_u64("range_index", what)? as u32,
+            tick: header.req_u64("tick", what)?,
+            wal_seq: header.req_u64("wal_seq", what)?,
+            config_fp,
+            metrics: decode_snapshot(&metrics_raw)?,
+            run,
+        })
+    }
+}
+
+/// Parses a `0x`-prefixed 64-bit fingerprint written by the header writers.
+pub fn parse_fp(s: &str, what: &str) -> Result<u64, StateError> {
+    s.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| StateError::Corrupt(format!("{what}: invalid fingerprint `{s}`")))
+}
+
+/// Writes a sectioned `xmap-checkpoint/v1` file atomically. Shared by
+/// worker and campaign checkpoints; `header` must be a complete JSON
+/// object including `schema` and `sections`.
+pub fn write_sectioned(
+    path: &Path,
+    header: &str,
+    sections: &[(&str, Vec<u8>)],
+) -> Result<(), StateError> {
+    let mut out = Vec::with_capacity(
+        MAGIC.len() + header.len() + 16 + sections.iter().map(|(_, s)| s.len() + 32).sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    out.extend_from_slice(header.as_bytes());
+    out.push(b'\n');
+    for (name, payload) in sections {
+        out.push(name.len() as u8);
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)
+            .map_err(|e| StateError::io(format!("create checkpoint {}", tmp.display()), e))?;
+        f.write_all(&out)
+            .map_err(|e| StateError::io(format!("write checkpoint {}", tmp.display()), e))?;
+        f.sync_all()
+            .map_err(|e| StateError::io(format!("sync checkpoint {}", tmp.display()), e))?;
+    }
+    fs::rename(&tmp, path)
+        .map_err(|e| StateError::io(format!("publish checkpoint {}", path.display()), e))
+}
+
+/// Reads a sectioned file, validating magic, schema, and per-section CRCs.
+pub fn read_sectioned(
+    path: &Path,
+    what: &str,
+) -> Result<(Value, BTreeMap<String, Vec<u8>>), StateError> {
+    let raw = fs::read(path)
+        .map_err(|e| StateError::io(format!("read checkpoint {}", path.display()), e))?;
+    if !raw.starts_with(MAGIC) {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: bad magic (not an xmap checkpoint)",
+            path.display()
+        )));
+    }
+    let mut pos = MAGIC.len();
+    if raw.len() < pos + 4 {
+        return Err(StateError::Corrupt(format!(
+            "{what}: truncated header length"
+        )));
+    }
+    let hlen = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    if raw.len() < pos + hlen + 1 {
+        return Err(StateError::Corrupt(format!("{what}: truncated header")));
+    }
+    let header_text = std::str::from_utf8(&raw[pos..pos + hlen])
+        .map_err(|_| StateError::Corrupt(format!("{what}: header is not UTF-8")))?;
+    pos += hlen + 1; // skip trailing newline
+    let header = json::parse(header_text, what)?;
+    let schema = header.req_str("schema", what)?;
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(StateError::Version(format!(
+            "{what}: found `{schema}`, this build supports `{CHECKPOINT_SCHEMA}`"
+        )));
+    }
+    let mut sections = BTreeMap::new();
+    while pos < raw.len() {
+        let nlen = raw[pos] as usize;
+        pos += 1;
+        if raw.len() < pos + nlen + 8 {
+            return Err(StateError::Corrupt(format!(
+                "{what}: truncated section name"
+            )));
+        }
+        let name = std::str::from_utf8(&raw[pos..pos + nlen])
+            .map_err(|_| StateError::Corrupt(format!("{what}: section name not UTF-8")))?
+            .to_owned();
+        pos += nlen;
+        let plen = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        if raw.len() < pos + plen + 4 {
+            return Err(StateError::Corrupt(format!(
+                "{what}: truncated section `{name}`"
+            )));
+        }
+        let payload = &raw[pos..pos + plen];
+        pos += plen;
+        let stored = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        if crc32(payload) != stored {
+            return Err(StateError::Corrupt(format!(
+                "{what}: CRC mismatch in section `{name}`"
+            )));
+        }
+        sections.insert(name, payload.to_vec());
+    }
+    Ok((header, sections))
+}
+
+fn encode_prefix(e: &mut Encoder, p: &Prefix) {
+    e.u128(p.addr().bits());
+    e.u8(p.len());
+}
+
+fn decode_prefix(d: &mut Decoder) -> Result<Prefix, StateError> {
+    let addr = d.u128()?;
+    let len = d.u8()?;
+    if len > 128 {
+        return Err(StateError::Corrupt(format!("invalid prefix length {len}")));
+    }
+    Ok(Prefix::new(addr.into(), len))
+}
+
+/// Binary-encodes a telemetry snapshot (exact, unlike the JSON export
+/// which is for human/CI consumption).
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.seq(snap.counters.len());
+    for (name, v) in &snap.counters {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.seq(snap.gauges.len());
+    for (name, v) in &snap.gauges {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.seq(snap.histograms.len());
+    for (name, h) in &snap.histograms {
+        e.str(name);
+        e.seq(h.bounds.len());
+        for b in &h.bounds {
+            e.u64(*b);
+        }
+        e.seq(h.counts.len());
+        for c in &h.counts {
+            e.u64(*c);
+        }
+        e.u64(h.count);
+        e.u64(h.sum);
+    }
+    e.finish()
+}
+
+/// Decodes a snapshot written by [`encode_snapshot`].
+pub fn decode_snapshot(raw: &[u8]) -> Result<Snapshot, StateError> {
+    let mut d = Decoder::new(raw, "metrics section");
+    let mut snap = Snapshot::default();
+    for _ in 0..d.seq()? {
+        let name = d.str()?;
+        snap.counters.insert(name, d.u64()?);
+    }
+    for _ in 0..d.seq()? {
+        let name = d.str()?;
+        snap.gauges.insert(name, d.u64()?);
+    }
+    for _ in 0..d.seq()? {
+        let name = d.str()?;
+        let mut bounds = Vec::new();
+        for _ in 0..d.seq()? {
+            bounds.push(d.u64()?);
+        }
+        let mut counts = Vec::new();
+        for _ in 0..d.seq()? {
+            counts.push(d.u64()?);
+        }
+        let h = HistogramSnapshot {
+            bounds,
+            counts,
+            count: d.u64()?,
+            sum: d.u64()?,
+        };
+        snap.histograms.insert(name, h);
+    }
+    d.expect_end()?;
+    Ok(snap)
+}
+
+/// Binary-encodes mid-range scanner state.
+pub fn encode_run_state(run: &RunState) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(run.now);
+    e.u64(run.run_start_tick);
+    e.u64(run.run_wal_start);
+    match &run.cursor {
+        CursorState::Cyclic {
+            current,
+            remaining_walk,
+        } => {
+            e.u8(0);
+            e.u128(*current);
+            e.u128(*remaining_walk);
+        }
+        CursorState::Feistel { next_pos } => {
+            e.u8(1);
+            e.u64(*next_pos);
+        }
+        CursorState::Sequential { next_pos } => {
+            e.u8(2);
+            e.u64(*next_pos);
+        }
+    }
+    e.u64(run.remaining);
+    e.seq(run.pending_indices.len());
+    for i in &run.pending_indices {
+        e.u64(*i);
+    }
+    e.seq(run.outstanding.len());
+    for o in &run.outstanding {
+        e.u128(o.dst);
+        encode_prefix(&mut e, &o.target);
+        e.u32(o.attempt);
+        e.bool(o.answered);
+        e.u64(o.sent_tick);
+    }
+    e.seq(run.retries.len());
+    for r in &run.retries {
+        e.u64(r.due_tick);
+        e.u64(r.seq);
+        encode_prefix(&mut e, &r.target);
+        e.u32(r.attempt);
+        e.u128(r.prev_dst);
+    }
+    e.u64(run.retry_seq);
+    e.seq(run.answered.len());
+    for p in &run.answered {
+        encode_prefix(&mut e, p);
+    }
+    e.seq(run.probed.len());
+    for p in &run.probed {
+        encode_prefix(&mut e, p);
+    }
+    match &run.adaptive {
+        None => e.u8(0),
+        Some(a) => {
+            e.u8(1);
+            e.u64(a.current_pps);
+            e.u64(a.sent);
+            e.u64(a.valid);
+            e.opt_u64(a.baseline_bits);
+        }
+    }
+    for v in run.baseline {
+        e.u64(v);
+    }
+    e.finish()
+}
+
+/// Decodes mid-range scanner state written by [`encode_run_state`].
+pub fn decode_run_state(raw: &[u8]) -> Result<RunState, StateError> {
+    let mut d = Decoder::new(raw, "run section");
+    let now = d.u64()?;
+    let run_start_tick = d.u64()?;
+    let run_wal_start = d.u64()?;
+    let cursor = match d.u8()? {
+        0 => CursorState::Cyclic {
+            current: d.u128()?,
+            remaining_walk: d.u128()?,
+        },
+        1 => CursorState::Feistel { next_pos: d.u64()? },
+        2 => CursorState::Sequential { next_pos: d.u64()? },
+        t => {
+            return Err(StateError::Corrupt(format!(
+                "run section: unknown cursor tag {t}"
+            )))
+        }
+    };
+    let remaining = d.u64()?;
+    let mut pending_indices = Vec::new();
+    for _ in 0..d.seq()? {
+        pending_indices.push(d.u64()?);
+    }
+    let mut outstanding = Vec::new();
+    for _ in 0..d.seq()? {
+        outstanding.push(OutstandingEntry {
+            dst: d.u128()?,
+            target: decode_prefix(&mut d)?,
+            attempt: d.u32()?,
+            answered: d.bool()?,
+            sent_tick: d.u64()?,
+        });
+    }
+    let mut retries = Vec::new();
+    for _ in 0..d.seq()? {
+        retries.push(RetryEntryState {
+            due_tick: d.u64()?,
+            seq: d.u64()?,
+            target: decode_prefix(&mut d)?,
+            attempt: d.u32()?,
+            prev_dst: d.u128()?,
+        });
+    }
+    let retry_seq = d.u64()?;
+    let mut answered = Vec::new();
+    for _ in 0..d.seq()? {
+        answered.push(decode_prefix(&mut d)?);
+    }
+    let mut probed = Vec::new();
+    for _ in 0..d.seq()? {
+        probed.push(decode_prefix(&mut d)?);
+    }
+    let adaptive = match d.u8()? {
+        0 => None,
+        1 => Some(AdaptiveState {
+            current_pps: d.u64()?,
+            sent: d.u64()?,
+            valid: d.u64()?,
+            baseline_bits: d.opt_u64()?,
+        }),
+        t => {
+            return Err(StateError::Corrupt(format!(
+                "run section: unknown adaptive tag {t}"
+            )))
+        }
+    };
+    let mut baseline = [0u64; 9];
+    for b in &mut baseline {
+        *b = d.u64()?;
+    }
+    d.expect_end()?;
+    Ok(RunState {
+        now,
+        run_start_tick,
+        run_wal_start,
+        cursor,
+        remaining,
+        pending_indices,
+        outstanding,
+        retries,
+        retry_seq,
+        answered,
+        probed,
+        adaptive,
+        baseline,
+    })
+}

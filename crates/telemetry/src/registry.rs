@@ -253,6 +253,58 @@ impl Registry {
         }
     }
 
+    /// Overwrites every metric named in `snap` with its snapshot value,
+    /// creating metrics (with the snapshot's bucket bounds) that do not
+    /// exist yet. Metrics present in the registry but absent from the
+    /// snapshot are left untouched.
+    ///
+    /// This is the resume path of the checkpoint subsystem: a worker's
+    /// registry is rebuilt to the exact state it had when the checkpoint
+    /// was taken, so `stats_since`-style deltas and final exports match
+    /// an uninterrupted run byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing histogram's bounds differ from the
+    /// snapshot's (same contract as [`Snapshot::merge`]) — that indicates
+    /// a checkpoint from an incompatible build.
+    pub fn restore(&self, snap: &Snapshot) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        for (name, value) in &snap.counters {
+            inner
+                .counters
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .store(*value, Ordering::Relaxed);
+        }
+        for (name, value) in &snap.gauges {
+            inner
+                .gauges
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .store(*value, Ordering::Relaxed);
+        }
+        for (name, h) in &snap.histograms {
+            let cell = inner.histograms.entry(name.clone()).or_insert_with(|| {
+                Arc::new(HistogramCell {
+                    bounds: h.bounds.clone(),
+                    buckets: (0..=h.bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                })
+            });
+            assert_eq!(
+                cell.bounds, h.bounds,
+                "histogram `{name}`: restore with mismatched bucket bounds"
+            );
+            for (bucket, count) in cell.buckets.iter().zip(&h.counts) {
+                bucket.store(*count, Ordering::Relaxed);
+            }
+            cell.count.store(h.count, Ordering::Relaxed);
+            cell.sum.store(h.sum, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("registry poisoned");
@@ -609,5 +661,42 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn restore_rebuilds_exact_state() {
+        let source = Registry::new();
+        source.counter("c").add(41);
+        source.gauge("g").set(7);
+        let h = source.histogram("h", &[1, 4, 16]);
+        h.record(0);
+        h.record(5);
+        h.record(1_000);
+        let snap = source.snapshot();
+
+        // Target has stale values for some metrics and lacks others.
+        let target = Registry::new();
+        target.counter("c").add(999);
+        target.counter("untouched").add(3);
+        target.restore(&snap);
+        let live = target.counter("c");
+        let restored = target.snapshot();
+        assert_eq!(restored.counter("c"), 41);
+        assert_eq!(restored.counter("untouched"), 3);
+        assert_eq!(restored.gauges["g"], 7);
+        assert_eq!(restored.histograms["h"], snap.histograms["h"]);
+        // Handles bound before the restore still see restored values.
+        live.inc();
+        assert_eq!(target.snapshot().counter("c"), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket bounds")]
+    fn restore_rejects_mismatched_histogram_bounds() {
+        let a = Registry::new();
+        a.histogram("h", &[1, 2]);
+        let b = Registry::new();
+        b.histogram("h", &[1, 3]);
+        b.restore(&a.snapshot());
     }
 }
