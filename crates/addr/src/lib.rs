@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fxhash;
 mod iid;
 mod ip6;
 mod mac;
@@ -40,6 +41,7 @@ mod range;
 mod slaac;
 
 pub use error::ParseAddrError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use iid::{classify_iid, IidClass, IidHistogram};
 pub use ip6::Ip6;
 pub use mac::Mac;

@@ -3,15 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--metrics-out FILE] [--quiet] [artifact...]
+//! repro [--campaign-workers N] [--metrics-out FILE] [--quiet] [artifact...]
 //! ```
 //!
 //! Artifacts: `table1`..`table12`, `fig2`, `fig3`, `fig5`, `fig6`,
 //! `feasibility`, `amplification`, or `all` (default). The scale of the
 //! scans is controlled by `XMAP_SCALE` (log2 of discovery probes per
-//! block, default 20; the full space would be 32). `--metrics-out`
-//! writes the run's final telemetry snapshot as JSON; `--quiet`
-//! suppresses the progress lines on stderr.
+//! block, default 20; the full space would be 32). `--campaign-workers`
+//! (or `XMAP_CAMPAIGN_WORKERS`) runs the discovery campaign on a
+//! work-stealing block pool; every artifact and the exported metrics are
+//! byte-identical for any worker count. `--metrics-out` writes the run's
+//! final telemetry snapshot as JSON; `--quiet` suppresses the progress
+//! lines on stderr.
 
 use xmap_bench::{
     amplification, baselines, feasibility, fig2, fig3, fig5, fig6, table1, table10, table11,
@@ -22,6 +25,7 @@ use xmap_bench::{
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics_out = None;
+    let mut campaign_workers = None;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -32,6 +36,20 @@ fn main() {
                     std::process::exit(2);
                 }
                 metrics_out = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            "--campaign-workers" => {
+                if i + 1 >= args.len() {
+                    eprintln!("repro: --campaign-workers requires a value");
+                    std::process::exit(2);
+                }
+                match args.remove(i + 1).parse::<usize>() {
+                    Ok(n) if n >= 1 => campaign_workers = Some(n),
+                    _ => {
+                        eprintln!("repro: --campaign-workers must be an integer >= 1");
+                        std::process::exit(2);
+                    }
+                }
                 args.remove(i);
             }
             "--quiet" | "-q" => {
@@ -67,15 +85,19 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
-    let config = ExperimentConfig::from_env();
+    let mut config = ExperimentConfig::from_env();
+    if let Some(n) = campaign_workers {
+        config.campaign_workers = n;
+    }
     if !quiet {
         eprintln!(
-            "# seed {:#x}, discovery 2^{} probes/block, loop 2^{} probes/block, BGP 2^{}/prefix over {} ASes",
+            "# seed {:#x}, discovery 2^{} probes/block, loop 2^{} probes/block, BGP 2^{}/prefix over {} ASes, {} campaign worker(s)",
             config.seed,
             config.discovery_probes_per_block.trailing_zeros(),
             config.loop_probes_per_block.trailing_zeros(),
             config.bgp_probes_per_prefix.trailing_zeros(),
             config.bgp_ases,
+            config.campaign_workers,
         );
     }
     let telemetry = xmap_telemetry::Telemetry::new();

@@ -27,7 +27,7 @@ use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::services::ServiceKind;
 use xmap_netsim::topology::{LoopBehavior, NAMED_MODELS};
 use xmap_netsim::world::{World, WorldConfig};
-use xmap_periphery::{infer_boundary, Campaign, CampaignResult, VendorCounts};
+use xmap_periphery::{infer_boundary, Campaign, CampaignResult, ParallelCampaign, VendorCounts};
 use xmap_telemetry::Telemetry;
 
 /// Scale and seed knobs for one full reproduction run.
@@ -43,6 +43,11 @@ pub struct ExperimentConfig {
     pub bgp_probes_per_prefix: u64,
     /// Number of ASes in the synthetic BGP table.
     pub bgp_ases: usize,
+    /// Worker threads for the discovery campaign. With more than one,
+    /// blocks run on a work-stealing pool of private world replicas and
+    /// merge deterministically — every artifact stays byte-identical to
+    /// a single-worker run.
+    pub campaign_workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -53,6 +58,7 @@ impl Default for ExperimentConfig {
             loop_probes_per_block: 1 << 19,
             bgp_probes_per_prefix: 1 << 8,
             bgp_ases: 6911,
+            campaign_workers: 1,
         }
     }
 }
@@ -78,6 +84,11 @@ impl ExperimentConfig {
                 let bits = bits.clamp(8, 32);
                 cfg.discovery_probes_per_block = 1u64 << bits;
                 cfg.loop_probes_per_block = 1u64 << bits.saturating_sub(1).max(8);
+            }
+        }
+        if let Ok(v) = std::env::var("XMAP_CAMPAIGN_WORKERS") {
+            if let Ok(workers) = v.parse::<usize>() {
+                cfg.campaign_workers = workers.max(1);
             }
         }
         cfg
@@ -130,9 +141,48 @@ impl Experiment {
     }
 
     /// The discovery-campaign results (computed on first use).
+    ///
+    /// With `campaign_workers > 1`, blocks run on the work-stealing
+    /// executor over private world replicas and the replicas' telemetry
+    /// is folded back into this experiment's registry, so the campaign
+    /// result and every exported metric stay byte-identical to the
+    /// single-worker sequential walk.
     pub fn campaign(&mut self) -> &CampaignResult {
         if self.campaign.is_none() {
-            let c = Campaign::new(self.config.discovery_probes_per_block).run(&mut self.scanner);
+            let campaign = Campaign::new(self.config.discovery_probes_per_block);
+            let c =
+                if self.config.campaign_workers > 1 {
+                    let seed = self.config.seed;
+                    let bgp_ases = self.config.bgp_ases;
+                    let outcome = ParallelCampaign::new(campaign, self.config.campaign_workers)
+                        .run(self.scanner.config(), |_, telemetry| {
+                            let mut world = World::with_config(WorldConfig {
+                                seed,
+                                bgp_ases,
+                                ..WorldConfig::default()
+                            });
+                            world.set_telemetry(telemetry);
+                            world
+                        });
+                    let registry = &self.scanner.telemetry().registry;
+                    registry.absorb(&outcome.snapshot);
+                    // `absorb` folds counters and histograms only; refresh the
+                    // derived hit-rate gauge from the new cumulative totals,
+                    // the same formula the scanner applies while running.
+                    let snap = registry.snapshot();
+                    let ppm = snap
+                        .counter(xmap::telemetry::names::VALID)
+                        .saturating_mul(1_000_000)
+                        .checked_div(snap.counter(xmap::telemetry::names::SENT));
+                    if let Some(ppm) = ppm {
+                        registry
+                            .gauge(xmap::telemetry::names::HIT_RATE_PPM)
+                            .set(ppm);
+                    }
+                    outcome.result
+                } else {
+                    campaign.run(&mut self.scanner)
+                };
             self.campaign = Some(c);
         }
         self.campaign.as_ref().expect("just computed")

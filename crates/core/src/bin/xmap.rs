@@ -16,12 +16,15 @@
 //!       --shards N         total cooperating shards
 //!       --workers N        send threads; the shard is split N ways and
 //!                          merged deterministically (default 1). Status
-//!                          lines and --trace-out need a single worker.
+//!                          lines need a single worker.
 //!       --permutation P    cyclic | feistel | sequential
 //!   -b, --block PREFIX     add a blocklist prefix (repeatable)
 //!   -o, --output FILE     write results as CSV (default: stdout)
 //!       --metrics-out FILE write the final telemetry snapshot as JSON
-//!       --trace-out FILE   write the event trace as NDJSON
+//!       --trace-out PATH   write the event trace as NDJSON. With
+//!                          --workers 1, PATH is a single file; with N>1
+//!                          workers PATH must be a directory, which gets
+//!                          one worker-K.ndjson ring per worker
 //!       --status-interval S status-line period in simulated seconds
 //!                          (default 1.0; virtual clock, so deterministic)
 //!       --checkpoint DIR   journal results and periodically checkpoint
@@ -245,9 +248,6 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if cfg.workers == 0 {
         return Err("workers must be at least 1".to_owned());
     }
-    if cfg.workers > 1 && cfg.trace_out.is_some() {
-        return Err("--trace-out requires --workers 1 (one event ring per worker)".to_owned());
-    }
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume requires --checkpoint <dir>".to_owned());
     }
@@ -285,6 +285,20 @@ fn module_for(cfg: &CliConfig) -> Box<dyn ProbeModule + Send + Sync> {
             Box::new(UdpProbe { port, request })
         }
     }
+}
+
+/// Writes one `worker-K.ndjson` event ring per worker into `dir`
+/// (created if missing) — with several workers there is no single merged
+/// trace, and interleaving rings would fake an ordering that never was.
+fn write_worker_traces(dir: &str, scanner: &ParallelScanner<World>) -> Result<(), String> {
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    for w in 0..scanner.workers() {
+        let out = path.join(format!("worker-{w}.ndjson"));
+        let ndjson = scanner.worker_telemetry(w).tracer.to_ndjson();
+        std::fs::write(&out, ndjson).map_err(|e| format!("write {}: {e}", out.display()))?;
+    }
+    Ok(())
 }
 
 /// Runs one scan invocation. `Ok(true)` means the scan was interrupted by
@@ -374,17 +388,35 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         // replica and a telemetry registry; results and metrics merge
         // deterministically, so the CSV and the snapshot are byte-identical
         // to a single-worker run. The live monitor stays off — there is no
-        // single registry to render mid-run.
+        // single registry to render mid-run. Event rings are likewise
+        // per-worker, so --trace-out names a directory here.
+        if let Some(dir) = &cfg.trace_out {
+            if std::path::Path::new(dir).is_file() {
+                return Err(format!(
+                    "--trace-out {dir}: {} workers write one event ring each; \
+                     pass a directory (it will hold worker-N.ndjson), not a file",
+                    cfg.workers
+                ));
+            }
+        }
         let world_seed = cfg.world_seed;
-        let mut scanner = ParallelScanner::new(cfg.workers, scan_config, |_, telemetry| {
+        let make_world = |_w: usize, telemetry: &Telemetry| {
             let mut world = World::new(world_seed);
             world.set_telemetry(telemetry);
             world
-        });
+        };
+        let mut scanner = if cfg.trace_out.is_some() {
+            ParallelScanner::new_traced(cfg.workers, scan_config, make_world)
+        } else {
+            ParallelScanner::new(cfg.workers, scan_config, make_world)
+        };
         results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
         if let Some(path) = &cfg.metrics_out {
             let json = scanner.snapshot().to_json();
             std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(dir) = &cfg.trace_out {
+            write_worker_traces(dir, &scanner)?;
         }
     } else {
         let telemetry = if cfg.trace_out.is_some() {
@@ -653,10 +685,41 @@ mod tests {
         assert_eq!(cfg.workers, 4);
         assert_eq!(parse_args(&args("2405:200::/32-64")).unwrap().workers, 1);
         assert!(parse_args(&args("--workers 0 2405:200::/32")).is_err());
-        assert!(
-            parse_args(&args("--workers 2 --trace-out /tmp/t 2405:200::/32")).is_err(),
-            "tracing needs a single worker"
+        let cfg = parse_args(&args("--workers 2 --trace-out /tmp/t 2405:200::/32")).unwrap();
+        assert_eq!(
+            cfg.trace_out.as_deref(),
+            Some("/tmp/t"),
+            "multi-worker tracing parses; the directory check happens at run time"
         );
+    }
+
+    #[test]
+    fn multi_worker_trace_writes_one_ring_per_worker() {
+        let dir = std::env::temp_dir().join(format!("xmap-trace-rings-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_owned();
+        let cfg = parse_args(&args(&format!(
+            "-x 2048 -q --workers 3 --trace-out {dir_s} 2402:3a80::/32-64"
+        )))
+        .unwrap();
+        run(cfg).unwrap();
+        for w in 0..3 {
+            let ring = dir.join(format!("worker-{w}.ndjson"));
+            assert!(ring.is_file(), "missing {}", ring.display());
+        }
+
+        // A plain file in place of the directory is a clean pre-scan error.
+        let file = std::env::temp_dir().join(format!("xmap-trace-file-{}", std::process::id()));
+        std::fs::write(&file, b"").unwrap();
+        let cfg = parse_args(&args(&format!(
+            "-x 64 -q --workers 2 --trace-out {} 2402:3a80::/32-64",
+            file.display()
+        )))
+        .unwrap();
+        let err = run(cfg).unwrap_err();
+        assert!(err.contains("pass a directory"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

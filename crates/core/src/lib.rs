@@ -62,7 +62,7 @@ pub use checkpoint::{
 };
 pub use cyclic::Cycle;
 pub use feistel::FeistelPermutation;
-pub use parallel::ParallelScanner;
+pub use parallel::{merge_worker_snapshots, ParallelScanner, StealQueue};
 pub use probe::{IcmpEchoProbe, ProbeModule, ProbeResult, TcpSynProbe, UdpProbe};
 pub use rate::AdaptiveRateController;
 pub use scanner::{

@@ -46,6 +46,9 @@
 //!
 //! [`FaultPlan::none`]: xmap_netsim::FaultPlan::none
 
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use xmap_addr::ScanRange;
 use xmap_netsim::packet::Network;
 use xmap_telemetry::{Snapshot, Telemetry};
@@ -100,6 +103,27 @@ impl<N: Network + Send> ParallelScanner<N> {
     pub fn new(
         workers: usize,
         base: ScanConfig,
+        make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> Self {
+        Self::build(workers, base, |_| Telemetry::new(), make_network)
+    }
+
+    /// Like [`new`](Self::new), but every worker's telemetry bundle has
+    /// its event tracer enabled, so callers can export one NDJSON ring
+    /// per worker after the run (via
+    /// [`worker_telemetry`](Self::worker_telemetry)).
+    pub fn new_traced(
+        workers: usize,
+        base: ScanConfig,
+        make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> Self {
+        Self::build(workers, base, |_| Telemetry::with_tracing(), make_network)
+    }
+
+    fn build(
+        workers: usize,
+        base: ScanConfig,
+        mut make_telemetry: impl FnMut(usize) -> Telemetry,
         mut make_network: impl FnMut(usize, &Telemetry) -> N,
     ) -> Self {
         assert!(workers > 0, "need at least one worker");
@@ -111,7 +135,7 @@ impl<N: Network + Send> ParallelScanner<N> {
             .expect("shards * workers overflows");
         let workers = (0..workers)
             .map(|w| {
-                let telemetry = Telemetry::new();
+                let telemetry = make_telemetry(w);
                 let network = make_network(w, &telemetry);
                 let config = ScanConfig {
                     shard: base.shard + w as u64 * base.shards,
@@ -283,16 +307,110 @@ impl<N: Network + Send> ParallelScanner<N> {
     /// histograms sum; the derived `scan.hit_rate_ppm` gauge is recomputed
     /// from the merged totals (per-worker values are worker-local rates).
     pub fn snapshot(&self) -> Snapshot {
-        let mut merged = Snapshot::default();
-        for worker in &self.workers {
-            merged.merge(&worker.telemetry().registry.snapshot());
+        merge_worker_snapshots(
+            self.workers
+                .iter()
+                .map(|w| w.telemetry().registry.snapshot()),
+        )
+    }
+}
+
+/// Merges per-worker registry snapshots into one export: counters and
+/// histograms sum ([`Snapshot::merge`]); the derived `scan.hit_rate_ppm`
+/// gauge is recomputed from the merged totals, since per-worker values
+/// are worker-local rates. Shared by [`ParallelScanner::snapshot`] and
+/// the campaign-level executor in `xmap-periphery`.
+pub fn merge_worker_snapshots(snaps: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+    let mut merged = Snapshot::default();
+    for snap in snaps {
+        merged.merge(&snap);
+    }
+    let sent = merged.counter(names::SENT);
+    let valid = merged.counter(names::VALID);
+    if let Some(ppm) = valid.saturating_mul(1_000_000).checked_div(sent) {
+        merged.gauges.insert(names::HIT_RATE_PPM.to_owned(), ppm);
+    }
+    merged
+}
+
+/// A deque-based work-stealing scheduler over item indices.
+///
+/// Built for workloads whose items differ wildly in cost (campaign
+/// blocks: some scan 2³² spaces under tight ICMPv6 token buckets, others
+/// are small and fast) — static assignment would leave the fast workers
+/// idle behind the slowest block. Each worker owns a deque seeded
+/// round-robin; it pops its own queue from the *front* and, when empty,
+/// steals from a victim's *back*, so steals take the work its owner
+/// would reach last.
+///
+/// Scheduling order is nondeterministic under contention by design; the
+/// callers that need determinism tag every item's result with its index
+/// and merge in index order, which makes the schedule unobservable.
+///
+/// `std`-only: a `Mutex<VecDeque>` per worker. Item counts here are
+/// tiny (15 campaign blocks), so lock contention is irrelevant next to
+/// the seconds-long items themselves.
+#[derive(Debug)]
+pub struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    /// Distributes `items` indices (0-based) round-robin over `workers`
+    /// deques: worker `w` is seeded with `w, w + workers, w + 2·workers,
+    /// …`, mirroring the shard→worker mapping of [`ParallelScanner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(items: usize, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for item in 0..items {
+            deques[item % workers].push_back(item);
         }
-        let sent = merged.counter(names::SENT);
-        let valid = merged.counter(names::VALID);
-        if let Some(ppm) = valid.saturating_mul(1_000_000).checked_div(sent) {
-            merged.gauges.insert(names::HIT_RATE_PPM.to_owned(), ppm);
+        StealQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
         }
-        merged
+    }
+
+    /// Takes the next item for `worker`: its own front, else a steal
+    /// from the back of the first non-empty victim (scanning `worker +
+    /// 1, worker + 2, …` cyclically). `None` once every deque is empty.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        assert!(worker < self.deques.len(), "worker index out of range");
+        if let Some(item) = self.deques[worker]
+            .lock()
+            .expect("steal queue poisoned")
+            .pop_front()
+        {
+            return Some(item);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(item) = self.deques[victim]
+                .lock()
+                .expect("steal queue poisoned")
+                .pop_back()
+            {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Items not yet popped, across all deques.
+    pub fn remaining(&self) -> usize {
+        self.deques
+            .iter()
+            .map(|d| d.lock().expect("steal queue poisoned").len())
+            .sum()
     }
 }
 
@@ -405,5 +523,72 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = ParallelScanner::new(0, ScanConfig::default(), |_, _| World::new(5));
+    }
+
+    #[test]
+    fn traced_workers_record_events() {
+        let mut ps = ParallelScanner::new_traced(2, base_config(64), |_, telemetry| {
+            let mut world = World::new(5);
+            world.set_telemetry(telemetry);
+            world
+        });
+        let _ = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        for w in 0..2 {
+            assert!(ps.worker_telemetry(w).tracer.is_enabled());
+            assert!(!ps.worker_telemetry(w).tracer.to_ndjson().is_empty());
+        }
+    }
+
+    #[test]
+    fn steal_queue_drains_every_item_exactly_once() {
+        let q = StealQueue::new(15, 4);
+        assert_eq!(q.workers(), 4);
+        assert_eq!(q.remaining(), 15);
+        let mut seen = std::collections::BTreeSet::new();
+        // Worker 3 drains everything: its own deque, then steals.
+        while let Some(item) = q.pop(3) {
+            assert!(seen.insert(item), "item {item} scheduled twice");
+        }
+        assert_eq!(seen.len(), 15);
+        assert_eq!(q.remaining(), 0);
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn steal_queue_owner_pops_front_thief_steals_back() {
+        let q = StealQueue::new(8, 2);
+        // Worker 0 owns 0,2,4,6; worker 1 owns 1,3,5,7.
+        assert_eq!(q.pop(0), Some(0));
+        // Exhaust worker 1's own deque, front first.
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(1), Some(5));
+        assert_eq!(q.pop(1), Some(7));
+        // Now worker 1 steals from worker 0's *back*.
+        assert_eq!(q.pop(1), Some(6));
+        assert_eq!(q.pop(0), Some(2));
+    }
+
+    #[test]
+    fn steal_queue_under_concurrency_partitions_items() {
+        let q = StealQueue::new(100, 4);
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|w| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut taken = 0;
+                        while q.pop(w).is_some() {
+                            taken += 1;
+                        }
+                        taken
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100);
     }
 }

@@ -1,0 +1,292 @@
+//! `xmap-campaign` — command-line front end for the periphery-discovery
+//! campaign over the fifteen sample blocks (Table II), with block-level
+//! parallelism and block-granular checkpointing.
+//!
+//! ```text
+//! xmap-campaign [options]
+//!
+//!   --targets-per-block N   probes per sample block (default 65536)
+//!   --campaign-workers N    worker threads; blocks are distributed by
+//!                           work stealing and merged deterministically,
+//!                           so output is byte-identical for any N
+//!                           (default 1)
+//!   --mop-up TICKS          enable the second-chance pass over silent
+//!                           targets after TICKS of virtual time
+//!   -s, --seed N            scan seed (permutation, cookies, IID fill)
+//!       --world-seed N      seed of the simulated Internet
+//!   -o, --output FILE       write discovered peripheries as CSV
+//!                           (default: stdout)
+//!       --metrics-out FILE  write the merged telemetry snapshot as JSON
+//!       --checkpoint DIR    keep per-block checkpoints in DIR; a killed
+//!                           campaign resumes from completed blocks
+//!       --resume            continue the campaign checkpointed in DIR,
+//!                           under any --campaign-workers count
+//!       --kill-after-probes N abort once any worker's world has handled
+//!                           N probes (exit code 3; for testing)
+//!   -q, --quiet             suppress the summary on stderr
+//! ```
+//!
+//! An interrupted checkpointed campaign exits with code 3; rerunning the
+//! same command line with `--resume` — with the **same or a different**
+//! `--campaign-workers` — continues it, and the final CSV and metrics are
+//! byte-identical to an uninterrupted run.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use xmap::ScanConfig;
+use xmap_netsim::{KillPoint, World};
+use xmap_periphery::{Campaign, CampaignOutcome, ParallelCampaign};
+use xmap_state::{AbortSignal, StateError};
+
+#[derive(Debug, Clone, PartialEq)]
+struct CliConfig {
+    targets_per_block: u64,
+    campaign_workers: usize,
+    mop_up_ticks: Option<u64>,
+    seed: u64,
+    world_seed: u64,
+    output: Option<String>,
+    metrics_out: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
+    kill_after_probes: Option<u64>,
+    quiet: bool,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            targets_per_block: 1 << 16,
+            campaign_workers: 1,
+            mop_up_ticks: None,
+            seed: 1,
+            world_seed: 0xDA7A_5EED,
+            output: None,
+            metrics_out: None,
+            checkpoint: None,
+            resume: false,
+            kill_after_probes: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig::default();
+    let mut iter = args.iter().peekable();
+    let value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str|
+     -> Result<String, String> {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    let int = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+               flag: &str|
+     -> Result<u64, String> {
+        value(iter, flag)?
+            .parse()
+            .map_err(|_| format!("{flag} must be an integer"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--targets-per-block" => cfg.targets_per_block = int(&mut iter, arg)?,
+            "--campaign-workers" => {
+                cfg.campaign_workers = int(&mut iter, arg)? as usize;
+            }
+            "--mop-up" => cfg.mop_up_ticks = Some(int(&mut iter, arg)?),
+            "-s" | "--seed" => cfg.seed = int(&mut iter, arg)?,
+            "--world-seed" => cfg.world_seed = int(&mut iter, arg)?,
+            "-o" | "--output" => cfg.output = Some(value(&mut iter, arg)?),
+            "--metrics-out" => cfg.metrics_out = Some(value(&mut iter, arg)?),
+            "--checkpoint" => cfg.checkpoint = Some(value(&mut iter, arg)?),
+            "--resume" => cfg.resume = true,
+            "--kill-after-probes" => cfg.kill_after_probes = Some(int(&mut iter, arg)?),
+            "-q" | "--quiet" => cfg.quiet = true,
+            "-h" | "--help" => return Err("help".to_owned()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if cfg.targets_per_block == 0 {
+        return Err("--targets-per-block must be at least 1".to_owned());
+    }
+    if cfg.campaign_workers == 0 {
+        return Err("--campaign-workers must be at least 1".to_owned());
+    }
+    if cfg.resume && cfg.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <dir>".to_owned());
+    }
+    if cfg.kill_after_probes.is_some() && cfg.checkpoint.is_none() {
+        return Err("--kill-after-probes requires --checkpoint <dir>".to_owned());
+    }
+    Ok(cfg)
+}
+
+/// Runs one campaign invocation. `Ok(true)` means interrupted with its
+/// completed blocks checkpointed (exit code 3).
+fn run(cfg: CliConfig) -> Result<bool, String> {
+    let mut campaign = Campaign::new(cfg.targets_per_block);
+    if let Some(ticks) = cfg.mop_up_ticks {
+        campaign = campaign.with_mop_up(ticks);
+    }
+    let executor = ParallelCampaign::new(campaign, cfg.campaign_workers);
+    let base = ScanConfig {
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let world_seed = cfg.world_seed;
+    let kill = cfg.kill_after_probes;
+    let signal = AbortSignal::new();
+    let make_world = |_w: usize, telemetry: &xmap_telemetry::Telemetry| {
+        let mut world = World::new(world_seed);
+        world.set_telemetry(telemetry);
+        if let Some(n) = kill {
+            world.arm_kill(
+                KillPoint {
+                    after_probes: Some(n),
+                    ..Default::default()
+                },
+                signal.clone(),
+            );
+        }
+        world
+    };
+    let started = std::time::Instant::now();
+    let outcome: CampaignOutcome = match &cfg.checkpoint {
+        Some(dir) => executor
+            .run_checkpointed(
+                &base,
+                std::path::Path::new(dir),
+                cfg.resume,
+                Some(&signal),
+                make_world,
+            )
+            .map_err(|e| match e {
+                StateError::Mismatch(why) => format!(
+                    "cannot resume: this invocation's configuration does not \
+                     match the checkpointed campaign ({why})"
+                ),
+                other => format!("checkpoint: {other}"),
+            })?,
+        None => executor.run(&base, make_world),
+    };
+
+    let csv = outcome.result.to_csv();
+    match &cfg.output {
+        Some(path) => std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?,
+        None => print!("{csv}"),
+    }
+    if let Some(path) = &cfg.metrics_out {
+        let json = outcome.snapshot.to_json();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if !cfg.quiet {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "# campaign: {} blocks | {} unique last hops | {} workers | {:.2?}{}",
+            outcome.result.blocks.len(),
+            outcome.result.total_unique(),
+            cfg.campaign_workers,
+            started.elapsed(),
+            if outcome.interrupted {
+                " | INTERRUPTED"
+            } else {
+                ""
+            }
+        );
+        if outcome.interrupted {
+            let _ = writeln!(
+                err,
+                "# completed blocks checkpointed — rerun with --resume to continue \
+                 (any --campaign-workers count)"
+            );
+        }
+    }
+    Ok(outcome.interrupted)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cfg) => match run(cfg) {
+            Ok(false) => ExitCode::SUCCESS,
+            // Interrupted-but-checkpointed mirrors xmap's exit code 3 so
+            // scripts can distinguish "resume me" from hard failures.
+            Ok(true) => ExitCode::from(3),
+            Err(e) => {
+                eprintln!("xmap-campaign: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) if e == "help" => {
+            eprintln!("usage: xmap-campaign [options] (see the module docs)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xmap-campaign: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_flags() {
+        let cfg = parse_args(&args("")).unwrap();
+        assert_eq!(cfg.targets_per_block, 1 << 16);
+        assert_eq!(cfg.campaign_workers, 1);
+        assert!(cfg.mop_up_ticks.is_none());
+
+        let cfg = parse_args(&args(
+            "--targets-per-block 4096 --campaign-workers 4 --mop-up 2048 \
+             -s 7 --world-seed 9 -o /tmp/c.csv --metrics-out /tmp/m.json \
+             --checkpoint /tmp/ck --resume -q",
+        ))
+        .unwrap();
+        assert_eq!(cfg.targets_per_block, 4096);
+        assert_eq!(cfg.campaign_workers, 4);
+        assert_eq!(cfg.mop_up_ticks, Some(2048));
+        assert_eq!((cfg.seed, cfg.world_seed), (7, 9));
+        assert_eq!(cfg.output.as_deref(), Some("/tmp/c.csv"));
+        assert_eq!(cfg.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert_eq!(cfg.checkpoint.as_deref(), Some("/tmp/ck"));
+        assert!(cfg.resume && cfg.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("--campaign-workers 0")).is_err());
+        assert!(parse_args(&args("--targets-per-block 0")).is_err());
+        assert!(parse_args(&args("--resume")).is_err(), "resume needs dir");
+        assert!(
+            parse_args(&args("--kill-after-probes 10")).is_err(),
+            "kill point without a checkpoint dir would lose the partial work"
+        );
+        assert!(parse_args(&args("--frobnicate")).is_err());
+        assert!(parse_args(&args("--seed")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn end_to_end_campaign_produces_csv() {
+        let out = std::env::temp_dir().join(format!("xmap-campaign-csv-{}", std::process::id()));
+        let cfg = parse_args(&args(&format!(
+            "--targets-per-block 512 --campaign-workers 2 -q -o {}",
+            out.display()
+        )))
+        .unwrap();
+        assert!(!run(cfg).unwrap());
+        let csv = std::fs::read_to_string(&out).unwrap();
+        assert!(csv.starts_with("profile_id,address,target"), "{csv}");
+        assert!(csv.lines().count() > 1, "no peripheries discovered");
+        let _ = std::fs::remove_file(&out);
+    }
+}

@@ -8,11 +8,10 @@
 //! extracts MAC addresses from EUI-64 IIDs — exactly the columns of
 //! Table II.
 
-use std::collections::HashSet;
 use std::path::Path;
 
-use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanStats, Scanner};
-use xmap_addr::{classify_iid, IidClass, IidHistogram, Ip6, Mac, Prefix};
+use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanConfig, ScanStats, Scanner};
+use xmap_addr::{classify_iid, FxHashSet, IidClass, IidHistogram, Ip6, Mac, Prefix};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
 use xmap_netsim::packet::Network;
 use xmap_state::checkpoint::{
@@ -92,7 +91,7 @@ impl BlockResult {
         self.peripheries
             .iter()
             .map(|p| p.address.network(64))
-            .collect::<HashSet<_>>()
+            .collect::<FxHashSet<_>>()
             .len()
     }
 
@@ -109,7 +108,7 @@ impl BlockResult {
         self.peripheries
             .iter()
             .filter_map(|p| p.mac)
-            .collect::<HashSet<_>>()
+            .collect::<FxHashSet<_>>()
             .len()
     }
 
@@ -178,7 +177,38 @@ impl CampaignResult {
     pub fn peripheries(&self) -> impl Iterator<Item = &DiscoveredPeriphery> {
         self.blocks.iter().flat_map(|b| b.peripheries.iter())
     }
+
+    /// Renders every discovered periphery as CSV, blocks in Table II
+    /// order, peripheries in discovery order. Formatting is fixed, so
+    /// equal results render byte-identically — the equality channel the
+    /// parallel-executor tests and the CI kill-and-resume smoke compare.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * self.total_unique() + CSV_HEADER.len() + 1);
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for b in &self.blocks {
+            for p in &b.peripheries {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{}",
+                    b.profile_id,
+                    p.address,
+                    p.target,
+                    p.probe_dst,
+                    p.same64,
+                    p.iid_class,
+                    p.mac.map(|m| m.to_string()).unwrap_or_default(),
+                    p.via_time_exceeded,
+                );
+            }
+        }
+        out
+    }
 }
+
+/// Header line of [`CampaignResult::to_csv`].
+pub const CSV_HEADER: &str = "profile_id,address,target,probe_dst,same64,iid_class,mac,via_te";
 
 /// Discovery-campaign driver.
 ///
@@ -319,7 +349,14 @@ impl Campaign {
     /// Identity of this campaign + scanner pairing; resume refuses a
     /// checkpoint taken under any other.
     fn fingerprint<N: Network>(&self, scanner: &Scanner<N>) -> u64 {
-        let cfg = scanner.config();
+        self.fingerprint_cfg(scanner.config())
+    }
+
+    /// [`fingerprint`](Self::fingerprint) from a bare [`ScanConfig`] —
+    /// the parallel executor fingerprints before any worker scanner
+    /// exists. Deliberately excludes the worker count: a checkpoint
+    /// resumes under any N.
+    pub(crate) fn fingerprint_cfg(&self, cfg: &ScanConfig) -> u64 {
         let mut fp = Fingerprint::new();
         fp.push_str("campaign")
             .push_u64(self.targets_per_block)
@@ -353,7 +390,9 @@ impl Campaign {
         scanner.set_max_targets(saved_max);
         scanner.set_record_silent(saved_silent);
 
-        let mut seen = HashSet::new();
+        // Fx-hashed set: responder dedup is the hot loop of a dense block
+        // and the keys are simulation-derived, not attacker-controlled.
+        let mut seen = FxHashSet::default();
         let mut peripheries = Vec::new();
         let mut alias_candidates = Vec::new();
         let mut push_periphery =
@@ -587,7 +626,7 @@ fn decode_prefix(d: &mut Decoder) -> Result<Prefix, StateError> {
     Ok(Prefix::new(addr.into(), len))
 }
 
-fn encode_block(e: &mut Encoder, b: &BlockResult) {
+pub(crate) fn encode_block(e: &mut Encoder, b: &BlockResult) {
     e.u8(b.profile_id);
     e.seq(b.peripheries.len());
     for p in &b.peripheries {
@@ -631,7 +670,7 @@ fn encode_block(e: &mut Encoder, b: &BlockResult) {
     e.u64(b.mop_up_recovered as u64);
 }
 
-fn decode_block(d: &mut Decoder) -> Result<BlockResult, StateError> {
+pub(crate) fn decode_block(d: &mut Decoder) -> Result<BlockResult, StateError> {
     let profile_id = d.u8()?;
     let n = d.seq()?;
     let mut peripheries = Vec::with_capacity(n);
@@ -724,7 +763,7 @@ mod tests {
         let block = campaign.run_block(&mut s, profile);
         assert!(block.unique() > 50, "found {}", block.unique());
         // Dedup: all addresses unique.
-        let set: HashSet<_> = block.peripheries.iter().map(|p| p.address).collect();
+        let set: FxHashSet<_> = block.peripheries.iter().map(|p| p.address).collect();
         assert_eq!(set.len(), block.unique());
         // Airtel is ~99% same-/64.
         assert!(block.same_frac() > 0.9, "same {}", block.same_frac());

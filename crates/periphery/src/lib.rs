@@ -19,6 +19,7 @@ pub mod alias;
 pub mod baseline;
 pub mod boundary;
 pub mod campaign;
+pub mod parallel;
 pub mod topomap;
 pub mod vendor;
 
@@ -26,5 +27,6 @@ pub use alias::{check_aliased, is_aliased, AliasVerdict};
 pub use baseline::{hitlist_scan, traceroute_discovery, BaselineComparison};
 pub use boundary::{infer_boundary, BoundaryInference};
 pub use campaign::{BlockResult, Campaign, CampaignResult, DiscoveredPeriphery};
+pub use parallel::{BlockMode, CampaignOutcome, ParallelCampaign};
 pub use topomap::{Role, TopologyMap};
 pub use vendor::{identify, VendorCounts};

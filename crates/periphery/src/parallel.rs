@@ -1,0 +1,629 @@
+//! The parallel campaign executor: block-level work stealing with a
+//! deterministic merge.
+//!
+//! [`Campaign::run`] walks the fifteen sample blocks sequentially on one
+//! [`Scanner`]; this module runs each block on one of N workers — each
+//! with a private network replica, validator, retry queue, AIMD
+//! controller and telemetry [`Registry`] — and merges the
+//! [`BlockResult`]s back in Table II (profile) order, so a seeded
+//! N-worker campaign is **byte-identical** to the sequential one:
+//! records, [`ScanStats`] sums and the merged telemetry [`Snapshot`]
+//! included.
+//!
+//! # Scheduling
+//!
+//! Blocks differ wildly in cost — scan-space sizes span 2²⁸..2³², and
+//! ICMPv6 token-bucket tightness decides how much mop-up work a block
+//! carries — so static assignment would leave fast workers idle behind
+//! the slowest block. The executor instead drains a deque-based
+//! [`StealQueue`]: each worker owns a round-robin-seeded deque, pops its
+//! own front, and steals from a victim's back once empty. The schedule
+//! is nondeterministic under contention, but every result is tagged with
+//! its block index and merged in index order, which makes the schedule
+//! unobservable in the output.
+//!
+//! # Determinism envelope
+//!
+//! Byte-identity across worker counts (and against [`Campaign::run`])
+//! holds because per-block results do not depend on the virtual clock at
+//! which the block starts:
+//!
+//! * netsim responses are pure functions of `(probe, world seed)`; the
+//!   baseline loss draw keys on addresses, not ticks,
+//! * ICMPv6 token-bucket limiters initialize lazily on each device's
+//!   first probe, so refill timing is *relative* to the block's own
+//!   probes, and blocks probe disjoint devices,
+//! * the mop-up pass (retransmission ordering included) runs entirely
+//!   inside the block's owning worker.
+//!
+//! Time-keyed fault plans (jitter, flaky windows) fall outside the
+//! envelope, exactly as for [`ParallelScanner`]. Private replicas also
+//! assume campaign probes are the only traffic to the sample blocks
+//! during the campaign (true for the default fault-free worlds; a
+//! limiter depleted by *earlier* probes on a shared scanner is state a
+//! replica cannot see).
+//!
+//! # Checkpoint layout
+//!
+//! [`ParallelCampaign::run_checkpointed`] keeps one directory of
+//! `xmap-checkpoint/v1` sectioned files:
+//!
+//! ```text
+//! dir/
+//!   campaign.ckpt        kind `campaign-dir`: campaign fingerprint
+//!   block-NN.ckpt        kind `campaign-block`: one completed block +
+//!                        its telemetry delta (written by the owning
+//!                        worker after the block, mop-up included)
+//!   block-NN.inprogress  marker while a worker is inside block NN;
+//!                        removed on completion, left behind by a kill
+//! ```
+//!
+//! On resume every block is classified [`Skip`](BlockMode::Skip)
+//! (checkpoint file present: load, don't re-scan),
+//! [`Resume`](BlockMode::Resume) (marker present: the kill hit
+//! mid-block; the partial work is discarded and the block re-runs from
+//! its start inside whichever worker pops it) or
+//! [`Fresh`](BlockMode::Fresh) (never started). Because completed blocks
+//! are self-contained deltas and the campaign fingerprint excludes the
+//! worker count, a campaign killed under one N resumes byte-identically
+//! under any other.
+//!
+//! [`Registry`]: xmap_telemetry::Registry
+//! [`ScanStats`]: xmap::ScanStats
+//! [`ParallelScanner`]: xmap::ParallelScanner
+
+use std::path::{Path, PathBuf};
+
+use xmap::{merge_worker_snapshots, ScanConfig, Scanner, StealQueue};
+use xmap_netsim::isp::SAMPLE_BLOCKS;
+use xmap_netsim::packet::Network;
+use xmap_state::checkpoint::{
+    decode_snapshot, encode_snapshot, parse_fp, read_sectioned, write_sectioned,
+};
+use xmap_state::codec::{Decoder, Encoder};
+use xmap_state::{AbortSignal, StateError, CHECKPOINT_SCHEMA};
+use xmap_telemetry::{Snapshot, Telemetry};
+
+use crate::campaign::{decode_block, encode_block, BlockResult, Campaign, CampaignResult};
+
+/// What the resume planner decided for one sample block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockMode {
+    /// A completed checkpoint exists: load it, don't re-scan.
+    Skip,
+    /// A kill hit mid-block (in-progress marker without a checkpoint):
+    /// the partial work was discarded; re-run the block from its start.
+    Resume,
+    /// The block was never started.
+    Fresh,
+}
+
+/// Outcome of one parallel campaign invocation.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Completed blocks in Table II order (gaps possible when
+    /// interrupted).
+    pub result: CampaignResult,
+    /// Merged telemetry across skipped-block deltas and live workers,
+    /// with `scan.hit_rate_ppm` recomputed from the merged totals.
+    pub snapshot: Snapshot,
+    /// Whether an armed abort signal stopped the campaign early (the
+    /// checkpoint directory then holds everything completed so far).
+    pub interrupted: bool,
+}
+
+/// Work-stealing multi-worker driver around a [`Campaign`].
+///
+/// # Examples
+///
+/// ```
+/// use xmap::ScanConfig;
+/// use xmap_netsim::World;
+/// use xmap_periphery::{Campaign, ParallelCampaign};
+///
+/// let executor = ParallelCampaign::new(Campaign::new(1 << 12), 2);
+/// let outcome = executor.run(&ScanConfig::default(), |_, telemetry| {
+///     let mut world = World::new(7);
+///     world.set_telemetry(telemetry);
+///     world
+/// });
+/// assert_eq!(outcome.result.blocks.len(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelCampaign {
+    campaign: Campaign,
+    workers: usize,
+}
+
+impl ParallelCampaign {
+    /// An executor running `campaign` on `workers` threads. One worker
+    /// reproduces [`Campaign::run`] exactly (the queue degenerates to
+    /// FIFO block order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(campaign: Campaign, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ParallelCampaign { campaign, workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The wrapped campaign.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Runs the campaign across all workers and merges deterministically.
+    ///
+    /// `make_network(w, telemetry)` builds worker `w`'s network replica;
+    /// every worker must be built over the same world seed (disjoint
+    /// blocks make replicas interchangeable with one shared world —
+    /// see the module docs for the envelope). Each worker scans whole
+    /// blocks under `base` unchanged; `base.max_targets` is ignored
+    /// (the campaign caps per block).
+    pub fn run<N: Network + Send>(
+        &self,
+        base: &ScanConfig,
+        make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> CampaignOutcome {
+        self.execute(base, None, None, make_network)
+            .expect("no checkpoint dir, no I/O to fail")
+    }
+
+    /// Runs the campaign with block-granular checkpointing in `dir`
+    /// (created if missing; see the module docs for the layout). An
+    /// armed `abort` signal stops every worker at its next block
+    /// boundary; the partial block is discarded (its in-progress marker
+    /// stays behind) and the outcome reports `interrupted`. A later
+    /// `resume: true` invocation — under **any** worker count — loads
+    /// completed blocks, re-runs the rest, and produces a result and
+    /// merged snapshot byte-identical to an uninterrupted campaign.
+    ///
+    /// Resuming under a different campaign or scanner configuration is
+    /// a hard [`StateError::Mismatch`]; `resume: false` wipes any
+    /// previous campaign state in `dir`.
+    pub fn run_checkpointed<N: Network + Send>(
+        &self,
+        base: &ScanConfig,
+        dir: &Path,
+        resume: bool,
+        abort: Option<&AbortSignal>,
+        make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> Result<CampaignOutcome, StateError> {
+        let fp = self.campaign.fingerprint_cfg(base);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StateError::io(format!("create campaign dir {}", dir.display()), e))?;
+        let loaded = if resume {
+            let plan = load_dir(dir, fp)?;
+            let mut loaded: Vec<Option<LoadedBlock>> =
+                (0..SAMPLE_BLOCKS.len()).map(|_| None).collect();
+            for (idx, mode) in plan.iter().enumerate() {
+                if *mode == BlockMode::Skip {
+                    loaded[idx] = Some(load_block_ckpt(dir, idx, fp)?);
+                }
+            }
+            loaded
+        } else {
+            // Fresh start: wipe stale blocks so a same-fingerprint rerun
+            // can never silently skip them.
+            for idx in 0..SAMPLE_BLOCKS.len() {
+                let _ = std::fs::remove_file(block_path(dir, idx));
+                let _ = std::fs::remove_file(marker_path(dir, idx));
+            }
+            write_dir_manifest(dir, fp)?;
+            (0..SAMPLE_BLOCKS.len()).map(|_| None).collect()
+        };
+        self.execute(base, Some((dir, fp, loaded)), abort, make_network)
+    }
+
+    /// Classifies every block for a resume of the campaign checkpointed
+    /// in `dir` without running anything — the `Skip`/`Resume`/`Fresh`
+    /// plan [`run_checkpointed`](Self::run_checkpointed) would execute.
+    pub fn resume_plan(&self, base: &ScanConfig, dir: &Path) -> Result<Vec<BlockMode>, StateError> {
+        load_dir(dir, self.campaign.fingerprint_cfg(base))
+    }
+
+    /// Shared driver behind [`run`](Self::run) and
+    /// [`run_checkpointed`](Self::run_checkpointed). `ckpt` carries
+    /// `(dir, fingerprint, per-block loaded checkpoints)` when
+    /// checkpointing is on.
+    fn execute<N: Network + Send>(
+        &self,
+        base: &ScanConfig,
+        ckpt: Option<(&Path, u64, Vec<Option<LoadedBlock>>)>,
+        abort: Option<&AbortSignal>,
+        mut make_network: impl FnMut(usize, &Telemetry) -> N,
+    ) -> Result<CampaignOutcome, StateError> {
+        let (dir, fp, loaded) = match ckpt {
+            Some((dir, fp, loaded)) => (Some(dir), fp, loaded),
+            None => (None, 0, (0..SAMPLE_BLOCKS.len()).map(|_| None).collect()),
+        };
+        // Only non-loaded blocks enter the queue, seeded round-robin in
+        // block order so one worker reproduces the sequential walk.
+        let pending: Vec<usize> = (0..SAMPLE_BLOCKS.len())
+            .filter(|i| loaded[*i].is_none())
+            .collect();
+        let queue = StealQueue::new(pending.len(), self.workers);
+        let mut scanners: Vec<Scanner<N>> = (0..self.workers)
+            .map(|w| {
+                let telemetry = Telemetry::new();
+                let network = make_network(w, &telemetry);
+                let mut scanner = Scanner::with_telemetry(network, base.clone(), telemetry);
+                if let Some(signal) = abort {
+                    scanner.set_abort(signal.clone());
+                }
+                scanner
+            })
+            .collect();
+
+        let outs: Vec<Result<Vec<(usize, BlockResult)>, StateError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scanners
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, scanner)| {
+                        let queue = &queue;
+                        let pending = &pending;
+                        let campaign = &self.campaign;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            while !scanner.is_aborted() {
+                                let Some(slot) = queue.pop(w) else { break };
+                                let idx = pending[slot];
+                                if let Some(dir) = dir {
+                                    write_marker(dir, idx)?;
+                                }
+                                let baseline = scanner.telemetry().registry.snapshot();
+                                let block = campaign.run_block(scanner, &SAMPLE_BLOCKS[idx]);
+                                if scanner.is_aborted() {
+                                    // Partial block: discard it; the
+                                    // marker stays for the resume plan.
+                                    break;
+                                }
+                                if let Some(dir) = dir {
+                                    let delta =
+                                        scanner.telemetry().registry.snapshot().diff(&baseline);
+                                    write_block_ckpt(dir, fp, idx, &block, &delta)?;
+                                    let _ = std::fs::remove_file(marker_path(dir, idx));
+                                }
+                                done.push((idx, block));
+                            }
+                            Ok(done)
+                        })
+                    })
+                    .collect();
+                // Joining in worker order keeps error reporting (and the
+                // merge below) deterministic.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            });
+
+        let interrupted = abort.is_some_and(AbortSignal::is_set);
+        // Merge: loaded blocks and live blocks, in block-index order —
+        // which is Table II (profile) order, the sequential walk's order.
+        let mut tagged: Vec<(usize, BlockResult)> = Vec::with_capacity(SAMPLE_BLOCKS.len());
+        let mut skipped_deltas = Vec::new();
+        for (idx, loaded_block) in loaded.into_iter().enumerate() {
+            if let Some(l) = loaded_block {
+                tagged.push((idx, l.block));
+                skipped_deltas.push(l.metrics);
+            }
+        }
+        for out in outs {
+            tagged.extend(out?);
+        }
+        tagged.sort_by_key(|(idx, _)| *idx);
+        let result = CampaignResult {
+            blocks: tagged.into_iter().map(|(_, b)| b).collect(),
+        };
+        let snapshot = merge_worker_snapshots(
+            skipped_deltas
+                .into_iter()
+                .chain(scanners.iter().map(|s| s.telemetry().registry.snapshot())),
+        );
+        Ok(CampaignOutcome {
+            result,
+            snapshot,
+            interrupted,
+        })
+    }
+}
+
+/// One block loaded back from its checkpoint file.
+struct LoadedBlock {
+    block: BlockResult,
+    /// The block's exact telemetry delta (counters and histograms the
+    /// block contributed), captured by the worker that ran it.
+    metrics: Snapshot,
+}
+
+fn block_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("block-{idx:02}.ckpt"))
+}
+
+fn marker_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("block-{idx:02}.inprogress"))
+}
+
+fn dir_manifest_path(dir: &Path) -> PathBuf {
+    dir.join("campaign.ckpt")
+}
+
+fn write_marker(dir: &Path, idx: usize) -> Result<(), StateError> {
+    let path = marker_path(dir, idx);
+    std::fs::write(&path, b"")
+        .map_err(|e| StateError::io(format!("write marker {}", path.display()), e))
+}
+
+fn write_dir_manifest(dir: &Path, fp: u64) -> Result<(), StateError> {
+    let header = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign-dir\",\
+         \"blocks\":{},\"campaign_fp\":\"{fp:#018x}\",\"sections\":[]}}",
+        SAMPLE_BLOCKS.len()
+    );
+    write_sectioned(&dir_manifest_path(dir), &header, &[])
+}
+
+/// Validates the directory manifest and classifies every block. An
+/// absent manifest (killed before anything was written, or a fresh dir)
+/// yields an all-[`Fresh`](BlockMode::Fresh) plan, mirroring the
+/// sequential campaign's "kill before the first checkpoint resumes as a
+/// fresh start".
+fn load_dir(dir: &Path, expected_fp: u64) -> Result<Vec<BlockMode>, StateError> {
+    let manifest = dir_manifest_path(dir);
+    if !manifest.exists() {
+        return Ok(vec![BlockMode::Fresh; SAMPLE_BLOCKS.len()]);
+    }
+    let what = "campaign directory manifest";
+    let (header, _) = read_sectioned(&manifest, what)?;
+    let kind = header.req_str("kind", what)?;
+    if kind != "campaign-dir" {
+        return Err(StateError::Corrupt(format!(
+            "{what}: expected kind `campaign-dir`, found `{kind}`"
+        )));
+    }
+    let fp = parse_fp(&header.req_str("campaign_fp", what)?, what)?;
+    if fp != expected_fp {
+        return Err(StateError::Mismatch(format!(
+            "campaign checkpoint directory was written under configuration \
+             {fp:#018x}, this campaign fingerprints as {expected_fp:#018x}"
+        )));
+    }
+    Ok((0..SAMPLE_BLOCKS.len())
+        .map(|idx| {
+            if block_path(dir, idx).exists() {
+                BlockMode::Skip
+            } else if marker_path(dir, idx).exists() {
+                BlockMode::Resume
+            } else {
+                BlockMode::Fresh
+            }
+        })
+        .collect())
+}
+
+fn write_block_ckpt(
+    dir: &Path,
+    fp: u64,
+    idx: usize,
+    block: &BlockResult,
+    metrics: &Snapshot,
+) -> Result<(), StateError> {
+    let header = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign-block\",\
+         \"block\":{idx},\"profile\":{},\"campaign_fp\":\"{fp:#018x}\",\
+         \"sections\":[\"metrics\",\"block\"]}}",
+        block.profile_id
+    );
+    let mut e = Encoder::new();
+    encode_block(&mut e, block);
+    write_sectioned(
+        &block_path(dir, idx),
+        &header,
+        &[("metrics", encode_snapshot(metrics)), ("block", e.finish())],
+    )
+}
+
+fn load_block_ckpt(dir: &Path, idx: usize, expected_fp: u64) -> Result<LoadedBlock, StateError> {
+    let what = "campaign block checkpoint";
+    let path = block_path(dir, idx);
+    let (header, mut sections) = read_sectioned(&path, what)?;
+    let kind = header.req_str("kind", what)?;
+    if kind != "campaign-block" {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: expected kind `campaign-block`, found `{kind}`",
+            path.display()
+        )));
+    }
+    let fp = parse_fp(&header.req_str("campaign_fp", what)?, what)?;
+    if fp != expected_fp {
+        return Err(StateError::Mismatch(format!(
+            "block checkpoint {} was taken under configuration {fp:#018x}, \
+             this campaign fingerprints as {expected_fp:#018x}",
+            path.display()
+        )));
+    }
+    let declared = header.req_u64("block", what)? as usize;
+    if declared != idx {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: declares block {declared}, expected {idx}",
+            path.display()
+        )));
+    }
+    let metrics_raw = sections.remove("metrics").ok_or_else(|| {
+        StateError::Corrupt(format!(
+            "{what} {}: missing `metrics` section",
+            path.display()
+        ))
+    })?;
+    let block_raw = sections.remove("block").ok_or_else(|| {
+        StateError::Corrupt(format!(
+            "{what} {}: missing `block` section",
+            path.display()
+        ))
+    })?;
+    let mut d = Decoder::new(&block_raw, "campaign block");
+    let block = decode_block(&mut d)?;
+    d.expect_end()?;
+    if block.profile_id as u64 != header.req_u64("profile", what)? {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: profile id does not match its header",
+            path.display()
+        )));
+    }
+    Ok(LoadedBlock {
+        block,
+        metrics: decode_snapshot(&metrics_raw)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_netsim::world::{World, WorldConfig};
+    use xmap_netsim::KillPoint;
+
+    fn base(max: u64) -> ScanConfig {
+        ScanConfig {
+            max_targets: Some(max),
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    fn make_world(_w: usize, telemetry: &Telemetry) -> World {
+        let mut world = World::with_config(WorldConfig::lossless(99, 50));
+        world.set_telemetry(telemetry);
+        world
+    }
+
+    fn sequential(tpb: u64) -> (CampaignResult, Snapshot) {
+        let telemetry = Telemetry::new();
+        let mut world = World::with_config(WorldConfig::lossless(99, 50));
+        world.set_telemetry(&telemetry);
+        let mut scanner = Scanner::with_telemetry(world, base(tpb), telemetry.clone());
+        let result = Campaign::new(tpb).run(&mut scanner);
+        (result, telemetry.registry.snapshot())
+    }
+
+    #[test]
+    fn worker_counts_are_byte_identical() {
+        let tpb = 1 << 12;
+        let (seq, seq_snap) = sequential(tpb);
+        for workers in [1usize, 2, 4] {
+            let outcome =
+                ParallelCampaign::new(Campaign::new(tpb), workers).run(&base(tpb), make_world);
+            assert!(!outcome.interrupted);
+            assert_eq!(outcome.result, seq, "{workers} workers diverged");
+            assert_eq!(
+                outcome.result.to_csv(),
+                seq.to_csv(),
+                "{workers}-worker CSV diverged"
+            );
+            assert_eq!(
+                outcome.snapshot, seq_snap,
+                "{workers}-worker snapshot diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_writes_all_blocks() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-full-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 10;
+        let exec = ParallelCampaign::new(Campaign::new(tpb), 2);
+        let outcome = exec
+            .run_checkpointed(&base(tpb), &dir, false, None, make_world)
+            .unwrap();
+        assert!(!outcome.interrupted);
+        assert_eq!(outcome.result.blocks.len(), SAMPLE_BLOCKS.len());
+        let plan = exec.resume_plan(&base(tpb), &dir).unwrap();
+        assert!(plan.iter().all(|m| *m == BlockMode::Skip), "{plan:?}");
+        // A resume with everything checkpointed scans nothing and still
+        // reproduces the result and snapshot exactly.
+        let resumed = exec
+            .run_checkpointed(&base(tpb), &dir, true, None, make_world)
+            .unwrap();
+        assert_eq!(resumed.result, outcome.result);
+        assert_eq!(resumed.snapshot, outcome.snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_and_resume_with_different_worker_count() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-kill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 12;
+        let (seq, seq_snap) = sequential(tpb);
+
+        let signal = AbortSignal::new();
+        let exec2 = ParallelCampaign::new(Campaign::new(tpb), 2);
+        let partial = exec2
+            .run_checkpointed(&base(tpb), &dir, false, Some(&signal), |w, telemetry| {
+                let mut world = World::with_config(WorldConfig::lossless(99, 50));
+                world.set_telemetry(telemetry);
+                if w == 0 {
+                    // Deterministic interrupt: worker 0's world kills the
+                    // whole campaign after 6k of its own probes.
+                    world.arm_kill(
+                        KillPoint {
+                            after_probes: Some(6_000),
+                            ..Default::default()
+                        },
+                        signal.clone(),
+                    );
+                }
+                world
+            })
+            .unwrap();
+        assert!(partial.interrupted, "kill point must interrupt");
+        assert!(partial.result.blocks.len() < SAMPLE_BLOCKS.len());
+
+        let plan = exec2.resume_plan(&base(tpb), &dir).unwrap();
+        assert!(plan.contains(&BlockMode::Skip), "{plan:?}");
+        assert!(
+            plan.iter().any(|m| *m != BlockMode::Skip),
+            "something must be left to do: {plan:?}"
+        );
+
+        // Resume under a different worker count.
+        let exec3 = ParallelCampaign::new(Campaign::new(tpb), 3);
+        let full = exec3
+            .run_checkpointed(&base(tpb), &dir, true, None, make_world)
+            .unwrap();
+        assert!(!full.interrupted);
+        assert_eq!(full.result, seq, "resumed campaign must match sequential");
+        assert_eq!(full.snapshot, seq_snap, "resumed snapshot must match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_different_campaign_is_refused() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 9;
+        ParallelCampaign::new(Campaign::new(tpb), 2)
+            .run_checkpointed(&base(tpb), &dir, false, None, make_world)
+            .unwrap();
+        let other = ParallelCampaign::new(Campaign::new(tpb * 2), 2);
+        let err = other
+            .run_checkpointed(&base(tpb * 2), &dir, true, None, make_world)
+            .unwrap_err();
+        assert!(matches!(err, StateError::Mismatch(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ParallelCampaign::new(Campaign::new(1), 0);
+    }
+}

@@ -305,6 +305,50 @@ impl Registry {
         }
     }
 
+    /// Folds `snap` *additively* into the live registry: counters add,
+    /// histogram buckets/counts add (creating metrics that do not exist
+    /// yet), gauges are left untouched — a gauge is a derived point
+    /// value, so callers recompute it from the absorbed totals.
+    ///
+    /// This is how a registry that drove part of a run absorbs the
+    /// merged delta of work executed on other registries (e.g. a
+    /// parallel campaign's per-worker registries), so the combined
+    /// export matches the same work executed locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing histogram's bounds differ from the
+    /// snapshot's (same contract as [`Snapshot::merge`]).
+    pub fn absorb(&self, snap: &Snapshot) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        for (name, value) in &snap.counters {
+            inner
+                .counters
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .fetch_add(*value, Ordering::Relaxed);
+        }
+        for (name, h) in &snap.histograms {
+            let cell = inner.histograms.entry(name.clone()).or_insert_with(|| {
+                Arc::new(HistogramCell {
+                    bounds: h.bounds.clone(),
+                    buckets: (0..=h.bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                })
+            });
+            assert_eq!(
+                cell.bounds, h.bounds,
+                "histogram `{name}`: absorb with mismatched bucket bounds"
+            );
+            for (bucket, count) in cell.buckets.iter().zip(&h.counts) {
+                bucket.fetch_add(*count, Ordering::Relaxed);
+            }
+            cell.count.fetch_add(h.count, Ordering::Relaxed);
+            cell.sum.fetch_add(h.sum, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("registry poisoned");
@@ -414,6 +458,45 @@ impl Snapshot {
                 }
             }
         }
+    }
+
+    /// The delta from `baseline` to `self`: counters and histogram
+    /// buckets/counts subtract (saturating; the histogram `sum` wraps,
+    /// the exact inverse of [`Snapshot::merge`]'s wrapping add), gauges
+    /// keep `self`'s absolute value (a gauge has no meaningful delta).
+    /// Metric names present only in `baseline` are dropped — a metric
+    /// that stopped existing contributed nothing in between.
+    ///
+    /// `base.merge(&current.diff(&base))` reproduces `current`'s
+    /// counters and histograms exactly, which is what lets a campaign
+    /// checkpoint store per-block deltas and rebuild the merged export
+    /// under any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same histogram name carries different bucket bounds
+    /// on the two sides.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (name, v) in &baseline.counters {
+            if let Some(slot) = out.counters.get_mut(name) {
+                *slot = slot.saturating_sub(*v);
+            }
+        }
+        for (name, h) in &baseline.histograms {
+            if let Some(mine) = out.histograms.get_mut(name) {
+                assert_eq!(
+                    mine.bounds, h.bounds,
+                    "histogram {name:?} diffed with mismatched bounds"
+                );
+                for (slot, sub) in mine.counts.iter_mut().zip(&h.counts) {
+                    *slot = slot.saturating_sub(*sub);
+                }
+                mine.count = mine.count.saturating_sub(h.count);
+                mine.sum = mine.sum.wrapping_sub(h.sum);
+            }
+        }
+        out
     }
 
     /// Renders the snapshot as pretty-printed JSON. Key order and number
@@ -698,5 +781,58 @@ mod tests {
         let b = Registry::new();
         b.histogram("h", &[1, 3]);
         b.restore(&a.snapshot());
+    }
+
+    #[test]
+    fn diff_then_merge_roundtrips() {
+        let reg = Registry::new();
+        reg.counter("c").add(10);
+        let h = reg.histogram("h", &[1, 4]);
+        h.record(0);
+        h.record(2);
+        reg.gauge("g").set(3);
+        let base = reg.snapshot();
+        reg.counter("c").add(5);
+        reg.counter("new").add(2);
+        h.record(100);
+        reg.gauge("g").set(9);
+        let current = reg.snapshot();
+
+        let delta = current.diff(&base);
+        assert_eq!(delta.counter("c"), 5);
+        assert_eq!(delta.counter("new"), 2);
+        assert_eq!(delta.histograms["h"].count, 1);
+        // Gauges carry the absolute value, not a delta.
+        assert_eq!(delta.gauges["g"], 9);
+
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.counters, current.counters);
+        assert_eq!(rebuilt.histograms, current.histograms);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_histograms_only() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(1);
+        reg.histogram("h", &[1, 4]).record(2);
+
+        let other = Registry::new();
+        other.counter("c").add(3);
+        other.counter("d").add(4);
+        other.gauge("g").set(99);
+        let oh = other.histogram("h", &[1, 4]);
+        oh.record(0);
+        oh.record(50);
+
+        reg.absorb(&other.snapshot());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 10);
+        assert_eq!(snap.counter("d"), 4);
+        // Gauges are derived values; absorb leaves them alone.
+        assert_eq!(snap.gauges["g"], 1);
+        assert_eq!(snap.histograms["h"].count, 3);
+        assert_eq!(snap.histograms["h"].sum, 52);
     }
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize the campaign_scaling bench report as JSON.
+
+Usage: bench_campaign_summary.py BENCH_OUTPUT.txt [SUMMARY.json]
+
+Parses the harness's flat report lines, e.g.
+
+    campaign_scaling/fifteen_blocks_4k/4: 334166299.0 ns/iter  (0.184 Melem/s)
+    campaign_dedup/fx_insert/17: 49735880.0 ns/iter  (2.635 Melem/s)
+
+into a machine-readable summary: probes/sec and wall-clock per campaign
+worker count (with speedup relative to the 1-worker baseline) plus the
+responder-dedup throughput at each population size. Writes to
+SUMMARY.json (default BENCH_campaign.json next to the input) and echoes
+the document to stdout so CI logs carry the numbers. Exits nonzero if no
+campaign_scaling lines are found or the 1-worker baseline is missing.
+Standard library only.
+"""
+
+import json
+import os
+import re
+import sys
+
+SCALING = re.compile(
+    r"^campaign_scaling/(?P<bench>[\w-]+)/(?P<workers>\d+):\s+"
+    r"(?P<ns>[0-9.]+) ns/iter(?:\s+\((?P<melems>[0-9.]+) Melem/s\))?"
+)
+DEDUP = re.compile(
+    r"^campaign_dedup/(?P<bench>[\w-]+)/(?P<bits>\d+):\s+"
+    r"(?P<ns>[0-9.]+) ns/iter(?:\s+\((?P<melems>[0-9.]+) Melem/s\))?"
+)
+
+
+def fail(msg):
+    print(f"bench_campaign_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse(path):
+    configs, dedup = {}, []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = SCALING.match(line.strip())
+            if m:
+                workers = int(m.group("workers"))
+                ns = float(m.group("ns"))
+                configs[workers] = {
+                    "bench": m.group("bench"),
+                    "workers": workers,
+                    "ns_per_iter": ns,
+                    "wall_clock_secs": round(ns / 1e9, 6),
+                    "probes_per_sec": (
+                        round(float(m.group("melems")) * 1e6, 1)
+                        if m.group("melems")
+                        else None
+                    ),
+                }
+                continue
+            m = DEDUP.match(line.strip())
+            if m:
+                dedup.append(
+                    {
+                        "bench": m.group("bench"),
+                        "log2_responders": int(m.group("bits")),
+                        "ns_per_iter": float(m.group("ns")),
+                        "melems_per_sec": (
+                            float(m.group("melems")) if m.group("melems") else None
+                        ),
+                    }
+                )
+    return configs, dedup
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: bench_campaign_summary.py BENCH_OUTPUT.txt [SUMMARY.json]")
+    src = sys.argv[1]
+    out = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(src) or ".", "BENCH_campaign.json")
+    )
+    configs, dedup = parse(src)
+    if not configs:
+        fail(f"no campaign_scaling result lines in {src}")
+    if 1 not in configs:
+        fail("1-worker baseline missing; cannot compute speedups")
+    base_ns = configs[1]["ns_per_iter"]
+    for cfg in configs.values():
+        cfg["speedup_vs_1_worker"] = round(base_ns / cfg["ns_per_iter"], 3)
+    doc = {
+        "schema": "xmap-bench-campaign/v1",
+        "cpus": os.cpu_count(),
+        "configs": [configs[w] for w in sorted(configs)],
+        "dedup": sorted(dedup, key=lambda d: d["log2_responders"]),
+    }
+    rendered = json.dumps(doc, indent=2) + "\n"
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(rendered)
+    print(rendered, end="")
+
+
+if __name__ == "__main__":
+    main()
