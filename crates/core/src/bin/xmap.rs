@@ -349,12 +349,13 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
             resume: cfg.resume,
             world_seed,
         };
+        let kill_signal = signal.clone();
         let outcome = run_session(
             &spec,
             module.as_ref(),
             &blocklist,
             Some(&signal),
-            |_, telemetry| {
+            move |_, telemetry| {
                 let mut world = World::new(world_seed);
                 world.set_telemetry(telemetry);
                 if let Some(n) = kill {
@@ -363,7 +364,7 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
                             after_probes: Some(n),
                             ..Default::default()
                         },
-                        signal.clone(),
+                        kill_signal.clone(),
                     );
                 }
                 world
@@ -400,7 +401,7 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
             }
         }
         let world_seed = cfg.world_seed;
-        let make_world = |_w: usize, telemetry: &Telemetry| {
+        let make_world = move |_w: usize, telemetry: &Telemetry| {
             let mut world = World::new(world_seed);
             world.set_telemetry(telemetry);
             world
@@ -479,7 +480,13 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         }
     }
     if let Some(e) = sink_error {
-        return Err(format!("checkpoint: {e}"));
+        // The scan itself completed; only durability is compromised. Warn
+        // rather than fail so the results are not discarded, but flag that
+        // the on-disk checkpoint may lag the printed output.
+        eprintln!(
+            "# WARNING: checkpoint durability degraded and not recovered ({e}); \
+             results above are complete, but the session directory may be stale"
+        );
     }
     Ok(results.interrupted)
 }
@@ -731,8 +738,9 @@ mod tests {
             ..Default::default()
         };
         let run_with = |workers: usize| {
-            let mut ps = ParallelScanner::new(workers, scan_config.clone(), |_, telemetry| {
-                let mut world = World::new(cfg.world_seed);
+            let world_seed = cfg.world_seed;
+            let mut ps = ParallelScanner::new(workers, scan_config.clone(), move |_, telemetry| {
+                let mut world = World::new(world_seed);
                 world.set_telemetry(telemetry);
                 world
             });

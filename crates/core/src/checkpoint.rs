@@ -42,15 +42,62 @@ use crate::probe::{ProbeModule, ProbeResult};
 use crate::scanner::{Confidence, Permutation, ScanConfig, ScanRecord, ScanResults, ScanStats};
 use crate::telemetry::names;
 
+/// Records a degraded sink buffers in memory before giving up on ever
+/// restoring durability (~14 MB of encoded records at the default record
+/// size). Beyond it the sink goes lossy: the scan still completes, the
+/// last on-disk checkpoint stays valid, but this process can no longer
+/// close the durability gap.
+const MAX_PENDING_RECORDS: usize = 1 << 18;
+
+/// Minimum retry backoff, in send slots, once a sink degrades.
+const MIN_RETRY_BACKOFF: u64 = 64;
+
+/// Backoff growth cap: retries never space out more than this.
+const MAX_RETRY_BACKOFF: u64 = 1 << 16;
+
+/// In-memory state of a sink whose storage failed: everything needed to
+/// re-establish durability once the disk recovers.
+#[derive(Debug)]
+struct DegradedState {
+    /// Encoded records not yet durable, in sequence order starting at
+    /// [`DegradedState::pending_start_seq`]. Includes the records that
+    /// were appended-but-unflushed when the failure hit, so a recovery
+    /// can rebuild the journal without losing anything.
+    pending: Vec<Vec<u8>>,
+    /// Journal sequence number of `pending[0]`. Everything before it was
+    /// flushed successfully and is intact on disk.
+    pending_start_seq: u64,
+    /// Cadence-counter value at which the next recovery attempt runs.
+    retry_at: u64,
+    /// Current backoff, in send slots. Doubles per failed attempt, capped.
+    backoff: u64,
+    /// The pending buffer overflowed: durability is unrecoverable in this
+    /// process (the scan continues; resume re-executes from the last
+    /// durable checkpoint).
+    lossy: bool,
+}
+
 /// Per-worker checkpoint writer, attached to a scanner via
 /// [`Scanner::set_sink`](crate::Scanner::set_sink).
 ///
-/// I/O errors are deferred: the first failure is stored, journalling and
-/// checkpointing stop, and the scan itself completes undisturbed. Drivers
-/// surface the stored error at session end via [`RunSink::take_error`].
+/// Storage failures downgrade, never abort: on the first I/O error the
+/// sink enters **degraded mode** — records buffer in memory (preserving
+/// journal sequence contiguity), the on-disk checkpoint is left exactly
+/// as it was, and recovery is retried with exponential backoff at later
+/// checkpoint boundaries. A successful recovery truncates the journal's
+/// torn tail, re-appends the buffered records, publishes a fresh
+/// checkpoint atomically, and returns the sink to healthy. Drivers
+/// observe the state via [`RunSink::is_degraded`] (the scanner mirrors
+/// it into the `state.durability_degraded` gauge) and surface the
+/// original error at session end via [`RunSink::take_error`], which
+/// reports `None` when durability was fully restored.
 #[derive(Debug)]
 pub struct RunSink {
-    wal: Wal,
+    /// The open journal; `None` while degraded (the writer is dropped on
+    /// failure — its buffer state is unknowable — and reopened from disk
+    /// on recovery).
+    wal: Option<Wal>,
+    wal_path: PathBuf,
     ckpt_path: PathBuf,
     worker: u32,
     config_fp: u64,
@@ -58,7 +105,16 @@ pub struct RunSink {
     slots: u64,
     range_index: u32,
     run_wal_start: u64,
-    error: Option<StateError>,
+    /// Encoded records appended since the last successful flush. Kept so
+    /// that a failed flush (whose partial frames are torn on disk) can
+    /// enter degraded mode without losing anything.
+    unflushed: Vec<Vec<u8>>,
+    degraded: Option<DegradedState>,
+    /// First storage error observed (kept for reporting even across a
+    /// successful recovery; only surfaced while degraded).
+    first_error: Option<StateError>,
+    /// Successful degraded→healthy transitions.
+    recoveries: u64,
 }
 
 impl RunSink {
@@ -66,8 +122,10 @@ impl RunSink {
     /// cadence in send slots (0 disables periodic checkpoints; range-end
     /// and abort checkpoints still happen).
     pub fn new(wal: Wal, ckpt_path: PathBuf, worker: u32, every: u64, config_fp: u64) -> Self {
+        let wal_path = wal.path().to_path_buf();
         RunSink {
-            wal,
+            wal: Some(wal),
+            wal_path,
             ckpt_path,
             worker,
             config_fp,
@@ -75,7 +133,10 @@ impl RunSink {
             slots: 0,
             range_index: 0,
             run_wal_start: 0,
-            error: None,
+            unflushed: Vec::new(),
+            degraded: None,
+            first_error: None,
+            recoveries: 0,
         }
     }
 
@@ -83,8 +144,11 @@ impl RunSink {
     /// journalled records and checkpoints carry `range_index`.
     pub fn begin_range(&mut self, range_index: u32, wal_start: Option<u64>) {
         self.range_index = range_index;
-        self.run_wal_start = wal_start.unwrap_or_else(|| self.wal.next_seq());
+        self.run_wal_start = wal_start.unwrap_or_else(|| self.seq_end());
         self.slots = 0;
+        if let Some(d) = self.degraded.as_mut() {
+            d.retry_at = d.backoff;
+        }
     }
 
     /// Advances the cadence counter by one send slot.
@@ -92,9 +156,17 @@ impl RunSink {
         self.slots += 1;
     }
 
-    /// Whether the cadence calls for a checkpoint at the next boundary.
+    /// Whether the cadence calls for a checkpoint at the next boundary —
+    /// either the periodic cadence (healthy) or a degraded-mode recovery
+    /// retry whose backoff has elapsed.
     pub fn due(&self) -> bool {
-        self.error.is_none() && self.every > 0 && self.slots >= self.every
+        if self.every == 0 {
+            return false;
+        }
+        match &self.degraded {
+            None => self.slots >= self.every,
+            Some(d) => !d.lossy && self.slots >= d.retry_at,
+        }
     }
 
     /// Journal sequence number at which the current range's records start.
@@ -102,45 +174,158 @@ impl RunSink {
         self.run_wal_start
     }
 
-    /// Appends one record to the journal.
+    /// Whether the sink is currently operating in degraded (in-memory)
+    /// mode after a storage failure.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Successful degraded→healthy recoveries so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// The sequence number the next journalled record will take, whether
+    /// it goes to the journal or the in-memory pending buffer.
+    fn seq_end(&self) -> u64 {
+        match (&self.wal, &self.degraded) {
+            (Some(wal), _) => wal.next_seq(),
+            (None, Some(d)) => d.pending_start_seq + d.pending.len() as u64,
+            (None, None) => 0,
+        }
+    }
+
+    /// Appends one record: to the journal when healthy, to the pending
+    /// buffer when degraded.
     pub fn journal(&mut self, record: &ScanRecord) {
-        if self.error.is_some() {
+        let payload = encode_record(self.range_index, record);
+        if let Some(d) = self.degraded.as_mut() {
+            if d.lossy {
+                return;
+            }
+            if d.pending.len() >= MAX_PENDING_RECORDS {
+                d.lossy = true;
+                d.pending = Vec::new();
+                return;
+            }
+            d.pending.push(payload);
             return;
         }
-        if let Err(e) = self.wal.append(&encode_record(self.range_index, record)) {
-            self.error = Some(e);
+        let wal = self.wal.as_mut().expect("healthy sink holds its journal");
+        match wal.append(&payload) {
+            Ok(_) => self.unflushed.push(payload),
+            Err(e) => self.enter_degraded(e, Some(payload)),
         }
     }
 
     /// Flushes the journal and atomically publishes a worker checkpoint
     /// (`run: None` marks the current range complete). Resets the cadence
-    /// counter on success.
+    /// counter on success. While degraded this is a recovery attempt
+    /// instead; failures back off, successes return the sink to healthy.
     pub fn write_checkpoint(&mut self, tick: u64, metrics: Snapshot, run: Option<RunState>) {
-        if self.error.is_some() {
+        if self.degraded.is_some() {
+            self.attempt_recovery(tick, metrics, run);
             return;
         }
+        let wal = self.wal.as_mut().expect("healthy sink holds its journal");
+        if let Err(e) = wal.flush() {
+            self.enter_degraded(e, None);
+            return;
+        }
+        self.unflushed.clear();
         let ckpt = WorkerCheckpoint {
             worker: self.worker,
             range_index: self.range_index,
             tick,
-            wal_seq: self.wal.next_seq(),
+            wal_seq: self.seq_end(),
             config_fp: self.config_fp,
             metrics,
             run,
         };
-        match self
-            .wal
-            .flush()
-            .and_then(|()| ckpt.write_to(&self.ckpt_path))
-        {
+        match ckpt.write_to(&self.ckpt_path) {
             Ok(()) => self.slots = 0,
-            Err(e) => self.error = Some(e),
+            Err(e) => self.enter_degraded(e, None),
         }
     }
 
-    /// The first deferred I/O error, if any (clears it).
+    /// Switches to degraded mode after a storage failure. `extra` is a
+    /// record whose append itself failed (it joins the pending buffer).
+    /// The journal writer is dropped — its buffer may be partially torn
+    /// on disk — and recovery reopens the file from its intact prefix.
+    fn enter_degraded(&mut self, error: StateError, extra: Option<Vec<u8>>) {
+        let seq_end = self.wal.as_ref().map_or(0, Wal::next_seq);
+        let mut pending = std::mem::take(&mut self.unflushed);
+        let pending_start_seq = seq_end - pending.len() as u64;
+        if let Some(p) = extra {
+            pending.push(p);
+        }
+        self.wal = None;
+        if self.first_error.is_none() {
+            self.first_error = Some(error);
+        }
+        let backoff = self.every.max(MIN_RETRY_BACKOFF);
+        self.degraded = Some(DegradedState {
+            pending,
+            pending_start_seq,
+            retry_at: self.slots.saturating_add(backoff),
+            backoff,
+            lossy: false,
+        });
+    }
+
+    /// One recovery attempt: reopen the journal truncated to its known
+    /// intact prefix, re-append every pending record, flush, and publish
+    /// a checkpoint atomically. All of it goes through the same
+    /// write-to-temp + rename path, so a failure anywhere leaves the
+    /// previous on-disk checkpoint untouched.
+    fn attempt_recovery(&mut self, tick: u64, metrics: Snapshot, run: Option<RunState>) {
+        let d = self.degraded.as_mut().expect("called while degraded");
+        if d.lossy {
+            return;
+        }
+        let outcome = (|| -> Result<Wal, StateError> {
+            let (mut wal, _kept) = Wal::open_truncated(&self.wal_path, d.pending_start_seq)?;
+            for payload in &d.pending {
+                wal.append(payload)?;
+            }
+            wal.flush()?;
+            let ckpt = WorkerCheckpoint {
+                worker: self.worker,
+                range_index: self.range_index,
+                tick,
+                wal_seq: wal.next_seq(),
+                config_fp: self.config_fp,
+                metrics,
+                run,
+            };
+            ckpt.write_to(&self.ckpt_path)?;
+            Ok(wal)
+        })();
+        match outcome {
+            Ok(wal) => {
+                self.wal = Some(wal);
+                self.degraded = None;
+                self.unflushed.clear();
+                self.slots = 0;
+                self.recoveries += 1;
+            }
+            Err(_) => {
+                let d = self.degraded.as_mut().expect("still degraded");
+                d.backoff = (d.backoff * 2).min(MAX_RETRY_BACKOFF);
+                d.retry_at = self.slots.saturating_add(d.backoff);
+            }
+        }
+    }
+
+    /// The first storage error, if durability is still degraded (clears
+    /// it). A sink that recovered reports `None`: every record reached
+    /// the disk and the checkpoint is current.
     pub fn take_error(&mut self) -> Option<StateError> {
-        self.error.take()
+        if self.degraded.is_some() {
+            self.first_error.take()
+        } else {
+            None
+        }
     }
 }
 
@@ -456,7 +641,7 @@ pub fn run_session<N: Network + Send>(
     module: &(dyn ProbeModule + Sync),
     blocklist: &Blocklist,
     abort: Option<&AbortSignal>,
-    make_network: impl FnMut(usize, &Telemetry) -> N,
+    make_network: impl FnMut(usize, &Telemetry) -> N + 'static,
 ) -> Result<SessionOutcome, StateError> {
     let manifest = build_manifest(
         spec.workers,

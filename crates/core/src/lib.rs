@@ -62,7 +62,9 @@ pub use checkpoint::{
 };
 pub use cyclic::Cycle;
 pub use feistel::FeistelPermutation;
-pub use parallel::{merge_worker_snapshots, ParallelScanner, StealQueue};
+pub use parallel::{
+    insert_exec_counters, merge_worker_snapshots, ParallelScanner, StealQueue, Supervision,
+};
 pub use probe::{IcmpEchoProbe, ProbeModule, ProbeResult, TcpSynProbe, UdpProbe};
 pub use rate::AdaptiveRateController;
 pub use scanner::{

@@ -47,9 +47,11 @@
 //! [`FaultPlan::none`]: xmap_netsim::FaultPlan::none
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 use xmap_addr::ScanRange;
+use xmap_failpoint::exec::{ExecAction, ExecFaults};
 use xmap_netsim::packet::Network;
 use xmap_telemetry::{Snapshot, Telemetry};
 
@@ -57,6 +59,26 @@ use crate::blocklist::Blocklist;
 use crate::probe::ProbeModule;
 use crate::scanner::{ScanConfig, ScanResults, Scanner};
 use crate::telemetry::names;
+
+/// Supervision policy for a parallel executor: how many times a unit of
+/// work (a shard here, a block in the campaign executor) may be
+/// attempted before it is declared poisoned and skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Total attempts per unit, counting the first one. `1` disables
+    /// retry entirely; the default is `2` (one retry).
+    pub max_attempts: u32,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision { max_attempts: 2 }
+    }
+}
+
+/// Boxed per-worker network constructor: `(worker index, telemetry) ->
+/// network replica`.
+type NetworkFactory<N> = Box<dyn FnMut(usize, &Telemetry) -> N>;
 
 /// A sharded, multi-threaded scan executor over per-worker [`Scanner`]s.
 ///
@@ -78,9 +100,29 @@ use crate::telemetry::names;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct ParallelScanner<N> {
     workers: Vec<Scanner<N>>,
+    base: ScanConfig,
+    traced: bool,
+    factory: NetworkFactory<N>,
+    supervision: Supervision,
+    exec_faults: Option<ExecFaults>,
+    /// Per-worker count of units claimed so far (shard-run attempts),
+    /// the index scripted [`ExecFaults`] rules match against.
+    units: Vec<u64>,
+    panics: u64,
+    requeued: u64,
+    poisoned: Vec<usize>,
+}
+
+impl<N> std::fmt::Debug for ParallelScanner<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelScanner")
+            .field("workers", &self.workers.len())
+            .field("supervision", &self.supervision)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<N: Network + Send> ParallelScanner<N> {
@@ -103,9 +145,9 @@ impl<N: Network + Send> ParallelScanner<N> {
     pub fn new(
         workers: usize,
         base: ScanConfig,
-        make_network: impl FnMut(usize, &Telemetry) -> N,
+        make_network: impl FnMut(usize, &Telemetry) -> N + 'static,
     ) -> Self {
-        Self::build(workers, base, |_| Telemetry::new(), make_network)
+        Self::build(workers, base, false, Box::new(make_network))
     }
 
     /// Like [`new`](Self::new), but every worker's telemetry bundle has
@@ -115,40 +157,71 @@ impl<N: Network + Send> ParallelScanner<N> {
     pub fn new_traced(
         workers: usize,
         base: ScanConfig,
-        make_network: impl FnMut(usize, &Telemetry) -> N,
+        make_network: impl FnMut(usize, &Telemetry) -> N + 'static,
     ) -> Self {
-        Self::build(workers, base, |_| Telemetry::with_tracing(), make_network)
+        Self::build(workers, base, true, Box::new(make_network))
     }
 
     fn build(
         workers: usize,
         base: ScanConfig,
-        mut make_telemetry: impl FnMut(usize) -> Telemetry,
-        mut make_network: impl FnMut(usize, &Telemetry) -> N,
+        traced: bool,
+        mut factory: NetworkFactory<N>,
     ) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(base.shards > 0, "shards must be nonzero");
         assert!(base.shard < base.shards, "shard index out of range");
-        let shards_total = base
-            .shards
+        base.shards
             .checked_mul(workers as u64)
             .expect("shards * workers overflows");
-        let workers = (0..workers)
-            .map(|w| {
-                let telemetry = make_telemetry(w);
-                let network = make_network(w, &telemetry);
-                let config = ScanConfig {
-                    shard: base.shard + w as u64 * base.shards,
-                    shards: shards_total,
-                    max_targets: base
-                        .max_targets
-                        .map(|cap| worker_cap(cap, w as u64, workers as u64)),
-                    ..base.clone()
-                };
-                Scanner::with_telemetry(network, config, telemetry)
-            })
+        let scanners = (0..workers)
+            .map(|w| make_worker(&base, w, workers, traced, factory.as_mut()))
             .collect();
-        ParallelScanner { workers }
+        ParallelScanner {
+            workers: scanners,
+            base,
+            traced,
+            factory,
+            supervision: Supervision::default(),
+            exec_faults: None,
+            units: vec![0; workers],
+            panics: 0,
+            requeued: 0,
+            poisoned: Vec::new(),
+        }
+    }
+
+    /// Overrides the supervision policy (attempt budget per shard).
+    pub fn set_supervision(&mut self, policy: Supervision) {
+        self.supervision = policy;
+    }
+
+    /// Arms scripted executor faults: worker `w`'s `nth` claimed shard
+    /// run panics or stalls per the plan. Test-harness plumbing; a
+    /// production run never sets this.
+    pub fn set_exec_faults(&mut self, faults: ExecFaults) {
+        self.exec_faults = Some(faults);
+    }
+
+    /// Shards whose attempt budget ran out (empty on a healthy run).
+    /// A poisoned shard contributes nothing to results or telemetry;
+    /// its worker slot holds a fresh, never-run scanner.
+    pub fn poisoned_shards(&self) -> &[usize] {
+        &self.poisoned
+    }
+
+    /// Replaces worker `w` with a freshly built scanner (new telemetry
+    /// bundle, new network replica, same nested shard slot) so a
+    /// panicked worker's half-updated state never leaks into a retry or
+    /// into [`snapshot`](Self::snapshot).
+    fn rebuild_worker(&mut self, w: usize) {
+        self.workers[w] = make_worker(
+            &self.base,
+            w,
+            self.workers.len(),
+            self.traced,
+            self.factory.as_mut(),
+        );
     }
 
     /// Number of workers.
@@ -176,26 +249,88 @@ impl<N: Network + Send> ParallelScanner<N> {
     /// records sorted by target (= permutation-index order), counters
     /// summed. See the module docs for why the result is byte-identical
     /// to a 1-worker run of the same seed.
+    ///
+    /// Workers run under `catch_unwind` supervision: a panicked shard is
+    /// rebuilt from the factory (fresh replica, same slot — determinism
+    /// makes the retry byte-identical to what the lost attempt would
+    /// have produced) and respawned until its attempt budget
+    /// ([`Supervision::max_attempts`]) runs out, after which the shard
+    /// is poisoned: its targets are skipped, the merged result is marked
+    /// `interrupted`, and [`poisoned_shards`](Self::poisoned_shards) /
+    /// the `exec.*` counters in [`snapshot`](Self::snapshot) report it.
     pub fn run(
         &mut self,
         range: &ScanRange,
         module: &(dyn ProbeModule + Sync),
         blocklist: &Blocklist,
     ) -> ScanResults {
-        let outs: Vec<ScanResults> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .map(|worker| scope.spawn(move || worker.run(range, module, blocklist)))
+        let n = self.workers.len();
+        let max_attempts = self.supervision.max_attempts.max(1);
+        let mut results: Vec<Option<ScanResults>> = (0..n).map(|_| None).collect();
+        let mut attempts = vec![0u32; n];
+        loop {
+            let pending: Vec<bool> = (0..n)
+                .map(|w| results[w].is_none() && attempts[w] < max_attempts)
                 .collect();
-            // Joining in worker order keeps the fold deterministic.
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
-        });
+            if !pending.contains(&true) {
+                break;
+            }
+            let mut unit_of = vec![0u64; n];
+            for w in 0..n {
+                if pending[w] {
+                    attempts[w] += 1;
+                    unit_of[w] = self.units[w];
+                    self.units[w] += 1;
+                }
+            }
+            let faults = self.exec_faults.as_ref();
+            let outs: Vec<(usize, std::thread::Result<ScanResults>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .workers
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(w, _)| pending[*w])
+                        .map(|(w, worker)| {
+                            let unit = unit_of[w];
+                            let handle = scope.spawn(move || {
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    consult_exec_faults(faults, w, unit);
+                                    worker.run(range, module, blocklist)
+                                }))
+                            });
+                            (w, handle)
+                        })
+                        .collect();
+                    // Joining in worker order keeps the fold deterministic.
+                    handles
+                        .into_iter()
+                        .map(|(w, h)| match h.join() {
+                            Ok(caught) => (w, caught),
+                            Err(payload) => (w, Err(payload)),
+                        })
+                        .collect()
+                });
+            for (w, out) in outs {
+                match out {
+                    Ok(res) => results[w] = Some(res),
+                    Err(_) => {
+                        self.panics += 1;
+                        // Fresh scanner either way: a retry must not see
+                        // half-updated state, and a poisoned slot must
+                        // not leak partial telemetry into snapshot().
+                        self.rebuild_worker(w);
+                        if attempts[w] < max_attempts {
+                            self.requeued += 1;
+                        } else if !self.poisoned.contains(&w) {
+                            self.poisoned.push(w);
+                        }
+                    }
+                }
+            }
+        }
         let mut merged = ScanResults::default();
-        for one in outs {
+        for one in results.into_iter().flatten() {
             merged.stats.merge(&one.stats);
             merged.records.extend(one.records);
             merged.silent_targets.extend(one.silent_targets);
@@ -204,6 +339,9 @@ impl<N: Network + Send> ParallelScanner<N> {
         // keep their single worker's arrival order.
         merged.records.sort_by_key(|r| r.target);
         merged.silent_targets.sort_unstable();
+        // Poisoned shards left targets unscanned — surface that the same
+        // way an aborted checkpointed run does.
+        merged.interrupted |= !self.poisoned.is_empty();
         merged
     }
 
@@ -253,34 +391,66 @@ impl<N: Network + Send> ParallelScanner<N> {
             assert_eq!(m.len(), ranges.len(), "one mode per range");
         }
         // Each worker returns its per-range results (ending early if
-        // interrupted); merging happens range by range below.
-        let outs: Vec<Vec<ScanResults>> = std::thread::scope(|scope| {
+        // interrupted); merging happens range by range below. A panicked
+        // worker is NOT retried in-process: its sink and restored resume
+        // state were consumed by the lost attempt, so the only sound
+        // recovery is the normal session-resume path. The shard is
+        // poisoned and the merged result marked interrupted — the
+        // worker's own checkpoint already covers everything it durably
+        // did, so a resume recovers exactly.
+        let faults = self.exec_faults.as_ref();
+        let outs: Vec<std::thread::Result<Vec<ScanResults>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter_mut()
                 .zip(modes)
-                .map(|(worker, worker_modes)| {
+                .enumerate()
+                .map(|(w, (worker, worker_modes))| {
                     scope.spawn(move || {
-                        let mut per_range = Vec::with_capacity(worker_modes.len());
-                        for (ri, (range, mode)) in ranges.iter().zip(worker_modes).enumerate() {
-                            let one =
-                                worker.run_checkpointed(ri as u32, range, module, blocklist, mode);
-                            let interrupted = one.interrupted;
-                            per_range.push(one);
-                            if interrupted {
-                                break;
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut per_range = Vec::with_capacity(worker_modes.len());
+                            for (ri, (range, mode)) in ranges.iter().zip(worker_modes).enumerate() {
+                                // Unit index = range index in this path,
+                                // so scripts can target "worker w, range
+                                // ri" directly.
+                                consult_exec_faults(faults, w, ri as u64);
+                                let one = worker
+                                    .run_checkpointed(ri as u32, range, module, blocklist, mode);
+                                let interrupted = one.interrupted;
+                                per_range.push(one);
+                                if interrupted {
+                                    break;
+                                }
                             }
-                        }
-                        per_range
+                            per_range
+                        }))
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(caught) => caught,
+                    Err(payload) => Err(payload),
+                })
                 .collect()
         });
+        let outs: Vec<Vec<ScanResults>> = outs
+            .into_iter()
+            .enumerate()
+            .map(|(w, out)| match out {
+                Ok(per_range) => per_range,
+                Err(_) => {
+                    self.panics += 1;
+                    if !self.poisoned.contains(&w) {
+                        self.poisoned.push(w);
+                    }
+                    Vec::new()
+                }
+            })
+            .collect();
         let mut merged = ScanResults::default();
+        merged.interrupted |= !self.poisoned.is_empty();
         for ri in 0..ranges.len() {
             let mut bucket = ScanResults::default();
             for worker_out in &outs {
@@ -306,12 +476,53 @@ impl<N: Network + Send> ParallelScanner<N> {
     /// The merged telemetry snapshot across all workers: counters and
     /// histograms sum; the derived `scan.hit_rate_ppm` gauge is recomputed
     /// from the merged totals (per-worker values are worker-local rates).
+    ///
+    /// Supervision counters (`exec.worker_panics`, `exec.requeued`,
+    /// `exec.poisoned`) are inserted only when nonzero, so fault-free
+    /// snapshots stay byte-identical to pre-supervision exports.
     pub fn snapshot(&self) -> Snapshot {
-        merge_worker_snapshots(
+        let mut merged = merge_worker_snapshots(
             self.workers
                 .iter()
                 .map(|w| w.telemetry().registry.snapshot()),
-        )
+        );
+        insert_exec_counters(&mut merged, self.panics, self.requeued, self.poisoned.len());
+        merged
+    }
+}
+
+/// Inserts the executor supervision counters into a merged snapshot,
+/// each only when nonzero (fault-free exports must not change shape).
+/// Shared with the campaign-level executor in `xmap-periphery`.
+pub fn insert_exec_counters(snap: &mut Snapshot, panics: u64, requeued: u64, poisoned: usize) {
+    if panics > 0 {
+        snap.counters
+            .insert(names::EXEC_WORKER_PANICS.to_owned(), panics);
+    }
+    if requeued > 0 {
+        snap.counters
+            .insert(names::EXEC_REQUEUED.to_owned(), requeued);
+    }
+    if poisoned > 0 {
+        snap.counters
+            .insert(names::EXEC_POISONED.to_owned(), poisoned as u64);
+    }
+}
+
+/// Applies a scripted executor fault for `worker` claiming `unit`.
+/// `Panic` panics in place — the supervisor's `catch_unwind` turns it
+/// into a requeue or a poisoned shard. The shard executor has no
+/// watchdog (its workers are compute-bound over finite disjoint shards,
+/// so a claim cannot be held forever), so `Stall` just parks the worker
+/// briefly — exercising slow-worker merge order, not requeue. The
+/// campaign executor gives `Stall` its full meaning.
+fn consult_exec_faults(faults: Option<&ExecFaults>, worker: usize, unit: u64) {
+    match faults.and_then(|f| f.on_unit(worker, unit)) {
+        Some(ExecAction::Panic) => {
+            panic!("injected executor fault: worker {worker} panics on unit {unit}")
+        }
+        Some(ExecAction::Stall) => std::thread::sleep(std::time::Duration::from_millis(25)),
+        None => {}
     }
 }
 
@@ -400,6 +611,19 @@ impl StealQueue {
         None
     }
 
+    /// Requeues `item` at the back of `worker`'s own deque — the
+    /// supervision path: a worker that caught a panic, or the watchdog
+    /// reclaiming a stalled worker's unit, pushes the item back so a
+    /// surviving worker's next [`pop`](Self::pop) (own front or steal)
+    /// picks it up.
+    pub fn push(&self, worker: usize, item: usize) {
+        assert!(worker < self.deques.len(), "worker index out of range");
+        self.deques[worker]
+            .lock()
+            .expect("steal queue poisoned")
+            .push_back(item);
+    }
+
     /// Number of worker deques.
     pub fn workers(&self) -> usize {
         self.deques.len()
@@ -412,6 +636,35 @@ impl StealQueue {
             .map(|d| d.lock().expect("steal queue poisoned").len())
             .sum()
     }
+}
+
+/// Builds worker `w` of `n`: fresh telemetry, a network replica from the
+/// factory, and the nested shard config. Used both at construction and
+/// when the supervisor rebuilds a panicked worker for retry —
+/// determinism guarantees the rebuilt worker reproduces exactly what the
+/// panicked attempt would have produced.
+fn make_worker<N: Network>(
+    base: &ScanConfig,
+    w: usize,
+    n: usize,
+    traced: bool,
+    factory: &mut dyn FnMut(usize, &Telemetry) -> N,
+) -> Scanner<N> {
+    let telemetry = if traced {
+        Telemetry::with_tracing()
+    } else {
+        Telemetry::new()
+    };
+    let network = factory(w, &telemetry);
+    let config = ScanConfig {
+        shard: base.shard + w as u64 * base.shards,
+        shards: base.shards * n as u64,
+        max_targets: base
+            .max_targets
+            .map(|cap| worker_cap(cap, w as u64, n as u64)),
+        ..base.clone()
+    };
+    Scanner::with_telemetry(network, config, telemetry)
 }
 
 /// How many of the first `cap` instance walk positions worker `w` of `n`
@@ -537,6 +790,108 @@ mod tests {
             assert!(ps.worker_telemetry(w).tracer.is_enabled());
             assert!(!ps.worker_telemetry(w).tracer.to_ndjson().is_empty());
         }
+    }
+
+    #[test]
+    fn injected_panic_is_retried_byte_identically() {
+        use xmap_failpoint::exec::ExecPlan;
+        let mut clean = parallel(4, 512);
+        let baseline = clean.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let baseline_snap = clean.snapshot();
+
+        let mut ps = parallel(4, 512);
+        ps.set_exec_faults(ExecPlan::panic_on(2, 0).armed());
+        let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert!(!results.interrupted);
+        assert!(ps.poisoned_shards().is_empty());
+        assert_eq!(results.records, baseline.records);
+        assert_eq!(results.stats, baseline.stats);
+
+        let snap = ps.snapshot();
+        assert_eq!(snap.counter(names::EXEC_WORKER_PANICS), 1);
+        assert_eq!(snap.counter(names::EXEC_REQUEUED), 1);
+        // Stripped of the supervision counters, the snapshot matches the
+        // fault-free run exactly — the retry reproduced the lost shard.
+        let mut stripped = snap.clone();
+        stripped.counters.remove(names::EXEC_WORKER_PANICS);
+        stripped.counters.remove(names::EXEC_REQUEUED);
+        assert_eq!(stripped, baseline_snap);
+    }
+
+    #[test]
+    fn exhausted_attempts_poison_the_shard() {
+        use xmap_failpoint::exec::ExecPlan;
+        let mut ps = parallel(2, 64);
+        ps.set_supervision(Supervision { max_attempts: 1 });
+        ps.set_exec_faults(ExecPlan::panic_on(1, 0).armed());
+        let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert!(results.interrupted, "poisoned shard must flag the merge");
+        assert_eq!(ps.poisoned_shards(), &[1]);
+        // Worker 0's half of the 64-target cap still completed.
+        assert_eq!(results.stats.sent, 32);
+        let snap = ps.snapshot();
+        assert_eq!(snap.counter(names::EXEC_WORKER_PANICS), 1);
+        assert_eq!(snap.counter(names::EXEC_POISONED), 1);
+        assert_eq!(snap.counter(names::EXEC_REQUEUED), 0);
+    }
+
+    #[test]
+    fn repeated_panics_exhaust_budget_then_poison() {
+        use xmap_failpoint::exec::{ExecPlan, ExecRule};
+        let mut ps = parallel(2, 64);
+        // Default budget is 2 attempts; both panic.
+        let plan = ExecPlan {
+            rules: vec![
+                ExecRule {
+                    worker: 0,
+                    nth: 0,
+                    action: ExecAction::Panic,
+                },
+                ExecRule {
+                    worker: 0,
+                    nth: 1,
+                    action: ExecAction::Panic,
+                },
+            ],
+        };
+        ps.set_exec_faults(plan.armed());
+        let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        assert!(results.interrupted);
+        assert_eq!(ps.poisoned_shards(), &[0]);
+        let snap = ps.snapshot();
+        assert_eq!(snap.counter(names::EXEC_WORKER_PANICS), 2);
+        assert_eq!(snap.counter(names::EXEC_REQUEUED), 1);
+        assert_eq!(snap.counter(names::EXEC_POISONED), 1);
+    }
+
+    #[test]
+    fn fault_free_snapshot_has_no_exec_counters() {
+        let mut ps = parallel(2, 64);
+        let _ = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+        let snap = ps.snapshot();
+        for name in [
+            names::EXEC_WORKER_PANICS,
+            names::EXEC_REQUEUED,
+            names::EXEC_POISONED,
+        ] {
+            assert!(
+                !snap.counters.contains_key(name),
+                "{name} must only appear when nonzero"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_queue_push_requeues_for_owner() {
+        let q = StealQueue::new(2, 2);
+        assert_eq!(q.pop(0), Some(0));
+        q.push(0, 0);
+        assert_eq!(q.remaining(), 2);
+        assert_eq!(q.pop(0), Some(0), "requeued item comes back");
+        // Worker 1 drains its own, then steals the requeued one.
+        q.push(0, 0);
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(0));
     }
 
     #[test]

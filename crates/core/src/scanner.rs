@@ -22,7 +22,7 @@ use crate::feistel::FeistelPermutation;
 use crate::probe::{ProbeModule, ProbeResult};
 use crate::rate::{AdaptiveRateController, RateLimiter};
 use crate::target::fill_host_bits;
-use crate::telemetry::{HotTally, MetricsBaseline, ScanMetrics};
+use crate::telemetry::{names, HotTally, MetricsBaseline, ScanMetrics};
 use crate::validate::Validator;
 
 /// Probe-order strategies (ablation: `permutation_vs_sequential`).
@@ -239,6 +239,10 @@ pub struct Scanner<N> {
     /// Checkpoint sink: when attached, records are journalled to its WAL
     /// and worker checkpoints written at the configured cadence.
     sink: Option<RunSink>,
+    /// Last sink-degradation state mirrored into the
+    /// `state.durability_degraded` gauge (the gauge is only created on
+    /// the first transition, so fault-free snapshots never carry it).
+    durability_flagged: bool,
     /// Cooperative stop flag, checked once per send slot.
     abort: Option<AbortSignal>,
 }
@@ -275,6 +279,7 @@ impl<N: Network> Scanner<N> {
             monitor: None,
             total_ticks: 0,
             sink: None,
+            durability_flagged: false,
             abort: None,
         }
     }
@@ -339,9 +344,17 @@ impl<N: Network> Scanner<N> {
 
     /// Restores the telemetry registry from a checkpoint snapshot; the
     /// scanner's (and a bound network's) existing metric handles observe
-    /// the restored values.
+    /// the restored values. A `state.durability_degraded` gauge captured
+    /// while the killed run was degraded is stale for this process (its
+    /// sink starts healthy) and is reset.
     pub fn restore_metrics(&mut self, snap: &Snapshot) {
         self.telemetry.registry.restore(snap);
+        if snap.gauges.contains_key(names::DURABILITY_DEGRADED) {
+            self.telemetry
+                .registry
+                .gauge(names::DURABILITY_DEGRADED)
+                .set(0);
+        }
     }
 
     /// Virtual ticks issued to the network so far (monotone across runs).
@@ -673,6 +686,7 @@ impl<N: Network> Scanner<N> {
                 }
                 journaled = results.records.len();
             }
+            self.mirror_durability();
         }
 
         tally.flush(&self.metrics);
@@ -722,8 +736,24 @@ impl<N: Network> Scanner<N> {
             if let Some(sink) = self.sink.as_mut() {
                 sink.write_checkpoint(self.total_ticks, snap, None);
             }
+            self.mirror_durability();
         }
         results
+    }
+
+    /// Mirrors the sink's degraded/healthy state into the
+    /// `state.durability_degraded` gauge on transitions. The gauge is
+    /// only created on the first degradation, so fault-free runs export
+    /// byte-identical snapshots with or without a sink attached.
+    fn mirror_durability(&mut self) {
+        let degraded = self.sink.as_ref().is_some_and(RunSink::is_degraded);
+        if degraded != self.durability_flagged {
+            self.durability_flagged = degraded;
+            self.telemetry
+                .registry
+                .gauge(names::DURABILITY_DEGRADED)
+                .set(degraded as u64);
+        }
     }
 
     /// Captures and writes a mid-range checkpoint, provided a sink is

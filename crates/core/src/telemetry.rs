@@ -40,6 +40,22 @@ pub mod names {
     pub const RTT_TICKS: &str = "scan.rtt_ticks";
     /// Scheduled retransmission backoff in virtual ticks (histogram).
     pub const BACKOFF_TICKS: &str = "scan.backoff_ticks";
+    /// 1 while a checkpoint sink is running in degraded (in-memory)
+    /// mode after a storage failure, 0 once durability is restored
+    /// (gauge; only present in runs that degraded at least once).
+    pub const DURABILITY_DEGRADED: &str = "state.durability_degraded";
+    /// Worker panics caught and supervised by a parallel executor
+    /// (counter; only present in runs that saw at least one).
+    pub const EXEC_WORKER_PANICS: &str = "exec.worker_panics";
+    /// Work units (shards/blocks) requeued for retry after a worker
+    /// panic or stall (counter; only present when nonzero).
+    pub const EXEC_REQUEUED: &str = "exec.requeued";
+    /// Work units abandoned as poisoned after exhausting retry attempts
+    /// (counter; only present when nonzero).
+    pub const EXEC_POISONED: &str = "exec.poisoned";
+    /// Stalled workers detected by the campaign watchdog (counter; only
+    /// present when nonzero).
+    pub const EXEC_STALLS: &str = "exec.stalls_detected";
 }
 
 /// RTT histogram bucket bounds (virtual ticks; one tick per send slot).

@@ -14,6 +14,8 @@
 //!                           targets after TICKS of virtual time
 //!   -s, --seed N            scan seed (permutation, cookies, IID fill)
 //!       --world-seed N      seed of the simulated Internet
+//!   -b, --blocklist PREFIX  deny-list an additional IPv6 prefix on top of
+//!                           the standard reserved ranges (repeatable)
 //!   -o, --output FILE       write discovered peripheries as CSV
 //!                           (default: stdout)
 //!       --metrics-out FILE  write the merged telemetry snapshot as JSON
@@ -21,6 +23,16 @@
 //!                           campaign resumes from completed blocks
 //!       --resume            continue the campaign checkpointed in DIR,
 //!                           under any --campaign-workers count
+//!       --resume-plan       dry run: print the Skip/Resume/Fresh
+//!                           classification of every block for a resume
+//!                           of the campaign in DIR, then exit
+//!       --group-commit N    fsync block checkpoints in batches of N
+//!                           instead of per block (default 4; 1 restores
+//!                           fsync-per-block)
+//!       --watchdog-ms MS    reclaim and requeue a block whose worker has
+//!                           held it for MS milliseconds without
+//!                           completing it (off by default; must exceed
+//!                           the slowest block's runtime)
 //!       --kill-after-probes N abort once any worker's world has handled
 //!                           N probes (exit code 3; for testing)
 //!   -q, --quiet             suppress the summary on stderr
@@ -34,9 +46,10 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use xmap::ScanConfig;
+use xmap::{Blocklist, ScanConfig, Verdict};
+use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::{KillPoint, World};
-use xmap_periphery::{Campaign, CampaignOutcome, ParallelCampaign};
+use xmap_periphery::{BlockMode, Campaign, CampaignOutcome, ParallelCampaign};
 use xmap_state::{AbortSignal, StateError};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -46,10 +59,14 @@ struct CliConfig {
     mop_up_ticks: Option<u64>,
     seed: u64,
     world_seed: u64,
+    blocked: Vec<String>,
     output: Option<String>,
     metrics_out: Option<String>,
     checkpoint: Option<String>,
     resume: bool,
+    resume_plan: bool,
+    group_commit: Option<usize>,
+    watchdog_ms: Option<u64>,
     kill_after_probes: Option<u64>,
     quiet: bool,
 }
@@ -62,10 +79,14 @@ impl Default for CliConfig {
             mop_up_ticks: None,
             seed: 1,
             world_seed: 0xDA7A_5EED,
+            blocked: Vec::new(),
             output: None,
             metrics_out: None,
             checkpoint: None,
             resume: false,
+            resume_plan: false,
+            group_commit: None,
+            watchdog_ms: None,
             kill_after_probes: None,
             quiet: false,
         }
@@ -98,10 +119,14 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             "--mop-up" => cfg.mop_up_ticks = Some(int(&mut iter, arg)?),
             "-s" | "--seed" => cfg.seed = int(&mut iter, arg)?,
             "--world-seed" => cfg.world_seed = int(&mut iter, arg)?,
+            "-b" | "--blocklist" => cfg.blocked.push(value(&mut iter, arg)?),
             "-o" | "--output" => cfg.output = Some(value(&mut iter, arg)?),
             "--metrics-out" => cfg.metrics_out = Some(value(&mut iter, arg)?),
             "--checkpoint" => cfg.checkpoint = Some(value(&mut iter, arg)?),
             "--resume" => cfg.resume = true,
+            "--resume-plan" => cfg.resume_plan = true,
+            "--group-commit" => cfg.group_commit = Some(int(&mut iter, arg)? as usize),
+            "--watchdog-ms" => cfg.watchdog_ms = Some(int(&mut iter, arg)?),
             "--kill-after-probes" => cfg.kill_after_probes = Some(int(&mut iter, arg)?),
             "-q" | "--quiet" => cfg.quiet = true,
             "-h" | "--help" => return Err("help".to_owned()),
@@ -117,6 +142,15 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume requires --checkpoint <dir>".to_owned());
     }
+    if cfg.resume_plan && cfg.checkpoint.is_none() {
+        return Err("--resume-plan requires --checkpoint <dir>".to_owned());
+    }
+    if cfg.group_commit == Some(0) {
+        return Err("--group-commit must be at least 1".to_owned());
+    }
+    if cfg.watchdog_ms == Some(0) {
+        return Err("--watchdog-ms must be at least 1".to_owned());
+    }
     if cfg.kill_after_probes.is_some() && cfg.checkpoint.is_none() {
         return Err("--kill-after-probes requires --checkpoint <dir>".to_owned());
     }
@@ -130,11 +164,41 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
     if let Some(ticks) = cfg.mop_up_ticks {
         campaign = campaign.with_mop_up(ticks);
     }
-    let executor = ParallelCampaign::new(campaign, cfg.campaign_workers);
+    if !cfg.blocked.is_empty() {
+        let mut blocklist = Blocklist::with_standard_reserved();
+        for p in &cfg.blocked {
+            let prefix = p
+                .parse()
+                .map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?;
+            blocklist.insert(prefix, Verdict::Deny);
+        }
+        campaign = campaign.with_blocklist(blocklist);
+    }
+    let mut executor = ParallelCampaign::new(campaign, cfg.campaign_workers);
+    if let Some(n) = cfg.group_commit {
+        executor = executor.with_group_commit(n);
+    }
+    if let Some(ms) = cfg.watchdog_ms {
+        executor = executor.with_watchdog(std::time::Duration::from_millis(ms));
+    }
     let base = ScanConfig {
         seed: cfg.seed,
         ..Default::default()
     };
+    if cfg.resume_plan {
+        let dir = cfg.checkpoint.as_deref().expect("validated in parse_args");
+        let plan = executor
+            .resume_plan(&base, std::path::Path::new(dir))
+            .map_err(|e| match e {
+                StateError::Mismatch(why) => format!(
+                    "cannot resume: this invocation's configuration does not \
+                     match the checkpointed campaign ({why})"
+                ),
+                other => format!("checkpoint: {other}"),
+            })?;
+        print_resume_plan(&plan);
+        return Ok(false);
+    }
     let world_seed = cfg.world_seed;
     let kill = cfg.kill_after_probes;
     let signal = AbortSignal::new();
@@ -196,6 +260,15 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
                 ""
             }
         );
+        if !outcome.poisoned.is_empty() {
+            let _ = writeln!(
+                err,
+                "# WARNING: {} block(s) poisoned after repeated worker failures: {:?} \
+                 — their results are missing from the merged output",
+                outcome.poisoned.len(),
+                outcome.poisoned,
+            );
+        }
         if outcome.interrupted {
             let _ = writeln!(
                 err,
@@ -205,6 +278,37 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         }
     }
     Ok(outcome.interrupted)
+}
+
+/// Prints one line per sample block with its Skip/Resume/Fresh
+/// classification, then a one-line tally.
+fn print_resume_plan(plan: &[BlockMode]) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "block,profile,scan_base,mode");
+    let (mut skip, mut resume, mut fresh) = (0usize, 0usize, 0usize);
+    for (idx, mode) in plan.iter().enumerate() {
+        let label = match mode {
+            BlockMode::Skip => {
+                skip += 1;
+                "skip"
+            }
+            BlockMode::Resume => {
+                resume += 1;
+                "resume"
+            }
+            BlockMode::Fresh => {
+                fresh += 1;
+                "fresh"
+            }
+        };
+        let profile = &SAMPLE_BLOCKS[idx];
+        let _ = writeln!(out, "{idx},{},{},{label}", profile.name, profile.scan_base);
+    }
+    let _ = writeln!(
+        out,
+        "# {skip} skip / {resume} resume / {fresh} fresh of {} blocks",
+        plan.len()
+    );
 }
 
 fn main() -> ExitCode {
@@ -273,6 +377,50 @@ mod tests {
         );
         assert!(parse_args(&args("--frobnicate")).is_err());
         assert!(parse_args(&args("--seed")).is_err(), "missing value");
+        assert!(
+            parse_args(&args("--resume-plan")).is_err(),
+            "resume-plan needs dir"
+        );
+        assert!(parse_args(&args("--group-commit 0")).is_err());
+        assert!(parse_args(&args("--watchdog-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parses_hardening_flags() {
+        let cfg = parse_args(&args(
+            "-b 2001:db8::/32 --blocklist ff00::/8 --group-commit 8 \
+             --watchdog-ms 500 --checkpoint /tmp/ck --resume-plan",
+        ))
+        .unwrap();
+        assert_eq!(cfg.blocked, vec!["2001:db8::/32", "ff00::/8"]);
+        assert_eq!(cfg.group_commit, Some(8));
+        assert_eq!(cfg.watchdog_ms, Some(500));
+        assert!(cfg.resume_plan);
+    }
+
+    #[test]
+    fn rejects_unparseable_blocklist_prefix() {
+        let cfg = parse_args(&args("-b not-a-prefix --targets-per-block 64 -q")).unwrap();
+        let err = run(cfg).unwrap_err();
+        assert!(err.contains("not-a-prefix"), "{err}");
+    }
+
+    #[test]
+    fn resume_plan_on_empty_dir_lists_all_fresh() {
+        let dir = std::env::temp_dir().join(format!("xmap-campaign-plan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = parse_args(&args(&format!(
+            "--targets-per-block 512 --checkpoint {} --resume-plan -q",
+            dir.display()
+        )))
+        .unwrap();
+        // A dry run plans without executing: no checkpoint files appear.
+        assert!(!run(cfg).unwrap());
+        assert!(
+            !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "resume-plan must not create checkpoint state"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -72,19 +72,34 @@
 //! [`ScanStats`]: xmap::ScanStats
 //! [`ParallelScanner`]: xmap::ParallelScanner
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use xmap::{merge_worker_snapshots, ScanConfig, Scanner, StealQueue};
+use xmap::telemetry::names;
+use xmap::{
+    insert_exec_counters, merge_worker_snapshots, ScanConfig, Scanner, StealQueue, Supervision,
+};
+use xmap_failpoint::exec::{ExecAction, ExecFaults, ExecPlan};
+use xmap_failpoint::fs as fp;
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::packet::Network;
 use xmap_state::checkpoint::{
     decode_snapshot, encode_snapshot, parse_fp, read_sectioned, write_sectioned,
+    write_sectioned_opts,
 };
 use xmap_state::codec::{Decoder, Encoder};
 use xmap_state::{AbortSignal, StateError, CHECKPOINT_SCHEMA};
 use xmap_telemetry::{Snapshot, Telemetry};
 
 use crate::campaign::{decode_block, encode_block, BlockResult, Campaign, CampaignResult};
+
+/// Default group-commit quantum: how many block checkpoints a worker
+/// publishes before it batches their fsyncs (one `fsync` per file plus
+/// one directory sync, instead of a per-block file-plus-rename sync).
+pub const DEFAULT_GROUP_COMMIT: usize = 4;
 
 /// What the resume planner decided for one sample block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,14 +117,22 @@ pub enum BlockMode {
 #[derive(Debug, Clone)]
 pub struct CampaignOutcome {
     /// Completed blocks in Table II order (gaps possible when
-    /// interrupted).
+    /// interrupted or when blocks were poisoned).
     pub result: CampaignResult,
-    /// Merged telemetry across skipped-block deltas and live workers,
-    /// with `scan.hit_rate_ppm` recomputed from the merged totals.
+    /// Merged telemetry across skipped-block deltas and every *committed*
+    /// live block, with `scan.hit_rate_ppm` recomputed from the merged
+    /// totals. Work lost to a panic, stall or abort mid-block never
+    /// contributes (the checkpoint directory agrees with the snapshot by
+    /// construction). Supervision counters (`exec.*`) appear only when
+    /// nonzero.
     pub snapshot: Snapshot,
     /// Whether an armed abort signal stopped the campaign early (the
     /// checkpoint directory then holds everything completed so far).
     pub interrupted: bool,
+    /// Block indices whose attempt budget ran out (worker panics or
+    /// stalls on every try). Empty on a healthy run; the campaign
+    /// completes *around* a poisoned block rather than aborting.
+    pub poisoned: Vec<usize>,
 }
 
 /// Work-stealing multi-worker driver around a [`Campaign`].
@@ -133,6 +156,10 @@ pub struct CampaignOutcome {
 pub struct ParallelCampaign {
     campaign: Campaign,
     workers: usize,
+    supervision: Supervision,
+    watchdog: Option<Duration>,
+    group_commit: usize,
+    exec_plan: Option<ExecPlan>,
 }
 
 impl ParallelCampaign {
@@ -145,7 +172,50 @@ impl ParallelCampaign {
     /// Panics if `workers == 0`.
     pub fn new(campaign: Campaign, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        ParallelCampaign { campaign, workers }
+        ParallelCampaign {
+            campaign,
+            workers,
+            supervision: Supervision::default(),
+            watchdog: None,
+            group_commit: DEFAULT_GROUP_COMMIT,
+            exec_plan: None,
+        }
+    }
+
+    /// Overrides the supervision policy (attempt budget per block).
+    pub fn with_supervision(mut self, policy: Supervision) -> Self {
+        self.supervision = policy;
+        self
+    }
+
+    /// Arms the stalled-worker watchdog: a worker that holds a claimed
+    /// block for `quantum` without completing it is presumed hung; its
+    /// claim is invalidated (a late commit is discarded) and the block
+    /// requeued for a surviving worker. Off by default — the quantum is
+    /// wall-clock, so only non-timing-sensitive callers (the CLI, the
+    /// torture harness) should arm it.
+    pub fn with_watchdog(mut self, quantum: Duration) -> Self {
+        self.watchdog = Some(quantum);
+        self
+    }
+
+    /// Sets the group-commit quantum: each worker publishes block
+    /// checkpoints with their fsync deferred, then syncs the batch (files
+    /// plus directory) every `every` blocks and on retirement. `1`
+    /// restores the legacy fsync-per-block behaviour; the default is
+    /// [`DEFAULT_GROUP_COMMIT`]. A crash inside the deferred window can
+    /// leave a published checkpoint torn — the resume planner treats a
+    /// torn block checkpoint as "never completed" and re-runs the block.
+    pub fn with_group_commit(mut self, every: usize) -> Self {
+        self.group_commit = every.max(1);
+        self
+    }
+
+    /// Arms scripted executor faults (worker panics and stalls) for the
+    /// next run. Test-harness plumbing; production runs never set this.
+    pub fn with_exec_faults(mut self, plan: ExecPlan) -> Self {
+        self.exec_plan = Some(plan);
+        self
     }
 
     /// Number of workers.
@@ -239,7 +309,7 @@ impl ParallelCampaign {
         abort: Option<&AbortSignal>,
         mut make_network: impl FnMut(usize, &Telemetry) -> N,
     ) -> Result<CampaignOutcome, StateError> {
-        let (dir, fp, loaded) = match ckpt {
+        let (dir, fp_id, loaded) = match ckpt {
             Some((dir, fp, loaded)) => (Some(dir), fp, loaded),
             None => (None, 0, (0..SAMPLE_BLOCKS.len()).map(|_| None).collect()),
         };
@@ -249,6 +319,14 @@ impl ParallelCampaign {
             .filter(|i| loaded[*i].is_none())
             .collect();
         let queue = StealQueue::new(pending.len(), self.workers);
+        let slots: Vec<SlotState> = (0..pending.len()).map(|_| SlotState::default()).collect();
+        let board: Vec<Mutex<Option<Claim>>> =
+            (0..self.workers).map(|_| Mutex::new(None)).collect();
+        let faults = self.exec_plan.as_ref().map(ExecPlan::armed);
+        let counters = ExecCounters::default();
+        let active = AtomicUsize::new(self.workers);
+        let max_attempts = self.supervision.max_attempts.max(1);
+        let group = self.group_commit.max(1);
         let mut scanners: Vec<Scanner<N>> = (0..self.workers)
             .map(|w| {
                 let telemetry = Telemetry::new();
@@ -261,53 +339,147 @@ impl ParallelCampaign {
             })
             .collect();
 
-        let outs: Vec<Result<Vec<(usize, BlockResult)>, StateError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = scanners
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(w, scanner)| {
-                        let queue = &queue;
-                        let pending = &pending;
-                        let campaign = &self.campaign;
-                        scope.spawn(move || {
-                            let mut done = Vec::new();
-                            while !scanner.is_aborted() {
-                                let Some(slot) = queue.pop(w) else { break };
-                                let idx = pending[slot];
-                                if let Some(dir) = dir {
-                                    write_marker(dir, idx)?;
-                                }
-                                let baseline = scanner.telemetry().registry.snapshot();
-                                let block = campaign.run_block(scanner, &SAMPLE_BLOCKS[idx]);
-                                if scanner.is_aborted() {
-                                    // Partial block: discard it; the
-                                    // marker stays for the resume plan.
-                                    break;
-                                }
-                                if let Some(dir) = dir {
-                                    let delta =
-                                        scanner.telemetry().registry.snapshot().diff(&baseline);
-                                    write_block_ckpt(dir, fp, idx, &block, &delta)?;
-                                    let _ = std::fs::remove_file(marker_path(dir, idx));
-                                }
-                                done.push((idx, block));
-                            }
-                            Ok(done)
-                        })
-                    })
-                    .collect();
-                // Joining in worker order keeps error reporting (and the
-                // merge below) deterministic.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("campaign worker panicked"))
-                    .collect()
+        let outs: Vec<Result<WorkerOut, StateError>> = std::thread::scope(|scope| {
+            let watchdog = self.watchdog.map(|quantum| {
+                let (board, slots, queue) = (&board, &slots, &queue);
+                let (active, counters) = (&active, &counters);
+                scope.spawn(move || {
+                    run_watchdog(quantum, board, slots, queue, active, counters, max_attempts)
+                })
             });
+            let handles: Vec<_> = scanners
+                .iter_mut()
+                .enumerate()
+                .map(|(w, scanner)| {
+                    let (queue, pending, slots, board) = (&queue, &pending, &slots, &board);
+                    let campaign = &self.campaign;
+                    let faults = faults.as_ref();
+                    let (counters, active) = (&counters, &active);
+                    scope.spawn(move || {
+                        let result = run_worker(WorkerCtx {
+                            w,
+                            scanner,
+                            campaign,
+                            queue,
+                            pending,
+                            slots,
+                            board,
+                            faults,
+                            counters,
+                            max_attempts,
+                            group,
+                            dir,
+                            fp_id,
+                        });
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        result
+                    })
+                })
+                .collect();
+            // Joining in worker order keeps error reporting (and the
+            // merge below) deterministic. A panic that escaped the
+            // supervisor would be an executor bug; surface it as an
+            // empty worker rather than tearing down the scope.
+            let outs: Vec<Result<WorkerOut, StateError>> = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Ok(WorkerOut::default()),
+                })
+                .collect();
+            if let Some(h) = watchdog {
+                let _ = h.join();
+            }
+            outs
+        });
 
         let interrupted = abort.is_some_and(AbortSignal::is_set);
-        // Merge: loaded blocks and live blocks, in block-index order —
-        // which is Table II (profile) order, the sequential walk's order.
+        let mut worker_outs: Vec<WorkerOut> = Vec::with_capacity(outs.len());
+        for out in outs {
+            worker_outs.push(out?);
+        }
+
+        // Supervisor fallback: a block can be left neither done nor
+        // poisoned when its panicked owner requeued it and every other
+        // worker had already retired. Run those inline on fresh
+        // single-use scanners until they commit or exhaust the budget.
+        let mut supervisor = WorkerOut::default();
+        if !interrupted {
+            let mut sup_units = 0u64;
+            for slot in 0..pending.len() {
+                let state = &slots[slot];
+                while !state.done.load(Ordering::Acquire) && !state.poisoned.load(Ordering::Acquire)
+                {
+                    if state.attempts.load(Ordering::Acquire) >= max_attempts {
+                        state.poisoned.store(true, Ordering::Release);
+                        break;
+                    }
+                    state.attempts.fetch_add(1, Ordering::AcqRel);
+                    let idx = pending[slot];
+                    let unit = sup_units;
+                    sup_units += 1;
+                    // The supervisor consults the fault script under its
+                    // own worker index (`self.workers`) so torture tests
+                    // can poison a block even under one worker. A Stall
+                    // is ignored here — there is nobody left to rescue a
+                    // hung supervisor.
+                    let action = faults
+                        .as_ref()
+                        .and_then(|f| f.on_unit(self.workers, unit))
+                        .filter(|a| *a == ExecAction::Panic);
+                    let telemetry = Telemetry::new();
+                    let network = make_network(self.workers, &telemetry);
+                    let mut scanner = Scanner::with_telemetry(network, base.clone(), telemetry);
+                    if let Some(signal) = abort {
+                        scanner.set_abort(signal.clone());
+                    }
+                    let campaign = &self.campaign;
+                    let attempt = catch_unwind(AssertUnwindSafe(
+                        || -> Result<Option<(BlockResult, Snapshot)>, StateError> {
+                            if action.is_some() {
+                                panic!("injected executor fault: supervisor panics on unit {unit}");
+                            }
+                            if let Some(dir) = dir {
+                                write_marker(dir, idx)?;
+                            }
+                            let block = campaign.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]);
+                            if scanner.is_aborted() {
+                                return Ok(None);
+                            }
+                            // Fresh scanner: the baseline is empty, the
+                            // delta is its whole registry.
+                            let delta = scanner.telemetry().registry.snapshot();
+                            Ok(Some((block, delta)))
+                        },
+                    ));
+                    match attempt {
+                        Ok(Ok(Some((block, delta)))) => {
+                            state.done.store(true, Ordering::Release);
+                            if let Some(dir) = dir {
+                                write_block_ckpt(dir, fp_id, idx, &block, &delta, true)?;
+                                let _ = std::fs::remove_file(marker_path(dir, idx));
+                            }
+                            supervisor.committed.merge(&delta);
+                            supervisor.done.push((idx, block));
+                        }
+                        Ok(Ok(None)) => break, // aborted mid-block
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => {
+                            counters.panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+
+        let poisoned: Vec<usize> = (0..pending.len())
+            .filter(|&slot| slots[slot].poisoned.load(Ordering::Acquire))
+            .map(|slot| pending[slot])
+            .collect();
+
+        // Merge: loaded blocks and committed live blocks, in block-index
+        // order — which is Table II (profile) order, the sequential
+        // walk's order.
         let mut tagged: Vec<(usize, BlockResult)> = Vec::with_capacity(SAMPLE_BLOCKS.len());
         let mut skipped_deltas = Vec::new();
         for (idx, loaded_block) in loaded.into_iter().enumerate() {
@@ -316,24 +488,311 @@ impl ParallelCampaign {
                 skipped_deltas.push(l.metrics);
             }
         }
-        for out in outs {
-            tagged.extend(out?);
+        let mut committed_deltas = Vec::with_capacity(worker_outs.len() + 1);
+        for out in worker_outs {
+            tagged.extend(out.done);
+            committed_deltas.push(out.committed);
         }
+        tagged.extend(supervisor.done);
+        committed_deltas.push(supervisor.committed);
         tagged.sort_by_key(|(idx, _)| *idx);
         let result = CampaignResult {
             blocks: tagged.into_iter().map(|(_, b)| b).collect(),
         };
-        let snapshot = merge_worker_snapshots(
-            skipped_deltas
-                .into_iter()
-                .chain(scanners.iter().map(|s| s.telemetry().registry.snapshot())),
+        // Committed deltas only: sums telescope to exactly the raw
+        // registries on a fault-free run (byte-identical merge), and
+        // exclude in-flight garbage from panicked/stalled/aborted blocks
+        // otherwise — the snapshot always agrees with the checkpoint
+        // directory.
+        let mut snapshot =
+            merge_worker_snapshots(skipped_deltas.into_iter().chain(committed_deltas));
+        insert_exec_counters(
+            &mut snapshot,
+            counters.panics.load(Ordering::Acquire),
+            counters.requeued.load(Ordering::Acquire),
+            poisoned.len(),
         );
+        let stalls = counters.stalls.load(Ordering::Acquire);
+        if stalls > 0 {
+            snapshot
+                .counters
+                .insert(names::EXEC_STALLS.to_owned(), stalls);
+        }
         Ok(CampaignOutcome {
             result,
             snapshot,
             interrupted,
+            poisoned,
         })
     }
+}
+
+/// Per-block supervision state shared by workers, the watchdog and the
+/// supervisor fallback.
+#[derive(Debug, Default)]
+struct SlotState {
+    /// Times the block has been claimed (spawned attempts).
+    attempts: AtomicU32,
+    /// Claim epoch: bumped to invalidate an in-flight claim (watchdog
+    /// requeue, panicked owner). A commit whose claim epoch is stale is
+    /// discarded — determinism makes the requeued re-run identical.
+    epoch: AtomicU64,
+    /// Set exactly once, by the attempt that commits the block.
+    done: AtomicBool,
+    /// Attempt budget exhausted; the campaign completes around it.
+    poisoned: AtomicBool,
+}
+
+/// What a worker currently holds, for the watchdog's staleness check.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    slot: usize,
+    epoch: u64,
+    since: Instant,
+}
+
+/// Supervision tallies shared across threads, exported as `exec.*`
+/// counters (only when nonzero).
+#[derive(Debug, Default)]
+struct ExecCounters {
+    panics: AtomicU64,
+    requeued: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// One worker's contribution: committed blocks and the merged telemetry
+/// deltas of exactly those blocks.
+#[derive(Debug, Default)]
+struct WorkerOut {
+    done: Vec<(usize, BlockResult)>,
+    committed: Snapshot,
+}
+
+/// Everything a campaign worker needs, bundled to keep the spawn site
+/// readable.
+struct WorkerCtx<'a, N> {
+    w: usize,
+    scanner: &'a mut Scanner<N>,
+    campaign: &'a Campaign,
+    queue: &'a StealQueue,
+    pending: &'a [usize],
+    slots: &'a [SlotState],
+    board: &'a [Mutex<Option<Claim>>],
+    faults: Option<&'a ExecFaults>,
+    counters: &'a ExecCounters,
+    max_attempts: u32,
+    group: usize,
+    dir: Option<&'a Path>,
+    fp_id: u64,
+}
+
+/// The worker loop: claim a block, run it under `catch_unwind`, commit
+/// the result if the claim is still valid. A panicked worker requeues
+/// its block (within budget) and retires — its scanner may hold
+/// half-mutated per-block state, so it must not claim further work; the
+/// requeued block re-runs deterministically on a surviving worker (or
+/// the supervisor fallback).
+fn run_worker<N: Network>(ctx: WorkerCtx<'_, N>) -> Result<WorkerOut, StateError> {
+    let WorkerCtx {
+        w,
+        scanner,
+        campaign,
+        queue,
+        pending,
+        slots,
+        board,
+        faults,
+        counters,
+        max_attempts,
+        group,
+        dir,
+        fp_id,
+    } = ctx;
+    let mut out = WorkerOut::default();
+    let mut to_sync: Vec<PathBuf> = Vec::new();
+    let mut units = 0u64;
+    let clear_board = |b: &Mutex<Option<Claim>>| {
+        *b.lock().expect("progress board poisoned") = None;
+    };
+    let verdict = loop {
+        if scanner.is_aborted() {
+            break Ok(());
+        }
+        let Some(slot) = queue.pop(w) else {
+            break Ok(());
+        };
+        let state = &slots[slot];
+        // A stale requeue: the block committed (or was poisoned) between
+        // the push and this pop.
+        if state.done.load(Ordering::Acquire) || state.poisoned.load(Ordering::Acquire) {
+            continue;
+        }
+        let idx = pending[slot];
+        let unit = units;
+        units += 1;
+        state.attempts.fetch_add(1, Ordering::AcqRel);
+        let claim_epoch = state.epoch.load(Ordering::Acquire);
+        *board[w].lock().expect("progress board poisoned") = Some(Claim {
+            slot,
+            epoch: claim_epoch,
+            since: Instant::now(),
+        });
+        let action = faults.and_then(|f| f.on_unit(w, unit));
+        if action == Some(ExecAction::Stall) {
+            // Scripted stall: retire while still holding the claim (the
+            // board entry stays set). With a watchdog armed the claim is
+            // invalidated and requeued after one quantum; without one
+            // the supervisor fallback picks the block up after join.
+            break Ok(());
+        }
+        let attempt = catch_unwind(AssertUnwindSafe(
+            || -> Result<Option<(BlockResult, Snapshot)>, StateError> {
+                if action == Some(ExecAction::Panic) {
+                    panic!("injected executor fault: worker {w} panics on unit {unit}");
+                }
+                if let Some(dir) = dir {
+                    write_marker(dir, idx)?;
+                }
+                let baseline = scanner.telemetry().registry.snapshot();
+                let block = campaign.run_block(scanner, &SAMPLE_BLOCKS[idx]);
+                if scanner.is_aborted() {
+                    return Ok(None);
+                }
+                let delta = scanner.telemetry().registry.snapshot().diff(&baseline);
+                Ok(Some((block, delta)))
+            },
+        ));
+        match attempt {
+            Ok(Ok(Some((block, delta)))) => {
+                // Commit protocol: the claim must still carry our epoch
+                // (no watchdog requeue happened) and the done CAS must
+                // win (no requeued copy got there first). A discarded
+                // commit is pure wasted work — the surviving copy
+                // produces the identical result.
+                let committed = state.epoch.load(Ordering::Acquire) == claim_epoch
+                    && state
+                        .done
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok();
+                clear_board(&board[w]);
+                if committed {
+                    if let Some(dir) = dir {
+                        write_block_ckpt(dir, fp_id, idx, &block, &delta, group <= 1)?;
+                        if group > 1 {
+                            to_sync.push(block_path(dir, idx));
+                            if to_sync.len() >= group {
+                                flush_group(dir, &mut to_sync)?;
+                            }
+                        }
+                        let _ = std::fs::remove_file(marker_path(dir, idx));
+                    }
+                    out.committed.merge(&delta);
+                    out.done.push((idx, block));
+                }
+            }
+            Ok(Ok(None)) => {
+                // Abort hit mid-block: discard the partial work; the
+                // marker stays behind for the resume plan.
+                clear_board(&board[w]);
+                break Ok(());
+            }
+            Ok(Err(e)) => {
+                clear_board(&board[w]);
+                break Err(e);
+            }
+            Err(_) => {
+                clear_board(&board[w]);
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                // Invalidate our claim so nothing this attempt half-did
+                // can ever commit, then requeue within budget.
+                state.epoch.fetch_add(1, Ordering::AcqRel);
+                if state.attempts.load(Ordering::Acquire) < max_attempts {
+                    counters.requeued.fetch_add(1, Ordering::Relaxed);
+                    queue.push(w, slot);
+                } else {
+                    state.poisoned.store(true, Ordering::Release);
+                }
+                break Ok(());
+            }
+        }
+    };
+    // Group-commit tail: make every published-but-unsynced checkpoint
+    // durable before retiring, whatever the exit path.
+    let flushed = match dir {
+        Some(d) => flush_group(d, &mut to_sync),
+        None => Ok(()),
+    };
+    verdict?;
+    flushed?;
+    Ok(out)
+}
+
+/// The watchdog loop: every tick, scan the progress board for claims
+/// older than `quantum`. A stale claim is invalidated (epoch bump — the
+/// hung owner's late commit will be discarded) and its block requeued
+/// within the attempt budget, else poisoned. Exits once every worker has
+/// retired.
+fn run_watchdog(
+    quantum: Duration,
+    board: &[Mutex<Option<Claim>>],
+    slots: &[SlotState],
+    queue: &StealQueue,
+    active: &AtomicUsize,
+    counters: &ExecCounters,
+    max_attempts: u32,
+) {
+    let tick = (quantum / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    while active.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(tick);
+        for (w, entry) in board.iter().enumerate() {
+            let mut cur = entry.lock().expect("progress board poisoned");
+            let Some(claim) = *cur else { continue };
+            if claim.since.elapsed() < quantum {
+                continue;
+            }
+            let state = &slots[claim.slot];
+            if state.done.load(Ordering::Acquire) {
+                *cur = None;
+                continue;
+            }
+            // Invalidate the stale claim; only one invalidator can win
+            // the epoch CAS, so the requeue happens exactly once.
+            if state
+                .epoch
+                .compare_exchange(
+                    claim.epoch,
+                    claim.epoch + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                counters.stalls.fetch_add(1, Ordering::Relaxed);
+                if state.attempts.load(Ordering::Acquire) < max_attempts {
+                    counters.requeued.fetch_add(1, Ordering::Relaxed);
+                    queue.push(w, claim.slot);
+                } else {
+                    state.poisoned.store(true, Ordering::Release);
+                }
+            }
+            *cur = None;
+        }
+    }
+}
+
+/// Fsyncs a batch of published block checkpoints plus the directory —
+/// the group-commit step. No-op on an empty batch.
+fn flush_group(dir: &Path, paths: &mut Vec<PathBuf>) -> Result<(), StateError> {
+    if paths.is_empty() {
+        return Ok(());
+    }
+    for p in paths.drain(..) {
+        fp::sync_file(&p)
+            .map_err(|e| StateError::io(format!("sync checkpoint {}", p.display()), e))?;
+    }
+    fp::sync_dir(dir)
+        .map_err(|e| StateError::io(format!("sync campaign dir {}", dir.display()), e))?;
+    Ok(())
 }
 
 /// One block loaded back from its checkpoint file.
@@ -396,25 +855,41 @@ fn load_dir(dir: &Path, expected_fp: u64) -> Result<Vec<BlockMode>, StateError> 
              {fp:#018x}, this campaign fingerprints as {expected_fp:#018x}"
         )));
     }
-    Ok((0..SAMPLE_BLOCKS.len())
+    (0..SAMPLE_BLOCKS.len())
         .map(|idx| {
             if block_path(dir, idx).exists() {
-                BlockMode::Skip
+                // A present checkpoint only counts if it reads back
+                // cleanly: a crash inside the group-commit window can
+                // leave a published-but-torn file. Corrupt reclassifies
+                // as Resume (the block re-runs and the rewrite clobbers
+                // the torn file); fingerprint/config mismatches stay
+                // hard errors — re-running would scan the wrong thing.
+                match load_block_ckpt(dir, idx, expected_fp) {
+                    Ok(_) => Ok(BlockMode::Skip),
+                    Err(StateError::Corrupt(_)) => Ok(BlockMode::Resume),
+                    Err(e) => Err(e),
+                }
             } else if marker_path(dir, idx).exists() {
-                BlockMode::Resume
+                Ok(BlockMode::Resume)
             } else {
-                BlockMode::Fresh
+                Ok(BlockMode::Fresh)
             }
         })
-        .collect())
+        .collect()
 }
 
+/// Publishes one block checkpoint. With `sync: false` the data fsync is
+/// deferred to the caller's group commit ([`flush_group`]); the file is
+/// still published atomically via rename, so readers either see a whole
+/// file or (after an OS crash inside the deferred window) a torn one —
+/// which the resume planner classifies as "never completed".
 fn write_block_ckpt(
     dir: &Path,
     fp: u64,
     idx: usize,
     block: &BlockResult,
     metrics: &Snapshot,
+    sync: bool,
 ) -> Result<(), StateError> {
     let header = format!(
         "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign-block\",\
@@ -424,10 +899,11 @@ fn write_block_ckpt(
     );
     let mut e = Encoder::new();
     encode_block(&mut e, block);
-    write_sectioned(
+    write_sectioned_opts(
         &block_path(dir, idx),
         &header,
         &[("metrics", encode_snapshot(metrics)), ("block", e.finish())],
+        sync,
     )
 }
 
@@ -625,5 +1101,153 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = ParallelCampaign::new(Campaign::new(1), 0);
+    }
+
+    /// Strips the supervision counters a faulty run adds, so the rest of
+    /// the snapshot can be compared byte-for-byte against a clean run.
+    fn strip_exec(mut snap: Snapshot) -> Snapshot {
+        for name in [
+            names::EXEC_WORKER_PANICS,
+            names::EXEC_REQUEUED,
+            names::EXEC_POISONED,
+            names::EXEC_STALLS,
+        ] {
+            snap.counters.remove(name);
+        }
+        snap
+    }
+
+    #[test]
+    fn worker_panic_retries_on_surviving_worker_byte_identically() {
+        let tpb = 1 << 10;
+        let (seq, seq_snap) = sequential(tpb);
+        // Worker 0 panics on its second claimed block; the requeued block
+        // re-runs on a surviving worker (or the supervisor fallback).
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 2)
+            .with_exec_faults(ExecPlan::panic_on(0, 1))
+            .run(&base(tpb), make_world);
+        assert!(!outcome.interrupted);
+        assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+        assert_eq!(outcome.result, seq, "recovered campaign diverged");
+        assert_eq!(outcome.snapshot.counter(names::EXEC_WORKER_PANICS), 1);
+        assert_eq!(outcome.snapshot.counter(names::EXEC_REQUEUED), 1);
+        assert_eq!(strip_exec(outcome.snapshot), seq_snap);
+    }
+
+    #[test]
+    fn single_worker_panic_falls_back_to_supervisor() {
+        let tpb = 1 << 9;
+        let (seq, seq_snap) = sequential(tpb);
+        // The only worker panics on its fourth block and retires; the
+        // supervisor fallback must finish the requeued block and every
+        // block after it, still byte-identically.
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 1)
+            .with_exec_faults(ExecPlan::panic_on(0, 3))
+            .run(&base(tpb), make_world);
+        assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+        assert_eq!(outcome.result, seq, "supervisor fallback diverged");
+        assert_eq!(outcome.snapshot.counter(names::EXEC_WORKER_PANICS), 1);
+        assert_eq!(strip_exec(outcome.snapshot), seq_snap);
+    }
+
+    #[test]
+    fn stalled_worker_is_rescued_by_watchdog() {
+        let tpb = 1 << 13;
+        let (seq, seq_snap) = sequential(tpb);
+        // Worker 0 goes silent holding its first block. The quantum is
+        // calibrated between one block's runtime (a live worker must not
+        // look hung) and the surviving worker's total remaining work (the
+        // watchdog must fire while the run is still live); the wide
+        // attempt budget keeps a spuriously reclaimed slow block — whose
+        // re-run is byte-identical anyway — from ever being poisoned.
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 2)
+            .with_exec_faults(ExecPlan::stall_on(0, 0))
+            .with_watchdog(Duration::from_millis(200))
+            .with_supervision(Supervision { max_attempts: 10 })
+            .run(&base(tpb), make_world);
+        assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+        assert_eq!(outcome.result, seq, "rescued campaign diverged");
+        assert!(outcome.snapshot.counter(names::EXEC_STALLS) >= 1);
+        assert!(outcome.snapshot.counter(names::EXEC_REQUEUED) >= 1);
+        assert_eq!(strip_exec(outcome.snapshot), seq_snap);
+    }
+
+    #[test]
+    fn poisoned_block_leaves_deterministic_gap() {
+        let tpb = 1 << 9;
+        let (seq, _) = sequential(tpb);
+        // One worker, attempt budget 1: the scripted panic on the sixth
+        // claimed block (= block index 5, claims are in block order)
+        // poisons it immediately. The campaign must complete around the
+        // gap with every other block in Table II order.
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 1)
+            .with_supervision(Supervision { max_attempts: 1 })
+            .with_exec_faults(ExecPlan::panic_on(0, 5))
+            .run(&base(tpb), make_world);
+        assert_eq!(outcome.poisoned, vec![5]);
+        assert_eq!(outcome.result.blocks.len(), SAMPLE_BLOCKS.len() - 1);
+        let mut expect = seq.blocks.clone();
+        expect.remove(5);
+        assert_eq!(outcome.result.blocks, expect, "merge order must hold");
+        assert_eq!(outcome.snapshot.counter(names::EXEC_POISONED), 1);
+    }
+
+    #[test]
+    fn torn_block_checkpoint_reclassifies_as_resume() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 9;
+        let exec = ParallelCampaign::new(Campaign::new(tpb), 2);
+        let full = exec
+            .run_checkpointed(&base(tpb), &dir, false, None, make_world)
+            .unwrap();
+        // Tear block 7's checkpoint in half — what an OS crash inside the
+        // group-commit window can leave behind a rename.
+        let victim = block_path(&dir, 7);
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+        let plan = exec.resume_plan(&base(tpb), &dir).unwrap();
+        for (idx, mode) in plan.iter().enumerate() {
+            let expect = if idx == 7 {
+                BlockMode::Resume
+            } else {
+                BlockMode::Skip
+            };
+            assert_eq!(*mode, expect, "block {idx}");
+        }
+        // The resume re-runs exactly the torn block and reproduces the
+        // uninterrupted campaign byte-for-byte.
+        let resumed = exec
+            .run_checkpointed(&base(tpb), &dir, true, None, make_world)
+            .unwrap();
+        assert_eq!(resumed.result, full.result);
+        assert_eq!(resumed.snapshot, full.snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_quantums_agree_with_legacy_per_block_sync() {
+        let tpb = 1 << 9;
+        let run_with = |group: usize, tag: &str| {
+            let dir =
+                std::env::temp_dir().join(format!("xmap-pcamp-gc{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let out = ParallelCampaign::new(Campaign::new(tpb), 2)
+                .with_group_commit(group)
+                .run_checkpointed(&base(tpb), &dir, false, None, make_world)
+                .unwrap();
+            let plan = ParallelCampaign::new(Campaign::new(tpb), 2)
+                .resume_plan(&base(tpb), &dir)
+                .unwrap();
+            assert!(plan.iter().all(|m| *m == BlockMode::Skip), "{plan:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+            (out.result, out.snapshot)
+        };
+        let legacy = run_with(1, "legacy");
+        let batched = run_with(DEFAULT_GROUP_COMMIT, "batched");
+        let whole = run_with(SAMPLE_BLOCKS.len() + 1, "whole");
+        assert_eq!(legacy, batched);
+        assert_eq!(legacy, whole);
     }
 }

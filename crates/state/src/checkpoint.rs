@@ -23,6 +23,7 @@ use std::io::Write;
 use std::path::Path;
 
 use xmap_addr::Prefix;
+use xmap_failpoint::fs as fp;
 use xmap_telemetry::{HistogramSnapshot, Snapshot};
 
 use crate::codec::{crc32, Decoder, Encoder};
@@ -228,6 +229,22 @@ pub fn write_sectioned(
     header: &str,
     sections: &[(&str, Vec<u8>)],
 ) -> Result<(), StateError> {
+    write_sectioned_opts(path, header, sections, true)
+}
+
+/// [`write_sectioned`] with an explicit durability choice. With `sync:
+/// false` the temp file is *not* fsynced before the rename — the caller
+/// owns durability and must [`fp::sync_file`] the published path (and
+/// its directory) later, the group-commit pattern the campaign executor
+/// uses to batch fsyncs across blocks. A crash inside the unsynced
+/// window can leave the published file torn, which readers must treat
+/// as "block never completed" rather than a fatal error.
+pub fn write_sectioned_opts(
+    path: &Path,
+    header: &str,
+    sections: &[(&str, Vec<u8>)],
+    sync: bool,
+) -> Result<(), StateError> {
     let mut out = Vec::with_capacity(
         MAGIC.len() + header.len() + 16 + sections.iter().map(|(_, s)| s.len() + 32).sum::<usize>(),
     );
@@ -244,14 +261,16 @@ pub fn write_sectioned(
     }
     let tmp = path.with_extension("tmp");
     {
-        let mut f = fs::File::create(&tmp)
+        let mut f = fp::FpFile::create(&tmp)
             .map_err(|e| StateError::io(format!("create checkpoint {}", tmp.display()), e))?;
         f.write_all(&out)
             .map_err(|e| StateError::io(format!("write checkpoint {}", tmp.display()), e))?;
-        f.sync_all()
-            .map_err(|e| StateError::io(format!("sync checkpoint {}", tmp.display()), e))?;
+        if sync {
+            f.sync_all()
+                .map_err(|e| StateError::io(format!("sync checkpoint {}", tmp.display()), e))?;
+        }
     }
-    fs::rename(&tmp, path)
+    fp::rename(&tmp, path)
         .map_err(|e| StateError::io(format!("publish checkpoint {}", path.display()), e))
 }
 

@@ -18,9 +18,11 @@
 //! sequence — everything before it is intact, everything after is the
 //! torn tail.
 
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+use xmap_failpoint::fs::FpFile;
 
 use crate::codec::crc32;
 use crate::error::StateError;
@@ -28,10 +30,12 @@ use crate::error::StateError;
 const HEADER_LEN: usize = 8 + 4;
 const TRAILER_LEN: usize = 4;
 
-/// An open journal positioned for appending.
+/// An open journal positioned for appending. All writes route through
+/// the failpoint filesystem wrapper, so tests can inject `EIO`/`ENOSPC`,
+/// short writes, and kill-points at any journal operation.
 #[derive(Debug)]
 pub struct Wal {
-    writer: BufWriter<File>,
+    writer: BufWriter<FpFile>,
     path: PathBuf,
     next_seq: u64,
 }
@@ -49,7 +53,7 @@ pub struct Recovered {
 impl Wal {
     /// Creates (or truncates) a journal at `path`.
     pub fn create(path: &Path) -> Result<Wal, StateError> {
-        let file = File::create(path)
+        let file = FpFile::create(path)
             .map_err(|e| StateError::io(format!("create journal {}", path.display()), e))?;
         Ok(Wal {
             writer: BufWriter::new(file),
@@ -133,18 +137,13 @@ impl Wal {
             .map(|p| (HEADER_LEN + p.len() + TRAILER_LEN) as u64)
             .sum();
         rec.entries.truncate(keep as usize);
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
+        let mut file = FpFile::open_rw(path)
             .map_err(|e| StateError::io(format!("open journal {}", path.display()), e))?;
         file.set_len(keep_bytes)
             .map_err(|e| StateError::io(format!("truncate journal {}", path.display()), e))?;
-        let mut writer = BufWriter::new(file);
-        writer
-            .seek_end()
+        file.seek_end()
             .map_err(|e| StateError::io(format!("seek journal {}", path.display()), e))?;
+        let writer = BufWriter::new(file);
         Ok((
             Wal {
                 writer,
@@ -184,19 +183,11 @@ impl Wal {
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
-}
 
-/// `BufWriter<File>` has no seek-to-end helper that avoids flushing
-/// complications; this extension seeks the underlying file directly
-/// (safe here because the writer buffer is empty right after open).
-trait SeekEnd {
-    fn seek_end(&mut self) -> std::io::Result<()>;
-}
-
-impl SeekEnd for BufWriter<File> {
-    fn seek_end(&mut self) -> std::io::Result<()> {
-        use std::io::Seek;
-        self.get_mut().seek(std::io::SeekFrom::End(0)).map(|_| ())
+    /// The journal's path (used by degraded-mode sinks that drop the
+    /// writer after an I/O failure and reopen it on retry).
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 }
 

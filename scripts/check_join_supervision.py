@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Forbid unsupervised JoinHandle::join in executor production code.
+
+Usage: check_join_supervision.py FILE.rs [FILE.rs ...]
+
+The parallel executors supervise worker threads: a panicking worker is
+caught (`catch_unwind` semantics via the Result that `join()` returns),
+its shard/block is requeued with a bounded attempt budget, and repeated
+failure is reported as Poisoned rather than crashing the coordinator
+(DESIGN.md §5f). Writing `.join().expect(...)` or `.join().unwrap()` in
+production executor code reintroduces the abort-on-panic behaviour this
+hardening removed, so CI rejects it.
+
+Test modules are exempt: everything at or below the first top-level
+(column-zero) `#[cfg(test)]` line is skipped, matching the convention
+that unit tests live in a trailing `mod tests` block. Exits nonzero
+listing every offending line. Standard library only.
+"""
+
+import re
+import sys
+
+FORBIDDEN = re.compile(r"\.join\(\)\s*\.\s*(expect|unwrap)\s*\(")
+TEST_BOUNDARY = re.compile(r"^#\[cfg\(test\)\]")
+
+
+def offending_lines(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    bad = []
+    for lineno, line in enumerate(lines, start=1):
+        if TEST_BOUNDARY.match(line):
+            break  # trailing test module: everything below is exempt
+        if FORBIDDEN.search(line):
+            bad.append((lineno, line.rstrip()))
+    return bad
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        for lineno, line in offending_lines(path):
+            failed = True
+            print(
+                f"{path}:{lineno}: unsupervised join in executor code "
+                f"(match on the join() Result and requeue instead): {line.strip()}",
+                file=sys.stderr,
+            )
+    if failed:
+        return 1
+    print(f"join supervision: ok ({len(argv) - 1} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -38,9 +38,10 @@ fn run_one(
     config: &ScanConfig,
     ranges: &[ScanRange],
     every: u64,
-    world: impl Fn() -> World,
+    world: impl Fn() -> World + 'static,
 ) -> (ScanResults, Snapshot) {
     let signal = AbortSignal::new();
+    let kill_signal = signal.clone();
     let spec = SessionSpec {
         workers,
         config: config.clone(),
@@ -55,7 +56,7 @@ fn run_one(
         &IcmpEchoProbe,
         &Blocklist::allow_all(),
         Some(&signal),
-        |_, telemetry| {
+        move |_, telemetry| {
             let mut w = world();
             w.set_telemetry(telemetry);
             if let Some(n) = kill_after {
@@ -64,7 +65,7 @@ fn run_one(
                         after_probes: Some(n),
                         ..Default::default()
                     },
-                    signal.clone(),
+                    kill_signal.clone(),
                 );
             }
             w
