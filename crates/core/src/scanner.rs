@@ -541,7 +541,8 @@ impl<N: Network> Scanner<N> {
         // index still needs journalling.
         let mut journaled = results.records.len();
         // Per-slot metrics are tallied locally and flushed at observation
-        // boundaries (monitor lines, run end) — see [`HotTally`]. Received
+        // boundaries (monitor lines, every 1024 slots, run end) — see
+        // [`HotTally`]. Received
         // packets land in one scratch buffer reused across every slot.
         let mut tally = HotTally::default();
         let mut recv_buf: Vec<Ipv6Packet> = Vec::new();
@@ -659,6 +660,16 @@ impl<N: Network> Scanner<N> {
             self.network.tick_into(1, &mut recv_buf);
             now += 1;
             self.total_ticks += 1;
+            // Progress heartbeat: surface the batched tallies every 1024
+            // slots so concurrent observers of the registry — the campaign
+            // watchdog's probes-sent heartbeat above all — see a live run
+            // advancing instead of a counter frozen until run end. Counters
+            // are additive, so flush timing cannot change any final
+            // snapshot; the cost is a handful of atomic adds per KiB of
+            // slots.
+            if self.total_ticks & 0x3ff == 0 {
+                tally.flush(&self.metrics);
+            }
             if let Some(sink) = self.sink.as_mut() {
                 sink.tick();
             }

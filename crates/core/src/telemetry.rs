@@ -162,8 +162,10 @@ impl ScanMetrics {
 /// The hot path bumps these local fields (one register add, no atomics)
 /// and [`flush`](HotTally::flush)es them through the shared [`ScanMetrics`]
 /// handles at observation boundaries: before the monitor renders a status
-/// line and when a run finishes. Everything the registry exports therefore
-/// stays exact where it is read, while the per-probe cost drops to nothing.
+/// line, every 1024 send slots (the liveness heartbeat concurrent
+/// observers such as the campaign watchdog read), and when a run
+/// finishes. Everything the registry exports therefore stays exact where
+/// it is read, while the per-probe cost drops to nothing.
 ///
 /// Only metrics the send/recv loop can touch every slot are batched; rare
 /// events (suspected rate limiting, nonzero RTTs, backoff scheduling)

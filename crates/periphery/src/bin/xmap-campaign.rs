@@ -26,6 +26,8 @@
 //!       --resume-plan       dry run: print the Skip/Resume/Fresh
 //!                           classification of every block for a resume
 //!                           of the campaign in DIR, then exit
+//!       --json              with --resume-plan, emit the plan as one
+//!                           JSON object instead of CSV lines
 //!       --group-commit N    fsync block checkpoints in batches of N
 //!                           instead of per block (default 4; 1 restores
 //!                           fsync-per-block)
@@ -50,6 +52,7 @@ use xmap::{Blocklist, ScanConfig, Verdict};
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::{KillPoint, World};
 use xmap_periphery::{BlockMode, Campaign, CampaignOutcome, ParallelCampaign};
+use xmap_state::json::push_json_string;
 use xmap_state::{AbortSignal, StateError};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +68,7 @@ struct CliConfig {
     checkpoint: Option<String>,
     resume: bool,
     resume_plan: bool,
+    json: bool,
     group_commit: Option<usize>,
     watchdog_ms: Option<u64>,
     kill_after_probes: Option<u64>,
@@ -85,6 +89,7 @@ impl Default for CliConfig {
             checkpoint: None,
             resume: false,
             resume_plan: false,
+            json: false,
             group_commit: None,
             watchdog_ms: None,
             kill_after_probes: None,
@@ -125,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             "--checkpoint" => cfg.checkpoint = Some(value(&mut iter, arg)?),
             "--resume" => cfg.resume = true,
             "--resume-plan" => cfg.resume_plan = true,
+            "--json" => cfg.json = true,
             "--group-commit" => cfg.group_commit = Some(int(&mut iter, arg)? as usize),
             "--watchdog-ms" => cfg.watchdog_ms = Some(int(&mut iter, arg)?),
             "--kill-after-probes" => cfg.kill_after_probes = Some(int(&mut iter, arg)?),
@@ -144,6 +150,9 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     }
     if cfg.resume_plan && cfg.checkpoint.is_none() {
         return Err("--resume-plan requires --checkpoint <dir>".to_owned());
+    }
+    if cfg.json && !cfg.resume_plan {
+        return Err("--json only applies to --resume-plan".to_owned());
     }
     if cfg.group_commit == Some(0) {
         return Err("--group-commit must be at least 1".to_owned());
@@ -196,7 +205,12 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
                 ),
                 other => format!("checkpoint: {other}"),
             })?;
-        print_resume_plan(&plan);
+        let rendered = if cfg.json {
+            render_resume_plan_json(&plan)
+        } else {
+            render_resume_plan(&plan)
+        };
+        print!("{rendered}");
         return Ok(false);
     }
     let world_seed = cfg.world_seed;
@@ -280,35 +294,64 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
     Ok(outcome.interrupted)
 }
 
-/// Prints one line per sample block with its Skip/Resume/Fresh
+/// Skip/Resume/Fresh labels plus the tally, shared by both renderings.
+fn plan_rows(plan: &[BlockMode]) -> (Vec<&'static str>, [usize; 3]) {
+    let mut tally = [0usize; 3];
+    let labels = plan
+        .iter()
+        .map(|mode| {
+            let (label, bucket) = match mode {
+                BlockMode::Skip => ("skip", 0),
+                BlockMode::Resume => ("resume", 1),
+                BlockMode::Fresh => ("fresh", 2),
+            };
+            tally[bucket] += 1;
+            label
+        })
+        .collect();
+    (labels, tally)
+}
+
+/// One CSV line per sample block with its Skip/Resume/Fresh
 /// classification, then a one-line tally.
-fn print_resume_plan(plan: &[BlockMode]) {
-    let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "block,profile,scan_base,mode");
-    let (mut skip, mut resume, mut fresh) = (0usize, 0usize, 0usize);
-    for (idx, mode) in plan.iter().enumerate() {
-        let label = match mode {
-            BlockMode::Skip => {
-                skip += 1;
-                "skip"
-            }
-            BlockMode::Resume => {
-                resume += 1;
-                "resume"
-            }
-            BlockMode::Fresh => {
-                fresh += 1;
-                "fresh"
-            }
-        };
+fn render_resume_plan(plan: &[BlockMode]) -> String {
+    let mut out = String::from("block,profile,scan_base,mode\n");
+    let (labels, [skip, resume, fresh]) = plan_rows(plan);
+    for (idx, label) in labels.iter().enumerate() {
         let profile = &SAMPLE_BLOCKS[idx];
-        let _ = writeln!(out, "{idx},{},{},{label}", profile.name, profile.scan_base);
+        out.push_str(&format!(
+            "{idx},{},{},{label}\n",
+            profile.name, profile.scan_base
+        ));
     }
-    let _ = writeln!(
-        out,
-        "# {skip} skip / {resume} resume / {fresh} fresh of {} blocks",
+    out.push_str(&format!(
+        "# {skip} skip / {resume} resume / {fresh} fresh of {} blocks\n",
         plan.len()
-    );
+    ));
+    out
+}
+
+/// The same plan as one JSON object, for scripted consumers:
+/// `{"blocks":[{"block":0,"profile":...,"scan_base":...,"mode":...},
+/// ...],"tally":{"skip":S,"resume":R,"fresh":F}}`.
+fn render_resume_plan_json(plan: &[BlockMode]) -> String {
+    let (labels, [skip, resume, fresh]) = plan_rows(plan);
+    let mut out = String::from("{\"blocks\":[");
+    for (idx, label) in labels.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        let profile = &SAMPLE_BLOCKS[idx];
+        out.push_str(&format!("{{\"block\":{idx},\"profile\":"));
+        push_json_string(&mut out, profile.name);
+        out.push_str(",\"scan_base\":");
+        push_json_string(&mut out, profile.scan_base);
+        out.push_str(&format!(",\"mode\":\"{label}\"}}"));
+    }
+    out.push_str(&format!(
+        "],\"tally\":{{\"skip\":{skip},\"resume\":{resume},\"fresh\":{fresh}}}}}\n"
+    ));
+    out
 }
 
 fn main() -> ExitCode {
@@ -383,6 +426,10 @@ mod tests {
         );
         assert!(parse_args(&args("--group-commit 0")).is_err());
         assert!(parse_args(&args("--watchdog-ms 0")).is_err());
+        assert!(
+            parse_args(&args("--json --checkpoint /tmp/ck")).is_err(),
+            "--json without --resume-plan has nothing to format"
+        );
     }
 
     #[test]
@@ -421,6 +468,43 @@ mod tests {
             "resume-plan must not create checkpoint state"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_plan_json_is_parseable_and_tallies() {
+        use xmap_state::json::{self, Value};
+        // All fresh: no checkpoints exist for this plan.
+        let plan = vec![BlockMode::Fresh; SAMPLE_BLOCKS.len()];
+        let rendered = render_resume_plan_json(&plan);
+        let v = json::parse(rendered.trim(), "resume plan").expect("valid json");
+        let blocks = v.get("blocks").and_then(Value::as_arr).expect("blocks");
+        assert_eq!(blocks.len(), SAMPLE_BLOCKS.len());
+        for (idx, b) in blocks.iter().enumerate() {
+            assert_eq!(b.req_u64("block", "row").unwrap(), idx as u64);
+            assert_eq!(b.req_str("mode", "row").unwrap(), "fresh");
+            assert_eq!(
+                b.req_str("profile", "row").unwrap(),
+                SAMPLE_BLOCKS[idx].name
+            );
+            assert_eq!(
+                b.req_str("scan_base", "row").unwrap(),
+                SAMPLE_BLOCKS[idx].scan_base
+            );
+        }
+        let tally = v.get("tally").expect("tally");
+        assert_eq!(tally.req_u64("fresh", "tally").unwrap(), 15);
+        assert_eq!(tally.req_u64("skip", "tally").unwrap(), 0);
+        assert_eq!(tally.req_u64("resume", "tally").unwrap(), 0);
+
+        // A mixed plan tallies per mode and keeps block order.
+        let mixed = vec![BlockMode::Skip, BlockMode::Resume, BlockMode::Fresh];
+        let v = json::parse(render_resume_plan_json(&mixed).trim(), "plan").unwrap();
+        let tally = v.get("tally").expect("tally");
+        assert_eq!(tally.req_u64("skip", "tally").unwrap(), 1);
+        assert_eq!(tally.req_u64("resume", "tally").unwrap(), 1);
+        assert_eq!(tally.req_u64("fresh", "tally").unwrap(), 1);
+        // The CSV rendering tallies identically.
+        assert!(render_resume_plan(&mixed).ends_with("# 1 skip / 1 resume / 1 fresh of 3 blocks\n"));
     }
 
     #[test]

@@ -626,7 +626,11 @@ fn decode_prefix(d: &mut Decoder) -> Result<Prefix, StateError> {
     Ok(Prefix::new(addr.into(), len))
 }
 
-pub(crate) fn encode_block(e: &mut Encoder, b: &BlockResult) {
+/// Serialises one [`BlockResult`] into `e` in the `xmap-checkpoint/v1`
+/// campaign-block wire form. Exposed so external executors (the
+/// `xmap-serve` daemon) can persist per-block campaign units in the
+/// exact format the campaign checkpoints use.
+pub fn encode_block(e: &mut Encoder, b: &BlockResult) {
     e.u8(b.profile_id);
     e.seq(b.peripheries.len());
     for p in &b.peripheries {
@@ -670,7 +674,9 @@ pub(crate) fn encode_block(e: &mut Encoder, b: &BlockResult) {
     e.u64(b.mop_up_recovered as u64);
 }
 
-pub(crate) fn decode_block(d: &mut Decoder) -> Result<BlockResult, StateError> {
+/// Inverse of [`encode_block`]: decodes one [`BlockResult`], failing
+/// with [`StateError::Corrupt`] on any malformed field.
+pub fn decode_block(d: &mut Decoder) -> Result<BlockResult, StateError> {
     let profile_id = d.u8()?;
     let n = d.seq()?;
     let mut peripheries = Vec::with_capacity(n);

@@ -26,7 +26,9 @@ pub mod vendor;
 pub use alias::{check_aliased, is_aliased, AliasVerdict};
 pub use baseline::{hitlist_scan, traceroute_discovery, BaselineComparison};
 pub use boundary::{infer_boundary, BoundaryInference};
-pub use campaign::{BlockResult, Campaign, CampaignResult, DiscoveredPeriphery};
+pub use campaign::{
+    decode_block, encode_block, BlockResult, Campaign, CampaignResult, DiscoveredPeriphery,
+};
 pub use parallel::{BlockMode, CampaignOutcome, ParallelCampaign};
 pub use topomap::{Role, TopologyMap};
 pub use vendor::{identify, VendorCounts};

@@ -92,7 +92,7 @@ use xmap_state::checkpoint::{
 };
 use xmap_state::codec::{Decoder, Encoder};
 use xmap_state::{AbortSignal, StateError, CHECKPOINT_SCHEMA};
-use xmap_telemetry::{Snapshot, Telemetry};
+use xmap_telemetry::{Counter, Snapshot, Telemetry};
 
 use crate::campaign::{decode_block, encode_block, BlockResult, Campaign, CampaignResult};
 
@@ -188,12 +188,13 @@ impl ParallelCampaign {
         self
     }
 
-    /// Arms the stalled-worker watchdog: a worker that holds a claimed
-    /// block for `quantum` without completing it is presumed hung; its
-    /// claim is invalidated (a late commit is discarded) and the block
-    /// requeued for a surviving worker. Off by default — the quantum is
-    /// wall-clock, so only non-timing-sensitive callers (the CLI, the
-    /// torture harness) should arm it.
+    /// Arms the stalled-worker watchdog: a worker whose probes-sent
+    /// heartbeat stays flat for `quantum` is presumed hung; its claim is
+    /// invalidated (a late commit is discarded) and the block requeued
+    /// for a surviving worker. The quantum bounds time *without probe
+    /// progress*, not block runtime — a slow block whose worker keeps
+    /// sending probes is never reclaimed, so the quantum can be set
+    /// aggressively without fear of spurious requeues. Off by default.
     pub fn with_watchdog(mut self, quantum: Duration) -> Self {
         self.watchdog = Some(quantum);
         self
@@ -544,11 +545,20 @@ struct SlotState {
 }
 
 /// What a worker currently holds, for the watchdog's staleness check.
-#[derive(Debug, Clone, Copy)]
+///
+/// `sent`/`last_sent` are the heartbeat: a live handle on the owning
+/// worker's `scan.sent` counter plus the value last observed by the
+/// watchdog. Any probe sent since the previous tick proves the owner
+/// alive and resets its quantum clock, so a slow-but-progressing block
+/// is never spuriously reclaimed — only a worker that stops sending
+/// probes altogether for a full quantum counts as hung.
+#[derive(Debug, Clone)]
 struct Claim {
     slot: usize,
     epoch: u64,
     since: Instant,
+    sent: Counter,
+    last_sent: u64,
 }
 
 /// Supervision tallies shared across threads, exported as `exec.*`
@@ -611,6 +621,10 @@ fn run_worker<N: Network>(ctx: WorkerCtx<'_, N>) -> Result<WorkerOut, StateError
     let mut out = WorkerOut::default();
     let mut to_sync: Vec<PathBuf> = Vec::new();
     let mut units = 0u64;
+    // The heartbeat the watchdog reads: this worker's own probes-sent
+    // counter. The handle is shared with the scanner's registry, so the
+    // watchdog sees increments the moment they happen.
+    let sent = scanner.telemetry().registry.counter(names::SENT);
     let clear_board = |b: &Mutex<Option<Claim>>| {
         *b.lock().expect("progress board poisoned") = None;
     };
@@ -636,6 +650,8 @@ fn run_worker<N: Network>(ctx: WorkerCtx<'_, N>) -> Result<WorkerOut, StateError
             slot,
             epoch: claim_epoch,
             since: Instant::now(),
+            sent: sent.clone(),
+            last_sent: sent.get(),
         });
         let action = faults.and_then(|f| f.on_unit(w, unit));
         if action == Some(ExecAction::Stall) {
@@ -728,9 +744,12 @@ fn run_worker<N: Network>(ctx: WorkerCtx<'_, N>) -> Result<WorkerOut, StateError
 }
 
 /// The watchdog loop: every tick, scan the progress board for claims
-/// older than `quantum`. A stale claim is invalidated (epoch bump — the
-/// hung owner's late commit will be discarded) and its block requeued
-/// within the attempt budget, else poisoned. Exits once every worker has
+/// whose probes-sent heartbeat has been flat for `quantum`. A claim
+/// showing any probe progress since the previous tick has its clock
+/// reset — only a worker that sends nothing for a full quantum is
+/// presumed hung. A stale claim is invalidated (epoch bump — the hung
+/// owner's late commit will be discarded) and its block requeued within
+/// the attempt budget, else poisoned. Exits once every worker has
 /// retired.
 fn run_watchdog(
     quantum: Duration,
@@ -746,11 +765,21 @@ fn run_watchdog(
         std::thread::sleep(tick);
         for (w, entry) in board.iter().enumerate() {
             let mut cur = entry.lock().expect("progress board poisoned");
-            let Some(claim) = *cur else { continue };
+            let Some(claim) = cur.as_mut() else { continue };
+            // Heartbeat first: any probe sent since the last observation
+            // proves the owner alive, however slowly the block is going,
+            // and restarts its quantum clock.
+            let sent_now = claim.sent.get();
+            if sent_now != claim.last_sent {
+                claim.last_sent = sent_now;
+                claim.since = Instant::now();
+                continue;
+            }
             if claim.since.elapsed() < quantum {
                 continue;
             }
-            let state = &slots[claim.slot];
+            let (slot, epoch) = (claim.slot, claim.epoch);
+            let state = &slots[slot];
             if state.done.load(Ordering::Acquire) {
                 *cur = None;
                 continue;
@@ -759,18 +788,13 @@ fn run_watchdog(
             // the epoch CAS, so the requeue happens exactly once.
             if state
                 .epoch
-                .compare_exchange(
-                    claim.epoch,
-                    claim.epoch + 1,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
+                .compare_exchange(epoch, epoch + 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 counters.stalls.fetch_add(1, Ordering::Relaxed);
                 if state.attempts.load(Ordering::Acquire) < max_attempts {
                     counters.requeued.fetch_add(1, Ordering::Relaxed);
-                    queue.push(w, claim.slot);
+                    queue.push(w, slot);
                 } else {
                     state.poisoned.store(true, Ordering::Release);
                 }
@@ -1169,6 +1193,34 @@ mod tests {
         assert_eq!(outcome.result, seq, "rescued campaign diverged");
         assert!(outcome.snapshot.counter(names::EXEC_STALLS) >= 1);
         assert!(outcome.snapshot.counter(names::EXEC_REQUEUED) >= 1);
+        assert_eq!(strip_exec(outcome.snapshot), seq_snap);
+    }
+
+    #[test]
+    fn slow_but_alive_worker_is_never_reclaimed() {
+        // The watchdog bounds time *without probe progress*, not block
+        // runtime. Arm it with a quantum well below one block's runtime
+        // — under a wall-clock rule every block would be spuriously
+        // requeued — and assert a healthy run sees zero stalls and stays
+        // byte-identical to sequential. The quantum self-calibrates from
+        // the measured sequential pace, floored high enough that OS
+        // scheduling jitter can't fake a flat heartbeat.
+        let tpb = 1 << 14;
+        let t0 = Instant::now();
+        let (seq, seq_snap) = sequential(tpb);
+        let per_block = t0.elapsed() / SAMPLE_BLOCKS.len() as u32;
+        let quantum = (per_block / 4).max(Duration::from_millis(75));
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 2)
+            .with_watchdog(quantum)
+            .run(&base(tpb), make_world);
+        assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+        assert_eq!(outcome.result, seq, "slow-but-alive campaign diverged");
+        assert_eq!(
+            outcome.snapshot.counter(names::EXEC_STALLS),
+            0,
+            "live worker was spuriously reclaimed"
+        );
+        assert_eq!(outcome.snapshot.counter(names::EXEC_REQUEUED), 0);
         assert_eq!(strip_exec(outcome.snapshot), seq_snap);
     }
 

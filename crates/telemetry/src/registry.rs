@@ -835,4 +835,87 @@ mod tests {
         assert_eq!(snap.histograms["h"].count, 3);
         assert_eq!(snap.histograms["h"].sum, 52);
     }
+
+    #[test]
+    fn absorb_of_empty_snapshot_is_a_no_op() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.histogram("h", &[1, 4]).record(2);
+        let before = reg.snapshot();
+        // An empty registry's snapshot carries no metrics at all.
+        reg.absorb(&Registry::new().snapshot());
+        assert_eq!(reg.snapshot(), before);
+        // The mirror case: absorbing into an empty registry recreates
+        // the counters and histograms (gauges stay absent by design).
+        let fresh = Registry::new();
+        fresh.absorb(&before);
+        let snap = fresh.snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.histograms["h"], before.histograms["h"]);
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_underflowing() {
+        // A counter that regressed below its baseline (a restore from an
+        // older snapshot, or u64 wrap-around in a pathological run) must
+        // diff to zero, not to a huge bogus delta.
+        let reg = Registry::new();
+        reg.counter("c").add(100);
+        let baseline = reg.snapshot();
+        let newer = Registry::new();
+        newer.counter("c").add(40);
+        let delta = newer.snapshot().diff(&baseline);
+        assert_eq!(delta.counter("c"), 0, "saturating, not wrapping");
+
+        // At the saturation ceiling the delta still subtracts cleanly.
+        let reg = Registry::new();
+        reg.counter("c").add(u64::MAX);
+        let base = reg.snapshot();
+        reg.counter("c").add(5); // fetch_add wraps the cell; snapshot sees the wrap
+        let wrapped = reg.snapshot();
+        assert_eq!(
+            wrapped.diff(&base).counter("c"),
+            0,
+            "wrapped cell saturates to zero"
+        );
+        assert_eq!(base.diff(&wrapped).counter("c"), u64::MAX - 4);
+
+        // Histogram count/buckets saturate the same way; sum wraps by
+        // contract so merge can reverse it.
+        let a = Registry::new();
+        a.histogram("h", &[10]).record(3);
+        let b = Registry::new();
+        let bh = b.histogram("h", &[10]);
+        bh.record(3);
+        bh.record(4);
+        let d = a.snapshot().diff(&b.snapshot());
+        assert_eq!(d.histograms["h"].count, 0);
+        assert!(d.histograms["h"].counts.iter().all(|c| *c == 0));
+    }
+
+    #[test]
+    fn diff_with_disjoint_metric_sets_keeps_only_self() {
+        let current = Registry::new();
+        current.counter("mine").add(9);
+        current.gauge("mg").set(2);
+        current.histogram("mh", &[1]).record(0);
+        let baseline = Registry::new();
+        baseline.counter("theirs").add(5);
+        baseline.gauge("tg").set(8);
+        baseline.histogram("th", &[1]).record(0);
+
+        let delta = current.snapshot().diff(&baseline.snapshot());
+        // Metrics only the baseline knew are dropped, not negated: a
+        // delta must be absorbable without inventing regressions.
+        assert_eq!(delta.counter("mine"), 9);
+        assert!(!delta.counters.contains_key("theirs"));
+        assert_eq!(delta.gauges.get("mg"), Some(&2));
+        assert!(!delta.gauges.contains_key("tg"));
+        assert!(delta.histograms.contains_key("mh"));
+        assert!(!delta.histograms.contains_key("th"));
+        // Diffing against a completely empty baseline is the identity.
+        let snap = current.snapshot();
+        assert_eq!(snap.diff(&Snapshot::default()), snap);
+    }
 }

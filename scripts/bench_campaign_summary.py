@@ -95,6 +95,18 @@ def main():
         "configs": [configs[w] for w in sorted(configs)],
         "dedup": sorted(dedup, key=lambda d: d["log2_responders"]),
     }
+    if doc["cpus"] == 1:
+        # Make the hardware caveat impossible to miss, in both the JSON
+        # document and the CI log.
+        doc["warning"] = (
+            "single-CPU host: workers are time-sliced, so speedup_vs_1_worker "
+            "measures scheduling overhead, not parallelism"
+        )
+        print(
+            "bench_campaign_summary: WARNING: single-CPU host — "
+            "multi-worker speedups are not meaningful",
+            file=sys.stderr,
+        )
     rendered = json.dumps(doc, indent=2) + "\n"
     with open(out, "w", encoding="utf-8") as f:
         f.write(rendered)

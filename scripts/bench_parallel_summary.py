@@ -70,6 +70,18 @@ def main():
         "cpus": os.cpu_count(),
         "configs": [configs[w] for w in sorted(configs)],
     }
+    if doc["cpus"] == 1:
+        # Make the hardware caveat impossible to miss, in both the JSON
+        # document and the CI log.
+        doc["warning"] = (
+            "single-CPU host: workers are time-sliced, so speedup_vs_1_worker "
+            "measures scheduling overhead, not parallelism"
+        )
+        print(
+            "bench_parallel_summary: WARNING: single-CPU host — "
+            "multi-worker speedups are not meaningful",
+            file=sys.stderr,
+        )
     rendered = json.dumps(doc, indent=2) + "\n"
     with open(out, "w", encoding="utf-8") as f:
         f.write(rendered)
