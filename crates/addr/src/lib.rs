@@ -37,6 +37,7 @@ mod ip6;
 mod mac;
 pub mod oui;
 mod prefix;
+mod prefix_tree;
 mod range;
 mod slaac;
 
@@ -46,5 +47,6 @@ pub use iid::{classify_iid, IidClass, IidHistogram};
 pub use ip6::Ip6;
 pub use mac::Mac;
 pub use prefix::Prefix;
+pub use prefix_tree::{NodeState, PrefixTree, TreeNode};
 pub use range::ScanRange;
 pub use slaac::{eui64_address, random_iid_address, stable_opaque_iid};

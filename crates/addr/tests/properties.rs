@@ -1,7 +1,9 @@
 //! Property-based tests for xmap-addr invariants.
 
 use proptest::prelude::*;
-use xmap_addr::{classify_iid, eui64_address, IidClass, Ip6, Mac, Prefix, ScanRange};
+use xmap_addr::{
+    classify_iid, eui64_address, IidClass, Ip6, Mac, NodeState, Prefix, PrefixTree, ScanRange,
+};
 
 proptest! {
     /// Display → parse is the identity for addresses.
@@ -99,5 +101,60 @@ proptest! {
         let t = slice.nth(inner).unwrap();
         prop_assert!(base.covers(t));
         prop_assert!(range.index_of(t.addr()).is_some());
+    }
+
+    /// Under arbitrary record/split/prune/exhaust sequences the prefix
+    /// tree keeps the two invariants the adaptive engine rests on: the
+    /// terminal nodes always partition the root's leaf space, and a node
+    /// that ever drew a hit is never pruned.
+    #[test]
+    fn prefix_tree_random_ops_hold_invariants(seed in any::<u64>(), leaf_extra in 4u8..=16, branch in 1u8..=8) {
+        let mut rng = seed;
+        let mut next = || {
+            // splitmix64: full-period, seed-friendly.
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let root: Prefix = "2001:db8::/48".parse().unwrap();
+        let mut tree = PrefixTree::new(root, root.len() + leaf_extra, branch);
+        for _ in 0..64 {
+            let frontier = tree.frontier();
+            if frontier.is_empty() {
+                break;
+            }
+            let idx = frontier[next() as usize % frontier.len()];
+            match next() % 4 {
+                0 => {
+                    let probes = next() % 16;
+                    tree.record(idx, probes, if probes == 0 { 0 } else { next() % (probes + 1) });
+                }
+                1 => {
+                    let had_hits = tree.node(idx).hits > 0;
+                    let pruned = tree.prune(idx);
+                    prop_assert_eq!(pruned, !had_hits, "prune must refuse exactly the responsive nodes");
+                    if had_hits {
+                        prop_assert_eq!(tree.node(idx).state, NodeState::Active);
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(tree.split(idx).is_some(), tree.can_split(idx));
+                }
+                _ => tree.exhaust(idx),
+            }
+            prop_assert!(tree.coverage_is_partition(), "terminal spans must partition the root");
+        }
+        for node in tree.nodes() {
+            if node.state == NodeState::Pruned {
+                prop_assert_eq!(node.hits, 0, "a responsive sub-prefix was pruned");
+            }
+        }
+        // The surviving structure is exactly reconstructible — the shape
+        // the checkpoint codec round-trips through.
+        let nodes: Vec<_> = tree.nodes().cloned().collect();
+        let rebuilt = PrefixTree::from_parts(tree.root(), tree.leaf_len(), tree.branch_bits(), nodes).unwrap();
+        prop_assert_eq!(rebuilt, tree);
     }
 }

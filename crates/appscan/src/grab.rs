@@ -54,9 +54,22 @@ pub fn metric_name(prefix: &str, kind: ServiceKind) -> String {
 /// the per-protocol `appscan.grabs.<svc>` counter and every valid
 /// response bumps `appscan.open.<svc>`.
 pub fn grab<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+    let mut scratch = Vec::new();
+    grab_with(scanner, addr, kind, &mut scratch)
+}
+
+/// [`grab`] with an external response buffer, for drivers grabbing many
+/// (target, service) pairs: the buffer's capacity is reused across
+/// calls, so the steady-state grab loop does not allocate.
+pub fn grab_with<N: Network>(
+    scanner: &mut Scanner<N>,
+    addr: Ip6,
+    kind: ServiceKind,
+    scratch: &mut Vec<Ipv6Packet>,
+) -> GrabOutcome {
     let out = match kind.transport() {
-        TransportProto::Udp => grab_udp(scanner, addr, kind),
-        TransportProto::Tcp => grab_tcp(scanner, addr, kind),
+        TransportProto::Udp => grab_udp(scanner, addr, kind, scratch),
+        TransportProto::Tcp => grab_tcp(scanner, addr, kind, scratch),
     };
     let registry = &scanner.telemetry().registry;
     if registry.is_enabled() {
@@ -68,34 +81,47 @@ pub fn grab<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) 
     out
 }
 
-fn grab_udp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+fn grab_udp<N: Network>(
+    scanner: &mut Scanner<N>,
+    addr: Ip6,
+    kind: ServiceKind,
+    scratch: &mut Vec<Ipv6Packet>,
+) -> GrabOutcome {
     let src = scanner.config().source;
     let sport = scanner.validator().source_port(addr);
     let probe = Ipv6Packet::udp_request(src, addr, sport, kind.port(), kind.request());
-    let responses = scanner.network_mut().handle(probe);
-    classify_app_responses(responses, sport, kind)
+    scratch.clear();
+    scanner.network_mut().handle_into(probe, scratch);
+    classify_app_responses(scratch, sport, kind)
 }
 
-fn grab_tcp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) -> GrabOutcome {
+fn grab_tcp<N: Network>(
+    scanner: &mut Scanner<N>,
+    addr: Ip6,
+    kind: ServiceKind,
+    scratch: &mut Vec<Ipv6Packet>,
+) -> GrabOutcome {
     let src = scanner.config().source;
     let sport = scanner.validator().source_port(addr);
     // Step 1: SYN to check openness.
     let syn = Ipv6Packet::tcp_syn(src, addr, sport, kind.port());
     let mut open = false;
-    for resp in scanner.network_mut().handle(syn) {
-        match resp.payload {
+    scratch.clear();
+    scanner.network_mut().handle_into(syn, scratch);
+    for resp in scratch.iter() {
+        match &resp.payload {
             Payload::Tcp {
                 flags: TcpFlags::SynAck,
                 dst_port,
                 ..
-            } if dst_port == sport => {
+            } if *dst_port == sport => {
                 open = true;
             }
             Payload::Tcp {
                 flags: TcpFlags::Rst,
                 dst_port,
                 ..
-            } if dst_port == sport => {
+            } if *dst_port == sport => {
                 return GrabOutcome::Closed;
             }
             Payload::Icmp(_) => return GrabOutcome::Closed,
@@ -107,16 +133,17 @@ fn grab_tcp<N: Network>(scanner: &mut Scanner<N>, addr: Ip6, kind: ServiceKind) 
     }
     // Step 2: application exchange.
     let req = Ipv6Packet::tcp_request(src, addr, sport, kind.port(), kind.request());
-    let responses = scanner.network_mut().handle(req);
-    classify_app_responses(responses, sport, kind)
+    scratch.clear();
+    scanner.network_mut().handle_into(req, scratch);
+    classify_app_responses(scratch, sport, kind)
 }
 
 fn classify_app_responses(
-    responses: Vec<Ipv6Packet>,
+    responses: &mut Vec<Ipv6Packet>,
     sport: u16,
     kind: ServiceKind,
 ) -> GrabOutcome {
-    for resp in responses {
+    for resp in responses.drain(..) {
         match resp.payload {
             Payload::Udp {
                 dst_port,

@@ -24,7 +24,7 @@ pub mod software;
 pub mod survey;
 
 pub use dnsamp::{assess, AmpAssessment, AmpQuery};
-pub use grab::{grab, GrabOutcome};
+pub use grab::{grab, grab_with, GrabOutcome};
 pub use report::{fig2_rows, fig3_rows, VendorServiceMatrix};
 pub use software::{parse_banner, resolve_banner, SoftwareStats};
 pub use survey::{ServiceObservation, ServiceSurvey, SurveyRunner};

@@ -13,7 +13,7 @@ use xmap_netsim::packet::Network;
 use xmap_netsim::services::{AppResponse, ServiceKind, SoftwareId};
 use xmap_periphery::{CampaignResult, DiscoveredPeriphery};
 
-use crate::grab::{grab, GrabOutcome};
+use crate::grab::{grab_with, GrabOutcome};
 
 /// One alive-service observation.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,8 +157,11 @@ impl SurveyRunner {
         periphery: &DiscoveredPeriphery,
         survey: &mut ServiceSurvey,
     ) {
+        let mut scratch = Vec::new();
         for kind in ServiceKind::ALL {
-            if let GrabOutcome::Open(response) = grab(scanner, periphery.address, kind) {
+            if let GrabOutcome::Open(response) =
+                grab_with(scanner, periphery.address, kind, &mut scratch)
+            {
                 survey.observations.push(ServiceObservation {
                     address: periphery.address,
                     profile_id,

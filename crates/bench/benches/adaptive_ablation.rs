@@ -1,0 +1,142 @@
+//! Adaptive vs exhaustive target generation: the probes-per-discovered-CPE
+//! ablation behind the adaptive engine's headline claim.
+//!
+//! Both arms run the *same* engine ([`AdaptiveCampaign`]) over the same
+//! seeded clustered-sparse world, restricted to the first 2^16 targets of
+//! each sample block so coverage is equal by construction. The exhaustive
+//! arm uses [`AdaptiveConfig::exhaustive`] — adaptation switched off, the
+//! root enumerated to exhaustion — and the adaptive arm uses the default
+//! split/prune knobs. The difference between the arms is therefore exactly
+//! the prefix-tree policy, not a pipeline difference.
+//!
+//! Before timing, the benchmark computes the ablation table once (probes,
+//! discoveries, recall against the exhaustive responder set,
+//! probes-per-CPE) and **asserts** the acceptance bars: the adaptive arm
+//! must draw at least 5× fewer probes while recalling at least 95% of the
+//! exhaustive arm's responders. Each arm's numbers are printed as one
+//! deterministic `ablation-row: {json}` line; CI feeds the run's output to
+//! `scripts/bench_adaptive_summary.py`, which turns those rows into
+//! `BENCH_adaptive.json` and re-checks the same bars.
+//!
+//! The timed portion then measures wall-clock per full fifteen-block run
+//! of each arm, with throughput declared in probes so the report shows
+//! probes/sec through the shared probe pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmap::ScanConfig;
+use xmap_addr::{FxHashSet, Ip6};
+use xmap_netsim::world::{Allocation, World, WorldConfig};
+use xmap_periphery::{AdaptiveCampaign, AdaptiveConfig};
+use xmap_telemetry::Telemetry;
+
+/// Equal-coverage slice: each block's first 2^16 leaf targets.
+const ROOT_BITS: u8 = 16;
+
+/// The clustered-sparse allocation the ablation runs on: 1-in-256 pods of
+/// 256 consecutive assignments are active, so responders concentrate and
+/// the surrounding space is genuinely empty — the regime the paper's
+/// periphery blocks exhibit and the one where pruning must pay off.
+fn sparse_world(telemetry: &Telemetry) -> World {
+    let mut world = World::with_config(WorldConfig::lossless(99, 10).with_allocation(
+        Allocation::Clustered {
+            pod_bits: 8,
+            active_frac: 1.0 / 256.0,
+        },
+    ));
+    world.set_telemetry(telemetry);
+    world
+}
+
+fn base() -> ScanConfig {
+    ScanConfig {
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn adaptive_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        root_bits: Some(ROOT_BITS),
+        ..AdaptiveConfig::default()
+    }
+}
+
+/// One arm's ablation numbers.
+struct ArmMetrics {
+    probes: u64,
+    addresses: FxHashSet<Ip6>,
+}
+
+fn run_arm(config: AdaptiveConfig) -> ArmMetrics {
+    let outcome = AdaptiveCampaign::new(config).run(&base(), sparse_world);
+    ArmMetrics {
+        probes: outcome.result.blocks.iter().map(|b| b.probed).sum(),
+        addresses: outcome.result.peripheries().map(|p| p.address).collect(),
+    }
+}
+
+/// Prints one machine-readable ablation row. Every field is a pure
+/// function of the fixed seeds, so the line is byte-stable across runs
+/// and hosts — the summary script treats it as data, not measurement.
+fn print_row(arm: &str, m: &ArmMetrics, recall: f64) {
+    let discoveries = m.addresses.len();
+    println!(
+        "ablation-row: {{\"arm\":\"{arm}\",\"probes\":{},\"discoveries\":{discoveries},\
+         \"recall\":{recall:.4},\"probes_per_cpe\":{:.2}}}",
+        m.probes,
+        m.probes as f64 / discoveries.max(1) as f64,
+    );
+}
+
+fn bench_adaptive_ablation(c: &mut Criterion) {
+    // The ablation table, computed once up front (both arms are seeded
+    // and single-threaded, so this is deterministic) and asserted here so
+    // a policy regression fails the bench even without the summary script.
+    let exhaustive = run_arm(AdaptiveConfig::exhaustive(Some(ROOT_BITS)));
+    let adaptive = run_arm(adaptive_config());
+    assert!(
+        !exhaustive.addresses.is_empty(),
+        "exhaustive arm found nothing"
+    );
+    let recall = adaptive
+        .addresses
+        .intersection(&exhaustive.addresses)
+        .count() as f64
+        / exhaustive.addresses.len() as f64;
+    print_row("exhaustive", &exhaustive, 1.0);
+    print_row("adaptive", &adaptive, recall);
+    assert!(
+        recall >= 0.95,
+        "adaptive recall {recall:.4} below the 95% bar"
+    );
+    assert!(
+        adaptive.probes * 5 <= exhaustive.probes,
+        "probe reduction below 5x: adaptive {} vs exhaustive {}",
+        adaptive.probes,
+        exhaustive.probes
+    );
+
+    let mut g = c.benchmark_group("adaptive_ablation");
+    for (arm, config, probes) in [
+        (
+            "exhaustive",
+            AdaptiveConfig::exhaustive(Some(ROOT_BITS)),
+            exhaustive.probes,
+        ),
+        ("adaptive", adaptive_config(), adaptive.probes),
+    ] {
+        g.throughput(Throughput::Elements(probes));
+        g.bench_with_input(BenchmarkId::new(arm, ROOT_BITS), &config, |b, config| {
+            b.iter_batched(
+                || AdaptiveCampaign::new(config.clone()),
+                |engine| black_box(engine.run(&base(), sparse_world)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adaptive_ablation);
+criterion_main!(benches);

@@ -54,6 +54,7 @@ pub mod scanner;
 pub mod target;
 pub mod telemetry;
 pub mod validate;
+pub mod walk;
 
 pub use blocklist::{Blocklist, Verdict};
 pub use checkpoint::{
@@ -73,3 +74,4 @@ pub use scanner::{
 pub use target::{fill_host_bits, TargetSpec};
 pub use telemetry::ScanMetrics;
 pub use validate::Validator;
+pub use walk::IndexWalk;

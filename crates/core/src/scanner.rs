@@ -416,24 +416,41 @@ impl<N: Network> Scanner<N> {
         module: &dyn ProbeModule,
         hop_limit: u8,
     ) -> Vec<(Ip6, ProbeResult)> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.probe_addr_into(dst, module, hop_limit, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`probe_addr`](Self::probe_addr) into caller-owned buffers: the
+    /// raw responses land in `scratch` and the classified results in
+    /// `out` (both cleared first). Targeted inner loops — loop
+    /// detection, application grabs, adaptive sampling — reuse the
+    /// buffers across probes so the steady state allocates nothing.
+    pub fn probe_addr_into(
+        &mut self,
+        dst: Ip6,
+        module: &dyn ProbeModule,
+        hop_limit: u8,
+        scratch: &mut Vec<Ipv6Packet>,
+        out: &mut Vec<(Ip6, ProbeResult)>,
+    ) {
         let probe = module.build(self.config.source, dst, hop_limit, &self.validator);
         self.metrics.sent.inc();
-        let out: Vec<(Ip6, ProbeResult)> = self
-            .network
-            .handle(probe)
-            .into_iter()
-            .map(|resp| (resp.src, module.classify(&resp, &self.validator)))
-            .collect();
-        for (_, result) in &out {
+        scratch.clear();
+        out.clear();
+        self.network.handle_into(probe, scratch);
+        for resp in scratch.iter() {
+            let result = module.classify(resp, &self.validator);
             self.metrics.received.inc();
             if matches!(result, ProbeResult::Invalid) {
                 self.metrics.invalid.inc();
             } else {
                 self.metrics.valid.inc();
             }
+            out.push((resp.src, result));
         }
         self.network.flush_telemetry();
-        out
     }
 
     /// Scans one range with a probe module, honouring the blocklist.

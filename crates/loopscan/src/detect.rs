@@ -48,8 +48,12 @@ pub fn detect_loop<N: Network>(scanner: &mut Scanner<N>, dst: Ip6) -> LoopVerdic
 /// `hoplimit_tradeoff` ablation varies this: larger h still detects the
 /// same loops but each probe's loop traffic grows with (h − n).
 pub fn detect_loop_with<N: Network>(scanner: &mut Scanner<N>, dst: Ip6, h: u8) -> LoopVerdict {
-    let first = scanner.probe_addr(dst, &IcmpEchoProbe, h);
-    let verdict = match te_source(&first) {
+    // One scratch + answer buffer pair per detection keeps the hot
+    // double-probe free of per-probe allocations.
+    let mut scratch = Vec::new();
+    let mut answers = Vec::new();
+    scanner.probe_addr_into(dst, &IcmpEchoProbe, h, &mut scratch, &mut answers);
+    let verdict = match te_source(&answers) {
         None => LoopVerdict {
             vulnerable: false,
             responder: None,
@@ -57,8 +61,14 @@ pub fn detect_loop_with<N: Network>(scanner: &mut Scanner<N>, dst: Ip6, h: u8) -
         Some(responder) => {
             // Confirmation probe with h+2: a loop still exceeds; a path
             // that was merely two hops short now completes.
-            let second = scanner.probe_addr(dst, &IcmpEchoProbe, h.saturating_add(2));
-            match te_source(&second) {
+            scanner.probe_addr_into(
+                dst,
+                &IcmpEchoProbe,
+                h.saturating_add(2),
+                &mut scratch,
+                &mut answers,
+            );
+            match te_source(&answers) {
                 Some(r2) if r2 == responder => LoopVerdict {
                     vulnerable: true,
                     responder: Some(responder),

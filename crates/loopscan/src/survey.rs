@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use xmap::{IcmpEchoProbe, ProbeResult, Scanner};
+use xmap::{IcmpEchoProbe, IndexWalk, ProbeResult, Scanner};
 use xmap_addr::oui;
 use xmap_addr::{classify_iid, IidClass, IidHistogram, Ip6, Mac};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
@@ -20,6 +20,11 @@ use xmap_netsim::packet::Network;
 use xmap_netsim::World;
 
 use crate::detect::{detect_loop, PROBE_HOP_LIMIT};
+
+/// Chunk size of the strided [`IndexWalk`] target streams: both surveys
+/// draw their indices through the scanner's chunked fill discipline
+/// instead of per-target arithmetic.
+const WALK_CHUNK: usize = 64;
 
 /// One last hop observed in the BGP survey.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,34 +155,43 @@ impl BgpSurvey {
             // spreading deterministically over the 2^16 indices.
             let space = 1u64 << 16;
             let step = (space / self.probes_per_prefix.min(space)).max(1);
-            for k in 0..self.probes_per_prefix.min(space) {
-                let index = (k * step) % space;
-                let target = entry.prefix.subprefix(48, index as u128);
-                let dst = xmap::fill_host_bits(target, scanner.config().seed);
-                result.probes += 1;
-                let responses = scanner.probe_addr(dst, &IcmpEchoProbe, PROBE_HOP_LIMIT);
-                let responder = responses.iter().find_map(|(src, r)| match r {
-                    ProbeResult::Unreachable { .. } => Some((*src, false)),
-                    ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => Some((*src, true)),
-                    _ => None,
-                });
-                let Some((address, te)) = responder else {
-                    continue;
-                };
-                if !seen.insert(address) {
-                    continue;
+            let mut walk = IndexWalk::strided(0, step, self.probes_per_prefix.min(space));
+            let mut buf = [0u64; WALK_CHUNK];
+            loop {
+                let n = walk.fill(&mut buf);
+                if n == 0 {
+                    break;
                 }
-                let vulnerable = if te {
-                    detect_loop(scanner, dst).vulnerable
-                } else {
-                    false
-                };
-                result.last_hops.push(BgpLastHop {
-                    address,
-                    asn: entry.asn,
-                    country,
-                    vulnerable,
-                });
+                for &index in &buf[..n] {
+                    let target = entry.prefix.subprefix(48, index as u128);
+                    let dst = xmap::fill_host_bits(target, scanner.config().seed);
+                    result.probes += 1;
+                    let responses = scanner.probe_addr(dst, &IcmpEchoProbe, PROBE_HOP_LIMIT);
+                    let responder = responses.iter().find_map(|(src, r)| match r {
+                        ProbeResult::Unreachable { .. } => Some((*src, false)),
+                        ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => {
+                            Some((*src, true))
+                        }
+                        _ => None,
+                    });
+                    let Some((address, te)) = responder else {
+                        continue;
+                    };
+                    if !seen.insert(address) {
+                        continue;
+                    }
+                    let vulnerable = if te {
+                        detect_loop(scanner, dst).vulnerable
+                    } else {
+                        false
+                    };
+                    result.last_hops.push(BgpLastHop {
+                        address,
+                        asn: entry.asn,
+                        country,
+                        vulnerable,
+                    });
+                }
             }
         }
         result
@@ -318,31 +332,38 @@ impl DepthSurvey {
         let step = ((space / budget as u128).max(1)) as u64;
         let mut seen = HashSet::new();
         let mut probed = 0u64;
-        for k in 0..budget {
-            let index = (k * step) % (space as u64);
-            let Some(target) = range.nth(index) else {
-                continue;
-            };
-            let dst = xmap::fill_host_bits(target, scanner.config().seed);
-            probed += 1;
-            let verdict = crate::detect::detect_loop_with(scanner, dst, self.hop_limit);
-            if !verdict.vulnerable {
-                continue;
+        let mut walk = IndexWalk::strided(0, step, budget);
+        let mut buf = [0u64; WALK_CHUNK];
+        loop {
+            let n = walk.fill(&mut buf);
+            if n == 0 {
+                break;
             }
-            let address = verdict.responder.expect("vulnerable implies responder");
-            if !seen.insert(address) {
-                continue;
+            for &index in &buf[..n] {
+                let Some(target) = range.nth(index) else {
+                    continue;
+                };
+                let dst = xmap::fill_host_bits(target, scanner.config().seed);
+                probed += 1;
+                let verdict = crate::detect::detect_loop_with(scanner, dst, self.hop_limit);
+                if !verdict.vulnerable {
+                    continue;
+                }
+                let address = verdict.responder.expect("vulnerable implies responder");
+                if !seen.insert(address) {
+                    continue;
+                }
+                let mac = Mac::from_eui64(address.iid())
+                    .filter(|_| classify_iid(address) == IidClass::Eui64);
+                result.peripheries.push(LoopPeriphery {
+                    address,
+                    profile_id: profile.id,
+                    asn: profile.asn,
+                    same64: address.network(64) == dst.network(64),
+                    iid_class: classify_iid(address),
+                    mac,
+                });
             }
-            let mac =
-                Mac::from_eui64(address.iid()).filter(|_| classify_iid(address) == IidClass::Eui64);
-            result.peripheries.push(LoopPeriphery {
-                address,
-                profile_id: profile.id,
-                asn: profile.asn,
-                same64: address.network(64) == dst.network(64),
-                iid_class: classify_iid(address),
-                mac,
-            });
         }
         result.probed_per_block.insert(profile.id, probed);
     }

@@ -48,4 +48,4 @@ pub use engine::{Engine, NodeId};
 pub use fault::{FaultPlan, IcmpRateLimit};
 pub use packet::{Icmpv6, Ipv6Packet, Network, Payload};
 pub use telemetry::NetsimTelemetry;
-pub use world::{KillPoint, World};
+pub use world::{Allocation, KillPoint, World};

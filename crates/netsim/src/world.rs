@@ -42,6 +42,32 @@ use crate::services::{
 };
 use crate::telemetry::NetsimTelemetry;
 
+/// How devices are laid out across a block's sub-prefix index space.
+///
+/// Real access networks are not uniform: ISPs light up contiguous
+/// allocation pools ("pods") while the rest of the block stays dark.
+/// [`Allocation::Clustered`] models that structure, which is what makes
+/// density-guided adaptive scanning meaningfully better than uniform
+/// sampling. The default stays [`Allocation::Uniform`] so every
+/// historically seeded world is byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Allocation {
+    /// Every sub-prefix index is allocated independently at the profile's
+    /// occupancy (the historical behaviour).
+    Uniform,
+    /// Indices cluster into pods of `1 << pod_bits` consecutive indices.
+    /// Each pod is active with probability `active_frac`; inactive pods
+    /// are strictly empty, and active pods concentrate the block's
+    /// occupancy (`occupancy / active_frac`, capped at 1), so the
+    /// expected device population matches the uniform layout.
+    Clustered {
+        /// log2 of the pod size in sub-prefix indices.
+        pod_bits: u8,
+        /// Fraction of pods that are active.
+        active_frac: f64,
+    },
+}
+
 /// Configuration of a [`World`].
 #[derive(Debug, Clone, Copy)]
 pub struct WorldConfig {
@@ -54,6 +80,8 @@ pub struct WorldConfig {
     /// Injected faults beyond baseline behaviour (loss, token-bucket ICMP
     /// limiting, jitter, flaky devices). [`FaultPlan::none`] by default.
     pub fault: FaultPlan,
+    /// Device layout across each block's index space.
+    pub allocation: Allocation,
 }
 
 impl Default for WorldConfig {
@@ -64,6 +92,7 @@ impl Default for WorldConfig {
             bgp_ases: 6911,
             loss_frac: 0.004,
             fault: FaultPlan::none(),
+            allocation: Allocation::Uniform,
         }
     }
 }
@@ -78,6 +107,7 @@ impl WorldConfig {
             bgp_ases,
             loss_frac: 0.0,
             fault: FaultPlan::none(),
+            allocation: Allocation::Uniform,
         }
     }
 
@@ -85,6 +115,13 @@ impl WorldConfig {
     #[must_use]
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Replaces the device allocation layout.
+    #[must_use]
+    pub fn with_allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
         self
     }
 }
@@ -420,7 +457,27 @@ impl World {
             .mix(b"isp-dev")
             .mix_u64(p.id as u64)
             .mix_u64(index);
-        if !h.mix(b"exists").chance(p.occupancy) {
+        let occupancy = match self.cfg.allocation {
+            Allocation::Uniform => p.occupancy,
+            Allocation::Clustered {
+                pod_bits,
+                active_frac,
+            } => {
+                let pod = index >> pod_bits.min(63);
+                let active = DetHash::new(self.cfg.seed)
+                    .mix(b"pod")
+                    .mix_u64(p.id as u64)
+                    .mix_u64(pod)
+                    .chance(active_frac);
+                if !active {
+                    return None;
+                }
+                // Active pods absorb the whole block population, so the
+                // expected device count matches the uniform layout.
+                (p.occupancy / active_frac).min(1.0)
+            }
+        };
+        if !h.mix(b"exists").chance(occupancy) {
             return None;
         }
 
@@ -1660,5 +1717,59 @@ mod realism_tests {
         }
         assert!(responses > 50, "{responses}");
         assert_eq!(world.stats().rate_limited, 0);
+    }
+
+    #[test]
+    fn clustered_allocation_concentrates_devices_into_pods() {
+        let uniform = World::with_config(WorldConfig::lossless(7, 10));
+        let clustered = World::with_config(WorldConfig::lossless(7, 10).with_allocation(
+            Allocation::Clustered {
+                pod_bits: 8,
+                active_frac: 1.0 / 64.0,
+            },
+        ));
+        // Airtel (index 2) is dense enough for tight statistics.
+        let slice = 1u64 << 16;
+        let mut uni_total = 0usize;
+        let mut clu_total = 0usize;
+        let mut pods_with_devices = std::collections::HashSet::new();
+        for i in 0..slice {
+            if uniform.device_at(2, i).is_some() {
+                uni_total += 1;
+            }
+            if clustered.device_at(2, i).is_some() {
+                clu_total += 1;
+                pods_with_devices.insert(i >> 8);
+            }
+        }
+        // Expected totals match, with wide slack: the pod count itself is
+        // a small Poisson draw, so realized totals swing by small factors.
+        let lo = uni_total / 4;
+        let hi = uni_total * 4;
+        assert!((lo..=hi).contains(&clu_total), "{uni_total} vs {clu_total}");
+        // Devices occupy only a small fraction of the 256 pods.
+        assert!(
+            pods_with_devices.len() <= 16,
+            "{} pods",
+            pods_with_devices.len()
+        );
+        // Inactive pods are strictly empty: every device's pod is active.
+        for pod in &pods_with_devices {
+            let start = pod << 8;
+            let count = (start..start + 256)
+                .filter(|i| clustered.device_at(2, *i).is_some())
+                .count();
+            assert!(count > 0);
+        }
+    }
+
+    #[test]
+    fn uniform_allocation_is_unchanged_by_the_knob() {
+        let a = World::with_config(WorldConfig::lossless(7, 10));
+        let b =
+            World::with_config(WorldConfig::lossless(7, 10).with_allocation(Allocation::Uniform));
+        for i in 0..4096u64 {
+            assert_eq!(a.device_at(2, i), b.device_at(2, i));
+        }
     }
 }

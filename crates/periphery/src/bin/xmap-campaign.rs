@@ -36,7 +36,25 @@
 //!                           completing it (off by default; must exceed
 //!                           the slowest block's runtime)
 //!       --kill-after-probes N abort once any worker's world has handled
-//!                           N probes (exit code 3; for testing)
+//!                           N probes (exit code 3; for testing); with
+//!                           --adaptive, stop at the first round boundary
+//!                           after N drawn probes instead
+//!       --adaptive          density-guided target generation: drive each
+//!                           block with the prefix-tree split/prune engine
+//!                           instead of the exhaustive sweep
+//!       --probe-budget N    (adaptive) probes per block (default 65536)
+//!       --root-bits N       (adaptive) restrict each block to its first
+//!                           2^N sub-prefixes
+//!       --no-prune          (adaptive) ablation arm: same engine with
+//!                           splitting and pruning disabled — a full
+//!                           enumeration through the identical pipeline
+//!       --infer-boundary    (adaptive) infer each block's sub-prefix
+//!                           length (Section IV-A) before building its
+//!                           tree; inference probes count against the
+//!                           block's budget
+//!       --cluster B:D       lay out world devices in pods of 2^B
+//!                           sub-prefixes with one pod in D active,
+//!                           instead of uniformly
 //!   -q, --quiet             suppress the summary on stderr
 //! ```
 //!
@@ -50,8 +68,11 @@ use std::process::ExitCode;
 
 use xmap::{Blocklist, ScanConfig, Verdict};
 use xmap_netsim::isp::SAMPLE_BLOCKS;
-use xmap_netsim::{KillPoint, World};
-use xmap_periphery::{BlockMode, Campaign, CampaignOutcome, ParallelCampaign};
+use xmap_netsim::world::WorldConfig;
+use xmap_netsim::{Allocation, KillPoint, World};
+use xmap_periphery::{
+    AdaptiveCampaign, AdaptiveConfig, BlockMode, Campaign, CampaignOutcome, ParallelCampaign,
+};
 use xmap_state::json::push_json_string;
 use xmap_state::{AbortSignal, StateError};
 
@@ -72,6 +93,12 @@ struct CliConfig {
     group_commit: Option<usize>,
     watchdog_ms: Option<u64>,
     kill_after_probes: Option<u64>,
+    adaptive: bool,
+    probe_budget: Option<u64>,
+    root_bits: Option<u8>,
+    no_prune: bool,
+    infer_boundary: bool,
+    cluster: Option<(u8, u32)>,
     quiet: bool,
 }
 
@@ -93,6 +120,12 @@ impl Default for CliConfig {
             group_commit: None,
             watchdog_ms: None,
             kill_after_probes: None,
+            adaptive: false,
+            probe_budget: None,
+            root_bits: None,
+            no_prune: false,
+            infer_boundary: false,
+            cluster: None,
             quiet: false,
         }
     }
@@ -134,6 +167,19 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             "--group-commit" => cfg.group_commit = Some(int(&mut iter, arg)? as usize),
             "--watchdog-ms" => cfg.watchdog_ms = Some(int(&mut iter, arg)?),
             "--kill-after-probes" => cfg.kill_after_probes = Some(int(&mut iter, arg)?),
+            "--adaptive" => cfg.adaptive = true,
+            "--probe-budget" => cfg.probe_budget = Some(int(&mut iter, arg)?),
+            "--root-bits" => cfg.root_bits = Some(int(&mut iter, arg)? as u8),
+            "--no-prune" => cfg.no_prune = true,
+            "--infer-boundary" => cfg.infer_boundary = true,
+            "--cluster" => {
+                let v = value(&mut iter, arg)?;
+                let (bits, denom) = v
+                    .split_once(':')
+                    .and_then(|(b, d)| Some((b.parse().ok()?, d.parse().ok()?)))
+                    .ok_or_else(|| format!("--cluster must be POD_BITS:DENOM, got {v:?}"))?;
+                cfg.cluster = Some((bits, denom));
+            }
             "-q" | "--quiet" => cfg.quiet = true,
             "-h" | "--help" => return Err("help".to_owned()),
             other => return Err(format!("unknown option {other:?}")),
@@ -163,25 +209,168 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if cfg.kill_after_probes.is_some() && cfg.checkpoint.is_none() {
         return Err("--kill-after-probes requires --checkpoint <dir>".to_owned());
     }
+    if !cfg.adaptive {
+        for (set, flag) in [
+            (cfg.probe_budget.is_some(), "--probe-budget"),
+            (cfg.root_bits.is_some(), "--root-bits"),
+            (cfg.no_prune, "--no-prune"),
+            (cfg.infer_boundary, "--infer-boundary"),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --adaptive"));
+            }
+        }
+    } else {
+        for (set, flag) in [
+            (cfg.mop_up_ticks.is_some(), "--mop-up"),
+            (cfg.resume_plan, "--resume-plan"),
+            (cfg.group_commit.is_some(), "--group-commit"),
+            (cfg.watchdog_ms.is_some(), "--watchdog-ms"),
+        ] {
+            if set {
+                return Err(format!("{flag} is not supported with --adaptive"));
+            }
+        }
+        if cfg.root_bits == Some(0) {
+            return Err("--root-bits must be at least 1".to_owned());
+        }
+        if cfg.probe_budget == Some(0) {
+            return Err("--probe-budget must be at least 1".to_owned());
+        }
+    }
+    if let Some((bits, denom)) = cfg.cluster {
+        if bits == 0 || bits > 32 || denom == 0 {
+            return Err("--cluster POD_BITS must be 1..=32 and DENOM at least 1".to_owned());
+        }
+    }
     Ok(cfg)
+}
+
+/// World configuration implied by the CLI: seed plus the optional
+/// clustered device layout.
+fn world_config(cfg: &CliConfig) -> WorldConfig {
+    let mut wc = WorldConfig {
+        seed: cfg.world_seed,
+        ..WorldConfig::default()
+    };
+    if let Some((pod_bits, denom)) = cfg.cluster {
+        wc = wc.with_allocation(Allocation::Clustered {
+            pod_bits,
+            active_frac: 1.0 / denom as f64,
+        });
+    }
+    wc
+}
+
+/// Builds the blocklist: standard reserved ranges plus any `-b` extras.
+fn build_blocklist(cfg: &CliConfig) -> Result<Blocklist, String> {
+    let mut blocklist = Blocklist::with_standard_reserved();
+    for p in &cfg.blocked {
+        let prefix = p
+            .parse()
+            .map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?;
+        blocklist.insert(prefix, Verdict::Deny);
+    }
+    Ok(blocklist)
+}
+
+/// Runs the adaptive (density-guided) campaign variant.
+fn run_adaptive(cfg: CliConfig) -> Result<bool, String> {
+    let mut acfg = if cfg.no_prune {
+        AdaptiveConfig::exhaustive(cfg.root_bits)
+    } else {
+        AdaptiveConfig {
+            root_bits: cfg.root_bits,
+            ..AdaptiveConfig::default()
+        }
+    };
+    if let Some(budget) = cfg.probe_budget {
+        acfg.probe_budget = budget;
+    }
+    let mut engine = AdaptiveCampaign::new(acfg)
+        .with_workers(cfg.campaign_workers)
+        .with_blocklist(build_blocklist(&cfg)?)
+        .with_inferred_boundary(cfg.infer_boundary);
+    if let Some(n) = cfg.kill_after_probes {
+        engine = engine.with_kill_after_probes(n);
+    }
+    let base = ScanConfig {
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let wc = world_config(&cfg);
+    let make_world = |telemetry: &xmap_telemetry::Telemetry| {
+        let mut world = World::with_config(wc);
+        world.set_telemetry(telemetry);
+        world
+    };
+    let started = std::time::Instant::now();
+    let outcome = match &cfg.checkpoint {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            engine
+                .run_checkpointed(&base, &dir.join("adaptive.ckpt"), cfg.resume, make_world)
+                .map_err(|e| match e {
+                    StateError::Mismatch(why) => format!(
+                        "cannot resume: this invocation's configuration does not \
+                         match the checkpointed campaign ({why})"
+                    ),
+                    other => format!("checkpoint: {other}"),
+                })?
+        }
+        None => engine.run(&base, make_world),
+    };
+    let csv = outcome.result.to_csv();
+    match &cfg.output {
+        Some(path) => std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?,
+        None => print!("{csv}"),
+    }
+    if let Some(path) = &cfg.metrics_out {
+        let json = outcome.snapshot.to_json();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if !cfg.quiet {
+        let probed: u64 = outcome.result.blocks.iter().map(|b| b.probed).sum();
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "# adaptive campaign: {} blocks | {} unique last hops | {} probes | \
+             {} workers | {:.2?}{}",
+            outcome.result.blocks.len(),
+            outcome.result.total_unique(),
+            probed,
+            cfg.campaign_workers,
+            started.elapsed(),
+            if outcome.interrupted {
+                " | INTERRUPTED"
+            } else {
+                ""
+            }
+        );
+        if outcome.interrupted {
+            let _ = writeln!(
+                err,
+                "# tree snapshot checkpointed — rerun with --resume to continue \
+                 mid-round (any --campaign-workers count)"
+            );
+        }
+    }
+    Ok(outcome.interrupted)
 }
 
 /// Runs one campaign invocation. `Ok(true)` means interrupted with its
 /// completed blocks checkpointed (exit code 3).
 fn run(cfg: CliConfig) -> Result<bool, String> {
+    if cfg.adaptive {
+        return run_adaptive(cfg);
+    }
     let mut campaign = Campaign::new(cfg.targets_per_block);
     if let Some(ticks) = cfg.mop_up_ticks {
         campaign = campaign.with_mop_up(ticks);
     }
     if !cfg.blocked.is_empty() {
-        let mut blocklist = Blocklist::with_standard_reserved();
-        for p in &cfg.blocked {
-            let prefix = p
-                .parse()
-                .map_err(|e| format!("bad blocklist prefix {p:?}: {e}"))?;
-            blocklist.insert(prefix, Verdict::Deny);
-        }
-        campaign = campaign.with_blocklist(blocklist);
+        campaign = campaign.with_blocklist(build_blocklist(&cfg)?);
     }
     let mut executor = ParallelCampaign::new(campaign, cfg.campaign_workers);
     if let Some(n) = cfg.group_commit {
@@ -213,11 +402,11 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         print!("{rendered}");
         return Ok(false);
     }
-    let world_seed = cfg.world_seed;
+    let wc = world_config(&cfg);
     let kill = cfg.kill_after_probes;
     let signal = AbortSignal::new();
     let make_world = |_w: usize, telemetry: &xmap_telemetry::Telemetry| {
-        let mut world = World::new(world_seed);
+        let mut world = World::with_config(wc);
         world.set_telemetry(telemetry);
         if let Some(n) = kill {
             world.arm_kill(
@@ -505,6 +694,50 @@ mod tests {
         assert_eq!(tally.req_u64("fresh", "tally").unwrap(), 1);
         // The CSV rendering tallies identically.
         assert!(render_resume_plan(&mixed).ends_with("# 1 skip / 1 resume / 1 fresh of 3 blocks\n"));
+    }
+
+    #[test]
+    fn parses_adaptive_flags() {
+        let cfg = parse_args(&args(
+            "--adaptive --probe-budget 4096 --root-bits 12 --infer-boundary \
+             --cluster 8:256 --campaign-workers 2 -q",
+        ))
+        .unwrap();
+        assert!(cfg.adaptive && cfg.infer_boundary);
+        assert_eq!(cfg.probe_budget, Some(4096));
+        assert_eq!(cfg.root_bits, Some(12));
+        assert_eq!(cfg.cluster, Some((8, 256)));
+
+        let cfg = parse_args(&args("--adaptive --no-prune")).unwrap();
+        assert!(cfg.no_prune);
+
+        assert!(
+            parse_args(&args("--probe-budget 10")).is_err(),
+            "adaptive knobs need --adaptive"
+        );
+        assert!(parse_args(&args("--no-prune")).is_err());
+        assert!(
+            parse_args(&args("--adaptive --mop-up 100")).is_err(),
+            "mop-up has no adaptive equivalent"
+        );
+        assert!(parse_args(&args("--adaptive --cluster 8")).is_err());
+        assert!(parse_args(&args("--adaptive --cluster 0:4")).is_err());
+        assert!(parse_args(&args("--adaptive --probe-budget 0")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_adaptive_campaign_produces_csv() {
+        let out = std::env::temp_dir().join(format!("xmap-adaptive-csv-{}", std::process::id()));
+        let cfg = parse_args(&args(&format!(
+            "--adaptive --probe-budget 2048 --root-bits 12 --cluster 8:64 \
+             --campaign-workers 2 -q -o {}",
+            out.display()
+        )))
+        .unwrap();
+        assert!(!run(cfg).unwrap());
+        let csv = std::fs::read_to_string(&out).unwrap();
+        assert!(csv.starts_with("profile_id,address,target"), "{csv}");
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

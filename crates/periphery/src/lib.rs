@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod alias;
 pub mod baseline;
 pub mod boundary;
@@ -23,6 +24,7 @@ pub mod parallel;
 pub mod topomap;
 pub mod vendor;
 
+pub use adaptive::{AdaptiveCampaign, AdaptiveConfig, AdaptiveOutcome};
 pub use alias::{check_aliased, is_aliased, AliasVerdict};
 pub use baseline::{hitlist_scan, traceroute_discovery, BaselineComparison};
 pub use boundary::{infer_boundary, BoundaryInference};

@@ -189,6 +189,10 @@ pub struct JobStatus {
     pub units_total: usize,
     /// Probes sent so far (`scan.sent` from the job's registry).
     pub sent: u64,
+    /// The job's probe budget: the sum of its units' scheduling costs.
+    /// `sent / budget` is the tenant-visible progress-by-volume gauge;
+    /// adaptive jobs typically finish well under it.
+    pub budget: u64,
 }
 
 /// A full status report.
@@ -454,6 +458,9 @@ impl Daemon {
                 units_done: entry.done_count,
                 units_total: entry.spec.units(),
                 sent,
+                budget: (0..entry.spec.units())
+                    .map(|u| entry.spec.unit_cost(u))
+                    .sum(),
             });
         }
         StatusReport {

@@ -17,13 +17,16 @@ use std::fmt::Write as _;
 
 use xmap::{ScanConfig, Scanner};
 use xmap_addr::{IidClass, Ip6, Mac};
-use xmap_appscan::{grab, GrabOutcome};
+use xmap_appscan::{grab_with, GrabOutcome};
 use xmap_loopscan::survey::LoopPeriphery;
 use xmap_loopscan::{DepthSurvey, DepthSurveyResult};
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::services::ServiceKind;
 use xmap_netsim::World;
-use xmap_periphery::{decode_block, encode_block, BlockResult, Campaign, CampaignResult};
+use xmap_periphery::{
+    decode_block, encode_block, AdaptiveCampaign as PeripheryAdaptive, AdaptiveConfig, BlockResult,
+    Campaign, CampaignResult,
+};
 use xmap_state::codec::{Decoder, Encoder};
 use xmap_state::{Fingerprint, StateError};
 use xmap_telemetry::{Snapshot, Telemetry};
@@ -68,6 +71,19 @@ pub enum JobSpec {
         /// Netsim world seed.
         world_seed: u64,
     },
+    /// A density-guided adaptive periphery campaign (prefix-tree
+    /// split/prune); one unit per sample block, each running the full
+    /// adaptive loop within its probe budget.
+    AdaptiveCampaign {
+        /// Probe budget per block.
+        probe_budget: u64,
+        /// Restrict each block to its first `2^root_bits` sub-prefixes.
+        root_bits: Option<u8>,
+        /// Scanner seed.
+        seed: u64,
+        /// Netsim world seed.
+        world_seed: u64,
+    },
 }
 
 impl JobSpec {
@@ -77,15 +93,16 @@ impl JobSpec {
             JobSpec::PeripheryCampaign { .. } => "periphery-campaign",
             JobSpec::LoopscanSurvey { .. } => "loopscan-survey",
             JobSpec::AppscanGrab { .. } => "appscan-grab",
+            JobSpec::AdaptiveCampaign { .. } => "adaptive-campaign",
         }
     }
 
     /// Number of independent units this job decomposes into.
     pub fn units(&self) -> usize {
         match self {
-            JobSpec::PeripheryCampaign { .. } | JobSpec::LoopscanSurvey { .. } => {
-                SAMPLE_BLOCKS.len()
-            }
+            JobSpec::PeripheryCampaign { .. }
+            | JobSpec::LoopscanSurvey { .. }
+            | JobSpec::AdaptiveCampaign { .. } => SAMPLE_BLOCKS.len(),
             JobSpec::AppscanGrab { targets, .. } => targets.len(),
         }
     }
@@ -104,6 +121,9 @@ impl JobSpec {
             } => (*probes_per_block).max(1),
             // Eight service grabs, a handful of packets each.
             JobSpec::AppscanGrab { .. } => ServiceKind::ALL.len() as u64,
+            // The budget is the worst case; adaptive blocks usually
+            // stop well short of it, so the charge is conservative.
+            JobSpec::AdaptiveCampaign { probe_budget, .. } => (*probe_budget).max(1),
         }
     }
 
@@ -112,7 +132,8 @@ impl JobSpec {
         match self {
             JobSpec::PeripheryCampaign { seed, .. }
             | JobSpec::LoopscanSurvey { seed, .. }
-            | JobSpec::AppscanGrab { seed, .. } => *seed,
+            | JobSpec::AppscanGrab { seed, .. }
+            | JobSpec::AdaptiveCampaign { seed, .. } => *seed,
         }
     }
 
@@ -121,7 +142,8 @@ impl JobSpec {
         match self {
             JobSpec::PeripheryCampaign { world_seed, .. }
             | JobSpec::LoopscanSurvey { world_seed, .. }
-            | JobSpec::AppscanGrab { world_seed, .. } => *world_seed,
+            | JobSpec::AppscanGrab { world_seed, .. }
+            | JobSpec::AdaptiveCampaign { world_seed, .. } => *world_seed,
         }
     }
 
@@ -163,6 +185,18 @@ impl JobSpec {
                 e.u64(*seed);
                 e.u64(*world_seed);
             }
+            JobSpec::AdaptiveCampaign {
+                probe_budget,
+                root_bits,
+                seed,
+                world_seed,
+            } => {
+                e.u8(4);
+                e.u64(*probe_budget);
+                e.opt_u64(root_bits.map(u64::from));
+                e.u64(*seed);
+                e.u64(*world_seed);
+            }
         }
     }
 
@@ -188,6 +222,21 @@ impl JobSpec {
                 }
                 Ok(JobSpec::AppscanGrab {
                     targets,
+                    seed: d.u64()?,
+                    world_seed: d.u64()?,
+                })
+            }
+            4 => {
+                let probe_budget = d.u64()?;
+                let root_bits = match d.opt_u64()? {
+                    Some(b) => Some(u8::try_from(b).map_err(|_| {
+                        StateError::Corrupt(format!("job spec: root_bits {b} exceeds u8"))
+                    })?),
+                    None => None,
+                };
+                Ok(JobSpec::AdaptiveCampaign {
+                    probe_budget,
+                    root_bits,
                     seed: d.u64()?,
                     world_seed: d.u64()?,
                 })
@@ -219,6 +268,33 @@ impl JobSpec {
     /// Panics if `unit >= self.units()`.
     pub fn run_unit(&self, unit: usize) -> (UnitOutput, Snapshot) {
         assert!(unit < self.units(), "unit {unit} out of range");
+        if let JobSpec::AdaptiveCampaign {
+            probe_budget,
+            root_bits,
+            seed,
+            world_seed,
+        } = self
+        {
+            // The adaptive engine owns its replicas and telemetry: it
+            // spawns a fresh world per round unit, so the daemon hands
+            // it the whole block instead of a shared scanner.
+            let engine = PeripheryAdaptive::new(AdaptiveConfig {
+                probe_budget: *probe_budget,
+                root_bits: *root_bits,
+                ..AdaptiveConfig::default()
+            });
+            let base = ScanConfig {
+                seed: *seed,
+                ..Default::default()
+            };
+            let ws = *world_seed;
+            let (block, snapshot) = engine.run_single_block(unit, &base, |telemetry| {
+                let mut world = World::new(ws);
+                world.set_telemetry(telemetry);
+                world
+            });
+            return (UnitOutput::Campaign(block), snapshot);
+        }
         let telemetry = Telemetry::new();
         let mut world = World::new(self.world_seed());
         world.set_telemetry(&telemetry);
@@ -259,11 +335,13 @@ impl JobSpec {
             JobSpec::AppscanGrab { targets, .. } => {
                 let addr = targets[unit];
                 let mut outcomes = [0u8; 8];
+                let mut scratch = Vec::new();
                 for (i, kind) in ServiceKind::ALL.iter().enumerate() {
-                    outcomes[i] = outcome_code(&grab(&mut scanner, addr, *kind));
+                    outcomes[i] = outcome_code(&grab_with(&mut scanner, addr, *kind, &mut scratch));
                 }
                 UnitOutput::Appscan { addr, outcomes }
             }
+            JobSpec::AdaptiveCampaign { .. } => unreachable!("handled above"),
         };
         (out, telemetry.registry.snapshot())
     }
@@ -279,7 +357,7 @@ impl JobSpec {
     /// checkpoints are fingerprint-guarded, so that indicates a bug).
     pub fn render_csv(&self, outputs: &[UnitOutput]) -> String {
         match self {
-            JobSpec::PeripheryCampaign { .. } => {
+            JobSpec::PeripheryCampaign { .. } | JobSpec::AdaptiveCampaign { .. } => {
                 let blocks: Vec<BlockResult> = outputs
                     .iter()
                     .map(|o| match o {
@@ -529,6 +607,40 @@ mod tests {
             seed: 1,
             world_seed: 2,
         });
+        roundtrip_spec(&JobSpec::AdaptiveCampaign {
+            probe_budget: 2048,
+            root_bits: Some(12),
+            seed: 9,
+            world_seed: 21,
+        });
+        roundtrip_spec(&JobSpec::AdaptiveCampaign {
+            probe_budget: 1 << 16,
+            root_bits: None,
+            seed: 0,
+            world_seed: 0,
+        });
+    }
+
+    #[test]
+    fn adaptive_units_are_pure_and_render_campaign_csv() {
+        let spec = JobSpec::AdaptiveCampaign {
+            probe_budget: 1 << 10,
+            root_bits: Some(12),
+            seed: 42,
+            world_seed: 9,
+        };
+        assert_eq!(spec.units(), SAMPLE_BLOCKS.len());
+        assert_eq!(spec.unit_cost(0), 1 << 10);
+        let (a, da) = spec.run_unit(3);
+        let (b, db) = spec.run_unit(3);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        let UnitOutput::Campaign(block) = &a else {
+            panic!("adaptive unit must produce a campaign block");
+        };
+        assert!(block.probed <= 1 << 10, "budget respected");
+        let csv = spec.render_csv(std::slice::from_ref(&a));
+        assert!(csv.starts_with("profile_id,address,target"), "{csv}");
     }
 
     #[test]

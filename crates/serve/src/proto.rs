@@ -126,6 +126,23 @@ pub fn parse_spec(spec: &Value) -> Result<JobSpec, String> {
                 world_seed,
             })
         }
+        "adaptive-campaign" => {
+            let root_bits = match spec.get("root_bits").and_then(Value::as_u64) {
+                Some(b) if b == 0 || b > 64 => {
+                    return Err(format!("adaptive spec: root_bits {b} out of range 1..=64"))
+                }
+                Some(b) => Some(b as u8),
+                None => None,
+            };
+            Ok(JobSpec::AdaptiveCampaign {
+                probe_budget: spec
+                    .req_u64("probe_budget", "adaptive spec")
+                    .map_err(|e| e.to_string())?,
+                root_bits,
+                seed,
+                world_seed,
+            })
+        }
         other => Err(format!("unknown job type `{other}`")),
     }
 }
@@ -146,8 +163,9 @@ fn render_status(daemon: &Daemon) -> String {
         out.push_str(&format!("{{\"job\":{},\"tenant\":", j.job));
         push_json_string(&mut out, &j.tenant);
         out.push_str(&format!(
-            ",\"kind\":\"{}\",\"state\":\"{}\",\"units_done\":{},\"units_total\":{},\"sent\":{}}}",
-            j.kind, j.state, j.units_done, j.units_total, j.sent
+            ",\"kind\":\"{}\",\"state\":\"{}\",\"units_done\":{},\"units_total\":{},\
+             \"sent\":{},\"budget\":{}}}",
+            j.kind, j.state, j.units_done, j.units_total, j.sent, j.budget
         ));
     }
     out.push_str("],\"tenants\":{");
@@ -315,5 +333,59 @@ mod tests {
             JobSpec::AppscanGrab { targets, .. } => assert_eq!(targets.len(), 1),
             other => panic!("wrong kind: {other:?}"),
         }
+        let v = json::parse(
+            "{\"type\":\"adaptive-campaign\",\"probe_budget\":2048,\"root_bits\":12,\
+             \"seed\":1,\"world_seed\":2}",
+            "spec",
+        )
+        .unwrap();
+        assert_eq!(
+            parse_spec(&v).unwrap(),
+            JobSpec::AdaptiveCampaign {
+                probe_budget: 2048,
+                root_bits: Some(12),
+                seed: 1,
+                world_seed: 2,
+            }
+        );
+        let v = json::parse(
+            "{\"type\":\"adaptive-campaign\",\"probe_budget\":64,\"root_bits\":99,\
+             \"seed\":1,\"world_seed\":2}",
+            "spec",
+        )
+        .unwrap();
+        assert!(parse_spec(&v).is_err(), "root_bits out of range");
+    }
+
+    #[test]
+    fn status_reports_budget_per_job() {
+        let root = temp_root("budget");
+        let daemon = Daemon::open(&root, ServeConfig::default()).expect("open");
+        let resp = handle_line(
+            &daemon,
+            "{\"cmd\":\"submit\",\"tenant\":\"bob\",\"spec\":{\"type\":\"adaptive-campaign\",\
+             \"probe_budget\":512,\"root_bits\":10,\"seed\":3,\"world_seed\":5}}",
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let status = handle_line(&daemon, "{\"cmd\":\"status\"}");
+        let v = json::parse(&status, "status response").expect("valid json");
+        let jobs = v.get("jobs").and_then(Value::as_arr).expect("jobs array");
+        assert_eq!(jobs[0].req_str("kind", "row").unwrap(), "adaptive-campaign");
+        // 15 blocks, 512 probes budgeted each.
+        assert_eq!(jobs[0].req_u64("budget", "row").unwrap(), 15 * 512);
+        assert_eq!(jobs[0].req_u64("sent", "row").unwrap(), 0);
+        let _ = handle_line(&daemon, "{\"cmd\":\"drain\"}");
+        daemon.run().expect("drained run");
+        let status = handle_line(&daemon, "{\"cmd\":\"status\"}");
+        let v = json::parse(&status, "status response").expect("valid json");
+        let jobs = v.get("jobs").and_then(Value::as_arr).expect("jobs array");
+        let sent = jobs[0].req_u64("sent", "row").unwrap();
+        let budget = jobs[0].req_u64("budget", "row").unwrap();
+        assert!(sent > 0, "drained adaptive job must have probed");
+        assert!(
+            sent <= budget,
+            "probes-sent {sent} must stay within budget {budget}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

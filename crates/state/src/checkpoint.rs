@@ -22,7 +22,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-use xmap_addr::Prefix;
+use xmap_addr::{NodeState, Prefix, PrefixTree, TreeNode};
 use xmap_failpoint::fs as fp;
 use xmap_telemetry::{HistogramSnapshot, Snapshot};
 
@@ -578,4 +578,73 @@ pub fn decode_run_state(raw: &[u8]) -> Result<RunState, StateError> {
         adaptive,
         baseline,
     })
+}
+
+/// Serialises a [`PrefixTree`] into the `xmap-checkpoint/v1`
+/// tree-snapshot wire form: header fields, then every node in creation
+/// order (prefix, state tag, probes, hits, cursor, children range).
+/// Creation order is load-bearing — node indices are the tree's
+/// identity, so a decoded tree resumes with byte-identical frontier
+/// iteration.
+pub fn encode_tree(e: &mut Encoder, tree: &PrefixTree) {
+    encode_prefix(e, &tree.root());
+    e.u8(tree.leaf_len());
+    e.u8(tree.branch_bits());
+    e.seq(tree.len());
+    for node in tree.nodes() {
+        encode_prefix(e, &node.prefix);
+        e.u8(NodeState::ALL
+            .iter()
+            .position(|s| *s == node.state)
+            .expect("every state is in ALL") as u8);
+        e.u64(node.probes);
+        e.u64(node.hits);
+        e.u64(node.cursor);
+        match node.children {
+            Some((start, count)) => {
+                e.bool(true);
+                e.u32(start);
+                e.u32(count);
+            }
+            None => e.bool(false),
+        }
+    }
+}
+
+/// Inverse of [`encode_tree`]; every structural invariant (child
+/// placement, pruned-but-responsive nodes, coverage partition) is
+/// re-validated, so a corrupted snapshot fails loudly instead of
+/// resuming a malformed campaign.
+pub fn decode_tree(d: &mut Decoder) -> Result<PrefixTree, StateError> {
+    let what = "tree snapshot";
+    let root = decode_prefix(d)?;
+    let leaf_len = d.u8()?;
+    let branch_bits = d.u8()?;
+    let n = d.seq()?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let prefix = decode_prefix(d)?;
+        let tag = d.u8()? as usize;
+        let state = *NodeState::ALL
+            .get(tag)
+            .ok_or_else(|| StateError::Corrupt(format!("{what}: unknown node state {tag}")))?;
+        let probes = d.u64()?;
+        let hits = d.u64()?;
+        let cursor = d.u64()?;
+        let children = if d.bool()? {
+            Some((d.u32()?, d.u32()?))
+        } else {
+            None
+        };
+        nodes.push(TreeNode {
+            prefix,
+            state,
+            probes,
+            hits,
+            cursor,
+            children,
+        });
+    }
+    PrefixTree::from_parts(root, leaf_len, branch_bits, nodes)
+        .map_err(|e| StateError::Corrupt(format!("{what}: {e}")))
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Summarize the adaptive_ablation bench report as JSON.
+
+Usage: bench_adaptive_summary.py BENCH_OUTPUT.txt [SUMMARY.json]
+
+Parses the two deterministic ablation rows the bench prints, e.g.
+
+    ablation-row: {"arm":"exhaustive","probes":983040,"discoveries":870,"recall":1.0000,"probes_per_cpe":1129.93}
+    ablation-row: {"arm":"adaptive","probes":134336,"discoveries":851,"recall":0.9782,"probes_per_cpe":157.86}
+
+plus the harness's optional timing lines
+
+    adaptive_ablation/adaptive/16: 365364114.0 ns/iter  (0.368 Melem/s)
+
+into a machine-readable summary: per-arm probes, discoveries, recall and
+probes-per-discovered-CPE, with the adaptive arm's probe-reduction factor
+over the exhaustive baseline. Re-checks the acceptance bars (>=5x fewer
+probes at >=95% recall) and exits nonzero if either fails, so CI catches a
+policy regression even if the bench's own assertions were skipped. Writes
+to SUMMARY.json (default BENCH_adaptive.json next to the input) and
+echoes the document to stdout so CI logs carry the numbers. Standard
+library only.
+"""
+
+import json
+import os
+import re
+import sys
+
+ROW = re.compile(r"^ablation-row:\s+(?P<json>\{.*\})$")
+TIMING = re.compile(
+    r"^adaptive_ablation/(?P<arm>[\w-]+)/(?P<bits>\d+):\s+"
+    r"(?P<ns>[0-9.]+) ns/iter(?:\s+\((?P<melems>[0-9.]+) Melem/s\))?"
+)
+
+MIN_REDUCTION = 5.0
+MIN_RECALL = 0.95
+
+
+def fail(msg):
+    print(f"bench_adaptive_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse(path):
+    arms, timings = {}, {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if m:
+                row = json.loads(m.group("json"))
+                arms[row["arm"]] = row
+                continue
+            m = TIMING.match(line.strip())
+            if m:
+                timings[m.group("arm")] = {
+                    "root_bits": int(m.group("bits")),
+                    "ns_per_iter": float(m.group("ns")),
+                    "wall_clock_secs": round(float(m.group("ns")) / 1e9, 6),
+                    "probes_per_sec": (
+                        round(float(m.group("melems")) * 1e6, 1)
+                        if m.group("melems")
+                        else None
+                    ),
+                }
+    return arms, timings
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: bench_adaptive_summary.py BENCH_OUTPUT.txt [SUMMARY.json]")
+    src = sys.argv[1]
+    out = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(src) or ".", "BENCH_adaptive.json")
+    )
+    arms, timings = parse(src)
+    for arm in ("exhaustive", "adaptive"):
+        if arm not in arms:
+            fail(f"no '{arm}' ablation row in {src}")
+        if arm in timings:
+            arms[arm]["timing"] = timings[arm]
+    exhaustive, adaptive = arms["exhaustive"], arms["adaptive"]
+    if adaptive["probes"] <= 0 or exhaustive["probes"] <= 0:
+        fail("nonpositive probe count in ablation rows")
+    reduction = exhaustive["probes"] / adaptive["probes"]
+    doc = {
+        "schema": "xmap-bench-adaptive/v1",
+        "cpus": os.cpu_count(),
+        "arms": [exhaustive, adaptive],
+        "probe_reduction_vs_exhaustive": round(reduction, 3),
+        "probes_per_cpe_ratio": round(
+            exhaustive["probes_per_cpe"] / adaptive["probes_per_cpe"], 3
+        ),
+        "recall_at_reduction": adaptive["recall"],
+    }
+    if doc["cpus"] == 1:
+        # The ablation rows are seed-deterministic and unaffected, but the
+        # wall-clock timings are; make the hardware caveat impossible to
+        # miss, in both the JSON document and the CI log.
+        doc["warning"] = (
+            "single-CPU host: wall-clock timings measure a time-sliced "
+            "run; the probe/recall ablation rows are unaffected"
+        )
+        print(
+            "bench_adaptive_summary: WARNING: single-CPU host — "
+            "timing rows are not meaningful",
+            file=sys.stderr,
+        )
+    rendered = json.dumps(doc, indent=2) + "\n"
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(rendered)
+    print(rendered, end="")
+    if reduction < MIN_REDUCTION:
+        fail(
+            f"probe reduction {reduction:.2f}x below the {MIN_REDUCTION}x bar"
+        )
+    if adaptive["recall"] < MIN_RECALL:
+        fail(f"adaptive recall {adaptive['recall']} below the {MIN_RECALL} bar")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare the adaptive CI smoke's two arms and enforce the ablation bars.
+
+Usage: check_adaptive_smoke.py EXH.csv EXH_METRICS.json ADAPT.csv ADAPT_METRICS.json
+
+Both CSVs come from `xmap-campaign --adaptive` runs over the same seeded
+clustered world and equal-coverage slice — the exhaustive arm via
+`--no-prune` (same engine, adaptation off). The check: the adaptive arm
+must recall at least 95% of the exhaustive arm's discovered-responder
+set while sending strictly fewer probes (`scan.sent`), i.e. the pruning
+policy saved probes without sacrificing discovery. Prints both arms'
+numbers and exits nonzero on any violation. Standard library only.
+"""
+
+import json
+import sys
+
+MIN_RECALL = 0.95
+
+
+def fail(msg):
+    print(f"check_adaptive_smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def responders(path):
+    """The set of discovered periphery addresses (CSV column 2)."""
+    with open(path, encoding="utf-8") as f:
+        header = f.readline()
+        if not header.startswith("profile_id,"):
+            fail(f"{path}: unexpected CSV header {header!r}")
+        return {line.split(",")[1] for line in f if line.strip()}
+
+
+def probes_sent(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "xmap-telemetry/v1":
+        fail(f"{path}: unexpected schema tag {doc.get('schema')!r}")
+    sent = doc.get("counters", {}).get("scan.sent")
+    if not isinstance(sent, int) or sent <= 0:
+        fail(f"{path}: counters['scan.sent'] = {sent!r} must be a positive integer")
+    return sent
+
+
+def main(argv):
+    if len(argv) != 5:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    exh_set = responders(argv[1])
+    exh_sent = probes_sent(argv[2])
+    adapt_set = responders(argv[3])
+    adapt_sent = probes_sent(argv[4])
+    if not exh_set:
+        fail("exhaustive arm discovered nothing — smoke world is misconfigured")
+    recall = len(adapt_set & exh_set) / len(exh_set)
+    print(
+        f"exhaustive: {exh_sent} probes, {len(exh_set)} responders | "
+        f"adaptive: {adapt_sent} probes, {len(adapt_set)} responders | "
+        f"recall {recall:.4f} | reduction {exh_sent / adapt_sent:.2f}x"
+    )
+    if adapt_sent >= exh_sent:
+        fail(f"adaptive sent {adapt_sent} probes, not fewer than exhaustive {exh_sent}")
+    if recall < MIN_RECALL:
+        fail(f"recall {recall:.4f} below the {MIN_RECALL} bar")
+    novel = adapt_set - exh_set
+    if novel:
+        # Both arms walk the same equal-coverage slice, so the adaptive
+        # arm cannot legitimately discover an address the exhaustive
+        # enumeration missed.
+        fail(f"adaptive arm found {len(novel)} responders outside the exhaustive set")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
