@@ -1,0 +1,70 @@
+//! Prices the reactor engine's dispatch machinery against lock-step.
+//!
+//! Both engines produce byte-identical artifacts (see DESIGN.md §5i), so
+//! the only question is cost: the timer heap, the transport indirection
+//! and the two-phase receive drain must stay within 5% of the lock-step
+//! loop they mirror (`scripts/bench_reactor_summary.py` enforces the
+//! budget from this bench's report). Two workloads bound the engine's
+//! regimes: a lossless scan (timer heap armed but never firing — pure
+//! dispatch overhead) and a 30%-loss scan (the heap carrying real
+//! retransmit load).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use xmap::{Blocklist, IcmpEchoProbe, ScanConfig, ScanEngine, Scanner};
+use xmap_netsim::world::WorldConfig;
+use xmap_netsim::{FaultPlan, World};
+
+const TARGETS: u64 = 4_096;
+
+fn run(engine: ScanEngine, loss: bool) -> u64 {
+    let mut config = ScanConfig {
+        seed: 7,
+        max_targets: Some(TARGETS),
+        engine,
+        ..Default::default()
+    };
+    let world = if loss {
+        config.probes_per_target = 3;
+        config.rto_ticks = 4;
+        World::with_config(
+            WorldConfig::lossless(7, 10)
+                .with_fault(FaultPlan::none().seeded(0xF00D).with_forward_loss(0.3)),
+        )
+    } else {
+        World::with_config(WorldConfig::lossless(7, 10))
+    };
+    let mut scanner = Scanner::new(world, config);
+    let results = scanner.run(
+        &"2409:8000::/28-60".parse().unwrap(),
+        &IcmpEchoProbe,
+        &Blocklist::with_standard_reserved(),
+    );
+    results.stats.sent
+}
+
+fn bench_reactor_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reactor_overhead");
+    g.throughput(Throughput::Elements(TARGETS));
+    // A scan iteration is milliseconds long; stretch the measured batch
+    // so each engine averages over enough iterations that scheduler
+    // noise does not masquerade as engine overhead.
+    g.measurement_time(Duration::from_millis(400));
+    g.bench_function("scan_4k/lockstep", |b| {
+        b.iter(|| black_box(run(ScanEngine::LockStep, false)))
+    });
+    g.bench_function("scan_4k/reactor", |b| {
+        b.iter(|| black_box(run(ScanEngine::Reactor, false)))
+    });
+    g.bench_function("lossy_4k/lockstep", |b| {
+        b.iter(|| black_box(run(ScanEngine::LockStep, true)))
+    });
+    g.bench_function("lossy_4k/reactor", |b| {
+        b.iter(|| black_box(run(ScanEngine::Reactor, true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reactor_overhead);
+criterion_main!(benches);

@@ -37,6 +37,18 @@
 //!       --kill-after-probes N abort the scan after the simulated world
 //!                          handles N probes (exit code 3; for testing
 //!                          checkpoint/resume)
+//!       --transport T      lockstep (default) | sim | replay | tap.
+//!                          `sim` runs the reactor engine over the
+//!                          simulator transport (byte-identical output);
+//!                          `replay` re-runs a recorded wire trace
+//!                          (requires --replay-trace); `tap` names the
+//!                          real-wire backend, which this offline build
+//!                          refuses with an explanation
+//!       --record-wire FILE record the run's wire traffic as an NDJSON
+//!                          trace replayable with --transport replay
+//!                          (single worker, no --checkpoint)
+//!       --replay-trace FILE the recorded trace to replay; implies
+//!                          --transport replay
 //!   -q, --quiet            suppress the summary and status lines on stderr
 //!
 //! An interrupted checkpointed scan exits with code 3; rerunning the same
@@ -55,10 +67,12 @@ use std::process::ExitCode;
 
 use xmap::{
     run_session, Blocklist, IcmpEchoProbe, ParallelScanner, Permutation, ProbeModule, ScanConfig,
-    ScanResults, Scanner, SessionSpec, TargetSpec, TcpSynProbe, UdpProbe, Verdict,
+    ScanEngine, ScanResults, Scanner, SessionSpec, TargetSpec, TcpSynProbe, UdpProbe, Verdict,
 };
+use xmap_netsim::packet::Network;
 use xmap_netsim::services::{AppRequest, ServiceKind};
 use xmap_netsim::{KillPoint, World};
+use xmap_reactor::{ReplayNet, TapConfig, WireRecorder};
 use xmap_state::{AbortSignal, StateError};
 use xmap_telemetry::{Monitor, Telemetry};
 
@@ -86,6 +100,9 @@ struct CliConfig {
     checkpoint_every: u64,
     resume: bool,
     kill_after_probes: Option<u64>,
+    transport: TransportChoice,
+    record_wire: Option<String>,
+    replay_trace: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +110,19 @@ enum ModuleChoice {
     Icmp,
     Udp,
     Tcp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum TransportChoice {
+    /// The synchronous lock-step engine (no transport layer at all).
+    #[default]
+    LockStep,
+    /// Reactor engine over the simulator transport.
+    Sim,
+    /// Reactor engine over a recorded wire trace.
+    Replay,
+    /// Reactor engine over a real TAP device — refused by this build.
+    Tap,
 }
 
 impl Default for CliConfig {
@@ -119,6 +149,9 @@ impl Default for CliConfig {
             checkpoint_every: 1024,
             resume: false,
             kill_after_probes: None,
+            transport: TransportChoice::LockStep,
+            record_wire: None,
+            replay_trace: None,
         }
     }
 }
@@ -216,6 +249,22 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
                     .map_err(|_| "checkpoint-every must be an integer".to_owned())?;
             }
             "--resume" => cfg.resume = true,
+            "--transport" => {
+                cfg.transport = match value(&mut iter, arg)?.as_str() {
+                    "lockstep" => TransportChoice::LockStep,
+                    "sim" => TransportChoice::Sim,
+                    "replay" => TransportChoice::Replay,
+                    "tap" => TransportChoice::Tap,
+                    other => return Err(format!("unknown transport {other:?}")),
+                };
+            }
+            "--record-wire" => cfg.record_wire = Some(value(&mut iter, arg)?),
+            "--replay-trace" => {
+                cfg.replay_trace = Some(value(&mut iter, arg)?);
+                if cfg.transport == TransportChoice::LockStep {
+                    cfg.transport = TransportChoice::Replay;
+                }
+            }
             "--kill-after-probes" => {
                 cfg.kill_after_probes = Some(
                     value(&mut iter, arg)?
@@ -253,6 +302,26 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     }
     if cfg.checkpoint.is_some() && cfg.trace_out.is_some() {
         return Err("--trace-out is not supported with --checkpoint".to_owned());
+    }
+    if cfg.transport == TransportChoice::Replay && cfg.replay_trace.is_none() {
+        return Err("--transport replay requires --replay-trace <file>".to_owned());
+    }
+    if cfg.replay_trace.is_some() && cfg.transport != TransportChoice::Replay {
+        return Err("--replay-trace requires --transport replay (or omit --transport)".to_owned());
+    }
+    if cfg.replay_trace.is_some() && cfg.record_wire.is_some() {
+        return Err("--record-wire and --replay-trace are mutually exclusive".to_owned());
+    }
+    for (set, flag) in [
+        (cfg.record_wire.is_some(), "--record-wire"),
+        (cfg.replay_trace.is_some(), "--replay-trace"),
+    ] {
+        if set && cfg.workers > 1 {
+            return Err(format!("{flag} records/replays one wire; use --workers 1"));
+        }
+        if set && cfg.checkpoint.is_some() {
+            return Err(format!("{flag} is not supported with --checkpoint"));
+        }
     }
     Ok(cfg)
 }
@@ -301,6 +370,42 @@ fn write_worker_traces(dir: &str, scanner: &ParallelScanner<World>) -> Result<()
     Ok(())
 }
 
+/// The single-worker scan path over any network backend — the plain
+/// world, a [`WireRecorder`] around it, or a [`ReplayNet`]. Returns the
+/// results and the network back (recorders need finishing).
+fn run_single<N: Network>(
+    cfg: &CliConfig,
+    scan_config: ScanConfig,
+    module: &dyn ProbeModule,
+    blocklist: &Blocklist,
+    make_net: impl FnOnce(&Telemetry) -> N,
+) -> Result<(ScanResults, N), String> {
+    let telemetry = if cfg.trace_out.is_some() {
+        Telemetry::with_tracing()
+    } else {
+        Telemetry::new()
+    };
+    let net = make_net(&telemetry);
+    let mut scanner = Scanner::with_telemetry(net, scan_config, telemetry.clone());
+    if !cfg.quiet {
+        // One virtual tick per send slot, so the configured packet rate
+        // fixes the tick↔second conversion for the status lines.
+        let ticks_per_sec = cfg.rate_pps.unwrap_or(100_000).max(1);
+        let interval = ((cfg.status_interval * ticks_per_sec as f64) as u64).max(1);
+        scanner.set_monitor(Monitor::new(&telemetry.registry, interval, ticks_per_sec));
+    }
+    let results = scanner.run_all(cfg.targets.ranges(), module, blocklist);
+    if let Some(path) = &cfg.metrics_out {
+        let json = telemetry.registry.snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if let Some(path) = &cfg.trace_out {
+        let ndjson = telemetry.tracer.to_ndjson();
+        std::fs::write(path, ndjson).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok((results, scanner.into_network()))
+}
+
 /// Runs one scan invocation. `Ok(true)` means the scan was interrupted by
 /// an armed kill point with its state checkpointed (exit code 3).
 fn run(cfg: CliConfig) -> Result<bool, String> {
@@ -322,6 +427,12 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
             Verdict::Deny,
         );
     }
+    if cfg.transport == TransportChoice::Tap {
+        // The stub's error is the canonical explanation of what a
+        // real-wire build would need.
+        let err = xmap_reactor::tap::open(&TapConfig::default()).unwrap_err();
+        return Err(err.to_string());
+    }
     let scan_config = ScanConfig {
         seed: cfg.seed,
         shard: cfg.shard,
@@ -329,6 +440,10 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         permutation: cfg.permutation,
         max_targets: cfg.max_targets,
         rate_pps: cfg.rate_pps,
+        engine: match cfg.transport {
+            TransportChoice::LockStep => ScanEngine::LockStep,
+            _ => ScanEngine::Reactor,
+        },
         ..Default::default()
     };
     let module = module_for(&cfg);
@@ -419,31 +534,53 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         if let Some(dir) = &cfg.trace_out {
             write_worker_traces(dir, &scanner)?;
         }
+    } else if let Some(trace_path) = &cfg.replay_trace {
+        // Replay: no simulator at all — the recorded trace answers every
+        // probe, and any divergence from the recording is a hard error.
+        let net = ReplayNet::from_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("--replay-trace {trace_path}: {e}"))?;
+        let (r, net) = run_single(&cfg, scan_config, module.as_ref(), &blocklist, |_| net)?;
+        if net.desyncs() > 0 || net.mismatched_sends() > 0 {
+            return Err(format!(
+                "replay diverged from the recorded trace ({} desyncs, {} mismatched \
+                 sends); same seed/config/targets as the recording run?",
+                net.desyncs(),
+                net.mismatched_sends()
+            ));
+        }
+        results = r;
+    } else if let Some(record_path) = &cfg.record_wire {
+        ensure_parent_dir(record_path, "--record-wire")?;
+        let world_seed = cfg.world_seed;
+        let (r, recorder) = run_single(
+            &cfg,
+            scan_config,
+            module.as_ref(),
+            &blocklist,
+            |telemetry| {
+                let mut world = World::new(world_seed);
+                world.set_telemetry(telemetry);
+                WireRecorder::new(world)
+            },
+        )?;
+        recorder
+            .save(std::path::Path::new(record_path))
+            .map_err(|e| format!("write {record_path}: {e}"))?;
+        results = r;
     } else {
-        let telemetry = if cfg.trace_out.is_some() {
-            Telemetry::with_tracing()
-        } else {
-            Telemetry::new()
-        };
-        let mut world = World::new(cfg.world_seed);
-        world.set_telemetry(&telemetry);
-        let mut scanner = Scanner::with_telemetry(world, scan_config, telemetry.clone());
-        if !cfg.quiet {
-            // One virtual tick per send slot, so the configured packet rate
-            // fixes the tick↔second conversion for the status lines.
-            let ticks_per_sec = cfg.rate_pps.unwrap_or(100_000).max(1);
-            let interval = ((cfg.status_interval * ticks_per_sec as f64) as u64).max(1);
-            scanner.set_monitor(Monitor::new(&telemetry.registry, interval, ticks_per_sec));
-        }
-        results = scanner.run_all(cfg.targets.ranges(), module.as_ref(), &blocklist);
-        if let Some(path) = &cfg.metrics_out {
-            let json = telemetry.registry.snapshot().to_json();
-            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
-        }
-        if let Some(path) = &cfg.trace_out {
-            let ndjson = telemetry.tracer.to_ndjson();
-            std::fs::write(path, ndjson).map_err(|e| format!("write {path}: {e}"))?;
-        }
+        let world_seed = cfg.world_seed;
+        let (r, _world) = run_single(
+            &cfg,
+            scan_config,
+            module.as_ref(),
+            &blocklist,
+            |telemetry| {
+                let mut world = World::new(world_seed);
+                world.set_telemetry(telemetry);
+                world
+            },
+        )?;
+        results = r;
     }
 
     let csv = xmap::output::to_csv(&results.records);
@@ -788,6 +925,90 @@ mod tests {
             .is_err(),
             "tracing is per-worker, not per-session"
         );
+    }
+
+    #[test]
+    fn parses_transport_flags() {
+        assert_eq!(
+            parse_args(&args("2405:200::/32")).unwrap().transport,
+            TransportChoice::LockStep
+        );
+        assert_eq!(
+            parse_args(&args("--transport sim 2405:200::/32"))
+                .unwrap()
+                .transport,
+            TransportChoice::Sim
+        );
+        // --replay-trace implies the replay transport.
+        let cfg = parse_args(&args("--replay-trace /tmp/w.ndjson 2405:200::/32")).unwrap();
+        assert_eq!(cfg.transport, TransportChoice::Replay);
+        assert_eq!(cfg.replay_trace.as_deref(), Some("/tmp/w.ndjson"));
+        assert!(parse_args(&args("--transport nope 2405:200::/32")).is_err());
+        assert!(
+            parse_args(&args("--transport replay 2405:200::/32")).is_err(),
+            "replay needs a trace file"
+        );
+        assert!(
+            parse_args(&args("--transport sim --replay-trace /tmp/w 2405:200::/32")).is_err(),
+            "trace with a non-replay transport is contradictory"
+        );
+        assert!(parse_args(&args(
+            "--record-wire /tmp/a --replay-trace /tmp/b 2405:200::/32"
+        ))
+        .is_err());
+        assert!(
+            parse_args(&args("--workers 2 --record-wire /tmp/w 2405:200::/32")).is_err(),
+            "recording is single-wire"
+        );
+        assert!(parse_args(&args(
+            "--checkpoint /tmp/ck --replay-trace /tmp/w 2405:200::/32"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn tap_transport_refuses_with_explanation() {
+        let cfg = parse_args(&args("-x 8 -q --transport tap 2402:3a80::/32-64")).unwrap();
+        let err = run(cfg).unwrap_err();
+        assert!(err.contains("TAP transport unavailable"), "{err}");
+    }
+
+    /// `--transport sim` must produce the same CSV as the default
+    /// lock-step engine, and a `--record-wire` run's trace must replay
+    /// to the same CSV through `--replay-trace`.
+    #[test]
+    fn sim_record_and_replay_round_trip_through_the_cli() {
+        let tmp = std::env::temp_dir().join(format!("xmap-cli-wire-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let csv_lockstep = tmp.join("lockstep.csv");
+        let csv_sim = tmp.join("sim.csv");
+        let csv_replay = tmp.join("replay.csv");
+        let trace = tmp.join("wire.ndjson");
+
+        let base = "-x 2048 -q -s 3 2402:3a80::/32-64";
+        let cfg = parse_args(&args(&format!("{base} -o {}", csv_lockstep.display()))).unwrap();
+        run(cfg).unwrap();
+        let cfg = parse_args(&args(&format!(
+            "{base} --transport sim -o {} --record-wire {}",
+            csv_sim.display(),
+            trace.display()
+        )))
+        .unwrap();
+        run(cfg).unwrap();
+        let cfg = parse_args(&args(&format!(
+            "{base} --replay-trace {} -o {}",
+            trace.display(),
+            csv_replay.display()
+        )))
+        .unwrap();
+        run(cfg).unwrap();
+
+        let lockstep = std::fs::read_to_string(&csv_lockstep).unwrap();
+        let sim = std::fs::read_to_string(&csv_sim).unwrap();
+        let replay = std::fs::read_to_string(&csv_replay).unwrap();
+        assert_eq!(lockstep, sim, "--transport sim diverged from lock-step");
+        assert_eq!(sim, replay, "--replay-trace diverged from the recording");
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]

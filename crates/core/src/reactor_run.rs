@@ -1,0 +1,565 @@
+//! The reactor-backed scan engine ([`ScanEngine::Reactor`]).
+//!
+//! Same pipeline as the lock-step loop in [`super`], restructured around
+//! the `xmap-reactor` primitives: probes leave through
+//! [`Transport::send_batch`], replies come back through a bounded,
+//! tick-stamped receive queue ([`Transport::poll_recv`]), and
+//! retransmissions park in a deadline [`TimerHeap`] instead of the
+//! scanner-private retry heap.
+//!
+//! ## Byte-identity with the lock-step engine
+//!
+//! Every artifact — CSV records, metrics snapshots, monitor lines, trace
+//! events, checkpoints — must match the lock-step engine byte for byte
+//! (pinned by `tests/reactor_determinism.rs`). The load-bearing moves:
+//!
+//! * **Two polls per slot.** The lock-step loop absorbs immediate
+//!   replies right after `handle_into` (pre-tick, stamped at the send
+//!   slot) and delayed replies right after `tick_into` (post-tick). The
+//!   reactor polls the receive queue at the same two points, and every
+//!   [`RecvEntry`] carries its arrival tick, so RTTs and trace stamps
+//!   are computed from arrival time, not poll time.
+//! * **Shared sequence space.** The timer heap's sequence counter plays
+//!   the role of `retry_seq`: both engines assign the same `(due_tick,
+//!   seq)` keys, so retransmission order — and checkpointed retry
+//!   queues — are identical, including across cross-engine resumes.
+//! * **Checkpoint cuts at `in_flight() == 0`.** The transport's
+//!   in-flight count includes its receive queue, so a cut can never
+//!   strand a queued-but-unabsorbed reply.
+
+use xmap_addr::{Ip6, Prefix, ScanRange};
+use xmap_netsim::packet::{Ipv6Packet, Network};
+use xmap_reactor::{RecvEntry, SimTransport, TimerHeap, Transport};
+use xmap_state::{AbortSignal, AdaptiveState, RunState};
+use xmap_telemetry::{Monitor, Telemetry};
+
+use super::{
+    probe_dst_of, Confidence, Outstanding, RecoveryState, ScanConfig, ScanRecord, ScanResults,
+    Scanner, TargetGen,
+};
+use crate::blocklist::Blocklist;
+use crate::checkpoint::{RunResume, RunSink};
+use crate::probe::{ProbeModule, ProbeResult};
+use crate::rate::{AdaptiveRateController, RateLimiter};
+use crate::target::fill_host_bits;
+use crate::telemetry::{names, HotTally, MetricsBaseline, ScanMetrics};
+use crate::validate::Validator;
+
+/// A retransmission parked in the reactor's timer heap. The payload the
+/// lock-step engine keeps in its `RetryEntry` minus the `(due_tick,
+/// seq)` key, which the heap owns.
+#[derive(Debug, Clone, Copy)]
+struct RetryTimer {
+    target: Prefix,
+    attempt: u32,
+    prev_dst: Ip6,
+}
+
+/// The scanner's non-network halves, borrowed apart so the network can
+/// be lent to a [`SimTransport`] for the duration of one run.
+struct EngineCtx<'a> {
+    config: &'a ScanConfig,
+    validator: &'a Validator,
+    telemetry: &'a Telemetry,
+    metrics: &'a ScanMetrics,
+    monitor: &'a mut Option<Monitor>,
+    total_ticks: &'a mut u64,
+    sink: &'a mut Option<RunSink>,
+    durability_flagged: &'a mut bool,
+    abort: &'a Option<AbortSignal>,
+}
+
+impl<N: Network> Scanner<N> {
+    /// Runs one range on the reactor engine. Called from
+    /// [`Scanner::run_inner`] when [`ScanConfig::engine`] selects
+    /// [`ScanEngine::Reactor`](super::ScanEngine::Reactor).
+    pub(super) fn run_reactor(
+        &mut self,
+        range: &ScanRange,
+        module: &dyn ProbeModule,
+        blocklist: &Blocklist,
+        resume: Option<RunResume>,
+    ) -> ScanResults {
+        let Scanner {
+            network,
+            config,
+            validator,
+            telemetry,
+            metrics,
+            monitor,
+            total_ticks,
+            sink,
+            durability_flagged,
+            abort,
+        } = self;
+        let mut ctx = EngineCtx {
+            config,
+            validator,
+            telemetry,
+            metrics,
+            monitor,
+            total_ticks,
+            sink,
+            durability_flagged,
+            abort,
+        };
+        // Lend the network out through the blanket `Network for &mut N`
+        // impl; the scanner gets it back when the transport drops.
+        let mut transport = SimTransport::new(&mut *network);
+        drive(&mut ctx, &mut transport, range, module, blocklist, resume)
+    }
+}
+
+/// The reactor event loop, generic over the transport backend. Mirrors
+/// [`Scanner::run_inner`] slot for slot; see the module docs for where
+/// the two engines are allowed to differ (nowhere observable).
+fn drive<T: Transport>(
+    ctx: &mut EngineCtx<'_>,
+    transport: &mut T,
+    range: &ScanRange,
+    module: &dyn ProbeModule,
+    blocklist: &Blocklist,
+    resume: Option<RunResume>,
+) -> ScanResults {
+    let mut results = ScanResults::default();
+    let mut limiter = ctx.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
+    let mut adaptive = if ctx.config.adaptive_rate {
+        ctx.config.rate_pps.map(AdaptiveRateController::standard)
+    } else {
+        None
+    };
+    let attempts = ctx.config.probes_per_target.max(1);
+    let (base, run_start_tick, mut gen, mut state, mut timers, mut now) = match resume {
+        None => (
+            ctx.metrics.baseline(),
+            *ctx.total_ticks,
+            TargetGen::new(ctx.config, range),
+            RecoveryState::default(),
+            TimerHeap::new(),
+            0u64,
+        ),
+        Some(r) => {
+            results.records = r.records;
+            let rs = &r.state;
+            if let (Some(ctrl), Some(a)) = (adaptive.as_mut(), rs.adaptive.as_ref()) {
+                ctrl.restore_state(
+                    a.current_pps,
+                    a.sent,
+                    a.valid,
+                    a.baseline_bits.map(f64::from_bits),
+                );
+            }
+            // Checkpointed retries restore under their original sequence
+            // numbers so the heap pops in the captured order; the counter
+            // resumes where the killed run (either engine) left it.
+            let mut timers = TimerHeap::with_next_seq(rs.retry_seq);
+            for e in &rs.retries {
+                timers.insert_restored(
+                    e.due_tick,
+                    e.seq,
+                    RetryTimer {
+                        target: e.target,
+                        attempt: e.attempt,
+                        prev_dst: e.prev_dst.into(),
+                    },
+                );
+            }
+            let mut state = RecoveryState {
+                retry_seq: rs.retry_seq,
+                probed: rs.probed.clone(),
+                ..RecoveryState::default()
+            };
+            for o in &rs.outstanding {
+                state.outstanding.insert(
+                    o.dst.into(),
+                    Outstanding {
+                        target: o.target,
+                        attempt: o.attempt,
+                        answered: o.answered,
+                        sent_tick: o.sent_tick,
+                    },
+                );
+            }
+            state.answered = rs.answered.iter().copied().collect();
+            (
+                MetricsBaseline::from_raw(rs.baseline),
+                rs.run_start_tick,
+                TargetGen::restore(ctx.config, range, rs),
+                state,
+                timers,
+                rs.now,
+            )
+        }
+    };
+    transport.set_clock(now);
+    let mut journaled = results.records.len();
+    let mut tally = HotTally::default();
+    let mut recv_buf: Vec<RecvEntry> = Vec::new();
+    let mut send_buf: Vec<Ipv6Packet> = Vec::new();
+
+    loop {
+        if ctx.abort.as_ref().is_some_and(AbortSignal::is_set) {
+            checkpoint_now(
+                ctx,
+                transport,
+                &gen,
+                &state,
+                &timers,
+                &adaptive,
+                &base,
+                now,
+                run_start_tick,
+                &mut tally,
+            );
+            results.interrupted = true;
+            break;
+        }
+        if ctx.sink.as_ref().is_some_and(|s| s.due()) {
+            checkpoint_now(
+                ctx,
+                transport,
+                &gen,
+                &state,
+                &timers,
+                &adaptive,
+                &base,
+                now,
+                run_start_tick,
+                &mut tally,
+            );
+        }
+        // One send slot: a due retransmission wins over a fresh target.
+        // Due timers whose previous attempt was answered are suppressed
+        // (popped and discarded), exactly like the lock-step `due_retry`.
+        let job = loop {
+            match timers.pop_due(now) {
+                Some((_due, _seq, t)) => {
+                    let unanswered = state
+                        .outstanding
+                        .get(&t.prev_dst)
+                        .is_some_and(|o| !o.answered);
+                    if unanswered {
+                        break Some((t.target, t.attempt));
+                    }
+                }
+                None => break None,
+            }
+        };
+        let job = match job {
+            Some(j) => Some(j),
+            None => {
+                if let Some(target) = gen.next_target(range) {
+                    state.probed.push(target);
+                    Some((target, 0))
+                } else if !timers.is_empty() || transport.in_flight() > 0 {
+                    // Fresh walk done: drain timers and in-flight
+                    // responses without sending.
+                    None
+                } else {
+                    break;
+                }
+            }
+        };
+
+        if let Some((target, attempt)) = job {
+            let dst = fill_host_bits(target, ctx.config.seed.wrapping_add(attempt as u64));
+            if !blocklist.is_allowed(dst) {
+                tally.blocked += 1;
+                continue;
+            }
+            if let Some(ctrl) = adaptive.as_mut() {
+                tally.paced_nanos += 1_000_000_000 / ctrl.current_pps().max(1);
+                ctrl.on_probe();
+            } else if let Some(limiter) = limiter.as_mut() {
+                tally.paced_nanos += 1_000_000_000 / limiter.rate_pps().max(1);
+            }
+            let probe = module.build(ctx.config.source, dst, ctx.config.hop_limit, ctx.validator);
+            tally.sent += 1;
+            if attempt > 0 {
+                tally.retransmits += 1;
+            }
+            if ctx.telemetry.tracer.is_enabled() {
+                ctx.telemetry.tracer.event(
+                    *ctx.total_ticks,
+                    "scan.send",
+                    vec![
+                        ("attempt", (attempt as u64).into()),
+                        ("dst", dst.to_string().into()),
+                    ],
+                );
+            }
+            state.outstanding.insert(
+                dst,
+                Outstanding {
+                    target,
+                    attempt,
+                    answered: false,
+                    sent_tick: now,
+                },
+            );
+            if attempt + 1 < attempts && timers.len() < ctx.config.max_retry_backlog {
+                let backoff = ctx.config.rto_ticks << attempt;
+                ctx.metrics.backoff_ticks.record(backoff);
+                let deadline = now + backoff;
+                timers.arm(
+                    deadline,
+                    RetryTimer {
+                        target,
+                        attempt: attempt + 1,
+                        prev_dst: dst,
+                    },
+                );
+                transport.register_deadline(deadline);
+            }
+            send_buf.push(probe);
+            transport.send_batch(&mut send_buf);
+            // First poll of the slot: immediate replies, stamped with
+            // the send tick.
+            recv_buf.clear();
+            transport.poll_recv(&mut recv_buf);
+            absorb(
+                ctx,
+                &recv_buf,
+                module,
+                &mut state,
+                &mut adaptive,
+                &mut results,
+                &mut tally,
+                now,
+            );
+        }
+
+        transport.advance(1);
+        now += 1;
+        *ctx.total_ticks += 1;
+        if *ctx.total_ticks & 0x3ff == 0 {
+            tally.flush(ctx.metrics);
+        }
+        if let Some(sink) = ctx.sink.as_mut() {
+            sink.tick();
+        }
+        if let Some(monitor) = ctx.monitor.as_mut() {
+            if monitor.is_due(*ctx.total_ticks) {
+                tally.flush(ctx.metrics);
+                monitor.poll(*ctx.total_ticks);
+            }
+        }
+        // Second poll of the slot: replies that came due in the advance,
+        // stamped with the post-advance tick.
+        recv_buf.clear();
+        transport.poll_recv(&mut recv_buf);
+        absorb(
+            ctx,
+            &recv_buf,
+            module,
+            &mut state,
+            &mut adaptive,
+            &mut results,
+            &mut tally,
+            now,
+        );
+        if let Some(sink) = ctx.sink.as_mut() {
+            for r in &results.records[journaled..] {
+                sink.journal(r);
+            }
+            journaled = results.records.len();
+        }
+        mirror_durability(ctx);
+    }
+
+    tally.flush(ctx.metrics);
+    transport.flush_telemetry();
+
+    if results.interrupted {
+        results.stats = ctx.metrics.stats_since(&base);
+        return results;
+    }
+
+    let mut gave_up = 0u64;
+    for target in &state.probed {
+        if state.answered.contains(target) {
+            continue;
+        }
+        if attempts > 1 {
+            gave_up += 1;
+        }
+        if ctx.config.record_silent {
+            results.silent_targets.push(*target);
+        }
+    }
+    if gave_up > 0 {
+        ctx.metrics.gave_up.add(gave_up);
+    }
+    results.stats = ctx.metrics.stats_since(&base);
+    ctx.metrics.update_hit_rate();
+    ctx.telemetry.tracer.span_event(
+        run_start_tick,
+        *ctx.total_ticks,
+        "scan.run",
+        vec![
+            ("sent", results.stats.sent.into()),
+            ("valid", results.stats.valid.into()),
+        ],
+    );
+    if ctx.sink.is_some() {
+        let snap = ctx.telemetry.registry.snapshot();
+        if let Some(sink) = ctx.sink.as_mut() {
+            sink.write_checkpoint(*ctx.total_ticks, snap, None);
+        }
+        mirror_durability(ctx);
+    }
+    results
+}
+
+/// Classifies a poll batch. The reactor twin of [`Scanner::absorb`],
+/// except RTTs and trace stamps come from each entry's arrival tick —
+/// which at both poll sites equals `now`, reproducing the lock-step
+/// engine's values exactly.
+#[allow(clippy::too_many_arguments)]
+fn absorb(
+    ctx: &mut EngineCtx<'_>,
+    batch: &[RecvEntry],
+    module: &dyn ProbeModule,
+    state: &mut RecoveryState,
+    adaptive: &mut Option<AdaptiveRateController>,
+    results: &mut ScanResults,
+    tally: &mut HotTally,
+    now: u64,
+) {
+    // Trace events are stamped with the *lifetime* tick: translate each
+    // entry's run-local arrival tick by the current offset.
+    let run_offset = ctx.total_ticks.wrapping_sub(now);
+    for entry in batch {
+        let resp = &entry.packet;
+        tally.received += 1;
+        match module.classify(resp, ctx.validator) {
+            ProbeResult::Invalid => tally.invalid += 1,
+            result => {
+                let probe_dst = probe_dst_of(resp);
+                let Some(out) = state.outstanding.get_mut(&probe_dst) else {
+                    tally.invalid += 1;
+                    continue;
+                };
+                let confidence = match out.attempt {
+                    0 => Confidence::FirstTry,
+                    n => Confidence::Retry(n),
+                };
+                let first_answer = !out.answered;
+                out.answered = true;
+                if first_answer
+                    && out.attempt > 0
+                    && matches!(
+                        result,
+                        ProbeResult::Unreachable { .. } | ProbeResult::TimeExceeded
+                    )
+                {
+                    ctx.metrics.rate_limited_suspected.inc();
+                }
+                tally.valid += 1;
+                let rtt = entry.tick.saturating_sub(out.sent_tick);
+                if rtt == 0 {
+                    tally.rtt_zero += 1;
+                } else {
+                    ctx.metrics.rtt_ticks.record(rtt);
+                }
+                if ctx.telemetry.tracer.is_enabled() {
+                    ctx.telemetry.tracer.event(
+                        run_offset.wrapping_add(entry.tick),
+                        "scan.recv",
+                        vec![
+                            ("rtt_ticks", rtt.into()),
+                            ("attempt", (out.attempt as u64).into()),
+                        ],
+                    );
+                }
+                if let Some(ctrl) = adaptive.as_mut() {
+                    ctrl.on_valid();
+                }
+                state.answered.insert(out.target);
+                results.records.push(ScanRecord {
+                    target: out.target,
+                    probe_dst,
+                    responder: resp.src,
+                    result,
+                    confidence,
+                });
+            }
+        }
+    }
+}
+
+/// Mid-range checkpoint, reactor edition: retries are captured from the
+/// timer heap (sorted to the same canonical `(due_tick, seq)` order the
+/// lock-step engine writes) and the in-flight gate includes the
+/// transport's receive queue.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_now<T: Transport>(
+    ctx: &mut EngineCtx<'_>,
+    transport: &mut T,
+    gen: &TargetGen,
+    state: &RecoveryState,
+    timers: &TimerHeap<RetryTimer>,
+    adaptive: &Option<AdaptiveRateController>,
+    base: &MetricsBaseline,
+    now: u64,
+    run_start_tick: u64,
+    tally: &mut HotTally,
+) {
+    if ctx.sink.is_none() || transport.in_flight() > 0 {
+        return;
+    }
+    tally.flush(ctx.metrics);
+    transport.flush_telemetry();
+    let snap = ctx.telemetry.registry.snapshot();
+    let (cursor, remaining, pending_indices) = gen.capture();
+    let (outstanding, _, answered) = state.capture();
+    let mut retries: Vec<xmap_state::RetryEntryState> = timers
+        .iter()
+        .map(|(due_tick, seq, t)| xmap_state::RetryEntryState {
+            due_tick,
+            seq,
+            target: t.target,
+            attempt: t.attempt,
+            prev_dst: t.prev_dst.bits(),
+        })
+        .collect();
+    retries.sort_by_key(|r| (r.due_tick, r.seq));
+    let sink = ctx.sink.as_mut().expect("sink presence checked above");
+    let run = RunState {
+        now,
+        run_start_tick,
+        run_wal_start: sink.run_wal_start(),
+        cursor,
+        remaining,
+        pending_indices,
+        outstanding,
+        retries,
+        retry_seq: timers.next_seq(),
+        answered,
+        probed: state.probed.clone(),
+        adaptive: adaptive.as_ref().map(|c| {
+            let (current_pps, sent, valid, baseline) = c.checkpoint_state();
+            AdaptiveState {
+                current_pps,
+                sent,
+                valid,
+                baseline_bits: baseline.map(f64::to_bits),
+            }
+        }),
+        baseline: base.to_raw(),
+    };
+    sink.write_checkpoint(*ctx.total_ticks, snap, Some(run));
+}
+
+/// Mirrors sink degradation into the `state.durability_degraded` gauge
+/// on transitions (the twin of [`Scanner::mirror_durability`]).
+fn mirror_durability(ctx: &mut EngineCtx<'_>) {
+    let degraded = ctx.sink.as_ref().is_some_and(RunSink::is_degraded);
+    if degraded != *ctx.durability_flagged {
+        *ctx.durability_flagged = degraded;
+        ctx.telemetry
+            .registry
+            .gauge(names::DURABILITY_DEGRADED)
+            .set(degraded as u64);
+    }
+}

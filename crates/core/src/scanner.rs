@@ -25,6 +25,12 @@ use crate::target::fill_host_bits;
 use crate::telemetry::{names, HotTally, MetricsBaseline, ScanMetrics};
 use crate::validate::Validator;
 
+// The reactor-backed engine lives in a child module so it can share this
+// module's private plumbing (target generator, recovery state, metric
+// tallies) without widening any of it.
+#[path = "reactor_run.rs"]
+mod reactor_run;
+
 /// Probe-order strategies (ablation: `permutation_vs_sequential`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Permutation {
@@ -35,6 +41,28 @@ pub enum Permutation {
     Feistel,
     /// No permutation: ascending order (hammers one subnet at a time).
     Sequential,
+}
+
+/// Which engine drives the scan loop.
+///
+/// Both engines produce byte-identical CSV records, metrics snapshots
+/// and checkpoints for the same seed and configuration (pinned by the
+/// `reactor_determinism` test), so the knob is purely architectural:
+/// the reactor is the path that admits non-simulator transports. The
+/// engine is deliberately *not* part of the session manifest — a scan
+/// checkpointed under one engine resumes under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanEngine {
+    /// The synchronous lock-step loop: one send slot per virtual tick,
+    /// replies absorbed in place. The historical default.
+    #[default]
+    LockStep,
+    /// The `xmap-reactor` event loop: probes go out through a
+    /// [`Transport`](xmap_reactor::Transport) (`SimTransport` over the
+    /// bound network), replies come back through a bounded, stamped
+    /// receive queue, and retransmissions park in a deadline
+    /// [`TimerHeap`](xmap_reactor::TimerHeap).
+    Reactor,
 }
 
 /// Scanner configuration.
@@ -79,6 +107,10 @@ pub struct ScanConfig {
     /// [`ScanResults::silent_targets`] (the mop-up pass input). Off by
     /// default: the list is proportional to the probed slice.
     pub record_silent: bool,
+    /// Which engine drives [`Scanner::run`]. Not part of the session
+    /// manifest: both engines emit identical artifacts, so a resumed
+    /// session may switch engines freely.
+    pub engine: ScanEngine,
 }
 
 impl Default for ScanConfig {
@@ -97,6 +129,7 @@ impl Default for ScanConfig {
             max_retry_backlog: 4096,
             adaptive_rate: false,
             record_silent: false,
+            engine: ScanEngine::LockStep,
         }
     }
 }
@@ -513,6 +546,9 @@ impl<N: Network> Scanner<N> {
         blocklist: &Blocklist,
         resume: Option<RunResume>,
     ) -> ScanResults {
+        if self.config.engine == ScanEngine::Reactor {
+            return self.run_reactor(range, module, blocklist, resume);
+        }
         let mut results = ScanResults::default();
         let mut limiter = self.config.rate_pps.map(|pps| RateLimiter::new(pps, 64));
         let mut adaptive = if self.config.adaptive_rate {

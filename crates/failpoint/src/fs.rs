@@ -115,13 +115,90 @@ pub struct FsRule {
     pub action: FsAction,
 }
 
+/// A recurring fault schedule over the matching-operation index stream.
+///
+/// Where an [`FsRule`] fires at most once (a scripted incident), a
+/// schedule models an *unreliable device*: within its `[start, end)`
+/// window it fires on every matching-op index `i` with
+/// `(i - start) % period < burst`. That expresses periodic error bursts
+/// (a controller that chokes for `burst` operations every `period`) and,
+/// with `burst >= period`, a solid outage window (a disk that is simply
+/// full from op `start` until op `end`).
+///
+/// Schedules only fail operations cleanly ([`FsAction::Fail`]
+/// semantics); torn writes and kills stay the domain of one-shot rules.
+#[derive(Debug, Clone)]
+pub struct FsSchedule {
+    /// Operation kind to match ([`FsOp::Any`] matches everything).
+    pub op: FsOp,
+    /// Only operations whose path ends with this suffix are counted
+    /// (`None` counts every matching operation under the scope prefix).
+    pub suffix: Option<String>,
+    /// First matching-op index (0-based) inside the window.
+    pub start: u64,
+    /// Matching-op index at which the window closes (exclusive);
+    /// `None` keeps the schedule active forever.
+    pub end: Option<u64>,
+    /// Cycle length in matching operations.
+    pub period: u64,
+    /// Failing operations at the head of each cycle.
+    pub burst: u64,
+    /// Error the fired operations report.
+    pub kind: FaultKind,
+}
+
+impl FsSchedule {
+    /// Periodic `EIO` bursts: inside `[start, end)`, the first `burst`
+    /// of every `period` matching operations fail.
+    pub fn eio_bursts(op: FsOp, start: u64, end: Option<u64>, period: u64, burst: u64) -> Self {
+        FsSchedule {
+            op,
+            suffix: None,
+            start,
+            end,
+            period,
+            burst,
+            kind: FaultKind::Eio,
+        }
+    }
+
+    /// A disk-full outage: every matching operation in `[start, end)`
+    /// fails with `ENOSPC`.
+    pub fn disk_full_window(op: FsOp, start: u64, end: u64) -> Self {
+        FsSchedule {
+            op,
+            suffix: None,
+            start,
+            end: Some(end),
+            period: 1,
+            burst: 1,
+            kind: FaultKind::Enospc,
+        }
+    }
+
+    /// Whether the schedule fires at matching-op `index`.
+    fn fires_at(&self, index: u64) -> bool {
+        if index < self.start {
+            return false;
+        }
+        if let Some(end) = self.end {
+            if index >= end {
+                return false;
+            }
+        }
+        (index - self.start) % self.period.max(1) < self.burst
+    }
+}
+
 /// A scripted set of filesystem fault rules over one path prefix.
 #[derive(Debug, Clone)]
 pub struct FailPlan {
     /// Only paths under this prefix consult the rules.
     pub prefix: PathBuf,
-    /// The rules, each with an independent match counter.
+    /// The one-shot rules, each with an independent match counter.
     pub rules: Vec<FsRule>,
+    /// Recurring schedules, each with an independent match counter.
+    pub schedules: Vec<FsSchedule>,
 }
 
 impl FailPlan {
@@ -131,6 +208,7 @@ impl FailPlan {
         FailPlan {
             prefix: prefix.into(),
             rules: Vec::new(),
+            schedules: Vec::new(),
         }
     }
 
@@ -146,7 +224,14 @@ impl FailPlan {
                 nth,
                 action: FsAction::Kill { keep },
             }],
+            schedules: Vec::new(),
         }
+    }
+
+    /// Adds a recurring [`FsSchedule`] to the plan.
+    pub fn with_schedule(mut self, schedule: FsSchedule) -> Self {
+        self.schedules.push(schedule);
+        self
     }
 
     /// Arms the plan. Faults inject while the returned guard lives;
@@ -160,6 +245,11 @@ impl FailPlan {
                 .rules
                 .into_iter()
                 .map(|r| RuleState { rule: r, seen: 0 })
+                .collect(),
+            schedules: self
+                .schedules
+                .into_iter()
+                .map(|s| ScheduleState { sched: s, seen: 0 })
                 .collect(),
             killed: false,
             ops: 0,
@@ -218,6 +308,7 @@ struct ScopeEntry {
     id: u64,
     prefix: PathBuf,
     rules: Vec<RuleState>,
+    schedules: Vec<ScheduleState>,
     killed: bool,
     ops: u64,
     fired: u64,
@@ -225,6 +316,11 @@ struct ScopeEntry {
 
 struct RuleState {
     rule: FsRule,
+    seen: u64,
+}
+
+struct ScheduleState {
+    sched: FsSchedule,
     seen: u64,
 }
 
@@ -252,6 +348,27 @@ fn consult(op: FsOp, path: &Path, write_len: usize) -> Decision {
                 "failpoint: process killed ({})",
                 path.display()
             )));
+        }
+        // Schedule counters advance on every matching op regardless of
+        // what the one-shot rules decide, so a schedule's index stream
+        // stays a pure function of the workload, not of which rules
+        // happened to fire first.
+        let mut scheduled: Option<FaultKind> = None;
+        for ss in entry.schedules.iter_mut() {
+            if !ss.sched.op.matches(op) {
+                continue;
+            }
+            if let Some(suffix) = &ss.sched.suffix {
+                let name = path.to_string_lossy();
+                if !name.ends_with(suffix.as_str()) {
+                    continue;
+                }
+            }
+            let index = ss.seen;
+            ss.seen += 1;
+            if scheduled.is_none() && ss.sched.fires_at(index) {
+                scheduled = Some(ss.sched.kind);
+            }
         }
         for rs in entry.rules.iter_mut() {
             if !rs.rule.op.matches(op) {
@@ -285,8 +402,13 @@ fn consult(op: FsOp, path: &Path, write_len: usize) -> Decision {
                 }
             };
         }
-        // Matched the scope but no rule fired: pass through. A path
-        // belongs to at most one test's prefix, so stop scanning.
+        if let Some(kind) = scheduled {
+            entry.fired += 1;
+            return Decision::Fail(kind.to_error(&format!("{op:?} {}", path.display())));
+        }
+        // Matched the scope but neither a rule nor a schedule fired:
+        // pass through. A path belongs to at most one test's prefix, so
+        // stop scanning.
         return Decision::Pass;
     }
     Decision::Pass
@@ -478,6 +600,7 @@ mod tests {
                 nth: 1,
                 action: FsAction::Fail(FaultKind::Enospc),
             }],
+            schedules: Vec::new(),
         }
         .arm();
         let mut f = FpFile::create(&dir.join("a")).unwrap();
@@ -506,6 +629,7 @@ mod tests {
                     kind: FaultKind::Eio,
                 },
             }],
+            schedules: Vec::new(),
         }
         .arm();
         let mut f = FpFile::create(&path).unwrap();
@@ -549,6 +673,7 @@ mod tests {
                 nth: 0,
                 action: FsAction::Fail(FaultKind::Eio),
             }],
+            schedules: Vec::new(),
         }
         .arm();
         // dir_b is untouched by dir_a's plan.
@@ -575,6 +700,70 @@ mod tests {
     }
 
     #[test]
+    fn periodic_bursts_fire_inside_the_window_only() {
+        let dir = temp_dir("burst");
+        // Window [2, 8), period 3, burst 1: syncs 2 and 5 fail, 8+ pass.
+        let scope = FailPlan::observe(&dir)
+            .with_schedule(FsSchedule::eio_bursts(FsOp::Sync, 2, Some(8), 3, 1))
+            .arm();
+        let mut f = FpFile::create(&dir.join("s")).unwrap();
+        f.write_all(b"x").unwrap();
+        let outcomes: Vec<bool> = (0..10).map(|_| f.sync_all().is_ok()).collect();
+        let expected: Vec<bool> = (0..10).map(|i| i != 2 && i != 5).collect();
+        assert_eq!(outcomes, expected);
+        assert_eq!(scope.fired(), 2);
+        drop(scope);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_full_window_rejects_every_write_with_enospc() {
+        let dir = temp_dir("full");
+        let scope = FailPlan::observe(&dir)
+            .with_schedule(FsSchedule::disk_full_window(FsOp::Write, 1, 3))
+            .arm();
+        let mut f = FpFile::create(&dir.join("w")).unwrap();
+        f.write_all(b"a").unwrap(); // write 0: before the window
+        for _ in 1..3 {
+            let err = f.write_all(b"b").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        }
+        f.write_all(b"c").unwrap(); // write 3: window closed
+        drop(scope);
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("w")).unwrap(), b"ac");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_shot_rule_wins_but_schedule_counter_still_advances() {
+        let dir = temp_dir("mix");
+        // The rule claims sync 1 with EIO; the schedule would fail syncs
+        // 1 and 2 with ENOSPC. Sync 1 must report the rule's EIO, and
+        // sync 2 must still fire the schedule (its counter saw sync 1).
+        let mut plan =
+            FailPlan::observe(&dir).with_schedule(FsSchedule::disk_full_window(FsOp::Sync, 1, 3));
+        plan.rules.push(FsRule {
+            op: FsOp::Sync,
+            suffix: None,
+            nth: 1,
+            action: FsAction::Fail(FaultKind::Eio),
+        });
+        let scope = plan.arm();
+        let mut f = FpFile::create(&dir.join("m")).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync_all().unwrap(); // sync 0
+        let err = f.sync_all().unwrap_err(); // sync 1: rule wins
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        let err = f.sync_all().unwrap_err(); // sync 2: schedule
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        f.sync_all().unwrap(); // sync 3: window closed
+        assert_eq!(scope.fired(), 2);
+        drop(scope);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn suffix_filter_counts_only_matching_paths() {
         let dir = temp_dir("suffix");
         let scope = FailPlan {
@@ -585,6 +774,7 @@ mod tests {
                 nth: 0,
                 action: FsAction::Fail(FaultKind::Eio),
             }],
+            schedules: Vec::new(),
         }
         .arm();
         assert!(FpFile::create(&dir.join("a.wal")).is_ok());

@@ -22,6 +22,11 @@
 //!   rules, scoped to a path prefix. Scoping keeps concurrently running
 //!   tests isolated: each test arms a plan over its own temp directory
 //!   and only operations under that prefix consult the rules.
+//! - [`FsSchedule`] — recurring fault schedules riding on a plan:
+//!   periodic `EIO` bursts and disk-full (`ENOSPC`) windows over the
+//!   operation stream, for long-running degraded-host scenarios where a
+//!   one-shot rule would model a single incident rather than a sick
+//!   device.
 //! - [`ExecPlan`] / [`ExecFaults`] — scripted worker panics and stalls
 //!   for the parallel executors, matched by `(worker, nth unit of
 //!   work)`.
@@ -45,4 +50,4 @@ pub mod exec;
 pub mod fs;
 
 pub use exec::{ExecAction, ExecFaults, ExecPlan, ExecRule};
-pub use fs::{FailPlan, FailScope, FaultKind, FsAction, FsOp, FsRule};
+pub use fs::{FailPlan, FailScope, FaultKind, FsAction, FsOp, FsRule, FsSchedule};

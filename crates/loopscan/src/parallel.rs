@@ -1,0 +1,159 @@
+//! Work-stealing parallel driver for the BGP-wide loop survey.
+//!
+//! [`BgpSurvey`] walks the advertised table one prefix at a time; with
+//! thousands of entries and hundreds of probes each, that serial walk
+//! dominates survey wall-clock. [`ParallelBgpSurvey`] schedules the
+//! entries over an [`xmap::StealQueue`]: each worker owns a private
+//! [`World`] replica and scanner (no shared simulator state, no locks on
+//! the hot path) and drains entry indices from its deque, stealing from
+//! the slowest worker's tail once its own runs dry — the same discipline
+//! the campaign executor uses for its unevenly-sized blocks.
+//!
+//! Determinism: scheduling order is nondeterministic under contention,
+//! so each entry's hops are captured in a per-entry slot and merged in
+//! **entry order** with a merge-time address dedup. That reproduces the
+//! sequential driver's output exactly — the first occurrence of an
+//! address in table order wins, no matter which worker surveyed which
+//! entry — which `parallel_bgp_survey_matches_sequential` pins for 1, 2
+//! and 4 workers.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use xmap::{ScanConfig, Scanner, StealQueue};
+use xmap_netsim::World;
+
+use crate::survey::{BgpSurvey, BgpSurveyResult};
+
+/// Parallel BGP survey over private world replicas.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelBgpSurvey {
+    /// The survey parameters (probe cap, prefix cap).
+    pub survey: BgpSurvey,
+    /// Worker threads. `0` is treated as `1`.
+    pub workers: usize,
+}
+
+impl ParallelBgpSurvey {
+    /// Creates a driver running `survey` on `workers` threads.
+    pub fn new(survey: BgpSurvey, workers: usize) -> Self {
+        ParallelBgpSurvey { survey, workers }
+    }
+
+    /// Runs the survey. `make_world` builds one world replica per worker
+    /// and **must** return identical worlds for every index (same seed,
+    /// same config): each replica's BGP table is read independently, and
+    /// the merge assumes entry *i* means the same prefix everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run<F>(&self, config: &ScanConfig, make_world: F) -> BgpSurveyResult
+    where
+        F: Fn(usize) -> World + Sync,
+    {
+        let workers = self.workers.max(1);
+        let scratch = make_world(0);
+        let table_len = scratch.bgp().entries().len();
+        let limit = self.survey.max_prefixes.unwrap_or(table_len).min(table_len);
+        drop(scratch);
+
+        let queue = StealQueue::new(limit, workers);
+        let slots: Vec<Mutex<Option<BgpSurveyResult>>> =
+            (0..limit).map(|_| Mutex::new(None)).collect();
+        let survey = self.survey;
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                let make_world = &make_world;
+                s.spawn(move || {
+                    let mut scanner = Scanner::new(make_world(w), config.clone());
+                    let entries = scanner.network_mut().bgp().entries().to_vec();
+                    while let Some(i) = queue.pop(w) {
+                        let mut part = BgpSurveyResult::default();
+                        // Fresh per-entry seen set: cross-entry duplicates
+                        // survive here and die in the entry-order merge.
+                        let mut seen = HashSet::new();
+                        survey.survey_entry(&mut scanner, &entries[i], &mut seen, &mut part);
+                        *slots[i].lock().expect("survey slot poisoned") = Some(part);
+                    }
+                });
+            }
+        });
+
+        let mut result = BgpSurveyResult::default();
+        let mut seen = HashSet::new();
+        for slot in slots {
+            let part = slot
+                .into_inner()
+                .expect("survey slot poisoned")
+                .expect("every queued entry is surveyed exactly once");
+            result.probes += part.probes;
+            for hop in part.last_hops {
+                if seen.insert(hop.address) {
+                    result.last_hops.push(hop);
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_netsim::world::WorldConfig;
+
+    fn make_world(_w: usize) -> World {
+        World::with_config(WorldConfig::lossless(66, 300))
+    }
+
+    fn config() -> ScanConfig {
+        ScanConfig {
+            seed: 23,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parallel_bgp_survey_matches_sequential() {
+        let survey = BgpSurvey {
+            probes_per_prefix: 1 << 8,
+            max_prefixes: Some(200),
+        };
+        let mut scanner = Scanner::new(make_world(0), config());
+        let sequential = survey.run(&mut scanner);
+        assert!(sequential.total() > 10, "{}", sequential.total());
+        assert!(
+            sequential.vulnerable().count() > 0,
+            "need loops for the comparison to bite"
+        );
+
+        for workers in [1usize, 2, 4] {
+            let parallel = ParallelBgpSurvey::new(survey, workers).run(&config(), make_world);
+            assert_eq!(
+                parallel.last_hops, sequential.last_hops,
+                "last hops diverge at {workers} workers"
+            );
+            assert_eq!(
+                parallel.probes, sequential.probes,
+                "probe count diverges at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn uncapped_parallel_survey_covers_the_whole_table() {
+        let survey = BgpSurvey {
+            probes_per_prefix: 1 << 4,
+            max_prefixes: None,
+        };
+        let driver = ParallelBgpSurvey::new(survey, 4);
+        let result = driver.run(&config(), make_world);
+        let mut scanner = Scanner::new(make_world(0), config());
+        let table = scanner.network_mut().bgp().entries().len() as u64;
+        assert_eq!(result.probes, table * (1 << 4));
+    }
+}

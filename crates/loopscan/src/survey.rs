@@ -150,51 +150,64 @@ impl BgpSurvey {
         let mut result = BgpSurveyResult::default();
         let mut seen = HashSet::new();
         for entry in entries.into_iter().take(limit) {
-            let country = scanner.network_mut().bgp().country_of(entry.asn);
-            // Scan the /48 sub-space of this /32 with a per-prefix cap,
-            // spreading deterministically over the 2^16 indices.
-            let space = 1u64 << 16;
-            let step = (space / self.probes_per_prefix.min(space)).max(1);
-            let mut walk = IndexWalk::strided(0, step, self.probes_per_prefix.min(space));
-            let mut buf = [0u64; WALK_CHUNK];
-            loop {
-                let n = walk.fill(&mut buf);
-                if n == 0 {
-                    break;
-                }
-                for &index in &buf[..n] {
-                    let target = entry.prefix.subprefix(48, index as u128);
-                    let dst = xmap::fill_host_bits(target, scanner.config().seed);
-                    result.probes += 1;
-                    let responses = scanner.probe_addr(dst, &IcmpEchoProbe, PROBE_HOP_LIMIT);
-                    let responder = responses.iter().find_map(|(src, r)| match r {
-                        ProbeResult::Unreachable { .. } => Some((*src, false)),
-                        ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => {
-                            Some((*src, true))
-                        }
-                        _ => None,
-                    });
-                    let Some((address, te)) = responder else {
-                        continue;
-                    };
-                    if !seen.insert(address) {
-                        continue;
-                    }
-                    let vulnerable = if te {
-                        detect_loop(scanner, dst).vulnerable
-                    } else {
-                        false
-                    };
-                    result.last_hops.push(BgpLastHop {
-                        address,
-                        asn: entry.asn,
-                        country,
-                        vulnerable,
-                    });
-                }
-            }
+            self.survey_entry(scanner, &entry, &mut seen, &mut result);
         }
         result
+    }
+
+    /// Surveys one advertised prefix: probes its /48 sub-space under the
+    /// per-prefix cap, appending newly-seen last hops to `out`. `seen`
+    /// dedups across whatever scope the caller chooses — the sequential
+    /// driver threads one set through the whole table, the parallel
+    /// driver hands each entry a fresh set and dedups again at merge.
+    pub(crate) fn survey_entry(
+        &self,
+        scanner: &mut Scanner<World>,
+        entry: &xmap_netsim::bgp::BgpEntry,
+        seen: &mut HashSet<Ip6>,
+        out: &mut BgpSurveyResult,
+    ) {
+        let country = scanner.network_mut().bgp().country_of(entry.asn);
+        // Scan the /48 sub-space of this /32 with a per-prefix cap,
+        // spreading deterministically over the 2^16 indices.
+        let space = 1u64 << 16;
+        let step = (space / self.probes_per_prefix.min(space)).max(1);
+        let mut walk = IndexWalk::strided(0, step, self.probes_per_prefix.min(space));
+        let mut buf = [0u64; WALK_CHUNK];
+        loop {
+            let n = walk.fill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            for &index in &buf[..n] {
+                let target = entry.prefix.subprefix(48, index as u128);
+                let dst = xmap::fill_host_bits(target, scanner.config().seed);
+                out.probes += 1;
+                let responses = scanner.probe_addr(dst, &IcmpEchoProbe, PROBE_HOP_LIMIT);
+                let responder = responses.iter().find_map(|(src, r)| match r {
+                    ProbeResult::Unreachable { .. } => Some((*src, false)),
+                    ProbeResult::TimeExceeded if src.iid() >> 48 != 0xffff => Some((*src, true)),
+                    _ => None,
+                });
+                let Some((address, te)) = responder else {
+                    continue;
+                };
+                if !seen.insert(address) {
+                    continue;
+                }
+                let vulnerable = if te {
+                    detect_loop(scanner, dst).vulnerable
+                } else {
+                    false
+                };
+                out.last_hops.push(BgpLastHop {
+                    address,
+                    asn: entry.asn,
+                    country,
+                    vulnerable,
+                });
+            }
+        }
     }
 }
 

@@ -719,6 +719,20 @@ pub fn vendor_profile(vendor: &str) -> &'static VendorProfile {
 /// forthright vendor banners).
 pub const TELNET_BANNER_VENDORS: &[&str] = &["China Unicom", "Yocto", "OpenWrt"];
 
+/// Re-interns a vendor string against the simulation's static
+/// vocabulary (profile vendors and TELNET banners). Wire-trace replay
+/// decodes recorded vendor strings back into the `&'static str` fields
+/// [`AppResponse`] carries; `None` means the string is not part of this
+/// build's vocabulary.
+pub fn intern_vendor(name: &str) -> Option<&'static str> {
+    VENDOR_PROFILES
+        .iter()
+        .map(|p| p.vendor)
+        .chain(std::iter::once(DEFAULT_PROFILE.vendor))
+        .chain(TELNET_BANNER_VENDORS.iter().copied())
+        .find(|v| *v == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

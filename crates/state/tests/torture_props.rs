@@ -57,6 +57,7 @@ fn kill_write_plan(prefix: PathBuf, nth: u64, keep: u64) -> FailPlan {
             nth,
             action: FsAction::Kill { keep },
         }],
+        schedules: Vec::new(),
     }
 }
 
@@ -162,6 +163,7 @@ proptest! {
                 nth,
                 action: FsAction::Kill { keep },
             }],
+            schedules: Vec::new(),
         }
         .arm();
         let result = ckpt(0, 2).write_to(&path);

@@ -65,6 +65,8 @@ impl std::fmt::Display for BenchmarkId {
 /// Timing callback handle passed to benchmark closures.
 pub struct Bencher<'a> {
     mode: Mode,
+    /// Wall-clock budget for the measured batch.
+    budget: Duration,
     /// Measured mean nanoseconds per iteration, written back to the runner.
     result_ns: &'a mut f64,
 }
@@ -77,8 +79,10 @@ enum Mode {
     Measure,
 }
 
-/// Target wall-clock spent measuring one benchmark (kept small: this is a
-/// smoke-level harness, not a statistics engine).
+/// Default wall-clock spent measuring one benchmark (kept small: this is
+/// a smoke-level harness, not a statistics engine). Groups can raise it
+/// with [`BenchmarkGroup::measurement_time`] when the comparison needs
+/// more iterations to average out scheduler noise.
 const MEASURE_BUDGET: Duration = Duration::from_millis(60);
 
 impl<'a> Bencher<'a> {
@@ -97,8 +101,8 @@ impl<'a> Bencher<'a> {
                     cal_iters += 1;
                 }
                 let per_iter = cal_start.elapsed().as_secs_f64() / cal_iters.max(1) as f64;
-                let n = ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64)
-                    .clamp(1, 1_000_000);
+                let n =
+                    ((self.budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
                 let start = Instant::now();
                 for _ in 0..n {
                     std::hint::black_box(routine());
@@ -125,8 +129,7 @@ impl<'a> Bencher<'a> {
                 let cal = Instant::now();
                 std::hint::black_box(routine(input));
                 let per_iter = cal.elapsed().as_secs_f64();
-                let n =
-                    ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
+                let n = ((self.budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
                 let mut total = Duration::ZERO;
                 for _ in 0..n {
                     let input = setup();
@@ -169,7 +172,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        self.run_one(name, None, f);
+        self.run_one(name, None, MEASURE_BUDGET, f);
         self
     }
 
@@ -179,6 +182,7 @@ impl Criterion {
             criterion: self,
             name: name.to_string(),
             throughput: None,
+            budget: MEASURE_BUDGET,
         }
     }
 
@@ -192,11 +196,13 @@ impl Criterion {
         &mut self,
         name: &str,
         throughput: Option<Throughput>,
+        budget: Duration,
         mut f: F,
     ) {
         let mut ns = f64::NAN;
         let mut b = Bencher {
             mode: self.mode,
+            budget,
             result_ns: &mut ns,
         };
         f(&mut b);
@@ -230,6 +236,7 @@ pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    budget: Duration,
 }
 
 impl<'c> BenchmarkGroup<'c> {
@@ -244,8 +251,9 @@ impl<'c> BenchmarkGroup<'c> {
         self
     }
 
-    /// Measurement-time hint; ignored by this harness.
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Sets the wall-clock budget for each benchmark's measured batch.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
         self
     }
 
@@ -256,7 +264,8 @@ impl<'c> BenchmarkGroup<'c> {
         f: F,
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id);
-        self.criterion.run_one(&name, self.throughput, f);
+        self.criterion
+            .run_one(&name, self.throughput, self.budget, f);
         self
     }
 
@@ -269,7 +278,7 @@ impl<'c> BenchmarkGroup<'c> {
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id);
         self.criterion
-            .run_one(&name, self.throughput, |b| f(b, input));
+            .run_one(&name, self.throughput, self.budget, |b| f(b, input));
         self
     }
 
@@ -350,6 +359,7 @@ mod tests {
             let mut ns = f64::NAN;
             let mut b = Bencher {
                 mode: c.mode,
+                budget: MEASURE_BUDGET,
                 result_ns: &mut ns,
             };
             b.iter(|| count += 1);

@@ -1,0 +1,251 @@
+//! The reactor engine's byte-identity contract: for the same seed and
+//! configuration, [`ScanEngine::Reactor`] must produce exactly the
+//! artifacts the lock-step engine produces — CSV records, metrics
+//! snapshots, trace events, checkpoints — including across worker
+//! counts, kill/resume cycles that switch engines mid-session, and
+//! recorded-trace replays.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xmap::output::to_csv;
+use xmap::{
+    run_session, Blocklist, IcmpEchoProbe, ParallelScanner, ScanConfig, ScanEngine, ScanResults,
+    Scanner, SessionSpec,
+};
+use xmap_addr::ScanRange;
+use xmap_netsim::world::{World, WorldConfig};
+use xmap_netsim::{FaultPlan, KillPoint};
+use xmap_reactor::{ReplayNet, WireRecorder};
+use xmap_state::AbortSignal;
+use xmap_telemetry::{Snapshot, Telemetry};
+
+fn session_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("xmap-reactor-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn range() -> ScanRange {
+    "2405:200::/32-64".parse().unwrap()
+}
+
+/// Retransmission-heavy configuration: 30% forward loss forces the
+/// retry pipeline (timer heap, backoff, suppression) to carry real
+/// load, so identity cannot hold by the retry path being idle.
+fn lossy_config(engine: ScanEngine) -> ScanConfig {
+    ScanConfig {
+        seed: 17,
+        max_targets: Some(1500),
+        probes_per_target: 3,
+        rto_ticks: 4,
+        record_silent: true,
+        engine,
+        ..Default::default()
+    }
+}
+
+fn lossy_world() -> World {
+    World::with_config(
+        WorldConfig::lossless(4242, 3000)
+            .with_fault(FaultPlan::none().seeded(0xF00D).with_forward_loss(0.3)),
+    )
+}
+
+/// One traced single-scanner run; returns (CSV, snapshot JSON, trace NDJSON).
+fn run_traced(engine: ScanEngine) -> (String, String, String) {
+    let telemetry = Telemetry::with_tracing();
+    let mut world = lossy_world();
+    world.set_telemetry(&telemetry);
+    let mut scanner = Scanner::with_telemetry(world, lossy_config(engine), telemetry);
+    let results = scanner.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+    assert!(
+        results.stats.retransmits > 0,
+        "loss must force retransmissions for this test to bite"
+    );
+    (
+        to_csv(&results.records),
+        scanner.telemetry().registry.snapshot().to_json(),
+        scanner.telemetry().tracer.to_ndjson(),
+    )
+}
+
+#[test]
+fn reactor_matches_lockstep_records_metrics_and_trace() {
+    let (csv_l, snap_l, trace_l) = run_traced(ScanEngine::LockStep);
+    let (csv_r, snap_r, trace_r) = run_traced(ScanEngine::Reactor);
+    assert_eq!(csv_l, csv_r, "CSV records diverge between engines");
+    assert_eq!(snap_l, snap_r, "metrics snapshots diverge between engines");
+    assert_eq!(trace_l, trace_r, "trace events diverge between engines");
+}
+
+/// Dense lossless world, single probe per target: high record volume
+/// (the lossy case above stresses retries, this one stresses absorb).
+#[test]
+fn reactor_matches_lockstep_on_dense_world() {
+    let run = |engine: ScanEngine| {
+        let telemetry = Telemetry::new();
+        let mut world = World::new(11);
+        world.set_telemetry(&telemetry);
+        let config = ScanConfig {
+            seed: 11,
+            max_targets: Some(16_384),
+            engine,
+            ..Default::default()
+        };
+        let mut scanner = Scanner::with_telemetry(world, config, telemetry);
+        let results = scanner.run(
+            &"2402:3a80::/32-64".parse().unwrap(),
+            &IcmpEchoProbe,
+            &Blocklist::allow_all(),
+        );
+        (
+            to_csv(&results.records),
+            scanner.telemetry().registry.snapshot().to_json(),
+        )
+    };
+    let (csv_l, snap_l) = run(ScanEngine::LockStep);
+    let (csv_r, snap_r) = run(ScanEngine::Reactor);
+    assert!(csv_l.lines().count() > 50, "expected a lively scan");
+    assert_eq!(csv_l, csv_r, "CSV records diverge between engines");
+    assert_eq!(snap_l, snap_r, "metrics snapshots diverge between engines");
+}
+
+fn run_parallel(workers: usize, engine: ScanEngine) -> (String, String) {
+    let mut ps = ParallelScanner::new(workers, lossy_config(engine), |_, telemetry| {
+        let mut world = lossy_world();
+        world.set_telemetry(telemetry);
+        world
+    });
+    let results = ps.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+    (to_csv(&results.records), ps.snapshot().to_json())
+}
+
+/// 1-, 2- and 4-worker reactor runs must equal the matching lock-step
+/// runs exactly (the executor clones the config, so the engine knob
+/// propagates into every worker).
+#[test]
+fn reactor_parallel_worker_counts_match_lockstep() {
+    for workers in [1usize, 2, 4] {
+        let (csv_l, snap_l) = run_parallel(workers, ScanEngine::LockStep);
+        let (csv_r, snap_r) = run_parallel(workers, ScanEngine::Reactor);
+        assert_eq!(csv_l, csv_r, "CSV diverges at {workers} workers");
+        assert_eq!(snap_l, snap_r, "snapshot diverges at {workers} workers");
+    }
+}
+
+fn run_one_session(
+    dir: &Path,
+    resume: bool,
+    kill_after: Option<u64>,
+    engine: ScanEngine,
+) -> (ScanResults, Snapshot) {
+    let ranges = [range()];
+    let config = lossy_config(engine);
+    let signal = AbortSignal::new();
+    let kill_signal = signal.clone();
+    let spec = SessionSpec {
+        workers: 2,
+        config,
+        ranges: &ranges,
+        dir,
+        every: 16,
+        resume,
+        world_seed: 5,
+    };
+    let outcome = run_session(
+        &spec,
+        &IcmpEchoProbe,
+        &Blocklist::allow_all(),
+        Some(&signal),
+        move |_, telemetry| {
+            let mut w = lossy_world();
+            w.set_telemetry(telemetry);
+            if let Some(n) = kill_after {
+                w.arm_kill(
+                    KillPoint {
+                        after_probes: Some(n),
+                        ..Default::default()
+                    },
+                    kill_signal.clone(),
+                );
+            }
+            w
+        },
+    )
+    .expect("checkpointed session");
+    assert!(outcome.sink_error.is_none(), "{:?}", outcome.sink_error);
+    (outcome.results, outcome.snapshot)
+}
+
+/// Kill-and-resume parity, including *cross-engine* resumes: a session
+/// killed under one engine and resumed under the other must still equal
+/// the uninterrupted lock-step baseline byte for byte. The engine is
+/// not in the manifest, so the switch is legal by design.
+#[test]
+fn kill_and_resume_crosses_engines_byte_identically() {
+    let base_dir = session_dir("base");
+    let (base, base_snap) = run_one_session(&base_dir, false, None, ScanEngine::LockStep);
+    assert!(!base.interrupted);
+    assert!(base.stats.retransmits > 0);
+    fs::remove_dir_all(&base_dir).unwrap();
+
+    let cases = [
+        (ScanEngine::Reactor, ScanEngine::Reactor),
+        (ScanEngine::Reactor, ScanEngine::LockStep),
+        (ScanEngine::LockStep, ScanEngine::Reactor),
+    ];
+    for (kill_engine, resume_engine) in cases {
+        for kill in [40u64, 233] {
+            let dir = session_dir("kill");
+            let (partial, _) = run_one_session(&dir, false, Some(kill), kill_engine);
+            assert!(
+                partial.interrupted,
+                "kill after {kill} probes under {kill_engine:?} must interrupt"
+            );
+            let (resumed, snap) = run_one_session(&dir, true, None, resume_engine);
+            assert!(!resumed.interrupted);
+            assert_eq!(
+                to_csv(&resumed.records),
+                to_csv(&base.records),
+                "records diverged: {kill_engine:?} -> {resume_engine:?}, kill {kill}"
+            );
+            assert_eq!(
+                snap, base_snap,
+                "snapshot diverged: {kill_engine:?} -> {resume_engine:?}, kill {kill}"
+            );
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// Record a run's wire traffic through [`WireRecorder`], then replay the
+/// trace with no simulator at all: the reactor engine over a
+/// [`ReplayNet`] must reproduce the original records and stats, consume
+/// the whole trace, and observe zero desyncs.
+#[test]
+fn recorded_trace_replays_byte_identically() {
+    let config = lossy_config(ScanEngine::LockStep);
+    let mut recording = Scanner::new(WireRecorder::new(lossy_world()), config);
+    let original = recording.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+    let trace = recording.into_network().finish();
+    assert!(trace.lines().count() > 100, "trace should carry the run");
+
+    let replay = ReplayNet::from_trace(&trace).expect("recorded trace parses");
+    let mut replayer = Scanner::new(replay, lossy_config(ScanEngine::Reactor));
+    let replayed = replayer.run(&range(), &IcmpEchoProbe, &Blocklist::allow_all());
+
+    assert_eq!(
+        to_csv(&replayed.records),
+        to_csv(&original.records),
+        "replay diverged from the recorded run"
+    );
+    assert_eq!(replayed.stats, original.stats);
+    let net = replayer.into_network();
+    assert_eq!(net.desyncs(), 0, "replay fell out of sync with the trace");
+    assert_eq!(net.mismatched_sends(), 0, "replayed probes diverged");
+    assert!(net.fully_consumed(), "replay left recorded events unused");
+}

@@ -226,6 +226,7 @@ fn enospc_on_checkpoint_publish_degrades_without_corruption() {
             nth: 1,
             action: FsAction::Fail(FaultKind::Enospc),
         }],
+        schedules: Vec::new(),
     }
     .arm();
     let (results, _, sink_error) = session_run(&dir, false, 1).unwrap();
@@ -258,6 +259,7 @@ fn enospc_on_checkpoint_publish_degrades_without_corruption() {
     let scope = FailPlan {
         prefix: dir.clone(),
         rules,
+        schedules: Vec::new(),
     }
     .arm();
     let (results, _, sink_error) = session_run(&dir, false, 1).unwrap();
