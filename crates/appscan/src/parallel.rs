@@ -1,0 +1,207 @@
+//! Work-stealing parallel driver for the exposed-services survey.
+//!
+//! [`SurveyRunner`] walks the discovered peripheries one device at a
+//! time — eight sequential service grabs each — so a campaign-sized
+//! survey is dominated by that serial walk. [`ParallelServiceSurvey`]
+//! schedules the devices over an [`xmap::StealQueue`]: each worker owns
+//! a private [`World`] replica and scanner (no shared simulator state,
+//! no locks on the hot path) and drains device indices from its deque,
+//! stealing from a victim's tail once its own runs dry — the same
+//! discipline the loopscan BGP driver and the campaign executor use.
+//!
+//! Determinism: scheduling order is nondeterministic under contention,
+//! so each device's observations are captured in a per-device slot and
+//! merged in **campaign order** (block order, then discovery order
+//! within the block — exactly the order the sequential runner probes).
+//! The paper's "no more than one service simultaneously at the same
+//! target" constraint is preserved per device: a device's eight grabs
+//! stay sequential on one worker, only distinct devices overlap.
+//! `parallel_survey_matches_sequential` pins the merged survey against
+//! the sequential runner for 1, 2 and 4 workers.
+//!
+//! Registry warm-up: the simulated [`World`] only answers application
+//! probes for addresses its discovery registry has seen respond — the
+//! sequential survey inherits that registry from the discovery scan it
+//! shares a scanner with, but a fresh replica starts cold and would
+//! grab `Silent` everywhere. Before a worker grabs a device it replays
+//! that device's discovery probe once (an ICMPv6 echo to the recorded
+//! `probe_dst`, same hop limit as the scan) and discards the answers;
+//! in the lossless worlds this survey targets, the replay registers
+//! exactly the responder the original scan registered, so per-replica
+//! state converges with the sequential scanner's for every grabbed
+//! address.
+
+use std::sync::Mutex;
+
+use xmap::{IcmpEchoProbe, ScanConfig, Scanner, StealQueue};
+use xmap_netsim::World;
+use xmap_periphery::CampaignResult;
+
+use crate::survey::{ServiceObservation, ServiceSurvey, SurveyRunner};
+
+/// Parallel exposed-services survey over private world replicas.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelServiceSurvey {
+    /// Worker threads. `0` is treated as `1`.
+    pub workers: usize,
+}
+
+impl ParallelServiceSurvey {
+    /// Creates a driver running the survey on `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        ParallelServiceSurvey { workers }
+    }
+
+    /// Surveys every periphery discovered by `campaign`. `make_world`
+    /// builds one world replica per worker and **must** return identical
+    /// worlds for every index (same seed, same config): service state is
+    /// read independently per replica, and the merge assumes device *i*
+    /// answers the same everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run<F>(
+        &self,
+        config: &ScanConfig,
+        campaign: &CampaignResult,
+        make_world: F,
+    ) -> ServiceSurvey
+    where
+        F: Fn(usize) -> World + Sync,
+    {
+        let workers = self.workers.max(1);
+        // Flatten devices in the sequential probe order: block order,
+        // then discovery order within the block. Slot i belongs to the
+        // i-th probed device, so the merge below reproduces the
+        // sequential observation order no matter who surveyed what.
+        let devices: Vec<(usize, usize)> = campaign
+            .blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, blk)| (0..blk.peripheries.len()).map(move |p| (b, p)))
+            .collect();
+
+        let queue = StealQueue::new(devices.len(), workers);
+        let slots: Vec<Mutex<Option<Vec<ServiceObservation>>>> =
+            (0..devices.len()).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                let devices = &devices;
+                let make_world = &make_world;
+                s.spawn(move || {
+                    let mut scanner = Scanner::new(make_world(w), config.clone());
+                    let hop_limit = scanner.config().hop_limit;
+                    let (mut scratch, mut answers) = (Vec::new(), Vec::new());
+                    while let Some(i) = queue.pop(w) {
+                        let (b, p) = devices[i];
+                        let block = &campaign.blocks[b];
+                        let periphery = &block.peripheries[p];
+                        // Warm the replica's discovery registry (see the
+                        // module docs): replay the device's discovery
+                        // probe and drop the answers.
+                        scanner.probe_addr_into(
+                            periphery.probe_dst,
+                            &IcmpEchoProbe,
+                            hop_limit,
+                            &mut scratch,
+                            &mut answers,
+                        );
+                        let mut part = ServiceSurvey::default();
+                        SurveyRunner.probe_device(
+                            &mut scanner,
+                            block.profile_id,
+                            periphery,
+                            &mut part,
+                        );
+                        *slots[i].lock().expect("survey slot poisoned") = Some(part.observations);
+                    }
+                });
+            }
+        });
+
+        let mut survey = ServiceSurvey::default();
+        for slot in slots {
+            let obs = slot
+                .into_inner()
+                .expect("survey slot poisoned")
+                .expect("every queued device is surveyed exactly once");
+            survey.observations.extend(obs);
+        }
+        for block in &campaign.blocks {
+            survey
+                .probed_per_block
+                .insert(block.profile_id, block.peripheries.len());
+        }
+        survey
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_netsim::isp::SAMPLE_BLOCKS;
+    use xmap_netsim::world::WorldConfig;
+    use xmap_periphery::Campaign;
+
+    fn make_world(_w: usize) -> World {
+        World::with_config(WorldConfig::lossless(55, 10))
+    }
+
+    fn config() -> ScanConfig {
+        ScanConfig {
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    /// The two service-rich Chinese broadband blocks, sliced, plus the
+    /// sequential survey baseline run on the *same* scanner — the flow
+    /// [`SurveyRunner`] documents, where the survey inherits the
+    /// discovery scan's warmed world registry.
+    fn discovered() -> (CampaignResult, ServiceSurvey) {
+        let mut scanner = Scanner::new(make_world(0), config());
+        let campaign = Campaign::new(1 << 16);
+        let mut result = CampaignResult::default();
+        for idx in [11usize, 12] {
+            result
+                .blocks
+                .push(campaign.run_block(&mut scanner, &SAMPLE_BLOCKS[idx]));
+        }
+        let sequential = SurveyRunner.run(&mut scanner, &result);
+        (result, sequential)
+    }
+
+    #[test]
+    fn parallel_survey_matches_sequential() {
+        let (result, sequential) = discovered();
+        assert!(
+            sequential.observations.len() > 20,
+            "{} observations",
+            sequential.observations.len()
+        );
+
+        for workers in [1usize, 2, 4] {
+            let parallel = ParallelServiceSurvey::new(workers).run(&config(), &result, make_world);
+            assert_eq!(
+                parallel.observations, sequential.observations,
+                "observations diverge at {workers} workers"
+            );
+            assert_eq!(
+                parallel.probed_per_block, sequential.probed_per_block,
+                "probed tallies diverge at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_campaign_surveys_nothing() {
+        let result = CampaignResult::default();
+        let survey = ParallelServiceSurvey::new(4).run(&config(), &result, make_world);
+        assert!(survey.observations.is_empty());
+        assert!(survey.probed_per_block.is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 //! journalling and periodic-checkpoint configurations are measured
 //! against that baseline to price durability per cadence.
 
-use std::path::PathBuf;
+use std::path::Path;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -41,7 +41,7 @@ fn scan_plain() -> u64 {
 
 /// One full checkpointed scan into `dir` (recreated each call — session
 /// creation clears stale worker files, so the journal never accretes).
-fn scan_checkpointed(dir: &PathBuf, every: u64) -> u64 {
+fn scan_checkpointed(dir: &Path, every: u64) -> u64 {
     let blocklist = Blocklist::with_standard_reserved();
     let cfg = config();
     let ranges = [range()];

@@ -303,7 +303,7 @@ mod tests {
         }
         let mut rev = Blocklist::allow_all();
         for (s, v) in entries.iter().rev() {
-            rev.insert(p(*s), *v);
+            rev.insert(p(s), *v);
         }
         assert_eq!(fwd.fingerprint(), rev.fingerprint());
 

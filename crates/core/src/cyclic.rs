@@ -207,6 +207,32 @@ impl ShardIter {
         }
         n
     }
+
+    /// Like [`fill`](Self::fill) but emits **every** group step: fringe
+    /// elements (`index >= len`, the `prime − 1 − len` group members with
+    /// no corresponding target) surface as `u64::MAX`, a sentinel no
+    /// scan range of enumerable size resolves. The scanner's target
+    /// generator walks this raw stream and rejects fringe indices at the
+    /// range lookup, so one walk position is exactly one group step — the
+    /// invariant the nested sub-shard split math relies on: shard `s` of
+    /// `M` then owns precisely the base walk's positions `≡ s (mod M)`,
+    /// with no drift from fringe elements swallowed inside one shard.
+    pub fn fill_raw(&mut self, out: &mut [u64]) -> usize {
+        let mut n = 0;
+        while n < out.len() && self.remaining_walk > 0 {
+            let v = self.current;
+            self.current = mulmod(self.current, self.stride, self.prime);
+            self.remaining_walk -= 1;
+            let index = v - 1;
+            out[n] = if index < self.len as u128 {
+                index as u64
+            } else {
+                u64::MAX
+            };
+            n += 1;
+        }
+        n
+    }
 }
 
 impl ShardIter {

@@ -668,8 +668,10 @@ fn make_worker<N: Network>(
 }
 
 /// How many of the first `cap` instance walk positions worker `w` of `n`
-/// owns (position `j` goes to worker `j mod n`).
-fn worker_cap(cap: u64, w: u64, n: u64) -> u64 {
+/// owns (position `j` goes to worker `j mod n`). Public because the
+/// campaign executor's intra-block splits partition a block's remaining
+/// walk with exactly this math (`xmap_periphery::split`).
+pub fn worker_cap(cap: u64, w: u64, n: u64) -> u64 {
     if cap <= w {
         0
     } else {

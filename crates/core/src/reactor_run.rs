@@ -53,6 +53,9 @@ struct RetryTimer {
     target: Prefix,
     attempt: u32,
     prev_dst: Ip6,
+    /// Walk position carried from the original fresh probe (split-merge
+    /// key; zero on checkpoint restore, like the lock-step engine).
+    position: u64,
 }
 
 /// The scanner's non-network halves, borrowed apart so the network can
@@ -67,6 +70,11 @@ struct EngineCtx<'a> {
     sink: &'a mut Option<RunSink>,
     durability_flagged: &'a mut bool,
     abort: &'a Option<AbortSignal>,
+    track_positions: bool,
+    walk_skip: u64,
+    yield_flag: &'a Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    yield_min_remaining: u64,
+    force_yield_at: Option<u64>,
 }
 
 impl<N: Network> Scanner<N> {
@@ -91,6 +99,11 @@ impl<N: Network> Scanner<N> {
             sink,
             durability_flagged,
             abort,
+            track_positions,
+            walk_skip,
+            yield_flag,
+            yield_min_remaining,
+            force_yield_at,
         } = self;
         let mut ctx = EngineCtx {
             config,
@@ -102,6 +115,11 @@ impl<N: Network> Scanner<N> {
             sink,
             durability_flagged,
             abort,
+            track_positions: *track_positions,
+            walk_skip: *walk_skip,
+            yield_flag,
+            yield_min_remaining: *yield_min_remaining,
+            force_yield_at: *force_yield_at,
         };
         // Lend the network out through the blanket `Network for &mut N`
         // impl; the scanner gets it back when the transport drops.
@@ -133,7 +151,7 @@ fn drive<T: Transport>(
         None => (
             ctx.metrics.baseline(),
             *ctx.total_ticks,
-            TargetGen::new(ctx.config, range),
+            TargetGen::with_skip(ctx.config, range, ctx.walk_skip),
             RecoveryState::default(),
             TimerHeap::new(),
             0u64,
@@ -161,6 +179,7 @@ fn drive<T: Transport>(
                         target: e.target,
                         attempt: e.attempt,
                         prev_dst: e.prev_dst.into(),
+                        position: 0,
                     },
                 );
             }
@@ -177,6 +196,7 @@ fn drive<T: Transport>(
                         attempt: o.attempt,
                         answered: o.answered,
                         sent_tick: o.sent_tick,
+                        position: 0,
                     },
                 );
             }
@@ -196,6 +216,7 @@ fn drive<T: Transport>(
     let mut tally = HotTally::default();
     let mut recv_buf: Vec<RecvEntry> = Vec::new();
     let mut send_buf: Vec<Ipv6Packet> = Vec::new();
+    let mut yielding = false;
 
     loop {
         if ctx.abort.as_ref().is_some_and(AbortSignal::is_set) {
@@ -228,6 +249,11 @@ fn drive<T: Transport>(
                 &mut tally,
             );
         }
+        // Cooperative split point, mirroring the lock-step engine slot
+        // for slot: once the gate fires, stop drawing fresh targets.
+        if !yielding && yield_due(ctx, &gen) {
+            yielding = true;
+        }
         // One send slot: a due retransmission wins over a fresh target.
         // Due timers whose previous attempt was answered are suppressed
         // (popped and discarded), exactly like the lock-step `due_retry`.
@@ -239,7 +265,7 @@ fn drive<T: Transport>(
                         .get(&t.prev_dst)
                         .is_some_and(|o| !o.answered);
                     if unanswered {
-                        break Some((t.target, t.attempt));
+                        break Some((t.target, t.attempt, t.position));
                     }
                 }
                 None => break None,
@@ -248,9 +274,13 @@ fn drive<T: Transport>(
         let job = match job {
             Some(j) => Some(j),
             None => {
-                if let Some(target) = gen.next_target(range) {
+                if let Some(target) = (!yielding).then(|| gen.next_target(range)).flatten() {
+                    let position = gen.consumed - 1;
                     state.probed.push(target);
-                    Some((target, 0))
+                    if ctx.track_positions {
+                        state.probed_positions.push(position);
+                    }
+                    Some((target, 0, position))
                 } else if !timers.is_empty() || transport.in_flight() > 0 {
                     // Fresh walk done: drain timers and in-flight
                     // responses without sending.
@@ -261,7 +291,7 @@ fn drive<T: Transport>(
             }
         };
 
-        if let Some((target, attempt)) = job {
+        if let Some((target, attempt, position)) = job {
             let dst = fill_host_bits(target, ctx.config.seed.wrapping_add(attempt as u64));
             if !blocklist.is_allowed(dst) {
                 tally.blocked += 1;
@@ -295,6 +325,7 @@ fn drive<T: Transport>(
                     attempt,
                     answered: false,
                     sent_tick: now,
+                    position,
                 },
             );
             if attempt + 1 < attempts && timers.len() < ctx.config.max_retry_backlog {
@@ -307,6 +338,7 @@ fn drive<T: Transport>(
                         target,
                         attempt: attempt + 1,
                         prev_dst: dst,
+                        position,
                     },
                 );
                 transport.register_deadline(deadline);
@@ -369,6 +401,8 @@ fn drive<T: Transport>(
 
     tally.flush(ctx.metrics);
     transport.flush_telemetry();
+    results.consumed = gen.consumed;
+    results.yielded = yielding && !results.interrupted && gen.unconsumed() > 0;
 
     if results.interrupted {
         results.stats = ctx.metrics.stats_since(&base);
@@ -376,7 +410,7 @@ fn drive<T: Transport>(
     }
 
     let mut gave_up = 0u64;
-    for target in &state.probed {
+    for (i, target) in state.probed.iter().enumerate() {
         if state.answered.contains(target) {
             continue;
         }
@@ -385,6 +419,9 @@ fn drive<T: Transport>(
         }
         if ctx.config.record_silent {
             results.silent_targets.push(*target);
+            if ctx.track_positions {
+                results.silent_positions.push(state.probed_positions[i]);
+            }
         }
     }
     if gave_up > 0 {
@@ -409,6 +446,27 @@ fn drive<T: Transport>(
         mirror_durability(ctx);
     }
     results
+}
+
+/// The reactor twin of `Scanner::yield_due`: whether the cooperative
+/// yield gate fires at this slot boundary (strict progress — never
+/// before the first consumed index, never on an exhausted walk).
+fn yield_due(ctx: &EngineCtx<'_>, gen: &TargetGen) -> bool {
+    if gen.consumed == 0 {
+        return false;
+    }
+    let remaining = gen.unconsumed();
+    if remaining == 0 {
+        return false;
+    }
+    if ctx.force_yield_at.is_some_and(|at| gen.consumed >= at) {
+        return true;
+    }
+    remaining >= ctx.yield_min_remaining
+        && ctx
+            .yield_flag
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
 }
 
 /// Classifies a poll batch. The reactor twin of [`Scanner::absorb`],
@@ -476,6 +534,9 @@ fn absorb(
                     ctrl.on_valid();
                 }
                 state.answered.insert(out.target);
+                if ctx.track_positions {
+                    results.record_positions.push(out.position);
+                }
                 results.records.push(ScanRecord {
                     target: out.target,
                     probe_dst,

@@ -9,7 +9,8 @@
 //! separates its send and receive threads.
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use xmap_addr::{Ip6, Prefix, ScanRange};
 use xmap_netsim::packet::{Icmpv6, Ipv6Packet, Network, Payload};
 use xmap_state::{AbortSignal, AdaptiveState, CursorState, RunState};
@@ -239,6 +240,23 @@ pub struct ScanResults {
     /// are the partial progress; the last durable checkpoint (if a sink
     /// was attached) is what a later `--resume` continues from.
     pub interrupted: bool,
+    /// Walk positions of `records` (parallel vector), counted in
+    /// consumed permutation indices of this run's walk. Populated only
+    /// under [`Scanner::set_track_positions`]; the intra-block split
+    /// executor uses them as merge keys.
+    pub record_positions: Vec<u64>,
+    /// Walk positions of `silent_targets` (parallel vector); populated
+    /// only under [`Scanner::set_track_positions`].
+    pub silent_positions: Vec<u64>,
+    /// Permutation indices consumed from this run's walk (every index
+    /// drawn from the generator, whether or not the range produced a
+    /// target for it — the unit the `max_targets` budget is counted in).
+    pub consumed: u64,
+    /// The run stopped at a cooperative yield request with walk budget
+    /// left (see [`Scanner::set_yield_request`]): records, silence and
+    /// stats cover the consumed prefix exactly as a standalone run over
+    /// that prefix would; the remainder was never drawn.
+    pub yielded: bool,
 }
 
 /// The scanner: a [`ProbeModule`] driven over a permuted target space
@@ -278,6 +296,25 @@ pub struct Scanner<N> {
     durability_flagged: bool,
     /// Cooperative stop flag, checked once per send slot.
     abort: Option<AbortSignal>,
+    /// When set, record/silent walk positions are captured into results
+    /// (split-executor merge keys).
+    track_positions: bool,
+    /// Leading walk positions of the configured shard to discard before
+    /// probing — the sub-shard form of intra-block splits (see
+    /// [`Scanner::set_sub_shard`]).
+    walk_skip: u64,
+    /// Cooperative yield request: when the flag is set (by an idle
+    /// executor worker), the scanner stops drawing fresh targets at the
+    /// next slot boundary, drains in-flight state, and returns with
+    /// [`ScanResults::yielded`] set.
+    yield_flag: Option<Arc<AtomicBool>>,
+    /// Yield requests are ignored unless at least this many walk
+    /// positions remain (splitting a nearly-done run is pure overhead).
+    yield_min_remaining: u64,
+    /// Deterministic forced yield: behave as if the yield flag fired
+    /// once `consumed` reaches this count (test/CI knob; fires at most
+    /// once per run).
+    force_yield_at: Option<u64>,
 }
 
 impl<N: Network> Scanner<N> {
@@ -314,6 +351,11 @@ impl<N: Network> Scanner<N> {
             sink: None,
             durability_flagged: false,
             abort: None,
+            track_positions: false,
+            walk_skip: 0,
+            yield_flag: None,
+            yield_min_remaining: 1,
+            force_yield_at: None,
         }
     }
 
@@ -422,6 +464,59 @@ impl<N: Network> Scanner<N> {
     /// campaign mop-up pass).
     pub fn set_record_silent(&mut self, record_silent: bool) {
         self.config.record_silent = record_silent;
+    }
+
+    /// Toggles walk-position tracking for subsequent runs: when on,
+    /// [`ScanResults::record_positions`] and
+    /// [`ScanResults::silent_positions`] carry each record's / silent
+    /// target's walk position. Tracking never changes any other output.
+    pub fn set_track_positions(&mut self, track: bool) {
+        self.track_positions = track;
+    }
+
+    /// Reconfigures the `(shard, shards)` pair plus a leading-position
+    /// skip for subsequent runs. This is the sub-shard form intra-block
+    /// splits run in: a split unit covering base walk positions
+    /// `{offset + j·stride : j < cap}` executes as shard
+    /// `offset % stride` of `stride` with the first `offset / stride`
+    /// positions of that shard walk discarded, so `offset ≥ stride`
+    /// never violates the `shard < shards` invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `shard >= shards`.
+    pub fn set_sub_shard(&mut self, shard: u64, shards: u64, walk_skip: u64) {
+        assert!(shards > 0, "shards must be nonzero");
+        assert!(shard < shards, "shard index out of range");
+        self.config.shard = shard;
+        self.config.shards = shards;
+        self.walk_skip = walk_skip;
+    }
+
+    /// The `(shard, shards, walk_skip)` triple in effect (so drivers can
+    /// save and restore it around sub-shard runs).
+    pub fn sub_shard(&self) -> (u64, u64, u64) {
+        (self.config.shard, self.config.shards, self.walk_skip)
+    }
+
+    /// Arms (or disarms, with `None`) a cooperative yield request for
+    /// subsequent runs. When the shared flag is set mid-run, the scanner
+    /// stops drawing fresh targets at the next slot boundary with
+    /// in-flight == 0, finishes end-of-run accounting for the consumed
+    /// prefix, and returns with [`ScanResults::yielded`] — the executor
+    /// then splits the unconsumed remainder across idle workers. A run
+    /// never yields before consuming at least one index, and ignores
+    /// requests once fewer than `min_remaining` positions remain.
+    pub fn set_yield_request(&mut self, flag: Option<Arc<AtomicBool>>, min_remaining: u64) {
+        self.yield_flag = flag;
+        self.yield_min_remaining = min_remaining.max(1);
+    }
+
+    /// Forces the yield gate open once `consumed` reaches `at` indices
+    /// (deterministic split point for tests and CI smokes), regardless
+    /// of the shared flag. `None` disables.
+    pub fn set_force_yield_at(&mut self, at: Option<u64>) {
+        self.force_yield_at = at;
     }
 
     /// The stateless validator (shared with helper probes).
@@ -561,7 +656,7 @@ impl<N: Network> Scanner<N> {
             None => (
                 self.metrics.baseline(),
                 self.total_ticks,
-                TargetGen::new(&self.config, range),
+                TargetGen::with_skip(&self.config, range, self.walk_skip),
                 RecoveryState::default(),
                 0u64,
             ),
@@ -599,6 +694,7 @@ impl<N: Network> Scanner<N> {
         // packets land in one scratch buffer reused across every slot.
         let mut tally = HotTally::default();
         let mut recv_buf: Vec<Ipv6Packet> = Vec::new();
+        let mut yielding = false;
 
         loop {
             if self.abort.as_ref().is_some_and(AbortSignal::is_set) {
@@ -628,12 +724,23 @@ impl<N: Network> Scanner<N> {
                     &mut tally,
                 );
             }
+            // Cooperative split point: once the gate fires, stop drawing
+            // fresh targets and fall through to the drain branch, so the
+            // consumed prefix completes exactly as a standalone run over
+            // that prefix would.
+            if !yielding && self.yield_due(&gen) {
+                yielding = true;
+            }
             // One send slot: a due retransmission wins over a fresh target.
             let job = if let Some(entry) = state.due_retry(now) {
-                Some((entry.target, entry.attempt))
-            } else if let Some(target) = gen.next_target(range) {
+                Some((entry.target, entry.attempt, entry.position))
+            } else if let Some(target) = (!yielding).then(|| gen.next_target(range)).flatten() {
+                let position = gen.consumed - 1;
                 state.probed.push(target);
-                Some((target, 0))
+                if self.track_positions {
+                    state.probed_positions.push(position);
+                }
+                Some((target, 0, position))
             } else if !state.retries.is_empty() || self.network.in_flight() > 0 {
                 // Fresh walk done: drain timers and in-flight responses
                 // without sending.
@@ -642,7 +749,7 @@ impl<N: Network> Scanner<N> {
                 break;
             };
 
-            if let Some((target, attempt)) = job {
+            if let Some((target, attempt, position)) = job {
                 // Fresh host bits per attempt: a lost exchange is retried
                 // on a new (deterministically lossy) path.
                 let dst = fill_host_bits(target, self.config.seed.wrapping_add(attempt as u64));
@@ -687,6 +794,7 @@ impl<N: Network> Scanner<N> {
                         attempt,
                         answered: false,
                         sent_tick: now,
+                        position,
                     },
                 );
                 // Bounded queue: an overflowing retry is abandoned (the
@@ -694,7 +802,7 @@ impl<N: Network> Scanner<N> {
                 if attempt + 1 < attempts && state.retries.len() < self.config.max_retry_backlog {
                     let backoff = self.config.rto_ticks << attempt;
                     self.metrics.backoff_ticks.record(backoff);
-                    state.schedule(now + backoff, target, attempt + 1, dst);
+                    state.schedule(now + backoff, target, attempt + 1, dst, position);
                 }
                 recv_buf.clear();
                 self.network.handle_into(probe, &mut recv_buf);
@@ -755,6 +863,8 @@ impl<N: Network> Scanner<N> {
 
         tally.flush(&self.metrics);
         self.network.flush_telemetry();
+        results.consumed = gen.consumed;
+        results.yielded = yielding && !results.interrupted && gen.unconsumed() > 0;
 
         if results.interrupted {
             // Partial run: report the delta so far and leave the last
@@ -768,7 +878,7 @@ impl<N: Network> Scanner<N> {
         // Per-target recovery accounting, in deterministic probe order.
         // Abandonments are tallied locally and flushed in one counter add.
         let mut gave_up = 0u64;
-        for target in &state.probed {
+        for (i, target) in state.probed.iter().enumerate() {
             if state.answered.contains(target) {
                 continue;
             }
@@ -777,6 +887,9 @@ impl<N: Network> Scanner<N> {
             }
             if self.config.record_silent {
                 results.silent_targets.push(*target);
+                if self.track_positions {
+                    results.silent_positions.push(state.probed_positions[i]);
+                }
             }
         }
         if gave_up > 0 {
@@ -803,6 +916,29 @@ impl<N: Network> Scanner<N> {
             self.mirror_durability();
         }
         results
+    }
+
+    /// Whether the cooperative yield gate fires at this slot boundary.
+    /// Strict progress is guaranteed — a run never yields before
+    /// consuming at least one index, so repeated splits always
+    /// terminate — and a run whose walk is already exhausted completes
+    /// normally instead of yielding.
+    fn yield_due(&self, gen: &TargetGen) -> bool {
+        if gen.consumed == 0 {
+            return false;
+        }
+        let remaining = gen.unconsumed();
+        if remaining == 0 {
+            return false;
+        }
+        if self.force_yield_at.is_some_and(|at| gen.consumed >= at) {
+            return true;
+        }
+        remaining >= self.yield_min_remaining
+            && self
+                .yield_flag
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Mirrors the sink's degraded/healthy state into the
@@ -937,6 +1073,9 @@ impl<N: Network> Scanner<N> {
                         ctrl.on_valid();
                     }
                     state.answered.insert(out.target);
+                    if self.track_positions {
+                        results.record_positions.push(out.position);
+                    }
                     results.records.push(ScanRecord {
                         target: out.target,
                         probe_dst,
@@ -978,11 +1117,16 @@ const TARGET_CHUNK: usize = 256;
 #[derive(Debug)]
 struct TargetGen {
     stream: IndexStream,
-    /// Remaining `max_targets` budget, counted in emitted indices.
+    /// Remaining `max_targets` budget, counted in raw walk steps (for
+    /// the cyclic permutation, group steps — fringe sentinels included),
+    /// so the budget partitions exactly under nested sub-shard splits.
     remaining: u64,
     buf: [u64; TARGET_CHUNK],
     len: usize,
     pos: usize,
+    /// Indices consumed so far (excluding any leading skip) — the walk
+    /// position counter split units are keyed by.
+    consumed: u64,
 }
 
 /// The per-permutation walk state behind [`TargetGen`].
@@ -1029,12 +1173,46 @@ impl TargetGen {
             buf: [0; TARGET_CHUNK],
             len: 0,
             pos: 0,
+            consumed: 0,
         }
     }
 
-    /// The next fresh target, skipping indices the range cannot produce.
+    /// A generator that transparently discards the first `skip` walk
+    /// positions of the configured shard: the `max_targets` budget then
+    /// applies to the positions *after* the skip and `consumed` restarts
+    /// at zero. This is how a split unit `(offset, stride, cap)` runs:
+    /// shard `offset % stride` of `stride`, skipping `offset / stride`
+    /// positions — O(skip) index draws, uniform across all three
+    /// permutation streams.
+    fn with_skip(config: &ScanConfig, range: &ScanRange, skip: u64) -> Self {
+        let mut gen = TargetGen::new(config, range);
+        if skip > 0 {
+            gen.remaining = gen.remaining.saturating_add(skip);
+            for _ in 0..skip {
+                if gen.next_index().is_none() {
+                    break;
+                }
+            }
+            gen.consumed = 0;
+        }
+        gen
+    }
+
+    /// Walk positions not yet consumed under the `max_targets` budget
+    /// (drawn-but-buffered indices count as unconsumed).
+    fn unconsumed(&self) -> u64 {
+        self.remaining + (self.len - self.pos) as u64
+    }
+
+    /// The next fresh target, skipping indices the range cannot produce
+    /// (cyclic fringe sentinels included). A skipped index still consumed
+    /// one walk position of the `max_targets` budget — walk positions are
+    /// raw permutation steps, the unit the sub-shard split math divides.
     fn next_target(&mut self, range: &ScanRange) -> Option<Prefix> {
         while let Some(i) = self.next_index() {
+            if i == u64::MAX {
+                continue; // cyclic fringe sentinel: no target at this step
+            }
             if let Some(target) = range.nth(i) {
                 return Some(target);
             }
@@ -1053,6 +1231,7 @@ impl TargetGen {
         }
         let i = self.buf[self.pos];
         self.pos += 1;
+        self.consumed += 1;
         Some(i)
     }
 
@@ -1065,7 +1244,7 @@ impl TargetGen {
         }
         let out = &mut self.buf[..want];
         let n = match &mut self.stream {
-            IndexStream::Cyclic(walk) => walk.fill(out),
+            IndexStream::Cyclic(walk) => walk.fill_raw(out),
             IndexStream::Feistel {
                 perm,
                 next_pos,
@@ -1165,6 +1344,10 @@ struct Outstanding {
     answered: bool,
     /// Run-local virtual tick the probe went out at (RTT measurement).
     sent_tick: u64,
+    /// Walk position of the fresh probe this entry descends from. Not
+    /// persisted in checkpoints (position-tracked runs never resume
+    /// mid-unit); restores default it to zero.
+    position: u64,
 }
 
 /// A scheduled retransmission. Ordering is reversed so a `BinaryHeap`
@@ -1177,6 +1360,9 @@ struct RetryEntry {
     target: Prefix,
     attempt: u32,
     prev_dst: Ip6,
+    /// Walk position carried from the original fresh probe (see
+    /// [`Outstanding::position`]).
+    position: u64,
 }
 
 impl Ord for RetryEntry {
@@ -1200,10 +1386,20 @@ struct RecoveryState {
     retry_seq: u64,
     answered: HashSet<Prefix>,
     probed: Vec<Prefix>,
+    /// Walk position of each `probed` entry (parallel vector); filled
+    /// only under position tracking.
+    probed_positions: Vec<u64>,
 }
 
 impl RecoveryState {
-    fn schedule(&mut self, due_tick: u64, target: Prefix, attempt: u32, prev_dst: Ip6) {
+    fn schedule(
+        &mut self,
+        due_tick: u64,
+        target: Prefix,
+        attempt: u32,
+        prev_dst: Ip6,
+        position: u64,
+    ) {
         let seq = self.retry_seq;
         self.retry_seq += 1;
         self.retries.push(RetryEntry {
@@ -1212,6 +1408,7 @@ impl RecoveryState {
             target,
             attempt,
             prev_dst,
+            position,
         });
     }
 
@@ -1287,6 +1484,7 @@ impl RecoveryState {
                     attempt: o.attempt,
                     answered: o.answered,
                     sent_tick: o.sent_tick,
+                    position: 0,
                 },
             );
         }
@@ -1297,6 +1495,7 @@ impl RecoveryState {
                 target: r.target,
                 attempt: r.attempt,
                 prev_dst: r.prev_dst.into(),
+                position: 0,
             });
         }
         s.answered = rs.answered.iter().copied().collect();
@@ -1335,11 +1534,18 @@ pub fn run_pipelined<N: Network>(
         scope.spawn(move || {
             let len = u64::try_from(range.space_size().min(u64::MAX as u128)).unwrap_or(u64::MAX);
             let cycle = Cycle::new(len, gen_config.seed);
-            let cap = gen_config.max_targets.unwrap_or(u64::MAX) as usize;
-            for index in cycle
-                .iter_shard(gen_config.shard, gen_config.shards)
-                .take(cap)
-            {
+            // The cap counts raw walk steps (fringe steps included), the
+            // same budget unit `TargetGen` uses, so the pipeline probes
+            // exactly the targets the lock-step engine would.
+            let mut budget = gen_config.max_targets.unwrap_or(u64::MAX);
+            let mut walk = cycle.iter_shard(gen_config.shard, gen_config.shards);
+            let mut chunk = [0u64; 1];
+            while budget > 0 && walk.fill_raw(&mut chunk) == 1 {
+                budget -= 1;
+                let index = chunk[0];
+                if index == u64::MAX {
+                    continue;
+                }
                 let Some(target) = range.nth(index) else {
                     continue;
                 };
@@ -1453,7 +1659,7 @@ mod tests {
             gave_up: u64::MAX,
             paced_secs: 1.0,
         };
-        let mut merged = near_full.clone();
+        let mut merged = near_full;
         merged.merge(&near_full);
         assert_eq!(merged.sent, u64::MAX);
         assert_eq!(merged.blocked, u64::MAX);
@@ -1478,7 +1684,7 @@ mod tests {
         fn handle(&mut self, p: Ipv6Packet) -> Vec<Ipv6Packet> {
             self.handled += 1;
             let idx = p.dst.bit_slice(32, 64);
-            if idx % 2 != 0 {
+            if !idx.is_multiple_of(2) {
                 return Vec::new();
             }
             vec![Ipv6Packet {

@@ -56,6 +56,13 @@ pub mod names {
     /// Stalled workers detected by the campaign watchdog (counter; only
     /// present when nonzero).
     pub const EXEC_STALLS: &str = "exec.stalls_detected";
+    /// Intra-block split events performed by the campaign executor
+    /// (counter; schedule-dependent, only present when nonzero).
+    pub const EXEC_SPLITS: &str = "exec.splits";
+    /// Sub-shard units created by intra-block splits, summed over all
+    /// split events (counter; schedule-dependent, only present when
+    /// nonzero).
+    pub const EXEC_SPLIT_SHARDS: &str = "exec.split_shards";
 }
 
 /// RTT histogram bucket bounds (virtual ticks; one tick per send slot).

@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn permuted_walk_resumes_mid_stream() {
         let perm = FeistelPermutation::new(500, 9);
-        let mut all = IndexWalk::permuted(perm.clone(), 0);
+        let mut all = IndexWalk::permuted(perm, 0);
         let mut buf = [0u64; 100];
         assert_eq!(all.fill(&mut buf), 100);
         let head: Vec<u64> = buf.to_vec();

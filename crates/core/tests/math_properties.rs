@@ -12,7 +12,7 @@ fn is_prime_naive(n: u64) -> bool {
     }
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -91,7 +91,7 @@ proptest! {
         for f in &factors {
             prop_assert!(is_prime(*f), "{} not prime", f);
             prop_assert_eq!(rest % f, 0, "{} does not divide {}", f, n);
-            while rest % f == 0 {
+            while rest.is_multiple_of(*f) {
                 rest /= f;
             }
         }

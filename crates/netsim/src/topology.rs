@@ -482,8 +482,10 @@ mod tests {
     #[test]
     fn transit_hops_shorten_loops() {
         let model = NAMED_MODELS.iter().find(|m| m.brand == "Huawei").unwrap();
-        let mut plan = HomeNetworkPlan::default();
-        plan.transit_hops = 10;
+        let plan = HomeNetworkPlan {
+            transit_hops: 10,
+            ..Default::default()
+        };
         let (mut e, net) = build_home_network(model, &plan);
         e.reset_counters();
         e.handle(Ipv6Packet::echo_request(

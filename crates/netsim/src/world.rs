@@ -1562,7 +1562,7 @@ mod tests {
         assert_eq!(wan_share_shift(&SAMPLE_BLOCKS[0]), 0);
         // Comcast (index 4) aggregates ~15 CPEs per /64.
         let s = wan_share_shift(&SAMPLE_BLOCKS[4]);
-        assert!(s >= 18 && s <= 22, "shift {s}");
+        assert!((18..=22).contains(&s), "shift {s}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ proptest! {
         hl in 1u8..=255,
     ) {
         let (mut e, _) = random_topology(n, &backs);
-        let dst = if dst_seed % 2 == 0 {
+        let dst = if dst_seed.is_multiple_of(2) {
             Ip6::new((0x3fff_0001u128) << 96 | dst_seed as u128)
         } else {
             Ip6::new((0x2001_0db8u128) << 96 | (dst_seed % 16) as u128)

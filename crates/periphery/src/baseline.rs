@@ -291,10 +291,7 @@ mod tests {
         let last = result.last_hop.expect("reached the periphery");
         assert_eq!(last.iid(), device.iid, "last hop is the periphery");
         // Cost scales with path length: at least hops_to_isp probes.
-        assert!(
-            result.probes as u64 >= device.hops_to_isp as u64,
-            "{result:?}"
-        );
+        assert!(result.probes >= u64::from(device.hops_to_isp), "{result:?}");
         // Early hops are transit routers.
         assert!(result
             .hops

@@ -6,10 +6,20 @@
 //! xmap-campaign [options]
 //!
 //!   --targets-per-block N   probes per sample block (default 65536)
+//!   --block-targets I:N     override --targets-per-block for block I
+//!                           (repeatable; skews the per-block workload)
 //!   --campaign-workers N    worker threads; blocks are distributed by
 //!                           work stealing and merged deterministically,
 //!                           so output is byte-identical for any N
 //!                           (default 1)
+//!   --split-threshold N     when the block queue drains and a worker
+//!                           goes idle, split an in-flight block's
+//!                           remaining targets into nested sub-shards —
+//!                           but only while at least N remain
+//!                           (0 = never split; default 0)
+//!   --force-split-at N      split every block unit after N consumed
+//!                           targets, idle workers or not (deterministic
+//!                           split schedule; for testing)
 //!   --mop-up TICKS          enable the second-chance pass over silent
 //!                           targets after TICKS of virtual time
 //!   -s, --seed N            scan seed (permutation, cookies, IID fill)
@@ -23,7 +33,7 @@
 //!                           campaign resumes from completed blocks
 //!       --resume            continue the campaign checkpointed in DIR,
 //!                           under any --campaign-workers count
-//!       --resume-plan       dry run: print the Skip/Resume/Fresh
+//!       --resume-plan       dry run: print the Skip/Resume/Fresh/Split
 //!                           classification of every block for a resume
 //!                           of the campaign in DIR, then exit
 //!       --json              with --resume-plan, emit the plan as one
@@ -79,7 +89,10 @@ use xmap_state::{AbortSignal, StateError};
 #[derive(Debug, Clone, PartialEq)]
 struct CliConfig {
     targets_per_block: u64,
+    block_targets: Vec<(usize, u64)>,
     campaign_workers: usize,
+    split_threshold: u64,
+    force_split_at: Option<u64>,
     mop_up_ticks: Option<u64>,
     seed: u64,
     world_seed: u64,
@@ -106,7 +119,10 @@ impl Default for CliConfig {
     fn default() -> Self {
         CliConfig {
             targets_per_block: 1 << 16,
+            block_targets: Vec::new(),
             campaign_workers: 1,
+            split_threshold: 0,
+            force_split_at: None,
             mop_up_ticks: None,
             seed: 1,
             world_seed: 0xDA7A_5EED,
@@ -151,9 +167,19 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--targets-per-block" => cfg.targets_per_block = int(&mut iter, arg)?,
+            "--block-targets" => {
+                let v = value(&mut iter, arg)?;
+                let (idx, n) = v
+                    .split_once(':')
+                    .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                    .ok_or_else(|| format!("--block-targets must be BLOCK:TARGETS, got {v:?}"))?;
+                cfg.block_targets.push((idx, n));
+            }
             "--campaign-workers" => {
                 cfg.campaign_workers = int(&mut iter, arg)? as usize;
             }
+            "--split-threshold" => cfg.split_threshold = int(&mut iter, arg)?,
+            "--force-split-at" => cfg.force_split_at = Some(int(&mut iter, arg)?),
             "--mop-up" => cfg.mop_up_ticks = Some(int(&mut iter, arg)?),
             "-s" | "--seed" => cfg.seed = int(&mut iter, arg)?,
             "--world-seed" => cfg.world_seed = int(&mut iter, arg)?,
@@ -191,6 +217,20 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
     if cfg.campaign_workers == 0 {
         return Err("--campaign-workers must be at least 1".to_owned());
     }
+    if cfg.force_split_at == Some(0) {
+        return Err("--force-split-at must be at least 1".to_owned());
+    }
+    for &(idx, n) in &cfg.block_targets {
+        if idx >= SAMPLE_BLOCKS.len() {
+            return Err(format!(
+                "--block-targets block {idx} out of range (campaign has {} blocks)",
+                SAMPLE_BLOCKS.len()
+            ));
+        }
+        if n == 0 {
+            return Err("--block-targets TARGETS must be at least 1".to_owned());
+        }
+    }
     if cfg.resume && cfg.checkpoint.is_none() {
         return Err("--resume requires --checkpoint <dir>".to_owned());
     }
@@ -226,6 +266,9 @@ fn parse_args(args: &[String]) -> Result<CliConfig, String> {
             (cfg.resume_plan, "--resume-plan"),
             (cfg.group_commit.is_some(), "--group-commit"),
             (cfg.watchdog_ms.is_some(), "--watchdog-ms"),
+            (cfg.split_threshold != 0, "--split-threshold"),
+            (cfg.force_split_at.is_some(), "--force-split-at"),
+            (!cfg.block_targets.is_empty(), "--block-targets"),
         ] {
             if set {
                 return Err(format!("{flag} is not supported with --adaptive"));
@@ -366,6 +409,9 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         return run_adaptive(cfg);
     }
     let mut campaign = Campaign::new(cfg.targets_per_block);
+    if !cfg.block_targets.is_empty() {
+        campaign = campaign.with_block_targets(cfg.block_targets.clone());
+    }
     if let Some(ticks) = cfg.mop_up_ticks {
         campaign = campaign.with_mop_up(ticks);
     }
@@ -373,6 +419,12 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
         campaign = campaign.with_blocklist(build_blocklist(&cfg)?);
     }
     let mut executor = ParallelCampaign::new(campaign, cfg.campaign_workers);
+    if cfg.split_threshold > 0 {
+        executor = executor.with_split_threshold(cfg.split_threshold);
+    }
+    if let Some(at) = cfg.force_split_at {
+        executor = executor.with_force_split_at(at);
+    }
     if let Some(n) = cfg.group_commit {
         executor = executor.with_group_commit(n);
     }
@@ -483,9 +535,10 @@ fn run(cfg: CliConfig) -> Result<bool, String> {
     Ok(outcome.interrupted)
 }
 
-/// Skip/Resume/Fresh labels plus the tally, shared by both renderings.
-fn plan_rows(plan: &[BlockMode]) -> (Vec<&'static str>, [usize; 3]) {
-    let mut tally = [0usize; 3];
+/// Skip/Resume/Fresh/Split labels plus the tally, shared by both
+/// renderings.
+fn plan_rows(plan: &[BlockMode]) -> (Vec<&'static str>, [usize; 4]) {
+    let mut tally = [0usize; 4];
     let labels = plan
         .iter()
         .map(|mode| {
@@ -493,6 +546,7 @@ fn plan_rows(plan: &[BlockMode]) -> (Vec<&'static str>, [usize; 3]) {
                 BlockMode::Skip => ("skip", 0),
                 BlockMode::Resume => ("resume", 1),
                 BlockMode::Fresh => ("fresh", 2),
+                BlockMode::Split(_) => ("split", 3),
             };
             tally[bucket] += 1;
             label
@@ -501,11 +555,13 @@ fn plan_rows(plan: &[BlockMode]) -> (Vec<&'static str>, [usize; 3]) {
     (labels, tally)
 }
 
-/// One CSV line per sample block with its Skip/Resume/Fresh
-/// classification, then a one-line tally.
+/// One CSV line per sample block with its Skip/Resume/Fresh/Split
+/// classification, then a one-line tally. The split bucket only appears
+/// in the tally when a block actually has a sub-shard manifest, so
+/// split-free plans render exactly as they did before splitting existed.
 fn render_resume_plan(plan: &[BlockMode]) -> String {
     let mut out = String::from("block,profile,scan_base,mode\n");
-    let (labels, [skip, resume, fresh]) = plan_rows(plan);
+    let (labels, [skip, resume, fresh, split]) = plan_rows(plan);
     for (idx, label) in labels.iter().enumerate() {
         let profile = &SAMPLE_BLOCKS[idx];
         out.push_str(&format!(
@@ -513,8 +569,13 @@ fn render_resume_plan(plan: &[BlockMode]) -> String {
             profile.name, profile.scan_base
         ));
     }
+    let split_part = if split > 0 {
+        format!(" / {split} split")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "# {skip} skip / {resume} resume / {fresh} fresh of {} blocks\n",
+        "# {skip} skip / {resume} resume / {fresh} fresh{split_part} of {} blocks\n",
         plan.len()
     ));
     out
@@ -522,9 +583,9 @@ fn render_resume_plan(plan: &[BlockMode]) -> String {
 
 /// The same plan as one JSON object, for scripted consumers:
 /// `{"blocks":[{"block":0,"profile":...,"scan_base":...,"mode":...},
-/// ...],"tally":{"skip":S,"resume":R,"fresh":F}}`.
+/// ...],"tally":{"skip":S,"resume":R,"fresh":F,"split":P}}`.
 fn render_resume_plan_json(plan: &[BlockMode]) -> String {
-    let (labels, [skip, resume, fresh]) = plan_rows(plan);
+    let (labels, [skip, resume, fresh, split]) = plan_rows(plan);
     let mut out = String::from("{\"blocks\":[");
     for (idx, label) in labels.iter().enumerate() {
         if idx > 0 {
@@ -538,7 +599,7 @@ fn render_resume_plan_json(plan: &[BlockMode]) -> String {
         out.push_str(&format!(",\"mode\":\"{label}\"}}"));
     }
     out.push_str(&format!(
-        "],\"tally\":{{\"skip\":{skip},\"resume\":{resume},\"fresh\":{fresh}}}}}\n"
+        "],\"tally\":{{\"skip\":{skip},\"resume\":{resume},\"fresh\":{fresh},\"split\":{split}}}}}\n"
     ));
     out
 }
@@ -692,8 +753,92 @@ mod tests {
         assert_eq!(tally.req_u64("skip", "tally").unwrap(), 1);
         assert_eq!(tally.req_u64("resume", "tally").unwrap(), 1);
         assert_eq!(tally.req_u64("fresh", "tally").unwrap(), 1);
-        // The CSV rendering tallies identically.
+        assert_eq!(tally.req_u64("split", "tally").unwrap(), 0);
+        // The CSV rendering tallies identically, and split-free plans
+        // keep the exact pre-split trailer.
         assert!(render_resume_plan(&mixed).ends_with("# 1 skip / 1 resume / 1 fresh of 3 blocks\n"));
+
+        // A partially split block shows up in both renderings.
+        use xmap_periphery::{SplitUnit, UnitMode, UnitPlan};
+        let with_split = vec![
+            BlockMode::Skip,
+            BlockMode::Split(vec![
+                UnitPlan {
+                    unit: SplitUnit {
+                        offset: 0,
+                        stride: 2,
+                        cap: 100,
+                    },
+                    mode: UnitMode::Skip,
+                },
+                UnitPlan {
+                    unit: SplitUnit {
+                        offset: 1,
+                        stride: 2,
+                        cap: 100,
+                    },
+                    mode: UnitMode::Resume,
+                },
+            ]),
+            BlockMode::Fresh,
+        ];
+        let csv = render_resume_plan(&with_split);
+        assert!(csv.contains(",split\n"), "{csv}");
+        assert!(
+            csv.ends_with("# 1 skip / 0 resume / 1 fresh / 1 split of 3 blocks\n"),
+            "{csv}"
+        );
+        let v = json::parse(render_resume_plan_json(&with_split).trim(), "plan").unwrap();
+        let tally = v.get("tally").expect("tally");
+        assert_eq!(tally.req_u64("split", "tally").unwrap(), 1);
+    }
+
+    #[test]
+    fn parses_split_flags() {
+        let cfg = parse_args(&args(
+            "--split-threshold 512 --force-split-at 1000 \
+             --block-targets 2:65536 --block-targets 0:128 -q",
+        ))
+        .unwrap();
+        assert_eq!(cfg.split_threshold, 512);
+        assert_eq!(cfg.force_split_at, Some(1000));
+        assert_eq!(cfg.block_targets, vec![(2, 65536), (0, 128)]);
+
+        assert!(parse_args(&args("--force-split-at 0")).is_err());
+        assert!(parse_args(&args("--block-targets nope")).is_err());
+        assert!(parse_args(&args("--block-targets 2:0")).is_err());
+        assert!(
+            parse_args(&args("--block-targets 99:64")).is_err(),
+            "out-of-range block index"
+        );
+        assert!(
+            parse_args(&args("--adaptive --split-threshold 10")).is_err(),
+            "the adaptive engine has its own work division"
+        );
+        assert!(parse_args(&args("--adaptive --force-split-at 10")).is_err());
+        assert!(parse_args(&args("--adaptive --block-targets 1:64")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_split_campaign_matches_split_free_bytes() {
+        let tmp = std::env::temp_dir();
+        let plain = tmp.join(format!("xmap-campaign-plain-{}", std::process::id()));
+        let split = tmp.join(format!("xmap-campaign-split-{}", std::process::id()));
+        let common = "--targets-per-block 1024 --block-targets 2:4096 -q -o";
+        let cfg = parse_args(&args(&format!("{common} {}", plain.display()))).unwrap();
+        assert!(!run(cfg).unwrap());
+        let cfg = parse_args(&args(&format!(
+            "{common} {} --campaign-workers 4 --split-threshold 64 --force-split-at 300",
+            split.display()
+        )))
+        .unwrap();
+        assert!(!run(cfg).unwrap());
+        let plain_csv = std::fs::read_to_string(&plain).unwrap();
+        let split_csv = std::fs::read_to_string(&split).unwrap();
+        assert!(plain_csv.lines().count() > 1, "no peripheries discovered");
+        assert_eq!(plain_csv, split_csv, "split run must not change the CSV");
+        let _ = std::fs::remove_file(&plain);
+        let _ = std::fs::remove_file(&split);
     }
 
     #[test]

@@ -10,16 +10,21 @@
 
 use std::path::Path;
 
-use xmap::{Blocklist, IcmpEchoProbe, ProbeModule, ProbeResult, ScanConfig, ScanStats, Scanner};
+use xmap::{
+    Blocklist, Confidence, IcmpEchoProbe, ProbeModule, ProbeResult, ScanConfig, ScanRecord,
+    ScanStats, Scanner,
+};
 use xmap_addr::{classify_iid, FxHashSet, IidClass, IidHistogram, Ip6, Mac, Prefix};
 use xmap_netsim::isp::{IspProfile, SAMPLE_BLOCKS};
-use xmap_netsim::packet::Network;
+use xmap_netsim::packet::{Network, UnreachCode};
 use xmap_state::checkpoint::{
     decode_snapshot, encode_snapshot, parse_fp, read_sectioned, write_sectioned,
 };
 use xmap_state::codec::{Decoder, Encoder};
 use xmap_state::{Fingerprint, StateError, CHECKPOINT_SCHEMA};
-use xmap_telemetry::Snapshot;
+use xmap_telemetry::{Snapshot, Tracer};
+
+use crate::split::SplitUnit;
 
 /// One discovered periphery (deduplicated last hop).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +240,10 @@ pub struct Campaign {
     /// Virtual ticks to wait before the mop-up pass so depleted ICMPv6
     /// error token buckets (RFC 4443 §2.4) refill.
     mop_up_delay_ticks: u64,
+    /// Per-block `(block index, walk positions)` overrides of
+    /// `targets_per_block`, sorted by index; lets a run skew one block's
+    /// cost (the straggler bench) or trim a known-expensive block.
+    block_caps: Vec<(usize, u64)>,
 }
 
 impl Campaign {
@@ -246,6 +255,7 @@ impl Campaign {
             blocklist: Blocklist::with_standard_reserved(),
             mop_up: false,
             mop_up_delay_ticks: 2048,
+            block_caps: Vec::new(),
         }
     }
 
@@ -253,6 +263,34 @@ impl Campaign {
     pub fn with_blocklist(mut self, blocklist: Blocklist) -> Self {
         self.blocklist = blocklist;
         self
+    }
+
+    /// Overrides the walk-position budget of individual blocks: each
+    /// `(index, targets)` pair caps block `index` (Table II order) at
+    /// `targets` instead of `targets_per_block`. Out-of-range indices are
+    /// ignored; for duplicate indices the first pair wins. Part of the
+    /// campaign fingerprint — a checkpoint taken under one set of
+    /// overrides refuses to resume under another.
+    pub fn with_block_targets(mut self, caps: Vec<(usize, u64)>) -> Self {
+        self.block_caps = caps;
+        self.block_caps.sort_by_key(|(idx, _)| *idx);
+        self
+    }
+
+    /// The walk-position budget of `profile`'s block: its override if one
+    /// is set, else `targets_per_block`, clamped to the block's space.
+    pub fn block_cap(&self, profile: &IspProfile) -> u64 {
+        let idx = SAMPLE_BLOCKS
+            .iter()
+            .position(|p| p.id == profile.id)
+            .expect("campaign profiles come from SAMPLE_BLOCKS");
+        let budget = self
+            .block_caps
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, t)| *t)
+            .unwrap_or(self.targets_per_block);
+        (budget as u128).min(profile.scan_range().space_size()) as u64
     }
 
     /// Enables the mop-up pass: after the discovery scan of a block, wait
@@ -366,29 +404,196 @@ impl Campaign {
             .push_u64(cfg.seed)
             .push_u64(cfg.hop_limit as u64)
             .push_u64(cfg.probes_per_target as u64)
-            .push_u64(cfg.rto_ticks);
+            .push_u64(cfg.rto_ticks)
+            .push_u64(self.block_caps.len() as u64);
+        for (idx, targets) in &self.block_caps {
+            fp.push_u64(*idx as u64).push_u64(*targets);
+        }
         fp.finish()
     }
 
-    /// Runs the discovery scan over one block.
+    /// Runs the discovery scan over one block: the whole-block root unit
+    /// through the same main-scan → mop-up → assemble pipeline the
+    /// split-capable parallel executor drives unit by unit.
     pub fn run_block<N: Network>(
         &self,
         scanner: &mut Scanner<N>,
         profile: &IspProfile,
     ) -> BlockResult {
-        let range = profile.scan_range();
         let block_start = scanner.ticks();
-        let probed = (self.targets_per_block as u128).min(range.space_size()) as u64;
-        // Cap targets for this block; the scanner walks its permutation.
+        let unit = SplitUnit::whole(self.block_cap(profile));
+        let mut raw = self.unit_main(scanner, profile, unit);
+        self.unit_mop_up(scanner, profile, &mut raw);
+        let block = self.assemble(profile, vec![raw], scanner.tracer());
+        if scanner.tracer().is_enabled() {
+            scanner.tracer().span_event(
+                block_start,
+                scanner.ticks(),
+                "periphery.block",
+                vec![
+                    ("profile", (profile.id as u64).into()),
+                    ("probed", block.probed.into()),
+                    ("peripheries", (block.peripheries.len() as u64).into()),
+                ],
+            );
+        }
+        block
+    }
+
+    /// Runs one unit's main discovery pass: the sub-progression of the
+    /// block's walk the unit owns, with record/silence walk positions
+    /// mapped back to base coordinates (the profile-order merge keys).
+    /// Scanner knobs are saved and restored around the run; an armed
+    /// yield request or `set_force_yield_at` can stop the walk early, in
+    /// which case `yielded` is set and `consumed` tells the executor
+    /// where to split the remainder.
+    pub(crate) fn unit_main<N: Network>(
+        &self,
+        scanner: &mut Scanner<N>,
+        profile: &IspProfile,
+        unit: SplitUnit,
+    ) -> UnitRaw {
+        let range = profile.scan_range();
         let saved_max = scanner.config().max_targets;
         let saved_silent = scanner.config().record_silent;
-        scanner.set_max_targets(Some(probed));
+        scanner.set_max_targets(Some(unit.cap));
         if self.mop_up {
             scanner.set_record_silent(true);
         }
+        scanner.set_track_positions(true);
+        // The plain root runs under the scanner's own shard config, so a
+        // whole-block unit on a sharded scanner behaves exactly as the
+        // legacy block scan did; proper sub-units overlay their nested
+        // (shard, shards, skip) triple and restore it afterwards.
+        let overlay = (unit.offset != 0 || unit.stride != 1).then(|| scanner.sub_shard());
+        if overlay.is_some() {
+            scanner.set_sub_shard(unit.shard(), unit.stride, unit.walk_skip());
+        }
         let results = scanner.run(&range, &IcmpEchoProbe, &self.blocklist);
+        if let Some((shard, shards, skip)) = overlay {
+            scanner.set_sub_shard(shard, shards, skip);
+        }
+        scanner.set_track_positions(false);
         scanner.set_max_targets(saved_max);
         scanner.set_record_silent(saved_silent);
+        UnitRaw {
+            unit,
+            positions: results
+                .record_positions
+                .iter()
+                .map(|j| unit.position(*j))
+                .collect(),
+            silent_positions: results
+                .silent_positions
+                .iter()
+                .map(|j| unit.position(*j))
+                .collect(),
+            records: results.records,
+            silent: results.silent_targets,
+            mopup: Vec::new(),
+            stats: results.stats,
+            consumed: results.consumed,
+            yielded: results.yielded,
+            interrupted: results.interrupted,
+            mopup_span: None,
+        }
+    }
+
+    /// Runs the mop-up pass over one unit's silent targets on the unit's
+    /// own scanner (each unit advances its replica's refill delay
+    /// independently), accumulating raw [`MopAnswer`]s — classification
+    /// and dedup happen later, in [`assemble`](Self::assemble)'s merged
+    /// position order. No-op when mop-up is off, the unit was interrupted
+    /// (the block is discarded and re-run on resume), or nothing was
+    /// silent. A *yielded* unit must be settled first (its `unit`
+    /// shrunk to the consumed prefix) — the silent list only ever covers
+    /// consumed positions, so the pass is already exact.
+    pub(crate) fn unit_mop_up<N: Network>(
+        &self,
+        scanner: &mut Scanner<N>,
+        _profile: &IspProfile,
+        raw: &mut UnitRaw,
+    ) {
+        if !self.mop_up || raw.interrupted || raw.silent.is_empty() {
+            return;
+        }
+        // Let rate-limited devices accrue error tokens before the
+        // second chance; discards any (stale) delayed deliveries.
+        let mut late = Vec::new();
+        scanner.advance(self.mop_up_delay_ticks, &mut late);
+        let seed = scanner.config().seed;
+        let hop_limit = scanner.config().hop_limit;
+        let mop_up_start = scanner.ticks();
+        // The registry is the single source of truth for mop-up
+        // accounting: probe_addr counts sent/received/valid/invalid
+        // through the shared metric handles, the pass tops up the
+        // retransmit/rate-limit counters, and the unit's stats absorb
+        // the exact registry delta at the end.
+        let base = scanner.metrics().baseline();
+        for (i, target) in raw.silent.iter().enumerate() {
+            if scanner.is_aborted() {
+                break;
+            }
+            // Fresh host bits: never re-probe the exact first address.
+            let dst = xmap::fill_host_bits(*target, seed ^ MOP_UP_SALT);
+            if !self.blocklist.is_allowed(dst) {
+                continue;
+            }
+            scanner.metrics().retransmits.inc();
+            let mut answers = scanner.probe_addr(dst, &IcmpEchoProbe, hop_limit);
+            late.clear();
+            scanner.advance(1, &mut late);
+            for p in &late {
+                // Late (jittered) deliveries bypass probe_addr, so they
+                // are accounted here through the same handles.
+                let result = IcmpEchoProbe.classify(p, scanner.validator());
+                scanner.metrics().received.inc();
+                if matches!(result, ProbeResult::Invalid) {
+                    scanner.metrics().invalid.inc();
+                } else {
+                    scanner.metrics().valid.inc();
+                }
+                answers.push((p.src, result));
+            }
+            for (responder, result) in answers {
+                let via_te = match result {
+                    ProbeResult::Unreachable { .. } => false,
+                    ProbeResult::TimeExceeded => true,
+                    _ => continue,
+                };
+                // A silent-then-answering device was most likely
+                // rate limited during the main pass. Counted at probe
+                // time (dedup-independent), so unit stats are exact
+                // whatever merge the answers later land in.
+                scanner.metrics().rate_limited_suspected.inc();
+                raw.mopup.push(MopAnswer {
+                    position: raw.silent_positions[i],
+                    target: *target,
+                    probe_dst: dst,
+                    responder,
+                    via_te,
+                });
+            }
+        }
+        raw.stats.merge(&scanner.metrics().stats_since(&base));
+        raw.mopup_span = Some((mop_up_start, scanner.ticks()));
+    }
+
+    /// Merges the units of one block — in any split layout, including the
+    /// trivial single-root one — into the block's result. Units are
+    /// ordered by offset; record and mop-up streams are k-way-merged on
+    /// base walk position (each unit's internal arrival order preserved,
+    /// so a single-unit block reproduces the legacy arrival-order walk
+    /// byte-for-byte); classification, dedup and alias detection run over
+    /// the merged order, which no split schedule can perturb.
+    pub(crate) fn assemble(
+        &self,
+        profile: &IspProfile,
+        mut units: Vec<UnitRaw>,
+        tracer: &Tracer,
+    ) -> BlockResult {
+        units.sort_by_key(|u| u.unit.offset);
+        let probed = units.iter().map(|u| u.unit.cap).sum();
 
         // Fx-hashed set: responder dedup is the hot loop of a dense block
         // and the keys are simulation-derived, not attacker-controlled.
@@ -419,7 +624,10 @@ impl Campaign {
                 });
                 true
             };
-        for record in &results.records {
+
+        for (record, _) in merge_by_position(&units, |u| {
+            u.records.iter().zip(u.positions.iter().copied())
+        }) {
             let via_te = match record.result {
                 ProbeResult::Unreachable { .. } => false,
                 ProbeResult::TimeExceeded => true,
@@ -434,103 +642,339 @@ impl Campaign {
             push_periphery(record.responder, record.target, record.probe_dst, via_te);
         }
 
-        let mut stats = results.stats;
         let mut mop_up_recovered = 0;
-        // An interrupted main pass skips mop-up: the whole block is
-        // discarded by the checkpoint driver and re-run on resume.
-        if self.mop_up && !results.interrupted && !results.silent_targets.is_empty() {
-            // Let rate-limited devices accrue error tokens before the
-            // second chance; discards any (stale) delayed deliveries.
-            let mut late = Vec::new();
-            scanner.advance(self.mop_up_delay_ticks, &mut late);
-            let seed = scanner.config().seed;
-            let hop_limit = scanner.config().hop_limit;
-            let mop_up_start = scanner.ticks();
-            // The registry is the single source of truth for mop-up
-            // accounting: probe_addr counts sent/received/valid/invalid
-            // through the shared metric handles, the pass tops up the
-            // retransmit/rate-limit counters, and the block's stats absorb
-            // the exact registry delta at the end.
-            let base = scanner.metrics().baseline();
-            for target in &results.silent_targets {
-                if scanner.is_aborted() {
-                    break;
-                }
-                // Fresh host bits: never re-probe the exact first address.
-                let dst = xmap::fill_host_bits(*target, seed ^ MOP_UP_SALT);
-                if !self.blocklist.is_allowed(dst) {
-                    continue;
-                }
-                scanner.metrics().retransmits.inc();
-                let mut answers = scanner.probe_addr(dst, &IcmpEchoProbe, hop_limit);
-                late.clear();
-                scanner.advance(1, &mut late);
-                for p in &late {
-                    // Late (jittered) deliveries bypass probe_addr, so they
-                    // are accounted here through the same handles.
-                    let result = IcmpEchoProbe.classify(p, scanner.validator());
-                    scanner.metrics().received.inc();
-                    if matches!(result, ProbeResult::Invalid) {
-                        scanner.metrics().invalid.inc();
-                    } else {
-                        scanner.metrics().valid.inc();
-                    }
-                    answers.push((p.src, result));
-                }
-                for (responder, result) in answers {
-                    let via_te = match result {
-                        ProbeResult::Unreachable { .. } => false,
-                        ProbeResult::TimeExceeded => true,
-                        _ => continue,
-                    };
-                    // A silent-then-answering device was most likely
-                    // rate limited during the main pass.
-                    scanner.metrics().rate_limited_suspected.inc();
-                    if push_periphery(responder, *target, dst, via_te) {
-                        mop_up_recovered += 1;
-                    }
-                }
-            }
-            stats.merge(&scanner.metrics().stats_since(&base));
-            if scanner.tracer().is_enabled() {
-                scanner.tracer().span_event(
-                    mop_up_start,
-                    scanner.ticks(),
-                    "periphery.mopup",
-                    vec![
-                        ("silent", (results.silent_targets.len() as u64).into()),
-                        ("recovered", (mop_up_recovered as u64).into()),
-                    ],
-                );
+        let mut unit_recovered = vec![0u64; units.len()];
+        // Every stored answer is a TE or unreachable (filtered at probe
+        // time); dedup them in merged position order.
+        for (answer, from_unit) in
+            merge_by_position(&units, |u| u.mopup.iter().map(|a| (a, a.position)))
+        {
+            if push_periphery(
+                answer.responder,
+                answer.target,
+                answer.probe_dst,
+                answer.via_te,
+            ) {
+                mop_up_recovered += 1;
+                unit_recovered[from_unit] += 1;
             }
         }
-        if scanner.tracer().is_enabled() {
-            scanner.tracer().span_event(
-                block_start,
-                scanner.ticks(),
-                "periphery.block",
-                vec![
-                    ("profile", (profile.id as u64).into()),
-                    ("probed", probed.into()),
-                    ("peripheries", (peripheries.len() as u64).into()),
-                ],
-            );
+
+        let mut stats = ScanStats::default();
+        for u in &units {
+            stats.merge(&u.stats);
+        }
+        if tracer.is_enabled() {
+            for (u, recovered) in units.iter().zip(&unit_recovered) {
+                if let Some((start, end)) = u.mopup_span {
+                    tracer.span_event(
+                        start,
+                        end,
+                        "periphery.mopup",
+                        vec![
+                            ("silent", (u.silent.len() as u64).into()),
+                            ("recovered", (*recovered).into()),
+                        ],
+                    );
+                }
+            }
         }
         BlockResult {
             profile_id: profile.id,
             peripheries,
             stats,
             probed,
-            space_size: range.space_size(),
+            space_size: profile.scan_range().space_size(),
             alias_candidates,
             mop_up_recovered,
         }
     }
 }
 
+/// K-way merge of per-unit `(item, base position)` streams: repeatedly
+/// yields the stream whose *next* item has the lowest position (ties to
+/// the lowest unit index), preserving each stream's internal order. With
+/// one stream this is the identity walk — the legacy arrival order.
+fn merge_by_position<'a, T, I, F>(
+    units: &'a [UnitRaw],
+    stream: F,
+) -> impl Iterator<Item = (T, usize)> + 'a
+where
+    I: Iterator<Item = (T, u64)> + 'a,
+    F: Fn(&'a UnitRaw) -> I + 'a,
+{
+    let mut streams: Vec<std::iter::Peekable<I>> =
+        units.iter().map(|u| stream(u).peekable()).collect();
+    std::iter::from_fn(move || {
+        let best = streams
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.peek().map(|(_, pos)| (*pos, i)))
+            .min()?;
+        let (item, _) = streams[best.1].next().expect("peeked stream is nonempty");
+        Some((item, best.1))
+    })
+}
+
 /// Seed perturbation for mop-up host-bit fill (distinct from every
 /// `seed + attempt` fill of the main pass).
 const MOP_UP_SALT: u64 = 0x6d6f_7075;
+
+/// One raw mop-up response, recorded at probe time and classified later
+/// in [`Campaign::assemble`]'s merged position order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MopAnswer {
+    /// Base walk position of the silent target this answer re-probed —
+    /// the merge key across units.
+    pub position: u64,
+    /// The silent sub-prefix.
+    pub target: Prefix,
+    /// The mop-up probe's destination (fresh host bits).
+    pub probe_dst: Ip6,
+    /// Responding last-hop address.
+    pub responder: Ip6,
+    /// Time-exceeded (vs destination-unreachable) response.
+    pub via_te: bool,
+}
+
+/// One unit's raw, classification-free output: everything
+/// [`Campaign::assemble`] needs to merge any split layout of a block
+/// back into the byte-exact sequential result. Also the payload of the
+/// executor's per-unit checkpoints (kind `campaign-unit`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UnitRaw {
+    /// The sub-progression of the block walk this unit covered. After a
+    /// yield the executor settles it to the consumed prefix.
+    pub unit: SplitUnit,
+    /// Validated responses in this unit's arrival order.
+    pub records: Vec<ScanRecord>,
+    /// Base walk positions of `records` (parallel vector).
+    pub positions: Vec<u64>,
+    /// Silent targets, in this unit's probe order.
+    pub silent: Vec<Prefix>,
+    /// Base walk positions of `silent` (parallel vector).
+    pub silent_positions: Vec<u64>,
+    /// Raw mop-up answers ([`Campaign::unit_mop_up`]).
+    pub mopup: Vec<MopAnswer>,
+    /// Scanner counters attributable to this unit (mop-up included).
+    pub stats: ScanStats,
+    /// Unit-local walk positions consumed (== `unit.cap` unless the run
+    /// yielded or was interrupted).
+    pub consumed: u64,
+    /// The main pass stopped at a cooperative yield with budget left.
+    pub yielded: bool,
+    /// The main pass was aborted; the block is discarded and re-run.
+    pub interrupted: bool,
+    /// Virtual tick stamps `(start, end)` of the unit's mop-up pass,
+    /// replayed as a `periphery.mopup` span at assembly.
+    pub mopup_span: Option<(u64, u64)>,
+}
+
+/// [`ProbeResult`] wire tags for the unit codec (stable across
+/// versions, like [`encode_block`]'s IID-class indices).
+fn encode_probe_result(e: &mut Encoder, r: &ProbeResult) {
+    match r {
+        ProbeResult::Alive => e.u8(0),
+        ProbeResult::Unreachable { code } => {
+            e.u8(1);
+            e.u8(match code {
+                UnreachCode::NoRoute => 0,
+                UnreachCode::AdminProhibited => 1,
+                UnreachCode::AddressUnreachable => 3,
+                UnreachCode::PortUnreachable => 4,
+                UnreachCode::SourcePolicy => 5,
+                UnreachCode::RejectRoute => 6,
+            });
+        }
+        ProbeResult::TimeExceeded => e.u8(2),
+        ProbeResult::Refused => e.u8(3),
+        ProbeResult::Invalid => e.u8(4),
+    }
+}
+
+fn decode_probe_result(d: &mut Decoder) -> Result<ProbeResult, StateError> {
+    Ok(match d.u8()? {
+        0 => ProbeResult::Alive,
+        1 => {
+            let code = match d.u8()? {
+                0 => UnreachCode::NoRoute,
+                1 => UnreachCode::AdminProhibited,
+                3 => UnreachCode::AddressUnreachable,
+                4 => UnreachCode::PortUnreachable,
+                5 => UnreachCode::SourcePolicy,
+                6 => UnreachCode::RejectRoute,
+                c => {
+                    return Err(StateError::Corrupt(format!(
+                        "campaign unit: unknown unreachable code {c}"
+                    )))
+                }
+            };
+            ProbeResult::Unreachable { code }
+        }
+        2 => ProbeResult::TimeExceeded,
+        3 => ProbeResult::Refused,
+        4 => ProbeResult::Invalid,
+        t => {
+            return Err(StateError::Corrupt(format!(
+                "campaign unit: unknown probe result tag {t}"
+            )))
+        }
+    })
+}
+
+fn encode_stats(e: &mut Encoder, s: &ScanStats) {
+    for v in [
+        s.sent,
+        s.blocked,
+        s.received,
+        s.invalid,
+        s.valid,
+        s.retransmits,
+        s.rate_limited_suspected,
+        s.gave_up,
+    ] {
+        e.u64(v);
+    }
+    e.f64_bits(s.paced_secs);
+}
+
+fn decode_stats(d: &mut Decoder) -> Result<ScanStats, StateError> {
+    Ok(ScanStats {
+        sent: d.u64()?,
+        blocked: d.u64()?,
+        received: d.u64()?,
+        invalid: d.u64()?,
+        valid: d.u64()?,
+        retransmits: d.u64()?,
+        rate_limited_suspected: d.u64()?,
+        gave_up: d.u64()?,
+        paced_secs: d.f64_bits()?,
+    })
+}
+
+/// Serialises one [`UnitRaw`] in the `xmap-checkpoint/v1` campaign-unit
+/// wire form — the per-unit checkpoint payload a killed split block
+/// resumes from.
+pub(crate) fn encode_unit_raw(e: &mut Encoder, u: &UnitRaw) {
+    e.u64(u.unit.offset);
+    e.u64(u.unit.stride);
+    e.u64(u.unit.cap);
+    e.seq(u.records.len());
+    for (r, pos) in u.records.iter().zip(&u.positions) {
+        e.u64(*pos);
+        encode_prefix(e, &r.target);
+        e.u128(r.probe_dst.bits());
+        e.u128(r.responder.bits());
+        encode_probe_result(e, &r.result);
+        match r.confidence {
+            Confidence::FirstTry => e.u8(0),
+            Confidence::Retry(n) => {
+                e.u8(1);
+                e.u32(n);
+            }
+        }
+    }
+    e.seq(u.silent.len());
+    for (t, pos) in u.silent.iter().zip(&u.silent_positions) {
+        e.u64(*pos);
+        encode_prefix(e, t);
+    }
+    e.seq(u.mopup.len());
+    for a in &u.mopup {
+        e.u64(a.position);
+        encode_prefix(e, &a.target);
+        e.u128(a.probe_dst.bits());
+        e.u128(a.responder.bits());
+        e.bool(a.via_te);
+    }
+    encode_stats(e, &u.stats);
+    e.u64(u.consumed);
+    e.bool(u.yielded);
+    e.bool(u.interrupted);
+    match u.mopup_span {
+        Some((start, end)) => {
+            e.bool(true);
+            e.u64(start);
+            e.u64(end);
+        }
+        None => e.bool(false),
+    }
+}
+
+/// Inverse of [`encode_unit_raw`].
+pub(crate) fn decode_unit_raw(d: &mut Decoder) -> Result<UnitRaw, StateError> {
+    let unit = SplitUnit {
+        offset: d.u64()?,
+        stride: d.u64()?,
+        cap: d.u64()?,
+    };
+    let n = d.seq()?;
+    let mut records = Vec::with_capacity(n);
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        positions.push(d.u64()?);
+        let target = decode_prefix(d)?;
+        let probe_dst = d.u128()?.into();
+        let responder = d.u128()?.into();
+        let result = decode_probe_result(d)?;
+        let confidence = match d.u8()? {
+            0 => Confidence::FirstTry,
+            1 => Confidence::Retry(d.u32()?),
+            t => {
+                return Err(StateError::Corrupt(format!(
+                    "campaign unit: unknown confidence tag {t}"
+                )))
+            }
+        };
+        records.push(ScanRecord {
+            target,
+            probe_dst,
+            responder,
+            result,
+            confidence,
+        });
+    }
+    let n = d.seq()?;
+    let mut silent = Vec::with_capacity(n);
+    let mut silent_positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        silent_positions.push(d.u64()?);
+        silent.push(decode_prefix(d)?);
+    }
+    let n = d.seq()?;
+    let mut mopup = Vec::with_capacity(n);
+    for _ in 0..n {
+        mopup.push(MopAnswer {
+            position: d.u64()?,
+            target: decode_prefix(d)?,
+            probe_dst: d.u128()?.into(),
+            responder: d.u128()?.into(),
+            via_te: d.bool()?,
+        });
+    }
+    let stats = decode_stats(d)?;
+    let consumed = d.u64()?;
+    let yielded = d.bool()?;
+    let interrupted = d.bool()?;
+    let mopup_span = if d.bool()? {
+        Some((d.u64()?, d.u64()?))
+    } else {
+        None
+    };
+    Ok(UnitRaw {
+        unit,
+        records,
+        positions,
+        silent,
+        silent_positions,
+        mopup,
+        stats,
+        consumed,
+        yielded,
+        interrupted,
+        mopup_span,
+    })
+}
 
 /// A loaded campaign checkpoint.
 struct CampaignCkpt {
@@ -864,6 +1308,62 @@ mod tests {
         let back = decode_block(&mut d).unwrap();
         d.expect_end().unwrap();
         assert_eq!(back, block);
+    }
+
+    #[test]
+    fn unit_codec_roundtrips() {
+        let mut s = scanner(1 << 13);
+        let campaign = Campaign::new(1 << 13);
+        let profile = &SAMPLE_BLOCKS[2];
+        let unit = SplitUnit {
+            offset: 3,
+            stride: 2,
+            cap: 1 << 11,
+        };
+        let mut raw = campaign.unit_main(&mut s, profile, unit);
+        campaign.unit_mop_up(&mut s, profile, &mut raw);
+        assert!(!raw.records.is_empty(), "need records to exercise codec");
+        let mut e = Encoder::new();
+        encode_unit_raw(&mut e, &raw);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, "test");
+        let back = decode_unit_raw(&mut d).unwrap();
+        d.expect_end().unwrap();
+        assert_eq!(back, raw);
+    }
+
+    /// The tentpole merge invariant at the campaign layer: a block split
+    /// into sub-shard units at an arbitrary cursor, assembled from the
+    /// units' raw outputs, is byte-identical (CSV and stats) to the
+    /// unsplit sequential run.
+    #[test]
+    fn split_units_assemble_to_sequential_block() {
+        let cap = 1 << 13;
+        let campaign = Campaign::new(cap);
+        let profile = &SAMPLE_BLOCKS[2];
+        let baseline = campaign.run_block(&mut scanner(cap), profile);
+
+        for (consumed, parts) in [(0u64, 2u64), (1000, 3), (cap - 1, 2)] {
+            let whole = SplitUnit::whole(cap);
+            let (settled, tail) = whole.split_tail(consumed, parts);
+            let mut units = Vec::new();
+            let mut s = scanner(cap);
+            if settled.cap > 0 {
+                let mut raw = campaign.unit_main(&mut s, profile, settled);
+                campaign.unit_mop_up(&mut s, profile, &mut raw);
+                units.push(raw);
+            }
+            for part in tail {
+                let mut raw = campaign.unit_main(&mut s, profile, part);
+                campaign.unit_mop_up(&mut s, profile, &mut raw);
+                units.push(raw);
+            }
+            let merged = campaign.assemble(profile, units, s.tracer());
+            assert_eq!(
+                merged, baseline,
+                "split at {consumed} into {parts} diverged from sequential"
+            );
+        }
     }
 
     #[test]

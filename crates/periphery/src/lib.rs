@@ -21,6 +21,7 @@ pub mod baseline;
 pub mod boundary;
 pub mod campaign;
 pub mod parallel;
+pub mod split;
 pub mod topomap;
 pub mod vendor;
 
@@ -31,6 +32,7 @@ pub use boundary::{infer_boundary, BoundaryInference};
 pub use campaign::{
     decode_block, encode_block, BlockResult, Campaign, CampaignResult, DiscoveredPeriphery,
 };
-pub use parallel::{BlockMode, CampaignOutcome, ParallelCampaign};
+pub use parallel::{BlockMode, CampaignOutcome, ParallelCampaign, UnitMode, UnitPlan};
+pub use split::{simulate_schedule, ScheduleStats, SplitUnit};
 pub use topomap::{Role, TopologyMap};
 pub use vendor::{identify, VendorCounts};

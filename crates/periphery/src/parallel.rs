@@ -68,14 +68,68 @@
 //! worker count, a campaign killed under one N resumes byte-identically
 //! under any other.
 //!
+//! # Intra-block splitting
+//!
+//! Block granularity leaves a straggler tail: once the queue drains,
+//! every worker but the one holding the last (often largest) block sits
+//! idle. With [`with_split_threshold`](ParallelCampaign::with_split_threshold)
+//! set, an idle worker instead raises a yield flag; the busy worker's
+//! scanner yields cooperatively at the next slot boundary (in-flight
+//! probes already settled), and the remaining index range of its block
+//! is split with [`SplitUnit::split_tail`] — nested-shard math over the
+//! *remaining* cursor range, so sub-shard `i` of `k` owns exactly the
+//! base walk positions `≡ offset + (consumed + i)·stride (mod stride·k)`.
+//! Each sub-shard runs the full main-scan → mop-up pipeline on whichever
+//! worker claims it, its raw delta is parked, and the last worker to
+//! deliver assembles every unit's records in walk-position order (the
+//! profile-order merge key extended by the sub-shard tag) — so the
+//! committed block, its CSV, its `ScanStats` sums and its telemetry
+//! delta are byte-identical to the never-split run for any worker count
+//! and any split schedule. The split decision itself is deterministic on
+//! the virtual clock only under
+//! [`with_force_split_at`](ParallelCampaign::with_force_split_at) (used
+//! by tests and the CI kill-point smoke); threshold-gated splits depend
+//! on which worker goes idle first, which the position-keyed assembly
+//! makes unobservable. Splitting stays inside the lossless determinism
+//! envelope above for the same reason blocks do: sub-shards probe
+//! disjoint targets of the same block, and each unit's mop-up runs
+//! inside the unit.
+//!
+//! A splitting campaign adds two files per in-flight block to the
+//! checkpoint directory:
+//!
+//! ```text
+//! dir/
+//!   block-NN.units.ckpt          kind `campaign-units`: the current
+//!                                sub-shard layout (offset/stride/cap +
+//!                                started flag per unit), rewritten
+//!                                durably before new sub-shards become
+//!                                claimable
+//!   block-NN.unit-O-S.ckpt       kind `campaign-unit`: one completed
+//!                                sub-shard's raw delta + metrics
+//! ```
+//!
+//! Both are swept when the assembled block commits, so a completed
+//! block looks exactly as it does without splitting. A kill mid-split
+//! classifies the block [`Split`](BlockMode::Split): completed units
+//! load as [`UnitMode::Skip`], the interrupted one re-runs
+//! ([`UnitMode::Resume`]), unstarted ones run [`UnitMode::Fresh`] — under
+//! any worker count, and a resume with splitting disabled simply re-runs
+//! such blocks whole. Either way the finished campaign is byte-identical
+//! to an uninterrupted sequential run. Split activity is counted in
+//! `exec.splits` / `exec.split_shards`, which appear in the merged
+//! snapshot only when nonzero — `--split-threshold 0` (the default)
+//! takes the pre-split executor path untouched.
+//!
 //! [`Registry`]: xmap_telemetry::Registry
 //! [`ScanStats`]: xmap::ScanStats
 //! [`ParallelScanner`]: xmap::ParallelScanner
+//! [`SplitUnit::split_tail`]: crate::split::SplitUnit::split_tail
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xmap::telemetry::names;
@@ -87,14 +141,18 @@ use xmap_failpoint::fs as fp;
 use xmap_netsim::isp::SAMPLE_BLOCKS;
 use xmap_netsim::packet::Network;
 use xmap_state::checkpoint::{
-    decode_snapshot, encode_snapshot, parse_fp, read_sectioned, write_sectioned,
-    write_sectioned_opts,
+    decode_snapshot, decode_sub_shards, encode_snapshot, encode_sub_shards, parse_fp,
+    read_sectioned, write_sectioned, write_sectioned_opts, SubShardEntry,
 };
 use xmap_state::codec::{Decoder, Encoder};
 use xmap_state::{AbortSignal, StateError, CHECKPOINT_SCHEMA};
 use xmap_telemetry::{Counter, Snapshot, Telemetry};
 
-use crate::campaign::{decode_block, encode_block, BlockResult, Campaign, CampaignResult};
+use crate::campaign::{
+    decode_block, decode_unit_raw, encode_block, encode_unit_raw, BlockResult, Campaign,
+    CampaignResult, UnitRaw,
+};
+use crate::split::SplitUnit;
 
 /// Default group-commit quantum: how many block checkpoints a worker
 /// publishes before it batches their fsyncs (one `fsync` per file plus
@@ -102,7 +160,7 @@ use crate::campaign::{decode_block, encode_block, BlockResult, Campaign, Campaig
 pub const DEFAULT_GROUP_COMMIT: usize = 4;
 
 /// What the resume planner decided for one sample block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BlockMode {
     /// A completed checkpoint exists: load it, don't re-scan.
     Skip,
@@ -110,6 +168,35 @@ pub enum BlockMode {
     /// the partial work was discarded; re-run the block from its start.
     Resume,
     /// The block was never started.
+    Fresh,
+    /// A kill hit mid-block *after* a split: the units manifest names
+    /// the sub-shard partition, with a per-unit
+    /// [`Skip`](UnitMode::Skip)/[`Resume`](UnitMode::Resume)/
+    /// [`Fresh`](UnitMode::Fresh) plan. Completed units load from their
+    /// unit checkpoints; the rest re-run — under **any** worker count —
+    /// and the reassembled block is byte-identical.
+    Split(Vec<UnitPlan>),
+}
+
+/// What the resume planner decided for one sub-shard unit of a split
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitPlan {
+    /// The unit's walk sub-progression.
+    pub unit: SplitUnit,
+    /// How the resume will treat it.
+    pub mode: UnitMode,
+}
+
+/// Per-unit resume classification inside a [`BlockMode::Split`] plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitMode {
+    /// A completed unit checkpoint exists: load it, don't re-scan.
+    Skip,
+    /// The unit was claimed but never checkpointed: the partial work is
+    /// discarded and the unit re-runs from its start.
+    Resume,
+    /// The unit was split off but never claimed.
     Fresh,
 }
 
@@ -160,7 +247,18 @@ pub struct ParallelCampaign {
     watchdog: Option<Duration>,
     group_commit: usize,
     exec_plan: Option<ExecPlan>,
+    split_threshold: u64,
+    force_split_at: Option<u64>,
 }
+
+/// Checkpoint context threaded into `execute`: `(dir, fingerprint,
+/// per-block loaded checkpoints, per-block split-manifest seeds)`.
+type CkptCtx<'a> = (
+    &'a Path,
+    u64,
+    Vec<Option<LoadedBlock>>,
+    Vec<Option<BinSeed>>,
+);
 
 impl ParallelCampaign {
     /// An executor running `campaign` on `workers` threads. One worker
@@ -179,7 +277,49 @@ impl ParallelCampaign {
             watchdog: None,
             group_commit: DEFAULT_GROUP_COMMIT,
             exec_plan: None,
+            split_threshold: 0,
+            force_split_at: None,
         }
+    }
+
+    /// Enables intra-block shard splitting: once the block queue drains,
+    /// an idle worker raises every running scanner's cooperative yield
+    /// flag; a scanner whose current unit still has more than
+    /// `threshold` walk positions left stops at its next slot boundary
+    /// (in-flight == 0) and the executor splits the unconsumed remainder
+    /// into nested sub-shards — one per idle worker — that run
+    /// concurrently and merge back byte-identically. `0` (the default)
+    /// disables splitting entirely: the executor takes the legacy
+    /// block-granular path, byte-for-byte.
+    pub fn with_split_threshold(mut self, threshold: u64) -> Self {
+        self.split_threshold = threshold;
+        self
+    }
+
+    /// Forces the yield gate open once a unit has consumed `at` walk
+    /// positions, regardless of idle workers — the deterministic split
+    /// point tests and CI smokes use to exercise the split machinery
+    /// under a schedule they control. Implies the split-capable
+    /// executor path even when the threshold is `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at == 0` (a run never yields before consuming at
+    /// least one index).
+    pub fn with_force_split_at(mut self, at: u64) -> Self {
+        assert!(at >= 1, "force-split point must be at least 1");
+        self.force_split_at = Some(at);
+        self
+    }
+
+    /// The configured split threshold (`0` = splitting disabled).
+    pub fn split_threshold(&self) -> u64 {
+        self.split_threshold
+    }
+
+    /// Whether this executor takes the split-capable path.
+    fn split_enabled(&self) -> bool {
+        self.split_threshold > 0 || self.force_split_at.is_some()
     }
 
     /// Overrides the supervision policy (attempt budget per block).
@@ -269,27 +409,40 @@ impl ParallelCampaign {
         let fp = self.campaign.fingerprint_cfg(base);
         std::fs::create_dir_all(dir)
             .map_err(|e| StateError::io(format!("create campaign dir {}", dir.display()), e))?;
-        let loaded = if resume {
+        let (loaded, seeds) = if resume {
             let plan = load_dir(dir, fp)?;
             let mut loaded: Vec<Option<LoadedBlock>> =
                 (0..SAMPLE_BLOCKS.len()).map(|_| None).collect();
+            let mut seeds: Vec<Option<BinSeed>> = (0..SAMPLE_BLOCKS.len()).map(|_| None).collect();
             for (idx, mode) in plan.iter().enumerate() {
-                if *mode == BlockMode::Skip {
-                    loaded[idx] = Some(load_block_ckpt(dir, idx, fp)?);
+                match mode {
+                    BlockMode::Skip => loaded[idx] = Some(load_block_ckpt(dir, idx, fp)?),
+                    BlockMode::Split(plans) if self.split_enabled() => {
+                        seeds[idx] = Some(load_bin_seed(dir, idx, fp, plans)?);
+                    }
+                    // A Split plan resumed with splitting disabled (or
+                    // Resume/Fresh): the block re-runs whole, which is
+                    // byte-identical by construction; its stale unit
+                    // files are swept at commit.
+                    _ => {}
                 }
             }
-            loaded
+            (loaded, seeds)
         } else {
             // Fresh start: wipe stale blocks so a same-fingerprint rerun
             // can never silently skip them.
             for idx in 0..SAMPLE_BLOCKS.len() {
                 let _ = std::fs::remove_file(block_path(dir, idx));
                 let _ = std::fs::remove_file(marker_path(dir, idx));
+                remove_split_files(dir, idx);
             }
             write_dir_manifest(dir, fp)?;
-            (0..SAMPLE_BLOCKS.len()).map(|_| None).collect()
+            (
+                (0..SAMPLE_BLOCKS.len()).map(|_| None).collect(),
+                (0..SAMPLE_BLOCKS.len()).map(|_| None).collect(),
+            )
         };
-        self.execute(base, Some((dir, fp, loaded)), abort, make_network)
+        self.execute(base, Some((dir, fp, loaded, seeds)), abort, make_network)
     }
 
     /// Classifies every block for a resume of the campaign checkpointed
@@ -306,13 +459,18 @@ impl ParallelCampaign {
     fn execute<N: Network + Send>(
         &self,
         base: &ScanConfig,
-        ckpt: Option<(&Path, u64, Vec<Option<LoadedBlock>>)>,
+        ckpt: Option<CkptCtx<'_>>,
         abort: Option<&AbortSignal>,
         mut make_network: impl FnMut(usize, &Telemetry) -> N,
     ) -> Result<CampaignOutcome, StateError> {
-        let (dir, fp_id, loaded) = match ckpt {
-            Some((dir, fp, loaded)) => (Some(dir), fp, loaded),
-            None => (None, 0, (0..SAMPLE_BLOCKS.len()).map(|_| None).collect()),
+        let (dir, fp_id, loaded, mut seeds_by_idx) = match ckpt {
+            Some((dir, fp, loaded, seeds)) => (Some(dir), fp, loaded, seeds),
+            None => (
+                None,
+                0,
+                (0..SAMPLE_BLOCKS.len()).map(|_| None).collect(),
+                (0..SAMPLE_BLOCKS.len()).map(|_| None).collect::<Vec<_>>(),
+            ),
         };
         // Only non-loaded blocks enter the queue, seeded round-robin in
         // block order so one worker reproduces the sequential walk.
@@ -321,6 +479,18 @@ impl ParallelCampaign {
             .collect();
         let queue = StealQueue::new(pending.len(), self.workers);
         let slots: Vec<SlotState> = (0..pending.len()).map(|_| SlotState::default()).collect();
+        let split = self.split_enabled().then(|| SplitShared {
+            bins: (0..pending.len()).map(|_| BlockBin::default()).collect(),
+            seeds: pending.iter().map(|i| seeds_by_idx[*i].take()).collect(),
+            yield_flags: (0..self.workers)
+                .map(|_| Arc::new(AtomicBool::new(false)))
+                .collect(),
+            waiters: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(pending.len()),
+            threshold: self.split_threshold,
+            force_at: self.force_split_at,
+        });
         let board: Vec<Mutex<Option<Claim>>> =
             (0..self.workers).map(|_| Mutex::new(None)).collect();
         let faults = self.exec_plan.as_ref().map(ExecPlan::armed);
@@ -356,8 +526,9 @@ impl ParallelCampaign {
                     let campaign = &self.campaign;
                     let faults = faults.as_ref();
                     let (counters, active) = (&counters, &active);
+                    let split = split.as_ref();
                     scope.spawn(move || {
-                        let result = run_worker(WorkerCtx {
+                        let ctx = WorkerCtx {
                             w,
                             scanner,
                             campaign,
@@ -371,7 +542,11 @@ impl ParallelCampaign {
                             group,
                             dir,
                             fp_id,
-                        });
+                        };
+                        let result = match split {
+                            Some(shared) => SplitWorker::new(ctx, shared).run(),
+                            None => run_worker(ctx),
+                        };
                         active.fetch_sub(1, Ordering::AcqRel);
                         result
                     })
@@ -458,6 +633,7 @@ impl ParallelCampaign {
                             state.done.store(true, Ordering::Release);
                             if let Some(dir) = dir {
                                 write_block_ckpt(dir, fp_id, idx, &block, &delta, true)?;
+                                remove_split_files(dir, idx);
                                 let _ = std::fs::remove_file(marker_path(dir, idx));
                             }
                             supervisor.committed.merge(&delta);
@@ -519,6 +695,18 @@ impl ParallelCampaign {
                 .counters
                 .insert(names::EXEC_STALLS.to_owned(), stalls);
         }
+        let splits = counters.splits.load(Ordering::Acquire);
+        if splits > 0 {
+            snapshot
+                .counters
+                .insert(names::EXEC_SPLITS.to_owned(), splits);
+        }
+        let split_shards = counters.split_shards.load(Ordering::Acquire);
+        if split_shards > 0 {
+            snapshot
+                .counters
+                .insert(names::EXEC_SPLIT_SHARDS.to_owned(), split_shards);
+        }
         Ok(CampaignOutcome {
             result,
             snapshot,
@@ -542,6 +730,9 @@ struct SlotState {
     done: AtomicBool,
     /// Attempt budget exhausted; the campaign completes around it.
     poisoned: AtomicBool,
+    /// Whether the split executor's `outstanding` count has been
+    /// decremented for this slot (done or poisoned) — swap-once guard.
+    retired: AtomicBool,
 }
 
 /// What a worker currently holds, for the watchdog's staleness check.
@@ -568,6 +759,10 @@ struct ExecCounters {
     panics: AtomicU64,
     requeued: AtomicU64,
     stalls: AtomicU64,
+    /// Yield-and-split events (one per unit that yielded).
+    splits: AtomicU64,
+    /// Sub-shard units created by those splits.
+    split_shards: AtomicU64,
 }
 
 /// One worker's contribution: committed blocks and the merged telemetry
@@ -700,6 +895,7 @@ fn run_worker<N: Network>(ctx: WorkerCtx<'_, N>) -> Result<WorkerOut, StateError
                                 flush_group(dir, &mut to_sync)?;
                             }
                         }
+                        remove_split_files(dir, idx);
                         let _ = std::fs::remove_file(marker_path(dir, idx));
                     }
                     out.committed.merge(&delta);
@@ -804,6 +1000,569 @@ fn run_watchdog(
     }
 }
 
+/// Shared state of the split-capable executor path (armed via
+/// [`ParallelCampaign::with_split_threshold`] or
+/// [`ParallelCampaign::with_force_split_at`]).
+struct SplitShared {
+    /// One bin per queue slot, holding that block's unit partition.
+    bins: Vec<BlockBin>,
+    /// Resume seeds per slot (loaded unit checkpoints + re-run units).
+    seeds: Vec<Option<BinSeed>>,
+    /// Per-worker cooperative yield flags; idle workers broadcast-set
+    /// them, a worker acting on its own flag clears it.
+    yield_flags: Vec<Arc<AtomicBool>>,
+    /// Workers currently spinning idle — the split fan-out factor.
+    waiters: AtomicUsize,
+    /// Units currently claimed and running anywhere. Idle workers only
+    /// retire once this reaches zero with nothing left to claim.
+    busy: AtomicUsize,
+    /// Slots not yet committed or poisoned.
+    outstanding: AtomicUsize,
+    /// Minimum unconsumed walk positions for a yield to fire.
+    threshold: u64,
+    /// Deterministic forced yield point (tests/CI).
+    force_at: Option<u64>,
+}
+
+/// One block's split state: the evolving unit partition of its
+/// permutation walk plus the raw outputs delivered so far.
+#[derive(Default)]
+struct BlockBin {
+    inner: Mutex<BinInner>,
+}
+
+#[derive(Default)]
+struct BinInner {
+    /// Claim epoch these contents belong to (mirrors the slot's epoch at
+    /// block-claim time); deliveries under any other epoch are dropped.
+    epoch: u64,
+    /// Bin initialized by a block claim and not yet assembled.
+    open: bool,
+    /// Whether the block has ever split (unit checkpoints only then).
+    split: bool,
+    /// Units waiting to be claimed.
+    pending: Vec<SplitUnit>,
+    /// Units currently running on some worker.
+    active: usize,
+    /// Delivered unit outputs with their telemetry deltas.
+    done: Vec<(UnitRaw, Snapshot)>,
+    /// The manifest view: the complete current partition, offset-sorted.
+    layout: Vec<SubShardEntry>,
+}
+
+/// What a [`BlockMode::Split`] resume plan loads into a bin before the
+/// block is re-claimed.
+#[derive(Clone, Default)]
+struct BinSeed {
+    done: Vec<(UnitRaw, Snapshot)>,
+    rerun: Vec<SplitUnit>,
+    layout: Vec<SubShardEntry>,
+}
+
+/// Outcome of a block-claim attempt in the split path.
+enum BlockClaim {
+    /// Bin initialized under this epoch; drain it.
+    Claimed(u64),
+    /// Block already done/poisoned; claim the next one.
+    Skip,
+    /// Scripted fault: the worker retires now.
+    Retire,
+}
+
+/// What one unit run produced (the `catch_unwind` payload).
+enum UnitRun {
+    /// Clean finish: the raw output and its telemetry delta.
+    Done(Box<(UnitRaw, Snapshot)>),
+    /// Abort signal hit mid-unit; the partial work is discarded.
+    Aborted,
+    /// The bin was re-claimed under a new epoch mid-run (watchdog
+    /// requeue); the work is discarded, the worker stays healthy.
+    Stale,
+}
+
+fn entry_of(unit: SplitUnit, started: bool) -> SubShardEntry {
+    SubShardEntry {
+        offset: unit.offset,
+        stride: unit.stride,
+        cap: unit.cap,
+        started,
+    }
+}
+
+fn unit_of(entry: &SubShardEntry) -> SplitUnit {
+    SplitUnit {
+        offset: entry.offset,
+        stride: entry.stride,
+        cap: entry.cap,
+    }
+}
+
+/// Decrements `outstanding` exactly once per slot, however many times
+/// the done/poisoned transition is observed.
+fn retire_slot(state: &SlotState, shared: &SplitShared) {
+    if !state.retired.swap(true, Ordering::AcqRel) {
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The split-capable worker: the legacy loop plus intra-block shard
+/// splitting. Blocks are claimed off the queue as before, but each runs
+/// as a series of [`SplitUnit`]s through a per-slot [`BlockBin`]. When
+/// the queue drains, an idle worker broadcasts yield requests; a
+/// running unit that yields is settled to its consumed prefix and its
+/// unconsumed remainder split into nested sub-shards pushed onto the
+/// bin, where idle workers claim them. Whoever delivers a bin's last
+/// unit reassembles the block ([`Campaign::assemble`]) and commits it
+/// through the unchanged epoch-CAS protocol — so the merged result is
+/// byte-identical to the sequential walk for any worker count and any
+/// split schedule.
+struct SplitWorker<'a, N: Network> {
+    ctx: WorkerCtx<'a, N>,
+    shared: &'a SplitShared,
+    sent: Counter,
+    to_sync: Vec<PathBuf>,
+    out: WorkerOut,
+}
+
+impl<'a, N: Network> SplitWorker<'a, N> {
+    fn new(ctx: WorkerCtx<'a, N>, shared: &'a SplitShared) -> Self {
+        let sent = ctx.scanner.telemetry().registry.counter(names::SENT);
+        SplitWorker {
+            ctx,
+            shared,
+            sent,
+            to_sync: Vec::new(),
+            out: WorkerOut::default(),
+        }
+    }
+
+    fn run(mut self) -> Result<WorkerOut, StateError> {
+        if self.shared.threshold > 0 {
+            let flag = self.shared.yield_flags[self.ctx.w].clone();
+            self.ctx
+                .scanner
+                .set_yield_request(Some(flag), self.shared.threshold);
+        }
+        let verdict = self.main_loop();
+        self.ctx.scanner.set_yield_request(None, 1);
+        self.ctx.scanner.set_force_yield_at(None);
+        let flushed = match self.ctx.dir {
+            Some(d) => flush_group(d, &mut self.to_sync),
+            None => Ok(()),
+        };
+        verdict?;
+        flushed?;
+        Ok(self.out)
+    }
+
+    fn main_loop(&mut self) -> Result<(), StateError> {
+        let mut block_claims = 0u64;
+        loop {
+            if self.ctx.scanner.is_aborted() {
+                return Ok(());
+            }
+            if let Some(slot) = self.ctx.queue.pop(self.ctx.w) {
+                let claim_no = block_claims;
+                block_claims += 1;
+                match self.claim_block(slot, claim_no)? {
+                    BlockClaim::Claimed(epoch) => {
+                        if !self.drain_bin(slot, epoch)? {
+                            return Ok(());
+                        }
+                    }
+                    BlockClaim::Skip => {}
+                    BlockClaim::Retire => return Ok(()),
+                }
+                continue;
+            }
+            if let Some((slot, unit, epoch)) = self.claim_helper_unit()? {
+                if !self.run_unit(slot, unit, epoch)? {
+                    return Ok(());
+                }
+                continue;
+            }
+            // Nothing claimable. Sweep poisoned slots (a watchdog can
+            // poison without retiring), then decide whether to wait.
+            for state in self.ctx.slots {
+                if state.poisoned.load(Ordering::Acquire) {
+                    retire_slot(state, self.shared);
+                }
+            }
+            if self.shared.outstanding.load(Ordering::Acquire) == 0 {
+                return Ok(());
+            }
+            if self.shared.busy.load(Ordering::Acquire) == 0 {
+                // Outstanding blocks with nothing in flight are
+                // unreachable from here (a stalled or panicked owner);
+                // the supervisor fallback finishes them after join.
+                return Ok(());
+            }
+            self.shared.waiters.fetch_add(1, Ordering::AcqRel);
+            for flag in &self.shared.yield_flags {
+                flag.store(true, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+            self.shared.waiters.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Claims `slot` off the queue: consults the fault script, writes
+    /// the in-progress marker and initializes the bin (from its resume
+    /// seed on first claim, else the whole-block unit).
+    fn claim_block(&mut self, slot: usize, claim_no: u64) -> Result<BlockClaim, StateError> {
+        let state = &self.ctx.slots[slot];
+        if state.done.load(Ordering::Acquire) || state.poisoned.load(Ordering::Acquire) {
+            return Ok(BlockClaim::Skip);
+        }
+        let idx = self.ctx.pending[slot];
+        state.attempts.fetch_add(1, Ordering::AcqRel);
+        let epoch = state.epoch.load(Ordering::Acquire);
+        let action = self
+            .ctx
+            .faults
+            .and_then(|f| f.on_unit(self.ctx.w, claim_no));
+        if action == Some(ExecAction::Stall) {
+            // Retire holding the claim, exactly like the legacy path:
+            // the watchdog (if armed) or the supervisor fallback takes
+            // the block over.
+            *self.ctx.board[self.ctx.w]
+                .lock()
+                .expect("progress board poisoned") = Some(Claim {
+                slot,
+                epoch,
+                since: Instant::now(),
+                sent: self.sent.clone(),
+                last_sent: self.sent.get(),
+            });
+            return Ok(BlockClaim::Retire);
+        }
+        if action == Some(ExecAction::Panic) {
+            self.ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+            state.epoch.fetch_add(1, Ordering::AcqRel);
+            if state.attempts.load(Ordering::Acquire) < self.ctx.max_attempts {
+                self.ctx.counters.requeued.fetch_add(1, Ordering::Relaxed);
+                self.ctx.queue.push(self.ctx.w, slot);
+            } else {
+                state.poisoned.store(true, Ordering::Release);
+                retire_slot(state, self.shared);
+            }
+            return Ok(BlockClaim::Retire);
+        }
+        if let Some(dir) = self.ctx.dir {
+            write_marker(dir, idx)?;
+        }
+        let mut bin = self.shared.bins[slot]
+            .inner
+            .lock()
+            .expect("split bin poisoned");
+        bin.epoch = epoch;
+        bin.open = true;
+        bin.active = 0;
+        match self.shared.seeds[slot].clone() {
+            Some(seed) => {
+                bin.done = seed.done;
+                bin.pending = seed.rerun;
+                bin.layout = seed.layout;
+            }
+            None => {
+                let whole = SplitUnit::whole(self.ctx.campaign.block_cap(&SAMPLE_BLOCKS[idx]));
+                bin.done = Vec::new();
+                bin.pending = vec![whole];
+                bin.layout = vec![entry_of(whole, false)];
+            }
+        }
+        bin.split = bin.layout.len() > 1;
+        Ok(BlockClaim::Claimed(epoch))
+    }
+
+    /// Runs units of `slot`'s bin until none are claimable, then tries
+    /// to assemble (covers the all-units-preloaded resume case). Returns
+    /// `false` when the worker must retire (abort or panicked scanner).
+    fn drain_bin(&mut self, slot: usize, epoch: u64) -> Result<bool, StateError> {
+        loop {
+            match self.claim_from_bin(slot)? {
+                Some((unit, unit_epoch)) => {
+                    if !self.run_unit(slot, unit, unit_epoch)? {
+                        return Ok(false);
+                    }
+                }
+                None => {
+                    // Helpers hold the tail (they will assemble), or the
+                    // bin is already complete.
+                    self.try_assemble(slot, epoch)?;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Claims one pending unit from `slot`'s bin, if its epoch is still
+    /// current. Marks the unit started in the manifest and bumps `busy`
+    /// under the bin lock, so an idle worker observing `busy == 0` can
+    /// never race past a unit about to run.
+    fn claim_from_bin(&mut self, slot: usize) -> Result<Option<(SplitUnit, u64)>, StateError> {
+        let state = &self.ctx.slots[slot];
+        if state.done.load(Ordering::Acquire) || state.poisoned.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let epoch = state.epoch.load(Ordering::Acquire);
+        let idx = self.ctx.pending[slot];
+        let mut bin = self.shared.bins[slot]
+            .inner
+            .lock()
+            .expect("split bin poisoned");
+        if !bin.open || bin.epoch != epoch || bin.pending.is_empty() {
+            return Ok(None);
+        }
+        let unit = bin.pending.remove(0);
+        bin.active += 1;
+        self.shared.busy.fetch_add(1, Ordering::AcqRel);
+        let mark = bin
+            .layout
+            .iter_mut()
+            .find(|e| unit_of(e) == unit && !e.started);
+        if let Some(entry) = mark {
+            entry.started = true;
+            if bin.split {
+                if let Some(dir) = self.ctx.dir {
+                    if let Err(e) = write_units_manifest(dir, self.ctx.fp_id, idx, &bin.layout) {
+                        // Undo the claim so other workers can't hang on
+                        // a busy count that will never drain.
+                        bin.pending.insert(0, unit);
+                        bin.active -= 1;
+                        self.shared.busy.fetch_sub(1, Ordering::AcqRel);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(Some((unit, epoch)))
+    }
+
+    /// Scans bins lowest-slot-first for a claimable sub-unit.
+    fn claim_helper_unit(&mut self) -> Result<Option<(usize, SplitUnit, u64)>, StateError> {
+        for slot in 0..self.ctx.slots.len() {
+            if let Some((unit, epoch)) = self.claim_from_bin(slot)? {
+                return Ok(Some((slot, unit, epoch)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs one claimed unit: main pass (yield-capable), split on yield,
+    /// per-unit mop-up, delivery, and assembly when it was the last
+    /// unit. Returns `false` when the worker must retire.
+    fn run_unit(&mut self, slot: usize, unit: SplitUnit, epoch: u64) -> Result<bool, StateError> {
+        let w = self.ctx.w;
+        let idx = self.ctx.pending[slot];
+        let profile = &SAMPLE_BLOCKS[idx];
+        let (shared, counters, dir, fp_id, campaign) = (
+            self.shared,
+            self.ctx.counters,
+            self.ctx.dir,
+            self.ctx.fp_id,
+            self.ctx.campaign,
+        );
+        *self.ctx.board[w].lock().expect("progress board poisoned") = Some(Claim {
+            slot,
+            epoch,
+            since: Instant::now(),
+            sent: self.sent.clone(),
+            last_sent: self.sent.get(),
+        });
+        let scanner = &mut *self.ctx.scanner;
+        let attempt = catch_unwind(AssertUnwindSafe(move || -> Result<UnitRun, StateError> {
+            let baseline = scanner.telemetry().registry.snapshot();
+            scanner.set_force_yield_at(shared.force_at);
+            let mut raw = campaign.unit_main(scanner, profile, unit);
+            scanner.set_force_yield_at(None);
+            if raw.interrupted {
+                return Ok(UnitRun::Aborted);
+            }
+            if raw.yielded {
+                // Split point: settle this unit to its consumed
+                // prefix and partition the unconsumed remainder into
+                // one nested sub-shard per idle worker (at least 2).
+                let k = (shared.waiters.load(Ordering::Acquire) as u64 + 1).max(2);
+                let (settled, parts) = raw.unit.split_tail(raw.consumed, k);
+                let stale = {
+                    let mut bin = shared.bins[slot].inner.lock().expect("split bin poisoned");
+                    if !bin.open || bin.epoch != epoch {
+                        true
+                    } else {
+                        bin.layout.retain(|e| unit_of(e) != unit);
+                        bin.layout.push(entry_of(settled, true));
+                        bin.layout.extend(parts.iter().map(|p| entry_of(*p, false)));
+                        bin.layout.sort_by_key(|e| e.offset);
+                        bin.split = true;
+                        // The manifest must be durable before any
+                        // part becomes claimable, so a kill can
+                        // never orphan a unit checkpoint.
+                        if let Some(dir) = dir {
+                            write_units_manifest(dir, fp_id, idx, &bin.layout)?;
+                        }
+                        bin.pending.extend(parts.iter().copied());
+                        counters.splits.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .split_shards
+                            .fetch_add(parts.len() as u64, Ordering::Relaxed);
+                        false
+                    }
+                };
+                shared.yield_flags[w].store(false, Ordering::Relaxed);
+                if stale {
+                    return Ok(UnitRun::Stale);
+                }
+                raw.unit = settled;
+            }
+            campaign.unit_mop_up(scanner, profile, &mut raw);
+            if scanner.is_aborted() {
+                return Ok(UnitRun::Aborted);
+            }
+            let delta = scanner.telemetry().registry.snapshot().diff(&baseline);
+            Ok(UnitRun::Done(Box::new((raw, delta))))
+        }));
+        *self.ctx.board[w].lock().expect("progress board poisoned") = None;
+        let release_unit = |requeue: Option<SplitUnit>| {
+            let mut bin = self.shared.bins[slot]
+                .inner
+                .lock()
+                .expect("split bin poisoned");
+            if bin.open && bin.epoch == epoch {
+                bin.active = bin.active.saturating_sub(1);
+                if let Some(u) = requeue {
+                    bin.pending.push(u);
+                }
+            }
+            self.shared.busy.fetch_sub(1, Ordering::AcqRel);
+        };
+        match attempt {
+            Ok(Ok(UnitRun::Done(payload))) => {
+                let (raw, delta) = *payload;
+                let split_now = {
+                    let bin = self.shared.bins[slot]
+                        .inner
+                        .lock()
+                        .expect("split bin poisoned");
+                    bin.open && bin.epoch == epoch && bin.split
+                };
+                if split_now {
+                    if let Some(dir) = self.ctx.dir {
+                        if let Err(e) = write_unit_ckpt(dir, self.ctx.fp_id, idx, &raw, &delta) {
+                            release_unit(Some(raw.unit));
+                            return Err(e);
+                        }
+                    }
+                }
+                let complete = {
+                    let mut bin = self.shared.bins[slot]
+                        .inner
+                        .lock()
+                        .expect("split bin poisoned");
+                    if bin.open && bin.epoch == epoch {
+                        bin.done.push((raw, delta));
+                        bin.active -= 1;
+                        bin.pending.is_empty() && bin.active == 0
+                    } else {
+                        false
+                    }
+                };
+                self.shared.busy.fetch_sub(1, Ordering::AcqRel);
+                if complete {
+                    self.try_assemble(slot, epoch)?;
+                }
+                Ok(true)
+            }
+            Ok(Ok(UnitRun::Stale)) => {
+                // The bin moved on without us; nothing to repair beyond
+                // the busy count (the re-claim reset `active`).
+                self.shared.busy.fetch_sub(1, Ordering::AcqRel);
+                Ok(true)
+            }
+            Ok(Ok(UnitRun::Aborted)) => {
+                release_unit(None);
+                Ok(false)
+            }
+            Ok(Err(e)) => {
+                release_unit(Some(unit));
+                Err(e)
+            }
+            Err(_) => {
+                // Panic mid-unit: requeue the unit (it re-runs
+                // identically elsewhere) and retire — this scanner may
+                // hold half-mutated per-unit state.
+                release_unit(Some(unit));
+                self.ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+        }
+    }
+
+    /// If `slot`'s bin is complete under `epoch`, reassembles the block
+    /// from its unit outputs and commits it through the legacy epoch-CAS
+    /// protocol (checkpoint write, split-file sweep, marker removal).
+    fn try_assemble(&mut self, slot: usize, epoch: u64) -> Result<(), StateError> {
+        let idx = self.ctx.pending[slot];
+        let state = &self.ctx.slots[slot];
+        let taken = {
+            let mut bin = self.shared.bins[slot]
+                .inner
+                .lock()
+                .expect("split bin poisoned");
+            if !bin.open || bin.epoch != epoch || !bin.pending.is_empty() || bin.active != 0 {
+                None
+            } else {
+                bin.open = false;
+                Some(std::mem::take(&mut bin.done))
+            }
+        };
+        let Some(mut done) = taken else {
+            return Ok(());
+        };
+        done.sort_by_key(|(raw, _)| raw.unit.offset);
+        let mut delta = Snapshot::default();
+        let mut raws = Vec::with_capacity(done.len());
+        for (raw, d) in done {
+            delta.merge(&d);
+            raws.push(raw);
+        }
+        let block =
+            self.ctx
+                .campaign
+                .assemble(&SAMPLE_BLOCKS[idx], raws, self.ctx.scanner.tracer());
+        let committed = state.epoch.load(Ordering::Acquire) == epoch
+            && state
+                .done
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        if !committed {
+            return Ok(());
+        }
+        retire_slot(state, self.shared);
+        if let Some(dir) = self.ctx.dir {
+            write_block_ckpt(
+                dir,
+                self.ctx.fp_id,
+                idx,
+                &block,
+                &delta,
+                self.ctx.group <= 1,
+            )?;
+            if self.ctx.group > 1 {
+                self.to_sync.push(block_path(dir, idx));
+                if self.to_sync.len() >= self.ctx.group {
+                    flush_group(dir, &mut self.to_sync)?;
+                }
+            }
+            remove_split_files(dir, idx);
+            let _ = std::fs::remove_file(marker_path(dir, idx));
+        }
+        self.out.committed.merge(&delta);
+        self.out.done.push((idx, block));
+        Ok(())
+    }
+}
+
 /// Fsyncs a batch of published block checkpoints plus the directory —
 /// the group-commit step. No-op on an empty batch.
 fn flush_group(dir: &Path, paths: &mut Vec<PathBuf>) -> Result<(), StateError> {
@@ -837,6 +1596,194 @@ fn marker_path(dir: &Path, idx: usize) -> PathBuf {
 
 fn dir_manifest_path(dir: &Path) -> PathBuf {
     dir.join("campaign.ckpt")
+}
+
+/// Path of block `idx`'s sub-shard units manifest (present only while
+/// the block is split and uncommitted).
+fn units_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("block-{idx:02}.units.ckpt"))
+}
+
+/// Path of one completed sub-shard unit's checkpoint. `(offset,
+/// stride)` identifies a unit uniquely within a block — the layout is a
+/// partition, so no two units share both.
+fn unit_path(dir: &Path, idx: usize, unit: SplitUnit) -> PathBuf {
+    dir.join(format!(
+        "block-{idx:02}.unit-{}-{}.ckpt",
+        unit.offset, unit.stride
+    ))
+}
+
+/// Removes block `idx`'s units manifest and every unit checkpoint —
+/// run after the block commits (the block checkpoint subsumes them) and
+/// on a fresh-start wipe. Best-effort: stale split files behind a valid
+/// block checkpoint are dead weight, never consulted.
+fn remove_split_files(dir: &Path, idx: usize) {
+    let _ = std::fs::remove_file(units_path(dir, idx));
+    let prefix = format!("block-{idx:02}.unit-");
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(&prefix) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Atomically (re)writes block `idx`'s units manifest: the complete
+/// current sub-shard partition of the block's walk. Rewritten on every
+/// split and unit claim, always before the new layout becomes runnable.
+fn write_units_manifest(
+    dir: &Path,
+    fp: u64,
+    idx: usize,
+    layout: &[SubShardEntry],
+) -> Result<(), StateError> {
+    let header = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign-units\",\
+         \"block\":{idx},\"campaign_fp\":\"{fp:#018x}\",\"sections\":[\"units\"]}}"
+    );
+    write_sectioned(
+        &units_path(dir, idx),
+        &header,
+        &[("units", encode_sub_shards(layout))],
+    )
+}
+
+fn load_units_manifest(
+    dir: &Path,
+    idx: usize,
+    expected_fp: u64,
+) -> Result<Vec<SubShardEntry>, StateError> {
+    let what = "campaign units manifest";
+    let path = units_path(dir, idx);
+    let (header, mut sections) = read_sectioned(&path, what)?;
+    let kind = header.req_str("kind", what)?;
+    if kind != "campaign-units" {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: expected kind `campaign-units`, found `{kind}`",
+            path.display()
+        )));
+    }
+    let fp = parse_fp(&header.req_str("campaign_fp", what)?, what)?;
+    if fp != expected_fp {
+        return Err(StateError::Mismatch(format!(
+            "units manifest {} was written under configuration {fp:#018x}, \
+             this campaign fingerprints as {expected_fp:#018x}",
+            path.display()
+        )));
+    }
+    let declared = header.req_u64("block", what)? as usize;
+    if declared != idx {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: declares block {declared}, expected {idx}",
+            path.display()
+        )));
+    }
+    let raw = sections.remove("units").ok_or_else(|| {
+        StateError::Corrupt(format!(
+            "{what} {}: missing `units` section",
+            path.display()
+        ))
+    })?;
+    let entries = decode_sub_shards(&raw)?;
+    if entries.is_empty() {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: empty unit layout",
+            path.display()
+        )));
+    }
+    Ok(entries)
+}
+
+/// Publishes one completed unit's checkpoint: its telemetry delta plus
+/// the raw, classification-free output [`Campaign::assemble`] merges.
+fn write_unit_ckpt(
+    dir: &Path,
+    fp: u64,
+    idx: usize,
+    raw: &UnitRaw,
+    metrics: &Snapshot,
+) -> Result<(), StateError> {
+    let header = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"kind\":\"campaign-unit\",\
+         \"block\":{idx},\"offset\":{},\"stride\":{},\"cap\":{},\
+         \"campaign_fp\":\"{fp:#018x}\",\"sections\":[\"metrics\",\"unit\"]}}",
+        raw.unit.offset, raw.unit.stride, raw.unit.cap
+    );
+    let mut e = Encoder::new();
+    encode_unit_raw(&mut e, raw);
+    write_sectioned(
+        &unit_path(dir, idx, raw.unit),
+        &header,
+        &[("metrics", encode_snapshot(metrics)), ("unit", e.finish())],
+    )
+}
+
+fn load_unit_ckpt(
+    dir: &Path,
+    idx: usize,
+    expected_fp: u64,
+    unit: SplitUnit,
+) -> Result<(UnitRaw, Snapshot), StateError> {
+    let what = "campaign unit checkpoint";
+    let path = unit_path(dir, idx, unit);
+    let (header, mut sections) = read_sectioned(&path, what)?;
+    let kind = header.req_str("kind", what)?;
+    if kind != "campaign-unit" {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: expected kind `campaign-unit`, found `{kind}`",
+            path.display()
+        )));
+    }
+    let fp = parse_fp(&header.req_str("campaign_fp", what)?, what)?;
+    if fp != expected_fp {
+        return Err(StateError::Mismatch(format!(
+            "unit checkpoint {} was taken under configuration {fp:#018x}, \
+             this campaign fingerprints as {expected_fp:#018x}",
+            path.display()
+        )));
+    }
+    let metrics_raw = sections.remove("metrics").ok_or_else(|| {
+        StateError::Corrupt(format!(
+            "{what} {}: missing `metrics` section",
+            path.display()
+        ))
+    })?;
+    let unit_raw = sections.remove("unit").ok_or_else(|| {
+        StateError::Corrupt(format!("{what} {}: missing `unit` section", path.display()))
+    })?;
+    let mut d = Decoder::new(&unit_raw, "campaign unit");
+    let raw = decode_unit_raw(&mut d)?;
+    d.expect_end()?;
+    if raw.unit != unit || header.req_u64("block", what)? as usize != idx {
+        return Err(StateError::Corrupt(format!(
+            "{what} {}: payload does not match its manifest entry",
+            path.display()
+        )));
+    }
+    Ok((raw, decode_snapshot(&metrics_raw)?))
+}
+
+/// Materializes a [`BlockMode::Split`] plan into a bin seed: completed
+/// units load from their checkpoints, the rest queue for re-running.
+fn load_bin_seed(
+    dir: &Path,
+    idx: usize,
+    fp: u64,
+    plans: &[UnitPlan],
+) -> Result<BinSeed, StateError> {
+    let mut seed = BinSeed::default();
+    for plan in plans {
+        match plan.mode {
+            UnitMode::Skip => seed.done.push(load_unit_ckpt(dir, idx, fp, plan.unit)?),
+            UnitMode::Resume | UnitMode::Fresh => seed.rerun.push(plan.unit),
+        }
+        seed.layout
+            .push(entry_of(plan.unit, !matches!(plan.mode, UnitMode::Fresh)));
+    }
+    seed.layout.sort_by_key(|e| e.offset);
+    Ok(seed)
 }
 
 fn write_marker(dir: &Path, idx: usize) -> Result<(), StateError> {
@@ -885,21 +1832,65 @@ fn load_dir(dir: &Path, expected_fp: u64) -> Result<Vec<BlockMode>, StateError> 
                 // A present checkpoint only counts if it reads back
                 // cleanly: a crash inside the group-commit window can
                 // leave a published-but-torn file. Corrupt reclassifies
-                // as Resume (the block re-runs and the rewrite clobbers
-                // the torn file); fingerprint/config mismatches stay
-                // hard errors — re-running would scan the wrong thing.
+                // as a partial block (the re-run's rewrite clobbers the
+                // torn file); fingerprint/config mismatches stay hard
+                // errors — re-running would scan the wrong thing.
                 match load_block_ckpt(dir, idx, expected_fp) {
                     Ok(_) => Ok(BlockMode::Skip),
-                    Err(StateError::Corrupt(_)) => Ok(BlockMode::Resume),
+                    // A torn checkpoint proves the block ran even when
+                    // its marker is already gone — floor Fresh to
+                    // Resume.
+                    Err(StateError::Corrupt(_)) => match classify_partial(dir, idx, expected_fp)? {
+                        BlockMode::Fresh => Ok(BlockMode::Resume),
+                        partial => Ok(partial),
+                    },
                     Err(e) => Err(e),
                 }
-            } else if marker_path(dir, idx).exists() {
-                Ok(BlockMode::Resume)
             } else {
-                Ok(BlockMode::Fresh)
+                classify_partial(dir, idx, expected_fp)
             }
         })
         .collect()
+}
+
+/// Classifies a block with no (valid) completed checkpoint: a units
+/// manifest means a kill hit mid-split — build the per-unit plan;
+/// otherwise the in-progress marker decides Resume versus Fresh. A
+/// corrupt manifest falls back to re-running the whole block, which is
+/// byte-identical by construction.
+fn classify_partial(dir: &Path, idx: usize, expected_fp: u64) -> Result<BlockMode, StateError> {
+    if units_path(dir, idx).exists() {
+        match load_units_manifest(dir, idx, expected_fp) {
+            Ok(entries) => {
+                let mut plans = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    let unit = unit_of(&entry);
+                    let mode = if unit_path(dir, idx, unit).exists() {
+                        // Same torn-file rule as block checkpoints: a
+                        // unit checkpoint counts only if it reads back
+                        // cleanly; corrupt means the unit re-runs.
+                        match load_unit_ckpt(dir, idx, expected_fp, unit) {
+                            Ok(_) => UnitMode::Skip,
+                            Err(StateError::Corrupt(_)) => UnitMode::Resume,
+                            Err(e) => return Err(e),
+                        }
+                    } else if entry.started {
+                        UnitMode::Resume
+                    } else {
+                        UnitMode::Fresh
+                    };
+                    plans.push(UnitPlan { unit, mode });
+                }
+                Ok(BlockMode::Split(plans))
+            }
+            Err(StateError::Corrupt(_)) => Ok(BlockMode::Resume),
+            Err(e) => Err(e),
+        }
+    } else if marker_path(dir, idx).exists() {
+        Ok(BlockMode::Resume)
+    } else {
+        Ok(BlockMode::Fresh)
+    }
 }
 
 /// Publishes one block checkpoint. With `sync: false` the data fsync is
@@ -1135,6 +2126,8 @@ mod tests {
             names::EXEC_REQUEUED,
             names::EXEC_POISONED,
             names::EXEC_STALLS,
+            names::EXEC_SPLITS,
+            names::EXEC_SPLIT_SHARDS,
         ] {
             snap.counters.remove(name);
         }
@@ -1301,5 +2294,188 @@ mod tests {
         let whole = run_with(SAMPLE_BLOCKS.len() + 1, "whole");
         assert_eq!(legacy, batched);
         assert_eq!(legacy, whole);
+    }
+
+    #[test]
+    fn forced_splits_stay_byte_identical_across_worker_counts() {
+        let tpb = 1 << 12;
+        let (seq, seq_snap) = sequential(tpb);
+        for workers in [1usize, 2, 4] {
+            let outcome = ParallelCampaign::new(Campaign::new(tpb), workers)
+                .with_split_threshold(256)
+                .with_force_split_at(1_000)
+                .run(&base(tpb), make_world);
+            assert!(!outcome.interrupted);
+            assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+            let splits = outcome.snapshot.counter(names::EXEC_SPLITS);
+            assert!(splits >= 1, "{workers} workers: forced split never fired");
+            assert!(
+                outcome.snapshot.counter(names::EXEC_SPLIT_SHARDS) >= 2 * splits,
+                "each split must mint at least two sub-shards"
+            );
+            assert_eq!(outcome.result, seq, "{workers}-worker split run diverged");
+            assert_eq!(
+                outcome.result.to_csv(),
+                seq.to_csv(),
+                "{workers}-worker split CSV diverged"
+            );
+            assert_eq!(
+                strip_exec(outcome.snapshot),
+                seq_snap,
+                "{workers}-worker split snapshot diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_split_on_skewed_blocks_stays_byte_identical() {
+        // One giant block dominates the campaign — the straggler shape
+        // the splitter exists for. Threshold-gated splits fire only when
+        // a worker actually goes idle, so the assertion here is pure
+        // byte-identity under every worker count, splits or not.
+        let tpb = 1 << 9;
+        let giant = 1 << 13;
+        let campaign = || Campaign::new(tpb).with_block_targets(vec![(2, giant)]);
+        let telemetry = Telemetry::new();
+        let mut world = World::with_config(WorldConfig::lossless(99, 50));
+        world.set_telemetry(&telemetry);
+        let mut scanner = Scanner::with_telemetry(world, base(giant), telemetry.clone());
+        let seq = campaign().run(&mut scanner);
+        let seq_snap = telemetry.registry.snapshot();
+        for workers in [2usize, 4] {
+            let outcome = ParallelCampaign::new(campaign(), workers)
+                .with_split_threshold(512)
+                .run(&base(giant), make_world);
+            assert!(!outcome.interrupted);
+            assert!(outcome.poisoned.is_empty(), "{:?}", outcome.poisoned);
+            assert_eq!(outcome.result, seq, "{workers}-worker skewed run diverged");
+            assert_eq!(
+                strip_exec(outcome.snapshot),
+                seq_snap,
+                "{workers}-worker skewed snapshot diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn split_disabled_leaves_legacy_path_untouched() {
+        // --split-threshold 0 (the default) must be indistinguishable
+        // from the pre-split executor: identical bytes, and no split
+        // counters ever minted.
+        let tpb = 1 << 10;
+        let (seq, seq_snap) = sequential(tpb);
+        let outcome = ParallelCampaign::new(Campaign::new(tpb), 4).run(&base(tpb), make_world);
+        assert_eq!(outcome.result, seq);
+        assert_eq!(outcome.snapshot, seq_snap);
+        assert!(!outcome.snapshot.counters.contains_key(names::EXEC_SPLITS));
+        assert!(!outcome
+            .snapshot
+            .counters
+            .contains_key(names::EXEC_SPLIT_SHARDS));
+    }
+
+    #[test]
+    fn kill_mid_split_resumes_under_different_worker_count() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-ksplit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 12;
+        let (seq, seq_snap) = sequential(tpb);
+
+        // One worker makes the kill land deterministically inside a
+        // split: every block force-splits after 1k consumed positions,
+        // so by probe 6k the in-flight block has a durable sub-shard
+        // manifest plus at least one committed unit checkpoint.
+        let signal = AbortSignal::new();
+        let exec1 = ParallelCampaign::new(Campaign::new(tpb), 1)
+            .with_split_threshold(256)
+            .with_force_split_at(1_000);
+        let partial = exec1
+            .run_checkpointed(&base(tpb), &dir, false, Some(&signal), |_w, telemetry| {
+                let mut world = World::with_config(WorldConfig::lossless(99, 50));
+                world.set_telemetry(telemetry);
+                world.arm_kill(
+                    KillPoint {
+                        after_probes: Some(6_000),
+                        ..Default::default()
+                    },
+                    signal.clone(),
+                );
+                world
+            })
+            .unwrap();
+        assert!(partial.interrupted, "kill point must interrupt");
+
+        let plan = exec1.resume_plan(&base(tpb), &dir).unwrap();
+        let split_plan = plan
+            .iter()
+            .find_map(|m| match m {
+                BlockMode::Split(units) => Some(units.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no split plan in {plan:?}"));
+        assert!(
+            split_plan.iter().any(|u| matches!(u.mode, UnitMode::Skip)),
+            "a committed sub-shard must be skippable: {split_plan:?}"
+        );
+        assert!(
+            split_plan.iter().any(|u| !matches!(u.mode, UnitMode::Skip)),
+            "something inside the split must be left to do: {split_plan:?}"
+        );
+
+        // Resume under a different worker count with splitting still on:
+        // loaded sub-shard deltas and re-run units must assemble to the
+        // sequential bytes.
+        let exec3 = ParallelCampaign::new(Campaign::new(tpb), 3)
+            .with_split_threshold(256)
+            .with_force_split_at(1_000);
+        let full = exec3
+            .run_checkpointed(&base(tpb), &dir, true, None, make_world)
+            .unwrap();
+        assert!(!full.interrupted);
+        assert_eq!(full.result, seq, "resumed split campaign diverged");
+        assert_eq!(
+            strip_exec(full.snapshot),
+            seq_snap,
+            "resumed split snapshot diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn split_plan_resumed_with_splitting_disabled_reruns_whole_block() {
+        let dir = std::env::temp_dir().join(format!("xmap-pcamp-nsplit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tpb = 1 << 12;
+        let (seq, seq_snap) = sequential(tpb);
+
+        let signal = AbortSignal::new();
+        let exec1 = ParallelCampaign::new(Campaign::new(tpb), 1)
+            .with_split_threshold(256)
+            .with_force_split_at(1_000);
+        exec1
+            .run_checkpointed(&base(tpb), &dir, false, Some(&signal), |_w, telemetry| {
+                let mut world = World::with_config(WorldConfig::lossless(99, 50));
+                world.set_telemetry(telemetry);
+                world.arm_kill(
+                    KillPoint {
+                        after_probes: Some(6_000),
+                        ..Default::default()
+                    },
+                    signal.clone(),
+                );
+                world
+            })
+            .unwrap();
+
+        // A legacy (split-disabled) resume sees the same directory and
+        // simply re-runs partially split blocks whole — byte-identical.
+        let legacy = ParallelCampaign::new(Campaign::new(tpb), 2);
+        let full = legacy
+            .run_checkpointed(&base(tpb), &dir, true, None, make_world)
+            .unwrap();
+        assert!(!full.interrupted);
+        assert_eq!(full.result, seq, "legacy resume of split dir diverged");
+        assert_eq!(strip_exec(full.snapshot), seq_snap);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -849,6 +849,7 @@ mod tests {
                         seed: 11,
                         world_seed: 13,
                         mop_up_ticks: None,
+                        block_targets: Vec::new(),
                     },
                 )
                 .expect("submit b");

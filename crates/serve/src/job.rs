@@ -49,6 +49,10 @@ pub enum JobSpec {
         world_seed: u64,
         /// Mop-up pass delay in virtual ticks, if enabled.
         mop_up_ticks: Option<u64>,
+        /// Per-block overrides of `targets_per_block` (block index →
+        /// probes), for skewed campaigns. Part of the job identity: the
+        /// override map changes unit outputs and unit costs.
+        block_targets: Vec<(usize, u64)>,
     },
     /// A routing-loop depth survey over the sample blocks (paper
     /// Table XI); one unit per block.
@@ -114,8 +118,15 @@ impl JobSpec {
         let _ = unit;
         match self {
             JobSpec::PeripheryCampaign {
-                targets_per_block, ..
-            } => (*targets_per_block).max(1),
+                targets_per_block,
+                block_targets,
+                ..
+            } => block_targets
+                .iter()
+                .find(|(idx, _)| *idx == unit)
+                .map(|(_, n)| *n)
+                .unwrap_or(*targets_per_block)
+                .max(1),
             JobSpec::LoopscanSurvey {
                 probes_per_block, ..
             } => (*probes_per_block).max(1),
@@ -155,12 +166,18 @@ impl JobSpec {
                 seed,
                 world_seed,
                 mop_up_ticks,
+                block_targets,
             } => {
                 e.u8(1);
                 e.u64(*targets_per_block);
                 e.u64(*seed);
                 e.u64(*world_seed);
                 e.opt_u64(*mop_up_ticks);
+                e.seq(block_targets.len());
+                for (idx, n) in block_targets {
+                    e.u64(*idx as u64);
+                    e.u64(*n);
+                }
             }
             JobSpec::LoopscanSurvey {
                 probes_per_block,
@@ -203,12 +220,28 @@ impl JobSpec {
     /// Inverse of [`JobSpec::encode`].
     pub fn decode(d: &mut Decoder) -> Result<JobSpec, StateError> {
         match d.u8()? {
-            1 => Ok(JobSpec::PeripheryCampaign {
-                targets_per_block: d.u64()?,
-                seed: d.u64()?,
-                world_seed: d.u64()?,
-                mop_up_ticks: d.opt_u64()?,
-            }),
+            1 => {
+                let targets_per_block = d.u64()?;
+                let seed = d.u64()?;
+                let world_seed = d.u64()?;
+                let mop_up_ticks = d.opt_u64()?;
+                let n = d.seq()?;
+                let mut block_targets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let idx = d.u64()?;
+                    let idx = usize::try_from(idx).map_err(|_| {
+                        StateError::Corrupt(format!("job spec: block index {idx} exceeds usize"))
+                    })?;
+                    block_targets.push((idx, d.u64()?));
+                }
+                Ok(JobSpec::PeripheryCampaign {
+                    targets_per_block,
+                    seed,
+                    world_seed,
+                    mop_up_ticks,
+                    block_targets,
+                })
+            }
             2 => Ok(JobSpec::LoopscanSurvey {
                 probes_per_block: d.u64()?,
                 seed: d.u64()?,
@@ -322,9 +355,13 @@ impl JobSpec {
             JobSpec::PeripheryCampaign {
                 targets_per_block,
                 mop_up_ticks,
+                block_targets,
                 ..
             } => {
                 let mut campaign = Campaign::new(*targets_per_block);
+                if !block_targets.is_empty() {
+                    campaign = campaign.with_block_targets(block_targets.clone());
+                }
                 if let Some(ticks) = mop_up_ticks {
                     campaign = campaign.with_mop_up(*ticks);
                 }
@@ -611,6 +648,14 @@ mod tests {
             seed: 7,
             world_seed: 99,
             mop_up_ticks: Some(2048),
+            block_targets: Vec::new(),
+        });
+        roundtrip_spec(&JobSpec::PeripheryCampaign {
+            targets_per_block: 4096,
+            seed: 7,
+            world_seed: 99,
+            mop_up_ticks: None,
+            block_targets: vec![(2, 1 << 16), (0, 64)],
         });
         roundtrip_spec(&JobSpec::LoopscanSurvey {
             probes_per_block: 512,
@@ -698,11 +743,49 @@ mod tests {
             seed: 42,
             world_seed: 9,
             mop_up_ticks: None,
+            block_targets: Vec::new(),
         };
         let (a, da) = spec.run_unit(3);
         let (b, db) = spec.run_unit(3);
         assert_eq!(a, b);
         assert_eq!(da, db);
+    }
+
+    /// A per-block override skews exactly its own unit: the overridden
+    /// block runs (and is costed) at the override, every other unit is
+    /// untouched, and the override is part of the job identity.
+    #[test]
+    fn block_target_overrides_are_per_unit() {
+        let plain = JobSpec::PeripheryCampaign {
+            targets_per_block: 1 << 10,
+            seed: 42,
+            world_seed: 9,
+            mop_up_ticks: None,
+            block_targets: Vec::new(),
+        };
+        let skewed = JobSpec::PeripheryCampaign {
+            targets_per_block: 1 << 10,
+            seed: 42,
+            world_seed: 9,
+            mop_up_ticks: None,
+            block_targets: vec![(3, 1 << 11)],
+        };
+        assert_ne!(plain.fingerprint(), skewed.fingerprint());
+        assert_eq!(skewed.unit_cost(3), 1 << 11);
+        assert_eq!(skewed.unit_cost(2), 1 << 10);
+        assert_eq!(plain.run_unit(2), skewed.run_unit(2));
+        let bigger = JobSpec::PeripheryCampaign {
+            targets_per_block: 1 << 11,
+            seed: 42,
+            world_seed: 9,
+            mop_up_ticks: None,
+            block_targets: Vec::new(),
+        };
+        assert_eq!(
+            skewed.run_unit(3),
+            bigger.run_unit(3),
+            "overridden block must run exactly as if targets_per_block were the override"
+        );
     }
 
     /// The engine knob must not change unit outputs: the reactor's
@@ -716,6 +799,7 @@ mod tests {
                 seed: 42,
                 world_seed: 9,
                 mop_up_ticks: Some(256),
+                block_targets: vec![(2, 1 << 9)],
             },
             JobSpec::LoopscanSurvey {
                 probes_per_block: 256,

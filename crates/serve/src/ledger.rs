@@ -169,6 +169,7 @@ mod tests {
                     seed: 9,
                     world_seed: 2,
                     mop_up_ticks: None,
+                    block_targets: Vec::new(),
                 },
             },
             LedgerEvent::Cancelled { job: 2 },

@@ -87,14 +87,39 @@ pub fn parse_spec(spec: &Value) -> Result<JobSpec, String> {
         .req_u64("world_seed", "job spec")
         .map_err(|e| e.to_string())?;
     match kind.as_str() {
-        "periphery-campaign" => Ok(JobSpec::PeripheryCampaign {
-            targets_per_block: spec
-                .req_u64("targets_per_block", "campaign spec")
-                .map_err(|e| e.to_string())?,
-            seed,
-            world_seed,
-            mop_up_ticks: spec.get("mop_up_ticks").and_then(Value::as_u64),
-        }),
+        "periphery-campaign" => {
+            let mut block_targets = Vec::new();
+            if let Some(raw) = spec.get("block_targets").and_then(Value::as_arr) {
+                for v in raw {
+                    let pair = v.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        "campaign spec: block_targets entries must be [block, targets] pairs"
+                            .to_owned()
+                    })?;
+                    let idx = pair[0].as_u64().ok_or_else(|| {
+                        "campaign spec: block index must be an integer".to_owned()
+                    })?;
+                    let n = pair[1].as_u64().filter(|n| *n >= 1).ok_or_else(|| {
+                        "campaign spec: per-block targets must be a positive integer".to_owned()
+                    })?;
+                    let blocks = xmap_netsim::isp::SAMPLE_BLOCKS.len() as u64;
+                    if idx >= blocks {
+                        return Err(format!(
+                            "campaign spec: block {idx} out of range (campaign has {blocks} blocks)"
+                        ));
+                    }
+                    block_targets.push((idx as usize, n));
+                }
+            }
+            Ok(JobSpec::PeripheryCampaign {
+                targets_per_block: spec
+                    .req_u64("targets_per_block", "campaign spec")
+                    .map_err(|e| e.to_string())?,
+                seed,
+                world_seed,
+                mop_up_ticks: spec.get("mop_up_ticks").and_then(Value::as_u64),
+                block_targets,
+            })
+        }
         "loopscan-survey" => Ok(JobSpec::LoopscanSurvey {
             probes_per_block: spec
                 .req_u64("probes_per_block", "survey spec")
@@ -322,8 +347,41 @@ mod tests {
                 seed: 1,
                 world_seed: 2,
                 mop_up_ticks: Some(64),
+                block_targets: Vec::new(),
             }
         );
+        let v = json::parse(
+            "{\"type\":\"periphery-campaign\",\"targets_per_block\":128,\"seed\":1,\
+             \"world_seed\":2,\"block_targets\":[[2,65536],[0,64]]}",
+            "spec",
+        )
+        .unwrap();
+        assert_eq!(
+            parse_spec(&v).unwrap(),
+            JobSpec::PeripheryCampaign {
+                targets_per_block: 128,
+                seed: 1,
+                world_seed: 2,
+                mop_up_ticks: None,
+                block_targets: vec![(2, 65536), (0, 64)],
+            }
+        );
+        for bad in [
+            "[[99,64]]",  // block index out of range
+            "[[2,0]]",    // zero targets
+            "[[2]]",      // not a pair
+            "[\"2:64\"]", // wrong element shape
+        ] {
+            let v = json::parse(
+                &format!(
+                    "{{\"type\":\"periphery-campaign\",\"targets_per_block\":128,\"seed\":1,\
+                     \"world_seed\":2,\"block_targets\":{bad}}}"
+                ),
+                "spec",
+            )
+            .unwrap();
+            assert!(parse_spec(&v).is_err(), "{bad} must be rejected");
+        }
         let v = json::parse(
             "{\"type\":\"appscan-grab\",\"targets\":[\"2001:db8::1\"],\"seed\":1,\"world_seed\":2}",
             "spec",

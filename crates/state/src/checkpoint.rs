@@ -221,6 +221,60 @@ pub fn parse_fp(s: &str, what: &str) -> Result<u64, StateError> {
         .ok_or_else(|| StateError::Corrupt(format!("{what}: invalid fingerprint `{s}`")))
 }
 
+/// One sub-shard range of a split scan block, as persisted in a
+/// `units` checkpoint section.
+///
+/// The triple `(offset, stride, cap)` names the sub-progression of the
+/// block's permutation walk the unit owns (base positions `offset +
+/// j·stride` for `j < cap`); `started` records whether any worker ever
+/// claimed the unit, so a resume planner can report Resume (partial
+/// work discarded, unit re-runs) versus Fresh. A manifest of entries is
+/// only valid as a *complete partition* of its block's walk — writers
+/// must replace a split unit by its settled prefix plus tail parts in
+/// the same atomic rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubShardEntry {
+    /// First base walk position of the unit.
+    pub offset: u64,
+    /// Distance between consecutive base positions.
+    pub stride: u64,
+    /// Number of walk positions in the unit.
+    pub cap: u64,
+    /// Whether a worker ever claimed the unit.
+    pub started: bool,
+}
+
+/// Binary-encodes a sub-shard manifest (the `units` section of a
+/// campaign split-block checkpoint).
+pub fn encode_sub_shards(entries: &[SubShardEntry]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.seq(entries.len());
+    for u in entries {
+        e.u64(u.offset);
+        e.u64(u.stride);
+        e.u64(u.cap);
+        e.bool(u.started);
+    }
+    e.finish()
+}
+
+/// Decodes a manifest written by [`encode_sub_shards`].
+pub fn decode_sub_shards(raw: &[u8]) -> Result<Vec<SubShardEntry>, StateError> {
+    let mut d = Decoder::new(raw, "units section");
+    let n = d.seq()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SubShardEntry {
+            offset: d.u64()?,
+            stride: d.u64()?,
+            cap: d.u64()?,
+            started: d.bool()?,
+        });
+    }
+    d.expect_end()?;
+    Ok(entries)
+}
+
 /// Writes a sectioned `xmap-checkpoint/v1` file atomically. Shared by
 /// worker and campaign checkpoints; `header` must be a complete JSON
 /// object including `schema` and `sections`.

@@ -918,4 +918,60 @@ mod tests {
         let snap = current.snapshot();
         assert_eq!(snap.diff(&Snapshot::default()), snap);
     }
+
+    #[test]
+    fn one_sided_split_counters_survive_absorb_and_diff() {
+        // The campaign executor inserts `exec.splits`/`exec.split_shards`
+        // only when a run actually split a block, so a resumed campaign
+        // routinely merges a delta that carries them into a baseline
+        // that has never heard of them (and vice versa). The round trip
+        // `base.merge(delta)` / `merged.diff(base)` must neither drop
+        // nor invent the one-sided counters.
+        let base_reg = Registry::new();
+        base_reg.counter("exec.blocks").add(3);
+        let base = base_reg.snapshot();
+
+        // Worker A split a block; worker B ran split-free.
+        let a = Registry::new();
+        a.counter("exec.blocks").add(1);
+        a.counter("exec.splits").add(2);
+        a.counter("exec.split_shards").add(5);
+        let b = Registry::new();
+        b.counter("exec.blocks").add(2);
+
+        let mut merged = base.clone();
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("exec.blocks"), 6);
+        assert_eq!(merged.counter("exec.splits"), 2);
+        assert_eq!(merged.counter("exec.split_shards"), 5);
+
+        // The delta back out carries exactly the split counters the
+        // baseline lacked, and replaying it reproduces the merge.
+        let delta = merged.diff(&base);
+        assert_eq!(delta.counter("exec.splits"), 2);
+        assert_eq!(delta.counter("exec.split_shards"), 5);
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, merged);
+
+        // A live registry that never registered the split counters
+        // absorbs them into existence; absorbing a split-free delta
+        // afterwards leaves them untouched.
+        let live = Registry::new();
+        live.counter("exec.blocks").add(3);
+        live.absorb(&delta);
+        live.absorb(&b.snapshot());
+        let snap = live.snapshot();
+        assert_eq!(snap.counter("exec.splits"), 2);
+        assert_eq!(snap.counter("exec.split_shards"), 5);
+        assert_eq!(snap.counter("exec.blocks"), 8);
+
+        // Mirror direction: a split-free current diffed against a
+        // baseline that did split drops (never negates) the counters,
+        // so no downstream merge can regress a split tally.
+        let spare = base.diff(&merged);
+        assert!(!spare.counters.contains_key("exec.splits"));
+        assert!(!spare.counters.contains_key("exec.split_shards"));
+    }
 }

@@ -37,6 +37,7 @@ fn alice_spec() -> JobSpec {
         seed: 7,
         world_seed: 11,
         mop_up_ticks: None,
+        block_targets: Vec::new(),
     }
 }
 
